@@ -1,0 +1,434 @@
+//! Polyadic-nonserial exemplars: matrix-chain ordering (Eq. 6, Fig. 2)
+//! and the optimal binary search tree.
+//!
+//! Finding the minimum-cost order of multiplying a string of matrices is
+//! the paper's running example of a polyadic-**nonserial** formulation:
+//! its AND/OR-graph (Fig. 2) necessarily has arcs that skip levels.  The
+//! same problem is also the *secondary optimization problem* of §4 — once
+//! solved, the multiply tree can be executed as a dataflow graph.
+
+use crate::graph::{AndOrGraph, NodeId};
+use sdp_semiring::Cost;
+
+
+/// Saturating `r_{i-1}·r_k·r_j` as a finite [`Cost`] — chain products of
+/// large dimensions can exceed the i64 range, and a wrapped cast would
+/// silently corrupt the minimization.
+fn triple_product_cost(a: u64, b: u64, c: u64) -> Cost {
+    Cost::saturating_from_u64(a.saturating_mul(b).saturating_mul(c))
+}
+
+/// One node of the multiply tree: `(left_child, right_child, flops)`,
+/// where children index into the task list and `None` marks a leaf
+/// (input matrix) operand.
+pub type MultiplyTask = (Option<usize>, Option<usize>, u64);
+
+/// Solution of a chain-structured polyadic DP.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChainSolution {
+    /// Optimal total cost (`m_{1,N}` in Eq. 6).
+    pub cost: Cost,
+    /// `split[i][j]` = the `k` splitting `[i..=j]` optimally (i < j).
+    pub split: Vec<Vec<usize>>,
+    /// Number of matrices (or keys) `N`.
+    pub n: usize,
+}
+
+impl ChainSolution {
+    /// Reconstructs the optimal parenthesization as a nested string,
+    /// e.g. `((M1 M2) (M3 M4))`.
+    ///
+    /// Only valid for solutions with *exclusive* chain splits
+    /// (`split[i][j] < j`), i.e. those from [`matrix_chain_order`];
+    /// [`optimal_bst`] solutions use inclusive root indices and are
+    /// rejected with a panic rather than looping forever.
+    pub fn parenthesization(&self) -> String {
+        fn rec(split: &[Vec<usize>], i: usize, j: usize, out: &mut String) {
+            if i == j {
+                out.push_str(&format!("M{}", i + 1));
+                return;
+            }
+            let k = split[i][j];
+            assert!(
+                (i..j).contains(&k),
+                "split[{i}][{j}] = {k} is not an exclusive chain split; \
+                 BST root tables cannot be parenthesized this way"
+            );
+            out.push('(');
+            rec(split, i, k, out);
+            out.push(' ');
+            rec(split, k + 1, j, out);
+            out.push(')');
+        }
+        let mut s = String::new();
+        rec(&self.split, 0, self.n - 1, &mut s);
+        s
+    }
+
+    /// The multiply tree as a dependency DAG in post-order:
+    /// returns `(tasks, root)`, where each task is
+    /// `(left_child, right_child, flops)` with children indices into the
+    /// task list (`None` = leaf matrix).  Used to execute the chain as a
+    /// dataflow graph (§4 end).
+    ///
+    /// Panics for `n = 1` (a single matrix needs no multiplication and
+    /// has no task to point a root at) and for BST-style inclusive split
+    /// tables.
+    pub fn multiply_tree(&self, dims: &[u64]) -> (Vec<MultiplyTask>, usize) {
+        assert_eq!(dims.len(), self.n + 1);
+        assert!(
+            self.n >= 2,
+            "multiply_tree needs at least two matrices (n = {})",
+            self.n
+        );
+        let mut tasks = Vec::new();
+        let root = self.emit(dims, 0, self.n - 1, &mut tasks);
+        (tasks, root.expect("n >= 2 produces at least one task"))
+    }
+
+    fn emit(
+        &self,
+        dims: &[u64],
+        i: usize,
+        j: usize,
+        tasks: &mut Vec<MultiplyTask>,
+    ) -> Option<usize> {
+        if i == j {
+            return None; // leaf matrix, no work
+        }
+        let k = self.split[i][j];
+        assert!(
+            (i..j).contains(&k),
+            "split[{i}][{j}] = {k} is not an exclusive chain split"
+        );
+        let l = self.emit(dims, i, k, tasks);
+        let r = self.emit(dims, k + 1, j, tasks);
+        let flops = dims[i]
+            .saturating_mul(dims[k + 1])
+            .saturating_mul(dims[j + 1]);
+        tasks.push((l, r, flops));
+        Some(tasks.len() - 1)
+    }
+}
+
+/// Matrix-chain order DP (Eq. 6): `dims` is `r₀ … r_N`, so matrix `Mᵢ`
+/// is `r_{i-1} × r_i`; returns the optimal scalar-multiplication count and
+/// split table.
+///
+/// ```
+/// use sdp_andor::chain::matrix_chain_order;
+/// let sol = matrix_chain_order(&[30, 35, 15, 5, 10, 20, 25]);
+/// assert_eq!(sol.cost, sdp_semiring::Cost::from(15125));
+/// assert_eq!(sol.parenthesization(), "((M1 (M2 M3)) ((M4 M5) M6))");
+/// ```
+pub fn matrix_chain_order(dims: &[u64]) -> ChainSolution {
+    assert!(dims.len() >= 2, "need at least one matrix");
+    assert!(dims.iter().all(|&d| d > 0), "dimensions must be positive");
+    let n = dims.len() - 1;
+    let mut cost = vec![vec![Cost::ZERO; n]; n];
+    let mut split = vec![vec![0usize; n]; n];
+    for len in 2..=n {
+        for i in 0..=n - len {
+            let j = i + len - 1;
+            let mut best = Cost::INF;
+            let mut arg = i;
+            for k in i..j {
+                let c = cost[i][k]
+                    + cost[k + 1][j]
+                    + triple_product_cost(dims[i], dims[k + 1], dims[j + 1]);
+                if c < best {
+                    best = c;
+                    arg = k;
+                }
+            }
+            cost[i][j] = best;
+            split[i][j] = arg;
+        }
+    }
+    ChainSolution {
+        cost: cost[0][n - 1],
+        split,
+        n,
+    }
+}
+
+/// Brute-force chain cost by enumerating all parenthesizations
+/// (Catalan-many; oracle for small `n`).
+pub fn chain_brute_force(dims: &[u64]) -> Cost {
+    fn rec(dims: &[u64], i: usize, j: usize) -> Cost {
+        if i == j {
+            return Cost::ZERO;
+        }
+        let mut best = Cost::INF;
+        for k in i..j {
+            let c = rec(dims, i, k)
+                + rec(dims, k + 1, j)
+                + triple_product_cost(dims[i], dims[k + 1], dims[j + 1]);
+            best = best.min(c);
+        }
+        best
+    }
+    assert!(dims.len() >= 2);
+    rec(dims, 0, dims.len() - 2)
+}
+
+/// The AND/OR-graph of the matrix-chain problem (Fig. 2 for `n = 4`):
+/// one OR-node per subchain `m_{i,j}` (i < j), whose children are AND-nodes
+/// (one per split `k`) carrying local cost `r_{i-1}·r_k·r_j`, each pointing
+/// at the operand subchains.  Leaves are the trivial `m_{i,i} = 0`.
+///
+/// Returns the graph and the OR/leaf id of each subchain `[i][j]`.
+pub struct ChainAndOr {
+    /// The underlying AND/OR graph.
+    pub graph: AndOrGraph,
+    /// `ids[i][j]` = node id of subchain `m_{i+1, j+1}` (0-based).
+    pub ids: Vec<Vec<Option<NodeId>>>,
+    /// Root id (`m_{1,N}`).
+    pub root: NodeId,
+}
+
+/// Builds the Fig. 2 AND/OR graph for `dims` (`r₀ … r_N`).
+///
+/// Levels: subchain length ℓ occupies OR-level `2(ℓ−1)` with its AND
+/// children at level `2(ℓ−1) − 1`; leaves sit at level 0.  Arcs from an
+/// AND-node to a short subchain (e.g. `m_{4,4}` from the top in Fig. 2)
+/// skip levels — this graph is *nonserial*, which
+/// [`crate::serialize::serialize`] repairs.
+pub fn build_chain_andor(dims: &[u64]) -> ChainAndOr {
+    assert!(dims.len() >= 2);
+    let n = dims.len() - 1;
+    let mut g = AndOrGraph::new();
+    let mut ids: Vec<Vec<Option<NodeId>>> = vec![vec![None; n]; n];
+    for (i, row) in ids.iter_mut().enumerate() {
+        row[i] = Some(g.add_leaf(0, Cost::ZERO));
+    }
+    for len in 2..=n {
+        let or_level = 2 * (len - 1);
+        let and_level = or_level - 1;
+        for i in 0..=n - len {
+            let j = i + len - 1;
+            let mut alts = Vec::with_capacity(len - 1);
+            for k in i..j {
+                let local = triple_product_cost(dims[i], dims[k + 1], dims[j + 1]);
+                let l = ids[i][k].unwrap();
+                let r = ids[k + 1][j].unwrap();
+                alts.push(g.add_and(and_level, vec![l, r], local));
+            }
+            ids[i][j] = Some(g.add_or(or_level, alts));
+        }
+    }
+    let root = ids[0][n - 1].unwrap();
+    ChainAndOr { graph: g, ids, root }
+}
+
+/// Optimal binary search tree DP (the other polyadic problem the paper
+/// names in §2.1): `freq[i]` is the access frequency of key `i`; returns
+/// the minimal weighted comparison cost and the root-split table.
+pub fn optimal_bst(freq: &[u64]) -> ChainSolution {
+    assert!(!freq.is_empty(), "need at least one key");
+    let n = freq.len();
+    // prefix sums for O(1) range weight
+    let mut pre = vec![0u64; n + 1];
+    for (i, &f) in freq.iter().enumerate() {
+        pre[i + 1] = pre[i] + f;
+    }
+    let weight = |i: usize, j: usize| (pre[j + 1] - pre[i]) as i64;
+    let mut cost = vec![vec![Cost::ZERO; n]; n];
+    let mut split = vec![vec![0usize; n]; n];
+    for i in 0..n {
+        cost[i][i] = Cost::from(freq[i] as i64);
+        split[i][i] = i;
+    }
+    for len in 2..=n {
+        for i in 0..=n - len {
+            let j = i + len - 1;
+            let mut best = Cost::INF;
+            let mut arg = i;
+            for r in i..=j {
+                let left = if r > i { cost[i][r - 1] } else { Cost::ZERO };
+                let right = if r < j { cost[r + 1][j] } else { Cost::ZERO };
+                let c = left + right + Cost::from(weight(i, j));
+                if c < best {
+                    best = c;
+                    arg = r;
+                }
+            }
+            cost[i][j] = best;
+            split[i][j] = arg;
+        }
+    }
+    ChainSolution {
+        cost: cost[0][n - 1],
+        split,
+        n,
+    }
+}
+
+/// Brute-force optimal BST (oracle for small `n`).
+pub fn bst_brute_force(freq: &[u64]) -> Cost {
+    fn rec(freq: &[u64], i: usize, j: usize) -> Cost {
+        if i > j {
+            return Cost::ZERO;
+        }
+        let w: i64 = freq[i..=j].iter().map(|&f| f as i64).sum();
+        let mut best = Cost::INF;
+        for r in i..=j {
+            let left = if r > i { rec(freq, i, r - 1) } else { Cost::ZERO };
+            let right = rec(freq, r + 1, j);
+            best = best.min(left + right + Cost::from(w));
+        }
+        best
+    }
+    rec(freq, 0, freq.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeKind;
+
+    #[test]
+    fn clrs_example() {
+        // Classic CLRS instance: dims 30,35,15,5,10,20,25 -> 15125.
+        let s = matrix_chain_order(&[30, 35, 15, 5, 10, 20, 25]);
+        assert_eq!(s.cost, Cost::from(15125));
+        assert_eq!(s.parenthesization(), "((M1 (M2 M3)) ((M4 M5) M6))");
+    }
+
+    #[test]
+    fn single_matrix_costs_zero() {
+        let s = matrix_chain_order(&[7, 3]);
+        assert_eq!(s.cost, Cost::ZERO);
+        assert_eq!(s.parenthesization(), "M1");
+    }
+
+    #[test]
+    fn two_matrices_forced_order() {
+        let s = matrix_chain_order(&[2, 3, 4]);
+        assert_eq!(s.cost, Cost::from(24));
+    }
+
+    #[test]
+    fn dp_matches_brute_force() {
+        let cases: &[&[u64]] = &[
+            &[5, 4, 6, 2, 7],
+            &[10, 20, 30, 40, 30],
+            &[1, 2, 3, 4, 5, 6],
+            &[40, 20, 30, 10, 30],
+        ];
+        for dims in cases {
+            assert_eq!(
+                matrix_chain_order(dims).cost,
+                chain_brute_force(dims),
+                "{dims:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig2_structure_n4() {
+        // Fig. 2: four matrices -> 6 OR-class nodes (2 leaves-of-length-1
+        // excluded): OR nodes for (1,2),(2,3),(3,4),(1,3),(2,4),(1,4).
+        let c = build_chain_andor(&[2, 3, 4, 5, 6]);
+        assert_eq!(c.graph.count_kind(NodeKind::Leaf), 4); // m_{i,i}
+        assert_eq!(c.graph.count_kind(NodeKind::Or), 6);
+        // AND nodes: one per (i,j,k): lengths 2,2,2 (1 split each) +
+        // lengths 3,3 (2 splits each) + length 4 (3 splits) = 3+4+3 = 10.
+        assert_eq!(c.graph.count_kind(NodeKind::And), 10);
+        // The top OR has 3 AND alternatives ("achieved in three ways").
+        assert_eq!(c.graph.node(c.root).children.len(), 3);
+    }
+
+    #[test]
+    fn fig2_graph_is_nonserial() {
+        let c = build_chain_andor(&[2, 3, 4, 5, 6]);
+        assert!(!c.graph.is_serial());
+        assert!(!c.graph.nonserial_arcs().is_empty());
+    }
+
+    #[test]
+    fn andor_evaluation_equals_dp() {
+        for dims in [
+            vec![30, 35, 15, 5, 10, 20, 25],
+            vec![5, 4, 6, 2, 7],
+            vec![2, 3, 4],
+            vec![3, 7],
+        ] {
+            let c = build_chain_andor(&dims);
+            let val = c.graph.evaluate_node(c.root);
+            assert_eq!(val, matrix_chain_order(&dims).cost, "{dims:?}");
+        }
+    }
+
+    #[test]
+    fn multiply_tree_flops_sum_to_cost() {
+        let dims = [30u64, 35, 15, 5, 10, 20, 25];
+        let s = matrix_chain_order(&dims);
+        let (tasks, root) = s.multiply_tree(&dims);
+        assert_eq!(tasks.len(), 6 - 1);
+        assert_eq!(root, tasks.len() - 1);
+        let total: u64 = tasks.iter().map(|t| t.2).sum();
+        assert_eq!(Cost::from(total as i64), s.cost);
+    }
+
+    #[test]
+    fn bst_small_known() {
+        // freq {34, 8, 50}: optimal BST rooted at key 2 (0-indexed)?
+        // cost = 34*2 + 8*3 + 50*1 ... enumerate via brute force instead.
+        let freq = [34u64, 8, 50];
+        assert_eq!(optimal_bst(&freq).cost, bst_brute_force(&freq));
+    }
+
+    #[test]
+    fn bst_matches_brute_force_many() {
+        let cases: &[&[u64]] = &[
+            &[1],
+            &[3, 1],
+            &[25, 10, 20],
+            &[4, 2, 6, 3],
+            &[10, 10, 10, 10, 10],
+            &[1, 100, 1, 100, 1],
+        ];
+        for freq in cases {
+            assert_eq!(optimal_bst(freq).cost, bst_brute_force(freq), "{freq:?}");
+        }
+    }
+
+    #[test]
+    fn bst_single_key() {
+        let s = optimal_bst(&[42]);
+        assert_eq!(s.cost, Cost::from(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dims_rejected() {
+        let _ = matrix_chain_order(&[3, 0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exclusive chain split")]
+    fn bst_split_table_rejected_by_parenthesization() {
+        // optimal_bst stores inclusive root indices; using them as chain
+        // splits must fail loudly instead of recursing forever.
+        let sol = optimal_bst(&[1, 100]);
+        let _ = sol.parenthesization();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two matrices")]
+    fn multiply_tree_single_matrix_rejected() {
+        let _ = matrix_chain_order(&[7, 3]).multiply_tree(&[7, 3]);
+    }
+
+    #[test]
+    fn huge_dimensions_saturate_instead_of_wrapping() {
+        // 2.1e6^3 overflows i64; the cost must clamp at MAX_FINITE, not
+        // wrap negative and corrupt the minimization.
+        let big = 2_100_000u64;
+        let sol = matrix_chain_order(&[big, big, big, big]);
+        assert!(sol.cost > Cost::ZERO);
+        assert!(sol.cost.is_finite());
+        assert_eq!(sol.cost, Cost::MAX_FINITE);
+    }
+}

@@ -1,0 +1,311 @@
+//! The AND/OR graph data model.
+//!
+//! Nodes are arranged in *levels* (stage numbers).  An AND-node is solved
+//! when **all** children are solved and its value is the semiring product
+//! (min-plus: the **sum**) of child values plus a local cost; an OR-node is
+//! solved when **any** child is solved and its value is the semiring sum
+//! (min-plus: the **minimum**) over children.  Leaves carry input values.
+//!
+//! The graph is *serial* when every arc connects nodes in adjacent levels —
+//! the property that makes a direct planar systolic mapping possible (§6.2).
+
+use sdp_semiring::Cost;
+
+/// Index of a node within an [`AndOrGraph`].
+pub type NodeId = usize;
+
+/// The role of a node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Subproblem conjunction: value = local cost + Σ children.
+    And,
+    /// Alternative selection: value = min over children.
+    Or,
+    /// Input: value supplied at evaluation time (or fixed).
+    Leaf,
+}
+
+/// One node of an AND/OR graph.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// AND / OR / Leaf.
+    pub kind: NodeKind,
+    /// Level (0 = bottom).  Arcs point from higher levels to lower ones.
+    pub level: usize,
+    /// Children (subproblems for AND, alternatives for OR).
+    pub children: Vec<NodeId>,
+    /// Local cost added by AND-nodes (e.g. `r_{i-1}·r_k·r_j` in Eq. 6).
+    pub local_cost: Cost,
+    /// Fixed value for leaves (may be overridden at evaluation).
+    pub leaf_value: Cost,
+}
+
+/// A directed acyclic AND/OR graph with levelled nodes.
+#[derive(Clone, Debug, Default)]
+pub struct AndOrGraph {
+    nodes: Vec<Node>,
+}
+
+impl AndOrGraph {
+    /// An empty graph.
+    pub fn new() -> AndOrGraph {
+        AndOrGraph { nodes: Vec::new() }
+    }
+
+    /// Adds a leaf at `level` with a fixed `value`; returns its id.
+    pub fn add_leaf(&mut self, level: usize, value: Cost) -> NodeId {
+        self.nodes.push(Node {
+            kind: NodeKind::Leaf,
+            level,
+            children: Vec::new(),
+            local_cost: Cost::ZERO,
+            leaf_value: value,
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Adds an AND-node at `level` over `children` with an optional local
+    /// cost term; returns its id.
+    pub fn add_and(&mut self, level: usize, children: Vec<NodeId>, local_cost: Cost) -> NodeId {
+        assert!(!children.is_empty(), "AND-node needs children");
+        self.check_children(&children, level);
+        self.nodes.push(Node {
+            kind: NodeKind::And,
+            level,
+            children,
+            local_cost,
+            leaf_value: Cost::INF,
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Adds an OR-node at `level` over `children`; returns its id.
+    pub fn add_or(&mut self, level: usize, children: Vec<NodeId>) -> NodeId {
+        assert!(!children.is_empty(), "OR-node needs children");
+        self.check_children(&children, level);
+        self.nodes.push(Node {
+            kind: NodeKind::Or,
+            level,
+            children,
+            local_cost: Cost::ZERO,
+            leaf_value: Cost::INF,
+        });
+        self.nodes.len() - 1
+    }
+
+    fn check_children(&self, children: &[NodeId], level: usize) {
+        for &c in children {
+            assert!(c < self.nodes.len(), "child id out of range");
+            assert!(
+                self.nodes[c].level < level,
+                "children must be at strictly lower levels (acyclicity)"
+            );
+        }
+    }
+
+    /// Node accessor.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// Total node count.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of nodes of the given kind.
+    pub fn count_kind(&self, kind: NodeKind) -> usize {
+        self.nodes.iter().filter(|n| n.kind == kind).count()
+    }
+
+    /// The maximum level (graph height).
+    pub fn height(&self) -> usize {
+        self.nodes.iter().map(|n| n.level).max().unwrap_or(0)
+    }
+
+    /// Total arc count.
+    pub fn num_arcs(&self) -> usize {
+        self.nodes.iter().map(|n| n.children.len()).sum()
+    }
+
+    /// True when **every** arc connects adjacent levels — the paper's
+    /// seriality criterion for direct systolic mapping.
+    pub fn is_serial(&self) -> bool {
+        self.nodes
+            .iter()
+            .all(|n| n.children.iter().all(|&c| self.nodes[c].level + 1 == n.level))
+    }
+
+    /// Arcs that skip at least one level (the ones Fig. 8 patches with
+    /// dummy nodes), as `(parent, child)` pairs.
+    pub fn nonserial_arcs(&self) -> Vec<(NodeId, NodeId)> {
+        let mut v = Vec::new();
+        for (id, n) in self.nodes.iter().enumerate() {
+            for &c in &n.children {
+                if self.nodes[c].level + 1 != n.level {
+                    v.push((id, c));
+                }
+            }
+        }
+        v
+    }
+
+    /// Bottom-up breadth-first evaluation (the search strategy of §6.2):
+    /// levels are processed in increasing order; every node's value is
+    /// computed from already-evaluated children.  Returns per-node values.
+    ///
+    /// `leaf_override` may replace leaf values (keyed by node id), letting
+    /// one graph structure be re-evaluated on many inputs.
+    pub fn evaluate(&self, leaf_override: &dyn Fn(NodeId) -> Option<Cost>) -> Vec<Cost> {
+        let mut value = vec![Cost::INF; self.nodes.len()];
+        // ids sorted by level; children are guaranteed at lower levels.
+        let mut order: Vec<NodeId> = (0..self.nodes.len()).collect();
+        order.sort_by_key(|&id| self.nodes[id].level);
+        for id in order {
+            let n = &self.nodes[id];
+            value[id] = match n.kind {
+                NodeKind::Leaf => leaf_override(id).unwrap_or(n.leaf_value),
+                NodeKind::And => n
+                    .children
+                    .iter()
+                    .map(|&c| value[c])
+                    .fold(n.local_cost, |a, b| a + b),
+                NodeKind::Or => n
+                    .children
+                    .iter()
+                    .map(|&c| value[c])
+                    .fold(Cost::INF, Cost::min),
+            };
+        }
+        value
+    }
+
+    /// Evaluates and returns the value of a single node.
+    pub fn evaluate_node(&self, id: NodeId) -> Cost {
+        self.evaluate(&|_| None)[id]
+    }
+
+    /// The number of *sequential bottom-up steps* (levels containing at
+    /// least one non-leaf node) — a proxy for pipeline depth.
+    pub fn eval_levels(&self) -> usize {
+        let mut lv: Vec<usize> = self
+            .nodes
+            .iter()
+            .filter(|n| n.kind != NodeKind::Leaf)
+            .map(|n| n.level)
+            .collect();
+        lv.sort_unstable();
+        lv.dedup();
+        lv.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// min( 3+4, min(5, 9)+1 ) built as a two-level AND/OR tree.
+    fn small() -> (AndOrGraph, NodeId) {
+        let mut g = AndOrGraph::new();
+        let a = g.add_leaf(0, Cost::from(3));
+        let b = g.add_leaf(0, Cost::from(4));
+        let c = g.add_leaf(0, Cost::from(5));
+        let d = g.add_leaf(0, Cost::from(9));
+        let and1 = g.add_and(1, vec![a, b], Cost::ZERO);
+        let or1 = g.add_or(1, vec![c, d]);
+        let and2 = g.add_and(2, vec![or1], Cost::from(1));
+        let root = g.add_or(3, vec![and1, and2]);
+        (g, root)
+    }
+
+    #[test]
+    fn evaluate_small() {
+        let (g, root) = small();
+        // and1 = 7, and2 = 5 + 1 = 6, root = min(7, 6) = 6
+        assert_eq!(g.evaluate_node(root), Cost::from(6));
+    }
+
+    #[test]
+    fn leaf_override_changes_result() {
+        let (g, root) = small();
+        // make leaf c expensive so and1 wins
+        let vals = g.evaluate(&|id| if id == 2 { Some(Cost::from(100)) } else { None });
+        assert_eq!(vals[root], Cost::from(7));
+    }
+
+    #[test]
+    fn kind_counts_and_height() {
+        let (g, _) = small();
+        assert_eq!(g.count_kind(NodeKind::Leaf), 4);
+        assert_eq!(g.count_kind(NodeKind::And), 2);
+        assert_eq!(g.count_kind(NodeKind::Or), 2);
+        assert_eq!(g.height(), 3);
+        assert_eq!(g.num_arcs(), 2 + 2 + 1 + 2);
+    }
+
+    #[test]
+    fn seriality_detection() {
+        let (g, _) = small();
+        // and1 at level 1 over level-0 leaves: serial.
+        // root at level 3 over and1 at level 1: NON-serial arc.
+        assert!(!g.is_serial());
+        let skips = g.nonserial_arcs();
+        assert!(skips.iter().any(|&(p, c)| p == 7 && c == 4));
+    }
+
+    #[test]
+    fn serial_graph_detected() {
+        let mut g = AndOrGraph::new();
+        let a = g.add_leaf(0, Cost::from(1));
+        let b = g.add_leaf(0, Cost::from(2));
+        let o = g.add_or(1, vec![a, b]);
+        let r = g.add_and(2, vec![o], Cost::ZERO);
+        assert!(g.is_serial());
+        assert_eq!(g.evaluate_node(r), Cost::from(1));
+    }
+
+    #[test]
+    fn and_node_sums_with_local_cost() {
+        let mut g = AndOrGraph::new();
+        let a = g.add_leaf(0, Cost::from(10));
+        let b = g.add_leaf(0, Cost::from(20));
+        let n = g.add_and(1, vec![a, b], Cost::from(5));
+        assert_eq!(g.evaluate_node(n), Cost::from(35));
+    }
+
+    #[test]
+    fn or_node_propagates_inf_when_all_children_inf() {
+        let mut g = AndOrGraph::new();
+        let a = g.add_leaf(0, Cost::INF);
+        let o = g.add_or(1, vec![a]);
+        assert_eq!(g.evaluate_node(o), Cost::INF);
+    }
+
+    #[test]
+    fn and_node_inf_absorbs() {
+        let mut g = AndOrGraph::new();
+        let a = g.add_leaf(0, Cost::from(3));
+        let b = g.add_leaf(0, Cost::INF);
+        let n = g.add_and(1, vec![a, b], Cost::ZERO);
+        assert_eq!(g.evaluate_node(n), Cost::INF);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly lower levels")]
+    fn same_level_child_rejected() {
+        let mut g = AndOrGraph::new();
+        let a = g.add_leaf(1, Cost::ZERO);
+        let _ = g.add_or(1, vec![a]);
+    }
+
+    #[test]
+    fn eval_levels_counts_nonleaf_levels() {
+        let (g, _) = small();
+        assert_eq!(g.eval_levels(), 3); // levels 1, 2, 3
+    }
+}

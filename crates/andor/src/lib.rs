@@ -1,0 +1,40 @@
+//! AND/OR-graph representations of dynamic programming.
+//!
+//! Gensi–Montanari–Martelli showed (the paper's reference \[10\], \[21\]) that
+//! a polyadic DP formulation is the search for a minimum-cost solution tree
+//! in an AND/OR-graph: AND-nodes are subproblem *sums*, OR-nodes are
+//! alternative *selections* (comparisons).  This crate builds those graphs
+//! and the transformations the paper uses:
+//!
+//! * [`graph`] — the AND/OR graph data model with bottom-up breadth-first
+//!   evaluation and seriality checks;
+//! * [`partition`] — the regular `p`-partition AND/OR-graph of a multistage
+//!   graph (§5, Fig. 7) and the node-count analysis of Theorem 2 (Eq. 32);
+//! * [`chain`] — matrix-chain ordering (Eq. 6, Fig. 2) and the optimal
+//!   binary search tree, the two polyadic-nonserial exemplars;
+//! * [`nonserial`] — general nonserial objectives over discrete variables,
+//!   interaction graphs, brute-force oracle, and the monadic-nonserial →
+//!   serial transform by variable grouping (§6.1, Eqs. 36–41);
+//! * [`serialize`] — the dummy-node transform that makes every arc connect
+//!   adjacent levels (§6.2, Fig. 8), enabling planar systolic mapping;
+//! * [`topdown`] — memoized top-down AND/OR search (Martelli–Montanari /
+//!   AO*-style), the dual of the bottom-up evaluator, with solution-tree
+//!   extraction;
+//! * [`reduction`] — the "secondary optimization problem": the optimal
+//!   stage-elimination order for irregular multistage graphs, solved as a
+//!   matrix-chain problem over the stage widths (§4 end).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod graph;
+pub mod nonserial;
+pub mod partition;
+pub mod reduction;
+pub mod serialize;
+pub mod topdown;
+
+pub use chain::{matrix_chain_order, optimal_bst, ChainSolution};
+pub use graph::{AndOrGraph, NodeId, NodeKind};
+pub use partition::{build_partition_graph, u_p_closed_form, PartitionGraph};

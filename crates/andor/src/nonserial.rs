@@ -1,0 +1,463 @@
+//! Nonserial optimization problems and the §6.1 serialization transform.
+//!
+//! A nonserial objective `f(X) = ⊕ᵢ gᵢ(Xⁱ)` (Eq. 5) lets terms share
+//! variables arbitrarily.  The paper's recipe for the *monadic*-nonserial
+//! case is to **group** primary variables into compound stage variables
+//! until the interaction becomes serial (Eqs. 36–41), then solve on the
+//! standard multistage machinery.  This module implements:
+//!
+//! * [`NonserialProblem`] — discrete variables, cost terms, interaction
+//!   graph, seriality test, and a brute-force oracle;
+//! * [`TernaryChain`] — the paper's worked example
+//!   `Σ gᵢ(vᵢ, vᵢ₊₁, vᵢ₊₂)` (Eq. 36) with step-by-step variable
+//!   elimination (Eq. 38), the step count of Eq. 40, and the grouping
+//!   transform to an equivalent serial [`MultistageGraph`] (Eq. 41).
+
+use sdp_multistage::MultistageGraph;
+use sdp_semiring::{Cost, Matrix, MinPlus};
+use std::collections::BTreeSet;
+
+/// A boxed cost function over a term's scoped variable values.
+pub type TermFn = Box<dyn Fn(&[i64]) -> Cost + Send + Sync>;
+
+/// A boxed ternary cost function `g(vᵢ, vᵢ₊₁, vᵢ₊₂)`.
+pub type TernaryFn = Box<dyn Fn(i64, i64, i64) -> Cost + Send + Sync>;
+
+/// A cost term over a subset of variables.
+pub struct Term {
+    /// Indices of the variables in this term's scope, in argument order.
+    pub vars: Vec<usize>,
+    /// The term's cost as a function of the scoped variables' values.
+    pub f: TermFn,
+}
+
+impl Term {
+    /// Convenience constructor.
+    pub fn new(
+        vars: Vec<usize>,
+        f: impl Fn(&[i64]) -> Cost + Send + Sync + 'static,
+    ) -> Term {
+        assert!(!vars.is_empty(), "a term needs at least one variable");
+        Term { vars, f: Box::new(f) }
+    }
+
+    /// Evaluates the term under a full assignment.
+    pub fn eval(&self, assignment: &[i64]) -> Cost {
+        let args: Vec<i64> = self.vars.iter().map(|&v| assignment[v]).collect();
+        (self.f)(&args)
+    }
+}
+
+/// A discrete nonserial optimization problem (Eq. 5 with `⊕ = +`).
+pub struct NonserialProblem {
+    /// `domains[i]` = the quantized values variable `i` may take.
+    pub domains: Vec<Vec<i64>>,
+    /// The additive cost terms.
+    pub terms: Vec<Term>,
+}
+
+impl NonserialProblem {
+    /// Builds a problem; every variable must have a non-empty domain and
+    /// every term must reference valid variables.
+    pub fn new(domains: Vec<Vec<i64>>, terms: Vec<Term>) -> NonserialProblem {
+        assert!(!domains.is_empty(), "need at least one variable");
+        assert!(domains.iter().all(|d| !d.is_empty()), "empty domain");
+        for t in &terms {
+            assert!(
+                t.vars.iter().all(|&v| v < domains.len()),
+                "term references unknown variable"
+            );
+        }
+        NonserialProblem { domains, terms }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Total objective under a full assignment.
+    pub fn objective(&self, assignment: &[i64]) -> Cost {
+        assert_eq!(assignment.len(), self.num_vars());
+        self.terms.iter().map(|t| t.eval(assignment)).sum()
+    }
+
+    /// The interaction-graph edges: `{i, j}` whenever two variables share
+    /// a term (§2.2's definition).
+    pub fn interaction_edges(&self) -> BTreeSet<(usize, usize)> {
+        interaction_edges(&self.terms.iter().map(|t| t.vars.clone()).collect::<Vec<_>>())
+    }
+
+    /// True when the interaction graph is a simple path `0−1−…−(n−1)`,
+    /// i.e. the problem is serial in the paper's sense.
+    pub fn is_serial(&self) -> bool {
+        is_serial_structure(self.num_vars(), &self.interaction_edges())
+    }
+
+    /// Exhaustive search (oracle): the optimal cost and one optimal
+    /// assignment.  Exponential in the number of variables.
+    pub fn brute_force(&self) -> (Cost, Vec<i64>) {
+        let n = self.num_vars();
+        let mut idx = vec![0usize; n];
+        let mut best = (Cost::INF, vec![]);
+        loop {
+            let assignment: Vec<i64> =
+                idx.iter().enumerate().map(|(v, &i)| self.domains[v][i]).collect();
+            let c = self.objective(&assignment);
+            if c < best.0 {
+                best = (c, assignment);
+            }
+            // advance mixed-radix counter
+            let mut k = 0;
+            loop {
+                if k == n {
+                    return best;
+                }
+                idx[k] += 1;
+                if idx[k] < self.domains[k].len() {
+                    break;
+                }
+                idx[k] = 0;
+                k += 1;
+            }
+        }
+    }
+}
+
+/// Interaction-graph edges induced by a set of term scopes.
+pub fn interaction_edges(scopes: &[Vec<usize>]) -> BTreeSet<(usize, usize)> {
+    let mut edges = BTreeSet::new();
+    for vars in scopes {
+        for (a, &u) in vars.iter().enumerate() {
+            for &v in &vars[a + 1..] {
+                if u != v {
+                    edges.insert((u.min(v), u.max(v)));
+                }
+            }
+        }
+    }
+    edges
+}
+
+/// True when `edges` form exactly the path `0−1−…−(n−1)`.
+pub fn is_serial_structure(n: usize, edges: &BTreeSet<(usize, usize)>) -> bool {
+    if n == 1 {
+        return true;
+    }
+    let want: BTreeSet<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+    *edges == want
+}
+
+/// The §6.1 worked example: `f(V) = Σ_{i=1}^{N-2} gᵢ(vᵢ, vᵢ₊₁, vᵢ₊₂)`
+/// (Eq. 36) — monadic-nonserial because each variable appears in up to
+/// three terms.
+pub struct TernaryChain {
+    /// Per-variable quantized domains.
+    pub domains: Vec<Vec<i64>>,
+    /// `g[i]` is the term over `(vᵢ, vᵢ₊₁, vᵢ₊₂)` (0-based).
+    pub g: Vec<TernaryFn>,
+}
+
+impl TernaryChain {
+    /// Builds a ternary chain over `domains` with terms `g`.
+    /// Needs `domains.len() >= 3` and `g.len() == domains.len() - 2`.
+    pub fn new(domains: Vec<Vec<i64>>, g: Vec<TernaryFn>) -> TernaryChain {
+        assert!(domains.len() >= 3, "ternary chain needs >= 3 variables");
+        assert_eq!(g.len(), domains.len() - 2, "need N-2 terms");
+        assert!(domains.iter().all(|d| !d.is_empty()), "empty domain");
+        TernaryChain { domains, g }
+    }
+
+    /// A uniform chain where every term is the same function.
+    pub fn uniform(
+        domains: Vec<Vec<i64>>,
+        g: impl Fn(i64, i64, i64) -> Cost + Send + Sync + Clone + 'static,
+    ) -> TernaryChain {
+        let n = domains.len();
+        assert!(n >= 3);
+        let terms: Vec<TernaryFn> = (0..n - 2)
+            .map(|_| {
+                let g = g.clone();
+                Box::new(g) as TernaryFn
+            })
+            .collect();
+        TernaryChain::new(domains, terms)
+    }
+
+    /// The term scopes, for interaction-graph and seriality analysis.
+    pub fn scopes(&self) -> Vec<Vec<usize>> {
+        (0..self.g.len()).map(|i| vec![i, i + 1, i + 2]).collect()
+    }
+
+    /// Interaction-graph edges of the chain (always contains the skip
+    /// pairs `(i, i+2)`, which is why the formulation is nonserial).
+    pub fn interaction_edges(&self) -> BTreeSet<(usize, usize)> {
+        interaction_edges(&self.scopes())
+    }
+
+    /// Objective under a full assignment.
+    pub fn objective(&self, a: &[i64]) -> Cost {
+        assert_eq!(a.len(), self.domains.len());
+        self.g
+            .iter()
+            .enumerate()
+            .map(|(i, g)| g(a[i], a[i + 1], a[i + 2]))
+            .sum()
+    }
+
+    /// Brute-force optimum (oracle).
+    pub fn brute_force(&self) -> (Cost, Vec<i64>) {
+        let n = self.domains.len();
+        let mut idx = vec![0usize; n];
+        let mut best = (Cost::INF, vec![]);
+        loop {
+            let assignment: Vec<i64> =
+                idx.iter().enumerate().map(|(v, &i)| self.domains[v][i]).collect();
+            let c = self.objective(&assignment);
+            if c < best.0 {
+                best = (c, assignment);
+            }
+            let mut k = 0;
+            loop {
+                if k == n {
+                    return best;
+                }
+                idx[k] += 1;
+                if idx[k] < self.domains[k].len() {
+                    break;
+                }
+                idx[k] = 0;
+                k += 1;
+            }
+        }
+    }
+
+    /// Step-by-step variable elimination (Eq. 38): eliminates
+    /// `V₁, V₂, …` in order, maintaining `h_k(v_{k+1}, v_{k+2})`.
+    /// Returns the optimum and the number of elementary steps performed
+    /// (one step = one `f`-evaluation + add + compare), which must equal
+    /// the closed form of Eq. 40.
+    pub fn eliminate(&self) -> (Cost, u64) {
+        let n = self.domains.len();
+        let mut steps = 0u64;
+        // h(v_{k+1}, v_{k+2}) table; initially h_1 after eliminating V_1.
+        let m1 = self.domains[1].len();
+        let m2 = self.domains[2].len();
+        let mut h = vec![vec![Cost::INF; m2]; m1];
+        for (j1, &v1) in self.domains[1].iter().enumerate() {
+            for (j2, &v2) in self.domains[2].iter().enumerate() {
+                let mut best = Cost::INF;
+                for &v0 in &self.domains[0] {
+                    steps += 1;
+                    best = best.min(self.g[0](v0, v1, v2));
+                }
+                h[j1][j2] = best;
+            }
+        }
+        // eliminate V_k for k = 2 .. n-2 (0-based: 1..n-2)
+        for k in 1..n - 2 {
+            let ma = self.domains[k + 1].len();
+            let mb = self.domains[k + 2].len();
+            let mut nh = vec![vec![Cost::INF; mb]; ma];
+            for (ja, &va) in self.domains[k + 1].iter().enumerate() {
+                for (jb, &vb) in self.domains[k + 2].iter().enumerate() {
+                    let mut best = Cost::INF;
+                    for (jk, &vk) in self.domains[k].iter().enumerate() {
+                        steps += 1;
+                        best = best.min(h[jk][ja] + self.g[k](vk, va, vb));
+                    }
+                    nh[ja][jb] = best;
+                }
+            }
+            h = nh;
+        }
+        // final comparison over all h(v_{N-1}, v_N)
+        let mut best = Cost::INF;
+        for row in &h {
+            for &c in row {
+                steps += 1;
+                best = best.min(c);
+            }
+        }
+        (best, steps)
+    }
+
+    /// The closed-form step count of Eq. 40:
+    /// `Σ_{k=1}^{N-2} mₖ·mₖ₊₁·mₖ₊₂ + m_{N-1}·m_N`.
+    pub fn eq40_steps(&self) -> u64 {
+        let m: Vec<u64> = self.domains.iter().map(|d| d.len() as u64).collect();
+        let n = m.len();
+        let sum: u64 = (0..n - 2).map(|k| m[k] * m[k + 1] * m[k + 2]).sum();
+        sum + m[n - 2] * m[n - 1]
+    }
+
+    /// The grouping transform of Eq. 41: compound variables
+    /// `V'ᵢ = (Vᵢ, Vᵢ₊₁)` become the stages of a serial multistage graph
+    /// whose edges connect only *consistent* compound states (shared
+    /// middle variable equal) with cost `gᵢ(vᵢ, vᵢ₊₁, vᵢ₊₂)`;
+    /// inconsistent pairs get `INF`.
+    pub fn group_to_serial(&self) -> MultistageGraph {
+        let n = self.domains.len();
+        let stage_states: Vec<Vec<(i64, i64)>> = (0..n - 1)
+            .map(|i| {
+                let mut v = Vec::new();
+                for &a in &self.domains[i] {
+                    for &b in &self.domains[i + 1] {
+                        v.push((a, b));
+                    }
+                }
+                v
+            })
+            .collect();
+        let mats = (0..n - 2)
+            .map(|i| {
+                let from = &stage_states[i];
+                let to = &stage_states[i + 1];
+                Matrix::from_fn(from.len(), to.len(), |a, b| {
+                    let (_, v_mid) = from[a];
+                    let (v_mid2, v_next) = to[b];
+                    if v_mid == v_mid2 {
+                        MinPlus(self.g[i](from[a].0, v_mid, v_next))
+                    } else {
+                        MinPlus(Cost::INF)
+                    }
+                })
+            })
+            .collect();
+        MultistageGraph::new(mats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdp_multistage::solve;
+
+    fn chain3x3() -> TernaryChain {
+        TernaryChain::uniform(
+            vec![vec![0, 2, 5], vec![1, 3, 4], vec![0, 6, 7], vec![2, 3, 9]],
+            |a, b, c| Cost::from((a - b).abs() + (b - c).abs()),
+        )
+    }
+
+    #[test]
+    fn objective_sums_terms() {
+        let t = chain3x3();
+        // g(0,1,0) + g(1,0,2) = (1+1) + (1+2) = 5
+        assert_eq!(t.objective(&[0, 1, 0, 2]), Cost::from(5));
+    }
+
+    #[test]
+    fn elimination_matches_brute_force() {
+        let t = chain3x3();
+        let (bf, _) = t.brute_force();
+        let (elim, _) = t.eliminate();
+        assert_eq!(elim, bf);
+    }
+
+    #[test]
+    fn step_count_matches_eq40() {
+        let t = chain3x3();
+        let (_, steps) = t.eliminate();
+        assert_eq!(steps, t.eq40_steps());
+        // m = [3,3,3,3]: 2 terms of 27 + 9 final = 63
+        assert_eq!(steps, 63);
+    }
+
+    #[test]
+    fn mixed_domain_sizes_step_count() {
+        let t = TernaryChain::uniform(
+            vec![vec![0, 1], vec![0, 1, 2], vec![0], vec![1, 5], vec![2, 4, 6]],
+            |a, b, c| Cost::from(a + b + c),
+        );
+        let (cost, steps) = t.eliminate();
+        assert_eq!(steps, t.eq40_steps());
+        // eq40: 2·3·1 + 3·1·2 + 1·2·3 + 2·3 = 6 + 6 + 6 + 6 = 24
+        assert_eq!(steps, 24);
+        let (bf, _) = t.brute_force();
+        assert_eq!(cost, bf);
+    }
+
+    #[test]
+    fn grouping_transform_equals_brute_force() {
+        let t = chain3x3();
+        let g = t.group_to_serial();
+        let dp = solve::forward_dp(&g);
+        let (bf, _) = t.brute_force();
+        assert_eq!(dp.cost, bf);
+    }
+
+    #[test]
+    fn grouped_graph_dimensions() {
+        let t = chain3x3();
+        let g = t.group_to_serial();
+        // N=4 variables -> 3 compound stages of 3*3 = 9 states.
+        assert_eq!(g.num_stages(), 3);
+        assert_eq!(g.stage_size(0), 9);
+        assert_eq!(g.stage_size(2), 9);
+    }
+
+    #[test]
+    fn ternary_chain_is_nonserial_but_grouped_is_serial() {
+        let t = chain3x3();
+        let edges = t.interaction_edges();
+        assert!(!is_serial_structure(t.domains.len(), &edges));
+        // interaction edges include the skip pair (0,2)
+        assert!(edges.contains(&(0, 2)));
+    }
+
+    #[test]
+    fn pairwise_problem_is_serial() {
+        let p = NonserialProblem::new(
+            vec![vec![0, 1]; 4],
+            (0..3)
+                .map(|i| Term::new(vec![i, i + 1], |a| Cost::from(a[0] + a[1])))
+                .collect(),
+        );
+        assert!(p.is_serial());
+    }
+
+    #[test]
+    fn generic_brute_force_agrees_with_objective() {
+        let p = NonserialProblem::new(
+            vec![vec![0, 3], vec![1, 2], vec![0, 5]],
+            vec![
+                Term::new(vec![0, 1, 2], |a| Cost::from(a[0] * a[1] + a[2])),
+                Term::new(vec![0, 2], |a| Cost::from((a[0] - a[1]).abs())),
+            ],
+        );
+        let (best, assignment) = p.brute_force();
+        assert_eq!(p.objective(&assignment), best);
+        // not serial: term over 3 vars and a skip edge
+        assert!(!p.is_serial());
+    }
+
+    #[test]
+    fn single_variable_problem() {
+        let p = NonserialProblem::new(
+            vec![vec![4, 1, 7]],
+            vec![Term::new(vec![0], |a| Cost::from(a[0]))],
+        );
+        let (best, a) = p.brute_force();
+        assert_eq!(best, Cost::from(1));
+        assert_eq!(a, vec![1]);
+        assert!(p.is_serial());
+    }
+
+    #[test]
+    #[should_panic(expected = "N-2 terms")]
+    fn wrong_term_count_rejected() {
+        let _ = TernaryChain::new(vec![vec![0], vec![0], vec![0]], vec![]);
+    }
+
+    #[test]
+    fn grouped_graph_has_inf_for_inconsistent_pairs() {
+        let t = chain3x3();
+        let g = t.group_to_serial();
+        // state (a=0, mid=1) in stage 0 vs (mid'=3, next) in stage 1:
+        // indices: stage0 state 0 = (0,1); stage1 state 3 = (3,0) -> INF
+        assert!(g.edge_cost(0, 0, 3).is_inf());
+        // consistent: stage1 state 0..2 have mid'=1 -> finite
+        assert!(g.edge_cost(0, 0, 0).is_finite());
+    }
+}

@@ -1,0 +1,335 @@
+//! Regular `p`-partition AND/OR graphs for polyadic-serial DP (§5).
+//!
+//! An `(N+1)`-stage graph (`N = p^Q` cost matrices, `m` nodes per stage)
+//! is reduced to a single stage by repeatedly collapsing groups of `p`
+//! consecutive cost matrices into one.  Each collapse is an AND/OR layer:
+//! for every output pair `(i, j)` there is one OR-node with `m^{p-1}`
+//! branches (one per combination of intermediate vertices), each an
+//! AND-node with `p` branches summing the group's sub-costs (Fig. 7).
+//!
+//! Theorem 2 proves the binary partition `p = 2` minimizes the total node
+//! count `u(p)` (Eq. 32); [`u_p_closed_form`] is that formula and
+//! [`PartitionGraph`] lets tests confirm the constructed graph matches it
+//! exactly.
+
+use crate::graph::{AndOrGraph, NodeId, NodeKind};
+use sdp_semiring::{Cost, Matrix, MinPlus};
+
+/// A materialized `p`-partition AND/OR graph over a string of `n`
+/// `m × m` matrices.
+pub struct PartitionGraph {
+    /// The underlying AND/OR graph.
+    pub graph: AndOrGraph,
+    /// Leaf ids: `leaves[t][i][j]` is the leaf carrying `M_t[i][j]`.
+    pub leaves: Vec<Vec<Vec<NodeId>>>,
+    /// OR-node ids of the final reduced matrix: `roots[i][j]`.
+    pub roots: Vec<Vec<NodeId>>,
+    /// Parameters `(n, m, p)`.
+    pub params: (usize, usize, usize),
+}
+
+/// Builds the regular `p`-partition AND/OR graph.  Requires `n` to be a
+/// power of `p` (the paper's `N = p^Q`), `m ≥ 1`, `p ≥ 2`.
+///
+/// ```
+/// use sdp_andor::partition::{build_partition_graph, u_p_closed_form};
+/// let pg = build_partition_graph(4, 2, 2);
+/// // The constructed graph's size matches Theorem 2's Eq. 32 exactly.
+/// assert_eq!(pg.node_count(), u_p_closed_form(4, 2, 2));
+/// ```
+pub fn build_partition_graph(n: usize, m: usize, p: usize) -> PartitionGraph {
+    assert!(p >= 2, "partition factor must be >= 2");
+    assert!(m >= 1, "need at least one vertex per stage");
+    assert!(is_power_of(n, p), "n = {n} must be a power of p = {p}");
+    let mut g = AndOrGraph::new();
+
+    // Level 0: one leaf per matrix element.
+    let leaves: Vec<Vec<Vec<NodeId>>> = (0..n)
+        .map(|_| {
+            (0..m)
+                .map(|_| (0..m).map(|_| g.add_leaf(0, Cost::ZERO)).collect())
+                .collect()
+        })
+        .collect();
+
+    // current[t][i][j] = node id of element (i,j) of the t-th live matrix
+    let mut current: Vec<Vec<Vec<NodeId>>> = leaves.clone();
+    let mut level = 0usize;
+    while current.len() > 1 {
+        let and_level = level + 1;
+        let or_level = level + 2;
+        let mut next = Vec::with_capacity(current.len() / p);
+        for group in current.chunks(p) {
+            debug_assert_eq!(group.len(), p);
+            let mut out = vec![vec![0 as NodeId; m]; m];
+            for (i, row) in out.iter_mut().enumerate() {
+                for (j, slot) in row.iter_mut().enumerate() {
+                    // Enumerate all m^(p-1) intermediate-vertex combos.
+                    let mut ors = Vec::with_capacity(m.pow(p as u32 - 1));
+                    let mut combo = vec![0usize; p - 1];
+                    loop {
+                        // children: group[0][i][k0], group[1][k0][k1], …,
+                        // group[p-1][k_{p-2}][j]
+                        let mut children = Vec::with_capacity(p);
+                        let mut prev = i;
+                        for (t, &k) in combo.iter().enumerate() {
+                            children.push(group[t][prev][k]);
+                            prev = k;
+                        }
+                        children.push(group[p - 1][prev][j]);
+                        ors.push(g.add_and(and_level, children, Cost::ZERO));
+                        // advance combo counter
+                        let mut c = 0;
+                        loop {
+                            if c == combo.len() {
+                                break;
+                            }
+                            combo[c] += 1;
+                            if combo[c] < m {
+                                break;
+                            }
+                            combo[c] = 0;
+                            c += 1;
+                        }
+                        if c == combo.len() {
+                            break;
+                        }
+                    }
+                    *slot = g.add_or(or_level, ors);
+                }
+            }
+            next.push(out);
+        }
+        current = next;
+        level = or_level;
+    }
+
+    PartitionGraph {
+        roots: current.pop().unwrap(),
+        graph: g,
+        leaves,
+        params: (n, m, p),
+    }
+}
+
+fn is_power_of(mut n: usize, p: usize) -> bool {
+    if n == 0 {
+        return false;
+    }
+    while n.is_multiple_of(p) {
+        n /= p;
+    }
+    n == 1
+}
+
+impl PartitionGraph {
+    /// Evaluates the graph on concrete cost matrices (must match `(n, m)`),
+    /// returning the reduced `m × m` optimal-cost matrix — equal to the
+    /// min-plus string product of the inputs.
+    pub fn evaluate_on(&self, mats: &[Matrix<MinPlus>]) -> Matrix<MinPlus> {
+        let (n, m, _) = self.params;
+        assert_eq!(mats.len(), n, "need exactly n matrices");
+        for mat in mats {
+            assert_eq!((mat.rows(), mat.cols()), (m, m), "matrices must be m x m");
+        }
+        // leaf id -> value lookup table
+        let mut leaf_val = vec![None; self.graph.len()];
+        for (t, grid) in self.leaves.iter().enumerate() {
+            for (i, row) in grid.iter().enumerate() {
+                for (j, &id) in row.iter().enumerate() {
+                    leaf_val[id] = Some(mats[t].get(i, j).0);
+                }
+            }
+        }
+        let values = self.graph.evaluate(&|id| leaf_val[id]);
+        Matrix::from_fn(m, m, |i, j| MinPlus(values[self.roots[i][j]]))
+    }
+
+    /// Measured total node count (leaves + AND + OR), the quantity `u(p)`
+    /// of Theorem 2 (the paper counts level-0 inputs among the OR-nodes).
+    pub fn node_count(&self) -> u64 {
+        self.graph.len() as u64
+    }
+
+    /// Measured AND-node count.
+    pub fn and_count(&self) -> u64 {
+        self.graph.count_kind(NodeKind::And) as u64
+    }
+
+    /// Measured OR-node count *including* level-0 leaves, matching the
+    /// paper's convention.
+    pub fn or_count_with_leaves(&self) -> u64 {
+        (self.graph.count_kind(NodeKind::Or) + self.graph.count_kind(NodeKind::Leaf)) as u64
+    }
+}
+
+/// Theorem 2's closed form (Eq. 32):
+///
+/// `u(p) = (N−1)/(p−1) · m^{p+1} + (N·p−1)/(p−1) · m²`
+///
+/// Requires `n` to be a power of `p`.  Saturates on overflow.
+pub fn u_p_closed_form(n: u64, m: u64, p: u64) -> u64 {
+    assert!(p >= 2);
+    let and_nodes = ((n - 1) / (p - 1)).saturating_mul(m.saturating_pow(p as u32 + 1));
+    let or_nodes = ((n * p - 1) / (p - 1)).saturating_mul(m * m);
+    and_nodes.saturating_add(or_nodes)
+}
+
+/// Comparison counts for reducing four stages (sizes `m₁ … m₄`) to two,
+/// from the irregular-partition argument at the end of §5:
+/// with a 3-arc AND-node, `m₁·m₂·m₃·m₄` comparisons are needed.
+pub fn comparisons_3arc(m1: u64, m2: u64, m3: u64, m4: u64) -> u64 {
+    m1 * m2 * m3 * m4
+}
+
+/// Binary elimination, stage 2 first: `m₁·m₃·(m₂ + m₄)` comparisons.
+pub fn comparisons_2arc_stage2_first(m1: u64, m2: u64, m3: u64, m4: u64) -> u64 {
+    m1 * m3 * (m2 + m4)
+}
+
+/// Binary elimination, stage 3 first: `m₂·m₄·(m₁ + m₃)` comparisons.
+pub fn comparisons_2arc_stage3_first(m1: u64, m2: u64, m3: u64, m4: u64) -> u64 {
+    m2 * m4 * (m1 + m3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdp_semiring::Matrix;
+
+    fn rand_mats(seed: u64, n: usize, m: usize) -> Vec<Matrix<MinPlus>> {
+        // simple LCG to avoid a rand dependency in unit tests
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % 50) as i64
+        };
+        (0..n)
+            .map(|_| Matrix::from_fn(m, m, |_, _| MinPlus::from(next())))
+            .collect()
+    }
+
+    #[test]
+    fn fig7_shape_m2_p2_n2() {
+        // Reduction of a 3-stage graph (2 matrices) with m=2, p=2 — the
+        // Fig. 7 example.  Leaves: 2·m² = 8; AND: m³ = 8; OR: m² = 4.
+        let pg = build_partition_graph(2, 2, 2);
+        assert_eq!(pg.graph.count_kind(NodeKind::Leaf), 8);
+        assert_eq!(pg.and_count(), 8);
+        assert_eq!(pg.graph.count_kind(NodeKind::Or), 4);
+        // every AND node has p = 2 arcs; every OR node has m^{p-1} = 2
+        for id in 0..pg.graph.len() {
+            let n = pg.graph.node(id);
+            match n.kind {
+                NodeKind::And => assert_eq!(n.children.len(), 2),
+                NodeKind::Or => assert_eq!(n.children.len(), 2),
+                NodeKind::Leaf => {}
+            }
+        }
+    }
+
+    #[test]
+    fn evaluation_equals_string_product() {
+        for (n, m, p) in [(2, 2, 2), (4, 2, 2), (4, 3, 2), (8, 2, 2), (9, 2, 3), (4, 2, 4)] {
+            let pg = build_partition_graph(n, m, p);
+            let mats = rand_mats((n * m * p) as u64, n, m);
+            let got = pg.evaluate_on(&mats);
+            let want = Matrix::string_product(&mats);
+            assert_eq!(got, want, "n={n} m={m} p={p}");
+        }
+    }
+
+    #[test]
+    fn node_count_matches_eq32() {
+        for (n, m, p) in [
+            (2usize, 2usize, 2usize),
+            (4, 2, 2),
+            (8, 2, 2),
+            (4, 3, 2),
+            (9, 2, 3),
+            (9, 3, 3),
+            (16, 2, 4),
+        ] {
+            let pg = build_partition_graph(n, m, p);
+            let measured = pg.node_count();
+            let closed = u_p_closed_form(n as u64, m as u64, p as u64);
+            assert_eq!(measured, closed, "n={n} m={m} p={p}");
+        }
+    }
+
+    #[test]
+    fn and_or_split_matches_paper_counts() {
+        // N=4, m=2, p=2: AND = (N-1)/(p-1)·m³ = 3·8 = 24;
+        // OR (incl leaves) = (N·p-1)/(p-1)·m² = 7·4 = 28.
+        let pg = build_partition_graph(4, 2, 2);
+        assert_eq!(pg.and_count(), 24);
+        assert_eq!(pg.or_count_with_leaves(), 28);
+    }
+
+    #[test]
+    fn binary_partition_minimizes_u() {
+        // Theorem 2: u(p) is nondecreasing in p, strictly for m >= 3
+        // (the paper's derivative condition: m >= 3 with p >= 2, or
+        // m >= 2 with p >= 3).  At m = 2, u(2) == u(4) exactly.
+        for m in 2u64..6 {
+            let u2 = u_p_closed_form(64, m, 2);
+            let u4 = u_p_closed_form(64, m, 4);
+            let u8 = u_p_closed_form(64, m, 8);
+            if m >= 3 {
+                assert!(u2 < u4, "m={m}: u(2)={u2} !< u(4)={u4}");
+            } else {
+                assert!(u2 <= u4, "m={m}: u(2)={u2} > u(4)={u4}");
+            }
+            assert!(u4 < u8, "m={m}: u(4)={u4} !< u(8)={u8}");
+        }
+    }
+
+    #[test]
+    fn height_is_2_log_p_n() {
+        let pg = build_partition_graph(8, 2, 2);
+        assert_eq!(pg.graph.height(), 2 * 3); // 2·log2(8)
+        let pg = build_partition_graph(9, 2, 3);
+        assert_eq!(pg.graph.height(), 2 * 2); // 2·log3(9)
+    }
+
+    #[test]
+    fn graph_is_serial_by_construction() {
+        let pg = build_partition_graph(4, 2, 2);
+        assert!(pg.graph.is_serial());
+    }
+
+    #[test]
+    fn irregular_3arc_always_worse() {
+        // §5 end: 3-arc needs more comparisons whenever all m_i >= 2.
+        for m1 in 2u64..5 {
+            for m2 in 2u64..5 {
+                for m3 in 2u64..5 {
+                    for m4 in 2u64..5 {
+                        let three = comparisons_3arc(m1, m2, m3, m4);
+                        let two = comparisons_2arc_stage2_first(m1, m2, m3, m4)
+                            .min(comparisons_2arc_stage3_first(m1, m2, m3, m4));
+                        assert!(
+                            three >= two,
+                            "({m1},{m2},{m3},{m4}): 3-arc {three} < 2-arc {two}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of")]
+    fn non_power_rejected() {
+        let _ = build_partition_graph(6, 2, 4);
+    }
+
+    #[test]
+    fn single_matrix_chain_p2() {
+        // n = 1 is p^0; graph is just the leaves (no reduction needed).
+        let pg = build_partition_graph(1, 3, 2);
+        assert_eq!(pg.and_count(), 0);
+        let mats = rand_mats(5, 1, 3);
+        assert_eq!(pg.evaluate_on(&mats), mats[0].clone());
+    }
+}

@@ -1,0 +1,163 @@
+//! The dummy-node serialization transform (§6.2, Fig. 8).
+//!
+//! A polyadic-nonserial AND/OR-graph has arcs that skip levels (e.g. the
+//! arc from a second-level AND-node to `m_{4,4}` at the bottom of Fig. 2),
+//! which prevents a direct mapping onto a systolic array with
+//! nearest-level interconnects.  The paper's fix: "Suppose that an OR-node
+//! and its immediate parent are not located in adjacent levels, then the
+//! OR-node is connected to its parent via other intermediate nodes in
+//! adjacent levels" — pass-through *dummy* nodes (the dotted lines of
+//! Fig. 8).  The transformed graph computes the same values but every arc
+//! spans exactly one level, at the price of extra hardware and delay,
+//! which this module quantifies.
+
+use crate::graph::{AndOrGraph, NodeId, NodeKind};
+use sdp_semiring::Cost;
+
+/// Result of serializing an AND/OR graph.
+pub struct SerializedGraph {
+    /// The serial graph (every arc connects adjacent levels).
+    pub graph: AndOrGraph,
+    /// Maps each original node id to its id in the new graph.
+    pub id_map: Vec<NodeId>,
+    /// Number of dummy pass-through nodes inserted (the "redundant
+    /// hardware" cost of the transform).
+    pub dummies: usize,
+}
+
+/// Serializes `g` by inserting single-child OR-nodes (identity under MIN)
+/// along every level-skipping arc.
+pub fn serialize(g: &AndOrGraph) -> SerializedGraph {
+    let mut out = AndOrGraph::new();
+    let mut id_map = vec![0 as NodeId; g.len()];
+    let mut dummies = 0usize;
+    // Process in level order so children are already copied.
+    let mut order: Vec<NodeId> = (0..g.len()).collect();
+    order.sort_by_key(|&id| g.node(id).level);
+    for id in order {
+        let n = g.node(id);
+        let new_id = match n.kind {
+            NodeKind::Leaf => out.add_leaf(n.level, n.leaf_value),
+            NodeKind::And | NodeKind::Or => {
+                let mut children = Vec::with_capacity(n.children.len());
+                for &c in &n.children {
+                    let mut cur = id_map[c];
+                    // pad with dummies from child level up to parent-1
+                    for lvl in g.node(c).level + 1..n.level {
+                        cur = out.add_or(lvl, vec![cur]);
+                        dummies += 1;
+                    }
+                    children.push(cur);
+                }
+                if n.kind == NodeKind::And {
+                    out.add_and(n.level, children, n.local_cost)
+                } else {
+                    out.add_or(n.level, children)
+                }
+            }
+        };
+        id_map[id] = new_id;
+    }
+    SerializedGraph {
+        graph: out,
+        id_map,
+        dummies,
+    }
+}
+
+impl SerializedGraph {
+    /// Evaluates the serialized graph with leaf overrides keyed by
+    /// *original* node ids, for drop-in comparison against the original.
+    pub fn evaluate_original(
+        &self,
+        original: &AndOrGraph,
+        leaf_override: &dyn Fn(NodeId) -> Option<Cost>,
+    ) -> Vec<Cost> {
+        // translate: new leaf id -> original leaf id
+        let mut back = vec![None; self.graph.len()];
+        for (old, &new) in self.id_map.iter().enumerate() {
+            if original.node(old).kind == NodeKind::Leaf {
+                back[new] = Some(old);
+            }
+        }
+        self.graph
+            .evaluate(&|new_id| back[new_id].and_then(leaf_override))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::build_chain_andor;
+
+    #[test]
+    fn serialized_graph_is_serial() {
+        let c = build_chain_andor(&[2, 3, 4, 5, 6]);
+        assert!(!c.graph.is_serial());
+        let s = serialize(&c.graph);
+        assert!(s.graph.is_serial());
+        assert!(s.dummies > 0);
+    }
+
+    #[test]
+    fn serialization_preserves_values() {
+        for dims in [
+            vec![30u64, 35, 15, 5, 10, 20, 25],
+            vec![5, 4, 6, 2, 7],
+            vec![2, 3, 4],
+        ] {
+            let c = build_chain_andor(&dims);
+            let want = c.graph.evaluate_node(c.root);
+            let s = serialize(&c.graph);
+            let got = s.graph.evaluate(&|_| None)[s.id_map[c.root]];
+            assert_eq!(got, want, "{dims:?}");
+        }
+    }
+
+    #[test]
+    fn already_serial_graph_unchanged_in_size() {
+        let mut g = AndOrGraph::new();
+        let a = g.add_leaf(0, Cost::from(1));
+        let b = g.add_leaf(0, Cost::from(2));
+        let o = g.add_or(1, vec![a, b]);
+        let _r = g.add_and(2, vec![o], Cost::from(3));
+        let s = serialize(&g);
+        assert_eq!(s.dummies, 0);
+        assert_eq!(s.graph.len(), g.len());
+    }
+
+    #[test]
+    fn dummy_count_matches_skip_distance() {
+        // A single arc skipping 3 levels needs 2 dummies.
+        let mut g = AndOrGraph::new();
+        let a = g.add_leaf(0, Cost::from(7));
+        let r = g.add_or(3, vec![a]);
+        let s = serialize(&g);
+        assert_eq!(s.dummies, 2);
+        assert!(s.graph.is_serial());
+        assert_eq!(s.graph.evaluate(&|_| None)[s.id_map[r]], Cost::from(7));
+    }
+
+    #[test]
+    fn evaluate_original_translates_leaf_ids() {
+        let mut g = AndOrGraph::new();
+        let a = g.add_leaf(0, Cost::from(1));
+        let b = g.add_leaf(0, Cost::from(2));
+        let and = g.add_and(2, vec![a, b], Cost::ZERO); // skips level 1
+        let s = serialize(&g);
+        let vals =
+            s.evaluate_original(&g, &|id| if id == a { Some(Cost::from(10)) } else { None });
+        assert_eq!(vals[s.id_map[and]], Cost::from(12));
+    }
+
+    #[test]
+    fn fig8_chain_has_quantifiable_overhead() {
+        // For the 4-matrix chain, report structure: serialized node count
+        // strictly exceeds the original (redundant hardware), height same.
+        let c = build_chain_andor(&[2, 3, 4, 5, 6]);
+        let s = serialize(&c.graph);
+        assert!(s.graph.len() > c.graph.len());
+        assert_eq!(s.graph.height(), c.graph.height());
+        assert_eq!(s.graph.len(), c.graph.len() + s.dummies);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests for AND/OR graph construction and transforms.
+
+use proptest::prelude::*;
+use sdp_andor::chain::{build_chain_andor, chain_brute_force, matrix_chain_order};
+use sdp_andor::nonserial::TernaryChain;
+use sdp_andor::partition::{build_partition_graph, u_p_closed_form};
+use sdp_andor::serialize::serialize;
+use sdp_multistage::solve;
+use sdp_semiring::{Cost, Matrix, MinPlus};
+
+fn dims_strategy() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(1u64..20, 2..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn chain_dp_matches_brute_force(dims in dims_strategy()) {
+        prop_assert_eq!(matrix_chain_order(&dims).cost, chain_brute_force(&dims));
+    }
+
+    #[test]
+    fn chain_andor_evaluates_to_dp_cost(dims in dims_strategy()) {
+        let c = build_chain_andor(&dims);
+        prop_assert_eq!(
+            c.graph.evaluate_node(c.root),
+            matrix_chain_order(&dims).cost
+        );
+    }
+
+    #[test]
+    fn serialization_preserves_root_value(dims in dims_strategy()) {
+        let c = build_chain_andor(&dims);
+        let want = c.graph.evaluate_node(c.root);
+        let s = serialize(&c.graph);
+        prop_assert!(s.graph.is_serial());
+        prop_assert_eq!(s.graph.evaluate(&|_| None)[s.id_map[c.root]], want);
+    }
+
+    #[test]
+    fn multiply_tree_total_flops_equals_cost(dims in dims_strategy()) {
+        let s = matrix_chain_order(&dims);
+        if dims.len() > 2 {
+            let (tasks, _) = s.multiply_tree(&dims);
+            let total: u64 = tasks.iter().map(|t| t.2).sum();
+            prop_assert_eq!(Cost::from(total as i64), s.cost);
+            prop_assert_eq!(tasks.len(), dims.len() - 2);
+        }
+    }
+
+    #[test]
+    fn partition_graph_count_matches_eq32(
+        q in 1u32..4, m in 1usize..4, p in 2usize..4
+    ) {
+        let n = p.pow(q);
+        if n <= 16 && m.pow(p as u32 + 1) * n <= 4000 {
+            let pg = build_partition_graph(n, m, p);
+            prop_assert_eq!(
+                pg.node_count(),
+                u_p_closed_form(n as u64, m as u64, p as u64)
+            );
+        }
+    }
+
+    #[test]
+    fn partition_evaluation_equals_string_product(
+        q in 1u32..4, m in 1usize..4, seed in 0u64..100
+    ) {
+        let n = 2usize.pow(q);
+        let pg = build_partition_graph(n, m, 2);
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % 40) as i64
+        };
+        let mats: Vec<Matrix<MinPlus>> = (0..n)
+            .map(|_| Matrix::from_fn(m, m, |_, _| MinPlus::from(next())))
+            .collect();
+        prop_assert_eq!(pg.evaluate_on(&mats), Matrix::string_product(&mats));
+    }
+
+    #[test]
+    fn ternary_elimination_equals_brute_force(
+        sizes in proptest::collection::vec(1usize..4, 3..6),
+        seed in 0u64..1000,
+    ) {
+        let mut state = seed.wrapping_add(1);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(99);
+            ((state >> 30) % 13) as i64
+        };
+        let domains: Vec<Vec<i64>> = sizes
+            .iter()
+            .map(|&s| (0..s).map(|_| next()).collect())
+            .collect();
+        let t = TernaryChain::uniform(domains, |a, b, c| {
+            Cost::from((a - b).abs() + (b + c).abs())
+        });
+        let (bf, _) = t.brute_force();
+        let (elim, steps) = t.eliminate();
+        prop_assert_eq!(elim, bf);
+        prop_assert_eq!(steps, t.eq40_steps());
+    }
+
+    #[test]
+    fn grouping_transform_equals_elimination(
+        sizes in proptest::collection::vec(1usize..4, 3..6),
+        seed in 0u64..500,
+    ) {
+        let mut state = seed.wrapping_add(3);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(7);
+            ((state >> 31) % 9) as i64
+        };
+        let domains: Vec<Vec<i64>> = sizes
+            .iter()
+            .map(|&s| (0..s).map(|_| next()).collect())
+            .collect();
+        let t = TernaryChain::uniform(domains, |a, b, c| {
+            Cost::from((a * b - c).abs())
+        });
+        let serial = t.group_to_serial();
+        let dp = solve::forward_dp(&serial);
+        let (elim, _) = t.eliminate();
+        prop_assert_eq!(dp.cost, elim);
+    }
+}

@@ -1,0 +1,40 @@
+//! Criterion bench for the E13–E15 ablations: the clocked GKT array,
+//! the stage-reduction ordering, and top-down vs bottom-up search.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdp_andor::partition::build_partition_graph;
+use sdp_andor::{reduction, topdown};
+use sdp_core::gkt::GktArray;
+use sdp_multistage::generate;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(20);
+    for &n in &[16usize, 48] {
+        let dims = generate::random_chain_dims(31, n, 2, 20);
+        group.bench_with_input(BenchmarkId::new("gkt_2ops", n), &dims, |b, d| {
+            b.iter(|| black_box(GktArray::new(2).run(d).finish));
+        });
+        group.bench_with_input(BenchmarkId::new("gkt_1op", n), &dims, |b, d| {
+            b.iter(|| black_box(GktArray::new(1).run(d).finish));
+        });
+    }
+    group.bench_function("reduction_plan_and_execute", |b| {
+        let g = generate::random_uniform(3, 8, 6, 0, 50);
+        b.iter(|| {
+            let p = reduction::plan(&g);
+            black_box(reduction::execute(&g, &p).1)
+        });
+    });
+    let pg = build_partition_graph(8, 2, 2);
+    group.bench_function("bottom_up_full_sweep", |b| {
+        b.iter(|| black_box(pg.graph.evaluate(&|_| None).len()));
+    });
+    group.bench_function("top_down_single_goal", |b| {
+        b.iter(|| black_box(topdown::search(&pg.graph, pg.roots[0][0], &|_| None).expanded));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench for E8/E9: the two chain-array mappings versus the
+//! sequential matrix-chain DP (the §6.2 secondary optimization problem).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdp_andor::chain::{build_chain_andor, matrix_chain_order};
+use sdp_andor::serialize::serialize;
+use sdp_core::chain_array::{simulate_chain_array, ChainMapping};
+use sdp_multistage::generate;
+
+fn bench_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain_arrays");
+    group.sample_size(20);
+    for &n in &[16usize, 64] {
+        let dims = generate::random_chain_dims(7, n, 2, 50);
+        group.bench_with_input(BenchmarkId::new("dp", n), &dims, |b, d| {
+            b.iter(|| black_box(matrix_chain_order(d).cost));
+        });
+        group.bench_with_input(BenchmarkId::new("broadcast_array", n), &dims, |b, d| {
+            b.iter(|| black_box(simulate_chain_array(d, ChainMapping::Broadcast).finish));
+        });
+        group.bench_with_input(BenchmarkId::new("pipelined_array", n), &dims, |b, d| {
+            b.iter(|| black_box(simulate_chain_array(d, ChainMapping::Pipelined).finish));
+        });
+        group.bench_with_input(BenchmarkId::new("andor_build_eval", n), &dims, |b, d| {
+            b.iter(|| {
+                let g = build_chain_andor(d);
+                black_box(g.graph.evaluate_node(g.root))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("serialize_fig8", n), &dims, |b, d| {
+            let g = build_chain_andor(d);
+            b.iter(|| black_box(serialize(&g.graph).dummies));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chain);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench for the substrate: sequential DP, matrix-string
+//! products, AND/OR partition evaluation (E7), and the nonserial
+//! elimination of Eq. 40 (E10).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdp_andor::nonserial::TernaryChain;
+use sdp_andor::partition::build_partition_graph;
+use sdp_multistage::{generate, solve};
+use sdp_semiring::{Cost, Matrix};
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sequential_baselines");
+    group.sample_size(20);
+    for &(stages, m) in &[(16usize, 8usize), (64, 16)] {
+        let g = generate::random_uniform(3, stages, m, 0, 1000);
+        group.bench_with_input(
+            BenchmarkId::new("forward_dp", format!("s{stages}_m{m}")),
+            &g,
+            |b, g| b.iter(|| black_box(solve::forward_dp(g).cost)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("matrix_string_product", format!("s{stages}_m{m}")),
+            &g,
+            |b, g| b.iter(|| black_box(Matrix::string_product(g.matrix_string()))),
+        );
+    }
+    group.bench_function("partition_eval_n8_m3_p2", |b| {
+        let pg = build_partition_graph(8, 3, 2);
+        let g = generate::random_uniform(5, 9, 3, 0, 50);
+        let mats = g.matrix_string().to_vec();
+        b.iter(|| black_box(pg.evaluate_on(&mats)));
+    });
+    group.bench_function("ternary_elimination_8x6", |b| {
+        let domains: Vec<Vec<i64>> = (0..8).map(|s| (0..6).map(|j| s * 6 + j).collect()).collect();
+        let chain = TernaryChain::uniform(domains, |x, y, z| {
+            Cost::from((x - y).abs() + (y - z).abs())
+        });
+        b.iter(|| black_box(chain.eliminate().0));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

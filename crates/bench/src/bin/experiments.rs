@@ -1,0 +1,42 @@
+//! Regenerates every table and figure of Wah & Li (1985).
+//!
+//! ```text
+//! experiments [all|e1|e2|e3|fig6|prop1|thm1|thm2|prop2|prop3|eq40|table1|e12]
+//! ```
+
+use sdp_bench::experiments as ex;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let report = match which.as_str() {
+        "all" => ex::run_all(),
+        "e1" => ex::run_e1(),
+        "e2" => ex::run_e2(),
+        "e3" => ex::run_e3(),
+        "e4" | "fig6" => ex::run_fig6(),
+        "e5" | "prop1" => ex::run_prop1(),
+        "e6" | "thm1" => ex::run_thm1(),
+        "e7" | "thm2" => ex::run_thm2(),
+        "e8" | "prop2" => ex::run_prop2(),
+        "e9" | "prop3" => ex::run_prop3(),
+        "e10" | "eq40" => ex::run_eq40(),
+        "e11" | "table1" => ex::run_table1(),
+        "e12" => ex::run_e12(),
+        "e13" | "gkt" => ex::run_e13(),
+        "e14" | "reduction" => ex::run_e14(),
+        "e15" | "topdown" => ex::run_e15(),
+        "e16" | "grouped" => ex::run_e16(),
+        "e17" | "matmul" => ex::run_e17(),
+        "e18" | "bnb" => ex::run_e18(),
+        "e19" | "curve" => ex::run_e19(),
+        "e20" | "edit" => ex::run_e20(),
+        other => {
+            eprintln!(
+                "unknown experiment '{other}'; expected one of: all e1 e2 e3 fig6 \
+                 prop1 thm1 thm2 prop2 prop3 eq40 table1 e12..e20"
+            );
+            std::process::exit(2);
+        }
+    };
+    println!("{report}");
+}

@@ -1,0 +1,742 @@
+//! One function per paper artifact (experiment ids from DESIGN.md).
+
+use crate::text_table;
+use sdp_andor::chain::matrix_chain_order;
+use sdp_andor::nonserial::TernaryChain;
+use sdp_andor::partition::{build_partition_graph, u_p_closed_form};
+use sdp_core::chain_array::{
+    simulate_chain_array, td_recurrence, tp_recurrence, ChainMapping,
+};
+use sdp_core::classify::{table1, Formulation};
+use sdp_core::design1::Design1Array;
+use sdp_core::design2::Design2Array;
+use sdp_core::design3::Design3Array;
+use sdp_core::dnc;
+use sdp_multistage::{generate, solve};
+use sdp_semiring::Cost;
+
+/// E1 — Design 1 (Fig. 3) iteration counts and PU versus Eq. 9.
+pub fn run_e1() -> String {
+    let mut rows = Vec::new();
+    for &(stages, m) in &[(4usize, 3usize), (6, 3), (10, 4), (20, 4), (40, 8), (80, 8)] {
+        let g = generate::random_single_source_sink(9, stages, m, 0, 50);
+        let res = Design1Array::new(m).run(g.matrix_string());
+        let dp = solve::forward_dp(&g);
+        let n_mats = (stages - 1) as u64;
+        let serial = solve::SerialCounts::matrix_string(n_mats, m as u64);
+        let pu = res.paper_pu(serial, m as u64);
+        let eq9 = solve::SerialCounts::eq9_pu(n_mats, m as u64);
+        rows.push(vec![
+            format!("{stages}"),
+            format!("{m}"),
+            format!("{}", res.optimum()),
+            format!("{}", dp.cost),
+            format!("{}", res.paper_iterations),
+            format!("{}", res.cycles),
+            format!("{pu:.4}"),
+            format!("{eq9:.4}"),
+        ]);
+    }
+    format!(
+        "E1: Design 1 (pipelined array, Fig. 3) — N·m iterations, PU per Eq. 9\n{}",
+        text_table(
+            &["stages", "m", "systolic", "dp", "N*m", "cycles", "PU", "Eq9 PU"],
+            &rows
+        )
+    )
+}
+
+/// E2 — Design 2 (Fig. 4, broadcast) equivalence and exact N·m timing.
+pub fn run_e2() -> String {
+    let mut rows = Vec::new();
+    for &(stages, m) in &[(4usize, 3usize), (8, 5), (16, 4), (40, 8)] {
+        let g = generate::random_single_source_sink(11, stages, m, 0, 50);
+        let d1 = Design1Array::new(m).run(g.matrix_string());
+        let d2 = Design2Array::new(m).run(g.matrix_string());
+        let dp = solve::forward_dp(&g);
+        rows.push(vec![
+            format!("{stages}"),
+            format!("{m}"),
+            format!("{}", d2.optimum()),
+            format!("{}", dp.cost),
+            format!("{}", d2.cycles),
+            format!("{}", d1.cycles),
+            format!("{}", d2.broadcast_words),
+        ]);
+    }
+    format!(
+        "E2: Design 2 (broadcast array, Fig. 4) — same results, no skew\n{}",
+        text_table(
+            &["stages", "m", "systolic", "dp", "d2 cycles", "d1 cycles", "bus words"],
+            &rows
+        )
+    )
+}
+
+/// E3 — Design 3 (Fig. 5): (N+1)·m iterations, I/O reduction, paths.
+pub fn run_e3() -> String {
+    let mut rows = Vec::new();
+    for &(n, m) in &[(4usize, 3usize), (6, 4), (10, 5), (20, 8), (40, 8)] {
+        let g = generate::node_value_random(
+            5,
+            n,
+            m,
+            Box::new(sdp_multistage::node_value::AbsDiff),
+            -30,
+            30,
+        );
+        let res = Design3Array::new(m).run(&g);
+        let ms = g.to_multistage();
+        let dp = solve::backward_dp(&ms);
+        let serial = solve::SerialCounts::node_value(n as u64, m as u64);
+        let (node_io, edge_io) = g.io_words();
+        rows.push(vec![
+            format!("{n}"),
+            format!("{m}"),
+            format!("{}", res.cost),
+            format!("{}", dp.cost),
+            format!("{}", res.cycles),
+            format!("{}", (n + 1) * m),
+            format!("{:.4}", res.measured_pu(serial)),
+            format!("{:.4}", solve::SerialCounts::design3_pu(n as u64, m as u64)),
+            format!("{node_io}/{edge_io}"),
+            format!("{}", solve::path_cost(&ms, &res.path) == res.cost),
+        ]);
+    }
+    format!(
+        "E3: Design 3 (node-value array, Fig. 5) — (N+1)·m iterations, path registers\n{}",
+        text_table(
+            &[
+                "N", "m", "systolic", "dp", "cycles", "(N+1)m", "PU", "paper PU",
+                "IO node/edge", "path ok"
+            ],
+            &rows
+        )
+    )
+}
+
+/// E4 — Figure 6: T and K·T² versus K for N = 4096.
+pub fn run_fig6() -> String {
+    let n = 4096u64;
+    let sweep = dnc::granularity_sweep(n, 1024);
+    let mut rows = Vec::new();
+    // Sample the curve plus the paper's highlighted points.
+    let samples: Vec<u64> = vec![
+        1, 2, 4, 8, 16, 32, 64, 128, 200, 256, 300, 341, 372, 399, 409, 431, 455, 465,
+        512, 600, 700, 800, 1000, 1024,
+    ];
+    for &k in &samples {
+        let p = sweep[(k - 1) as usize];
+        rows.push(vec![
+            format!("{k}"),
+            format!("{}", p.t),
+            format!("{}", p.kt2),
+            format!("{:.4}", p.pu),
+        ]);
+    }
+    let (k_star, v_star) = dnc::optimal_granularity(n, 1024);
+    format!(
+        "E4 / Figure 6: divide-and-conquer granularity, N = {n}\n{}\n\
+         global KT^2 minimum: K = {k_star} (KT^2 = {v_star})\n\
+         paper-reported minima: K = 431 (KT^2 = {}), K = 465 (KT^2 = {})\n\
+         N/log2(N) = {:.0}\n",
+        text_table(&["K", "T", "K*T^2", "PU(sim)"], &rows),
+        sweep[430].kt2,
+        sweep[464].kt2,
+        n as f64 / (n as f64).log2()
+    )
+}
+
+/// E5 — Proposition 1: PU(c·N/log₂N, N) → 1/(1+c).
+pub fn run_prop1() -> String {
+    let mut rows = Vec::new();
+    for &c in &[0.25f64, 0.5, 1.0, 2.0, 4.0] {
+        let limit = 1.0 / (1.0 + c);
+        let mut cells = vec![format!("{c}")];
+        for &exp in &[10u32, 14, 18, 22] {
+            let pu = dnc::pu_asymptotic(1 << exp, c);
+            cells.push(format!("{pu:.4}"));
+        }
+        cells.push(format!("{limit:.4}"));
+        rows.push(cells);
+    }
+    format!(
+        "E5 / Proposition 1: PU(k = c*N/log2N) converges to 1/(1+c)\n{}",
+        text_table(
+            &["c", "N=2^10", "N=2^14", "N=2^18", "N=2^22", "limit 1/(1+c)"],
+            &rows
+        )
+    )
+}
+
+/// E6 — Theorem 1: S·T² versus S, minimized at Θ(N/log₂N).
+pub fn run_thm1() -> String {
+    let mut rows = Vec::new();
+    for &n in &[1024u64, 4096, 16384] {
+        let ideal = (n as f64 / (n as f64).log2()) as u64;
+        let bound = dnc::at2_lower_bound(n);
+        for &mult in &[0.125f64, 0.5, 1.0, 2.0, 8.0] {
+            let s = ((ideal as f64 * mult) as u64).max(1);
+            let v = dnc::st2(n, s);
+            rows.push(vec![
+                format!("{n}"),
+                format!("{s}"),
+                format!("{mult}x"),
+                format!("{v}"),
+                format!("{:.2}", v as f64 / bound),
+            ]);
+        }
+    }
+    format!(
+        "E6 / Theorem 1: S*T^2 vs S (ratio to the N*log2N lower bound)\n{}",
+        text_table(&["N", "S", "S/(N/log2N)", "S*T^2", "ratio"], &rows)
+    )
+}
+
+/// E7 — Theorem 2: u(p) measured vs Eq. 32, minimal at p = 2.
+pub fn run_thm2() -> String {
+    let mut rows = Vec::new();
+    for &m in &[2u64, 3, 4, 5] {
+        for &p in &[2u64, 3, 4] {
+            // measured on a small power-of-p instance
+            let n_small = p.pow(2);
+            let measured = if m.pow(p as u32 + 1) * n_small <= 100_000 {
+                let pg = build_partition_graph(n_small as usize, m as usize, p as usize);
+                format!("{}", pg.node_count())
+            } else {
+                "-".to_string()
+            };
+            rows.push(vec![
+                format!("{m}"),
+                format!("{p}"),
+                format!("{n_small}"),
+                measured,
+                format!("{}", u_p_closed_form(n_small, m, p)),
+                format!("{}", u_p_closed_form(4096, m, p)),
+            ]);
+        }
+    }
+    format!(
+        "E7 / Theorem 2: AND/OR-graph node count u(p); binary partition optimal\n{}",
+        text_table(
+            &["m", "p", "N(small)", "u measured", "u Eq.32", "u Eq.32 @N=4096"],
+            &rows
+        )
+    )
+}
+
+/// E8 — Proposition 2: broadcast chain array finishes in T_d(N) = N.
+pub fn run_prop2() -> String {
+    let mut rows = Vec::new();
+    for &n in &[1usize, 2, 4, 8, 16, 32, 64] {
+        let dims = generate::random_chain_dims(3, n, 2, 20);
+        let res = simulate_chain_array(&dims, ChainMapping::Broadcast);
+        let dp = matrix_chain_order(&dims);
+        rows.push(vec![
+            format!("{n}"),
+            format!("{}", res.finish),
+            format!("{}", td_recurrence(n as u64)),
+            format!("{n}"),
+            format!("{}", res.cost == dp.cost),
+        ]);
+    }
+    format!(
+        "E8 / Proposition 2: broadcast AND/OR mapping, T_d(N) = N\n{}",
+        text_table(&["N", "sim steps", "recurrence", "closed form", "cost ok"], &rows)
+    )
+}
+
+/// E9 — Proposition 3: serialized pipeline finishes in T_p(N) = 2N.
+pub fn run_prop3() -> String {
+    let mut rows = Vec::new();
+    for &n in &[1usize, 2, 4, 8, 16, 32, 64] {
+        let dims = generate::random_chain_dims(4, n, 2, 20);
+        let res = simulate_chain_array(&dims, ChainMapping::Pipelined);
+        let dp = matrix_chain_order(&dims);
+        rows.push(vec![
+            format!("{n}"),
+            format!("{}", res.finish),
+            format!("{}", tp_recurrence(n as u64)),
+            format!("{}", 2 * n),
+            format!("{}", res.cost == dp.cost),
+        ]);
+    }
+    format!(
+        "E9 / Proposition 3: serialized (Fig. 8) mapping, T_p(N) = 2N\n{}",
+        text_table(&["N", "sim steps", "recurrence", "closed form", "cost ok"], &rows)
+    )
+}
+
+/// E10 — Eq. 40: step count of monadic-nonserial variable elimination.
+pub fn run_eq40() -> String {
+    let mut rows = Vec::new();
+    let shapes: &[&[usize]] = &[
+        &[3, 3, 3, 3],
+        &[2, 3, 4, 3, 2],
+        &[4, 4, 4, 4, 4, 4],
+        &[2, 5, 2, 5, 2],
+    ];
+    for (i, sizes) in shapes.iter().enumerate() {
+        let mut seed = i as i64 + 1;
+        let domains: Vec<Vec<i64>> = sizes
+            .iter()
+            .map(|&s| {
+                (0..s)
+                    .map(|_| {
+                        seed = (seed * 31 + 7) % 97;
+                        seed
+                    })
+                    .collect()
+            })
+            .collect();
+        let chain = TernaryChain::uniform(domains, |a, b, c| {
+            Cost::from((a - b).abs() + (b - c).abs())
+        });
+        let (cost, steps) = chain.eliminate();
+        let (bf, _) = chain.brute_force();
+        let serial = chain.group_to_serial();
+        let dp = solve::forward_dp(&serial);
+        rows.push(vec![
+            format!("{sizes:?}"),
+            format!("{steps}"),
+            format!("{}", chain.eq40_steps()),
+            format!("{cost}"),
+            format!("{}", cost == bf && dp.cost == bf),
+        ]);
+    }
+    format!(
+        "E10 / Eq. 40: monadic-nonserial elimination step counts\n{}",
+        text_table(
+            &["domain sizes", "steps", "Eq.40", "optimum", "oracle ok"],
+            &rows
+        )
+    )
+}
+
+/// E11 — Table 1: classification of four representative problems and the
+/// recommended method, demonstrated end-to-end.
+pub fn run_table1() -> String {
+    let mut out = String::from("E11 / Table 1: formulation -> suitable method\n");
+    let mut rows = Vec::new();
+    for class in Formulation::ALL {
+        let r = table1(class);
+        rows.push(vec![
+            class.to_string(),
+            r.characteristic.to_string(),
+            r.method.to_string(),
+            r.requirements.to_string(),
+        ]);
+    }
+    out.push_str(&text_table(
+        &["formulation", "characteristic", "suitable method", "requirements"],
+        &rows,
+    ));
+    out.push_str("\nEnd-to-end demonstrations:\n");
+    // monadic-serial: Design 3 on a traffic problem
+    let g = generate::traffic_light(1, 6, 4);
+    let d3 = Design3Array::new(4).run(&g);
+    out.push_str(&format!(
+        "  monadic-serial      traffic-light timing, Design 3: cost {} in {} cycles\n",
+        d3.cost, d3.cycles
+    ));
+    // polyadic-serial: D&C with the optimal granularity
+    let sched = dnc::schedule(4096, 399);
+    out.push_str(&format!(
+        "  polyadic-serial     N=4096 matrix string on K=399 arrays: {} rounds, PU {:.3}\n",
+        sched.rounds,
+        sched.processor_utilization()
+    ));
+    // monadic-nonserial: grouping transform
+    let chain = TernaryChain::uniform(
+        vec![vec![0, 2, 5], vec![1, 3, 4], vec![0, 6, 7], vec![2, 3, 9]],
+        |a, b, c| Cost::from((a - b).abs() + (b - c).abs()),
+    );
+    let serial = chain.group_to_serial();
+    let dp = solve::forward_dp(&serial);
+    out.push_str(&format!(
+        "  monadic-nonserial   ternary chain grouped to serial: cost {} over {} compound stages\n",
+        dp.cost,
+        serial.num_stages()
+    ));
+    // polyadic-nonserial: chain array
+    let dims = [30u64, 35, 15, 5, 10, 20, 25];
+    let res = simulate_chain_array(&dims, ChainMapping::Pipelined);
+    out.push_str(&format!(
+        "  polyadic-nonserial  matrix-chain ordering (CLRS dims): cost {} in {} steps (2N = {})\n",
+        res.cost,
+        res.finish,
+        2 * (dims.len() - 1)
+    ));
+    out
+}
+
+/// E12 — real-thread divide-and-conquer speedup.
+pub fn run_e12() -> String {
+    use std::time::Instant;
+    let n = 256usize;
+    let m = 48usize;
+    let g = generate::random_uniform(13, n + 1, m, 0, 1000);
+    let mats = g.matrix_string();
+    let t0 = Instant::now();
+    let seq = sdp_semiring::Matrix::string_product(mats);
+    let seq_time = t0.elapsed();
+    let mut rows = Vec::new();
+    for &k in &[1usize, 2, 4, 8] {
+        let ex = dnc::ParallelExecutor::new(k);
+        let t0 = Instant::now();
+        let (par, rounds) = ex.multiply_string(mats);
+        let el = t0.elapsed();
+        assert_eq!(par, seq);
+        rows.push(vec![
+            format!("{k}"),
+            format!("{rounds}"),
+            format!("{:.1}", el.as_secs_f64() * 1e3),
+            format!("{:.2}", seq_time.as_secs_f64() / el.as_secs_f64()),
+        ]);
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    format!(
+        "E12: threaded divide-and-conquer executor (N={n} matrices of {m}x{m})\n\
+         sequential right-fold: {:.1} ms; host cores: {cores}\n\
+         (schedule length shrinks as N/K + log K per Eq. 30; wall-clock\n\
+         speedup additionally requires >= K physical cores)\n{}",
+        seq_time.as_secs_f64() * 1e3,
+        text_table(&["K", "rounds", "ms", "vs seq"], &rows)
+    )
+}
+
+/// E13 (extension) — ablation: the clocked Guibas–Kung–Thompson
+/// triangular array versus the analytic chain mappings, and the effect
+/// of retiring one vs two alternatives per cell per cycle.
+pub fn run_e13() -> String {
+    use sdp_core::gkt::GktArray;
+    let mut rows = Vec::new();
+    for &n in &[4usize, 8, 16, 32, 64] {
+        let dims = generate::random_chain_dims(21, n, 2, 20);
+        let bc = simulate_chain_array(&dims, ChainMapping::Broadcast);
+        let pl = simulate_chain_array(&dims, ChainMapping::Pipelined);
+        let g2 = GktArray::new(2).run(&dims);
+        let g1 = GktArray::new(1).run(&dims);
+        assert_eq!(g2.cost, bc.cost);
+        rows.push(vec![
+            format!("{n}"),
+            format!("{}", bc.finish),
+            format!("{}", pl.finish),
+            format!("{}", g2.finish),
+            format!("{}", g1.finish),
+            format!("{}", g2.messages),
+            format!("{}", g2.operations),
+        ]);
+    }
+    format!(
+        "E13 (ablation): clocked GKT triangular array vs analytic mappings\n{}",
+        text_table(
+            &["N", "T_d (=N)", "T_p (=2N)", "GKT 2ops", "GKT 1op", "GKT msgs", "GKT ops"],
+            &rows
+        )
+    )
+}
+
+/// E14 (extension) — the secondary optimization problem: optimal
+/// stage-reduction order for irregular multistage graphs vs the naive
+/// left-to-right sweep.
+pub fn run_e14() -> String {
+    use sdp_andor::reduction;
+    let mut rows = Vec::new();
+    let profiles: &[(&str, &[u64])] = &[
+        ("uniform", &[6, 6, 6, 6, 6, 6]),
+        ("wide middle", &[2, 40, 2, 40, 2]),
+        ("narrow middle", &[40, 2, 40, 2, 40]),
+        ("descending", &[32, 16, 8, 4, 2]),
+        ("CLRS", &[30, 35, 15, 5, 10, 20, 25]),
+    ];
+    for (name, widths) in profiles {
+        let p = reduction::plan_for_widths(widths);
+        rows.push(vec![
+            name.to_string(),
+            format!("{widths:?}"),
+            format!("{}", p.naive_ops),
+            format!("{}", p.optimal_ops),
+            format!("{:.2}x", p.saving()),
+            p.chain.parenthesization(),
+        ]);
+    }
+    format!(
+        "E14 (extension / §4 end): optimal stage-reduction order (secondary optimization)\n{}",
+        text_table(
+            &["profile", "stage widths", "naive ops", "optimal ops", "saving", "order"],
+            &rows
+        )
+    )
+}
+
+/// E15 (extension) — top-down memoized AND/OR search vs bottom-up
+/// breadth-first: nodes expanded when only one goal is needed.
+pub fn run_e15() -> String {
+    use sdp_andor::partition::build_partition_graph;
+    use sdp_andor::topdown;
+    let mut rows = Vec::new();
+    for &(n, m) in &[(4usize, 2usize), (8, 2), (4, 3), (16, 2)] {
+        let pg = build_partition_graph(n, m, 2);
+        let total = pg.graph.len();
+        let td = topdown::search(&pg.graph, pg.roots[0][0], &|_| None);
+        rows.push(vec![
+            format!("{n}"),
+            format!("{m}"),
+            format!("{total}"),
+            format!("{}", td.expanded),
+            format!("{:.1}%", 100.0 * td.expanded as f64 / total as f64),
+        ]);
+    }
+    format!(
+        "E15 (extension / §5): top-down memoized search touches only the goal's subgraph\n{}",
+        text_table(
+            &["N", "m", "bottom-up nodes", "top-down expanded", "fraction"],
+            &rows
+        )
+    )
+}
+
+/// E16 (extension / §6.1 end) — grouped monadic-nonserial problems on
+/// the Design 1 array: serial-work blowup vs parallel-time speedup.
+pub fn run_e16() -> String {
+    use sdp_andor::nonserial::TernaryChain;
+    use sdp_core::nonserial_array::run_grouped;
+    let mut rows = Vec::new();
+    for &(n, m) in &[(4usize, 2usize), (6, 3), (8, 3), (8, 4), (12, 4)] {
+        let domains: Vec<Vec<i64>> = (0..n)
+            .map(|s| (0..m).map(|j| ((s + 1) * (j + 2)) as i64 % 13).collect())
+            .collect();
+        let chain = TernaryChain::uniform(domains, |a, b, c| {
+            Cost::from((a - b).abs() + (b - c).abs())
+        });
+        let run = run_grouped(&chain);
+        rows.push(vec![
+            format!("{n}"),
+            format!("{m}"),
+            format!("{}", run.grouped_m),
+            format!("{}", run.elimination_steps),
+            format!("{}", run.array_cycles),
+            format!("{:.2}x", run.work_blowup()),
+            format!("{:.2}x", run.speedup()),
+            format!("{}", run.cost),
+        ]);
+    }
+    format!(
+        "E16 (extension / §6.1): grouping transform on the Design 1 array\n\
+         (\"more operations are needed ... but the potential parallelism is higher\")\n{}",
+        text_table(
+            &["N", "m", "m'=m^2", "elim steps", "array cycles", "work blowup", "speedup", "cost"],
+            &rows
+        )
+    )
+}
+
+/// E17 (extension / §4) — Eq. 29 restated in *real cycles*: `T₁` taken
+/// from the clocked matrix-multiply mesh (`3m − 2`), and the full
+/// D&C reduction executed on array simulations.
+pub fn run_e17() -> String {
+    use sdp_core::matmul_array::MatmulArray;
+    let mut rows = Vec::new();
+    let n = 32u64;
+    for &m in &[2usize, 4, 8] {
+        let g = generate::random_uniform(3, n as usize + 1, m, 0, 50);
+        let t1 = MatmulArray::t1(m, m, m);
+        for &k in &[1u64, 4, 16] {
+            let (prod, cycles) = MatmulArray::multiply_string_dnc(g.matrix_string(), k);
+            assert_eq!(prod, sdp_semiring::Matrix::string_product(g.matrix_string()));
+            let eq29_cycles = sdp_systolic::scheduler::eq29_time(n, k) * t1;
+            rows.push(vec![
+                format!("{m}"),
+                format!("{k}"),
+                format!("{t1}"),
+                format!("{cycles}"),
+                format!("{eq29_cycles}"),
+            ]);
+        }
+    }
+    format!(
+        "E17 (extension / §4): D&C over clocked matmul meshes, N = {n} matrices\n\
+         (T1 = 3m-2 cycles from the Kung array; schedule = greedy rounds vs Eq. 29)\n{}",
+        text_table(&["m", "K", "T1 cycles", "measured cycles", "Eq29 x T1"], &rows)
+    )
+}
+
+/// E18 (extension / §1) — DP as branch-and-bound with dominance tests:
+/// node expansions with and without the dominance rule.
+pub fn run_e18() -> String {
+    use sdp_multistage::bnb::{search, BnbConfig};
+    let mut rows = Vec::new();
+    for &(stages, m) in &[(4usize, 3usize), (6, 4), (8, 4), (6, 6)] {
+        let g = generate::random_uniform(5, stages, m, 1, 40);
+        let full = search(&g, BnbConfig::default());
+        let no_dom = search(
+            &g,
+            BnbConfig {
+                dominance: false,
+                bounding: true,
+            },
+        );
+        let none = search(
+            &g,
+            BnbConfig {
+                dominance: false,
+                bounding: false,
+            },
+        );
+        assert_eq!(full.cost, none.cost);
+        rows.push(vec![
+            format!("{stages}"),
+            format!("{m}"),
+            format!("{}", full.expanded),
+            format!("{}", no_dom.expanded),
+            format!("{}", none.expanded),
+            format!("{}", full.dominated),
+            format!("{}", g.num_vertices()),
+        ]);
+    }
+    format!(
+        "E18 (extension / §1): branch-and-bound OR-tree search with dominance tests\n\
+         (dominance + best-first == the DP table: expansions <= vertices)\n{}",
+        text_table(
+            &["stages", "m", "expand(dom+bound)", "expand(bound)", "expand(none)", "dominated", "vertices"],
+            &rows
+        )
+    )
+}
+
+/// E19 (extension / ref. \[9\]) — curve detection by DP: accuracy vs
+/// noise level, with the systolic array agreeing with sequential DP.
+pub fn run_e19() -> String {
+    use sdp_multistage::curve::{CurveConfig, SyntheticImage};
+    let mut rows = Vec::new();
+    for &noise in &[0i64, 50, 95, 110, 140, 200] {
+        let mut acc_sum = 0.0;
+        let trials = 10;
+        let mut systolic_ok = true;
+        for seed in 0..trials {
+            let img = SyntheticImage::generate(seed, 48, 12, 100, noise);
+            let cfg = CurveConfig::default();
+            let det = img.detect(cfg);
+            acc_sum += img.accuracy(&det.rows, 1);
+            let g = img.to_multistage(cfg);
+            let d1 = Design1Array::new(12).run(g.matrix_string());
+            systolic_ok &= d1.values.iter().copied().fold(Cost::INF, Cost::min) == det.cost;
+        }
+        rows.push(vec![
+            format!("{noise}"),
+            format!("{:.1}%", 100.0 * acc_sum / trials as f64),
+            format!("{systolic_ok}"),
+        ]);
+    }
+    format!(
+        "E19 (extension / ref [9], Clarke-Dyer): DP curve detection vs noise\n\
+         (signal magnitude 100; accuracy within 1 row, 10 trials each)\n{}",
+        text_table(&["noise ceiling", "mean accuracy", "systolic == dp"], &rows)
+    )
+}
+
+/// E20 (extension / ref. \[23\]) — wavefront sequence comparison on the
+/// 2-D mesh: p+q−1 cycles, one anti-diagonal active per cycle.
+pub fn run_e20() -> String {
+    use sdp_core::edit_array::{edit_distance_mesh, edit_distance_seq};
+    let mut rows = Vec::new();
+    let cases: &[(&[u8], &[u8])] = &[
+        (b"kitten", b"sitting"),
+        (b"dynamic", b"systolic"),
+        (b"parallelism", b"pipeline"),
+        (b"aaaaaaaaaaaa", b"aaabaaaaacaa"),
+    ];
+    for (a, b) in cases {
+        let run = edit_distance_mesh(a, b);
+        let seq = edit_distance_seq(a, b);
+        assert_eq!(run.distance, seq);
+        rows.push(vec![
+            format!("{}", String::from_utf8_lossy(a)),
+            format!("{}", String::from_utf8_lossy(b)),
+            format!("{}", run.distance),
+            format!("{}", run.cycles),
+            format!("{}", a.len() + b.len() - 1),
+            format!("{:.3}", run.stats.utilization().overall),
+        ]);
+    }
+    format!(
+        "E20 (extension / ref [23], Ney): wavefront edit distance on the mesh\n{}",
+        text_table(
+            &["a", "b", "distance", "cycles", "p+q-1", "utilization"],
+            &rows
+        )
+    )
+}
+
+/// Runs every experiment in order, concatenating reports.
+pub fn run_all() -> String {
+    [
+        run_e1(),
+        run_e2(),
+        run_e3(),
+        run_fig6(),
+        run_prop1(),
+        run_thm1(),
+        run_thm2(),
+        run_prop2(),
+        run_prop3(),
+        run_eq40(),
+        run_table1(),
+        run_e12(),
+        run_e13(),
+        run_e14(),
+        run_e15(),
+        run_e16(),
+        run_e17(),
+        run_e18(),
+        run_e19(),
+        run_e20(),
+    ]
+    .join("\n\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_reports_matching_costs() {
+        let r = run_e1();
+        assert!(r.contains("Eq. 9"));
+        // systolic and dp columns must agree: spot-check via absence of
+        // mismatch markers is weak, so re-verify directly:
+        let g = generate::random_single_source_sink(9, 10, 4, 0, 50);
+        let res = Design1Array::new(4).run(g.matrix_string());
+        assert_eq!(res.optimum(), solve::forward_dp(&g).cost);
+    }
+
+    #[test]
+    fn fig6_report_contains_minimum() {
+        let r = run_fig6();
+        assert!(r.contains("global KT^2 minimum"));
+        assert!(r.contains("N/log2(N)"));
+    }
+
+    #[test]
+    fn prop_reports_match_closed_forms() {
+        assert!(run_prop2().contains("cost ok"));
+        assert!(run_prop3().contains("2N"));
+    }
+
+    #[test]
+    fn table1_lists_all_classes() {
+        let r = run_table1();
+        for c in ["monadic-serial", "polyadic-serial", "monadic-nonserial", "polyadic-nonserial"] {
+            assert!(r.contains(c), "{c} missing");
+        }
+    }
+
+    #[test]
+    fn eq40_oracle_ok() {
+        let r = run_eq40();
+        assert!(!r.contains("false"), "an oracle check failed:\n{r}");
+    }
+}

@@ -1,0 +1,14 @@
+//! Experiment implementations shared by the `experiments` binary and the
+//! Criterion benches.
+//!
+//! Each `run_*` function regenerates one table/figure/claim of Wah & Li
+//! (1985) and returns its rows as plain data; [`text_table`] renders them
+//! for the terminal.  The experiment ids (E1…E12) match DESIGN.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use table::text_table;

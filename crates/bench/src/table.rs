@@ -1,0 +1,70 @@
+//! Minimal fixed-width text-table rendering for experiment reports.
+
+/// Renders rows as a fixed-width table with a header line.
+///
+/// ```
+/// let t = sdp_bench::text_table(
+///     &["n", "value"],
+///     &[vec!["1".into(), "10".into()], vec!["2".into(), "400".into()]],
+/// );
+/// assert!(t.contains("n  value"));
+/// ```
+pub fn text_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut width = vec![0usize; cols];
+    for (i, h) in headers.iter().enumerate() {
+        width[i] = h.len();
+    }
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            width[i] = width[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<&str>, width: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            line.push_str(&format!("{:<w$}", c, w = width[i]));
+            if i + 1 < cells.len() {
+                line.push_str("  ");
+            }
+        }
+        line.trim_end().to_string()
+    };
+    out.push_str(&fmt_row(headers.to_vec(), &width));
+    out.push('\n');
+    out.push_str(&"-".repeat(width.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.iter().map(|s| s.as_str()).collect(), &width));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_alignment() {
+        let t = text_table(
+            &["k", "kt2"],
+            &[
+                vec!["1".into(), "100".into()],
+                vec!["999".into(), "5".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines[0], "k    kt2");
+        assert_eq!(lines[2], "1    100");
+        assert_eq!(lines[3], "999  5");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let _ = text_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+}

@@ -1,0 +1,258 @@
+//! Processor arrays for the matrix-chain AND/OR-graph (§6.2).
+//!
+//! The chain problem's AND/OR-graph (Fig. 2) maps onto processors two
+//! ways, and the paper proves the timing of each:
+//!
+//! * **Direct broadcast mapping** — one processor per subchain `m_{i,j}`,
+//!   connected by multiple broadcast busses.  A processor performs "two
+//!   additions and two comparisons" per step (two alternatives), and a
+//!   subproblem of size `k` completes ⌊k/2⌋ steps after its
+//!   size-⌈k/2⌉ inputs: `T_d(k) = T_d(⌈k/2⌉) + ⌊k/2⌋`, whose solution is
+//!   **`T_d(N) = N`** (Proposition 2, Eq. 42).
+//! * **Serialized pipelined mapping** — the graph is first made serial
+//!   with dummy nodes (Fig. 8); results now take one time unit per level
+//!   to travel, adding ⌊k/2⌋ transfer time:
+//!   `T_p(k) = T_p(⌈k/2⌉) + 2⌊k/2⌋` with `T_p(1) = 2`, whose solution is
+//!   **`T_p(N) = 2N`** (Proposition 3, Eq. 43) — the structure of
+//!   Guibas–Kung–Thompson's parenthesization array.
+//!
+//! Both are *simulated* here at alternative granularity (not just the
+//! closed recurrences), so the propositions are verified against an
+//! executable model that also yields the DP values themselves.
+
+use sdp_semiring::Cost;
+
+/// Result of simulating one of the chain arrays.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChainArrayResult {
+    /// Optimal chain cost `m_{1,N}` computed by the array.
+    pub cost: Cost,
+    /// Completion step of the root processor (the measured `T`).
+    pub finish: u64,
+    /// Completion step of every subchain processor: `done[i][j]`.
+    pub done: Vec<Vec<u64>>,
+    /// Total processor-steps spent busy (2 alternatives per step max).
+    pub busy_steps: u64,
+}
+
+/// The closed recurrence `T_d(k) = T_d(⌈k/2⌉) + ⌊k/2⌋`, `T_d(1) = 1`.
+pub fn td_recurrence(k: u64) -> u64 {
+    if k <= 1 {
+        1
+    } else {
+        td_recurrence(k.div_ceil(2)) + k / 2
+    }
+}
+
+/// The closed recurrence `T_p(k) = T_p(⌈k/2⌉) + 2⌊k/2⌋`, `T_p(1) = 2`.
+pub fn tp_recurrence(k: u64) -> u64 {
+    if k <= 1 {
+        2
+    } else {
+        tp_recurrence(k.div_ceil(2)) + 2 * (k / 2)
+    }
+}
+
+/// Communication model for the two mappings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChainMapping {
+    /// Broadcast busses: results are visible to every processor the step
+    /// after they complete (Prop. 2).
+    Broadcast,
+    /// Serialized pipeline: a result produced by a size-`c` subchain
+    /// reaches a size-`s` parent only after `s − c` transfer steps
+    /// through the Fig. 8 dummy levels (Prop. 3).
+    Pipelined,
+}
+
+/// Simulates the chain array on `dims` (`r₀ … r_N`) under `mapping` —
+/// the matrix-chain instance of [`simulate_chain_problem`].
+pub fn simulate_chain_array(dims: &[u64], mapping: ChainMapping) -> ChainArrayResult {
+    assert!(dims.len() >= 2, "need at least one matrix");
+    simulate_chain_problem(&crate::chain_problem::MatrixChain { dims }, mapping)
+}
+
+/// Simulates the chain array on any chain-structured polyadic DP
+/// (§6.2 generality: the array solves optimal parenthesization, not just
+/// matrix chains).
+///
+/// Every subchain `(i, j)` is a processor holding an OR accumulation over
+/// its `j−i` split alternatives; an alternative `k` becomes *ready* when
+/// both operand results have arrived, and each processor retires at most
+/// **two** alternatives per step (the paper's "two additions and two
+/// comparisons ... in each step").
+pub fn simulate_chain_problem(
+    problem: &impl crate::chain_problem::ChainProblem,
+    mapping: ChainMapping,
+) -> ChainArrayResult {
+    let n = problem.n();
+    assert!(n >= 1, "need at least one leaf");
+    let leaf_done = match mapping {
+        ChainMapping::Broadcast => 1,
+        ChainMapping::Pipelined => 2,
+    };
+    let mut done = vec![vec![0u64; n]; n];
+    let mut cost = vec![vec![Cost::INF; n]; n];
+    let mut busy_steps = 0u64;
+    for i in 0..n {
+        done[i][i] = leaf_done;
+        cost[i][i] = problem.leaf_cost(i);
+    }
+    for len in 2..=n {
+        for i in 0..=n - len {
+            let j = i + len - 1;
+            // Alternative readiness: arrival time of the later operand.
+            let mut alts: Vec<(u64, usize)> = (i..j)
+                .map(|k| {
+                    let (dl, dr) = (done[i][k], done[k + 1][j]);
+                    let arrive = match mapping {
+                        ChainMapping::Broadcast => dl.max(dr),
+                        ChainMapping::Pipelined => {
+                            let sl = (k - i + 1) as u64;
+                            let sr = (j - k) as u64;
+                            let s = len as u64;
+                            (dl + (s - sl)).max(dr + (s - sr))
+                        }
+                    };
+                    (arrive, k)
+                })
+                .collect();
+            alts.sort_unstable();
+            // Retire up to two alternatives per step; an alternative that
+            // arrived at step r is processable from step r+1.
+            let mut t = 0u64;
+            let mut best = Cost::INF;
+            let mut idx = 0usize;
+            while idx < alts.len() {
+                let (arrive, _) = alts[idx];
+                t = t.max(arrive) + 1;
+                for _ in 0..2 {
+                    if idx >= alts.len() || alts[idx].0 >= t {
+                        break;
+                    }
+                    let k = alts[idx].1;
+                    let local = problem.combine_cost(i, k, j);
+                    best = best.min(cost[i][k] + cost[k + 1][j] + local);
+                    idx += 1;
+                }
+                busy_steps += 1;
+            }
+            done[i][j] = t;
+            cost[i][j] = best;
+        }
+    }
+    ChainArrayResult {
+        cost: cost[0][n - 1],
+        finish: done[0][n - 1],
+        done,
+        busy_steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdp_andor::chain::matrix_chain_order;
+
+    #[test]
+    fn td_closed_form_is_n() {
+        // Proposition 2: T_d(N) = N.
+        for n in 1..=200u64 {
+            assert_eq!(td_recurrence(n), n, "n={n}");
+        }
+    }
+
+    #[test]
+    fn tp_closed_form_is_2n() {
+        // Proposition 3: T_p(N) = 2N.
+        for n in 1..=200u64 {
+            assert_eq!(tp_recurrence(n), 2 * n, "n={n}");
+        }
+    }
+
+    #[test]
+    fn broadcast_simulation_finishes_in_n_steps() {
+        for n in 1usize..=32 {
+            let dims: Vec<u64> = (0..=n).map(|i| 2 + (i as u64 % 5)).collect();
+            let res = simulate_chain_array(&dims, ChainMapping::Broadcast);
+            assert_eq!(res.finish, n as u64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn pipelined_simulation_finishes_in_2n_steps() {
+        for n in 1usize..=32 {
+            let dims: Vec<u64> = (0..=n).map(|i| 2 + (i as u64 % 7)).collect();
+            let res = simulate_chain_array(&dims, ChainMapping::Pipelined);
+            assert_eq!(res.finish, 2 * n as u64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn both_mappings_compute_the_dp_optimum() {
+        let cases: &[&[u64]] = &[
+            &[30, 35, 15, 5, 10, 20, 25],
+            &[2, 3, 4],
+            &[5, 4, 6, 2, 7],
+            &[7, 3],
+        ];
+        for dims in cases {
+            let want = matrix_chain_order(dims).cost;
+            for mapping in [ChainMapping::Broadcast, ChainMapping::Pipelined] {
+                let res = simulate_chain_array(dims, mapping);
+                assert_eq!(res.cost, want, "{dims:?} {mapping:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_exactly_doubles_broadcast() {
+        for n in [4usize, 9, 17] {
+            let dims: Vec<u64> = (0..=n).map(|i| 1 + (i as u64 % 9)).collect();
+            let b = simulate_chain_array(&dims, ChainMapping::Broadcast);
+            let p = simulate_chain_array(&dims, ChainMapping::Pipelined);
+            assert_eq!(p.finish, 2 * b.finish);
+        }
+    }
+
+    #[test]
+    fn subproblem_completion_times_match_size() {
+        // done(i,j) depends only on the subchain size (regular structure).
+        let dims: Vec<u64> = (0..=8).map(|i| 2 + (i % 3)).collect();
+        let res = simulate_chain_array(&dims, ChainMapping::Broadcast);
+        for i in 0..8 {
+            for j in i..8 {
+                let size = (j - i + 1) as u64;
+                assert_eq!(res.done[i][j], size, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_tree_runs_on_the_same_array() {
+        use crate::chain_problem::{ChainProblem, MergeTree};
+        let freq = [12u64, 3, 25, 7, 18, 4];
+        let p = MergeTree::new(&freq);
+        for mapping in [ChainMapping::Broadcast, ChainMapping::Pipelined] {
+            let res = simulate_chain_problem(&p, mapping);
+            assert_eq!(res.cost, p.solve_dp(), "{mapping:?}");
+        }
+        // Same timing laws: the array doesn't care about the weights.
+        let res = simulate_chain_problem(&p, ChainMapping::Broadcast);
+        assert_eq!(res.finish, freq.len() as u64);
+    }
+
+    #[test]
+    fn busy_steps_are_bounded_by_alternatives() {
+        // Each step retires up to 2 alternatives; total alternatives for
+        // size n chain = sum over subchains of (len-1) = n(n-1)(n+1)/6.
+        let n = 10usize;
+        let dims: Vec<u64> = (0..=n).map(|_| 3).collect();
+        let res = simulate_chain_array(&dims, ChainMapping::Broadcast);
+        let alternatives: u64 = (2..=n as u64)
+            .map(|len| (len - 1) * (n as u64 - len + 1))
+            .sum();
+        assert!(res.busy_steps >= alternatives / 2);
+        assert!(res.busy_steps <= alternatives);
+    }
+}

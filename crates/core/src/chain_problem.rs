@@ -1,0 +1,164 @@
+//! A generic interface for chain-structured polyadic DP problems.
+//!
+//! The paper's chain arrays (§6.2) are presented for matrix-chain
+//! ordering, but Guibas–Kung–Thompson's array solves *optimal
+//! parenthesization* generally: any recurrence of the shape
+//!
+//! ```text
+//! m[i][j] = leaf(i)                                   if i = j
+//! m[i][j] = min_{i<=k<j} m[i][k] + m[k+1][j] + w(i,k,j)   otherwise
+//! ```
+//!
+//! runs on the same hardware.  [`ChainProblem`] captures that shape;
+//! [`crate::chain_array`] and [`crate::gkt`] accept any implementation,
+//! so the optimal binary search tree (the paper's other §2.1 polyadic
+//! example) is solved by the *same arrays* as the matrix chain.
+
+// Grid/stage updates read clearer with explicit indices.
+#![allow(clippy::needless_range_loop)]
+use sdp_semiring::Cost;
+
+/// A chain-structured polyadic DP instance of size `n`.
+pub trait ChainProblem {
+    /// Number of leaves (matrices / keys) `N ≥ 1`.
+    fn n(&self) -> usize;
+
+    /// Value of the trivial subchain `[i, i]`.
+    fn leaf_cost(&self, i: usize) -> Cost;
+
+    /// The combination weight `w(i, k, j)` added when `[i, j]` is split
+    /// at `k` (0-based, `i ≤ k < j`).
+    fn combine_cost(&self, i: usize, k: usize, j: usize) -> Cost;
+
+    /// Reference sequential solution — the oracle all arrays are checked
+    /// against.
+    fn solve_dp(&self) -> Cost {
+        let n = self.n();
+        let mut cost = vec![vec![Cost::ZERO; n]; n];
+        for i in 0..n {
+            cost[i][i] = self.leaf_cost(i);
+        }
+        for len in 2..=n {
+            for i in 0..=n - len {
+                let j = i + len - 1;
+                let mut best = Cost::INF;
+                for k in i..j {
+                    best = best.min(cost[i][k] + cost[k + 1][j] + self.combine_cost(i, k, j));
+                }
+                cost[i][j] = best;
+            }
+        }
+        cost[0][n - 1]
+    }
+}
+
+/// Matrix-chain ordering (Eq. 6): `dims` is `r₀ … r_N`.
+#[derive(Clone, Debug)]
+pub struct MatrixChain<'a> {
+    /// The dimension vector `r₀ … r_N`.
+    pub dims: &'a [u64],
+}
+
+impl ChainProblem for MatrixChain<'_> {
+    fn n(&self) -> usize {
+        self.dims.len() - 1
+    }
+    fn leaf_cost(&self, _i: usize) -> Cost {
+        Cost::ZERO
+    }
+    fn combine_cost(&self, i: usize, k: usize, j: usize) -> Cost {
+        Cost::saturating_from_u64(
+            self.dims[i]
+                .saturating_mul(self.dims[k + 1])
+                .saturating_mul(self.dims[j + 1]),
+        )
+    }
+}
+
+/// Optimal alphabetic merge tree (minimum weighted path length over
+/// ordered leaves, the Hu–Tucker / Garsia–Wachs cost):
+///
+/// ```text
+/// m[i][j] = min_{i<=k<j} m[i][k] + m[k+1][j] + W(i, j),   m[i][i] = 0,
+/// ```
+///
+/// where `W(i, j)` is the total frequency of leaves `i..=j`.  This is the
+/// parenthesization-equivalent form of the optimal-search-tree family —
+/// the leaf-oriented counterpart of the paper's §2.1 optimal-BST example
+/// — and runs unchanged on the chain arrays.
+#[derive(Clone, Debug)]
+pub struct MergeTree<'a> {
+    /// Access frequencies / merge weights.
+    pub freq: &'a [u64],
+    /// Prefix sums of `freq` for O(1) range weights.
+    prefix: Vec<u64>,
+}
+
+impl<'a> MergeTree<'a> {
+    /// Builds the instance (precomputes prefix sums).
+    pub fn new(freq: &'a [u64]) -> MergeTree<'a> {
+        assert!(!freq.is_empty());
+        let mut prefix = vec![0u64; freq.len() + 1];
+        for (i, &f) in freq.iter().enumerate() {
+            prefix[i + 1] = prefix[i] + f;
+        }
+        MergeTree { freq, prefix }
+    }
+
+    fn weight(&self, i: usize, j: usize) -> u64 {
+        self.prefix[j + 1] - self.prefix[i]
+    }
+}
+
+impl ChainProblem for MergeTree<'_> {
+    fn n(&self) -> usize {
+        self.freq.len()
+    }
+    fn leaf_cost(&self, _i: usize) -> Cost {
+        Cost::ZERO
+    }
+    fn combine_cost(&self, i: usize, _k: usize, j: usize) -> Cost {
+        Cost::saturating_from_u64(self.weight(i, j))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdp_andor::chain::matrix_chain_order;
+
+    #[test]
+    fn matrix_chain_dp_matches_andor_solver() {
+        let dims = [30u64, 35, 15, 5, 10, 20, 25];
+        let p = MatrixChain { dims: &dims };
+        assert_eq!(p.solve_dp(), matrix_chain_order(&dims).cost);
+    }
+
+    #[test]
+    fn merge_tree_is_weighted_path_length() {
+        // freq [1, 2, 3]: optimal merge tree ((1 2) 3):
+        // cost = (1+2) + (3+3) = 9; alternative (1 (2 3)) = 5 + 6 = 11.
+        let freq = [1u64, 2, 3];
+        let p = MergeTree::new(&freq);
+        assert_eq!(p.solve_dp(), Cost::from(9));
+    }
+
+    #[test]
+    fn merge_tree_uniform_is_balanced() {
+        // 4 equal weights w: balanced tree cost = 2·4w + ... each level
+        // sums to 4w; 2 levels of internal merges above leaves: total
+        // = 4w (two pair merges) + 4w (root) = 8w.
+        let freq = [5u64, 5, 5, 5];
+        let p = MergeTree::new(&freq);
+        assert_eq!(p.solve_dp(), Cost::from(40));
+    }
+
+    #[test]
+    fn single_leaf_costs_leaf() {
+        let p = MergeTree::new(&[7]);
+        assert_eq!(p.solve_dp(), Cost::ZERO);
+        let dims = [3u64, 4];
+        let q = MatrixChain { dims: &dims };
+        assert_eq!(q.solve_dp(), Cost::ZERO);
+    }
+}

@@ -1,0 +1,214 @@
+//! Classification of DP formulations and the Table 1 recommendation
+//! engine (§2, §7).
+//!
+//! The paper's taxonomy crosses two attributes: **monadic vs polyadic**
+//! (one recursive term per cost function, or several) and **serial vs
+//! nonserial** (interaction graph a simple chain, or not).  Table 1 then
+//! maps each of the four classes to a suitable evaluation method and its
+//! functional (hardware) requirements.  This module encodes the taxonomy
+//! and the table, so a caller can describe a problem and be routed to the
+//! right machinery in this workspace.
+
+use std::fmt;
+
+/// Number of recursive terms in the cost function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Arity {
+    /// One recursive term (Eqs. 1–2).
+    Monadic,
+    /// More than one recursive term (Eq. 3).
+    Polyadic,
+}
+
+/// Interaction structure of the objective function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Seriality {
+    /// Each functional term shares one variable with its predecessor and
+    /// one with its successor (interaction graph is a chain).
+    Serial,
+    /// Arbitrary term interactions (Eq. 5).
+    Nonserial,
+}
+
+/// A DP formulation class — one of the paper's four.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Formulation {
+    /// Monadic or polyadic.
+    pub arity: Arity,
+    /// Serial or nonserial.
+    pub seriality: Seriality,
+}
+
+impl Formulation {
+    /// Monadic-serial (Eq. 1/2 over a multistage graph).
+    pub const MONADIC_SERIAL: Formulation = Formulation {
+        arity: Arity::Monadic,
+        seriality: Seriality::Serial,
+    };
+    /// Polyadic-serial (Eq. 3 / divide-and-conquer).
+    pub const POLYADIC_SERIAL: Formulation = Formulation {
+        arity: Arity::Polyadic,
+        seriality: Seriality::Serial,
+    };
+    /// Monadic-nonserial (Eq. 36-style chained overlaps).
+    pub const MONADIC_NONSERIAL: Formulation = Formulation {
+        arity: Arity::Monadic,
+        seriality: Seriality::Nonserial,
+    };
+    /// Polyadic-nonserial (Eq. 6 / matrix-chain ordering).
+    pub const POLYADIC_NONSERIAL: Formulation = Formulation {
+        arity: Arity::Polyadic,
+        seriality: Seriality::Nonserial,
+    };
+
+    /// All four classes in Table 1 order.
+    pub const ALL: [Formulation; 4] = [
+        Formulation::MONADIC_SERIAL,
+        Formulation::POLYADIC_SERIAL,
+        Formulation::MONADIC_NONSERIAL,
+        Formulation::POLYADIC_NONSERIAL,
+    ];
+}
+
+impl fmt::Display for Formulation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let a = match self.arity {
+            Arity::Monadic => "monadic",
+            Arity::Polyadic => "polyadic",
+        };
+        let s = match self.seriality {
+            Seriality::Serial => "serial",
+            Seriality::Nonserial => "nonserial",
+        };
+        write!(f, "{a}-{s}")
+    }
+}
+
+/// Quantitative profile used to refine the recommendation (Table 1's
+/// "problem characteristic" column).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProblemShape {
+    /// Number of stages (or variables) `N`.
+    pub stages: u64,
+    /// States / quantized values per stage `m`.
+    pub states_per_stage: u64,
+}
+
+/// A Table 1 row: the suitable method and its functional requirements.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Recommendation {
+    /// The formulation class this applies to.
+    pub class: Formulation,
+    /// Matching "problem characteristic" from Table 1.
+    pub characteristic: &'static str,
+    /// Table 1's "suitable method".
+    pub method: &'static str,
+    /// Table 1's "functional requirements".
+    pub requirements: &'static str,
+    /// Which module of this workspace implements it.
+    pub implemented_by: &'static str,
+}
+
+/// Returns the Table 1 row for a formulation class.
+pub fn table1(class: Formulation) -> Recommendation {
+    match (class.arity, class.seriality) {
+        (Arity::Monadic, Seriality::Serial) => Recommendation {
+            class,
+            characteristic: "many states or quantized values in each stage",
+            method: "solve as string of matrix multiplications",
+            requirements: "systolic processing",
+            implemented_by: "sdp_core::{design1, design2, design3}",
+        },
+        (Arity::Polyadic, Seriality::Serial) => Recommendation {
+            class,
+            characteristic: "many stages",
+            method: "solve by divide-and-conquer algorithms, or search AND/OR-trees",
+            requirements: "loose coupling for fine grain; tight coupling for coarse grain",
+            implemented_by: "sdp_core::dnc + sdp_andor::partition",
+        },
+        (Arity::Monadic, Seriality::Nonserial) => Recommendation {
+            class,
+            characteristic: "variables can be eliminated one by one",
+            method: "transform into monadic-serial representation (by grouping variables)",
+            requirements: "systolic processing",
+            implemented_by: "sdp_andor::nonserial (TernaryChain::group_to_serial)",
+        },
+        (Arity::Polyadic, Seriality::Nonserial) => Recommendation {
+            class,
+            characteristic: "unstructured problems",
+            method: "search AND/OR-graphs; transform into serial AND/OR-graphs",
+            requirements: "dataflow or systolic processing",
+            implemented_by: "sdp_core::chain_array + sdp_andor::serialize",
+        },
+    }
+}
+
+/// Chooses between the two *serial* strategies based on shape, following
+/// §7: many states per stage favours the monadic matrix-string route;
+/// many stages favours the polyadic divide-and-conquer route.
+pub fn recommend_serial(shape: ProblemShape) -> Recommendation {
+    if shape.stages > shape.states_per_stage {
+        table1(Formulation::POLYADIC_SERIAL)
+    } else {
+        table1(Formulation::MONADIC_SERIAL)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_classes_have_distinct_rows() {
+        let rows: Vec<_> = Formulation::ALL.iter().map(|&c| table1(c)).collect();
+        for i in 0..4 {
+            for j in i + 1..4 {
+                assert_ne!(rows[i].method, rows[j].method);
+            }
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Formulation::MONADIC_SERIAL.to_string(), "monadic-serial");
+        assert_eq!(
+            Formulation::POLYADIC_NONSERIAL.to_string(),
+            "polyadic-nonserial"
+        );
+    }
+
+    #[test]
+    fn serial_rows_require_systolic_or_coupling() {
+        let ms = table1(Formulation::MONADIC_SERIAL);
+        assert!(ms.requirements.contains("systolic"));
+        let ps = table1(Formulation::POLYADIC_SERIAL);
+        assert!(ps.requirements.contains("coupling"));
+    }
+
+    #[test]
+    fn shape_routing_follows_section7() {
+        // "If there are a large number of states ... monadic formulation
+        // is more appropriate"; "if the number of stages is large ...
+        // polyadic formulation".
+        let wide = ProblemShape {
+            stages: 10,
+            states_per_stage: 1000,
+        };
+        assert_eq!(recommend_serial(wide).class, Formulation::MONADIC_SERIAL);
+        let deep = ProblemShape {
+            stages: 4096,
+            states_per_stage: 4,
+        };
+        assert_eq!(recommend_serial(deep).class, Formulation::POLYADIC_SERIAL);
+    }
+
+    #[test]
+    fn nonserial_rows_point_at_transforms() {
+        assert!(table1(Formulation::MONADIC_NONSERIAL)
+            .method
+            .contains("grouping"));
+        assert!(table1(Formulation::POLYADIC_NONSERIAL)
+            .method
+            .contains("AND/OR"));
+    }
+}

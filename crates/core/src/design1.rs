@@ -1,0 +1,531 @@
+//! **Design 1** — the pipelined linear systolic array of Fig. 3.
+//!
+//! The array multiplies a string of min-plus matrices with *alternating*
+//! data movement, steered by the paper's control signals:
+//!
+//! * in an **odd** (stationary-result) phase the input vector is shifted
+//!   through the pipeline while each PE accumulates one result element in
+//!   its accumulator `Aᵢ` (`ODDᵢ = 1`: register `Rᵢ` drives the output);
+//! * at the phase boundary the `MOVE` pulse copies `Aᵢ → Rᵢ`, turning the
+//!   result vector into the next phase's stationary operand;
+//! * in an **even** (moving-result) phase the matrix is fed transposed
+//!   (the `i`-th column into `Pᵢ`) and partial results flow through the
+//!   pipeline, each picking up `min(y, bⱼᵢ + Rᵢ)` per hop (`ODDᵢ = 0`:
+//!   the accumulator drives the output).
+//!
+//! Control switches ripple one PE per cycle; the simulation realizes this
+//! by having each PE switch phases after processing exactly `m` items,
+//! which is equivalent because items advance one PE per cycle.
+//!
+//! For an `(N+1)`-stage single-source/single-sink graph (`N` matrices,
+//! `m` nodes per intermediate stage) the paper charges `N·m` iterations on
+//! `m` PEs (Eq. 9); the simulation reports measured cycles alongside.
+
+use sdp_semiring::{Cost, Matrix, MinPlus, Semiring};
+use sdp_systolic::{LinearArray, ProcessingElement, Stats};
+use std::sync::Arc;
+
+/// Phase schedule entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Results accumulate in place; the operand vector shifts through.
+    Stationary,
+    /// Operand vector is stationary (in `R`); partial results shift.
+    Moving,
+    /// Final 1×m row-vector phase executed as a moving pass
+    /// (previous results already sit in `R`).
+    FinalRowMoving,
+    /// Final 1×m row-vector phase executed head-side: the vector streams
+    /// in and `P₁` alone accumulates the scalar.
+    FinalRowHead,
+}
+
+/// Immutable per-run data shared by all PEs: the matrix elements each PE
+/// reads on a given (phase, item) — the software stand-in for the skewed
+/// off-chip streams of Fig. 3(a).
+struct Feed {
+    m: usize,
+    /// `mid[p]` is the m×m matrix consumed in phase `p` (right-to-left).
+    mid: Vec<Matrix<MinPlus>>,
+    /// Optional final row vector (`A` in Eq. 8c).
+    row: Option<Vec<MinPlus>>,
+    phases: Vec<Phase>,
+}
+
+impl Feed {
+    /// Matrix element PE `i` needs for item `j` of phase `p`.
+    fn element(&self, p: usize, i: usize, j: usize) -> MinPlus {
+        match self.phases[p] {
+            // result row i accumulates over arriving vector elements j
+            Phase::Stationary => self.mid[p].get(i, j),
+            // partial result j passes PE i holding stationary element i
+            Phase::Moving => self.mid[p].get(j, i),
+            Phase::FinalRowMoving => {
+                let row = self.row.as_ref().expect("row phase without row");
+                row[i]
+            }
+            Phase::FinalRowHead => {
+                if i == 0 {
+                    let row = self.row.as_ref().expect("row phase without row");
+                    row[j]
+                } else {
+                    MinPlus::zero()
+                }
+            }
+        }
+    }
+
+    /// Items processed per PE in phase `p`.
+    fn items(&self, p: usize) -> usize {
+        if self.phases[p] == Phase::FinalRowMoving {
+            1
+        } else {
+            self.m
+        }
+    }
+}
+
+/// One PE of Design 1 (Fig. 3(b)): registers `Rᵢ` (stationary operand)
+/// and `Aᵢ` (accumulator), with the phase state machine standing in for
+/// the rippled ODD/MOVE control lines.
+pub struct Design1Pe {
+    index: usize,
+    feed: Arc<Feed>,
+    r: MinPlus,
+    acc: MinPlus,
+    phase: usize,
+    count: usize,
+    busy: bool,
+}
+
+impl Design1Pe {
+    fn new(index: usize, feed: Arc<Feed>) -> Design1Pe {
+        Design1Pe {
+            index,
+            feed,
+            r: MinPlus::zero(),
+            acc: MinPlus::zero(),
+            phase: 0,
+            count: 0,
+            busy: false,
+        }
+    }
+
+    /// The stationary register `Rᵢ` (holds a result element after MOVE).
+    pub fn r(&self) -> Cost {
+        self.r.0
+    }
+
+    fn advance(&mut self) {
+        self.count += 1;
+        if self.phase < self.feed.phases.len() && self.count == self.feed.items(self.phase) {
+            // End of phase at this PE.  In a stationary phase the MOVE
+            // pulse transfers the accumulated result into R.
+            if matches!(
+                self.feed.phases[self.phase],
+                Phase::Stationary | Phase::FinalRowHead
+            ) {
+                self.r = self.acc;
+                self.acc = MinPlus::zero();
+            }
+            self.phase += 1;
+            self.count = 0;
+        }
+    }
+}
+
+impl ProcessingElement for Design1Pe {
+    type Flow = MinPlus;
+    type Ext = ();
+    type Ctrl = ();
+
+    fn step(&mut self, flow_in: Option<MinPlus>, _: (), _: ()) -> Option<MinPlus> {
+        let Some(x) = flow_in else {
+            self.busy = false;
+            return None;
+        };
+        self.busy = true;
+        let p = self.phase;
+        debug_assert!(p < self.feed.phases.len(), "item after final phase");
+        let c = self.feed.element(p, self.index, self.count);
+        let out = match self.feed.phases[p] {
+            Phase::Stationary => {
+                // Aᵢ ⊕= c ⊗ x  (min-plus: Aᵢ = min(Aᵢ, c + x))
+                self.acc = self.acc.add(c.mul(x));
+                x // the operand vector shifts on
+            }
+            Phase::Moving | Phase::FinalRowMoving => {
+                // y' = y ⊕ (c ⊗ Rᵢ)
+                x.add(c.mul(self.r))
+            }
+            Phase::FinalRowHead => {
+                if self.index == 0 {
+                    self.acc = self.acc.add(c.mul(x));
+                }
+                x
+            }
+        };
+        self.advance();
+        Some(out)
+    }
+
+    fn was_busy(&self) -> bool {
+        self.busy
+    }
+}
+
+/// Where each injected item's value comes from.
+enum Source {
+    /// A known value (initial vector, or an INF partial-result token).
+    Value(MinPlus),
+    /// The tail output of global item `q` (feedback of a moving phase).
+    Tail(usize),
+}
+
+/// The result of one Design 1 run.
+#[derive(Clone, Debug)]
+pub struct Design1Result {
+    /// The final values: scalar optimum (single-source/sink strings) or
+    /// the stage-1 cost vector (uniform strings).
+    pub values: Vec<Cost>,
+    /// Measured makespan in clock cycles.
+    pub cycles: u64,
+    /// The paper's charged iteration count `N·m`.
+    pub paper_iterations: u64,
+    /// Engine statistics (busy counts, I/O words).
+    pub stats: Stats,
+}
+
+impl Design1Result {
+    /// The scalar optimum (minimum over `values`).
+    pub fn optimum(&self) -> Cost {
+        self.values.iter().copied().fold(Cost::INF, Cost::min)
+    }
+
+    /// Measured processor utilization against a serial iteration count.
+    pub fn measured_pu(&self, serial_iterations: u64) -> f64 {
+        self.stats.processor_utilization(serial_iterations)
+    }
+
+    /// The paper's PU (serial iterations over `N·m · m`).
+    pub fn paper_pu(&self, serial_iterations: u64, m: u64) -> f64 {
+        serial_iterations as f64 / (self.paper_iterations * m) as f64
+    }
+}
+
+/// The Design 1 array driver.
+pub struct Design1Array {
+    m: usize,
+}
+
+impl Design1Array {
+    /// An array of `m` PEs (one per intermediate-stage vertex).
+    pub fn new(m: usize) -> Design1Array {
+        assert!(m >= 1);
+        Design1Array { m }
+    }
+
+    /// Runs the array on a matrix string shaped
+    /// `[1×m]? , [m×m]* , [m×1]?` (at least one matrix), exactly the
+    /// shapes produced by [`sdp_multistage::MultistageGraph`].
+    ///
+    /// Returns the computed values together with timing statistics.
+    pub fn run(&self, mats: &[Matrix<MinPlus>]) -> Design1Result {
+        let m = self.m;
+        assert!(!mats.is_empty(), "empty matrix string");
+        let has_row = mats[0].rows() == 1 && m > 1;
+        let has_col = mats[mats.len() - 1].cols() == 1 && m > 1;
+        assert!(
+            mats.len() >= has_row as usize + has_col as usize,
+            "matrix string too short for its degenerate end shapes \
+             ({} matrices for m = {m})",
+            mats.len()
+        );
+        let mid_range = (has_row as usize)..(mats.len() - has_col as usize);
+        let mid_src = &mats[mid_range];
+        for mat in mid_src {
+            assert_eq!((mat.rows(), mat.cols()), (m, m), "interior matrices must be m x m");
+        }
+        if has_row {
+            assert_eq!(mats[0].cols(), m);
+        }
+        if has_col {
+            assert_eq!(mats[mats.len() - 1].rows(), m);
+        }
+
+        // Initial vector: the degenerate last column, or the all-one
+        // (zero-cost) vector for multi-sink strings.
+        let v0: Vec<MinPlus> = if has_col {
+            (0..m).map(|i| mats[mats.len() - 1].get(i, 0)).collect()
+        } else {
+            vec![MinPlus::one(); m]
+        };
+
+        // Degenerate string: only the m×1 column — nothing to pipeline;
+        // the column itself is the per-source answer.
+        let p_count_probe = mid_src.len();
+        if p_count_probe == 0 && !has_row {
+            return Design1Result {
+                values: v0.iter().map(|v| v.0).collect(),
+                cycles: 0,
+                paper_iterations: (mats.len() * m) as u64,
+                stats: sdp_systolic::Stats::new(m),
+            };
+        }
+
+        // Phases consume interior matrices right-to-left, alternating.
+        let p_count = mid_src.len();
+        let mut phases = Vec::with_capacity(p_count + 1);
+        let mut mid = Vec::with_capacity(p_count);
+        for (pos, t) in (0..p_count).rev().enumerate() {
+            phases.push(if pos % 2 == 0 {
+                Phase::Stationary
+            } else {
+                Phase::Moving
+            });
+            mid.push(mid_src[t].clone());
+        }
+        let row: Option<Vec<MinPlus>> = has_row.then(|| mats[0].row(0).to_vec());
+        if has_row {
+            let prev_stationary = p_count % 2 == 1; // last interior phase parity
+            phases.push(if p_count == 0 {
+                Phase::FinalRowHead
+            } else if prev_stationary {
+                Phase::FinalRowMoving
+            } else {
+                Phase::FinalRowHead
+            });
+        }
+        let feed = Arc::new(Feed {
+            m,
+            mid,
+            row,
+            phases: phases.clone(),
+        });
+
+        // Injection plan: one Source per global item.
+        let mut plan: Vec<Source> = Vec::new();
+        let mut phase_first_item = Vec::with_capacity(phases.len());
+        for (p, ph) in phases.iter().enumerate() {
+            phase_first_item.push(plan.len());
+            match ph {
+                Phase::Stationary | Phase::FinalRowHead => {
+                    if p == 0 {
+                        plan.extend(v0.iter().map(|&v| Source::Value(v)));
+                    } else {
+                        // previous phase was Moving: its tail outputs are
+                        // the vector to stream in.
+                        let base = phase_first_item[p - 1];
+                        plan.extend((0..m).map(|j| Source::Tail(base + j)));
+                    }
+                }
+                Phase::Moving => {
+                    plan.extend((0..m).map(|_| Source::Value(MinPlus::zero())));
+                }
+                Phase::FinalRowMoving => plan.push(Source::Value(MinPlus::zero())),
+            }
+        }
+
+        // Drive the array cycle by cycle.
+        let mut array = LinearArray::new(
+            (0..m).map(|i| Design1Pe::new(i, Arc::clone(&feed))).collect(),
+        );
+        let total_items = plan.len();
+        let mut tail_out: Vec<Option<MinPlus>> = vec![None; total_items];
+        let mut injected = 0usize;
+        let mut drained = 0usize;
+        let budget = (total_items + 2) as u64 * (m as u64 + 2) + 16;
+        while drained < total_items {
+            let head = if injected < total_items {
+                let ready = match plan[injected] {
+                    Source::Value(v) => Some(v),
+                    Source::Tail(q) => tail_out[q],
+                };
+                if ready.is_some() {
+                    injected += 1;
+                }
+                ready
+            } else {
+                None
+            };
+            if let Some(out) = array.cycle(head, |_| (), |_| ()) {
+                tail_out[drained] = Some(out);
+                drained += 1;
+            }
+            assert!(
+                array.stats().cycles() < budget,
+                "design1 simulation did not converge (deadlock)"
+            );
+        }
+
+        // Extract results.
+        let last = *phases.last().expect("at least one phase");
+        let values: Vec<Cost> = match last {
+            Phase::Moving => {
+                let base = phase_first_item[phases.len() - 1];
+                (0..m).map(|j| tail_out[base + j].unwrap().0).collect()
+            }
+            Phase::FinalRowMoving => {
+                vec![tail_out[total_items - 1].unwrap().0]
+            }
+            Phase::Stationary => array.pes().iter().map(|pe| pe.r()).collect(),
+            Phase::FinalRowHead => vec![array.pes()[0].r()],
+        };
+        Design1Result {
+            values,
+            cycles: array.stats().cycles(),
+            paper_iterations: (mats.len() * m) as u64,
+            stats: array.stats().clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdp_multistage::{generate, solve, MultistageGraph};
+
+    fn reference(mats: &[Matrix<MinPlus>]) -> Matrix<MinPlus> {
+        Matrix::string_product(mats)
+    }
+
+    #[test]
+    fn fig_1a_example() {
+        let g = MultistageGraph::fig_1a();
+        let arr = Design1Array::new(3);
+        let res = arr.run(g.matrix_string());
+        let want = reference(g.matrix_string());
+        assert_eq!(res.values, vec![want.get(0, 0).0]);
+        assert_eq!(res.optimum(), Cost::from(9));
+        // N = 4 matrices, m = 3: charged 12 iterations.
+        assert_eq!(res.paper_iterations, 12);
+    }
+
+    #[test]
+    fn uniform_multi_sink_string() {
+        let g = MultistageGraph::fig_1b();
+        let arr = Design1Array::new(3);
+        let res = arr.run(g.matrix_string());
+        let want = reference(g.matrix_string());
+        // result vector = stage-1 costs to best sink: row minima
+        for (i, &v) in res.values.iter().enumerate() {
+            let row_min = (0..3).map(|j| want.get(i, j).0).fold(Cost::INF, Cost::min);
+            assert_eq!(v, row_min, "row {i}");
+        }
+    }
+
+    #[test]
+    fn random_single_source_sink_matches_dp() {
+        for seed in 0..20 {
+            let stages = 3 + (seed as usize % 6);
+            let m = 1 + (seed as usize % 5);
+            let g = generate::random_single_source_sink(seed, stages.max(3), m, 0, 30);
+            let arr = Design1Array::new(m);
+            let res = arr.run(g.matrix_string());
+            let dp = solve::forward_dp(&g);
+            assert_eq!(res.optimum(), dp.cost, "seed {seed} stages {stages} m {m}");
+        }
+    }
+
+    #[test]
+    fn random_uniform_matches_matrix_product() {
+        for seed in 0..20 {
+            let stages = 2 + (seed as usize % 7);
+            let m = 1 + (seed as usize % 4);
+            let g = generate::random_uniform(seed, stages, m, 0, 25);
+            let arr = Design1Array::new(m);
+            let res = arr.run(g.matrix_string());
+            let want = reference(g.matrix_string());
+            for (i, &v) in res.values.iter().enumerate() {
+                let row_min = (0..m).map(|j| want.get(i, j).0).fold(Cost::INF, Cost::min);
+                assert_eq!(v, row_min, "seed {seed} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_matrix_pair_row_col() {
+        // [1×m]·[m×1]: pure FinalRowHead path.
+        let row = Matrix::from_rows(1, 3, [1, 5, 2].into_iter().map(MinPlus::from).collect());
+        let col = Matrix::from_rows(3, 1, [4, 0, 9].into_iter().map(MinPlus::from).collect());
+        let arr = Design1Array::new(3);
+        let res = arr.run(&[row, col]);
+        assert_eq!(res.optimum(), Cost::from(5)); // min(1+4, 5+0, 2+9)
+    }
+
+    #[test]
+    fn m_equals_one_degenerates_gracefully() {
+        let g = generate::random_uniform(3, 5, 1, 0, 9);
+        let arr = Design1Array::new(1);
+        let res = arr.run(g.matrix_string());
+        assert_eq!(res.optimum(), solve::forward_dp(&g).cost);
+    }
+
+    #[test]
+    fn makespan_close_to_paper_iterations() {
+        // The makespan exceeds the charged N·m iterations only by the
+        // pipeline fill latency (< m + phases).
+        for (stages, m) in [(6usize, 4usize), (10, 3), (4, 8)] {
+            let g = generate::random_single_source_sink(1, stages, m, 0, 9);
+            let res = Design1Array::new(m).run(g.matrix_string());
+            let n_mats = (stages - 1) as u64;
+            assert!(res.cycles >= res.paper_iterations - (m as u64));
+            assert!(
+                res.cycles <= n_mats * m as u64 + (m as u64) + n_mats + 4,
+                "stages {stages} m {m}: cycles {} vs N*m {}",
+                res.cycles,
+                res.paper_iterations
+            );
+        }
+    }
+
+    #[test]
+    fn pu_approaches_one_for_long_strings() {
+        let m = 4usize;
+        let g = generate::random_single_source_sink(2, 40, m, 0, 9);
+        let res = Design1Array::new(m).run(g.matrix_string());
+        let n_mats = (g.num_stages() - 1) as u64;
+        let serial = solve::SerialCounts::matrix_string(n_mats, m as u64);
+        let pu = res.paper_pu(serial, m as u64);
+        let eq9 = solve::SerialCounts::eq9_pu(n_mats, m as u64);
+        assert!((pu - eq9).abs() < 1e-9, "pu {pu} vs eq9 {eq9}");
+        assert!(pu > 0.9);
+    }
+
+    #[test]
+    fn busy_fraction_is_high_in_steady_state() {
+        let m = 3usize;
+        let g = generate::random_single_source_sink(7, 30, m, 0, 9);
+        let res = Design1Array::new(m).run(g.matrix_string());
+        assert!(res.stats.utilization().overall > 0.8);
+    }
+
+    #[test]
+    #[should_panic(expected = "m x m")]
+    fn wrong_interior_shape_rejected() {
+        let arr = Design1Array::new(3);
+        let bad = Matrix::<MinPlus>::zeros(2, 2);
+        arr.run(&[bad]);
+    }
+
+    #[test]
+    fn single_column_matrix_string() {
+        // A lone m×1 column (2-stage multi-source/single-sink graph) is a
+        // valid shape: the answer is the column itself.
+        let col = Matrix::from_rows(3, 1, [5, 2, 7].into_iter().map(MinPlus::from).collect());
+        let res = Design1Array::new(3).run(&[col]);
+        assert_eq!(
+            res.values,
+            vec![Cost::from(5), Cost::from(2), Cost::from(7)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn single_1x1_matrix_with_wide_array_rejected_clearly() {
+        // A 1×1 matrix read as both row and column for m = 3 is a shape
+        // error and must fail with a message, not a slice-range panic.
+        let one = Matrix::from_rows(1, 1, vec![MinPlus::from(4)]);
+        let _ = Design1Array::new(3).run(&[one]);
+    }
+}

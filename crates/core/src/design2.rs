@@ -1,0 +1,305 @@
+//! **Design 2** — the broadcast linear array of Fig. 4.
+//!
+//! "If broadcast is allowed, the above scheme can be simplified": every
+//! input-vector element is broadcast to all PEs in the same cycle, the
+//! partial results stay stationary in the accumulators, and all input
+//! matrices are fed *in the same format* (row `i` to PE `i` — no
+//! transposition, no alternation).  At each matrix boundary the `MOVE`
+//! signal gates the result vector into the `S` registers, `FIRST` drops to
+//! zero, and the `S` values are fed back onto the broadcast bus one per
+//! cycle as the next phase's inputs.
+//!
+//! The iteration count and PU are identical to Design 1 (Eq. 9); the
+//! simplification buys uniform data formatting at the price of a bus that
+//! must reach every PE in one cycle.
+
+use sdp_semiring::{Cost, Matrix, MinPlus, Semiring};
+use sdp_systolic::Stats;
+
+/// The result of one Design 2 run.
+#[derive(Clone, Debug)]
+pub struct Design2Result {
+    /// Final values (scalar for single-source/sink strings, else the
+    /// stage-1 vector).
+    pub values: Vec<Cost>,
+    /// One optimal path (vertex index per stage of the original graph),
+    /// recovered from the per-phase argmin latches; `None` when the
+    /// optimum is unreachable (`INF`).
+    pub path: Option<Vec<usize>>,
+    /// Measured clock cycles (`N·m` exactly — broadcast has no skew).
+    pub cycles: u64,
+    /// The paper's charged iteration count `N·m`.
+    pub paper_iterations: u64,
+    /// Busy/cycle statistics.
+    pub stats: Stats,
+    /// Words that crossed the array boundary (broadcast inputs).
+    pub broadcast_words: u64,
+}
+
+impl Design2Result {
+    /// The scalar optimum (minimum over `values`).
+    pub fn optimum(&self) -> Cost {
+        self.values.iter().copied().fold(Cost::INF, Cost::min)
+    }
+
+    /// Measured PU against a serial iteration count.
+    pub fn measured_pu(&self, serial_iterations: u64) -> f64 {
+        self.stats.processor_utilization(serial_iterations)
+    }
+}
+
+/// One PE of Design 2 (Fig. 4(b)): accumulator plus the `S` feedback
+/// register.
+#[derive(Clone, Debug)]
+struct Pe2 {
+    acc: MinPlus,
+    s: MinPlus,
+}
+
+/// The Design 2 array driver: `m` PEs on a broadcast bus with feedback.
+pub struct Design2Array {
+    m: usize,
+}
+
+impl Design2Array {
+    /// An array of `m` PEs.
+    pub fn new(m: usize) -> Design2Array {
+        assert!(m >= 1);
+        Design2Array { m }
+    }
+
+    /// Runs the array on a matrix string shaped `[1×m]? [m×m]* [m×1]?`
+    /// (same contract as Design 1).
+    pub fn run(&self, mats: &[Matrix<MinPlus>]) -> Design2Result {
+        let m = self.m;
+        assert!(!mats.is_empty(), "empty matrix string");
+        let has_row = mats[0].rows() == 1 && m > 1;
+        let has_col = mats[mats.len() - 1].cols() == 1 && m > 1;
+        let interior = &mats[(has_row as usize)..(mats.len() - has_col as usize)];
+        for mat in interior {
+            assert_eq!((mat.rows(), mat.cols()), (m, m), "interior matrices must be m x m");
+        }
+
+        let mut pes = vec![
+            Pe2 {
+                acc: MinPlus::zero(),
+                s: MinPlus::zero(),
+            };
+            m
+        ];
+        let mut stats = Stats::new(m);
+        let mut broadcast_words = 0u64;
+
+        // Initial broadcast source: degenerate column, or zero-cost vector.
+        let mut source: Vec<MinPlus> = if has_col {
+            (0..m).map(|i| mats[mats.len() - 1].get(i, 0)).collect()
+        } else {
+            vec![MinPlus::one(); m]
+        };
+
+        // Interior phases, right-to-left; all identical in format.  Each
+        // PE also latches the broadcast index that last improved its
+        // accumulator — the per-stage successor pointer used to trace the
+        // optimal path (the Design 3 "path register" idea carried over).
+        let mut succ_rev: Vec<Vec<Option<usize>>> = Vec::with_capacity(interior.len());
+        for mat in interior.iter().rev() {
+            let mut arg: Vec<Option<usize>> = vec![None; m];
+            for (j, &x) in source.iter().enumerate() {
+                broadcast_words += 1;
+                stats.record_cycle();
+                stats.record_input_word();
+                for (i, pe) in pes.iter_mut().enumerate() {
+                    let cand = mat.get(i, j).mul(x);
+                    if cand.0 < pe.acc.0 {
+                        pe.acc = cand;
+                        arg[i] = Some(j);
+                    }
+                    stats.record_busy(i);
+                }
+            }
+            // MOVE: gate results into S, clear accumulators, feed back.
+            for pe in pes.iter_mut() {
+                pe.s = pe.acc;
+                pe.acc = MinPlus::zero();
+            }
+            source = pes.iter().map(|pe| pe.s).collect();
+            succ_rev.push(arg);
+        }
+
+        // Final row-vector phase: broadcast the current vector; only P₁
+        // carries the row weights (the other PEs idle).
+        let mut start_choice: Option<usize> = None;
+        let values: Vec<Cost> = if has_row {
+            let row = mats[0].row(0);
+            let mut acc = MinPlus::zero();
+            for (j, &x) in source.iter().enumerate() {
+                broadcast_words += 1;
+                stats.record_cycle();
+                stats.record_input_word();
+                let cand = row[j].mul(x);
+                if cand.0 < acc.0 {
+                    acc = cand;
+                    start_choice = Some(j);
+                }
+                stats.record_busy(0);
+            }
+            vec![acc.0]
+        } else {
+            source.iter().map(|v| v.0).collect()
+        };
+
+        // Trace the optimal path forward through the successor pointers.
+        let path = {
+            let first = if has_row {
+                start_choice
+            } else {
+                values
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.is_finite())
+                    .min_by_key(|&(_, &c)| c)
+                    .map(|(i, _)| i)
+            };
+            first.map(|first| {
+                let mut p = Vec::with_capacity(mats.len() + 1);
+                if has_row {
+                    p.push(0); // the single source vertex
+                }
+                p.push(first);
+                let mut v = first;
+                for arg in succ_rev.iter().rev() {
+                    match arg[v] {
+                        Some(next) => {
+                            p.push(next);
+                            v = next;
+                        }
+                        None => return Vec::new(), // dead end (all INF)
+                    }
+                }
+                if has_col {
+                    p.push(0); // the single sink vertex
+                }
+                p
+            })
+        }
+        .filter(|p| !p.is_empty());
+
+        Design2Result {
+            values,
+            path,
+            cycles: stats.cycles(),
+            paper_iterations: (mats.len() * m) as u64,
+            stats,
+            broadcast_words,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdp_multistage::{generate, solve, MultistageGraph};
+
+    #[test]
+    fn fig_1a_example() {
+        let g = MultistageGraph::fig_1a();
+        let res = Design2Array::new(3).run(g.matrix_string());
+        assert_eq!(res.optimum(), Cost::from(9));
+    }
+
+    #[test]
+    fn agrees_with_design1_and_dp() {
+        use crate::design1::Design1Array;
+        for seed in 0..15 {
+            let stages = 3 + (seed as usize % 6);
+            let m = 1 + (seed as usize % 5);
+            let g = generate::random_single_source_sink(seed, stages, m, 0, 30);
+            let d1 = Design1Array::new(m).run(g.matrix_string());
+            let d2 = Design2Array::new(m).run(g.matrix_string());
+            let dp = solve::forward_dp(&g);
+            assert_eq!(d2.optimum(), dp.cost, "seed {seed}");
+            assert_eq!(d1.optimum(), d2.optimum(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn uniform_string_vector_result() {
+        let g = MultistageGraph::fig_1b();
+        let res = Design2Array::new(3).run(g.matrix_string());
+        let want = sdp_semiring::Matrix::string_product(g.matrix_string());
+        for (i, &v) in res.values.iter().enumerate() {
+            let row_min = (0..3).map(|j| want.get(i, j).0).fold(Cost::INF, Cost::min);
+            assert_eq!(v, row_min);
+        }
+    }
+
+    #[test]
+    fn cycle_count_is_exactly_n_m_minus_load() {
+        // Broadcast phases: one cycle per broadcast word; interior phases
+        // plus the optional row phase each take m cycles.
+        let g = generate::random_single_source_sink(4, 8, 5, 0, 9);
+        let res = Design2Array::new(5).run(g.matrix_string());
+        // stages=8 -> 7 matrices: row + 5 interior + col.
+        // cycles = (5 interior + 1 row) * m = 30
+        assert_eq!(res.cycles, 30);
+        assert_eq!(res.paper_iterations, 35); // includes the column load
+    }
+
+    #[test]
+    fn broadcast_word_count_equals_cycles() {
+        let g = generate::random_uniform(9, 6, 4, 0, 9);
+        let res = Design2Array::new(4).run(g.matrix_string());
+        assert_eq!(res.broadcast_words, res.cycles);
+    }
+
+    #[test]
+    fn full_pe_utilization_in_interior_phases() {
+        // With no row phase every PE is busy every cycle.
+        let g = generate::random_uniform(2, 7, 3, 0, 9);
+        let res = Design2Array::new(3).run(g.matrix_string());
+        assert!((res.stats.utilization().overall - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn m_equals_one() {
+        let g = generate::random_uniform(5, 4, 1, 1, 5);
+        let res = Design2Array::new(1).run(g.matrix_string());
+        assert_eq!(res.optimum(), solve::forward_dp(&g).cost);
+    }
+
+    #[test]
+    fn recovered_path_achieves_the_optimum() {
+        for seed in 0..12 {
+            let stages = 3 + (seed as usize % 6);
+            let m = 1 + (seed as usize % 5);
+            let g = generate::random_single_source_sink(seed, stages, m, 0, 30);
+            let res = Design2Array::new(m).run(g.matrix_string());
+            let path = res.path.clone().expect("finite optimum has a path");
+            assert_eq!(path.len(), g.num_stages(), "seed {seed}");
+            assert_eq!(solve::path_cost(&g, &path), res.optimum(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn recovered_path_on_uniform_strings() {
+        for seed in 0..8 {
+            let g = generate::random_uniform(seed, 6, 4, 0, 20);
+            let res = Design2Array::new(4).run(g.matrix_string());
+            let path = res.path.clone().expect("path");
+            assert_eq!(solve::path_cost(&g, &path), res.optimum(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn sparse_graph_path_valid_or_absent() {
+        for seed in 0..10 {
+            let g = generate::random_sparse(seed, 5, 3, 1, 9, 0.5);
+            let res = Design2Array::new(3).run(g.matrix_string());
+            if let Some(path) = &res.path {
+                assert_eq!(solve::path_cost(&g, path), res.optimum(), "seed {seed}");
+            } else {
+                assert!(res.optimum().is_inf());
+            }
+        }
+    }
+}

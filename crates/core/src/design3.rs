@@ -1,0 +1,455 @@
+//! **Design 3** — the node-value array of Fig. 5.
+//!
+//! When the serial problem is given by Eq. 4 (edge costs are a function
+//! `f` of the endpoint *node values*), only the `N·m` node values — not
+//! the `N·m²` edge costs — need enter the array: "an order-of-magnitude
+//! reduction in the input overhead".  Each PE `Pᵢ` has
+//!
+//! * `Rᵢ` — the pipelined input register (node values flow through),
+//! * `Kᵢ, Hᵢ` — feedback registers holding the previous stage's vertex
+//!   `i` value and its optimal cost-so-far `h(x_{k−1,i})`,
+//! * components `F`, `A`, `C` — the edge-cost evaluation, the addition,
+//!   and the comparison.
+//!
+//! Items `(x_{k,j}, h^{partial})` move left-to-right one PE per cycle; as
+//! an item passes `Pᵢ` it is improved with
+//! `min(h, Hᵢ + f(Kᵢ, x_{k,j}))`.  Completed stage results leave `Pₘ` and
+//! are *fed back* — one per cycle, round-robin, on a single token bus
+//! (§3.2) — into the `K/H` registers for the next stage.  The whole
+//! search of an `N`-stage, `m`-value graph completes in exactly
+//! `(N+1)·m` iterations, the paper's headline number, which the
+//! simulation reproduces cycle-for-cycle.  Optional path registers in
+//! `Pₘ` record each step's argmin for traceback.
+
+use sdp_multistage::node_value::EdgeCostFn;
+use sdp_multistage::NodeValueGraph;
+use sdp_semiring::Cost;
+use sdp_systolic::{LinearArray, ProcessingElement, Stats, TokenBus};
+
+/// A word moving through the R-pipeline.
+#[derive(Clone, Copy, Debug)]
+struct Item {
+    /// The node value `x_{k,j}` (unused by the final comparison token).
+    x: i64,
+    /// The partial optimal cost `h` carried with the value.
+    h: Cost,
+    /// Index of the predecessor vertex achieving `h` (path register word).
+    arg: Option<usize>,
+    /// True for the final comparison token (the paper's `F = 0` mode).
+    final_token: bool,
+}
+
+/// One PE of Design 3 (Fig. 5(b)).
+struct Pe3<'a> {
+    index: usize,
+    f: &'a dyn EdgeCostFn,
+    /// `(Kᵢ, Hᵢ)` once loaded by the feedback controller.
+    reg: Option<(usize, i64, Cost)>,
+    busy: bool,
+    f_evals: u64,
+}
+
+impl ProcessingElement for Pe3<'_> {
+    type Flow = Item;
+    /// Feedback delivery from the token bus: `(stage, x, h)` to latch
+    /// into `K/H` (the stage tag supports stage-dependent `fᵢ`).
+    type Ext = Option<(usize, i64, Cost)>;
+    type Ctrl = ();
+
+    fn step(&mut self, flow_in: Option<Item>, ext: Self::Ext, _: ()) -> Option<Item> {
+        // The feedback word latches at the start of the cycle, so an item
+        // arriving the same cycle already sees the new K/H (the paper's
+        // walkthrough: x_{2,1} enters P1 the cycle x_{1,1}, h(x_{1,1})
+        // are fed back to it).
+        if let Some((stage, k, h)) = ext {
+            self.reg = Some((stage, k, h));
+        }
+        let Some(mut item) = flow_in else {
+            self.busy = false;
+            return None;
+        };
+        self.busy = true;
+        if let Some((stage, k, h_prev)) = self.reg {
+            let cand = if item.final_token {
+                // F = 0: circulate and compare only.
+                h_prev
+            } else {
+                self.f_evals += 1;
+                h_prev + self.f.cost_at(stage, k, item.x)
+            };
+            if cand < item.h {
+                item.h = cand;
+                item.arg = Some(self.index);
+            }
+        }
+        Some(item)
+    }
+
+    fn was_busy(&self) -> bool {
+        self.busy
+    }
+}
+
+/// The result of one Design 3 run.
+#[derive(Clone, Debug)]
+pub struct Design3Result {
+    /// Optimal total cost (over all stage-`N` vertices).
+    pub cost: Cost,
+    /// `finals[j]` = `h(x_{N,j})`, the optimal cost ending at vertex `j`.
+    pub finals: Vec<Cost>,
+    /// One optimal path (vertex index per stage), from the path
+    /// registers; empty when the optimum is unreachable (`cost = INF`).
+    pub path: Vec<usize>,
+    /// Measured clock cycles — exactly `(N+1)·m`.
+    pub cycles: u64,
+    /// The paper's charged iteration count `(N+1)·m`.
+    pub paper_iterations: u64,
+    /// Node values that entered the array (I/O words) — `N·m` plus the
+    /// single comparison token.
+    pub input_words: u64,
+    /// Edge-cost (`F`-component) evaluations performed inside the array.
+    pub f_evaluations: u64,
+    /// Engine statistics.
+    pub stats: Stats,
+}
+
+impl Design3Result {
+    /// Measured PU against the serial count `(N−1)m² + m`.
+    pub fn measured_pu(&self, serial_iterations: u64) -> f64 {
+        self.stats.processor_utilization(serial_iterations)
+    }
+}
+
+/// The Design 3 array driver: `m` PEs, a feedback token bus, and the
+/// input scheduler.
+pub struct Design3Array {
+    m: usize,
+}
+
+impl Design3Array {
+    /// An array of `m` PEs (one per quantized value per stage).
+    pub fn new(m: usize) -> Design3Array {
+        assert!(m >= 1);
+        Design3Array { m }
+    }
+
+    /// Runs the array on a node-value graph whose stages all hold exactly
+    /// `m` values (the paper's uniform assumption).
+    ///
+    /// ```
+    /// use sdp_core::Design3Array;
+    /// use sdp_multistage::generate;
+    /// let plan = generate::traffic_light(7, 4, 3); // 4 stages, 3 values
+    /// let res = Design3Array::new(3).run(&plan);
+    /// // the paper's Fig. 1(b) timing: (N+1)·m = 15 iterations
+    /// assert_eq!(res.cycles, 15);
+    /// assert!(res.cost.is_finite());
+    /// ```
+    pub fn run(&self, g: &NodeValueGraph) -> Design3Result {
+        let m = self.m;
+        let n = g.num_stages();
+        for s in 0..n {
+            assert_eq!(g.stage_size(s), m, "stage {s} must have m = {m} values");
+        }
+        let mut array = LinearArray::new(
+            (0..m)
+                .map(|i| Pe3 {
+                    index: i,
+                    f: g.f(),
+                    reg: None,
+                    busy: false,
+                    f_evals: 0,
+                })
+                .collect::<Vec<_>>(),
+        );
+        let mut bus: TokenBus<(usize, i64, Cost)> = TokenBus::new(m);
+
+        // Input schedule: stage k, vertex j enters the head at cycle
+        // k·m + j; the single comparison token follows at cycle N·m.
+        let total_inputs = n * m + 1;
+        let mut injected = 0usize;
+        let mut input_words = 0u64;
+        let mut finals: Vec<Cost> = Vec::with_capacity(m);
+        let mut path_regs: Vec<Vec<usize>> = vec![vec![usize::MAX; m]; n];
+        let mut tail_seen = 0usize; // stage items seen at the tail
+        let mut answer: Option<Item> = None;
+
+        while answer.is_none() {
+            // 1. settle last cycle's feedback onto a PE (ext delivery).
+            let delivery = bus.settle();
+            // 2. head injection per the static schedule.
+            let head = if injected < total_inputs {
+                let cycle = injected; // contiguous schedule: one word/cycle
+                let item = if cycle < n * m {
+                    let stage = cycle / m;
+                    let j = cycle % m;
+                    Item {
+                        x: g.stage_values(stage)[j],
+                        h: if stage == 0 { Cost::ZERO } else { Cost::INF },
+                        arg: None,
+                        final_token: false,
+                    }
+                } else {
+                    Item {
+                        x: 0,
+                        h: Cost::INF,
+                        arg: None,
+                        final_token: true,
+                    }
+                };
+                injected += 1;
+                input_words += 1;
+                Some(item)
+            } else {
+                None
+            };
+            // 3. clock the array.
+            let out = array.cycle(
+                head,
+                |i| {
+                    delivery
+                        .and_then(|(st, w)| if st == i { Some(w) } else { None })
+                },
+                |_| (),
+            );
+            // 4. route the tail: stage results feed back; the comparison
+            //    token is the answer.
+            if let Some(item) = out {
+                if item.final_token {
+                    answer = Some(item);
+                } else {
+                    let stage = tail_seen / m;
+                    let j = tail_seen % m;
+                    tail_seen += 1;
+                    if stage >= 1 {
+                        path_regs[stage][j] = item.arg.unwrap_or(usize::MAX);
+                    }
+                    if stage == n - 1 {
+                        finals.push(item.h);
+                    }
+                    bus.drive((stage, item.x, item.h));
+                }
+            }
+        }
+
+        // Traceback through the path registers.  An unreachable optimum
+        // (every transition INF) has no path: report the INF cost with an
+        // empty path instead of tripping on an unwritten register.
+        let cost = finals.iter().copied().fold(Cost::INF, Cost::min);
+        let path = if cost.is_finite() {
+            let best = finals
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &c)| c)
+                .map(|(j, _)| j)
+                .unwrap_or(0);
+            let mut path = vec![0usize; n];
+            path[n - 1] = best;
+            for k in (1..n).rev() {
+                let p = path_regs[k][path[k]];
+                assert!(p != usize::MAX, "missing path register entry");
+                path[k - 1] = p;
+            }
+            path
+        } else {
+            Vec::new()
+        };
+
+        let f_evaluations = array.pes().iter().map(|p| p.f_evals).sum();
+        Design3Result {
+            cost,
+            finals,
+            path,
+            cycles: array.stats().cycles(),
+            paper_iterations: ((n + 1) * m) as u64,
+            input_words,
+            f_evaluations,
+            stats: array.stats().clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdp_multistage::{generate, solve};
+
+    #[test]
+    fn fifteen_iterations_for_fig_1b_shape() {
+        // The paper: "For the graph in Figure 1(b), the process is
+        // completed in 15 iterations" — N = 4 stages, m = 3.
+        let g = generate::traffic_light(1, 4, 3);
+        let res = Design3Array::new(3).run(&g);
+        assert_eq!(res.paper_iterations, 15);
+        assert_eq!(res.cycles, 15);
+    }
+
+    #[test]
+    fn cost_matches_sequential_dp() {
+        for seed in 0..20 {
+            let stages = 2 + (seed as usize % 7);
+            let m = 1 + (seed as usize % 5);
+            let g = generate::node_value_random(
+                seed,
+                stages,
+                m,
+                Box::new(sdp_multistage::node_value::AbsDiff),
+                -20,
+                20,
+            );
+            let res = Design3Array::new(m).run(&g);
+            let dp = solve::backward_dp(&g.to_multistage());
+            assert_eq!(res.cost, dp.cost, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn finals_match_per_vertex_dp_values() {
+        let g = generate::circuit_voltage(5, 5, 4);
+        let res = Design3Array::new(4).run(&g);
+        let dp = solve::backward_dp(&g.to_multistage());
+        // dp.value[last][j] = best cost from any source to vertex j.
+        for j in 0..4 {
+            assert_eq!(res.finals[j], dp.value[4][j], "vertex {j}");
+        }
+    }
+
+    #[test]
+    fn path_achieves_optimal_cost() {
+        for seed in 0..15 {
+            let g = generate::node_value_random(
+                seed,
+                5,
+                4,
+                Box::new(sdp_multistage::node_value::SquaredDiff),
+                -10,
+                10,
+            );
+            let res = Design3Array::new(4).run(&g);
+            let ms = g.to_multistage();
+            assert_eq!(solve::path_cost(&ms, &res.path), res.cost, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn cycles_exactly_n_plus_1_m() {
+        for (n, m) in [(4usize, 3usize), (8, 5), (2, 2), (10, 1)] {
+            let g = generate::node_value_random(
+                7,
+                n,
+                m,
+                Box::new(sdp_multistage::node_value::AbsDiff),
+                0,
+                9,
+            );
+            let res = Design3Array::new(m).run(&g);
+            assert_eq!(res.cycles, ((n + 1) * m) as u64, "n={n} m={m}");
+        }
+    }
+
+    #[test]
+    fn io_words_are_nm_plus_token() {
+        let g = generate::traffic_light(2, 6, 4);
+        let res = Design3Array::new(4).run(&g);
+        assert_eq!(res.input_words, 6 * 4 + 1);
+    }
+
+    #[test]
+    fn f_evaluations_equal_serial_work() {
+        // Each of the (N-1)·m² edge relaxations evaluates f exactly once.
+        let g = generate::traffic_light(3, 5, 3);
+        let res = Design3Array::new(3).run(&g);
+        assert_eq!(res.f_evaluations, 4 * 9);
+    }
+
+    #[test]
+    fn pu_close_to_one_for_long_graphs() {
+        let g = generate::node_value_random(
+            11,
+            40,
+            4,
+            Box::new(sdp_multistage::node_value::AbsDiff),
+            0,
+            50,
+        );
+        let res = Design3Array::new(4).run(&g);
+        let serial = solve::SerialCounts::node_value(40, 4);
+        let pu = res.measured_pu(serial);
+        let paper = solve::SerialCounts::design3_pu(40, 4);
+        assert!((pu - paper).abs() < 0.05, "pu {pu} vs paper {paper}");
+        assert!(pu > 0.9);
+    }
+
+    #[test]
+    fn all_applications_solve_correctly() {
+        let apps: Vec<NodeValueGraph> = vec![
+            generate::traffic_light(4, 5, 3),
+            generate::circuit_voltage(4, 5, 3),
+            generate::fluid_flow(4, 5, 3),
+            generate::task_scheduling(4, 5, 3),
+        ];
+        for (i, g) in apps.iter().enumerate() {
+            let res = Design3Array::new(3).run(g);
+            let dp = solve::backward_dp(&g.to_multistage());
+            assert_eq!(res.cost, dp.cost, "app {i}");
+            assert_eq!(
+                solve::path_cost(&g.to_multistage(), &res.path),
+                res.cost,
+                "app {i} path"
+            );
+        }
+    }
+
+    #[test]
+    fn stage_dependent_cost_function() {
+        // The general f_i case (paper: "for simplicity, function f is
+        // assumed to be independent of i"): per-stage weights change the
+        // optimum, and the array still matches sequential DP.
+        use sdp_multistage::node_value::{AbsDiff, StageWeighted};
+        let weighted = NodeValueGraph::new(
+            vec![vec![0, 4, 9], vec![1, 5, 8], vec![2, 6, 7], vec![0, 3, 9]],
+            Box::new(StageWeighted {
+                inner: AbsDiff,
+                weights: vec![1, 10, 1],
+            }),
+        );
+        let res = Design3Array::new(3).run(&weighted);
+        let dp = solve::backward_dp(&weighted.to_multistage());
+        assert_eq!(res.cost, dp.cost);
+        assert_eq!(
+            solve::path_cost(&weighted.to_multistage(), &res.path),
+            res.cost
+        );
+        // and the weights genuinely matter: the unweighted problem
+        // differs in cost
+        let flat = NodeValueGraph::new(
+            vec![vec![0, 4, 9], vec![1, 5, 8], vec![2, 6, 7], vec![0, 3, 9]],
+            Box::new(AbsDiff),
+        );
+        let flat_dp = solve::backward_dp(&flat.to_multistage());
+        assert_ne!(res.cost, flat_dp.cost);
+    }
+
+    #[test]
+    fn unreachable_optimum_reports_inf_with_empty_path() {
+        // A cost function that forbids every transition: the array must
+        // report INF and an empty path, not panic in traceback.
+        struct Never;
+        impl sdp_multistage::node_value::EdgeCostFn for Never {
+            fn cost(&self, _: i64, _: i64) -> Cost {
+                Cost::INF
+            }
+        }
+        let g = NodeValueGraph::new(vec![vec![0, 1], vec![2, 3]], Box::new(Never));
+        let res = Design3Array::new(2).run(&g);
+        assert!(res.cost.is_inf());
+        assert!(res.path.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "must have m")]
+    fn wrong_width_rejected() {
+        let g = generate::traffic_light(1, 4, 3);
+        let _ = Design3Array::new(4).run(&g);
+    }
+}

@@ -1,0 +1,297 @@
+//! Divide-and-conquer evaluation of polyadic-serial DP (§4).
+//!
+//! A string of `N` equal-size matrices is multiplied as a complete binary
+//! AND-tree by `K` matrix-multiplication systolic arrays.  This module
+//! packages the paper's three analyses plus a real parallel executor:
+//!
+//! * [`granularity_sweep`] — numerical evaluation of Eq. 29 over `K`
+//!   (**Figure 6**: `K·T²` is minimized near `N/log₂N`, with the jagged
+//!   divisibility artifacts the paper notes);
+//! * [`pu_asymptotic`] — `PU(k, N)` for `k = c·N/log₂N`
+//!   (**Proposition 1**: the limit is `1/(1+c)`);
+//! * [`st2`] — the `S·T²` figure of merit of **Theorem 1**, minimized at
+//!   `S = Θ(N/log₂N)` where it reaches `Θ(N·log₂N)`;
+//! * [`ParallelExecutor`] — a crossbeam-threaded host executor that runs
+//!   the same binary-tree schedule on real cores and cross-checks the
+//!   result against the sequential string product.
+
+use crossbeam::thread;
+use sdp_semiring::{Matrix, Semiring};
+use sdp_systolic::scheduler::{eq29_kt2, eq29_time, Schedule, TreeScheduler};
+
+/// One row of the Figure 6 sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GranularityPoint {
+    /// Number of systolic arrays `K`.
+    pub k: u64,
+    /// Total time `T` from Eq. 29 (units of `T₁`).
+    pub t: u64,
+    /// `K·T²`.
+    pub kt2: u64,
+    /// PU from the greedy schedule simulation.
+    pub pu: f64,
+}
+
+/// Evaluates Eq. 29 for every `K` in `[1, k_max]` (Figure 6's x-axis).
+///
+/// ```
+/// use sdp_core::dnc::granularity_sweep;
+/// let sweep = granularity_sweep(4096, 512);
+/// // K = 431 (a paper-highlighted point): T = 18, K·T² = 139644.
+/// assert_eq!(sweep[430].t, 18);
+/// assert_eq!(sweep[430].kt2, 139644);
+/// ```
+pub fn granularity_sweep(n: u64, k_max: u64) -> Vec<GranularityPoint> {
+    assert!(n >= 2 && k_max >= 1);
+    (1..=k_max)
+        .map(|k| {
+            let t = eq29_time(n, k);
+            GranularityPoint {
+                k,
+                t,
+                kt2: eq29_kt2(n, k),
+                pu: TreeScheduler.simulate(n, k).processor_utilization(),
+            }
+        })
+        .collect()
+}
+
+/// The `K` minimizing `K·T²` over `[1, k_max]` (ties: smallest `K`),
+/// with the achieved value — Figure 6's minimum marker.
+pub fn optimal_granularity(n: u64, k_max: u64) -> (u64, u64) {
+    granularity_sweep(n, k_max)
+        .into_iter()
+        .map(|p| (p.k, p.kt2))
+        .min_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)))
+        .expect("non-empty sweep")
+}
+
+/// `PU(k, N)` for `k = max(1, round(c · N / log₂N))` via the greedy
+/// schedule — the quantity of Proposition 1, whose limit is `1/(1+c)`.
+pub fn pu_asymptotic(n: u64, c: f64) -> f64 {
+    assert!(n >= 4);
+    let k = ((c * n as f64 / (n as f64).log2()).round() as u64).max(1);
+    TreeScheduler.simulate(n, k).processor_utilization()
+}
+
+/// `S·T²` with `T` from Eq. 29 — Theorem 1's figure of merit
+/// (with `T₁ = 1`).
+pub fn st2(n: u64, s: u64) -> u64 {
+    let t = eq29_time(n, s);
+    s * t * t
+}
+
+/// The theoretical lower-bound order `N·log₂N` of Theorem 1 (`T₁ = 1`).
+pub fn at2_lower_bound(n: u64) -> f64 {
+    n as f64 * (n as f64).log2()
+}
+
+/// Runs the greedy schedule and returns it (re-exported convenience).
+pub fn schedule(n: u64, k: u64) -> Schedule {
+    TreeScheduler.simulate(n, k)
+}
+
+/// A host-thread executor for the divide-and-conquer reduction: each
+/// round multiplies adjacent pairs in parallel over `k` workers, exactly
+/// the synchronous-round schedule analysed in §4, but on real cores.
+pub struct ParallelExecutor {
+    k: usize,
+}
+
+impl ParallelExecutor {
+    /// An executor over `k` worker threads.
+    pub fn new(k: usize) -> ParallelExecutor {
+        assert!(k >= 1);
+        ParallelExecutor { k }
+    }
+
+    /// Multiplies the string by rounds of pairwise products.  Returns the
+    /// product and the number of rounds (the measured schedule length).
+    pub fn multiply_string<S: Semiring>(&self, mats: &[Matrix<S>]) -> (Matrix<S>, u64) {
+        assert!(!mats.is_empty());
+        let mut layer: Vec<Matrix<S>> = mats.to_vec();
+        let mut rounds = 0u64;
+        while layer.len() > 1 {
+            rounds += 1;
+            // Pair up the first 2·t matrices this round, carrying the rest
+            // over by move (no cloning) — mirrors TreeScheduler::simulate.
+            let t = (layer.len() / 2).min(self.k.max(1));
+            let mut products: Vec<Option<Matrix<S>>> = vec![None; t];
+            thread::scope(|scope| {
+                for (slot, chunk) in products.iter_mut().zip(layer.chunks(2).take(t)) {
+                    let (a, b) = (&chunk[0], &chunk[1]);
+                    scope.spawn(move |_| {
+                        *slot = Some(a.mul(b));
+                    });
+                }
+            })
+            .expect("worker thread panicked");
+            let rest = layer.split_off(2 * t);
+            layer = products
+                .into_iter()
+                .map(|p| p.expect("slot filled"))
+                .chain(rest)
+                .collect();
+        }
+        (layer.pop().expect("one matrix remains"), rounds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdp_semiring::MinPlus;
+
+    fn rand_mats(seed: u64, n: usize, m: usize) -> Vec<Matrix<MinPlus>> {
+        let mut state = seed.wrapping_add(0xA5A5);
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) % 100) as i64
+        };
+        (0..n)
+            .map(|_| Matrix::from_fn(m, m, |_, _| MinPlus::from(next())))
+            .collect()
+    }
+
+    #[test]
+    fn fig6_minimum_location() {
+        // Figure 6 (N = 4096): the paper reports the KT² minimum "when
+        // 431 or 465 processors are used".  Our exact evaluation of
+        // Eq. 29 puts the global argmin at K = 399; the paper's two
+        // points are near-minimal dips of the same jagged curve (within
+        // ~8% of the global minimum).  Assert the reproducible facts:
+        // the paper's points are near-optimal, and the argmin sits near
+        // N/log₂N = 341 — the Theorem 1 granularity.
+        let (k_star, v_star) = optimal_granularity(4096, 1000);
+        for paper_k in [431u64, 465] {
+            let v = eq29_kt2(4096, paper_k);
+            let excess = v as f64 / v_star as f64;
+            assert!(
+                excess < 1.12,
+                "paper K={paper_k} KT²={v} vs optimum {v_star} at K={k_star}"
+            );
+        }
+        let ideal = 4096.0 / 4096f64.log2();
+        let ratio = k_star as f64 / ideal;
+        assert!((0.7..1.6).contains(&ratio), "K*={k_star} vs N/log₂N={ideal:.0}");
+    }
+
+    #[test]
+    fn fig6_tc_equals_tw_at_optimum() {
+        // Eq. 30/31: KT² is minimized when the computation and wind-down
+        // phases take about the same time.
+        let (k_star, _) = optimal_granularity(4096, 1000);
+        let tc = (4096 - 1) / k_star;
+        let rem = 4096 + k_star - 1 - k_star * tc;
+        let tw = rem.ilog2() as u64;
+        assert!(
+            tc.abs_diff(tw) <= 2,
+            "Tc={tc} vs Tw={tw} at K*={k_star}"
+        );
+    }
+
+    #[test]
+    fn fig6_jaggedness() {
+        // The curve is not smooth: KT² is not monotone around the optimum.
+        let sweep = granularity_sweep(4096, 600);
+        let mut ups = 0;
+        let mut downs = 0;
+        for w in sweep.windows(2) {
+            if w[1].kt2 > w[0].kt2 {
+                ups += 1;
+            } else if w[1].kt2 < w[0].kt2 {
+                downs += 1;
+            }
+        }
+        assert!(ups > 50 && downs > 50, "curve too smooth: {ups} ups {downs} downs");
+    }
+
+    #[test]
+    fn optimal_granularity_near_n_over_log_n() {
+        for n in [1024u64, 4096, 16384] {
+            let (k_star, _) = optimal_granularity(n, n / 4);
+            let ideal = n as f64 / (n as f64).log2();
+            let ratio = k_star as f64 / ideal;
+            assert!(
+                (0.5..2.0).contains(&ratio),
+                "n={n}: K*={k_star} vs N/log2N={ideal:.0}"
+            );
+        }
+    }
+
+    #[test]
+    fn prop1_limits() {
+        // PU(c·N/log₂N, N) → 1/(1+c).  Convergence is
+        // O(log₂log₂N / log₂N) — very slow — so at finite N we assert
+        // (a) PU is sandwiched between the limit and the finite-N
+        // prediction 1/(1 + c·(1 − log₂log₂N/log₂N)) with slack, and
+        // (b) the gap to the limit shrinks as N grows.
+        let n = 1u64 << 22;
+        let lg = (n as f64).log2();
+        for (c, limit) in [(0.5, 1.0 / 1.5), (1.0, 0.5), (2.0, 1.0 / 3.0)] {
+            let pu = pu_asymptotic(n, c);
+            let finite_pred = 1.0 / (1.0 + c * (1.0 - lg.log2() / lg));
+            assert!(pu >= limit - 0.01, "c={c}: pu={pu:.4} below limit {limit:.4}");
+            assert!(
+                (pu - finite_pred).abs() < 0.06,
+                "c={c}: pu={pu:.4} vs finite-N prediction {finite_pred:.4}"
+            );
+        }
+        for c in [0.5, 1.0, 2.0] {
+            let limit = 1.0 / (1.0 + c);
+            let gap_small = pu_asymptotic(1 << 12, c) - limit;
+            let gap_large = pu_asymptotic(1 << 22, c) - limit;
+            assert!(
+                gap_large < gap_small,
+                "c={c}: gap did not shrink ({gap_small:.4} -> {gap_large:.4})"
+            );
+        }
+        // c → 0 gives PU → 1.
+        assert!(pu_asymptotic(n, 0.01) > 0.95);
+    }
+
+    #[test]
+    fn thm1_st2_minimized_at_n_over_log_n() {
+        let n = 4096u64;
+        let ideal = (n as f64 / (n as f64).log2()) as u64;
+        let at_ideal = st2(n, ideal);
+        // Far-off granularities are strictly worse.
+        assert!(st2(n, 4) > at_ideal);
+        assert!(st2(n, n) > at_ideal);
+        // And the achieved value is within a small factor of N·log₂N.
+        let bound = at2_lower_bound(n);
+        let ratio = at_ideal as f64 / bound;
+        assert!((0.5..8.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn parallel_executor_matches_sequential() {
+        for (n, m, k) in [(8usize, 4usize, 3usize), (5, 3, 2), (16, 2, 8), (3, 5, 1)] {
+            let mats = rand_mats((n + m + k) as u64, n, m);
+            let (par, rounds) = ParallelExecutor::new(k).multiply_string(&mats);
+            let seq = Matrix::string_product(&mats);
+            assert_eq!(par, seq, "n={n} m={m} k={k}");
+            assert!(rounds >= 1);
+        }
+    }
+
+    #[test]
+    fn parallel_rounds_match_greedy_schedule() {
+        for (n, k) in [(16u64, 4u64), (9, 2), (32, 32)] {
+            let mats = rand_mats(n + k, n as usize, 2);
+            let (_, rounds) = ParallelExecutor::new(k as usize).multiply_string(&mats);
+            let sched = TreeScheduler.simulate(n, k);
+            assert_eq!(rounds, sched.rounds, "n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn single_matrix_needs_zero_rounds() {
+        let mats = rand_mats(1, 1, 3);
+        let (prod, rounds) = ParallelExecutor::new(4).multiply_string(&mats);
+        assert_eq!(prod, mats[0]);
+        assert_eq!(rounds, 0);
+    }
+}

@@ -1,0 +1,356 @@
+//! A clocked triangular systolic array for the optimal-parenthesization
+//! problem — the Guibas–Kung–Thompson structure the paper identifies at
+//! the end of §6.2 ("the derived structure is the same as that proposed
+//! by Guibas et al. \[11\]").
+//!
+//! One cell per subchain `m_{i,j}` (`i ≤ j`), arranged in a triangle.
+//! When cell `(i, k)` completes, its value streams **rightward along row
+//! `i`** one cell per cycle; when `(k+1, j)` completes, its value streams
+//! **upward along column `j`** one cell per cycle.  Cell `(i, j)` must
+//! pair the row operand `m_{i,k}` with the column operand `m_{k+1,j}` for
+//! every split `k`, retiring at most [`GktArray::ops_per_cycle`] pairs per
+//! cycle (an add + compare each); when its last pair retires it completes
+//! and begins transmitting in turn.
+//!
+//! Unlike [`crate::chain_array`], which models completion *times*
+//! analytically per alternative, this module runs an explicit
+//! message-passing clock: every operand hop is a delivery event, so the
+//! linear-time behaviour (`T = Θ(N)`; the paper's Prop. 3 constant is 2
+//! under its two-ops-per-step convention) *emerges* from the simulation
+//! rather than being assumed.
+
+// Grid/stage updates read clearer with explicit indices.
+#![allow(clippy::needless_range_loop)]
+use sdp_semiring::Cost;
+
+/// One in-flight operand word.
+#[derive(Clone, Copy, Debug)]
+struct Msg {
+    /// Destination cell.
+    to: (usize, usize),
+    /// Which split this operand serves at the destination.
+    split: usize,
+    /// Operand side: row (left) or column (down).
+    from_row: bool,
+    /// The carried subchain cost.
+    value: Cost,
+    /// Delivery cycle.
+    at: u64,
+}
+
+/// Per-cell progress.
+#[derive(Clone, Debug)]
+struct Cell {
+    /// `pairs[k - i]` = (row operand, column operand) once delivered.
+    pairs: Vec<(Option<Cost>, Option<Cost>)>,
+    /// Pairs fully delivered and awaiting processing: (ready_cycle, k).
+    ready: Vec<(u64, usize)>,
+    retired: usize,
+    /// OR-accumulation over processed alternatives.
+    best: Cost,
+    /// Completion cycle (0 = not complete).
+    done_at: u64,
+    value: Cost,
+}
+
+/// Result of a triangular-array run.
+#[derive(Clone, Debug)]
+pub struct GktResult {
+    /// The optimal chain cost `m_{1,N}`.
+    pub cost: Cost,
+    /// Cycle at which the apex cell completed.
+    pub finish: u64,
+    /// Completion cycle of every cell (`done[i][j]`, `i ≤ j`).
+    pub done: Vec<Vec<u64>>,
+    /// Total operand deliveries (words moved between cells).
+    pub messages: u64,
+    /// Total pair-retirement operations (adds + compares).
+    pub operations: u64,
+}
+
+/// The triangular array simulator.
+pub struct GktArray {
+    /// Alternatives a cell may retire per cycle.  The paper's broadcast
+    /// analysis charges two ("two additions and two comparisons are
+    /// performed" per step); GKT's original cells retire one.
+    pub ops_per_cycle: usize,
+}
+
+impl Default for GktArray {
+    fn default() -> Self {
+        GktArray { ops_per_cycle: 2 }
+    }
+}
+
+impl GktArray {
+    /// An array retiring `ops_per_cycle` alternatives per cell per cycle.
+    pub fn new(ops_per_cycle: usize) -> GktArray {
+        assert!(ops_per_cycle >= 1);
+        GktArray { ops_per_cycle }
+    }
+
+    /// Runs the array on chain dimensions `dims` (`r₀ … r_N`) — the
+    /// matrix-chain instance of [`GktArray::run_problem`].
+    pub fn run(&self, dims: &[u64]) -> GktResult {
+        assert!(dims.len() >= 2, "need at least one matrix");
+        self.run_problem(&crate::chain_problem::MatrixChain { dims })
+    }
+
+    /// Runs the array on any chain-structured polyadic DP.
+    pub fn run_problem(&self, problem: &impl crate::chain_problem::ChainProblem) -> GktResult {
+        let n = problem.n();
+        assert!(n >= 1, "need at least one leaf");
+        let mut cells: Vec<Vec<Cell>> = (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|j| Cell {
+                        pairs: if j >= i { vec![(None, None); j - i] } else { vec![] },
+                        ready: Vec::new(),
+                        retired: 0,
+                        best: Cost::INF,
+                        done_at: 0,
+                        value: Cost::INF,
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut inflight: Vec<Msg> = Vec::new();
+        let mut messages = 0u64;
+        let mut operations = 0u64;
+
+        // Diagonal cells complete at cycle 1 with the leaf values and
+        // begin transmitting immediately.
+        let mut completions: Vec<(usize, usize, Cost, u64)> = Vec::new();
+        for i in 0..n {
+            let leaf = problem.leaf_cost(i);
+            cells[i][i].value = leaf;
+            cells[i][i].best = leaf;
+            cells[i][i].done_at = 1;
+            completions.push((i, i, leaf, 1));
+        }
+
+        let emit = |inflight: &mut Vec<Msg>,
+                    messages: &mut u64,
+                    n: usize,
+                    (i, j): (usize, usize),
+                    v: Cost,
+                    t: u64| {
+            // Row i rightward: (i, j) serves split k = j at every (i, j')
+            // with j' > j; hop distance j' - j.
+            for jp in j + 1..n {
+                inflight.push(Msg {
+                    to: (i, jp),
+                    split: j,
+                    from_row: true,
+                    value: v,
+                    at: t + (jp - j) as u64,
+                });
+                *messages += 1;
+            }
+            // Column j upward: (i, j) serves split k = i − 1 at every
+            // (i', j) with i' < i; hop distance i − i'.
+            for ip in (0..i).rev() {
+                inflight.push(Msg {
+                    to: (ip, j),
+                    split: i - 1,
+                    from_row: false,
+                    value: v,
+                    at: t + (i - ip) as u64,
+                });
+                *messages += 1;
+            }
+        };
+        for (i, j, v, t) in completions.drain(..) {
+            emit(&mut inflight, &mut messages, n, (i, j), v, t);
+        }
+
+        let total_cells = n * (n + 1) / 2;
+        let mut completed = n; // diagonal done
+        let mut clock = 1u64;
+        let budget = 16 * (n as u64 + 2) + 64;
+        while completed < total_cells {
+            clock += 1;
+            assert!(clock <= budget, "GKT simulation did not converge");
+            // 1. deliver this cycle's messages
+            let mut still: Vec<Msg> = Vec::with_capacity(inflight.len());
+            for msg in inflight.drain(..) {
+                if msg.at == clock {
+                    let (i, j) = msg.to;
+                    let cell = &mut cells[i][j];
+                    let slot = &mut cell.pairs[msg.split - i];
+                    if msg.from_row {
+                        slot.0 = Some(msg.value);
+                    } else {
+                        slot.1 = Some(msg.value);
+                    }
+                    if let (Some(_), Some(_)) = *slot {
+                        cell.ready.push((clock, msg.split));
+                    }
+                } else {
+                    still.push(msg);
+                }
+            }
+            inflight = still;
+            // 2. cells retire ready pairs (delivered on earlier cycles)
+            for i in 0..n {
+                for j in i + 1..n {
+                    let cell = &mut cells[i][j];
+                    if cell.done_at != 0 || cell.ready.is_empty() {
+                        continue;
+                    }
+                    let mut ops = 0;
+                    let mut idx = 0;
+                    while idx < cell.ready.len() && ops < self.ops_per_cycle {
+                        let (arrived, k) = cell.ready[idx];
+                        if arrived < clock {
+                            let (l, r) = cell.pairs[k - i];
+                            let local = problem.combine_cost(i, k, j);
+                            let cand = l.expect("paired") + r.expect("paired") + local;
+                            cell.best = cell.best.min(cand);
+                            cell.retired += 1;
+                            operations += 1;
+                            ops += 1;
+                            cell.ready.remove(idx);
+                        } else {
+                            idx += 1;
+                        }
+                    }
+                    if cell.retired == cell.pairs.len() {
+                        cell.done_at = clock;
+                        cell.value = cell.best;
+                        completed += 1;
+                        let v = cell.best;
+                        emit(&mut inflight, &mut messages, n, (i, j), v, clock);
+                    }
+                }
+            }
+        }
+
+        let done = (0..n)
+            .map(|i| (0..n).map(|j| cells[i][j].done_at).collect())
+            .collect();
+        GktResult {
+            cost: cells[0][n - 1].value,
+            finish: cells[0][n - 1].done_at,
+            done,
+            messages,
+            operations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdp_andor::chain::matrix_chain_order;
+    use sdp_multistage::generate;
+
+    #[test]
+    fn computes_the_dp_optimum() {
+        let cases: &[&[u64]] = &[
+            &[30, 35, 15, 5, 10, 20, 25],
+            &[2, 3, 4],
+            &[5, 4, 6, 2, 7],
+            &[7, 3],
+        ];
+        for dims in cases {
+            let res = GktArray::default().run(dims);
+            assert_eq!(res.cost, matrix_chain_order(dims).cost, "{dims:?}");
+        }
+    }
+
+    #[test]
+    fn random_chains_match_dp() {
+        for seed in 0..20 {
+            let n = 2 + (seed as usize % 12);
+            let dims = generate::random_chain_dims(seed, n, 1, 40);
+            let res = GktArray::default().run(&dims);
+            assert_eq!(res.cost, matrix_chain_order(&dims).cost, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn finish_time_is_linear_in_n() {
+        // T(n) must be affine: T(2n) − 2·T(n) constant, slope near the
+        // paper's 2 (two retirements per cycle).
+        let t = |n: usize| {
+            let dims: Vec<u64> = (0..=n).map(|i| 1 + (i as u64 % 5)).collect();
+            GktArray::default().run(&dims).finish
+        };
+        let (t8, t16, t32, t64) = (t(8), t(16), t(32), t(64));
+        let s1 = (t32 - t16) as f64 / 16.0;
+        let s2 = (t64 - t32) as f64 / 32.0;
+        assert!((s1 - s2).abs() < 0.2, "slope drift: {s1} vs {s2}");
+        assert!((1.5..=3.0).contains(&s1), "slope {s1} out of linear band");
+        // affine check
+        let c1 = t16 as i64 - 2 * t8 as i64;
+        let c2 = t32 as i64 - 2 * t16 as i64;
+        assert!((c1 - c2).abs() <= 2, "not affine: {c1} vs {c2}");
+    }
+
+    #[test]
+    fn one_op_per_cycle_is_slower_but_correct() {
+        let dims = generate::random_chain_dims(5, 12, 1, 30);
+        let fast = GktArray::new(2).run(&dims);
+        let slow = GktArray::new(1).run(&dims);
+        assert_eq!(fast.cost, slow.cost);
+        assert!(slow.finish >= fast.finish);
+    }
+
+    #[test]
+    fn completion_wavefront_is_monotone_in_size() {
+        let dims: Vec<u64> = (0..=10).map(|i| 2 + (i % 3)).collect();
+        let res = GktArray::default().run(&dims);
+        for i in 0..10 {
+            for j in i + 1..10 {
+                assert!(
+                    res.done[i][j] > res.done[i][j - 1],
+                    "({i},{j}) before its left neighbour"
+                );
+                assert!(
+                    res.done[i][j] > res.done[i + 1][j],
+                    "({i},{j}) before its lower neighbour"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn message_count_is_cubic_shape() {
+        // Every cell value travels to all cells right in its row and up
+        // in its column: Σ distances = Θ(n³) words for the full triangle.
+        let t = |n: usize| {
+            let dims: Vec<u64> = (0..=n).map(|_| 3).collect();
+            GktArray::default().run(&dims).messages
+        };
+        let (m8, m16) = (t(8), t(16));
+        let growth = m16 as f64 / m8 as f64;
+        assert!((6.0..=10.0).contains(&growth), "growth {growth} not ~8x");
+    }
+
+    #[test]
+    fn operations_equal_total_alternatives() {
+        let n = 9usize;
+        let dims: Vec<u64> = (0..=n).map(|_| 2).collect();
+        let res = GktArray::default().run(&dims);
+        let alts: u64 = (2..=n as u64).map(|len| (len - 1) * (n as u64 - len + 1)).sum();
+        assert_eq!(res.operations, alts);
+    }
+
+    #[test]
+    fn merge_tree_runs_on_the_triangle() {
+        use crate::chain_problem::{ChainProblem, MergeTree};
+        let freq = [12u64, 3, 25, 7, 18, 4, 9];
+        let p = MergeTree::new(&freq);
+        let res = GktArray::default().run_problem(&p);
+        assert_eq!(res.cost, p.solve_dp());
+        assert_eq!(res.finish, 2 * freq.len() as u64 - 1);
+    }
+
+    #[test]
+    fn single_matrix_completes_immediately() {
+        let res = GktArray::default().run(&[4, 7]);
+        assert_eq!(res.cost, Cost::ZERO);
+        assert_eq!(res.finish, 1);
+    }
+}

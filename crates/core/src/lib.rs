@@ -1,0 +1,57 @@
+//! Systolic-array designs for dynamic programming — the primary
+//! contribution of Wah & Li (1985), reproduced as cycle-accurate
+//! simulations on the [`sdp_systolic`] engine.
+//!
+//! # The three monadic-serial designs (§3.2)
+//!
+//! A monadic-serial DP problem is a string of min-plus matrix products
+//! (Eq. 8).  Three linear arrays evaluate it:
+//!
+//! * [`design1`] — the *pipelined* array of Fig. 3: the data shifted
+//!   alternate between the input vector and the result vector every `m`
+//!   iterations, steered by the ODD/MOVE/FIRST control signals;
+//! * [`design2`] — the *broadcast* array of Fig. 4: inputs are broadcast
+//!   to every PE, results stay stationary and are fed back through the
+//!   `S` registers at matrix boundaries;
+//! * [`design3`] — the *node-value* array of Fig. 5: only node values
+//!   enter the array (an order-of-magnitude I/O reduction), edge costs are
+//!   computed in-PE by the `F` component, and a feedback controller
+//!   returns stage results round-robin; optional path registers recover
+//!   the optimal path.
+//!
+//! # Polyadic-serial machinery (§4, §5)
+//!
+//! * [`dnc`] — divide-and-conquer over `K` systolic arrays: Eq. 29 exact
+//!   times, PU(k,N) (Prop. 1), `S·T²`/`K·T²` (Thm. 1, Fig. 6), and a real
+//!   multi-threaded executor that runs the same schedule on host cores;
+//!
+//! # Polyadic-nonserial machinery (§6.2)
+//!
+//! * [`chain_array`] — the two architectures for the matrix-chain
+//!   AND/OR-graph: direct broadcast mapping (`T_d(N) = N`, Prop. 2) and
+//!   the serialized pipelined mapping (`T_p(N) = 2N`, Prop. 3, Fig. 8);
+//!
+//! # Classification (§2, §7)
+//!
+//! * [`classify`] — the four-way taxonomy and the Table 1 recommendation
+//!   engine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chain_array;
+pub mod chain_problem;
+pub mod classify;
+pub mod design1;
+pub mod design2;
+pub mod design3;
+pub mod dnc;
+pub mod edit_array;
+pub mod gkt;
+pub mod matmul_array;
+pub mod nonserial_array;
+
+pub use classify::{Arity, Formulation, Recommendation, Seriality};
+pub use design1::Design1Array;
+pub use design2::Design2Array;
+pub use design3::Design3Array;

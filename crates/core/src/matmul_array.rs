@@ -1,0 +1,240 @@
+//! The classic 2-D matrix-multiplication systolic array — the hardware
+//! *unit* of the §4 divide-and-conquer analysis.
+//!
+//! Theorem 1 and Figure 6 measure time in units of `T₁`, "the time to
+//! multiply a pair of m × m matrices by a systolic array".  This module
+//! makes `T₁` concrete: a result-stationary mesh (Kung's design, the
+//! paper's reference \[17\]) where
+//!
+//! * row `i` of `A` streams in from the **west**, skewed one cycle per
+//!   row (`a_{i,k}` enters at cycle `i + k`);
+//! * column `j` of `B` streams in from the **north**, skewed one cycle
+//!   per column (`b_{k,j}` enters at cycle `j + k`);
+//! * PE `(i, j)` sees `a_{i,k}` and `b_{k,j}` *in the same cycle*
+//!   (`i + j + k`) and accumulates `cᵢⱼ ⊕= a ⊗ b` in place.
+//!
+//! A `p×q · q×r` product completes in exactly `p + q + r − 2` cycles
+//! (`3m − 2` for square `m`), which [`MatmulArray::t1`] exposes to the
+//! divide-and-conquer scheduler so Eq. 29's abstract `T₁` can be stated
+//! in real cycles.
+
+use sdp_semiring::{Matrix, Semiring};
+use sdp_systolic::{Mesh2D, MeshProcessingElement, Stats};
+
+/// Multiply-accumulate PE: result element stays in place, operands pass.
+struct MacPe<S> {
+    acc: S,
+    busy: bool,
+}
+
+impl<S: Semiring> MeshProcessingElement for MacPe<S> {
+    type Horiz = S;
+    type Vert = S;
+    type Ctrl = ();
+
+    fn step(&mut self, west: Option<S>, north: Option<S>, _: ()) -> (Option<S>, Option<S>) {
+        self.busy = west.is_some() && north.is_some();
+        if let (Some(a), Some(b)) = (west, north) {
+            self.acc = self.acc.add(a.mul(b));
+        }
+        (west, north)
+    }
+
+    fn was_busy(&self) -> bool {
+        self.busy
+    }
+}
+
+/// Result of one array multiplication.
+#[derive(Clone, Debug)]
+pub struct MatmulRun<S: Semiring> {
+    /// The product matrix.
+    pub product: Matrix<S>,
+    /// Cycles taken (`p + q + r − 2`).
+    pub cycles: u64,
+    /// Engine statistics (PE busy counts, edge I/O words).
+    pub stats: Stats,
+}
+
+/// The result-stationary matrix-multiplication array driver.
+pub struct MatmulArray;
+
+impl MatmulArray {
+    /// The closed-form cycle count `T₁` for a `p×q · q×r` product.
+    pub fn t1(p: usize, q: usize, r: usize) -> u64 {
+        (p + q + r - 2) as u64
+    }
+
+    /// Multiplies `a · b` on a `p × r` mesh; panics on dimension
+    /// mismatch.  Works over any [`Semiring`].
+    pub fn multiply<S: Semiring>(a: &Matrix<S>, b: &Matrix<S>) -> MatmulRun<S> {
+        assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+        let (p, q, r) = (a.rows(), a.cols(), b.cols());
+        let mut mesh = Mesh2D::new(
+            p,
+            r,
+            (0..p * r)
+                .map(|_| MacPe {
+                    acc: S::zero(),
+                    busy: false,
+                })
+                .collect::<Vec<_>>(),
+        );
+        let total = Self::t1(p, q, r);
+        for t in 0..total {
+            mesh.cycle(
+                |i| {
+                    // a_{i,k} enters row i at cycle i + k
+                    let k = t as i64 - i as i64;
+                    (0..q as i64).contains(&k).then(|| a.get(i, k as usize))
+                },
+                |j| {
+                    // b_{k,j} enters column j at cycle j + k
+                    let k = t as i64 - j as i64;
+                    (0..q as i64).contains(&k).then(|| b.get(k as usize, j))
+                },
+                |_, _| (),
+            );
+        }
+        let product = Matrix::from_fn(p, r, |i, j| mesh.pe(i, j).acc);
+        MatmulRun {
+            product,
+            cycles: mesh.stats().cycles(),
+            stats: mesh.stats().clone(),
+        }
+    }
+
+    /// Multiplies an entire string by the §4 divide-and-conquer schedule
+    /// using *array simulations* for every product: `k` arrays work in
+    /// synchronous rounds of `T₁` cycles each.  Returns the product and
+    /// the total cycle count `rounds × T₁` (square matrices only).
+    pub fn multiply_string_dnc<S: Semiring>(
+        mats: &[Matrix<S>],
+        k: u64,
+    ) -> (Matrix<S>, u64) {
+        assert!(!mats.is_empty());
+        let m = mats[0].rows();
+        for mat in mats {
+            assert_eq!((mat.rows(), mat.cols()), (m, m), "need square m x m matrices");
+        }
+        let t1 = Self::t1(m, m, m);
+        let mut layer: Vec<Matrix<S>> = mats.to_vec();
+        let mut cycles = 0u64;
+        while layer.len() > 1 {
+            cycles += t1;
+            let t = ((layer.len() / 2) as u64).min(k) as usize;
+            let rest = layer.split_off(2 * t);
+            let products: Vec<Matrix<S>> = layer
+                .chunks(2)
+                .map(|pair| Self::multiply(&pair[0], &pair[1]).product)
+                .collect();
+            layer = products.into_iter().chain(rest).collect();
+        }
+        (layer.pop().expect("one matrix remains"), cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdp_semiring::{BoolOr, CountPlus, MaxPlus, MinPlus};
+    use sdp_systolic::scheduler::TreeScheduler;
+
+    fn rand_mat(seed: u64, rows: usize, cols: usize) -> Matrix<MinPlus> {
+        let mut state = seed.wrapping_add(11);
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) % 60) as i64
+        };
+        Matrix::from_fn(rows, cols, |_, _| MinPlus::from(next()))
+    }
+
+    #[test]
+    fn square_product_matches_reference() {
+        for m in 1..=6 {
+            let a = rand_mat(m as u64, m, m);
+            let b = rand_mat(m as u64 + 100, m, m);
+            let run = MatmulArray::multiply(&a, &b);
+            assert_eq!(run.product, a.mul(&b), "m={m}");
+            assert_eq!(run.cycles, (3 * m - 2) as u64, "m={m}");
+        }
+    }
+
+    #[test]
+    fn rectangular_products() {
+        for (p, q, r) in [(2usize, 5usize, 3usize), (1, 4, 6), (7, 1, 2), (3, 3, 1)] {
+            let a = rand_mat((p * q) as u64, p, q);
+            let b = rand_mat((q * r) as u64, q, r);
+            let run = MatmulArray::multiply(&a, &b);
+            assert_eq!(run.product, a.mul(&b), "({p},{q},{r})");
+            assert_eq!(run.cycles, MatmulArray::t1(p, q, r), "({p},{q},{r})");
+        }
+    }
+
+    #[test]
+    fn works_over_other_semirings() {
+        let a = Matrix::from_fn(3, 3, |i, j| MaxPlus::from((i * 3 + j) as i64));
+        let b = Matrix::from_fn(3, 3, |i, j| MaxPlus::from((j * 2 + i) as i64));
+        assert_eq!(MatmulArray::multiply(&a, &b).product, a.mul(&b));
+
+        let ones = Matrix::from_fn(2, 2, |_, _| CountPlus(1));
+        assert_eq!(MatmulArray::multiply(&ones, &ones).product, ones.mul(&ones));
+
+        let mut adj = Matrix::<BoolOr>::zeros(3, 3);
+        adj.set(0, 1, BoolOr(true));
+        adj.set(1, 2, BoolOr(true));
+        assert_eq!(MatmulArray::multiply(&adj, &adj).product, adj.mul(&adj));
+    }
+
+    #[test]
+    fn busy_ops_equal_pqr() {
+        // Each PE performs exactly q multiply-accumulates.
+        let (p, q, r) = (3usize, 4usize, 2usize);
+        let a = rand_mat(1, p, q);
+        let b = rand_mat(2, q, r);
+        let run = MatmulArray::multiply(&a, &b);
+        let busy: u64 = (0..p * r).map(|i| run.stats.busy(i)).sum();
+        assert_eq!(busy, (p * q * r) as u64);
+    }
+
+    #[test]
+    fn utilization_is_about_one_third_for_square() {
+        // q useful cycles out of 3m-2 per PE.
+        let m = 12;
+        let a = rand_mat(7, m, m);
+        let b = rand_mat(8, m, m);
+        let run = MatmulArray::multiply(&a, &b);
+        let u = run.stats.utilization().overall;
+        let expect = m as f64 / (3 * m - 2) as f64;
+        assert!((u - expect).abs() < 1e-9, "{u} vs {expect}");
+    }
+
+    #[test]
+    fn dnc_string_on_arrays_matches_fold_and_schedule() {
+        let mats: Vec<Matrix<MinPlus>> = (0..6).map(|s| rand_mat(s, 3, 3)).collect();
+        for k in [1u64, 2, 4] {
+            let (prod, cycles) = MatmulArray::multiply_string_dnc(&mats, k);
+            assert_eq!(prod, Matrix::string_product(&mats), "k={k}");
+            let rounds = TreeScheduler.simulate(6, k).rounds;
+            assert_eq!(cycles, rounds * MatmulArray::t1(3, 3, 3), "k={k}");
+        }
+    }
+
+    #[test]
+    fn single_matrix_needs_zero_cycles() {
+        let mats = vec![rand_mat(1, 2, 2)];
+        let (prod, cycles) = MatmulArray::multiply_string_dnc(&mats, 4);
+        assert_eq!(prod, mats[0]);
+        assert_eq!(cycles, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn mismatch_rejected() {
+        let a = rand_mat(1, 2, 3);
+        let b = rand_mat(2, 2, 2);
+        let _ = MatmulArray::multiply(&a, &b);
+    }
+}

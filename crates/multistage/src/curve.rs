@@ -1,0 +1,242 @@
+//! Curve detection by dynamic programming — the application behind the
+//! paper's reference \[9\] (Clarke & Dyer, "Systolic Array for a Dynamic
+//! Programming Application", curve and line detection).
+//!
+//! The classical formulation: an edge-magnitude image of `W` columns and
+//! `H` rows; a *curve* is one row position per column with bounded
+//! row-to-row movement (a curvature constraint).  Finding the maximum-
+//! merit curve is a serial DP over a multistage graph — columns are
+//! stages, rows are vertices, and the edge cost trades smoothness against
+//! edge strength.  Because this crate's machinery minimizes, merit is
+//! negated into a cost: `cost = curvature·|Δrow| + (mag_max − magnitude)`.
+
+// Grid/stage updates read clearer with explicit indices.
+#![allow(clippy::needless_range_loop)]
+use crate::graph::MultistageGraph;
+use crate::solve;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sdp_semiring::Cost;
+
+/// A synthetic edge-magnitude image with a known embedded curve.
+#[derive(Clone, Debug)]
+pub struct SyntheticImage {
+    /// Columns (stages).
+    pub width: usize,
+    /// Rows (vertices per stage).
+    pub height: usize,
+    /// Row-major magnitudes `mag[col][row]`, in `0..=mag_max`.
+    pub mag: Vec<Vec<i64>>,
+    /// Maximum magnitude value used.
+    pub mag_max: i64,
+    /// Ground-truth curve: the embedded row per column.
+    pub truth: Vec<usize>,
+}
+
+/// Detector configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct CurveConfig {
+    /// Cost per unit of row change between adjacent columns.
+    pub curvature_penalty: i64,
+    /// Maximum allowed row change per column (larger jumps cost `INF`).
+    pub max_step: usize,
+}
+
+impl Default for CurveConfig {
+    fn default() -> Self {
+        CurveConfig {
+            curvature_penalty: 3,
+            max_step: 1,
+        }
+    }
+}
+
+/// The detection result.
+#[derive(Clone, Debug)]
+pub struct DetectedCurve {
+    /// Detected row per column.
+    pub rows: Vec<usize>,
+    /// Total path cost (lower = stronger, smoother curve).
+    pub cost: Cost,
+}
+
+impl SyntheticImage {
+    /// Generates a `width × height` image containing one smooth random
+    /// curve of strong magnitudes over uniform noise.
+    ///
+    /// * `signal` — magnitude of curve pixels (should exceed the noise
+    ///   ceiling for reliable detection);
+    /// * `noise` — background magnitudes are drawn from `0..=noise`.
+    pub fn generate(seed: u64, width: usize, height: usize, signal: i64, noise: i64) -> Self {
+        assert!(width >= 2 && height >= 1);
+        assert!(signal > 0 && noise >= 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut mag = vec![vec![0i64; height]; width];
+        for col in mag.iter_mut() {
+            for px in col.iter_mut() {
+                *px = rng.gen_range(0..=noise);
+            }
+        }
+        // random smooth walk
+        let mut row = rng.gen_range(0..height);
+        let mut truth = Vec::with_capacity(width);
+        for col in 0..width {
+            truth.push(row);
+            mag[col][row] = signal;
+            let step: i64 = rng.gen_range(-1..=1);
+            row = (row as i64 + step).clamp(0, height as i64 - 1) as usize;
+        }
+        SyntheticImage {
+            width,
+            height,
+            mag,
+            mag_max: signal.max(noise),
+            truth,
+        }
+    }
+
+    /// Builds the multistage graph of the detection DP: stage `s` =
+    /// column `s`, vertex = row, edge cost per the module formulation.
+    /// The magnitude of the *destination* pixel is charged on each edge,
+    /// plus the full first-column magnitude on the stage-0 side (folded
+    /// into the first transition so the graph stays edge-cost-only).
+    pub fn to_multistage(&self, cfg: CurveConfig) -> MultistageGraph {
+        let h = self.height;
+        let mats = (0..self.width - 1)
+            .map(|s| {
+                sdp_semiring::Matrix::from_fn(h, h, |i, j| {
+                    let step = i.abs_diff(j);
+                    if step > cfg.max_step {
+                        return sdp_semiring::MinPlus(Cost::INF);
+                    }
+                    let mut c = cfg.curvature_penalty * step as i64
+                        + (self.mag_max - self.mag[s + 1][j]);
+                    if s == 0 {
+                        c += self.mag_max - self.mag[0][i];
+                    }
+                    sdp_semiring::MinPlus(Cost::from(c))
+                })
+            })
+            .collect();
+        MultistageGraph::new(mats)
+    }
+
+    /// Runs the sequential DP detector.
+    pub fn detect(&self, cfg: CurveConfig) -> DetectedCurve {
+        let g = self.to_multistage(cfg);
+        let dp = solve::forward_dp(&g);
+        DetectedCurve {
+            rows: dp.path.clone(),
+            cost: dp.cost,
+        }
+    }
+
+    /// Fraction of columns where `detected` is within `tol` rows of the
+    /// embedded ground truth.
+    pub fn accuracy(&self, detected: &[usize], tol: usize) -> f64 {
+        assert_eq!(detected.len(), self.width);
+        let hits = detected
+            .iter()
+            .zip(&self.truth)
+            .filter(|&(&d, &t)| d.abs_diff(t) <= tol)
+            .count();
+        hits as f64 / self.width as f64
+    }
+
+    /// ASCII rendering: ground truth `*`, detection `o`, overlap `@`.
+    pub fn render(&self, detected: &[usize]) -> String {
+        let mut out = String::new();
+        for r in 0..self.height {
+            for c in 0..self.width {
+                let t = self.truth[c] == r;
+                let d = detected.get(c).copied() == Some(r);
+                out.push(match (t, d) {
+                    (true, true) => '@',
+                    (true, false) => '*',
+                    (false, true) => 'o',
+                    (false, false) => {
+                        if self.mag[c][r] > self.mag_max / 2 {
+                            '+'
+                        } else {
+                            '.'
+                        }
+                    }
+                });
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_image_detected_exactly() {
+        // strong signal, zero noise: the detector must recover the curve.
+        let img = SyntheticImage::generate(1, 30, 8, 100, 0);
+        let det = img.detect(CurveConfig::default());
+        assert_eq!(det.rows, img.truth);
+        assert!((img.accuracy(&det.rows, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_image_detected_closely() {
+        for seed in 0..5 {
+            let img = SyntheticImage::generate(seed, 40, 10, 100, 60);
+            let det = img.detect(CurveConfig::default());
+            let acc = img.accuracy(&det.rows, 1);
+            assert!(acc > 0.8, "seed {seed}: accuracy {acc}");
+        }
+    }
+
+    #[test]
+    fn curvature_constraint_respected() {
+        let img = SyntheticImage::generate(3, 25, 12, 100, 30);
+        let cfg = CurveConfig {
+            curvature_penalty: 2,
+            max_step: 1,
+        };
+        let det = img.detect(cfg);
+        for w in det.rows.windows(2) {
+            assert!(w[0].abs_diff(w[1]) <= 1);
+        }
+    }
+
+    #[test]
+    fn higher_penalty_gives_smoother_curves() {
+        let img = SyntheticImage::generate(7, 40, 12, 80, 70);
+        let wiggly = img.detect(CurveConfig {
+            curvature_penalty: 0,
+            max_step: 3,
+        });
+        let smooth = img.detect(CurveConfig {
+            curvature_penalty: 50,
+            max_step: 3,
+        });
+        let bends = |rows: &[usize]| -> usize {
+            rows.windows(2).map(|w| w[0].abs_diff(w[1])).sum()
+        };
+        assert!(bends(&smooth.rows) <= bends(&wiggly.rows));
+    }
+
+    #[test]
+    fn graph_shape_matches_image() {
+        let img = SyntheticImage::generate(5, 10, 6, 50, 10);
+        let g = img.to_multistage(CurveConfig::default());
+        assert_eq!(g.num_stages(), 10);
+        assert!(g.is_uniform());
+        assert_eq!(g.stage_size(0), 6);
+    }
+
+    #[test]
+    fn render_marks_truth_and_detection() {
+        let img = SyntheticImage::generate(2, 10, 4, 100, 0);
+        let det = img.detect(CurveConfig::default());
+        let pic = img.render(&det.rows);
+        assert!(pic.contains('@')); // perfect overlap on clean image
+        assert_eq!(pic.lines().count(), 4);
+    }
+}

@@ -1,0 +1,259 @@
+//! Workload generators: random instances and the four applications the
+//! paper motivates in §2.2.
+//!
+//! Each generator returns either an edge-cost [`MultistageGraph`] or a
+//! node-value [`NodeValueGraph`]; the latter match the paper's examples
+//! where "the edge costs are expressed as functions of the nodes
+//! connected".
+
+use crate::graph::MultistageGraph;
+use crate::node_value::{
+    AbsDiff, AsymmetricRamp, EdgeCostFn, InventoryCost, NodeValueGraph, ServiceDelay,
+    SquaredDiff,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sdp_semiring::Cost;
+
+/// Uniform-random edge-cost multistage graph: `stages` stages of `m`
+/// vertices, costs drawn from `lo..=hi`.
+pub fn random_uniform(
+    seed: u64,
+    stages: usize,
+    m: usize,
+    lo: i64,
+    hi: i64,
+) -> MultistageGraph {
+    assert!(lo <= hi);
+    let mut rng = StdRng::seed_from_u64(seed);
+    MultistageGraph::uniform_from_fn(stages, m, |_, _, _| Cost::from(rng.gen_range(lo..=hi)))
+}
+
+/// Single-source / single-sink random graph in the Fig. 1(a) shape:
+/// `stages` total stages (including the degenerate first and last), `m`
+/// vertices per intermediate stage.
+pub fn random_single_source_sink(
+    seed: u64,
+    stages: usize,
+    m: usize,
+    lo: i64,
+    hi: i64,
+) -> MultistageGraph {
+    assert!(stages >= 3, "need source, >=1 intermediate, sink");
+    assert!(lo <= hi);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cost = |_r: usize, _c: usize| sdp_semiring::MinPlus(Cost::from(rng.gen_range(lo..=hi)));
+    let mut mats = Vec::with_capacity(stages - 1);
+    mats.push(sdp_semiring::Matrix::from_fn(1, m, &mut cost));
+    for _ in 0..stages - 3 {
+        mats.push(sdp_semiring::Matrix::from_fn(m, m, &mut cost));
+    }
+    mats.push(sdp_semiring::Matrix::from_fn(m, 1, &mut cost));
+    MultistageGraph::new(mats)
+}
+
+/// Sparse random graph: like [`random_uniform`] but each edge is absent
+/// (cost `INF`) with probability `p_absent`, while guaranteeing at least
+/// one outgoing edge per vertex so a path always exists.
+pub fn random_sparse(
+    seed: u64,
+    stages: usize,
+    m: usize,
+    lo: i64,
+    hi: i64,
+    p_absent: f64,
+) -> MultistageGraph {
+    assert!((0.0..1.0).contains(&p_absent));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = MultistageGraph::uniform_from_fn(stages, m, |_, _, _| {
+        if rng.gen_bool(p_absent) {
+            Cost::INF
+        } else {
+            Cost::from(rng.gen_range(lo..=hi))
+        }
+    });
+    // Repair: every vertex keeps at least one outgoing edge.
+    for s in 0..stages - 1 {
+        for i in 0..m {
+            let has_edge = (0..m).any(|j| g.edge_cost(s, i, j).is_finite());
+            if !has_edge {
+                let j = rng.gen_range(0..m);
+                g.set_edge_cost(s, i, j, Cost::from(rng.gen_range(lo..=hi)));
+            }
+        }
+    }
+    g
+}
+
+/// Traffic-light timing (§2.2): stage `i` holds the candidate times for
+/// the light to enter state `i`; the edge cost is the timing difference.
+pub fn traffic_light(seed: u64, states: usize, slots: usize) -> NodeValueGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut base = 0i64;
+    NodeValueGraph::uniform_from_fn(states, slots, Box::new(AbsDiff), |s, j| {
+        if s > 0 && j == 0 {
+            base += rng.gen_range(5..15);
+        }
+        base + (j as i64) * rng.gen_range(1..4)
+    })
+}
+
+/// Circuit voltage assignment (§2.2): stage `i` holds candidate voltages
+/// at point `i`; cost is quadratic power dissipation across the step.
+pub fn circuit_voltage(seed: u64, points: usize, levels: usize) -> NodeValueGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    NodeValueGraph::uniform_from_fn(points, levels, Box::new(SquaredDiff), |_, j| {
+        (j as i64) * 2 + rng.gen_range(0..2)
+    })
+}
+
+/// Fluid-flow pump pressures (§2.2): raising pressure costs more than
+/// lowering it (asymmetric ramp).
+pub fn fluid_flow(seed: u64, pumps: usize, pressures: usize) -> NodeValueGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    NodeValueGraph::uniform_from_fn(
+        pumps,
+        pressures,
+        Box::new(AsymmetricRamp::default()),
+        |_, j| 10 + (j as i64) * rng.gen_range(2..5),
+    )
+}
+
+/// Task-scheduling service times (§2.2): stage `i` holds candidate
+/// service times for task `i`; cost is service plus tardiness.
+pub fn task_scheduling(seed: u64, tasks: usize, choices: usize) -> NodeValueGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    NodeValueGraph::uniform_from_fn(
+        tasks,
+        choices,
+        Box::new(ServiceDelay::default()),
+        |_, j| 1 + (j as i64) + rng.gen_range(0..3),
+    )
+}
+
+/// Inventory / multistage-production planning (§3.2's "inventory
+/// systems"): stage `i` holds the candidate end-of-period inventory
+/// levels `0, 1, …, levels−1` for period `i`; transitions that would
+/// require negative production are `INF` (absent edges).
+pub fn inventory(seed: u64, periods: usize, levels: usize) -> NodeValueGraph {
+    assert!(periods >= 2 && levels >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let params = InventoryCost {
+        demand: rng.gen_range(2..5),
+        setup: rng.gen_range(5..12),
+        unit: rng.gen_range(1..4),
+        holding: rng.gen_range(1..3),
+    };
+    NodeValueGraph::uniform_from_fn(periods, levels, Box::new(params), |_, j| j as i64)
+}
+
+/// A node-value graph with an arbitrary cost function — the generic entry
+/// point the examples use.
+pub fn node_value_random(
+    seed: u64,
+    stages: usize,
+    m: usize,
+    f: Box<dyn EdgeCostFn>,
+    lo: i64,
+    hi: i64,
+) -> NodeValueGraph {
+    assert!(lo <= hi);
+    let mut rng = StdRng::seed_from_u64(seed);
+    NodeValueGraph::uniform_from_fn(stages, m, f, |_, _| rng.gen_range(lo..=hi))
+}
+
+/// Random matrix-chain dimensions `r₀ … r_N` for the §6.2 secondary
+/// optimization problem (optimal parenthesization).
+pub fn random_chain_dims(seed: u64, n: usize, lo: u64, hi: u64) -> Vec<u64> {
+    assert!(n >= 1 && lo >= 1 && lo <= hi);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..=n).map(|_| rng.gen_range(lo..=hi)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_uniform_is_deterministic_per_seed() {
+        let a = random_uniform(7, 5, 4, 0, 9);
+        let b = random_uniform(7, 5, 4, 0, 9);
+        let c = random_uniform(8, 5, 4, 0, 9);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_uniform_respects_bounds() {
+        let g = random_uniform(1, 4, 3, 2, 6);
+        for s in 0..3 {
+            for i in 0..3 {
+                for j in 0..3 {
+                    let c = g.edge_cost(s, i, j);
+                    assert!(c >= Cost::from(2) && c <= Cost::from(6));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_source_sink_shape() {
+        let g = random_single_source_sink(3, 6, 4, 1, 9);
+        assert!(g.is_single_source_sink_uniform());
+        assert_eq!(g.num_stages(), 6);
+        assert_eq!(g.stage_size(0), 1);
+        assert_eq!(g.stage_size(1), 4);
+    }
+
+    #[test]
+    fn sparse_always_has_a_path() {
+        for seed in 0..20 {
+            let g = random_sparse(seed, 6, 4, 1, 9, 0.7);
+            assert!(g.optimal_cost().is_finite(), "seed {seed} unreachable");
+        }
+    }
+
+    #[test]
+    fn traffic_light_monotone_slots() {
+        let g = traffic_light(5, 4, 3);
+        assert_eq!(g.num_stages(), 4);
+        assert_eq!(g.stage_size(0), 3);
+        // All costs are |Δt| >= 0.
+        for s in 0..3 {
+            for i in 0..3 {
+                for j in 0..3 {
+                    assert!(g.edge_cost(s, i, j) >= Cost::ZERO);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn application_generators_solvable() {
+        for g in [
+            circuit_voltage(2, 5, 4),
+            fluid_flow(3, 5, 4),
+            task_scheduling(4, 5, 4),
+        ] {
+            let ms = g.to_multistage();
+            assert!(ms.optimal_cost().is_finite());
+        }
+    }
+
+    #[test]
+    fn inventory_always_has_a_feasible_plan() {
+        for seed in 0..10 {
+            let g = inventory(seed, 6, 5);
+            let ms = g.to_multistage();
+            let cost = crate::solve::forward_dp(&ms).cost;
+            assert!(cost.is_finite(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn chain_dims_length_and_bounds() {
+        let d = random_chain_dims(9, 6, 2, 10);
+        assert_eq!(d.len(), 7);
+        assert!(d.iter().all(|&r| (2..=10).contains(&r)));
+    }
+}

@@ -1,0 +1,260 @@
+//! The edge-cost multistage graph and its matrix-string form.
+
+use sdp_semiring::{Cost, Matrix, MinPlus};
+
+/// A multistage graph: vertices are grouped into stages `0 … S−1`, and
+/// edges run only from stage `i` to stage `i+1`, with finite or `INF`
+/// (absent) costs.
+///
+/// Stage `i → i+1` costs are stored as an `mᵢ × mᵢ₊₁` min-plus matrix, so
+/// the whole graph *is* the string of matrices of the paper's Eq. 8, and
+/// the shortest source→sink path cost is the right-associated string
+/// product.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MultistageGraph {
+    /// `costs[i]` is the `mᵢ × mᵢ₊₁` cost matrix from stage `i` to `i+1`.
+    costs: Vec<Matrix<MinPlus>>,
+}
+
+impl MultistageGraph {
+    /// Builds a graph from per-stage cost matrices; adjacent matrices must
+    /// have matching inner dimensions.
+    pub fn new(costs: Vec<Matrix<MinPlus>>) -> MultistageGraph {
+        assert!(!costs.is_empty(), "a multistage graph needs >= 2 stages");
+        for w in costs.windows(2) {
+            assert_eq!(
+                w[0].cols(),
+                w[1].rows(),
+                "stage sizes must chain: {}x{} then {}x{}",
+                w[0].rows(),
+                w[0].cols(),
+                w[1].rows(),
+                w[1].cols()
+            );
+        }
+        MultistageGraph { costs }
+    }
+
+    /// Builds a uniform graph with `stages` stages of `m` nodes each, with
+    /// every edge cost produced by `f(stage, from, to)`.
+    pub fn uniform_from_fn(
+        stages: usize,
+        m: usize,
+        mut f: impl FnMut(usize, usize, usize) -> Cost,
+    ) -> MultistageGraph {
+        assert!(stages >= 2, "need at least two stages");
+        assert!(m >= 1, "need at least one node per stage");
+        let costs = (0..stages - 1)
+            .map(|s| Matrix::from_fn(m, m, |i, j| MinPlus(f(s, i, j))))
+            .collect();
+        MultistageGraph { costs }
+    }
+
+    /// Number of stages `S` (one more than the number of cost matrices).
+    pub fn num_stages(&self) -> usize {
+        self.costs.len() + 1
+    }
+
+    /// Number of vertices in stage `s`.
+    pub fn stage_size(&self, s: usize) -> usize {
+        if s < self.costs.len() {
+            self.costs[s].rows()
+        } else {
+            self.costs[s - 1].cols()
+        }
+    }
+
+    /// Total vertex count.
+    pub fn num_vertices(&self) -> usize {
+        (0..self.num_stages()).map(|s| self.stage_size(s)).sum()
+    }
+
+    /// Total finite-cost edge count.
+    pub fn num_edges(&self) -> usize {
+        self.costs
+            .iter()
+            .map(|m| {
+                (0..m.rows())
+                    .flat_map(|i| (0..m.cols()).map(move |j| (i, j)))
+                    .filter(|&(i, j)| m.get(i, j).0.is_finite())
+                    .count()
+            })
+            .sum()
+    }
+
+    /// The cost of the edge from vertex `from` in stage `s` to vertex `to`
+    /// in stage `s+1`.
+    pub fn edge_cost(&self, s: usize, from: usize, to: usize) -> Cost {
+        self.costs[s].get(from, to).0
+    }
+
+    /// Sets the cost of edge stage `s`, `from → to`.
+    pub fn set_edge_cost(&mut self, s: usize, from: usize, to: usize, c: Cost) {
+        self.costs[s].set(from, to, MinPlus(c));
+    }
+
+    /// The stage-`s` cost matrix.
+    pub fn cost_matrix(&self, s: usize) -> &Matrix<MinPlus> {
+        &self.costs[s]
+    }
+
+    /// All cost matrices, in stage order — exactly the string of matrices
+    /// `A, B, C, D` of Eq. 8.
+    pub fn matrix_string(&self) -> &[Matrix<MinPlus>] {
+        &self.costs
+    }
+
+    /// True when every intermediate stage has the same width `m` and the
+    /// first/last stages hold a single vertex — the shape assumed by the
+    /// §3.2 systolic designs (Fig. 1a).
+    pub fn is_single_source_sink_uniform(&self) -> bool {
+        let s = self.num_stages();
+        if s < 3 || self.stage_size(0) != 1 || self.stage_size(s - 1) != 1 {
+            return false;
+        }
+        let m = self.stage_size(1);
+        (1..s - 1).all(|i| self.stage_size(i) == m)
+    }
+
+    /// True when every stage has the same width (Fig. 1b shape: multiple
+    /// sources and sinks).
+    pub fn is_uniform(&self) -> bool {
+        let m = self.stage_size(0);
+        (0..self.num_stages()).all(|i| self.stage_size(i) == m)
+    }
+
+    /// The paper's Figure 1(a): a five-stage graph with one source, one
+    /// sink, and three vertices in each intermediate stage.  The figure's
+    /// printed edge costs are not legible in the archival scan, so the
+    /// costs here are representative small integers; every experiment that
+    /// uses this graph checks *structure and schedule*, not specific cost
+    /// values.
+    pub fn fig_1a() -> MultistageGraph {
+        let a = Matrix::from_rows(1, 3, [2, 4, 3].into_iter().map(MinPlus::from).collect());
+        let b = Matrix::from_rows(
+            3,
+            3,
+            [7, 4, 6, 2, 9, 5, 8, 3, 1]
+                .into_iter()
+                .map(MinPlus::from)
+                .collect(),
+        );
+        let c = Matrix::from_rows(
+            3,
+            3,
+            [4, 1, 8, 6, 2, 7, 5, 9, 3]
+                .into_iter()
+                .map(MinPlus::from)
+                .collect(),
+        );
+        let d = Matrix::from_rows(3, 1, [5, 2, 6].into_iter().map(MinPlus::from).collect());
+        MultistageGraph::new(vec![a, b, c, d])
+    }
+
+    /// The paper's Figure 1(b): four stages (`X₁ … X₄`) of three vertices
+    /// each, with multiple sources and sinks.  Costs are representative.
+    pub fn fig_1b() -> MultistageGraph {
+        MultistageGraph::uniform_from_fn(4, 3, |s, i, j| {
+            Cost::from(((s + 1) * 3 + i * 2 + j * 5) as i64 % 11)
+        })
+    }
+
+    /// The minimum source→sink cost computed by the reference matrix
+    /// string product (single-source/single-sink graphs yield a 1×1
+    /// result; otherwise the matrix of all source/sink pair optima).
+    pub fn optimal_cost_matrix(&self) -> Matrix<MinPlus> {
+        Matrix::string_product(&self.costs)
+    }
+
+    /// The minimum cost over all source/sink pairs.
+    pub fn optimal_cost(&self) -> Cost {
+        let m = self.optimal_cost_matrix();
+        let mut best = Cost::INF;
+        for i in 0..m.rows() {
+            for j in 0..m.cols() {
+                best = best.min(m.get(i, j).0);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig_1a_shape() {
+        let g = MultistageGraph::fig_1a();
+        assert_eq!(g.num_stages(), 5);
+        assert_eq!(g.stage_size(0), 1);
+        assert_eq!(g.stage_size(1), 3);
+        assert_eq!(g.stage_size(4), 1);
+        assert!(g.is_single_source_sink_uniform());
+        assert!(!g.is_uniform());
+        assert_eq!(g.num_vertices(), 11);
+        assert_eq!(g.num_edges(), 3 + 9 + 9 + 3);
+    }
+
+    #[test]
+    fn fig_1b_shape() {
+        let g = MultistageGraph::fig_1b();
+        assert_eq!(g.num_stages(), 4);
+        assert!(g.is_uniform());
+        assert!(!g.is_single_source_sink_uniform());
+        assert_eq!(g.num_vertices(), 12);
+    }
+
+    #[test]
+    fn fig_1a_optimal_cost_is_1x1() {
+        let g = MultistageGraph::fig_1a();
+        let m = g.optimal_cost_matrix();
+        assert_eq!((m.rows(), m.cols()), (1, 1));
+        assert!(m.get(0, 0).0.is_finite());
+        // lower bound: sum of per-stage minimum edge costs
+        let lb: i64 = [2, 1, 1, 2].iter().sum();
+        assert!(m.get(0, 0).0 >= Cost::from(lb));
+    }
+
+    #[test]
+    fn edge_cost_roundtrip() {
+        let mut g = MultistageGraph::fig_1b();
+        g.set_edge_cost(1, 2, 0, Cost::from(99));
+        assert_eq!(g.edge_cost(1, 2, 0), Cost::from(99));
+    }
+
+    #[test]
+    fn uniform_from_fn_dimensions() {
+        let g = MultistageGraph::uniform_from_fn(6, 4, |_, i, j| Cost::from((i + j) as i64));
+        assert_eq!(g.num_stages(), 6);
+        assert!(g.is_uniform());
+        assert_eq!(g.cost_matrix(0).rows(), 4);
+        assert_eq!(g.edge_cost(3, 1, 2), Cost::from(3));
+    }
+
+    #[test]
+    fn optimal_cost_single_stage_pair() {
+        let g = MultistageGraph::new(vec![Matrix::from_rows(
+            2,
+            2,
+            [5, 3, 9, 1].into_iter().map(MinPlus::from).collect(),
+        )]);
+        assert_eq!(g.optimal_cost(), Cost::from(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "chain")]
+    fn mismatched_stage_sizes_rejected() {
+        let a = Matrix::<MinPlus>::zeros(2, 3);
+        let b = Matrix::<MinPlus>::zeros(2, 2);
+        let _ = MultistageGraph::new(vec![a, b]);
+    }
+
+    #[test]
+    fn inf_edges_not_counted() {
+        let mut m = Matrix::<MinPlus>::zeros(2, 2); // all INF
+        m.set(0, 1, MinPlus::from(4));
+        let g = MultistageGraph::new(vec![m]);
+        assert_eq!(g.num_edges(), 1);
+    }
+}

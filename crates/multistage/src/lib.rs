@@ -1,0 +1,35 @@
+//! Multistage graphs, workload generators, and sequential DP baselines.
+//!
+//! A *multistage graph* (Wah & Li, Fig. 1) partitions its vertices into
+//! stages with edges only between adjacent stages; serial dynamic
+//! programming is the search for a minimum-cost source→sink path in such a
+//! graph.  This crate provides:
+//!
+//! * [`graph::MultistageGraph`] — the edge-cost representation, convertible
+//!   to a string of min-plus matrices (Eq. 8);
+//! * [`node_value::NodeValueGraph`] — the node-value representation of
+//!   Eq. 4, where edge costs are `f(xᵢ, xᵢ₊₁)` of quantized node values
+//!   (the input-bandwidth-saving form driving the Fig. 5 design);
+//! * [`generate`] — random instances plus the four applications the paper
+//!   names in §2.2 (traffic-light timing, circuit voltage, fluid flow,
+//!   task scheduling);
+//! * [`solve`] — sequential forward/backward DP with path traceback, the
+//!   brute-force oracle, and the paper's serial iteration-count formulas
+//!   used as PU numerators;
+//! * [`bnb`] — the §1 branch-and-bound formulation: top-down OR-tree
+//!   search with dominance tests, quantifying what the Principle of
+//!   Optimality prunes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bnb;
+pub mod curve;
+pub mod generate;
+pub mod graph;
+pub mod node_value;
+pub mod solve;
+
+pub use graph::MultistageGraph;
+pub use node_value::{EdgeCostFn, NodeValueGraph};
+pub use solve::{DpSolution, SerialCounts};

@@ -1,0 +1,415 @@
+//! The node-value formulation of a serial optimization problem (Eq. 4).
+//!
+//! §3.2 observes that feeding *edge costs* into a systolic array is the
+//! input/output bottleneck: an `(N+1)`-stage graph with `m` nodes per stage
+//! has `N·m²` edges but only `N·m` node values.  When edge costs are a
+//! function `f(xᵢ, xᵢ₊₁)` of the *values* of the endpoints (Eq. 4), only
+//! the values need enter the array — "an order-of-magnitude reduction in
+//! the input overhead" — and the cost function is evaluated *inside* each
+//! PE (component `F` of Fig. 5b).
+
+use crate::graph::MultistageGraph;
+use sdp_semiring::Cost;
+
+/// An edge-cost function `f(x, y)` over quantized node values.
+///
+/// The paper assumes `f` is independent of the stage index `i` "for
+/// simplicity"; [`EdgeCostFn::cost_at`] supports the general
+/// stage-dependent `fᵢ` case (its default forwards to the
+/// stage-independent [`EdgeCostFn::cost`]).  Implementations must be
+/// pure.
+pub trait EdgeCostFn: Send + Sync {
+    /// The cost of the edge from a node with value `x` to one with `y`.
+    fn cost(&self, x: i64, y: i64) -> Cost;
+
+    /// Stage-dependent variant: the cost of the edge from stage `stage`
+    /// (value `x`) to stage `stage + 1` (value `y`).
+    fn cost_at(&self, stage: usize, x: i64, y: i64) -> Cost {
+        let _ = stage;
+        self.cost(x, y)
+    }
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &'static str {
+        "f"
+    }
+}
+
+/// Wraps an inner cost function with per-stage integer weights —
+/// the general `fᵢ` case of Eq. 4.
+pub struct StageWeighted<F> {
+    /// The stage-independent base function.
+    pub inner: F,
+    /// `weights[i]` multiplies the cost of every stage-`i` edge
+    /// (stages beyond the vector reuse the last weight).
+    pub weights: Vec<i64>,
+}
+
+impl<F: EdgeCostFn> EdgeCostFn for StageWeighted<F> {
+    fn cost(&self, x: i64, y: i64) -> Cost {
+        self.inner.cost(x, y)
+    }
+    fn cost_at(&self, stage: usize, x: i64, y: i64) -> Cost {
+        let w = *self
+            .weights
+            .get(stage)
+            .or(self.weights.last())
+            .unwrap_or(&1);
+        match self.inner.cost(x, y).finite() {
+            Some(c) => Cost::saturating_from(c.saturating_mul(w)),
+            None => Cost::INF,
+        }
+    }
+    fn name(&self) -> &'static str {
+        "stage-weighted"
+    }
+}
+
+/// `f(x, y) = |y − x|` — the traffic-light timing cost of §2.2 ("the cost
+/// on an edge … is the difference in timings").
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AbsDiff;
+
+impl EdgeCostFn for AbsDiff {
+    fn cost(&self, x: i64, y: i64) -> Cost {
+        Cost::from((y - x).abs())
+    }
+    fn name(&self) -> &'static str {
+        "|y - x|"
+    }
+}
+
+/// `f(x, y) = (y − x)²` — quadratic transition penalty (the circuit-design
+/// power-dissipation cost of §2.2, with unit resistance).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SquaredDiff;
+
+impl EdgeCostFn for SquaredDiff {
+    fn cost(&self, x: i64, y: i64) -> Cost {
+        let d = y.saturating_sub(x);
+        Cost::saturating_from(d.saturating_mul(d))
+    }
+    fn name(&self) -> &'static str {
+        "(y - x)^2"
+    }
+}
+
+/// `f(x, y) = max(y − x, 0) · a + max(x − y, 0) · b` — asymmetric ramp
+/// cost (pump pressure increases cost more than decreases; the fluid-flow
+/// application of §2.2).
+#[derive(Clone, Copy, Debug)]
+pub struct AsymmetricRamp {
+    /// Cost per unit of increase.
+    pub up: i64,
+    /// Cost per unit of decrease.
+    pub down: i64,
+}
+
+impl Default for AsymmetricRamp {
+    fn default() -> Self {
+        AsymmetricRamp { up: 3, down: 1 }
+    }
+}
+
+impl EdgeCostFn for AsymmetricRamp {
+    fn cost(&self, x: i64, y: i64) -> Cost {
+        let d = y.saturating_sub(x);
+        if d >= 0 {
+            Cost::saturating_from(d.saturating_mul(self.up))
+        } else {
+            Cost::saturating_from(d.saturating_neg().saturating_mul(self.down))
+        }
+    }
+    fn name(&self) -> &'static str {
+        "ramp(up,down)"
+    }
+}
+
+/// `f(x, y) = x + max(y − x − slack, 0)` — service time plus tardiness
+/// beyond a slack window (the task-scheduling delay cost of §2.2).
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceDelay {
+    /// Allowed slack between consecutive task service times.
+    pub slack: i64,
+}
+
+impl Default for ServiceDelay {
+    fn default() -> Self {
+        ServiceDelay { slack: 2 }
+    }
+}
+
+impl EdgeCostFn for ServiceDelay {
+    fn cost(&self, x: i64, y: i64) -> Cost {
+        Cost::from(x + (y - x - self.slack).max(0))
+    }
+    fn name(&self) -> &'static str {
+        "service+tardiness"
+    }
+}
+
+/// Inventory-control transition cost — §3.2 names "inventory systems"
+/// among the sequentially controlled systems the arrays extend to.
+/// Stage values are end-of-period inventory levels; moving from level
+/// `x` to level `y` against a constant per-period `demand` requires
+/// producing `p = y − x + demand` units (infeasible if `p < 0`), paying
+/// a fixed `setup` when `p > 0`, `unit` per unit produced, and `holding`
+/// per unit carried.
+#[derive(Clone, Copy, Debug)]
+pub struct InventoryCost {
+    /// Units demanded each period.
+    pub demand: i64,
+    /// Fixed ordering/setup cost when any production happens.
+    pub setup: i64,
+    /// Variable cost per unit produced.
+    pub unit: i64,
+    /// Holding cost per unit of end-of-period inventory.
+    pub holding: i64,
+}
+
+impl Default for InventoryCost {
+    fn default() -> Self {
+        InventoryCost {
+            demand: 3,
+            setup: 8,
+            unit: 2,
+            holding: 1,
+        }
+    }
+}
+
+impl EdgeCostFn for InventoryCost {
+    fn cost(&self, x: i64, y: i64) -> Cost {
+        let produce = y - x + self.demand;
+        if produce < 0 {
+            return Cost::INF; // cannot dispose of stock
+        }
+        let order = if produce > 0 {
+            self.setup + self.unit * produce
+        } else {
+            0
+        };
+        Cost::from(order + self.holding * y)
+    }
+    fn name(&self) -> &'static str {
+        "setup+unit*produce+holding*y"
+    }
+}
+
+/// A serial optimization problem in node-value form: `S` stages of
+/// quantized values, with edge costs `f(xᵢ, xᵢ₊₁)` (Eq. 4).
+pub struct NodeValueGraph {
+    /// `values[s][j]` is the `j`-th quantized value of variable `Xₛ₊₁`.
+    values: Vec<Vec<i64>>,
+    f: Box<dyn EdgeCostFn>,
+}
+
+impl NodeValueGraph {
+    /// Builds a node-value graph; every stage must be non-empty.
+    pub fn new(values: Vec<Vec<i64>>, f: Box<dyn EdgeCostFn>) -> NodeValueGraph {
+        assert!(values.len() >= 2, "need at least two stages");
+        assert!(
+            values.iter().all(|v| !v.is_empty()),
+            "every stage needs at least one value"
+        );
+        NodeValueGraph { values, f }
+    }
+
+    /// A uniform graph: `stages` stages each holding the same `m` values
+    /// produced by `value(stage, index)`.
+    pub fn uniform_from_fn(
+        stages: usize,
+        m: usize,
+        f: Box<dyn EdgeCostFn>,
+        mut value: impl FnMut(usize, usize) -> i64,
+    ) -> NodeValueGraph {
+        assert!(stages >= 2 && m >= 1);
+        let values = (0..stages)
+            .map(|s| (0..m).map(|j| value(s, j)).collect())
+            .collect();
+        NodeValueGraph::new(values, f)
+    }
+
+    /// Number of stages `N`.
+    pub fn num_stages(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of quantized values in stage `s`.
+    pub fn stage_size(&self, s: usize) -> usize {
+        self.values[s].len()
+    }
+
+    /// The values of stage `s`.
+    pub fn stage_values(&self, s: usize) -> &[i64] {
+        &self.values[s]
+    }
+
+    /// The edge-cost function.
+    pub fn f(&self) -> &dyn EdgeCostFn {
+        self.f.as_ref()
+    }
+
+    /// Evaluates `f` for an edge from value-index `i` of stage `s` to
+    /// value-index `j` of stage `s+1` (stage-dependent when the cost
+    /// function overrides [`EdgeCostFn::cost_at`]).
+    pub fn edge_cost(&self, s: usize, i: usize, j: usize) -> Cost {
+        self.f.cost_at(s, self.values[s][i], self.values[s + 1][j])
+    }
+
+    /// Materializes the edge-cost matrices, producing the equivalent
+    /// [`MultistageGraph`] — the conversion a host would do if it *didn't*
+    /// have the Fig. 5 array and had to feed all `N·m²` edge costs.
+    pub fn to_multistage(&self) -> MultistageGraph {
+        let mats = (0..self.num_stages() - 1)
+            .map(|s| {
+                sdp_semiring::Matrix::from_fn(
+                    self.stage_size(s),
+                    self.stage_size(s + 1),
+                    |i, j| sdp_semiring::MinPlus(self.edge_cost(s, i, j)),
+                )
+            })
+            .collect();
+        MultistageGraph::new(mats)
+    }
+
+    /// Input words needed in node-value form (`Σ stage sizes`) versus
+    /// edge-cost form (`Σ mᵢ·mᵢ₊₁`) — the §3.2 I/O-bottleneck comparison.
+    pub fn io_words(&self) -> (usize, usize) {
+        let node_form: usize = self.values.iter().map(|v| v.len()).sum();
+        let edge_form: usize = (0..self.num_stages() - 1)
+            .map(|s| self.stage_size(s) * self.stage_size(s + 1))
+            .sum();
+        (node_form, edge_form)
+    }
+}
+
+impl std::fmt::Debug for NodeValueGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeValueGraph")
+            .field("stages", &self.values.len())
+            .field("values", &self.values)
+            .field("f", &self.f.name())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple() -> NodeValueGraph {
+        NodeValueGraph::new(
+            vec![vec![0, 5], vec![3, 8], vec![1, 9]],
+            Box::new(AbsDiff),
+        )
+    }
+
+    #[test]
+    fn edge_costs_from_values() {
+        let g = simple();
+        assert_eq!(g.edge_cost(0, 0, 0), Cost::from(3)); // |3-0|
+        assert_eq!(g.edge_cost(0, 1, 1), Cost::from(3)); // |8-5|
+        assert_eq!(g.edge_cost(1, 1, 0), Cost::from(7)); // |1-8|
+    }
+
+    #[test]
+    fn to_multistage_preserves_costs() {
+        let g = simple();
+        let ms = g.to_multistage();
+        assert_eq!(ms.num_stages(), 3);
+        for s in 0..2 {
+            for i in 0..2 {
+                for j in 0..2 {
+                    assert_eq!(ms.edge_cost(s, i, j), g.edge_cost(s, i, j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn io_reduction_is_order_m() {
+        let g = NodeValueGraph::uniform_from_fn(10, 8, Box::new(AbsDiff), |s, j| {
+            (s * 8 + j) as i64
+        });
+        let (node, edge) = g.io_words();
+        assert_eq!(node, 80);
+        assert_eq!(edge, 9 * 64);
+        assert!(edge / node >= 7); // ~m-fold reduction
+    }
+
+    #[test]
+    fn squared_diff() {
+        assert_eq!(SquaredDiff.cost(2, 5), Cost::from(9));
+        assert_eq!(SquaredDiff.cost(5, 2), Cost::from(9));
+    }
+
+    #[test]
+    fn asymmetric_ramp() {
+        let f = AsymmetricRamp { up: 3, down: 1 };
+        assert_eq!(f.cost(0, 4), Cost::from(12));
+        assert_eq!(f.cost(4, 0), Cost::from(4));
+        assert_eq!(f.cost(4, 4), Cost::from(0));
+    }
+
+    #[test]
+    fn extreme_values_saturate_without_panicking() {
+        // Squared/weighted costs near i64 limits must clamp to
+        // MAX_FINITE, never hit the INF sentinel via saturating_mul.
+        let huge = 4_000_000_000i64;
+        assert_eq!(SquaredDiff.cost(-huge, huge), Cost::MAX_FINITE);
+        let w = StageWeighted {
+            inner: SquaredDiff,
+            weights: vec![i64::MAX - 1],
+        };
+        assert_eq!(w.cost_at(0, 0, huge), Cost::MAX_FINITE);
+        let ramp = AsymmetricRamp {
+            up: i64::MAX - 1,
+            down: i64::MAX - 1,
+        };
+        assert!(ramp.cost(0, huge).is_finite());
+        assert!(ramp.cost(huge, 0).is_finite());
+    }
+
+    #[test]
+    fn inventory_cost_semantics() {
+        let f = InventoryCost {
+            demand: 3,
+            setup: 8,
+            unit: 2,
+            holding: 1,
+        };
+        // level 2 -> 4 with demand 3: produce 5 -> 8 + 10 + hold 4 = 22
+        assert_eq!(f.cost(2, 4), Cost::from(22));
+        // exactly burn down stock: produce 0, no setup, hold 1
+        assert_eq!(f.cost(4, 1), Cost::from(1));
+        // cannot shed more than demand
+        assert!(f.cost(5, 1).is_inf());
+    }
+
+    #[test]
+    fn service_delay() {
+        let f = ServiceDelay { slack: 2 };
+        assert_eq!(f.cost(3, 4), Cost::from(3)); // within slack
+        assert_eq!(f.cost(3, 9), Cost::from(3 + 4)); // 9-3-2 = 4 tardy
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two stages")]
+    fn single_stage_rejected() {
+        let _ = NodeValueGraph::new(vec![vec![1]], Box::new(AbsDiff));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one value")]
+    fn empty_stage_rejected() {
+        let _ = NodeValueGraph::new(vec![vec![1], vec![]], Box::new(AbsDiff));
+    }
+
+    #[test]
+    fn debug_includes_fn_name() {
+        let g = simple();
+        let s = format!("{:?}", g);
+        assert!(s.contains("|y - x|"));
+    }
+}

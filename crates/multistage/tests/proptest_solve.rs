@@ -1,0 +1,94 @@
+//! Property tests: the DP baselines agree with each other, with the
+//! matrix-string formulation, and with brute force, on random graphs.
+
+use proptest::prelude::*;
+use sdp_multistage::{generate, solve, MultistageGraph};
+use sdp_semiring::{Cost, Matrix, MinPlus};
+
+fn graph_strategy() -> impl Strategy<Value = MultistageGraph> {
+    (2usize..7, 1usize..5, 0u64..1000).prop_map(|(stages, m, seed)| {
+        generate::random_uniform(seed, stages, m, 0, 30)
+    })
+}
+
+proptest! {
+    #[test]
+    fn forward_backward_matrix_agree(g in graph_strategy()) {
+        let f = solve::forward_dp(&g);
+        let b = solve::backward_dp(&g);
+        prop_assert_eq!(f.cost, b.cost);
+        prop_assert_eq!(f.cost, g.optimal_cost());
+    }
+
+    #[test]
+    fn dp_matches_brute_force(
+        stages in 2usize..6, m in 1usize..4, seed in 0u64..500
+    ) {
+        let g = generate::random_uniform(seed, stages, m, 0, 15);
+        let (bf, _) = solve::brute_force(&g);
+        prop_assert_eq!(solve::forward_dp(&g).cost, bf);
+    }
+
+    #[test]
+    fn traceback_achieves_reported_cost(g in graph_strategy()) {
+        let f = solve::forward_dp(&g);
+        prop_assert_eq!(solve::path_cost(&g, &f.path), f.cost);
+        let b = solve::backward_dp(&g);
+        prop_assert_eq!(solve::path_cost(&g, &b.path), b.cost);
+    }
+
+    #[test]
+    fn sparse_graph_consistency(
+        stages in 2usize..6, m in 2usize..4, seed in 0u64..300, p in 0.0f64..0.8
+    ) {
+        let g = generate::random_sparse(seed, stages, m, 1, 9, p);
+        let f = solve::forward_dp(&g);
+        let (bf, _) = solve::brute_force(&g);
+        prop_assert_eq!(f.cost, bf);
+    }
+
+    #[test]
+    fn adding_constant_to_one_stage_shifts_optimum(
+        seed in 0u64..200, delta in 1i64..20
+    ) {
+        // Monotonicity sanity: raising every edge of one stage by delta
+        // raises the optimum by exactly delta (every path crosses the stage).
+        let g = generate::random_uniform(seed, 5, 3, 0, 20);
+        let base = solve::forward_dp(&g).cost;
+        let mats: Vec<Matrix<MinPlus>> = g
+            .matrix_string()
+            .iter()
+            .enumerate()
+            .map(|(s, m)| {
+                if s == 2 {
+                    Matrix::from_fn(m.rows(), m.cols(), |i, j| {
+                        MinPlus(m.get(i, j).0 + Cost::from(delta))
+                    })
+                } else {
+                    m.clone()
+                }
+            })
+            .collect();
+        let g2 = MultistageGraph::new(mats);
+        prop_assert_eq!(solve::forward_dp(&g2).cost, base + Cost::from(delta));
+    }
+
+    #[test]
+    fn node_value_io_counts(stages in 2usize..8, m in 1usize..8, seed in 0u64..100) {
+        let nv = generate::node_value_random(
+            seed, stages, m, Box::new(sdp_multistage::node_value::AbsDiff), -10, 10,
+        );
+        let (node, edge) = nv.io_words();
+        prop_assert_eq!(node, stages * m);
+        prop_assert_eq!(edge, (stages - 1) * m * m);
+    }
+
+    #[test]
+    fn serial_iterations_formula_uniform(
+        stages in 2usize..8, m in 1usize..6, seed in 0u64..100
+    ) {
+        let g = generate::random_uniform(seed, stages, m, 0, 9);
+        let f = solve::forward_dp(&g);
+        prop_assert_eq!(f.iterations, ((stages - 1) * m * m) as u64);
+    }
+}

@@ -1,0 +1,270 @@
+//! Saturating extended-integer costs with a `+INF` element.
+//!
+//! Edge costs in a multistage graph are finite integers; the additive
+//! identity of the `(MIN, +)` semiring is `+INF`.  Plain `i64::MAX` is not
+//! usable directly because `MAX + c` overflows, so [`Cost`] saturates:
+//! `INF + x == INF` for every `x`, and finite sums clamp into the finite
+//! range instead of wrapping.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// An extended integer cost: either finite or `+INF`.
+///
+/// `Cost` is a total order (`INF` is the maximum) and addition saturates at
+/// `INF`, which makes it a valid carrier for the tropical semiring
+/// `(Cost, min, +, INF, 0)`.
+///
+/// ```
+/// use sdp_semiring::Cost;
+/// let a = Cost::from(3);
+/// assert_eq!(a + Cost::from(4), Cost::from(7));
+/// assert_eq!(a + Cost::INF, Cost::INF);
+/// assert!(a < Cost::INF);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cost(i64);
+
+impl Cost {
+    /// The additive identity of min-plus: positive infinity.
+    pub const INF: Cost = Cost(i64::MAX);
+    /// The multiplicative identity of min-plus: zero cost.
+    pub const ZERO: Cost = Cost(0);
+    /// Largest representable finite cost.
+    pub const MAX_FINITE: Cost = Cost(i64::MAX - 1);
+    /// Smallest representable cost.
+    pub const MIN_FINITE: Cost = Cost(i64::MIN + 1);
+
+    /// Creates a finite cost. Panics if `v` equals the `INF` sentinel.
+    #[inline]
+    pub fn new(v: i64) -> Cost {
+        assert!(v != i64::MAX, "i64::MAX is reserved for Cost::INF");
+        Cost(v)
+    }
+
+    /// Creates a finite cost, clamping into the finite range instead of
+    /// panicking — for arithmetic that may saturate at `i64::MAX`
+    /// (e.g. products of large dimensions).
+    #[inline]
+    pub fn saturating_from(v: i64) -> Cost {
+        Cost(v.clamp(i64::MIN + 1, i64::MAX - 1))
+    }
+
+    /// Creates a finite cost from an unsigned value, clamping to
+    /// [`Cost::MAX_FINITE`].
+    #[inline]
+    pub fn saturating_from_u64(v: u64) -> Cost {
+        Cost(v.min((i64::MAX - 1) as u64) as i64)
+    }
+
+    /// Returns true when this cost is `+INF`.
+    #[inline]
+    pub fn is_inf(self) -> bool {
+        self.0 == i64::MAX
+    }
+
+    /// Returns true when this cost is finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        !self.is_inf()
+    }
+
+    /// The finite value, or `None` for `INF`.
+    #[inline]
+    pub fn finite(self) -> Option<i64> {
+        if self.is_inf() {
+            None
+        } else {
+            Some(self.0)
+        }
+    }
+
+    /// The raw value; `i64::MAX` encodes `INF`.
+    #[inline]
+    pub fn raw(self) -> i64 {
+        self.0
+    }
+
+    /// Minimum of two costs (the semiring "addition" of min-plus).
+    #[inline]
+    pub fn min(self, other: Cost) -> Cost {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Maximum of two costs.
+    #[inline]
+    pub fn max(self, other: Cost) -> Cost {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Saturating sum (the semiring "multiplication" of min-plus):
+    /// `INF` absorbs, finite sums clamp into the finite range.
+    #[inline]
+    pub fn saturating_add(self, other: Cost) -> Cost {
+        if self.is_inf() || other.is_inf() {
+            return Cost::INF;
+        }
+        let s = self.0.saturating_add(other.0);
+        // Keep saturated finite sums out of the INF sentinel.
+        Cost(s.clamp(i64::MIN + 1, i64::MAX - 1))
+    }
+}
+
+impl From<i64> for Cost {
+    #[inline]
+    fn from(v: i64) -> Cost {
+        Cost::new(v)
+    }
+}
+
+impl From<i32> for Cost {
+    #[inline]
+    fn from(v: i32) -> Cost {
+        Cost(v as i64)
+    }
+}
+
+impl From<u32> for Cost {
+    #[inline]
+    fn from(v: u32) -> Cost {
+        Cost(v as i64)
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+    #[inline]
+    fn add(self, rhs: Cost) -> Cost {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign for Cost {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cost) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for Cost {
+    fn sum<I: Iterator<Item = Cost>>(iter: I) -> Cost {
+        iter.fold(Cost::ZERO, Cost::saturating_add)
+    }
+}
+
+impl PartialOrd for Cost {
+    #[inline]
+    fn partial_cmp(&self, other: &Cost) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Cost {
+    #[inline]
+    fn cmp(&self, other: &Cost) -> Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+impl fmt::Debug for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_inf() {
+            write!(f, "INF")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl Default for Cost {
+    /// Defaults to the min-plus additive identity, `INF`.
+    fn default() -> Cost {
+        Cost::INF
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finite_addition() {
+        assert_eq!(Cost::from(2) + Cost::from(3), Cost::from(5));
+        assert_eq!(Cost::from(-2) + Cost::from(3), Cost::from(1));
+    }
+
+    #[test]
+    fn inf_absorbs() {
+        assert_eq!(Cost::INF + Cost::from(5), Cost::INF);
+        assert_eq!(Cost::from(5) + Cost::INF, Cost::INF);
+        assert_eq!(Cost::INF + Cost::INF, Cost::INF);
+    }
+
+    #[test]
+    fn saturation_does_not_reach_inf() {
+        let big = Cost::MAX_FINITE;
+        let s = big + Cost::from(1);
+        assert!(s.is_finite());
+        assert_eq!(s, Cost::MAX_FINITE);
+        let small = Cost::MIN_FINITE;
+        let t = small + Cost::from(-1);
+        assert!(t.is_finite());
+        assert_eq!(t, Cost::MIN_FINITE);
+    }
+
+    #[test]
+    fn ordering_inf_is_max() {
+        assert!(Cost::from(i64::MAX - 1) < Cost::INF);
+        assert!(Cost::from(0) < Cost::from(1));
+        assert_eq!(Cost::INF.max(Cost::from(7)), Cost::INF);
+        assert_eq!(Cost::INF.min(Cost::from(7)), Cost::from(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn new_rejects_sentinel() {
+        let _ = Cost::new(i64::MAX);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let s: Cost = [1i64, 2, 3].into_iter().map(Cost::from).sum();
+        assert_eq!(s, Cost::from(6));
+        let s: Cost = [Cost::from(1), Cost::INF].into_iter().sum();
+        assert_eq!(s, Cost::INF);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Cost::from(42)), "42");
+        assert_eq!(format!("{}", Cost::INF), "INF");
+        assert_eq!(format!("{:?}", Cost::from(-1)), "-1");
+    }
+
+    #[test]
+    fn default_is_inf() {
+        assert_eq!(Cost::default(), Cost::INF);
+    }
+
+    #[test]
+    fn finite_accessor() {
+        assert_eq!(Cost::from(9).finite(), Some(9));
+        assert_eq!(Cost::INF.finite(), None);
+    }
+}

@@ -1,0 +1,28 @@
+//! Closed semirings and dense matrix algebra for dynamic programming.
+//!
+//! Wah & Li (1985) show that a monadic-serial dynamic-programming problem is
+//! the product of a string of matrices over the closed semiring
+//! `(R, MIN, +, +INF, 0)`, where `MIN` plays the role of addition and `+`
+//! plays the role of multiplication (their Eq. 8).  This crate provides that
+//! algebra as reusable building blocks:
+//!
+//! * [`Cost`] — a saturating extended integer with a `+INF` element, the
+//!   scalar carrier used throughout the workspace;
+//! * [`Semiring`] — the algebraic interface, with instances [`MinPlus`]
+//!   (the tropical semiring of the paper), [`MaxPlus`], [`BoolOr`], and
+//!   [`CountPlus`];
+//! * [`Matrix`] — dense matrices over any semiring, with the string-product,
+//!   matrix–vector, and closure operations the systolic designs simulate;
+//! * argmin-tracking products ([`matrix::Matrix::mul_vec_tracked`]) used to
+//!   recover optimal paths, mirroring the paper's path registers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod matrix;
+pub mod semiring;
+
+pub use cost::Cost;
+pub use matrix::{ColVector, Matrix, RowVector};
+pub use semiring::{BoolOr, ClosedSemiring, CountPlus, MaxPlus, MinPlus, Semiring};

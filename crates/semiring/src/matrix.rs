@@ -1,0 +1,459 @@
+//! Dense matrices over a semiring.
+//!
+//! The monadic-serial systolic designs of Wah & Li compute
+//! `A · (B · (C · D))` over min-plus (their Eq. 8): each stage of a
+//! multistage graph contributes one cost matrix, and the string product
+//! collapses the graph to a vector of optimal costs.  This module provides
+//! the reference (sequential) implementations the systolic simulations are
+//! validated against, together with argmin-tracked variants used to recover
+//! the optimal path itself (the paper's "path registers").
+
+use crate::semiring::{ClosedSemiring, MinPlus, Semiring};
+use std::fmt;
+
+/// A dense row-major matrix over a semiring `S`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix<S> {
+    rows: usize,
+    cols: usize,
+    data: Vec<S>,
+}
+
+/// A row vector (1 × n), e.g. the degenerate first matrix of a
+/// single-source multistage graph.
+pub type RowVector<S> = Vec<S>;
+
+/// A column vector (n × 1), e.g. the degenerate last matrix of a
+/// single-sink multistage graph.
+pub type ColVector<S> = Vec<S>;
+
+impl<S: Semiring> Matrix<S> {
+    /// A `rows × cols` matrix filled with the additive identity `0̄`.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix<S> {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix {
+            rows,
+            cols,
+            data: vec![S::zero(); rows * cols],
+        }
+    }
+
+    /// The `n × n` identity: `1̄` on the diagonal, `0̄` elsewhere.
+    pub fn identity(n: usize) -> Matrix<S> {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, S::one());
+        }
+        m
+    }
+
+    /// Builds a matrix from a function of (row, col).
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> S) -> Matrix<S> {
+        let mut m = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m.set(i, j, f(i, j));
+            }
+        }
+        m
+    }
+
+    /// Builds a matrix from row-major data.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<S>) -> Matrix<S> {
+        assert_eq!(data.len(), rows * cols, "row-major data length mismatch");
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> S {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Sets element `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: S) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[S] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Column `j` collected into a vector.
+    pub fn col(&self, j: usize) -> Vec<S> {
+        (0..self.rows).map(|i| self.get(i, j)).collect()
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Matrix<S> {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self.get(j, i))
+    }
+
+    /// Semiring matrix product `self ⊗ rhs`.
+    ///
+    /// Over min-plus this is the "min of sums" inner product of the paper's
+    /// Eq. 7: `(AB)[i][j] = MIN_k (A[i][k] + B[k][j])`.
+    ///
+    /// ```
+    /// use sdp_semiring::{Matrix, MinPlus};
+    /// let a = Matrix::from_rows(1, 2, vec![MinPlus::from(1), MinPlus::from(5)]);
+    /// let b = Matrix::from_rows(2, 1, vec![MinPlus::from(10), MinPlus::from(2)]);
+    /// // min(1 + 10, 5 + 2) = 7
+    /// assert_eq!(a.mul(&b).get(0, 0), MinPlus::from(7));
+    /// ```
+    pub fn mul(&self, rhs: &Matrix<S>) -> Matrix<S> {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "inner dimensions must agree: {}x{} · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            let lrow = self.row(i);
+            for j in 0..rhs.cols {
+                let mut acc = S::zero();
+                for (k, &l) in lrow.iter().enumerate() {
+                    acc = acc.add(l.mul(rhs.get(k, j)));
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    /// Matrix–column-vector product `self ⊗ v`.
+    pub fn mul_vec(&self, v: &[S]) -> Vec<S> {
+        assert_eq!(self.cols, v.len(), "vector length must equal cols");
+        (0..self.rows)
+            .map(|i| {
+                self.row(i)
+                    .iter()
+                    .zip(v)
+                    .fold(S::zero(), |acc, (&a, &b)| acc.add(a.mul(b)))
+            })
+            .collect()
+    }
+
+    /// Row-vector–matrix product `v ⊗ self`.
+    pub fn vec_mul(&self, v: &[S]) -> Vec<S> {
+        assert_eq!(self.rows, v.len(), "vector length must equal rows");
+        (0..self.cols)
+            .map(|j| {
+                (0..self.rows).fold(S::zero(), |acc, k| acc.add(v[k].mul(self.get(k, j))))
+            })
+            .collect()
+    }
+
+    /// The `k`-th semiring power of a square matrix (`k = 0` → identity).
+    pub fn pow(&self, mut k: u32) -> Matrix<S> {
+        assert_eq!(self.rows, self.cols, "power requires a square matrix");
+        let mut result = Matrix::identity(self.rows);
+        let mut base = self.clone();
+        while k > 0 {
+            if k & 1 == 1 {
+                result = result.mul(&base);
+            }
+            base = base.mul(&base);
+            k >>= 1;
+        }
+        result
+    }
+
+    /// Right-associated string product `M₀ ⊗ (M₁ ⊗ (… ⊗ Mₙ₋₁))`.
+    ///
+    /// This is the forward monadic evaluation order of the paper's Eq. 8c:
+    /// the product is folded from the right, so when the last matrix is a
+    /// column vector every intermediate is a matrix–vector product — the
+    /// work the linear systolic arrays of §3.2 pipeline.
+    ///
+    /// ```
+    /// use sdp_semiring::{Matrix, MinPlus};
+    /// let id = Matrix::<MinPlus>::identity(3);
+    /// let m = Matrix::from_fn(3, 3, |i, j| MinPlus::from((i + j) as i64));
+    /// assert_eq!(
+    ///     Matrix::string_product(&[id.clone(), m.clone(), id]),
+    ///     m
+    /// );
+    /// ```
+    pub fn string_product(ms: &[Matrix<S>]) -> Matrix<S> {
+        assert!(!ms.is_empty(), "string product of zero matrices");
+        let mut acc = ms[ms.len() - 1].clone();
+        for m in ms[..ms.len() - 1].iter().rev() {
+            acc = m.mul(&acc);
+        }
+        acc
+    }
+}
+
+impl<S: ClosedSemiring> Matrix<S> {
+    /// The matrix closure `A* = I ⊕ A ⊕ A² ⊕ …` by the Kleene / Warshall–
+    /// Floyd elimination over a closed semiring (Aho–Hopcroft–Ullman, the
+    /// paper's reference \[1\]).  Over min-plus this is all-pairs shortest
+    /// paths.
+    pub fn closure(&self) -> Matrix<S> {
+        assert_eq!(self.rows, self.cols, "closure requires a square matrix");
+        let n = self.rows;
+        let mut a = self.clone();
+        for k in 0..n {
+            let star = a.get(k, k).star();
+            for i in 0..n {
+                for j in 0..n {
+                    let via = a.get(i, k).mul(star).mul(a.get(k, j));
+                    a.set(i, j, a.get(i, j).add(via));
+                }
+            }
+        }
+        // A* includes the identity (empty path).
+        let id = Matrix::identity(n);
+        for i in 0..n {
+            for j in 0..n {
+                a.set(i, j, a.get(i, j).add(id.get(i, j)));
+            }
+        }
+        a
+    }
+}
+
+impl Matrix<MinPlus> {
+    /// Min-plus matrix–vector product that also records, per output row,
+    /// the index `k` achieving the minimum — the information the paper's
+    /// path registers store for traceback.  Ties resolve to the smallest
+    /// index.  Rows whose minimum is `INF` report `None`.
+    pub fn mul_vec_tracked(&self, v: &[MinPlus]) -> (Vec<MinPlus>, Vec<Option<usize>>) {
+        assert_eq!(self.cols, v.len(), "vector length must equal cols");
+        let mut vals = Vec::with_capacity(self.rows);
+        let mut args = Vec::with_capacity(self.rows);
+        for i in 0..self.rows {
+            let mut best = MinPlus::zero();
+            let mut arg = None;
+            for (k, (&a, &b)) in self.row(i).iter().zip(v).enumerate() {
+                let cand = a.mul(b);
+                if cand.0 < best.0 {
+                    best = cand;
+                    arg = Some(k);
+                }
+            }
+            vals.push(best);
+            args.push(arg);
+        }
+        (vals, args)
+    }
+}
+
+impl<S: Semiring> fmt::Debug for Matrix<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  ")?;
+            for j in 0..self.cols {
+                write!(f, "{:?} ", self.get(i, j))?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // element-wise checks read clearer indexed
+mod tests {
+    use super::*;
+    use crate::cost::Cost;
+    use crate::semiring::{BoolOr, CountPlus, MaxPlus};
+
+    fn mp(v: i64) -> MinPlus {
+        MinPlus::from(v)
+    }
+
+    fn mat_mp(rows: usize, cols: usize, vals: &[i64]) -> Matrix<MinPlus> {
+        Matrix::from_rows(rows, cols, vals.iter().map(|&v| mp(v)).collect())
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = mat_mp(2, 2, &[1, 2, 3, 4]);
+        let id = Matrix::<MinPlus>::identity(2);
+        assert_eq!(a.mul(&id), a);
+        assert_eq!(id.mul(&a), a);
+    }
+
+    #[test]
+    fn min_plus_product_small() {
+        // (AB)[0][0] = min(1+5, 2+7) = 6
+        let a = mat_mp(2, 2, &[1, 2, 3, 4]);
+        let b = mat_mp(2, 2, &[5, 6, 7, 8]);
+        let ab = a.mul(&b);
+        assert_eq!(ab.get(0, 0), mp(6));
+        assert_eq!(ab.get(0, 1), mp(7));
+        assert_eq!(ab.get(1, 0), mp(8));
+        assert_eq!(ab.get(1, 1), mp(9));
+    }
+
+    #[test]
+    fn product_associates() {
+        let a = mat_mp(2, 3, &[1, 4, 2, 0, 3, 5]);
+        let b = mat_mp(3, 2, &[2, 2, 1, 0, 4, 3]);
+        let c = mat_mp(2, 2, &[1, 5, 2, 0]);
+        assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+    }
+
+    #[test]
+    fn mul_vec_matches_mul() {
+        let a = mat_mp(3, 3, &[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let v = vec![mp(1), mp(0), mp(2)];
+        let as_mat = Matrix::from_rows(3, 1, v.clone());
+        let prod = a.mul(&as_mat);
+        let fast = a.mul_vec(&v);
+        for i in 0..3 {
+            assert_eq!(prod.get(i, 0), fast[i]);
+        }
+    }
+
+    #[test]
+    fn vec_mul_matches_mul() {
+        let a = mat_mp(3, 2, &[1, 2, 3, 4, 5, 6]);
+        let v = vec![mp(1), mp(0), mp(2)];
+        let as_mat = Matrix::from_rows(1, 3, v.clone());
+        let prod = as_mat.mul(&a);
+        let fast = a.vec_mul(&v);
+        for j in 0..2 {
+            assert_eq!(prod.get(0, j), fast[j]);
+        }
+    }
+
+    #[test]
+    fn string_product_right_assoc() {
+        let a = mat_mp(2, 2, &[1, 9, 9, 1]);
+        let b = mat_mp(2, 2, &[0, 5, 5, 0]);
+        let c = mat_mp(2, 1, &[3, 4]);
+        let s = Matrix::string_product(&[a.clone(), b.clone(), c.clone()]);
+        assert_eq!(s, a.mul(&b.mul(&c)));
+    }
+
+    #[test]
+    fn string_product_single() {
+        let a = mat_mp(2, 2, &[1, 2, 3, 4]);
+        assert_eq!(Matrix::string_product(std::slice::from_ref(&a)), a);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = mat_mp(2, 3, &[1, 2, 3, 4, 5, 6]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(2, 1), mp(6));
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let a = mat_mp(2, 2, &[0, 1, 1, 0]);
+        assert_eq!(a.pow(0), Matrix::identity(2));
+        assert_eq!(a.pow(1), a);
+        assert_eq!(a.pow(3), a.mul(&a).mul(&a));
+    }
+
+    #[test]
+    fn closure_is_all_pairs_shortest_path() {
+        // 3-cycle with weights 1: shortest i->j distance is path length.
+        let mut a = Matrix::<MinPlus>::zeros(3, 3);
+        a.set(0, 1, mp(1));
+        a.set(1, 2, mp(1));
+        a.set(2, 0, mp(1));
+        let star = a.closure();
+        assert_eq!(star.get(0, 0), mp(0));
+        assert_eq!(star.get(0, 1), mp(1));
+        assert_eq!(star.get(0, 2), mp(2));
+        assert_eq!(star.get(2, 1), mp(2));
+    }
+
+    #[test]
+    fn bool_closure_is_reachability() {
+        let mut a = Matrix::<BoolOr>::zeros(3, 3);
+        a.set(0, 1, BoolOr(true));
+        a.set(1, 2, BoolOr(true));
+        let star = a.closure();
+        assert_eq!(star.get(0, 2), BoolOr(true));
+        assert_eq!(star.get(2, 0), BoolOr(false));
+        assert_eq!(star.get(1, 1), BoolOr(true)); // empty path
+    }
+
+    #[test]
+    fn count_plus_counts_paths() {
+        // Two stages, complete bipartite 2x2: 2 paths from each source to
+        // each sink after multiplying two all-ones matrices.
+        let ones = Matrix::from_fn(2, 2, |_, _| CountPlus(1));
+        let p = ones.mul(&ones);
+        assert_eq!(p.get(0, 0), CountPlus(2));
+    }
+
+    #[test]
+    fn max_plus_longest_path() {
+        let a = Matrix::from_rows(
+            1,
+            2,
+            vec![MaxPlus::from(3), MaxPlus::from(5)],
+        );
+        let b = Matrix::from_rows(2, 1, vec![MaxPlus::from(2), MaxPlus::from(1)]);
+        let p = a.mul(&b);
+        // max(3+2, 5+1) = 6
+        assert_eq!(p.get(0, 0), MaxPlus::from(6));
+    }
+
+    #[test]
+    fn tracked_mul_vec_reports_argmin() {
+        let a = mat_mp(2, 3, &[4, 1, 9, 2, 8, 3]);
+        let v = vec![mp(0), mp(0), mp(0)];
+        let (vals, args) = a.mul_vec_tracked(&v);
+        assert_eq!(vals, vec![mp(1), mp(2)]);
+        assert_eq!(args, vec![Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn tracked_mul_vec_inf_row() {
+        let a = Matrix::<MinPlus>::zeros(2, 2); // all INF
+        let v = vec![mp(0), mp(0)];
+        let (vals, args) = a.mul_vec_tracked(&v);
+        assert_eq!(vals[0].0, Cost::INF);
+        assert_eq!(args, vec![None, None]);
+    }
+
+    #[test]
+    fn tracked_ties_take_smallest_index() {
+        let a = mat_mp(1, 3, &[5, 5, 5]);
+        let v = vec![mp(0), mp(0), mp(0)];
+        let (_, args) = a.mul_vec_tracked(&v);
+        assert_eq!(args, vec![Some(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn mismatched_mul_panics() {
+        let a = mat_mp(2, 2, &[1, 2, 3, 4]);
+        let b = mat_mp(3, 2, &[1, 2, 3, 4, 5, 6]);
+        let _ = a.mul(&b);
+    }
+
+    #[test]
+    fn row_and_col_access() {
+        let a = mat_mp(2, 3, &[1, 2, 3, 4, 5, 6]);
+        assert_eq!(a.row(1), &[mp(4), mp(5), mp(6)]);
+        assert_eq!(a.col(2), vec![mp(3), mp(6)]);
+    }
+}

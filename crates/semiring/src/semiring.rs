@@ -1,0 +1,276 @@
+//! The semiring interface and the instances used by the paper.
+//!
+//! A semiring `(S, ⊕, ⊗, 0̄, 1̄)` has a commutative, associative `⊕` with
+//! identity `0̄`, an associative `⊗` with identity `1̄`, distributivity of
+//! `⊗` over `⊕`, and `0̄` absorbing under `⊗`.  Dynamic programming over a
+//! multistage graph instantiates this with `⊕ = MIN`, `⊗ = +` (Wah & Li,
+//! Eq. 8, citing Aho–Hopcroft–Ullman).
+
+use crate::cost::Cost;
+use std::fmt::Debug;
+
+/// A semiring element type.
+///
+/// The trait is implemented directly on the element (e.g. [`MinPlus`] wraps
+/// a [`Cost`]) so matrices and systolic processing elements can be generic
+/// over the algebra while staying `Copy`-cheap.
+pub trait Semiring: Copy + PartialEq + Debug + Send + Sync + 'static {
+    /// Additive identity `0̄` (absorbing for `⊗`).
+    fn zero() -> Self;
+    /// Multiplicative identity `1̄`.
+    fn one() -> Self;
+    /// Semiring addition `⊕` (e.g. `MIN`).
+    fn add(self, other: Self) -> Self;
+    /// Semiring multiplication `⊗` (e.g. `+`).
+    fn mul(self, other: Self) -> Self;
+
+    /// True when `⊕` is idempotent (`a ⊕ a = a`), as in min-plus; such
+    /// semirings admit optimal-path interpretations.
+    const IDEMPOTENT_ADD: bool;
+}
+
+/// A closed semiring additionally has a star (closure) operation
+/// `a* = 1̄ ⊕ a ⊕ (a⊗a) ⊕ …` satisfying `a* = 1̄ ⊕ a ⊗ a*`.
+pub trait ClosedSemiring: Semiring {
+    /// The closure `a*`.
+    fn star(self) -> Self;
+}
+
+/// The tropical (min-plus) semiring `(Cost, MIN, +, INF, 0)` — the algebra
+/// of shortest paths and of the paper's matrix-string formulation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct MinPlus(pub Cost);
+
+impl Semiring for MinPlus {
+    #[inline]
+    fn zero() -> Self {
+        MinPlus(Cost::INF)
+    }
+    #[inline]
+    fn one() -> Self {
+        MinPlus(Cost::ZERO)
+    }
+    #[inline]
+    fn add(self, other: Self) -> Self {
+        MinPlus(self.0.min(other.0))
+    }
+    #[inline]
+    fn mul(self, other: Self) -> Self {
+        MinPlus(self.0 + other.0)
+    }
+    const IDEMPOTENT_ADD: bool = true;
+}
+
+impl ClosedSemiring for MinPlus {
+    /// With nonnegative costs `a* = 0`; a negative cost would give `-INF`
+    /// (a negative cycle), which we clamp to the most negative finite cost.
+    fn star(self) -> Self {
+        if self.0 >= Cost::ZERO {
+            MinPlus(Cost::ZERO)
+        } else {
+            MinPlus(Cost::MIN_FINITE)
+        }
+    }
+}
+
+impl From<i64> for MinPlus {
+    fn from(v: i64) -> Self {
+        MinPlus(Cost::from(v))
+    }
+}
+
+impl From<Cost> for MinPlus {
+    fn from(c: Cost) -> Self {
+        MinPlus(c)
+    }
+}
+
+/// The max-plus semiring `(Cost, MAX, +, -INF-proxy, 0)`, used for
+/// longest-path / critical-path DP.  `MIN_FINITE` stands in for `-INF`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct MaxPlus(pub Cost);
+
+impl Semiring for MaxPlus {
+    #[inline]
+    fn zero() -> Self {
+        MaxPlus(Cost::MIN_FINITE)
+    }
+    #[inline]
+    fn one() -> Self {
+        MaxPlus(Cost::ZERO)
+    }
+    #[inline]
+    fn add(self, other: Self) -> Self {
+        MaxPlus(self.0.max(other.0))
+    }
+    #[inline]
+    fn mul(self, other: Self) -> Self {
+        // zero() must absorb: -INF + x = -INF.
+        if self == Self::zero() || other == Self::zero() {
+            Self::zero()
+        } else {
+            MaxPlus(self.0 + other.0)
+        }
+    }
+    const IDEMPOTENT_ADD: bool = true;
+}
+
+impl From<i64> for MaxPlus {
+    fn from(v: i64) -> Self {
+        MaxPlus(Cost::from(v))
+    }
+}
+
+/// The boolean semiring `({0,1}, OR, AND, 0, 1)` — reachability in the
+/// multistage graph (transitive closure of stage adjacency).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct BoolOr(pub bool);
+
+impl Semiring for BoolOr {
+    #[inline]
+    fn zero() -> Self {
+        BoolOr(false)
+    }
+    #[inline]
+    fn one() -> Self {
+        BoolOr(true)
+    }
+    #[inline]
+    fn add(self, other: Self) -> Self {
+        BoolOr(self.0 || other.0)
+    }
+    #[inline]
+    fn mul(self, other: Self) -> Self {
+        BoolOr(self.0 && other.0)
+    }
+    const IDEMPOTENT_ADD: bool = true;
+}
+
+impl ClosedSemiring for BoolOr {
+    fn star(self) -> Self {
+        BoolOr(true)
+    }
+}
+
+/// The counting semiring `(u64, +, ×, 0, 1)` with saturating arithmetic —
+/// counts the number of distinct source→sink paths in a multistage graph.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct CountPlus(pub u64);
+
+impl Semiring for CountPlus {
+    #[inline]
+    fn zero() -> Self {
+        CountPlus(0)
+    }
+    #[inline]
+    fn one() -> Self {
+        CountPlus(1)
+    }
+    #[inline]
+    fn add(self, other: Self) -> Self {
+        CountPlus(self.0.saturating_add(other.0))
+    }
+    #[inline]
+    fn mul(self, other: Self) -> Self {
+        CountPlus(self.0.saturating_mul(other.0))
+    }
+    const IDEMPOTENT_ADD: bool = false;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_axioms<S: Semiring>(samples: &[S]) {
+        for &a in samples {
+            // identities
+            assert_eq!(S::add(a, S::zero()), a, "a ⊕ 0̄ = a");
+            assert_eq!(S::add(S::zero(), a), a, "0̄ ⊕ a = a");
+            assert_eq!(S::mul(a, S::one()), a, "a ⊗ 1̄ = a");
+            assert_eq!(S::mul(S::one(), a), a, "1̄ ⊗ a = a");
+            // absorption
+            assert_eq!(S::mul(a, S::zero()), S::zero(), "a ⊗ 0̄ = 0̄");
+            assert_eq!(S::mul(S::zero(), a), S::zero(), "0̄ ⊗ a = 0̄");
+            for &b in samples {
+                assert_eq!(S::add(a, b), S::add(b, a), "⊕ commutes");
+                for &c in samples {
+                    assert_eq!(
+                        S::add(S::add(a, b), c),
+                        S::add(a, S::add(b, c)),
+                        "⊕ associates"
+                    );
+                    assert_eq!(
+                        S::mul(S::mul(a, b), c),
+                        S::mul(a, S::mul(b, c)),
+                        "⊗ associates"
+                    );
+                    assert_eq!(
+                        S::mul(a, S::add(b, c)),
+                        S::add(S::mul(a, b), S::mul(a, c)),
+                        "left distributivity"
+                    );
+                    assert_eq!(
+                        S::mul(S::add(a, b), c),
+                        S::add(S::mul(a, c), S::mul(b, c)),
+                        "right distributivity"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_plus_axioms() {
+        let xs: Vec<MinPlus> = [-3i64, 0, 1, 7, 100]
+            .into_iter()
+            .map(MinPlus::from)
+            .chain([MinPlus::zero()])
+            .collect();
+        check_axioms(&xs);
+    }
+
+    #[test]
+    fn max_plus_axioms() {
+        let xs: Vec<MaxPlus> = [-3i64, 0, 1, 7, 100]
+            .into_iter()
+            .map(MaxPlus::from)
+            .chain([MaxPlus::zero()])
+            .collect();
+        check_axioms(&xs);
+    }
+
+    #[test]
+    fn bool_or_axioms() {
+        check_axioms(&[BoolOr(false), BoolOr(true)]);
+    }
+
+    #[test]
+    fn count_plus_axioms() {
+        let xs: Vec<CountPlus> = [0u64, 1, 2, 5, 1000].into_iter().map(CountPlus).collect();
+        check_axioms(&xs);
+    }
+
+    #[test]
+    fn min_plus_is_min_and_add() {
+        let a = MinPlus::from(3);
+        let b = MinPlus::from(5);
+        assert_eq!(a.add(b), a);
+        assert_eq!(a.mul(b), MinPlus::from(8));
+    }
+
+    #[test]
+    fn min_plus_star() {
+        assert_eq!(MinPlus::from(4).star(), MinPlus::one());
+        assert_eq!(MinPlus::zero().star(), MinPlus::one());
+        assert_eq!(MinPlus::from(-1).star(), MinPlus(Cost::MIN_FINITE));
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // pinning the const values
+    fn idempotency_flags() {
+        assert!(MinPlus::IDEMPOTENT_ADD);
+        assert!(MaxPlus::IDEMPOTENT_ADD);
+        assert!(BoolOr::IDEMPOTENT_ADD);
+        assert!(!CountPlus::IDEMPOTENT_ADD);
+    }
+}

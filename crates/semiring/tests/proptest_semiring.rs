@@ -1,0 +1,162 @@
+//! Property-based tests for the semiring algebra and matrix operations.
+#![allow(clippy::needless_range_loop)] // element-wise checks read clearer indexed
+
+use proptest::prelude::*;
+use sdp_semiring::{BoolOr, Cost, CountPlus, Matrix, MaxPlus, MinPlus, Semiring};
+
+/// Strategy for a finite cost in a range safe from saturation artifacts.
+fn cost() -> impl Strategy<Value = Cost> {
+    (-1_000_000i64..1_000_000).prop_map(Cost::from)
+}
+
+fn min_plus() -> impl Strategy<Value = MinPlus> {
+    prop_oneof![9 => cost().prop_map(MinPlus), 1 => Just(MinPlus::zero())]
+}
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix<MinPlus>> {
+    proptest::collection::vec(min_plus(), rows * cols)
+        .prop_map(move |d| Matrix::from_rows(rows, cols, d))
+}
+
+proptest! {
+    #[test]
+    fn min_plus_add_commutes(a in min_plus(), b in min_plus()) {
+        prop_assert_eq!(a.add(b), b.add(a));
+    }
+
+    #[test]
+    fn min_plus_mul_associates(a in min_plus(), b in min_plus(), c in min_plus()) {
+        prop_assert_eq!(a.mul(b).mul(c), a.mul(b.mul(c)));
+    }
+
+    #[test]
+    fn min_plus_distributes(a in min_plus(), b in min_plus(), c in min_plus()) {
+        prop_assert_eq!(a.mul(b.add(c)), a.mul(b).add(a.mul(c)));
+    }
+
+    #[test]
+    fn min_plus_add_idempotent(a in min_plus()) {
+        prop_assert_eq!(a.add(a), a);
+    }
+
+    #[test]
+    fn matrix_product_associates(
+        a in matrix(3, 4), b in matrix(4, 2), c in matrix(2, 3)
+    ) {
+        prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+    }
+
+    #[test]
+    fn identity_neutral_both_sides(a in matrix(4, 4)) {
+        let id = Matrix::<MinPlus>::identity(4);
+        prop_assert_eq!(a.mul(&id), a.clone());
+        prop_assert_eq!(id.mul(&a), a);
+    }
+
+    #[test]
+    fn string_product_equals_left_fold(
+        a in matrix(3, 3), b in matrix(3, 3), c in matrix(3, 3), d in matrix(3, 1)
+    ) {
+        // Associativity means right-assoc string product == left fold.
+        let right = Matrix::string_product(&[a.clone(), b.clone(), c.clone(), d.clone()]);
+        let left = a.mul(&b).mul(&c).mul(&d);
+        prop_assert_eq!(right, left);
+    }
+
+    #[test]
+    fn mul_vec_consistent_with_full_mul(a in matrix(4, 3), v in proptest::collection::vec(min_plus(), 3)) {
+        let as_mat = Matrix::from_rows(3, 1, v.clone());
+        let full = a.mul(&as_mat);
+        let fast = a.mul_vec(&v);
+        for i in 0..4 {
+            prop_assert_eq!(full.get(i, 0), fast[i]);
+        }
+    }
+
+    #[test]
+    fn tracked_argmin_is_true_argmin(
+        a in matrix(4, 5), v in proptest::collection::vec(min_plus(), 5)
+    ) {
+        let (vals, args) = a.mul_vec_tracked(&v);
+        for i in 0..4 {
+            // Value equals the untracked product.
+            prop_assert_eq!(vals[i], a.mul_vec(&v)[i]);
+            // The reported index achieves the value.
+            if let Some(k) = args[i] {
+                prop_assert_eq!(a.get(i, k).mul(v[k]), vals[i]);
+            } else {
+                prop_assert_eq!(vals[i], MinPlus::zero());
+            }
+        }
+    }
+
+    #[test]
+    fn closure_dominated_by_original(a in matrix(4, 4)) {
+        // A* <= A pointwise off-diagonal in min-plus (closure only improves).
+        let star = a.closure();
+        for i in 0..4 {
+            for j in 0..4 {
+                prop_assert!(star.get(i, j).0 <= a.get(i, j).0);
+            }
+        }
+    }
+
+    #[test]
+    fn closure_idempotent_on_nonneg(
+        d in proptest::collection::vec(0i64..1000, 16)
+    ) {
+        let a = Matrix::from_rows(4, 4, d.into_iter().map(MinPlus::from).collect());
+        let s1 = a.closure();
+        let s2 = s1.closure();
+        prop_assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn transpose_swaps_product(a in matrix(3, 4), b in matrix(4, 2)) {
+        // (AB)^T == B^T A^T in any semiring.
+        prop_assert_eq!(a.mul(&b).transpose(), b.transpose().mul(&a.transpose()));
+    }
+
+    #[test]
+    fn max_plus_is_dual(x in -1000i64..1000, y in -1000i64..1000) {
+        let a = MaxPlus::from(x);
+        let b = MaxPlus::from(y);
+        prop_assert_eq!(a.add(b), MaxPlus::from(x.max(y)));
+        prop_assert_eq!(a.mul(b), MaxPlus::from(x + y));
+    }
+
+    #[test]
+    fn bool_matrix_power_reaches(k in 1u32..5) {
+        // Directed line 0->1->2->3: A^k reaches exactly k steps.
+        let mut a = Matrix::<BoolOr>::zeros(4, 4);
+        for i in 0..3 {
+            a.set(i, i + 1, BoolOr(true));
+        }
+        let p = a.pow(k);
+        for i in 0..4usize {
+            for j in 0..4usize {
+                let reach = j >= i && (j - i) == k as usize;
+                prop_assert_eq!(p.get(i, j), BoolOr(reach));
+            }
+        }
+    }
+
+    #[test]
+    fn count_paths_complete_bipartite(m in 1usize..6, n in 1usize..5) {
+        // n stages of complete bipartite m x m: m^(n-1) paths per pair.
+        let ones = Matrix::from_fn(m, m, |_, _| CountPlus(1));
+        let mut acc = Matrix::<CountPlus>::identity(m);
+        for _ in 0..n {
+            acc = acc.mul(&ones);
+        }
+        let expect = (m as u64).pow(n as u32 - 1).saturating_mul(1);
+        prop_assert_eq!(acc.get(0, 0), CountPlus(expect));
+    }
+
+    #[test]
+    fn cost_add_assoc_comm(x in -1_000_000i64..1_000_000, y in -1_000_000i64..1_000_000, z in -1_000_000i64..1_000_000) {
+        let (a, b, c) = (Cost::from(x), Cost::from(y), Cost::from(z));
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+}

@@ -1,0 +1,125 @@
+//! Broadcast bus with a circulating pick-up token.
+//!
+//! §3.2 of the paper notes that although Figure 5 draws `m` distinct
+//! feedback lines, "only one of the feedback lines is used in any
+//! iteration.  Hence a single broadcast bus suffices, and the station to
+//! pick up the data from the bus is controlled by a circulating token."
+//! [`TokenBus`] models exactly that: one word per cycle, delivered to the
+//! single PE currently holding the token, with the token advancing
+//! round-robin.
+
+/// A single-word broadcast bus with a circulating pick-up token over `m`
+/// stations.
+#[derive(Clone, Debug)]
+pub struct TokenBus<W> {
+    m: usize,
+    token: usize,
+    word: Option<W>,
+    deliveries: u64,
+}
+
+impl<W: Copy> TokenBus<W> {
+    /// A bus over `m` stations; the token starts at station 0.
+    pub fn new(m: usize) -> TokenBus<W> {
+        assert!(m > 0, "bus needs at least one station");
+        TokenBus {
+            m,
+            token: 0,
+            word: None,
+            deliveries: 0,
+        }
+    }
+
+    /// Number of stations.
+    pub fn stations(&self) -> usize {
+        self.m
+    }
+
+    /// The station currently holding the token.
+    pub fn token_at(&self) -> usize {
+        self.token
+    }
+
+    /// Total words delivered so far.
+    pub fn deliveries(&self) -> u64 {
+        self.deliveries
+    }
+
+    /// Drives `word` onto the bus for the current cycle.
+    pub fn drive(&mut self, word: W) {
+        self.word = Some(word);
+    }
+
+    /// Completes the cycle: delivers the driven word (if any) to the token
+    /// holder, clears the bus, and advances the token **only when a word
+    /// was delivered** (the token marks the next station awaiting data).
+    ///
+    /// Returns `Some((station, word))` when a delivery happened.
+    pub fn settle(&mut self) -> Option<(usize, W)> {
+        self.word.take().map(|w| {
+            let st = self.token;
+            self.token = (self.token + 1) % self.m;
+            self.deliveries += 1;
+            (st, w)
+        })
+    }
+
+    /// Resets the token to station 0 (e.g. between matrix boundaries).
+    pub fn reset_token(&mut self) {
+        self.token = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_delivery() {
+        let mut bus = TokenBus::new(3);
+        bus.drive(10);
+        assert_eq!(bus.settle(), Some((0, 10)));
+        bus.drive(11);
+        assert_eq!(bus.settle(), Some((1, 11)));
+        bus.drive(12);
+        assert_eq!(bus.settle(), Some((2, 12)));
+        bus.drive(13);
+        assert_eq!(bus.settle(), Some((0, 13))); // wrapped
+        assert_eq!(bus.deliveries(), 4);
+    }
+
+    #[test]
+    fn idle_cycle_does_not_advance_token() {
+        let mut bus = TokenBus::<u32>::new(2);
+        assert_eq!(bus.settle(), None);
+        assert_eq!(bus.token_at(), 0);
+        bus.drive(5);
+        assert_eq!(bus.settle(), Some((0, 5)));
+        assert_eq!(bus.token_at(), 1);
+    }
+
+    #[test]
+    fn bus_word_is_cleared_after_settle() {
+        let mut bus = TokenBus::new(2);
+        bus.drive(1);
+        bus.settle();
+        assert_eq!(bus.settle(), None);
+    }
+
+    #[test]
+    fn reset_token() {
+        let mut bus = TokenBus::new(3);
+        bus.drive(1);
+        bus.settle();
+        bus.drive(2);
+        bus.settle();
+        bus.reset_token();
+        assert_eq!(bus.token_at(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one station")]
+    fn zero_station_bus_rejected() {
+        let _ = TokenBus::<u8>::new(0);
+    }
+}

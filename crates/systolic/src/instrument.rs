@@ -1,0 +1,159 @@
+//! Cycle, busy-PE, and I/O-word accounting.
+//!
+//! The paper's quality metric is *processor utilization*
+//! `PU = serial iterations / (parallel iterations × processors)` (Eq. 9).
+//! [`Stats`] records the denominator side from the simulation (cycles ×
+//! PEs, and the fraction of PE-cycles actually busy); callers combine it
+//! with a serial-iteration count to report PU.
+
+/// Instrumentation for one simulated array.
+#[derive(Clone, Debug)]
+pub struct Stats {
+    cycles: u64,
+    busy: Vec<u64>,
+    input_words: u64,
+    output_words: u64,
+}
+
+/// A utilization report derived from [`Stats`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Utilization {
+    /// Fraction of PE-cycles that were busy, in `[0, 1]`.
+    pub overall: f64,
+    /// Total PE-cycles (cycles × number of PEs).
+    pub pe_cycles: u64,
+    /// Total busy PE-cycles.
+    pub busy_pe_cycles: u64,
+}
+
+impl Stats {
+    /// Fresh statistics for an array of `m` PEs.
+    pub fn new(m: usize) -> Stats {
+        Stats {
+            cycles: 0,
+            busy: vec![0; m],
+            input_words: 0,
+            output_words: 0,
+        }
+    }
+
+    /// Number of PEs being tracked.
+    pub fn num_pes(&self) -> usize {
+        self.busy.len()
+    }
+
+    /// Total clock cycles elapsed.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Busy-cycle count of PE `i`.
+    pub fn busy(&self, i: usize) -> u64 {
+        self.busy[i]
+    }
+
+    /// Words accepted on the head link.
+    pub fn input_words(&self) -> u64 {
+        self.input_words
+    }
+
+    /// Words emitted from the tail link.
+    pub fn output_words(&self) -> u64 {
+        self.output_words
+    }
+
+    /// Records one elapsed cycle.
+    pub fn record_cycle(&mut self) {
+        self.cycles += 1;
+    }
+
+    /// Records that PE `i` did useful work this cycle.
+    pub fn record_busy(&mut self, i: usize) {
+        self.busy[i] += 1;
+    }
+
+    /// Records a word entering the array.
+    pub fn record_input_word(&mut self) {
+        self.input_words += 1;
+    }
+
+    /// Records a word leaving the array.
+    pub fn record_output_word(&mut self) {
+        self.output_words += 1;
+    }
+
+    /// Derives the utilization report.
+    pub fn utilization(&self) -> Utilization {
+        let pe_cycles = self.cycles * self.busy.len() as u64;
+        let busy_pe_cycles: u64 = self.busy.iter().sum();
+        Utilization {
+            overall: if pe_cycles == 0 {
+                0.0
+            } else {
+                busy_pe_cycles as f64 / pe_cycles as f64
+            },
+            pe_cycles,
+            busy_pe_cycles,
+        }
+    }
+
+    /// Processor utilization in the paper's sense (Eq. 9): the number of
+    /// iterations a single processor would need, divided by
+    /// (parallel cycles × number of PEs).
+    pub fn processor_utilization(&self, serial_iterations: u64) -> f64 {
+        let denom = self.cycles * self.busy.len() as u64;
+        if denom == 0 {
+            0.0
+        } else {
+            serial_iterations as f64 / denom as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_all_busy() {
+        let mut s = Stats::new(2);
+        for _ in 0..4 {
+            s.record_cycle();
+            s.record_busy(0);
+            s.record_busy(1);
+        }
+        let u = s.utilization();
+        assert_eq!(u.overall, 1.0);
+        assert_eq!(u.pe_cycles, 8);
+        assert_eq!(u.busy_pe_cycles, 8);
+    }
+
+    #[test]
+    fn utilization_empty() {
+        let s = Stats::new(3);
+        assert_eq!(s.utilization().overall, 0.0);
+        assert_eq!(s.processor_utilization(100), 0.0);
+    }
+
+    #[test]
+    fn processor_utilization_matches_eq9_shape() {
+        // m=3 PEs, N·m = 12 cycles, serial (N-2)m²+m = 2*9+3 = 21 (N=4).
+        let mut s = Stats::new(3);
+        for _ in 0..12 {
+            s.record_cycle();
+        }
+        let pu = s.processor_utilization(21);
+        let expected = 21.0 / (12.0 * 3.0);
+        assert!((pu - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn io_word_counts() {
+        let mut s = Stats::new(1);
+        s.record_input_word();
+        s.record_input_word();
+        s.record_output_word();
+        assert_eq!(s.input_words(), 2);
+        assert_eq!(s.output_words(), 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! Cycle-accurate simulation engine for systolic arrays.
+//!
+//! Wah & Li's designs are synchronous linear arrays: every processing
+//! element (PE) computes a shift–multiply–accumulate step per clock cycle,
+//! and data moves between neighbouring PEs through registers that update on
+//! the clock edge.  This crate reproduces that register-transfer model in
+//! software:
+//!
+//! * [`pe::ProcessingElement`] — one PE's combinational step function;
+//! * [`array::LinearArray`] — a nearest-neighbour pipeline with *latched*
+//!   inter-PE links (two-phase update: all PEs observe the previous cycle's
+//!   outputs, then all latches commit), matching systolic timing exactly;
+//! * [`bus::TokenBus`] — a single broadcast bus whose pick-up station is
+//!   selected by a circulating token (§3.2 of the paper);
+//! * [`instrument::Stats`] — cycle counts, per-PE busy counts, utilization
+//!   and I/O-word accounting, used for the PU experiments;
+//! * [`scheduler`] — a discrete-time simulator of `K` matrix-multiplication
+//!   arrays cooperating on a binary AND-tree (the divide-and-conquer model
+//!   of §4, used for Proposition 1, Theorem 1, and Figure 6).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod bus;
+pub mod instrument;
+pub mod mesh;
+pub mod pe;
+pub mod scheduler;
+
+pub use array::LinearArray;
+pub use bus::TokenBus;
+pub use instrument::{Stats, Utilization};
+pub use mesh::{Mesh2D, MeshProcessingElement};
+pub use pe::ProcessingElement;
+pub use scheduler::{Schedule, TreeScheduler};

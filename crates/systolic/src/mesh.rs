@@ -1,0 +1,221 @@
+//! A two-dimensional mesh of PEs with latched nearest-neighbour links.
+//!
+//! The divide-and-conquer analysis of §4 treats "a systolic array that
+//! multiplies two matrices in T₁ time" as its unit of hardware; the
+//! classic such array (Kung's design, the paper's reference \[17\]) is a
+//! 2-D mesh where operands stream in from the west and north edges and
+//! results accumulate in place.  This module provides the *engine* for
+//! any such design: a rectangular grid of PEs where each PE reads the
+//! words latched on its west and north links, computes, and drives its
+//! east and south links — with the same two-phase (read-then-commit)
+//! clock discipline as [`crate::array::LinearArray`].
+
+// Grid/stage updates read clearer with explicit indices.
+#![allow(clippy::needless_range_loop)]
+use crate::instrument::Stats;
+
+/// One PE of a 2-D mesh.
+pub trait MeshProcessingElement {
+    /// Word type moving west → east.
+    type Horiz: Copy;
+    /// Word type moving north → south.
+    type Vert: Copy;
+    /// Broadcast control word.
+    type Ctrl: Copy;
+
+    /// One clock cycle: consume latched west/north words, produce
+    /// east/south words (usually a pass-through plus local accumulate).
+    fn step(
+        &mut self,
+        west: Option<Self::Horiz>,
+        north: Option<Self::Vert>,
+        ctrl: Self::Ctrl,
+    ) -> (Option<Self::Horiz>, Option<Self::Vert>);
+
+    /// Whether the previous `step` did useful work.
+    fn was_busy(&self) -> bool {
+        true
+    }
+}
+
+/// A `rows × cols` mesh with latched links.
+pub struct Mesh2D<P: MeshProcessingElement> {
+    rows: usize,
+    cols: usize,
+    pes: Vec<P>,
+    /// `h[r][c]` = word latched on the horizontal link *into* PE `(r, c)`;
+    /// column index `cols` is the east edge output.
+    h: Vec<Vec<Option<P::Horiz>>>,
+    /// `v[r][c]` = word latched on the vertical link *into* PE `(r, c)`;
+    /// row index `rows` is the south edge output.
+    v: Vec<Vec<Option<P::Vert>>>,
+    stats: Stats,
+}
+
+impl<P: MeshProcessingElement> Mesh2D<P> {
+    /// Builds a mesh from row-major PEs.
+    pub fn new(rows: usize, cols: usize, pes: Vec<P>) -> Mesh2D<P> {
+        assert!(rows > 0 && cols > 0, "mesh dimensions must be positive");
+        assert_eq!(pes.len(), rows * cols, "need rows*cols PEs");
+        Mesh2D {
+            rows,
+            cols,
+            pes,
+            h: vec![vec![None; cols + 1]; rows],
+            v: vec![vec![None; cols]; rows + 1],
+            stats: Stats::new(rows * cols),
+        }
+    }
+
+    /// Grid shape `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Immutable access to PE `(r, c)`.
+    pub fn pe(&self, r: usize, c: usize) -> &P {
+        &self.pes[r * self.cols + c]
+    }
+
+    /// Engine statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Advances one clock cycle.
+    ///
+    /// * `west_in(r)` — word presented on row `r`'s west edge;
+    /// * `north_in(c)` — word presented on column `c`'s north edge;
+    /// * `ctrl(r, c)` — per-PE control word.
+    ///
+    /// Returns `(east_out, south_out)`: this cycle's edge outputs.
+    #[allow(clippy::type_complexity)]
+    pub fn cycle(
+        &mut self,
+        mut west_in: impl FnMut(usize) -> Option<P::Horiz>,
+        mut north_in: impl FnMut(usize) -> Option<P::Vert>,
+        mut ctrl: impl FnMut(usize, usize) -> P::Ctrl,
+    ) -> (Vec<Option<P::Horiz>>, Vec<Option<P::Vert>>) {
+        let (rows, cols) = (self.rows, self.cols);
+        // Snapshot pre-cycle latches, inject edges.
+        let mut h_in = self.h.clone();
+        let mut v_in = self.v.clone();
+        for r in 0..rows {
+            h_in[r][0] = west_in(r);
+            if h_in[r][0].is_some() {
+                self.stats.record_input_word();
+            }
+        }
+        for c in 0..cols {
+            v_in[0][c] = north_in(c);
+            if v_in[0][c].is_some() {
+                self.stats.record_input_word();
+            }
+        }
+        let mut h_next = vec![vec![None; cols + 1]; rows];
+        let mut v_next = vec![vec![None; cols]; rows + 1];
+        for r in 0..rows {
+            for c in 0..cols {
+                let pe = &mut self.pes[r * cols + c];
+                let (east, south) = pe.step(h_in[r][c], v_in[r][c], ctrl(r, c));
+                h_next[r][c + 1] = east;
+                v_next[r + 1][c] = south;
+                if pe.was_busy() {
+                    self.stats.record_busy(r * cols + c);
+                }
+            }
+        }
+        let east_out: Vec<_> = (0..rows).map(|r| h_next[r][cols]).collect();
+        let south_out: Vec<_> = (0..cols).map(|c| v_next[rows][c]).collect();
+        let out_words = east_out.iter().filter(|w| w.is_some()).count()
+            + south_out.iter().filter(|w| w.is_some()).count();
+        for _ in 0..out_words {
+            self.stats.record_output_word();
+        }
+        self.h = h_next;
+        self.v = v_next;
+        self.stats.record_cycle();
+        (east_out, south_out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pass-through PE: words cross the mesh unchanged.
+    #[derive(Default)]
+    struct Cross {
+        busy: bool,
+    }
+
+    impl MeshProcessingElement for Cross {
+        type Horiz = u32;
+        type Vert = u32;
+        type Ctrl = ();
+        fn step(
+            &mut self,
+            west: Option<u32>,
+            north: Option<u32>,
+            _: (),
+        ) -> (Option<u32>, Option<u32>) {
+            self.busy = west.is_some() || north.is_some();
+            (west, north)
+        }
+        fn was_busy(&self) -> bool {
+            self.busy
+        }
+    }
+
+    fn mesh(rows: usize, cols: usize) -> Mesh2D<Cross> {
+        Mesh2D::new(rows, cols, (0..rows * cols).map(|_| Cross::default()).collect())
+    }
+
+    #[test]
+    fn horizontal_word_crosses_in_cols_cycles() {
+        let mut m = mesh(2, 3);
+        let (e, _) = m.cycle(|r| (r == 0).then_some(7), |_| None, |_, _| ());
+        assert_eq!(e, vec![None, None]);
+        let (e, _) = m.cycle(|_| None, |_| None, |_, _| ());
+        assert_eq!(e, vec![None, None]);
+        let (e, _) = m.cycle(|_| None, |_| None, |_, _| ());
+        assert_eq!(e, vec![Some(7), None]);
+    }
+
+    #[test]
+    fn vertical_word_crosses_in_rows_cycles() {
+        let mut m = mesh(2, 3);
+        m.cycle(|_| None, |c| (c == 2).then_some(9), |_, _| ());
+        let (_, s) = m.cycle(|_| None, |_| None, |_, _| ());
+        assert_eq!(s, vec![None, None, Some(9)]);
+    }
+
+    #[test]
+    fn streams_do_not_interfere() {
+        let mut m = mesh(2, 2);
+        // inject both directions simultaneously on all edges
+        m.cycle(|r| Some(10 + r as u32), |c| Some(20 + c as u32), |_, _| ());
+        let (e, s) = m.cycle(|_| None, |_| None, |_, _| ());
+        assert_eq!(e, vec![Some(10), Some(11)]);
+        assert_eq!(s, vec![Some(20), Some(21)]);
+    }
+
+    #[test]
+    fn stats_track_io_and_busy() {
+        let mut m = mesh(2, 2);
+        m.cycle(|_| Some(1), |_| Some(2), |_, _| ());
+        let u = m.stats();
+        assert_eq!(u.input_words(), 4);
+        assert_eq!(u.cycles(), 1);
+        // first column + first row PEs busy: (0,0) got both, (0,1) got
+        // vertical, (1,0) got horizontal -> 3 busy, (1,1) idle
+        let busy: u64 = (0..4).map(|i| u.busy(i)).sum();
+        assert_eq!(busy, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows*cols")]
+    fn wrong_pe_count_rejected() {
+        let _ = Mesh2D::new(2, 2, vec![Cross::default()]);
+    }
+}

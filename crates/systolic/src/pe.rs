@@ -1,0 +1,78 @@
+//! The processing-element interface.
+//!
+//! A systolic PE is a small finite-state machine: on every clock cycle it
+//! reads the word latched on its left link, an external (off-array) input,
+//! and a broadcast control word; it updates its internal registers and
+//! drives its right link.  The trait keeps the step function *combinational
+//! with respect to the latched inputs*: a PE never observes a neighbour's
+//! same-cycle output, which is what makes the simulation faithful to a
+//! clocked array.
+
+/// One systolic processing element.
+///
+/// Type parameters are associated so concrete designs (Figs. 3, 4, 5 of the
+/// paper) can pick their own word formats while sharing the
+/// [`LinearArray`](crate::array::LinearArray) driver.
+pub trait ProcessingElement {
+    /// Word type carried on the inter-PE links (left-to-right).
+    type Flow: Copy;
+    /// Per-cycle external input delivered directly to this PE
+    /// (e.g. a matrix element streamed from off-chip).
+    type Ext: Copy;
+    /// Broadcast control word (e.g. the paper's FIRST/ODD/MOVE signals).
+    type Ctrl: Copy;
+
+    /// Executes one clock cycle.
+    ///
+    /// * `flow_in` — the word latched on the left link at the end of the
+    ///   previous cycle (`None` when the link carried nothing);
+    /// * `ext` — this cycle's external input;
+    /// * `ctrl` — this cycle's control word.
+    ///
+    /// Returns the word to latch onto the right link for the next cycle.
+    fn step(
+        &mut self,
+        flow_in: Option<Self::Flow>,
+        ext: Self::Ext,
+        ctrl: Self::Ctrl,
+    ) -> Option<Self::Flow>;
+
+    /// Whether the PE performed useful work this cycle (for utilization
+    /// accounting).  Implementations should report the *previous* `step`'s
+    /// activity; the driver queries it right after stepping.
+    fn was_busy(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A PE that adds 1 to whatever flows through, for trait smoke tests.
+    struct Inc {
+        busy: bool,
+    }
+
+    impl ProcessingElement for Inc {
+        type Flow = i64;
+        type Ext = ();
+        type Ctrl = ();
+        fn step(&mut self, flow_in: Option<i64>, _: (), _: ()) -> Option<i64> {
+            self.busy = flow_in.is_some();
+            flow_in.map(|v| v + 1)
+        }
+        fn was_busy(&self) -> bool {
+            self.busy
+        }
+    }
+
+    #[test]
+    fn pe_step_and_busy() {
+        let mut pe = Inc { busy: false };
+        assert_eq!(pe.step(Some(41), (), ()), Some(42));
+        assert!(pe.was_busy());
+        assert_eq!(pe.step(None, (), ()), None);
+        assert!(!pe.was_busy());
+    }
+}

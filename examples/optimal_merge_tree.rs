@@ -1,0 +1,56 @@
+//! Optimal search/merge trees on the chain arrays — the paper's *other*
+//! §2.1 polyadic example, run on the *same* hardware as matrix-chain
+//! ordering.
+//!
+//! ```text
+//! cargo run --example optimal_merge_tree
+//! ```
+//!
+//! Because the Guibas–Kung–Thompson array solves any recurrence of the
+//! optimal-parenthesization shape, the optimal alphabetic merge tree
+//! (minimum weighted path length over ordered keys) and the optimal BST
+//! both execute on it unchanged — only the cell's local weight function
+//! differs.
+
+use sdp_core::chain_problem::{ChainProblem, MergeTree};
+use systolic_dp::prelude::*;
+
+fn main() {
+    let freq: Vec<u64> = vec![22, 8, 31, 5, 14, 9, 27, 11];
+    let n = freq.len();
+    println!("== optimal merge / search trees on the chain arrays ==");
+    println!("key access frequencies: {freq:?}\n");
+
+    // 1. optimal BST (node-oriented, the classic §2.1 formulation)
+    let bst = optimal_bst(&freq);
+    println!("optimal BST cost (node-oriented DP)     : {}", bst.cost);
+
+    // 2. optimal alphabetic merge tree on the three array models
+    let p = MergeTree::new(&freq);
+    let dp = p.solve_dp();
+    println!("optimal merge-tree cost (sequential DP) : {dp}");
+
+    let bc = sdp_core::chain_array::simulate_chain_problem(&p, ChainMapping::Broadcast);
+    let pl = sdp_core::chain_array::simulate_chain_problem(&p, ChainMapping::Pipelined);
+    let gk = GktArray::default().run_problem(&p);
+    println!("\nbroadcast mapping : cost {} in {} steps (T_d = N = {n})", bc.cost, bc.finish);
+    println!("pipelined mapping : cost {} in {} steps (T_p = 2N = {})", pl.cost, pl.finish, 2 * n);
+    println!(
+        "GKT triangle      : cost {} in {} cycles, {} operand hops, {} cell ops",
+        gk.cost, gk.finish, gk.messages, gk.operations
+    );
+    assert_eq!(bc.cost, dp);
+    assert_eq!(pl.cost, dp);
+    assert_eq!(gk.cost, dp);
+
+    // 3. the same cells also solve the matrix chain — swap the weight fn
+    let dims = generate::random_chain_dims(8, n, 2, 30);
+    let chain = matrix_chain_order(&dims);
+    let gk2 = GktArray::default().run(&dims);
+    println!(
+        "\nsame triangle, matrix-chain weights: cost {} == DP {} in {} cycles",
+        gk2.cost, chain.cost, gk2.finish
+    );
+    assert_eq!(gk2.cost, chain.cost);
+    println!("\nall array models agree with sequential DP ✓");
+}

@@ -1,0 +1,117 @@
+//! Integration: every solution path in the workspace computes the same
+//! optimum on shared random instances — systolic designs, sequential DP,
+//! matrix string products, AND/OR partition graphs, and brute force.
+
+use systolic_dp::prelude::*;
+
+#[test]
+fn five_way_agreement_on_single_source_sink_graphs() {
+    for seed in 0..25 {
+        let stages = 3 + (seed as usize % 7);
+        let m = 1 + (seed as usize % 5);
+        let g = generate::random_single_source_sink(seed, stages, m, 0, 40);
+
+        let fwd = solve::forward_dp(&g).cost;
+        let bwd = solve::backward_dp(&g).cost;
+        let mat = g.optimal_cost();
+        let d1 = Design1Array::new(m).run(g.matrix_string()).optimum();
+        let d2 = Design2Array::new(m).run(g.matrix_string()).optimum();
+        let (bf, _) = solve::brute_force(&g);
+
+        assert_eq!(fwd, bwd, "seed {seed}");
+        assert_eq!(fwd, mat, "seed {seed}");
+        assert_eq!(fwd, d1, "seed {seed}");
+        assert_eq!(fwd, d2, "seed {seed}");
+        assert_eq!(fwd, bf, "seed {seed}");
+    }
+}
+
+#[test]
+fn node_value_pipeline_agrees_with_edge_cost_pipeline() {
+    for seed in 0..15 {
+        let n = 3 + (seed as usize % 6);
+        let m = 2 + (seed as usize % 4);
+        let nv = generate::node_value_random(
+            seed,
+            n,
+            m,
+            Box::new(systolic_dp::multistage::node_value::AbsDiff),
+            -30,
+            30,
+        );
+        let d3 = Design3Array::new(m).run(&nv);
+        let ms = nv.to_multistage();
+        // The materialized edge-cost graph through the other designs:
+        let d1 = Design1Array::new(m).run(ms.matrix_string());
+        let dp = solve::backward_dp(&ms);
+        assert_eq!(d3.cost, dp.cost, "seed {seed}");
+        assert_eq!(d1.optimum(), dp.cost, "seed {seed}");
+        assert_eq!(solve::path_cost(&ms, &d3.path), d3.cost, "seed {seed}");
+    }
+}
+
+#[test]
+fn partition_graph_agrees_with_designs_on_uniform_strings() {
+    for seed in 0..8 {
+        let m = 2 + (seed as usize % 2);
+        let g = generate::random_uniform(seed, 5, m, 0, 30); // 4 matrices
+        let pg = build_partition_graph(4, m, 2);
+        let reduced = pg.evaluate_on(g.matrix_string());
+        let d1 = Design1Array::new(m).run(g.matrix_string());
+        // d1 values are row minima of the reduced all-pairs matrix
+        for (i, &v) in d1.values.iter().enumerate() {
+            let row_min = (0..m)
+                .map(|j| reduced.get(i, j).0)
+                .fold(Cost::INF, Cost::min);
+            assert_eq!(v, row_min, "seed {seed} row {i}");
+        }
+    }
+}
+
+#[test]
+fn parallel_executor_agrees_with_everything() {
+    for seed in 0..6 {
+        let n = 4 + (seed as usize % 8);
+        let m = 2 + (seed as usize % 3);
+        let g = generate::random_uniform(seed, n + 1, m, 0, 50);
+        let (tree, _) = dnc::ParallelExecutor::new(3).multiply_string(g.matrix_string());
+        let fold = Matrix::string_product(g.matrix_string());
+        assert_eq!(tree, fold, "seed {seed}");
+    }
+}
+
+#[test]
+fn chain_arrays_agree_with_andor_and_dp() {
+    for seed in 0..10 {
+        let n = 2 + (seed as usize % 9);
+        let dims = generate::random_chain_dims(seed, n, 1, 30);
+        let dp = matrix_chain_order(&dims).cost;
+        let bc = simulate_chain_array(&dims, ChainMapping::Broadcast).cost;
+        let pl = simulate_chain_array(&dims, ChainMapping::Pipelined).cost;
+        let andor = systolic_dp::andor::chain::build_chain_andor(&dims);
+        let graph_val = andor.graph.evaluate_node(andor.root);
+        let ser = serialize(&andor.graph);
+        let ser_val = ser.graph.evaluate(&|_| None)[ser.id_map[andor.root]];
+        assert_eq!(dp, bc, "seed {seed}");
+        assert_eq!(dp, pl, "seed {seed}");
+        assert_eq!(dp, graph_val, "seed {seed}");
+        assert_eq!(dp, ser_val, "seed {seed}");
+    }
+}
+
+#[test]
+fn sparse_graphs_with_unreachable_edges() {
+    for seed in 0..10 {
+        let g = generate::random_sparse(seed, 6, 4, 1, 20, 0.5);
+        let dp = solve::forward_dp(&g).cost;
+        let d1 = Design1Array::new(4).run(g.matrix_string());
+        // multi-source/multi-sink: compare per-vertex vector minima
+        let want = Matrix::string_product(g.matrix_string());
+        for (i, &v) in d1.values.iter().enumerate() {
+            let row_min = (0..4).map(|j| want.get(i, j).0).fold(Cost::INF, Cost::min);
+            assert_eq!(v, row_min, "seed {seed} row {i}");
+        }
+        let overall = d1.values.iter().copied().fold(Cost::INF, Cost::min);
+        assert_eq!(overall, dp, "seed {seed}");
+    }
+}
