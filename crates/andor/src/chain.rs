@@ -10,7 +10,6 @@
 use crate::graph::{AndOrGraph, NodeId};
 use sdp_semiring::Cost;
 
-
 /// Saturating `r_{i-1}·r_k·r_j` as a finite [`Cost`] — chain products of
 /// large dimensions can exceed the i64 range, and a wrapped cast would
 /// silently corrupt the minimization.
@@ -218,7 +217,11 @@ pub fn build_chain_andor(dims: &[u64]) -> ChainAndOr {
         }
     }
     let root = ids[0][n - 1].unwrap();
-    ChainAndOr { graph: g, ids, root }
+    ChainAndOr {
+        graph: g,
+        ids,
+        root,
+    }
 }
 
 /// Optimal binary search tree DP (the other polyadic problem the paper
@@ -273,7 +276,11 @@ pub fn bst_brute_force(freq: &[u64]) -> Cost {
         let w: i64 = freq[i..=j].iter().map(|&f| f as i64).sum();
         let mut best = Cost::INF;
         for r in i..=j {
-            let left = if r > i { rec(freq, i, r - 1) } else { Cost::ZERO };
+            let left = if r > i {
+                rec(freq, i, r - 1)
+            } else {
+                Cost::ZERO
+            };
             let right = rec(freq, r + 1, j);
             best = best.min(left + right + Cost::from(w));
         }

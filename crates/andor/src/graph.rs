@@ -136,9 +136,11 @@ impl AndOrGraph {
     /// True when **every** arc connects adjacent levels — the paper's
     /// seriality criterion for direct systolic mapping.
     pub fn is_serial(&self) -> bool {
-        self.nodes
-            .iter()
-            .all(|n| n.children.iter().all(|&c| self.nodes[c].level + 1 == n.level))
+        self.nodes.iter().all(|n| {
+            n.children
+                .iter()
+                .all(|&c| self.nodes[c].level + 1 == n.level)
+        })
     }
 
     /// Arcs that skip at least one level (the ones Fig. 8 patches with

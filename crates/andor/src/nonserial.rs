@@ -33,12 +33,12 @@ pub struct Term {
 
 impl Term {
     /// Convenience constructor.
-    pub fn new(
-        vars: Vec<usize>,
-        f: impl Fn(&[i64]) -> Cost + Send + Sync + 'static,
-    ) -> Term {
+    pub fn new(vars: Vec<usize>, f: impl Fn(&[i64]) -> Cost + Send + Sync + 'static) -> Term {
         assert!(!vars.is_empty(), "a term needs at least one variable");
-        Term { vars, f: Box::new(f) }
+        Term {
+            vars,
+            f: Box::new(f),
+        }
     }
 
     /// Evaluates the term under a full assignment.
@@ -85,7 +85,13 @@ impl NonserialProblem {
     /// The interaction-graph edges: `{i, j}` whenever two variables share
     /// a term (§2.2's definition).
     pub fn interaction_edges(&self) -> BTreeSet<(usize, usize)> {
-        interaction_edges(&self.terms.iter().map(|t| t.vars.clone()).collect::<Vec<_>>())
+        interaction_edges(
+            &self
+                .terms
+                .iter()
+                .map(|t| t.vars.clone())
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// True when the interaction graph is a simple path `0−1−…−(n−1)`,
@@ -101,8 +107,11 @@ impl NonserialProblem {
         let mut idx = vec![0usize; n];
         let mut best = (Cost::INF, vec![]);
         loop {
-            let assignment: Vec<i64> =
-                idx.iter().enumerate().map(|(v, &i)| self.domains[v][i]).collect();
+            let assignment: Vec<i64> = idx
+                .iter()
+                .enumerate()
+                .map(|(v, &i)| self.domains[v][i])
+                .collect();
             let c = self.objective(&assignment);
             if c < best.0 {
                 best = (c, assignment);
@@ -211,8 +220,11 @@ impl TernaryChain {
         let mut idx = vec![0usize; n];
         let mut best = (Cost::INF, vec![]);
         loop {
-            let assignment: Vec<i64> =
-                idx.iter().enumerate().map(|(v, &i)| self.domains[v][i]).collect();
+            let assignment: Vec<i64> = idx
+                .iter()
+                .enumerate()
+                .map(|(v, &i)| self.domains[v][i])
+                .collect();
             let c = self.objective(&assignment);
             if c < best.0 {
                 best = (c, assignment);
@@ -367,7 +379,13 @@ mod tests {
     #[test]
     fn mixed_domain_sizes_step_count() {
         let t = TernaryChain::uniform(
-            vec![vec![0, 1], vec![0, 1, 2], vec![0], vec![1, 5], vec![2, 4, 6]],
+            vec![
+                vec![0, 1],
+                vec![0, 1, 2],
+                vec![0],
+                vec![1, 5],
+                vec![2, 4, 6],
+            ],
             |a, b, c| Cost::from(a + b + c),
         );
         let (cost, steps) = t.eliminate();

@@ -201,7 +201,9 @@ mod tests {
         // simple LCG to avoid a rand dependency in unit tests
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) % 50) as i64
         };
         (0..n)
@@ -230,7 +232,14 @@ mod tests {
 
     #[test]
     fn evaluation_equals_string_product() {
-        for (n, m, p) in [(2, 2, 2), (4, 2, 2), (4, 3, 2), (8, 2, 2), (9, 2, 3), (4, 2, 4)] {
+        for (n, m, p) in [
+            (2, 2, 2),
+            (4, 2, 2),
+            (4, 3, 2),
+            (8, 2, 2),
+            (9, 2, 3),
+            (4, 2, 4),
+        ] {
             let pg = build_partition_graph(n, m, p);
             let mats = rand_mats((n * m * p) as u64, n, m);
             let got = pg.evaluate_on(&mats);

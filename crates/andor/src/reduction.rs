@@ -152,7 +152,10 @@ mod tests {
     fn known_chain_instance() {
         let p = plan_for_widths(&[30, 35, 15, 5, 10, 20, 25]);
         assert_eq!(p.optimal_ops, 15125);
-        assert_eq!(p.naive_ops, 30 * 35 * 15 + 30 * 15 * 5 + 30 * 5 * 10 + 30 * 10 * 20 + 30 * 20 * 25);
+        assert_eq!(
+            p.naive_ops,
+            30 * 35 * 15 + 30 * 15 * 5 + 30 * 5 * 10 + 30 * 10 * 20 + 30 * 20 * 25
+        );
         // naive = 40500, optimal = 15125 -> ~2.68x saving
         assert!(p.saving() > 2.5);
     }

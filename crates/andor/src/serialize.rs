@@ -145,8 +145,7 @@ mod tests {
         let b = g.add_leaf(0, Cost::from(2));
         let and = g.add_and(2, vec![a, b], Cost::ZERO); // skips level 1
         let s = serialize(&g);
-        let vals =
-            s.evaluate_original(&g, &|id| if id == a { Some(Cost::from(10)) } else { None });
+        let vals = s.evaluate_original(&g, &|id| if id == a { Some(Cost::from(10)) } else { None });
         assert_eq!(vals[s.id_map[and]], Cost::from(12));
     }
 

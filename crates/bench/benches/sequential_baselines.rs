@@ -31,10 +31,11 @@ fn bench_baselines(c: &mut Criterion) {
         b.iter(|| black_box(pg.evaluate_on(&mats)));
     });
     group.bench_function("ternary_elimination_8x6", |b| {
-        let domains: Vec<Vec<i64>> = (0..8).map(|s| (0..6).map(|j| s * 6 + j).collect()).collect();
-        let chain = TernaryChain::uniform(domains, |x, y, z| {
-            Cost::from((x - y).abs() + (y - z).abs())
-        });
+        let domains: Vec<Vec<i64>> = (0..8)
+            .map(|s| (0..6).map(|j| s * 6 + j).collect())
+            .collect();
+        let chain =
+            TernaryChain::uniform(domains, |x, y, z| Cost::from((x - y).abs() + (y - z).abs()));
         b.iter(|| black_box(chain.eliminate().0));
     });
     group.finish();

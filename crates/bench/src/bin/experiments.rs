@@ -1,42 +1,70 @@
 //! Regenerates every table and figure of Wah & Li (1985).
 //!
 //! ```text
-//! experiments [all|e1|e2|e3|fig6|prop1|thm1|thm2|prop2|prop3|eq40|table1|e12]
+//! experiments [all|e1|e2|e3|fig6|prop1|thm1|thm2|prop2|prop3|eq40|table1|e12] [--json]
 //! ```
+//!
+//! With `--json` the selected experiments are emitted as a single JSON
+//! document on stdout (metrics only, no tables); `all --json`
+//! additionally writes the document to `BENCH_pr1.json` in the current
+//! directory for regression tracking.
 
 use sdp_bench::experiments as ex;
+use sdp_bench::{reports_to_json, Report};
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
-    let report = match which.as_str() {
-        "all" => ex::run_all(),
-        "e1" => ex::run_e1(),
-        "e2" => ex::run_e2(),
-        "e3" => ex::run_e3(),
-        "e4" | "fig6" => ex::run_fig6(),
-        "e5" | "prop1" => ex::run_prop1(),
-        "e6" | "thm1" => ex::run_thm1(),
-        "e7" | "thm2" => ex::run_thm2(),
-        "e8" | "prop2" => ex::run_prop2(),
-        "e9" | "prop3" => ex::run_prop3(),
-        "e10" | "eq40" => ex::run_eq40(),
-        "e11" | "table1" => ex::run_table1(),
-        "e12" => ex::run_e12(),
-        "e13" | "gkt" => ex::run_e13(),
-        "e14" | "reduction" => ex::run_e14(),
-        "e15" | "topdown" => ex::run_e15(),
-        "e16" | "grouped" => ex::run_e16(),
-        "e17" | "matmul" => ex::run_e17(),
-        "e18" | "bnb" => ex::run_e18(),
-        "e19" | "curve" => ex::run_e19(),
-        "e20" | "edit" => ex::run_e20(),
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
+    let which = args
+        .first()
+        .map(String::as_str)
+        .unwrap_or("all")
+        .to_string();
+    let reports: Vec<Report> = match which.as_str() {
+        "all" => ex::report_all(),
+        "e1" => vec![ex::report_e1()],
+        "e2" => vec![ex::report_e2()],
+        "e3" => vec![ex::report_e3()],
+        "e4" | "fig6" => vec![ex::report_fig6()],
+        "e5" | "prop1" => vec![ex::report_prop1()],
+        "e6" | "thm1" => vec![ex::report_thm1()],
+        "e7" | "thm2" => vec![ex::report_thm2()],
+        "e8" | "prop2" => vec![ex::report_prop2()],
+        "e9" | "prop3" => vec![ex::report_prop3()],
+        "e10" | "eq40" => vec![ex::report_eq40()],
+        "e11" | "table1" => vec![ex::report_table1()],
+        "e12" => vec![ex::report_e12()],
+        "e13" | "gkt" => vec![ex::report_e13()],
+        "e14" | "reduction" => vec![ex::report_e14()],
+        "e15" | "topdown" => vec![ex::report_e15()],
+        "e16" | "grouped" => vec![ex::report_e16()],
+        "e17" | "matmul" => vec![ex::report_e17()],
+        "e18" | "bnb" => vec![ex::report_e18()],
+        "e19" | "curve" => vec![ex::report_e19()],
+        "e20" | "edit" => vec![ex::report_e20()],
         other => {
             eprintln!(
                 "unknown experiment '{other}'; expected one of: all e1 e2 e3 fig6 \
-                 prop1 thm1 thm2 prop2 prop3 eq40 table1 e12..e20"
+                 prop1 thm1 thm2 prop2 prop3 eq40 table1 e12..e20 [--json]"
             );
             std::process::exit(2);
         }
     };
-    println!("{report}");
+    if json {
+        let doc = reports_to_json(&reports).render();
+        println!("{doc}");
+        if which == "all" {
+            if let Err(e) = std::fs::write("BENCH_pr1.json", format!("{doc}\n")) {
+                eprintln!("warning: could not write BENCH_pr1.json: {e}");
+            }
+        }
+    } else {
+        let text = reports
+            .iter()
+            .map(Report::render_text)
+            .collect::<Vec<_>>()
+            .join("\n\n");
+        println!("{text}");
+    }
 }

@@ -1,12 +1,16 @@
 //! One function per paper artifact (experiment ids from DESIGN.md).
+//!
+//! Every experiment is built as a structured [`Report`] — `report_*`
+//! returns the table rows *and* machine-readable metrics; the historical
+//! `run_*` entry points render the same report as terminal text.  The
+//! `experiments --json` mode serializes all reports (see
+//! [`crate::report::reports_to_json`]).
 
-use crate::text_table;
+use crate::report::Report;
 use sdp_andor::chain::matrix_chain_order;
 use sdp_andor::nonserial::TernaryChain;
 use sdp_andor::partition::{build_partition_graph, u_p_closed_form};
-use sdp_core::chain_array::{
-    simulate_chain_array, td_recurrence, tp_recurrence, ChainMapping,
-};
+use sdp_core::chain_array::{simulate_chain_array, td_recurrence, tp_recurrence, ChainMapping};
 use sdp_core::classify::{table1, Formulation};
 use sdp_core::design1::Design1Array;
 use sdp_core::design2::Design2Array;
@@ -14,10 +18,22 @@ use sdp_core::design3::Design3Array;
 use sdp_core::dnc;
 use sdp_multistage::{generate, solve};
 use sdp_semiring::Cost;
+use sdp_trace::json::Json;
+
+fn rows_json(rows: Vec<Json>) -> Json {
+    Json::object().with("rows", Json::Array(rows))
+}
 
 /// E1 — Design 1 (Fig. 3) iteration counts and PU versus Eq. 9.
-pub fn run_e1() -> String {
-    let mut rows = Vec::new();
+pub fn report_e1() -> Report {
+    let mut report = Report::new(
+        "e1",
+        "E1: Design 1 (pipelined array, Fig. 3) — N·m iterations, PU per Eq. 9",
+    );
+    report.headers = vec![
+        "stages", "m", "systolic", "dp", "N*m", "cycles", "PU", "Eq9 PU",
+    ];
+    let mut metrics = Vec::new();
     for &(stages, m) in &[(4usize, 3usize), (6, 3), (10, 4), (20, 4), (40, 8), (80, 8)] {
         let g = generate::random_single_source_sink(9, stages, m, 0, 50);
         let res = Design1Array::new(m).run(g.matrix_string());
@@ -26,7 +42,7 @@ pub fn run_e1() -> String {
         let serial = solve::SerialCounts::matrix_string(n_mats, m as u64);
         let pu = res.paper_pu(serial, m as u64);
         let eq9 = solve::SerialCounts::eq9_pu(n_mats, m as u64);
-        rows.push(vec![
+        report.rows.push(vec![
             format!("{stages}"),
             format!("{m}"),
             format!("{}", res.optimum()),
@@ -36,25 +52,43 @@ pub fn run_e1() -> String {
             format!("{pu:.4}"),
             format!("{eq9:.4}"),
         ]);
+        metrics.push(
+            Json::object()
+                .with("stages", stages as u64)
+                .with("m", m as u64)
+                .with("cost_matches_dp", res.optimum() == dp.cost)
+                .with("paper_iterations", res.paper_iterations)
+                .with("cycles", res.cycles)
+                .with("pu", pu)
+                .with("eq9_pu", eq9),
+        );
     }
-    format!(
-        "E1: Design 1 (pipelined array, Fig. 3) — N·m iterations, PU per Eq. 9\n{}",
-        text_table(
-            &["stages", "m", "systolic", "dp", "N*m", "cycles", "PU", "Eq9 PU"],
-            &rows
-        )
-    )
+    report.metrics = rows_json(metrics);
+    report
 }
 
 /// E2 — Design 2 (Fig. 4, broadcast) equivalence and exact N·m timing.
-pub fn run_e2() -> String {
-    let mut rows = Vec::new();
+pub fn report_e2() -> Report {
+    let mut report = Report::new(
+        "e2",
+        "E2: Design 2 (broadcast array, Fig. 4) — same results, no skew",
+    );
+    report.headers = vec![
+        "stages",
+        "m",
+        "systolic",
+        "dp",
+        "d2 cycles",
+        "d1 cycles",
+        "bus words",
+    ];
+    let mut metrics = Vec::new();
     for &(stages, m) in &[(4usize, 3usize), (8, 5), (16, 4), (40, 8)] {
         let g = generate::random_single_source_sink(11, stages, m, 0, 50);
         let d1 = Design1Array::new(m).run(g.matrix_string());
         let d2 = Design2Array::new(m).run(g.matrix_string());
         let dp = solve::forward_dp(&g);
-        rows.push(vec![
+        report.rows.push(vec![
             format!("{stages}"),
             format!("{m}"),
             format!("{}", d2.optimum()),
@@ -63,19 +97,39 @@ pub fn run_e2() -> String {
             format!("{}", d1.cycles),
             format!("{}", d2.broadcast_words),
         ]);
+        metrics.push(
+            Json::object()
+                .with("stages", stages as u64)
+                .with("m", m as u64)
+                .with("cost_matches_dp", d2.optimum() == dp.cost)
+                .with("d2_cycles", d2.cycles)
+                .with("d1_cycles", d1.cycles)
+                .with("bus_words", d2.stats.bus_words()),
+        );
     }
-    format!(
-        "E2: Design 2 (broadcast array, Fig. 4) — same results, no skew\n{}",
-        text_table(
-            &["stages", "m", "systolic", "dp", "d2 cycles", "d1 cycles", "bus words"],
-            &rows
-        )
-    )
+    report.metrics = rows_json(metrics);
+    report
 }
 
 /// E3 — Design 3 (Fig. 5): (N+1)·m iterations, I/O reduction, paths.
-pub fn run_e3() -> String {
-    let mut rows = Vec::new();
+pub fn report_e3() -> Report {
+    let mut report = Report::new(
+        "e3",
+        "E3: Design 3 (node-value array, Fig. 5) — (N+1)·m iterations, path registers",
+    );
+    report.headers = vec![
+        "N",
+        "m",
+        "systolic",
+        "dp",
+        "cycles",
+        "(N+1)m",
+        "PU",
+        "paper PU",
+        "IO node/edge",
+        "path ok",
+    ];
+    let mut metrics = Vec::new();
     for &(n, m) in &[(4usize, 3usize), (6, 4), (10, 5), (20, 8), (40, 8)] {
         let g = generate::node_value_random(
             5,
@@ -90,192 +144,278 @@ pub fn run_e3() -> String {
         let dp = solve::backward_dp(&ms);
         let serial = solve::SerialCounts::node_value(n as u64, m as u64);
         let (node_io, edge_io) = g.io_words();
-        rows.push(vec![
+        let pu = res.measured_pu(serial);
+        let paper_pu = solve::SerialCounts::design3_pu(n as u64, m as u64);
+        let path_ok = solve::path_cost(&ms, &res.path) == res.cost;
+        report.rows.push(vec![
             format!("{n}"),
             format!("{m}"),
             format!("{}", res.cost),
             format!("{}", dp.cost),
             format!("{}", res.cycles),
             format!("{}", (n + 1) * m),
-            format!("{:.4}", res.measured_pu(serial)),
-            format!("{:.4}", solve::SerialCounts::design3_pu(n as u64, m as u64)),
+            format!("{pu:.4}"),
+            format!("{paper_pu:.4}"),
             format!("{node_io}/{edge_io}"),
-            format!("{}", solve::path_cost(&ms, &res.path) == res.cost),
+            format!("{path_ok}"),
         ]);
+        metrics.push(
+            Json::object()
+                .with("n", n as u64)
+                .with("m", m as u64)
+                .with("cost_matches_dp", res.cost == dp.cost)
+                .with("cycles", res.cycles)
+                .with("paper_iterations", res.paper_iterations)
+                .with("pu", pu)
+                .with("paper_pu", paper_pu)
+                .with("node_io_words", node_io)
+                .with("edge_io_words", edge_io)
+                .with("bus_words", res.stats.bus_words())
+                .with("path_ok", path_ok),
+        );
     }
-    format!(
-        "E3: Design 3 (node-value array, Fig. 5) — (N+1)·m iterations, path registers\n{}",
-        text_table(
-            &[
-                "N", "m", "systolic", "dp", "cycles", "(N+1)m", "PU", "paper PU",
-                "IO node/edge", "path ok"
-            ],
-            &rows
-        )
-    )
+    report.metrics = rows_json(metrics);
+    report
 }
 
 /// E4 — Figure 6: T and K·T² versus K for N = 4096.
-pub fn run_fig6() -> String {
+pub fn report_fig6() -> Report {
     let n = 4096u64;
+    let mut report = Report::new(
+        "e4",
+        format!("E4 / Figure 6: divide-and-conquer granularity, N = {n}"),
+    );
+    report.headers = vec!["K", "T", "K*T^2", "PU(sim)"];
     let sweep = dnc::granularity_sweep(n, 1024);
-    let mut rows = Vec::new();
     // Sample the curve plus the paper's highlighted points.
     let samples: Vec<u64> = vec![
-        1, 2, 4, 8, 16, 32, 64, 128, 200, 256, 300, 341, 372, 399, 409, 431, 455, 465,
-        512, 600, 700, 800, 1000, 1024,
+        1, 2, 4, 8, 16, 32, 64, 128, 200, 256, 300, 341, 372, 399, 409, 431, 455, 465, 512, 600,
+        700, 800, 1000, 1024,
     ];
+    let mut metrics = Vec::new();
     for &k in &samples {
         let p = sweep[(k - 1) as usize];
-        rows.push(vec![
+        report.rows.push(vec![
             format!("{k}"),
             format!("{}", p.t),
             format!("{}", p.kt2),
             format!("{:.4}", p.pu),
         ]);
+        metrics.push(
+            Json::object()
+                .with("k", p.k)
+                .with("t", p.t)
+                .with("kt2", p.kt2)
+                .with("pu", p.pu),
+        );
     }
     let (k_star, v_star) = dnc::optimal_granularity(n, 1024);
-    format!(
-        "E4 / Figure 6: divide-and-conquer granularity, N = {n}\n{}\n\
-         global KT^2 minimum: K = {k_star} (KT^2 = {v_star})\n\
-         paper-reported minima: K = 431 (KT^2 = {}), K = 465 (KT^2 = {})\n\
-         N/log2(N) = {:.0}\n",
-        text_table(&["K", "T", "K*T^2", "PU(sim)"], &rows),
-        sweep[430].kt2,
-        sweep[464].kt2,
-        n as f64 / (n as f64).log2()
-    )
+    report.notes = vec![
+        String::new(),
+        format!("global KT^2 minimum: K = {k_star} (KT^2 = {v_star})"),
+        format!(
+            "paper-reported minima: K = 431 (KT^2 = {}), K = 465 (KT^2 = {})",
+            sweep[430].kt2, sweep[464].kt2
+        ),
+        format!("N/log2(N) = {:.0}", n as f64 / (n as f64).log2()),
+    ];
+    report.metrics = rows_json(metrics)
+        .with("n", n)
+        .with("k_star", k_star)
+        .with("kt2_min", v_star)
+        .with("kt2_at_431", sweep[430].kt2)
+        .with("kt2_at_465", sweep[464].kt2);
+    report
 }
 
 /// E5 — Proposition 1: PU(c·N/log₂N, N) → 1/(1+c).
-pub fn run_prop1() -> String {
-    let mut rows = Vec::new();
+pub fn report_prop1() -> Report {
+    let mut report = Report::new(
+        "e5",
+        "E5 / Proposition 1: PU(k = c*N/log2N) converges to 1/(1+c)",
+    );
+    report.headers = vec!["c", "N=2^10", "N=2^14", "N=2^18", "N=2^22", "limit 1/(1+c)"];
+    let mut metrics = Vec::new();
     for &c in &[0.25f64, 0.5, 1.0, 2.0, 4.0] {
         let limit = 1.0 / (1.0 + c);
         let mut cells = vec![format!("{c}")];
+        let mut entry = Json::object().with("c", c).with("limit", limit);
         for &exp in &[10u32, 14, 18, 22] {
             let pu = dnc::pu_asymptotic(1 << exp, c);
             cells.push(format!("{pu:.4}"));
+            entry = entry.with(&format!("pu_n2e{exp}"), pu);
         }
         cells.push(format!("{limit:.4}"));
-        rows.push(cells);
+        report.rows.push(cells);
+        metrics.push(entry);
     }
-    format!(
-        "E5 / Proposition 1: PU(k = c*N/log2N) converges to 1/(1+c)\n{}",
-        text_table(
-            &["c", "N=2^10", "N=2^14", "N=2^18", "N=2^22", "limit 1/(1+c)"],
-            &rows
-        )
-    )
+    report.metrics = rows_json(metrics);
+    report
 }
 
 /// E6 — Theorem 1: S·T² versus S, minimized at Θ(N/log₂N).
-pub fn run_thm1() -> String {
-    let mut rows = Vec::new();
+pub fn report_thm1() -> Report {
+    let mut report = Report::new(
+        "e6",
+        "E6 / Theorem 1: S*T^2 vs S (ratio to the N*log2N lower bound)",
+    );
+    report.headers = vec!["N", "S", "S/(N/log2N)", "S*T^2", "ratio"];
+    let mut metrics = Vec::new();
     for &n in &[1024u64, 4096, 16384] {
         let ideal = (n as f64 / (n as f64).log2()) as u64;
         let bound = dnc::at2_lower_bound(n);
         for &mult in &[0.125f64, 0.5, 1.0, 2.0, 8.0] {
             let s = ((ideal as f64 * mult) as u64).max(1);
             let v = dnc::st2(n, s);
-            rows.push(vec![
+            report.rows.push(vec![
                 format!("{n}"),
                 format!("{s}"),
                 format!("{mult}x"),
                 format!("{v}"),
                 format!("{:.2}", v as f64 / bound),
             ]);
+            metrics.push(
+                Json::object()
+                    .with("n", n)
+                    .with("s", s)
+                    .with("mult", mult)
+                    .with("st2", v)
+                    .with("ratio_to_bound", v as f64 / bound),
+            );
         }
     }
-    format!(
-        "E6 / Theorem 1: S*T^2 vs S (ratio to the N*log2N lower bound)\n{}",
-        text_table(&["N", "S", "S/(N/log2N)", "S*T^2", "ratio"], &rows)
-    )
+    report.metrics = rows_json(metrics);
+    report
 }
 
 /// E7 — Theorem 2: u(p) measured vs Eq. 32, minimal at p = 2.
-pub fn run_thm2() -> String {
-    let mut rows = Vec::new();
+pub fn report_thm2() -> Report {
+    let mut report = Report::new(
+        "e7",
+        "E7 / Theorem 2: AND/OR-graph node count u(p); binary partition optimal",
+    );
+    report.headers = vec![
+        "m",
+        "p",
+        "N(small)",
+        "u measured",
+        "u Eq.32",
+        "u Eq.32 @N=4096",
+    ];
+    let mut metrics = Vec::new();
     for &m in &[2u64, 3, 4, 5] {
         for &p in &[2u64, 3, 4] {
             // measured on a small power-of-p instance
             let n_small = p.pow(2);
             let measured = if m.pow(p as u32 + 1) * n_small <= 100_000 {
                 let pg = build_partition_graph(n_small as usize, m as usize, p as usize);
-                format!("{}", pg.node_count())
+                Some(pg.node_count() as u64)
             } else {
-                "-".to_string()
+                None
             };
-            rows.push(vec![
+            let closed = u_p_closed_form(n_small, m, p);
+            let closed_4096 = u_p_closed_form(4096, m, p);
+            report.rows.push(vec![
                 format!("{m}"),
                 format!("{p}"),
                 format!("{n_small}"),
-                measured,
-                format!("{}", u_p_closed_form(n_small, m, p)),
-                format!("{}", u_p_closed_form(4096, m, p)),
+                measured.map_or_else(|| "-".to_string(), |u| format!("{u}")),
+                format!("{closed}"),
+                format!("{closed_4096}"),
             ]);
+            metrics.push(
+                Json::object()
+                    .with("m", m)
+                    .with("p", p)
+                    .with("n_small", n_small)
+                    .with("u_measured", measured.map_or(Json::Null, Json::from))
+                    .with("u_closed", closed)
+                    .with("u_closed_n4096", closed_4096),
+            );
         }
     }
-    format!(
-        "E7 / Theorem 2: AND/OR-graph node count u(p); binary partition optimal\n{}",
-        text_table(
-            &["m", "p", "N(small)", "u measured", "u Eq.32", "u Eq.32 @N=4096"],
-            &rows
-        )
-    )
+    report.metrics = rows_json(metrics);
+    report
 }
 
 /// E8 — Proposition 2: broadcast chain array finishes in T_d(N) = N.
-pub fn run_prop2() -> String {
-    let mut rows = Vec::new();
+pub fn report_prop2() -> Report {
+    let mut report = Report::new(
+        "e8",
+        "E8 / Proposition 2: broadcast AND/OR mapping, T_d(N) = N",
+    );
+    report.headers = vec!["N", "sim steps", "recurrence", "closed form", "cost ok"];
+    let mut metrics = Vec::new();
     for &n in &[1usize, 2, 4, 8, 16, 32, 64] {
         let dims = generate::random_chain_dims(3, n, 2, 20);
         let res = simulate_chain_array(&dims, ChainMapping::Broadcast);
         let dp = matrix_chain_order(&dims);
-        rows.push(vec![
+        report.rows.push(vec![
             format!("{n}"),
             format!("{}", res.finish),
             format!("{}", td_recurrence(n as u64)),
             format!("{n}"),
             format!("{}", res.cost == dp.cost),
         ]);
+        metrics.push(
+            Json::object()
+                .with("n", n as u64)
+                .with("sim_steps", res.finish)
+                .with("recurrence", td_recurrence(n as u64))
+                .with("closed_form", n as u64)
+                .with("cost_ok", res.cost == dp.cost),
+        );
     }
-    format!(
-        "E8 / Proposition 2: broadcast AND/OR mapping, T_d(N) = N\n{}",
-        text_table(&["N", "sim steps", "recurrence", "closed form", "cost ok"], &rows)
-    )
+    report.metrics = rows_json(metrics);
+    report
 }
 
 /// E9 — Proposition 3: serialized pipeline finishes in T_p(N) = 2N.
-pub fn run_prop3() -> String {
-    let mut rows = Vec::new();
+pub fn report_prop3() -> Report {
+    let mut report = Report::new(
+        "e9",
+        "E9 / Proposition 3: serialized (Fig. 8) mapping, T_p(N) = 2N",
+    );
+    report.headers = vec!["N", "sim steps", "recurrence", "closed form", "cost ok"];
+    let mut metrics = Vec::new();
     for &n in &[1usize, 2, 4, 8, 16, 32, 64] {
         let dims = generate::random_chain_dims(4, n, 2, 20);
         let res = simulate_chain_array(&dims, ChainMapping::Pipelined);
         let dp = matrix_chain_order(&dims);
-        rows.push(vec![
+        report.rows.push(vec![
             format!("{n}"),
             format!("{}", res.finish),
             format!("{}", tp_recurrence(n as u64)),
             format!("{}", 2 * n),
             format!("{}", res.cost == dp.cost),
         ]);
+        metrics.push(
+            Json::object()
+                .with("n", n as u64)
+                .with("sim_steps", res.finish)
+                .with("recurrence", tp_recurrence(n as u64))
+                .with("closed_form", 2 * n as u64)
+                .with("cost_ok", res.cost == dp.cost),
+        );
     }
-    format!(
-        "E9 / Proposition 3: serialized (Fig. 8) mapping, T_p(N) = 2N\n{}",
-        text_table(&["N", "sim steps", "recurrence", "closed form", "cost ok"], &rows)
-    )
+    report.metrics = rows_json(metrics);
+    report
 }
 
 /// E10 — Eq. 40: step count of monadic-nonserial variable elimination.
-pub fn run_eq40() -> String {
-    let mut rows = Vec::new();
+pub fn report_eq40() -> Report {
+    let mut report = Report::new(
+        "e10",
+        "E10 / Eq. 40: monadic-nonserial elimination step counts",
+    );
+    report.headers = vec!["domain sizes", "steps", "Eq.40", "optimum", "oracle ok"];
     let shapes: &[&[usize]] = &[
         &[3, 3, 3, 3],
         &[2, 3, 4, 3, 2],
         &[4, 4, 4, 4, 4, 4],
         &[2, 5, 2, 5, 2],
     ];
+    let mut metrics = Vec::new();
     for (i, sizes) in shapes.iter().enumerate() {
         let mut seed = i as i64 + 1;
         let domains: Vec<Vec<i64>> = sizes
@@ -289,60 +429,74 @@ pub fn run_eq40() -> String {
                     .collect()
             })
             .collect();
-        let chain = TernaryChain::uniform(domains, |a, b, c| {
-            Cost::from((a - b).abs() + (b - c).abs())
-        });
+        let chain =
+            TernaryChain::uniform(domains, |a, b, c| Cost::from((a - b).abs() + (b - c).abs()));
         let (cost, steps) = chain.eliminate();
         let (bf, _) = chain.brute_force();
         let serial = chain.group_to_serial();
         let dp = solve::forward_dp(&serial);
-        rows.push(vec![
+        let ok = cost == bf && dp.cost == bf;
+        report.rows.push(vec![
             format!("{sizes:?}"),
             format!("{steps}"),
             format!("{}", chain.eq40_steps()),
             format!("{cost}"),
-            format!("{}", cost == bf && dp.cost == bf),
+            format!("{ok}"),
         ]);
+        metrics.push(
+            Json::object()
+                .with(
+                    "domain_sizes",
+                    Json::Array(sizes.iter().map(|&s| Json::from(s as u64)).collect()),
+                )
+                .with("steps", steps)
+                .with("eq40_steps", chain.eq40_steps())
+                .with("oracle_ok", ok),
+        );
     }
-    format!(
-        "E10 / Eq. 40: monadic-nonserial elimination step counts\n{}",
-        text_table(
-            &["domain sizes", "steps", "Eq.40", "optimum", "oracle ok"],
-            &rows
-        )
-    )
+    report.metrics = rows_json(metrics);
+    report
 }
 
 /// E11 — Table 1: classification of four representative problems and the
 /// recommended method, demonstrated end-to-end.
-pub fn run_table1() -> String {
-    let mut out = String::from("E11 / Table 1: formulation -> suitable method\n");
-    let mut rows = Vec::new();
+pub fn report_table1() -> Report {
+    let mut report = Report::new("e11", "E11 / Table 1: formulation -> suitable method");
+    report.headers = vec![
+        "formulation",
+        "characteristic",
+        "suitable method",
+        "requirements",
+    ];
+    let mut classes = Vec::new();
     for class in Formulation::ALL {
         let r = table1(class);
-        rows.push(vec![
+        report.rows.push(vec![
             class.to_string(),
             r.characteristic.to_string(),
             r.method.to_string(),
             r.requirements.to_string(),
         ]);
+        classes.push(
+            Json::object()
+                .with("formulation", class.to_string())
+                .with("method", r.method.to_string()),
+        );
     }
-    out.push_str(&text_table(
-        &["formulation", "characteristic", "suitable method", "requirements"],
-        &rows,
-    ));
-    out.push_str("\nEnd-to-end demonstrations:\n");
+    report
+        .notes
+        .push("\nEnd-to-end demonstrations:".to_string());
     // monadic-serial: Design 3 on a traffic problem
     let g = generate::traffic_light(1, 6, 4);
     let d3 = Design3Array::new(4).run(&g);
-    out.push_str(&format!(
-        "  monadic-serial      traffic-light timing, Design 3: cost {} in {} cycles\n",
+    report.notes.push(format!(
+        "  monadic-serial      traffic-light timing, Design 3: cost {} in {} cycles",
         d3.cost, d3.cycles
     ));
     // polyadic-serial: D&C with the optimal granularity
     let sched = dnc::schedule(4096, 399);
-    out.push_str(&format!(
-        "  polyadic-serial     N=4096 matrix string on K=399 arrays: {} rounds, PU {:.3}\n",
+    report.notes.push(format!(
+        "  polyadic-serial     N=4096 matrix string on K=399 arrays: {} rounds, PU {:.3}",
         sched.rounds,
         sched.processor_utilization()
     ));
@@ -353,25 +507,31 @@ pub fn run_table1() -> String {
     );
     let serial = chain.group_to_serial();
     let dp = solve::forward_dp(&serial);
-    out.push_str(&format!(
-        "  monadic-nonserial   ternary chain grouped to serial: cost {} over {} compound stages\n",
+    report.notes.push(format!(
+        "  monadic-nonserial   ternary chain grouped to serial: cost {} over {} compound stages",
         dp.cost,
         serial.num_stages()
     ));
     // polyadic-nonserial: chain array
     let dims = [30u64, 35, 15, 5, 10, 20, 25];
     let res = simulate_chain_array(&dims, ChainMapping::Pipelined);
-    out.push_str(&format!(
-        "  polyadic-nonserial  matrix-chain ordering (CLRS dims): cost {} in {} steps (2N = {})\n",
+    report.notes.push(format!(
+        "  polyadic-nonserial  matrix-chain ordering (CLRS dims): cost {} in {} steps (2N = {})",
         res.cost,
         res.finish,
         2 * (dims.len() - 1)
     ));
-    out
+    report.metrics = Json::object()
+        .with("classes", Json::Array(classes))
+        .with("design3_cycles", d3.cycles)
+        .with("dnc_rounds", sched.rounds)
+        .with("dnc_pu", sched.processor_utilization())
+        .with("chain_steps", res.finish);
+    report
 }
 
 /// E12 — real-thread divide-and-conquer speedup.
-pub fn run_e12() -> String {
+pub fn report_e12() -> Report {
     use std::time::Instant;
     let n = 256usize;
     let m = 48usize;
@@ -380,39 +540,67 @@ pub fn run_e12() -> String {
     let t0 = Instant::now();
     let seq = sdp_semiring::Matrix::string_product(mats);
     let seq_time = t0.elapsed();
-    let mut rows = Vec::new();
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    let mut report = Report::new(
+        "e12",
+        format!(
+            "E12: threaded divide-and-conquer executor (N={n} matrices of {m}x{m})\n\
+             sequential right-fold: {:.1} ms; host cores: {cores}\n\
+             (schedule length shrinks as N/K + log K per Eq. 30; wall-clock\n\
+             speedup additionally requires >= K physical cores)",
+            seq_time.as_secs_f64() * 1e3
+        ),
+    );
+    report.headers = vec!["K", "rounds", "ms", "vs seq"];
+    let mut metrics = Vec::new();
     for &k in &[1usize, 2, 4, 8] {
         let ex = dnc::ParallelExecutor::new(k);
         let t0 = Instant::now();
         let (par, rounds) = ex.multiply_string(mats);
         let el = t0.elapsed();
         assert_eq!(par, seq);
-        rows.push(vec![
+        let speedup = seq_time.as_secs_f64() / el.as_secs_f64();
+        report.rows.push(vec![
             format!("{k}"),
             format!("{rounds}"),
             format!("{:.1}", el.as_secs_f64() * 1e3),
-            format!("{:.2}", seq_time.as_secs_f64() / el.as_secs_f64()),
+            format!("{speedup:.2}"),
         ]);
+        metrics.push(
+            Json::object()
+                .with("k", k as u64)
+                .with("rounds", rounds)
+                .with("ms", el.as_secs_f64() * 1e3)
+                .with("speedup_vs_seq", speedup),
+        );
     }
-    let cores = std::thread::available_parallelism()
-        .map(|c| c.get())
-        .unwrap_or(1);
-    format!(
-        "E12: threaded divide-and-conquer executor (N={n} matrices of {m}x{m})\n\
-         sequential right-fold: {:.1} ms; host cores: {cores}\n\
-         (schedule length shrinks as N/K + log K per Eq. 30; wall-clock\n\
-         speedup additionally requires >= K physical cores)\n{}",
-        seq_time.as_secs_f64() * 1e3,
-        text_table(&["K", "rounds", "ms", "vs seq"], &rows)
-    )
+    report.metrics = rows_json(metrics)
+        .with("seq_ms", seq_time.as_secs_f64() * 1e3)
+        .with("host_cores", cores as u64);
+    report
 }
 
 /// E13 (extension) — ablation: the clocked Guibas–Kung–Thompson
 /// triangular array versus the analytic chain mappings, and the effect
 /// of retiring one vs two alternatives per cell per cycle.
-pub fn run_e13() -> String {
+pub fn report_e13() -> Report {
     use sdp_core::gkt::GktArray;
-    let mut rows = Vec::new();
+    let mut report = Report::new(
+        "e13",
+        "E13 (ablation): clocked GKT triangular array vs analytic mappings",
+    );
+    report.headers = vec![
+        "N",
+        "T_d (=N)",
+        "T_p (=2N)",
+        "GKT 2ops",
+        "GKT 1op",
+        "GKT msgs",
+        "GKT ops",
+    ];
+    let mut metrics = Vec::new();
     for &n in &[4usize, 8, 16, 32, 64] {
         let dims = generate::random_chain_dims(21, n, 2, 20);
         let bc = simulate_chain_array(&dims, ChainMapping::Broadcast);
@@ -420,7 +608,7 @@ pub fn run_e13() -> String {
         let g2 = GktArray::new(2).run(&dims);
         let g1 = GktArray::new(1).run(&dims);
         assert_eq!(g2.cost, bc.cost);
-        rows.push(vec![
+        report.rows.push(vec![
             format!("{n}"),
             format!("{}", bc.finish),
             format!("{}", pl.finish),
@@ -429,22 +617,38 @@ pub fn run_e13() -> String {
             format!("{}", g2.messages),
             format!("{}", g2.operations),
         ]);
+        metrics.push(
+            Json::object()
+                .with("n", n as u64)
+                .with("td_finish", bc.finish)
+                .with("tp_finish", pl.finish)
+                .with("gkt2_finish", g2.finish)
+                .with("gkt1_finish", g1.finish)
+                .with("gkt_messages", g2.messages)
+                .with("gkt_operations", g2.operations),
+        );
     }
-    format!(
-        "E13 (ablation): clocked GKT triangular array vs analytic mappings\n{}",
-        text_table(
-            &["N", "T_d (=N)", "T_p (=2N)", "GKT 2ops", "GKT 1op", "GKT msgs", "GKT ops"],
-            &rows
-        )
-    )
+    report.metrics = rows_json(metrics);
+    report
 }
 
 /// E14 (extension) — the secondary optimization problem: optimal
 /// stage-reduction order for irregular multistage graphs vs the naive
 /// left-to-right sweep.
-pub fn run_e14() -> String {
+pub fn report_e14() -> Report {
     use sdp_andor::reduction;
-    let mut rows = Vec::new();
+    let mut report = Report::new(
+        "e14",
+        "E14 (extension / §4 end): optimal stage-reduction order (secondary optimization)",
+    );
+    report.headers = vec![
+        "profile",
+        "stage widths",
+        "naive ops",
+        "optimal ops",
+        "saving",
+        "order",
+    ];
     let profiles: &[(&str, &[u64])] = &[
         ("uniform", &[6, 6, 6, 6, 6, 6]),
         ("wide middle", &[2, 40, 2, 40, 2]),
@@ -452,9 +656,10 @@ pub fn run_e14() -> String {
         ("descending", &[32, 16, 8, 4, 2]),
         ("CLRS", &[30, 35, 15, 5, 10, 20, 25]),
     ];
+    let mut metrics = Vec::new();
     for (name, widths) in profiles {
         let p = reduction::plan_for_widths(widths);
-        rows.push(vec![
+        report.rows.push(vec![
             name.to_string(),
             format!("{widths:?}"),
             format!("{}", p.naive_ops),
@@ -462,58 +667,81 @@ pub fn run_e14() -> String {
             format!("{:.2}x", p.saving()),
             p.chain.parenthesization(),
         ]);
+        metrics.push(
+            Json::object()
+                .with("profile", *name)
+                .with("naive_ops", p.naive_ops)
+                .with("optimal_ops", p.optimal_ops)
+                .with("saving", p.saving()),
+        );
     }
-    format!(
-        "E14 (extension / §4 end): optimal stage-reduction order (secondary optimization)\n{}",
-        text_table(
-            &["profile", "stage widths", "naive ops", "optimal ops", "saving", "order"],
-            &rows
-        )
-    )
+    report.metrics = rows_json(metrics);
+    report
 }
 
 /// E15 (extension) — top-down memoized AND/OR search vs bottom-up
 /// breadth-first: nodes expanded when only one goal is needed.
-pub fn run_e15() -> String {
-    use sdp_andor::partition::build_partition_graph;
+pub fn report_e15() -> Report {
     use sdp_andor::topdown;
-    let mut rows = Vec::new();
+    let mut report = Report::new(
+        "e15",
+        "E15 (extension / §5): top-down memoized search touches only the goal's subgraph",
+    );
+    report.headers = vec!["N", "m", "bottom-up nodes", "top-down expanded", "fraction"];
+    let mut metrics = Vec::new();
     for &(n, m) in &[(4usize, 2usize), (8, 2), (4, 3), (16, 2)] {
         let pg = build_partition_graph(n, m, 2);
         let total = pg.graph.len();
         let td = topdown::search(&pg.graph, pg.roots[0][0], &|_| None);
-        rows.push(vec![
+        let fraction = td.expanded as f64 / total as f64;
+        report.rows.push(vec![
             format!("{n}"),
             format!("{m}"),
             format!("{total}"),
             format!("{}", td.expanded),
-            format!("{:.1}%", 100.0 * td.expanded as f64 / total as f64),
+            format!("{:.1}%", 100.0 * fraction),
         ]);
+        metrics.push(
+            Json::object()
+                .with("n", n as u64)
+                .with("m", m as u64)
+                .with("bottom_up_nodes", total as u64)
+                .with("top_down_expanded", td.expanded as u64)
+                .with("fraction", fraction),
+        );
     }
-    format!(
-        "E15 (extension / §5): top-down memoized search touches only the goal's subgraph\n{}",
-        text_table(
-            &["N", "m", "bottom-up nodes", "top-down expanded", "fraction"],
-            &rows
-        )
-    )
+    report.metrics = rows_json(metrics);
+    report
 }
 
 /// E16 (extension / §6.1 end) — grouped monadic-nonserial problems on
 /// the Design 1 array: serial-work blowup vs parallel-time speedup.
-pub fn run_e16() -> String {
-    use sdp_andor::nonserial::TernaryChain;
+pub fn report_e16() -> Report {
     use sdp_core::nonserial_array::run_grouped;
-    let mut rows = Vec::new();
+    let mut report = Report::new(
+        "e16",
+        "E16 (extension / §6.1): grouping transform on the Design 1 array\n\
+         (\"more operations are needed ... but the potential parallelism is higher\")",
+    );
+    report.headers = vec![
+        "N",
+        "m",
+        "m'=m^2",
+        "elim steps",
+        "array cycles",
+        "work blowup",
+        "speedup",
+        "cost",
+    ];
+    let mut metrics = Vec::new();
     for &(n, m) in &[(4usize, 2usize), (6, 3), (8, 3), (8, 4), (12, 4)] {
         let domains: Vec<Vec<i64>> = (0..n)
             .map(|s| (0..m).map(|j| ((s + 1) * (j + 2)) as i64 % 13).collect())
             .collect();
-        let chain = TernaryChain::uniform(domains, |a, b, c| {
-            Cost::from((a - b).abs() + (b - c).abs())
-        });
+        let chain =
+            TernaryChain::uniform(domains, |a, b, c| Cost::from((a - b).abs() + (b - c).abs()));
         let run = run_grouped(&chain);
-        rows.push(vec![
+        report.rows.push(vec![
             format!("{n}"),
             format!("{m}"),
             format!("{}", run.grouped_m),
@@ -523,52 +751,86 @@ pub fn run_e16() -> String {
             format!("{:.2}x", run.speedup()),
             format!("{}", run.cost),
         ]);
+        metrics.push(
+            Json::object()
+                .with("n", n as u64)
+                .with("m", m as u64)
+                .with("grouped_m", run.grouped_m as u64)
+                .with("elimination_steps", run.elimination_steps)
+                .with("array_cycles", run.array_cycles)
+                .with("work_blowup", run.work_blowup())
+                .with("speedup", run.speedup()),
+        );
     }
-    format!(
-        "E16 (extension / §6.1): grouping transform on the Design 1 array\n\
-         (\"more operations are needed ... but the potential parallelism is higher\")\n{}",
-        text_table(
-            &["N", "m", "m'=m^2", "elim steps", "array cycles", "work blowup", "speedup", "cost"],
-            &rows
-        )
-    )
+    report.metrics = rows_json(metrics);
+    report
 }
 
 /// E17 (extension / §4) — Eq. 29 restated in *real cycles*: `T₁` taken
 /// from the clocked matrix-multiply mesh (`3m − 2`), and the full
 /// D&C reduction executed on array simulations.
-pub fn run_e17() -> String {
+pub fn report_e17() -> Report {
     use sdp_core::matmul_array::MatmulArray;
-    let mut rows = Vec::new();
     let n = 32u64;
+    let mut report = Report::new(
+        "e17",
+        format!(
+            "E17 (extension / §4): D&C over clocked matmul meshes, N = {n} matrices\n\
+             (T1 = 3m-2 cycles from the Kung array; schedule = greedy rounds vs Eq. 29)"
+        ),
+    );
+    report.headers = vec!["m", "K", "T1 cycles", "measured cycles", "Eq29 x T1"];
+    let mut metrics = Vec::new();
     for &m in &[2usize, 4, 8] {
         let g = generate::random_uniform(3, n as usize + 1, m, 0, 50);
         let t1 = MatmulArray::t1(m, m, m);
         for &k in &[1u64, 4, 16] {
             let (prod, cycles) = MatmulArray::multiply_string_dnc(g.matrix_string(), k);
-            assert_eq!(prod, sdp_semiring::Matrix::string_product(g.matrix_string()));
+            assert_eq!(
+                prod,
+                sdp_semiring::Matrix::string_product(g.matrix_string())
+            );
             let eq29_cycles = sdp_systolic::scheduler::eq29_time(n, k) * t1;
-            rows.push(vec![
+            report.rows.push(vec![
                 format!("{m}"),
                 format!("{k}"),
                 format!("{t1}"),
                 format!("{cycles}"),
                 format!("{eq29_cycles}"),
             ]);
+            metrics.push(
+                Json::object()
+                    .with("m", m as u64)
+                    .with("k", k)
+                    .with("t1_cycles", t1)
+                    .with("measured_cycles", cycles)
+                    .with("eq29_cycles", eq29_cycles),
+            );
         }
     }
-    format!(
-        "E17 (extension / §4): D&C over clocked matmul meshes, N = {n} matrices\n\
-         (T1 = 3m-2 cycles from the Kung array; schedule = greedy rounds vs Eq. 29)\n{}",
-        text_table(&["m", "K", "T1 cycles", "measured cycles", "Eq29 x T1"], &rows)
-    )
+    report.metrics = rows_json(metrics);
+    report
 }
 
 /// E18 (extension / §1) — DP as branch-and-bound with dominance tests:
 /// node expansions with and without the dominance rule.
-pub fn run_e18() -> String {
+pub fn report_e18() -> Report {
     use sdp_multistage::bnb::{search, BnbConfig};
-    let mut rows = Vec::new();
+    let mut report = Report::new(
+        "e18",
+        "E18 (extension / §1): branch-and-bound OR-tree search with dominance tests\n\
+         (dominance + best-first == the DP table: expansions <= vertices)",
+    );
+    report.headers = vec![
+        "stages",
+        "m",
+        "expand(dom+bound)",
+        "expand(bound)",
+        "expand(none)",
+        "dominated",
+        "vertices",
+    ];
+    let mut metrics = Vec::new();
     for &(stages, m) in &[(4usize, 3usize), (6, 4), (8, 4), (6, 6)] {
         let g = generate::random_uniform(5, stages, m, 1, 40);
         let full = search(&g, BnbConfig::default());
@@ -587,7 +849,7 @@ pub fn run_e18() -> String {
             },
         );
         assert_eq!(full.cost, none.cost);
-        rows.push(vec![
+        report.rows.push(vec![
             format!("{stages}"),
             format!("{m}"),
             format!("{}", full.expanded),
@@ -596,22 +858,32 @@ pub fn run_e18() -> String {
             format!("{}", full.dominated),
             format!("{}", g.num_vertices()),
         ]);
+        metrics.push(
+            Json::object()
+                .with("stages", stages as u64)
+                .with("m", m as u64)
+                .with("expanded_full", full.expanded)
+                .with("expanded_bound_only", no_dom.expanded)
+                .with("expanded_none", none.expanded)
+                .with("dominated", full.dominated)
+                .with("vertices", g.num_vertices() as u64),
+        );
     }
-    format!(
-        "E18 (extension / §1): branch-and-bound OR-tree search with dominance tests\n\
-         (dominance + best-first == the DP table: expansions <= vertices)\n{}",
-        text_table(
-            &["stages", "m", "expand(dom+bound)", "expand(bound)", "expand(none)", "dominated", "vertices"],
-            &rows
-        )
-    )
+    report.metrics = rows_json(metrics);
+    report
 }
 
 /// E19 (extension / ref. \[9\]) — curve detection by DP: accuracy vs
 /// noise level, with the systolic array agreeing with sequential DP.
-pub fn run_e19() -> String {
+pub fn report_e19() -> Report {
     use sdp_multistage::curve::{CurveConfig, SyntheticImage};
-    let mut rows = Vec::new();
+    let mut report = Report::new(
+        "e19",
+        "E19 (extension / ref [9], Clarke-Dyer): DP curve detection vs noise\n\
+         (signal magnitude 100; accuracy within 1 row, 10 trials each)",
+    );
+    report.headers = vec!["noise ceiling", "mean accuracy", "systolic == dp"];
+    let mut metrics = Vec::new();
     for &noise in &[0i64, 50, 95, 110, 140, 200] {
         let mut acc_sum = 0.0;
         let trials = 10;
@@ -625,77 +897,200 @@ pub fn run_e19() -> String {
             let d1 = Design1Array::new(12).run(g.matrix_string());
             systolic_ok &= d1.values.iter().copied().fold(Cost::INF, Cost::min) == det.cost;
         }
-        rows.push(vec![
+        let mean_accuracy = acc_sum / trials as f64;
+        report.rows.push(vec![
             format!("{noise}"),
-            format!("{:.1}%", 100.0 * acc_sum / trials as f64),
+            format!("{:.1}%", 100.0 * mean_accuracy),
             format!("{systolic_ok}"),
         ]);
+        metrics.push(
+            Json::object()
+                .with("noise_ceiling", noise)
+                .with("mean_accuracy", mean_accuracy)
+                .with("systolic_matches_dp", systolic_ok),
+        );
     }
-    format!(
-        "E19 (extension / ref [9], Clarke-Dyer): DP curve detection vs noise\n\
-         (signal magnitude 100; accuracy within 1 row, 10 trials each)\n{}",
-        text_table(&["noise ceiling", "mean accuracy", "systolic == dp"], &rows)
-    )
+    report.metrics = rows_json(metrics);
+    report
 }
 
 /// E20 (extension / ref. \[23\]) — wavefront sequence comparison on the
 /// 2-D mesh: p+q−1 cycles, one anti-diagonal active per cycle.
-pub fn run_e20() -> String {
+pub fn report_e20() -> Report {
     use sdp_core::edit_array::{edit_distance_mesh, edit_distance_seq};
-    let mut rows = Vec::new();
+    let mut report = Report::new(
+        "e20",
+        "E20 (extension / ref [23], Ney): wavefront edit distance on the mesh",
+    );
+    report.headers = vec!["a", "b", "distance", "cycles", "p+q-1", "utilization"];
     let cases: &[(&[u8], &[u8])] = &[
         (b"kitten", b"sitting"),
         (b"dynamic", b"systolic"),
         (b"parallelism", b"pipeline"),
         (b"aaaaaaaaaaaa", b"aaabaaaaacaa"),
     ];
+    let mut metrics = Vec::new();
     for (a, b) in cases {
         let run = edit_distance_mesh(a, b);
         let seq = edit_distance_seq(a, b);
         assert_eq!(run.distance, seq);
-        rows.push(vec![
+        let utilization = run.stats.utilization().overall;
+        report.rows.push(vec![
             format!("{}", String::from_utf8_lossy(a)),
             format!("{}", String::from_utf8_lossy(b)),
             format!("{}", run.distance),
             format!("{}", run.cycles),
             format!("{}", a.len() + b.len() - 1),
-            format!("{:.3}", run.stats.utilization().overall),
+            format!("{utilization:.3}"),
         ]);
+        metrics.push(
+            Json::object()
+                .with("a", String::from_utf8_lossy(a).to_string())
+                .with("b", String::from_utf8_lossy(b).to_string())
+                .with("distance", run.distance)
+                .with("cycles", run.cycles)
+                .with("bound", (a.len() + b.len() - 1) as u64)
+                .with("utilization", utilization)
+                .with("stall_cycles", run.stats.stall_cycles()),
+        );
     }
-    format!(
-        "E20 (extension / ref [23], Ney): wavefront edit distance on the mesh\n{}",
-        text_table(
-            &["a", "b", "distance", "cycles", "p+q-1", "utilization"],
-            &rows
-        )
-    )
+    report.metrics = rows_json(metrics);
+    report
+}
+
+/// Builds every experiment report in order.
+pub fn report_all() -> Vec<Report> {
+    vec![
+        report_e1(),
+        report_e2(),
+        report_e3(),
+        report_fig6(),
+        report_prop1(),
+        report_thm1(),
+        report_thm2(),
+        report_prop2(),
+        report_prop3(),
+        report_eq40(),
+        report_table1(),
+        report_e12(),
+        report_e13(),
+        report_e14(),
+        report_e15(),
+        report_e16(),
+        report_e17(),
+        report_e18(),
+        report_e19(),
+        report_e20(),
+    ]
+}
+
+/// E1 rendered as terminal text.
+pub fn run_e1() -> String {
+    report_e1().render_text()
+}
+
+/// E2 rendered as terminal text.
+pub fn run_e2() -> String {
+    report_e2().render_text()
+}
+
+/// E3 rendered as terminal text.
+pub fn run_e3() -> String {
+    report_e3().render_text()
+}
+
+/// E4 rendered as terminal text.
+pub fn run_fig6() -> String {
+    report_fig6().render_text()
+}
+
+/// E5 rendered as terminal text.
+pub fn run_prop1() -> String {
+    report_prop1().render_text()
+}
+
+/// E6 rendered as terminal text.
+pub fn run_thm1() -> String {
+    report_thm1().render_text()
+}
+
+/// E7 rendered as terminal text.
+pub fn run_thm2() -> String {
+    report_thm2().render_text()
+}
+
+/// E8 rendered as terminal text.
+pub fn run_prop2() -> String {
+    report_prop2().render_text()
+}
+
+/// E9 rendered as terminal text.
+pub fn run_prop3() -> String {
+    report_prop3().render_text()
+}
+
+/// E10 rendered as terminal text.
+pub fn run_eq40() -> String {
+    report_eq40().render_text()
+}
+
+/// E11 rendered as terminal text.
+pub fn run_table1() -> String {
+    report_table1().render_text()
+}
+
+/// E12 rendered as terminal text.
+pub fn run_e12() -> String {
+    report_e12().render_text()
+}
+
+/// E13 rendered as terminal text.
+pub fn run_e13() -> String {
+    report_e13().render_text()
+}
+
+/// E14 rendered as terminal text.
+pub fn run_e14() -> String {
+    report_e14().render_text()
+}
+
+/// E15 rendered as terminal text.
+pub fn run_e15() -> String {
+    report_e15().render_text()
+}
+
+/// E16 rendered as terminal text.
+pub fn run_e16() -> String {
+    report_e16().render_text()
+}
+
+/// E17 rendered as terminal text.
+pub fn run_e17() -> String {
+    report_e17().render_text()
+}
+
+/// E18 rendered as terminal text.
+pub fn run_e18() -> String {
+    report_e18().render_text()
+}
+
+/// E19 rendered as terminal text.
+pub fn run_e19() -> String {
+    report_e19().render_text()
+}
+
+/// E20 rendered as terminal text.
+pub fn run_e20() -> String {
+    report_e20().render_text()
 }
 
 /// Runs every experiment in order, concatenating reports.
 pub fn run_all() -> String {
-    [
-        run_e1(),
-        run_e2(),
-        run_e3(),
-        run_fig6(),
-        run_prop1(),
-        run_thm1(),
-        run_thm2(),
-        run_prop2(),
-        run_prop3(),
-        run_eq40(),
-        run_table1(),
-        run_e12(),
-        run_e13(),
-        run_e14(),
-        run_e15(),
-        run_e16(),
-        run_e17(),
-        run_e18(),
-        run_e19(),
-        run_e20(),
-    ]
-    .join("\n\n")
+    report_all()
+        .iter()
+        .map(Report::render_text)
+        .collect::<Vec<_>>()
+        .join("\n\n")
 }
 
 #[cfg(test)]
@@ -729,7 +1124,12 @@ mod tests {
     #[test]
     fn table1_lists_all_classes() {
         let r = run_table1();
-        for c in ["monadic-serial", "polyadic-serial", "monadic-nonserial", "polyadic-nonserial"] {
+        for c in [
+            "monadic-serial",
+            "polyadic-serial",
+            "monadic-nonserial",
+            "polyadic-nonserial",
+        ] {
             assert!(r.contains(c), "{c} missing");
         }
     }
@@ -738,5 +1138,36 @@ mod tests {
     fn eq40_oracle_ok() {
         let r = run_eq40();
         assert!(!r.contains("false"), "an oracle check failed:\n{r}");
+    }
+
+    #[test]
+    fn reports_carry_machine_metrics() {
+        let r = report_e1();
+        let doc = r.to_json().render();
+        assert!(doc.contains("\"id\":\"e1\""));
+        assert!(doc.contains("\"pu\":"));
+        assert!(doc.contains("\"cycles\":"));
+        let r3 = report_e3();
+        let doc3 = r3.to_json().render();
+        assert!(doc3.contains("\"bus_words\":"));
+        assert!(doc3.contains("\"path_ok\":true"));
+    }
+
+    #[test]
+    fn report_rows_match_table_rows() {
+        for report in [report_e2(), report_prop2(), report_e20()] {
+            let Json::Object(fields) = &report.metrics else {
+                panic!("metrics must be an object");
+            };
+            let rows = fields
+                .iter()
+                .find(|(k, _)| k == "rows")
+                .map(|(_, v)| match v {
+                    Json::Array(a) => a.len(),
+                    _ => 0,
+                })
+                .unwrap_or(0);
+            assert_eq!(rows, report.rows.len(), "{}", report.id);
+        }
     }
 }

@@ -9,6 +9,8 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod report;
 pub mod table;
 
+pub use report::{reports_to_json, Report};
 pub use table::text_table;

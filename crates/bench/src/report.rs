@@ -1,0 +1,98 @@
+//! Structured experiment reports: one [`Report`] per paper artifact,
+//! renderable both as the fixed-width terminal table (the historical
+//! output of the `experiments` binary) and as machine-readable JSON for
+//! `experiments --json` / `BENCH_*.json` regression tracking.
+
+use crate::text_table;
+use sdp_trace::json::Json;
+
+/// One experiment's results: a human-readable table plus the same
+/// numbers as structured metric objects.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Stable experiment id (`e1` … `e20`).
+    pub id: &'static str,
+    /// Pre-table description block (may span several lines).
+    pub title: String,
+    /// Table column names.
+    pub headers: Vec<&'static str>,
+    /// Table cells, already formatted for the terminal.
+    pub rows: Vec<Vec<String>>,
+    /// Post-table free-form lines.
+    pub notes: Vec<String>,
+    /// Machine-readable metrics — typically one object per table row
+    /// plus summary scalars (PU, cycles, speedups, K·T², …).
+    pub metrics: Json,
+}
+
+impl Report {
+    /// A report with an empty table and no metrics yet.
+    pub fn new(id: &'static str, title: impl Into<String>) -> Report {
+        Report {
+            id,
+            title: title.into(),
+            headers: Vec::new(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+            metrics: Json::object(),
+        }
+    }
+
+    /// Renders the historical terminal form: title, table, notes.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.title);
+        if !self.headers.is_empty() {
+            out.push('\n');
+            out.push_str(&text_table(&self.headers, &self.rows));
+        }
+        for note in &self.notes {
+            out.push_str(note);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The machine-readable document form.
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with("id", self.id)
+            .with("title", self.title.lines().next().unwrap_or(""))
+            .with("metrics", self.metrics.clone())
+    }
+}
+
+/// Renders a batch of reports as the top-level JSON document emitted by
+/// `experiments --json`.
+pub fn reports_to_json(reports: &[Report]) -> Json {
+    Json::object().with("source", "sdp experiments").with(
+        "experiments",
+        Json::Array(reports.iter().map(Report::to_json).collect()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_roundtrip_matches_manual_layout() {
+        let mut r = Report::new("e0", "E0: demo");
+        r.headers = vec!["k", "v"];
+        r.rows = vec![vec!["1".into(), "2".into()]];
+        r.notes = vec!["done".into()];
+        let text = r.render_text();
+        assert!(text.starts_with("E0: demo\nk  v\n"));
+        assert!(text.ends_with("done\n"));
+    }
+
+    #[test]
+    fn json_document_shape() {
+        let mut r = Report::new("e1", "E1: title\nsecond line");
+        r.metrics = Json::object().with("pu", 0.5);
+        let doc = reports_to_json(&[r]).render();
+        assert!(doc.contains("\"id\":\"e1\""));
+        assert!(doc.contains("\"title\":\"E1: title\""));
+        assert!(doc.contains("\"pu\":0.5"));
+    }
+}

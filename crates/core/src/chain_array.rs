@@ -21,6 +21,8 @@
 //! executable model that also yields the DP values themselves.
 
 use sdp_semiring::Cost;
+use sdp_trace::chrome::ChromeTrace;
+use sdp_trace::json::Json;
 
 /// Result of simulating one of the chain arrays.
 #[derive(Clone, Debug, PartialEq)]
@@ -31,8 +33,46 @@ pub struct ChainArrayResult {
     pub finish: u64,
     /// Completion step of every subchain processor: `done[i][j]`.
     pub done: Vec<Vec<u64>>,
+    /// First processing step of every subchain processor (`0` for
+    /// leaves, which are loaded rather than computed): `start[i][j]`.
+    pub start: Vec<Vec<u64>>,
     /// Total processor-steps spent busy (2 alternatives per step max).
     pub busy_steps: u64,
+}
+
+impl ChainArrayResult {
+    /// Renders the per-subchain activity as a Chrome trace: one
+    /// duration event per processor `m_{i,j}`, rows (`tid`) indexed by
+    /// the subchain start `i`, spanning first-processing → completion
+    /// step.  Leaves appear as unit-length "load" events.
+    pub fn to_chrome_trace(&self) -> ChromeTrace {
+        let n = self.done.len();
+        let mut trace = ChromeTrace::new();
+        for i in 0..n {
+            for j in i..n {
+                let (start, done) = (self.start[i][j], self.done[i][j]);
+                let (name, cat) = if i == j {
+                    (format!("load[{i}]"), "load")
+                } else {
+                    (format!("m[{i},{j}]"), "combine")
+                };
+                trace.complete_with_args(
+                    &name,
+                    cat,
+                    start,
+                    done.saturating_sub(start).max(1),
+                    0,
+                    i as u32,
+                    vec![
+                        ("i".to_string(), Json::from(i as u64)),
+                        ("j".to_string(), Json::from(j as u64)),
+                        ("done".to_string(), Json::from(done)),
+                    ],
+                );
+            }
+        }
+        trace
+    }
 }
 
 /// The closed recurrence `T_d(k) = T_d(⌈k/2⌉) + ⌊k/2⌋`, `T_d(1) = 1`.
@@ -92,6 +132,7 @@ pub fn simulate_chain_problem(
         ChainMapping::Pipelined => 2,
     };
     let mut done = vec![vec![0u64; n]; n];
+    let mut start = vec![vec![0u64; n]; n];
     let mut cost = vec![vec![Cost::INF; n]; n];
     let mut busy_steps = 0u64;
     for i in 0..n {
@@ -121,11 +162,13 @@ pub fn simulate_chain_problem(
             // Retire up to two alternatives per step; an alternative that
             // arrived at step r is processable from step r+1.
             let mut t = 0u64;
+            let mut first_step: Option<u64> = None;
             let mut best = Cost::INF;
             let mut idx = 0usize;
             while idx < alts.len() {
                 let (arrive, _) = alts[idx];
                 t = t.max(arrive) + 1;
+                first_step.get_or_insert(t);
                 for _ in 0..2 {
                     if idx >= alts.len() || alts[idx].0 >= t {
                         break;
@@ -138,6 +181,7 @@ pub fn simulate_chain_problem(
                 busy_steps += 1;
             }
             done[i][j] = t;
+            start[i][j] = first_step.unwrap_or(t);
             cost[i][j] = best;
         }
     }
@@ -145,6 +189,7 @@ pub fn simulate_chain_problem(
         cost: cost[0][n - 1],
         finish: done[0][n - 1],
         done,
+        start,
         busy_steps,
     }
 }
@@ -240,6 +285,31 @@ mod tests {
         // Same timing laws: the array doesn't care about the weights.
         let res = simulate_chain_problem(&p, ChainMapping::Broadcast);
         assert_eq!(res.finish, freq.len() as u64);
+    }
+
+    #[test]
+    fn chrome_trace_has_one_span_per_subchain() {
+        let dims = [30u64, 35, 15, 5, 10, 20, 25];
+        let res = simulate_chain_array(&dims, ChainMapping::Broadcast);
+        let trace = res.to_chrome_trace();
+        let n = dims.len() - 1;
+        assert_eq!(trace.spans.len(), n * (n + 1) / 2);
+        // Root span covers the measured finish time.
+        let root = trace
+            .spans
+            .iter()
+            .find(|s| s.name == format!("m[0,{}]", n - 1))
+            .expect("root span");
+        assert_eq!(root.ts + root.dur, res.finish);
+        // Starts never precede the arrival of any operand.
+        for s in &trace.spans {
+            assert!(s.ts + s.dur <= res.finish);
+        }
+        // The document renders as a single traceEvents object.
+        assert!(res
+            .to_chrome_trace()
+            .render()
+            .starts_with("{\"traceEvents\":["));
     }
 
     #[test]

@@ -23,6 +23,7 @@
 
 use sdp_semiring::{Cost, Matrix, MinPlus, Semiring};
 use sdp_systolic::{LinearArray, ProcessingElement, Stats};
+use sdp_trace::{NullSink, TraceSink};
 use std::sync::Arc;
 
 /// Phase schedule entry.
@@ -172,6 +173,11 @@ impl ProcessingElement for Design1Pe {
     fn was_busy(&self) -> bool {
         self.busy
     }
+
+    /// Waveform probe: the stationary register `Rᵢ` (INF maps to `x`).
+    fn probe(&self) -> Option<i64> {
+        self.r.0.finite()
+    }
 }
 
 /// Where each injected item's value comes from.
@@ -231,6 +237,17 @@ impl Design1Array {
     ///
     /// Returns the computed values together with timing statistics.
     pub fn run(&self, mats: &[Matrix<MinPlus>]) -> Design1Result {
+        self.run_traced(mats, &mut NullSink)
+    }
+
+    /// [`run`](Self::run) with an event sink observing every clock
+    /// cycle, PE firing, latch commit, and host I/O word.  Tracing never
+    /// changes results or timing — only observes them.
+    pub fn run_traced<S: TraceSink>(
+        &self,
+        mats: &[Matrix<MinPlus>],
+        sink: &mut S,
+    ) -> Design1Result {
         let m = self.m;
         assert!(!mats.is_empty(), "empty matrix string");
         let has_row = mats[0].rows() == 1 && m > 1;
@@ -244,7 +261,11 @@ impl Design1Array {
         let mid_range = (has_row as usize)..(mats.len() - has_col as usize);
         let mid_src = &mats[mid_range];
         for mat in mid_src {
-            assert_eq!((mat.rows(), mat.cols()), (m, m), "interior matrices must be m x m");
+            assert_eq!(
+                (mat.rows(), mat.cols()),
+                (m, m),
+                "interior matrices must be m x m"
+            );
         }
         if has_row {
             assert_eq!(mats[0].cols(), m);
@@ -328,7 +349,9 @@ impl Design1Array {
 
         // Drive the array cycle by cycle.
         let mut array = LinearArray::new(
-            (0..m).map(|i| Design1Pe::new(i, Arc::clone(&feed))).collect(),
+            (0..m)
+                .map(|i| Design1Pe::new(i, Arc::clone(&feed)))
+                .collect(),
         );
         let total_items = plan.len();
         let mut tail_out: Vec<Option<MinPlus>> = vec![None; total_items];
@@ -348,7 +371,7 @@ impl Design1Array {
             } else {
                 None
             };
-            if let Some(out) = array.cycle(head, |_| (), |_| ()) {
+            if let Some(out) = array.cycle_traced(head, |_| (), |_| (), sink) {
                 tail_out[drained] = Some(out);
                 drained += 1;
             }

@@ -15,6 +15,7 @@
 
 use sdp_semiring::{Cost, Matrix, MinPlus, Semiring};
 use sdp_systolic::Stats;
+use sdp_trace::{Event, NullSink, TraceSink};
 
 /// The result of one Design 2 run.
 #[derive(Clone, Debug)]
@@ -71,13 +72,28 @@ impl Design2Array {
     /// Runs the array on a matrix string shaped `[1×m]? [m×m]* [m×1]?`
     /// (same contract as Design 1).
     pub fn run(&self, mats: &[Matrix<MinPlus>]) -> Design2Result {
+        self.run_traced(mats, &mut NullSink)
+    }
+
+    /// [`run`](Self::run) with an event sink.  Every broadcast word is
+    /// one cycle: a `CycleStart`, a `WordIn` (the word on the bus), one
+    /// `PeFire` per PE, and a `BusDrive` marking the broadcast itself.
+    pub fn run_traced<S: TraceSink>(
+        &self,
+        mats: &[Matrix<MinPlus>],
+        sink: &mut S,
+    ) -> Design2Result {
         let m = self.m;
         assert!(!mats.is_empty(), "empty matrix string");
         let has_row = mats[0].rows() == 1 && m > 1;
         let has_col = mats[mats.len() - 1].cols() == 1 && m > 1;
         let interior = &mats[(has_row as usize)..(mats.len() - has_col as usize)];
         for mat in interior {
-            assert_eq!((mat.rows(), mat.cols()), (m, m), "interior matrices must be m x m");
+            assert_eq!(
+                (mat.rows(), mat.cols()),
+                (m, m),
+                "interior matrices must be m x m"
+            );
         }
 
         let mut pes = vec![
@@ -106,8 +122,16 @@ impl Design2Array {
             let mut arg: Vec<Option<usize>> = vec![None; m];
             for (j, &x) in source.iter().enumerate() {
                 broadcast_words += 1;
+                if S::ENABLED {
+                    sink.record(Event::CycleStart {
+                        cycle: stats.cycles(),
+                    });
+                    sink.record(Event::WordIn);
+                    sink.record(Event::BusDrive { station: j as u32 });
+                }
                 stats.record_cycle();
                 stats.record_input_word();
+                stats.record_bus_word();
                 for (i, pe) in pes.iter_mut().enumerate() {
                     let cand = mat.get(i, j).mul(x);
                     if cand.0 < pe.acc.0 {
@@ -115,6 +139,13 @@ impl Design2Array {
                         arg[i] = Some(j);
                     }
                     stats.record_busy(i);
+                    if S::ENABLED {
+                        sink.record(Event::PeFire {
+                            pe: i as u32,
+                            busy: true,
+                            value: pe.acc.0.finite(),
+                        });
+                    }
                 }
             }
             // MOVE: gate results into S, clear accumulators, feed back.
@@ -134,14 +165,32 @@ impl Design2Array {
             let mut acc = MinPlus::zero();
             for (j, &x) in source.iter().enumerate() {
                 broadcast_words += 1;
+                if S::ENABLED {
+                    sink.record(Event::CycleStart {
+                        cycle: stats.cycles(),
+                    });
+                    sink.record(Event::WordIn);
+                    sink.record(Event::BusDrive { station: j as u32 });
+                }
                 stats.record_cycle();
                 stats.record_input_word();
+                stats.record_bus_word();
                 let cand = row[j].mul(x);
                 if cand.0 < acc.0 {
                     acc = cand;
                     start_choice = Some(j);
                 }
                 stats.record_busy(0);
+                if S::ENABLED {
+                    // Only P₁ carries the row weights; the rest idle.
+                    for i in 0..m as u32 {
+                        sink.record(Event::PeFire {
+                            pe: i,
+                            busy: i == 0,
+                            value: if i == 0 { acc.0.finite() } else { None },
+                        });
+                    }
+                }
             }
             vec![acc.0]
         } else {

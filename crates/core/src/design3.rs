@@ -25,6 +25,7 @@ use sdp_multistage::node_value::EdgeCostFn;
 use sdp_multistage::NodeValueGraph;
 use sdp_semiring::Cost;
 use sdp_systolic::{LinearArray, ProcessingElement, Stats, TokenBus};
+use sdp_trace::{NullSink, TraceSink};
 
 /// A word moving through the R-pipeline.
 #[derive(Clone, Copy, Debug)]
@@ -88,6 +89,10 @@ impl ProcessingElement for Pe3<'_> {
     fn was_busy(&self) -> bool {
         self.busy
     }
+
+    fn probe(&self) -> Option<i64> {
+        self.reg.and_then(|(_, _, h)| h.finite())
+    }
 }
 
 /// The result of one Design 3 run.
@@ -146,6 +151,15 @@ impl Design3Array {
     /// assert!(res.cost.is_finite());
     /// ```
     pub fn run(&self, g: &NodeValueGraph) -> Design3Result {
+        self.run_traced(g, &mut NullSink)
+    }
+
+    /// [`run`](Self::run) with an event sink.  Array events come from
+    /// [`LinearArray::cycle_traced`]; the token bus reports its
+    /// `BusDrive`/`BusDeliver`/`TokenAdvance` activity through the same
+    /// sink and folds word/rotation counts into the array's [`Stats`]
+    /// (so `stats.bus_words()` in the result covers the feedback bus).
+    pub fn run_traced<S: TraceSink>(&self, g: &NodeValueGraph, sink: &mut S) -> Design3Result {
         let m = self.m;
         let n = g.num_stages();
         for s in 0..n {
@@ -175,8 +189,9 @@ impl Design3Array {
         let mut answer: Option<Item> = None;
 
         while answer.is_none() {
-            // 1. settle last cycle's feedback onto a PE (ext delivery).
-            let delivery = bus.settle();
+            // 1. settle last cycle's feedback onto a PE (ext delivery);
+            //    bus accounting folds into the array's own Stats.
+            let delivery = bus.settle_traced(array.stats_mut(), sink);
             // 2. head injection per the static schedule.
             let head = if injected < total_inputs {
                 let cycle = injected; // contiguous schedule: one word/cycle
@@ -204,13 +219,11 @@ impl Design3Array {
                 None
             };
             // 3. clock the array.
-            let out = array.cycle(
+            let out = array.cycle_traced(
                 head,
-                |i| {
-                    delivery
-                        .and_then(|(st, w)| if st == i { Some(w) } else { None })
-                },
+                |i| delivery.and_then(|(st, w)| if st == i { Some(w) } else { None }),
                 |_| (),
+                sink,
             );
             // 4. route the tail: stage results feed back; the comparison
             //    token is the answer.
@@ -227,7 +240,7 @@ impl Design3Array {
                     if stage == n - 1 {
                         finals.push(item.h);
                     }
-                    bus.drive((stage, item.x, item.h));
+                    bus.drive_traced((stage, item.x, item.h), sink);
                 }
             }
         }
@@ -451,5 +464,33 @@ mod tests {
     fn wrong_width_rejected() {
         let g = generate::traffic_light(1, 4, 3);
         let _ = Design3Array::new(4).run(&g);
+    }
+
+    #[test]
+    fn bus_accounting_lands_in_array_stats() {
+        // Every stage result is fed back on the token bus exactly once:
+        // N·m words, N·m rotations — visible in the result's Stats.
+        let g = generate::traffic_light(2, 6, 4);
+        let res = Design3Array::new(4).run(&g);
+        assert_eq!(res.stats.bus_words(), 6 * 4);
+        assert_eq!(res.stats.token_rotations(), 6 * 4);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced() {
+        use sdp_trace::CountingSink;
+        let g = generate::circuit_voltage(9, 5, 3);
+        let plain = Design3Array::new(3).run(&g);
+        let mut sink = CountingSink::default();
+        let traced = Design3Array::new(3).run_traced(&g, &mut sink);
+        assert_eq!(traced.cost, plain.cost);
+        assert_eq!(traced.path, plain.path);
+        assert_eq!(traced.cycles, plain.cycles);
+        assert_eq!(traced.stats.bus_words(), plain.stats.bus_words());
+        assert_eq!(sink.cycles, plain.cycles);
+        assert_eq!(sink.bus_drives, plain.stats.bus_words());
+        assert_eq!(sink.bus_delivers, plain.stats.bus_words());
+        assert_eq!(sink.token_advances, plain.stats.token_rotations());
+        assert_eq!(sink.words_in, plain.input_words);
     }
 }

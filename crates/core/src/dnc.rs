@@ -11,13 +11,15 @@
 //!   (**Proposition 1**: the limit is `1/(1+c)`);
 //! * [`st2`] — the `S·T²` figure of merit of **Theorem 1**, minimized at
 //!   `S = Θ(N/log₂N)` where it reaches `Θ(N·log₂N)`;
-//! * [`ParallelExecutor`] — a crossbeam-threaded host executor that runs
+//! * [`ParallelExecutor`] — a scoped-thread host executor that runs
 //!   the same binary-tree schedule on real cores and cross-checks the
 //!   result against the sequential string product.
 
-use crossbeam::thread;
 use sdp_semiring::{Matrix, Semiring};
 use sdp_systolic::scheduler::{eq29_kt2, eq29_time, Schedule, TreeScheduler};
+use sdp_trace::chrome::ChromeTrace;
+use sdp_trace::json::Json;
+use std::time::Instant;
 
 /// One row of the Figure 6 sweep.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -108,7 +110,30 @@ impl ParallelExecutor {
     /// Multiplies the string by rounds of pairwise products.  Returns the
     /// product and the number of rounds (the measured schedule length).
     pub fn multiply_string<S: Semiring>(&self, mats: &[Matrix<S>]) -> (Matrix<S>, u64) {
+        self.run(mats, None)
+    }
+
+    /// [`multiply_string`](Self::multiply_string) instrumented with
+    /// wall-clock spans: each worker's product becomes a Chrome trace
+    /// duration event (`tid` = worker slot, `args.round` = round index,
+    /// microsecond timestamps from the run start), so the synchronous
+    /// rounds and their stragglers are visible in Perfetto.
+    pub fn multiply_string_chrome<S: Semiring>(
+        &self,
+        mats: &[Matrix<S>],
+    ) -> (Matrix<S>, u64, ChromeTrace) {
+        let mut trace = ChromeTrace::new();
+        let (product, rounds) = self.run(mats, Some(&mut trace));
+        (product, rounds, trace)
+    }
+
+    fn run<S: Semiring>(
+        &self,
+        mats: &[Matrix<S>],
+        mut trace: Option<&mut ChromeTrace>,
+    ) -> (Matrix<S>, u64) {
         assert!(!mats.is_empty());
+        let t0 = Instant::now();
         let mut layer: Vec<Matrix<S>> = mats.to_vec();
         let mut rounds = 0u64;
         while layer.len() > 1 {
@@ -117,15 +142,39 @@ impl ParallelExecutor {
             // over by move (no cloning) — mirrors TreeScheduler::simulate.
             let t = (layer.len() / 2).min(self.k.max(1));
             let mut products: Vec<Option<Matrix<S>>> = vec![None; t];
-            thread::scope(|scope| {
+            // (start, end) wall-clock microseconds per worker, recorded
+            // only when tracing (the plain path skips the clock reads).
+            let mut timings: Vec<Option<(u64, u64)>> =
+                vec![None; if trace.is_some() { t } else { 0 }];
+            std::thread::scope(|scope| {
+                let timed = !timings.is_empty();
+                let mut timing_slots = timings.iter_mut();
                 for (slot, chunk) in products.iter_mut().zip(layer.chunks(2).take(t)) {
                     let (a, b) = (&chunk[0], &chunk[1]);
-                    scope.spawn(move |_| {
+                    let timing = timing_slots.next();
+                    scope.spawn(move || {
+                        let start = timed.then(|| t0.elapsed().as_micros() as u64);
                         *slot = Some(a.mul(b));
+                        if let (Some(start), Some(timing)) = (start, timing) {
+                            *timing = Some((start, t0.elapsed().as_micros() as u64));
+                        }
                     });
                 }
-            })
-            .expect("worker thread panicked");
+            });
+            if let Some(trace) = trace.as_deref_mut() {
+                for (tid, timing) in timings.iter().enumerate() {
+                    let (start, end) = timing.expect("worker recorded its span");
+                    trace.complete_with_args(
+                        "multiply",
+                        "host",
+                        start,
+                        end.saturating_sub(start).max(1),
+                        0,
+                        tid as u32,
+                        vec![("round".to_string(), Json::from(rounds - 1))],
+                    );
+                }
+            }
             let rest = layer.split_off(2 * t);
             layer = products
                 .into_iter()
@@ -175,7 +224,10 @@ mod tests {
         }
         let ideal = 4096.0 / 4096f64.log2();
         let ratio = k_star as f64 / ideal;
-        assert!((0.7..1.6).contains(&ratio), "K*={k_star} vs N/log₂N={ideal:.0}");
+        assert!(
+            (0.7..1.6).contains(&ratio),
+            "K*={k_star} vs N/log₂N={ideal:.0}"
+        );
     }
 
     #[test]
@@ -186,10 +238,7 @@ mod tests {
         let tc = (4096 - 1) / k_star;
         let rem = 4096 + k_star - 1 - k_star * tc;
         let tw = rem.ilog2() as u64;
-        assert!(
-            tc.abs_diff(tw) <= 2,
-            "Tc={tc} vs Tw={tw} at K*={k_star}"
-        );
+        assert!(tc.abs_diff(tw) <= 2, "Tc={tc} vs Tw={tw} at K*={k_star}");
     }
 
     #[test]
@@ -205,7 +254,10 @@ mod tests {
                 downs += 1;
             }
         }
-        assert!(ups > 50 && downs > 50, "curve too smooth: {ups} ups {downs} downs");
+        assert!(
+            ups > 50 && downs > 50,
+            "curve too smooth: {ups} ups {downs} downs"
+        );
     }
 
     #[test]
@@ -233,7 +285,10 @@ mod tests {
         for (c, limit) in [(0.5, 1.0 / 1.5), (1.0, 0.5), (2.0, 1.0 / 3.0)] {
             let pu = pu_asymptotic(n, c);
             let finite_pred = 1.0 / (1.0 + c * (1.0 - lg.log2() / lg));
-            assert!(pu >= limit - 0.01, "c={c}: pu={pu:.4} below limit {limit:.4}");
+            assert!(
+                pu >= limit - 0.01,
+                "c={c}: pu={pu:.4} below limit {limit:.4}"
+            );
             assert!(
                 (pu - finite_pred).abs() < 0.06,
                 "c={c}: pu={pu:.4} vs finite-N prediction {finite_pred:.4}"
@@ -285,6 +340,27 @@ mod tests {
             let sched = TreeScheduler.simulate(n, k);
             assert_eq!(rounds, sched.rounds, "n={n} k={k}");
         }
+    }
+
+    #[test]
+    fn chrome_instrumented_run_matches_and_has_spans() {
+        let mats = rand_mats(42, 8, 4);
+        let (par, rounds, trace) = ParallelExecutor::new(3).multiply_string_chrome(&mats);
+        assert_eq!(par, Matrix::string_product(&mats));
+        // One span per product: 8 → 5 → 3 → 2 → 1 under k=3 is 7 products.
+        assert_eq!(trace.spans.len(), 7);
+        assert!(trace.spans.iter().all(|s| s.dur >= 1));
+        assert!(trace.spans.iter().all(|s| (s.tid as usize) < 3));
+        let max_round = trace
+            .spans
+            .iter()
+            .filter_map(|s| s.args.iter().find(|(k, _)| k == "round"))
+            .filter_map(|(_, v)| match v {
+                Json::Int(i) => Some(*i),
+                _ => None,
+            })
+            .max();
+        assert_eq!(max_round, Some(rounds as i64 - 1));
     }
 
     #[test]

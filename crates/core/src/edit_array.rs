@@ -16,6 +16,7 @@
 //! the **west** (the neighbour's "north-west").
 
 use sdp_systolic::{Mesh2D, MeshProcessingElement, Stats};
+use sdp_trace::{NullSink, TraceSink};
 
 /// The word sent south: `(D[i][j], D[i][j−1])` — value plus west input.
 type SouthWord = (u64, u64);
@@ -60,6 +61,10 @@ impl MeshProcessingElement for EditPe {
     fn was_busy(&self) -> bool {
         self.busy
     }
+
+    fn probe(&self) -> Option<i64> {
+        self.value.map(|v| v as i64)
+    }
 }
 
 /// Result of one mesh run.
@@ -78,11 +83,19 @@ pub struct EditRun {
 /// Empty operands short-circuit to the other operand's length (a 0-sized
 /// mesh cannot be built).
 pub fn edit_distance_mesh(a: &[u8], b: &[u8]) -> EditRun {
+    edit_distance_mesh_traced(a, b, &mut NullSink)
+}
+
+/// [`edit_distance_mesh`] with an event sink; PE indices in the emitted
+/// events are row-major over the `|a| × |b|` mesh.
+pub fn edit_distance_mesh_traced<S: TraceSink>(a: &[u8], b: &[u8], sink: &mut S) -> EditRun {
     if a.is_empty() || b.is_empty() {
+        // No mesh is built and no cycle runs, so the stats must report
+        // zero PEs — not a phantom idle processor.
         return EditRun {
             distance: (a.len() + b.len()) as u64,
             cycles: 0,
-            stats: Stats::new(1),
+            stats: Stats::new(0),
         };
     }
     let (p, q) = (a.len(), b.len());
@@ -90,9 +103,7 @@ pub fn edit_distance_mesh(a: &[u8], b: &[u8]) -> EditRun {
         p,
         q,
         (0..p)
-            .flat_map(|i| {
-                (0..q).map(move |j| (i, j))
-            })
+            .flat_map(|i| (0..q).map(move |j| (i, j)))
             .map(|(i, j)| EditPe {
                 a: a[i],
                 b: b[j],
@@ -107,10 +118,11 @@ pub fn edit_distance_mesh(a: &[u8], b: &[u8]) -> EditRun {
         // Boundary injections arrive exactly on the wavefront:
         // cell (r, 0) computes at cycle r and needs D[r][-1] = r + 1;
         // cell (0, c) needs (D[-1][c], D[-1][c-1]) = (c + 1, c).
-        let (east, south) = mesh.cycle(
+        let (east, south) = mesh.cycle_traced(
             |r| (r as u64 == t).then(|| r as u64 + 1),
             |c| (c as u64 == t).then(|| (c as u64 + 1, c as u64)),
             |_, _| (),
+            sink,
         );
         // The apex value leaves the east edge of the last row (or the
         // south edge of the last column) on the final cycle.
@@ -161,6 +173,34 @@ mod tests {
         assert_eq!(edit_distance_mesh(b"", b"abc").distance, 3);
         assert_eq!(edit_distance_mesh(b"ab", b"").distance, 2);
         assert_eq!(edit_distance_mesh(b"", b"").distance, 0);
+    }
+
+    #[test]
+    fn empty_operands_report_zero_pes() {
+        // Regression: the short-circuit path used to claim one phantom
+        // PE (Stats::new(1)), skewing any aggregate PE accounting.
+        for (a, b) in [(&b""[..], &b"abc"[..]), (b"ab", b""), (b"", b"")] {
+            let run = edit_distance_mesh(a, b);
+            assert_eq!(run.stats.num_pes(), 0);
+            assert_eq!(run.stats.cycles(), 0);
+            assert_eq!(run.stats.utilization().overall, 0.0);
+        }
+    }
+
+    #[test]
+    fn traced_run_matches_untraced() {
+        use sdp_trace::CountingSink;
+        let plain = edit_distance_mesh(b"kitten", b"sitting");
+        let mut sink = CountingSink::default();
+        let traced = edit_distance_mesh_traced(b"kitten", b"sitting", &mut sink);
+        assert_eq!(traced.distance, plain.distance);
+        assert_eq!(traced.cycles, plain.cycles);
+        assert_eq!(sink.cycles, plain.cycles);
+        assert_eq!(sink.pe_fires, plain.cycles * 6 * 7);
+        assert_eq!(
+            sink.busy_fires,
+            (0..42).map(|i| plain.stats.busy(i)).sum::<u64>()
+        );
     }
 
     #[test]

@@ -104,7 +104,11 @@ impl GktArray {
             .map(|i| {
                 (0..n)
                     .map(|j| Cell {
-                        pairs: if j >= i { vec![(None, None); j - i] } else { vec![] },
+                        pairs: if j >= i {
+                            vec![(None, None); j - i]
+                        } else {
+                            vec![]
+                        },
                         ready: Vec::new(),
                         retired: 0,
                         best: Cost::INF,
@@ -333,7 +337,9 @@ mod tests {
         let n = 9usize;
         let dims: Vec<u64> = (0..=n).map(|_| 2).collect();
         let res = GktArray::default().run(&dims);
-        let alts: u64 = (2..=n as u64).map(|len| (len - 1) * (n as u64 - len + 1)).sum();
+        let alts: u64 = (2..=n as u64)
+            .map(|len| (len - 1) * (n as u64 - len + 1))
+            .sum();
         assert_eq!(res.operations, alts);
     }
 

@@ -20,6 +20,7 @@
 
 use sdp_semiring::{Matrix, Semiring};
 use sdp_systolic::{Mesh2D, MeshProcessingElement, Stats};
+use sdp_trace::{Event, NullSink, TraceSink};
 
 /// Multiply-accumulate PE: result element stays in place, operands pass.
 struct MacPe<S> {
@@ -68,6 +69,17 @@ impl MatmulArray {
     /// Multiplies `a · b` on a `p × r` mesh; panics on dimension
     /// mismatch.  Works over any [`Semiring`].
     pub fn multiply<S: Semiring>(a: &Matrix<S>, b: &Matrix<S>) -> MatmulRun<S> {
+        Self::multiply_traced(a, b, &mut NullSink)
+    }
+
+    /// [`multiply`](Self::multiply) with an event sink.  PE indices are
+    /// row-major over the `p × r` mesh; operand streams appear as
+    /// `WordIn` on the west/north edges.
+    pub fn multiply_traced<S: Semiring, K: TraceSink>(
+        a: &Matrix<S>,
+        b: &Matrix<S>,
+        sink: &mut K,
+    ) -> MatmulRun<S> {
         assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
         let (p, q, r) = (a.rows(), a.cols(), b.cols());
         let mut mesh = Mesh2D::new(
@@ -82,7 +94,7 @@ impl MatmulArray {
         );
         let total = Self::t1(p, q, r);
         for t in 0..total {
-            mesh.cycle(
+            mesh.cycle_traced(
                 |i| {
                     // a_{i,k} enters row i at cycle i + k
                     let k = t as i64 - i as i64;
@@ -94,6 +106,7 @@ impl MatmulArray {
                     (0..q as i64).contains(&k).then(|| b.get(k as usize, j))
                 },
                 |_, _| (),
+                sink,
             );
         }
         let product = Matrix::from_fn(p, r, |i, j| mesh.pe(i, j).acc);
@@ -108,26 +121,63 @@ impl MatmulArray {
     /// using *array simulations* for every product: `k` arrays work in
     /// synchronous rounds of `T₁` cycles each.  Returns the product and
     /// the total cycle count `rounds × T₁` (square matrices only).
-    pub fn multiply_string_dnc<S: Semiring>(
+    pub fn multiply_string_dnc<S: Semiring>(mats: &[Matrix<S>], k: u64) -> (Matrix<S>, u64) {
+        Self::multiply_string_dnc_traced(mats, k, &mut NullSink)
+    }
+
+    /// [`multiply_string_dnc`](Self::multiply_string_dnc) with an event
+    /// sink recording the *schedule* — one `CycleStart` per synchronous
+    /// round and a `TaskStart`/`TaskEnd` pair per product, tagged with
+    /// the array slot it runs on.  The inner mesh simulations are left
+    /// untraced (their per-cycle detail belongs to `multiply_traced`).
+    pub fn multiply_string_dnc_traced<S: Semiring, K: TraceSink>(
         mats: &[Matrix<S>],
         k: u64,
+        sink: &mut K,
     ) -> (Matrix<S>, u64) {
         assert!(!mats.is_empty());
         let m = mats[0].rows();
         for mat in mats {
-            assert_eq!((mat.rows(), mat.cols()), (m, m), "need square m x m matrices");
+            assert_eq!(
+                (mat.rows(), mat.cols()),
+                (m, m),
+                "need square m x m matrices"
+            );
         }
         let t1 = Self::t1(m, m, m);
         let mut layer: Vec<Matrix<S>> = mats.to_vec();
         let mut cycles = 0u64;
+        let mut round = 0u64;
+        let mut task_id = 0u32;
         while layer.len() > 1 {
             cycles += t1;
             let t = ((layer.len() / 2) as u64).min(k) as usize;
             let rest = layer.split_off(2 * t);
+            if K::ENABLED {
+                sink.record(Event::CycleStart { cycle: round });
+            }
             let products: Vec<Matrix<S>> = layer
                 .chunks(2)
-                .map(|pair| Self::multiply(&pair[0], &pair[1]).product)
+                .enumerate()
+                .map(|(slot, pair)| {
+                    if K::ENABLED {
+                        sink.record(Event::TaskStart {
+                            task: task_id + slot as u32,
+                            array: slot as u32,
+                        });
+                    }
+                    let product = Self::multiply(&pair[0], &pair[1]).product;
+                    if K::ENABLED {
+                        sink.record(Event::TaskEnd {
+                            task: task_id + slot as u32,
+                            array: slot as u32,
+                        });
+                    }
+                    product
+                })
                 .collect();
+            task_id += products.len() as u32;
+            round += 1;
             layer = products.into_iter().chain(rest).collect();
         }
         (layer.pop().expect("one matrix remains"), cycles)
@@ -236,5 +286,33 @@ mod tests {
         let a = rand_mat(1, 2, 3);
         let b = rand_mat(2, 2, 2);
         let _ = MatmulArray::multiply(&a, &b);
+    }
+
+    #[test]
+    fn traced_multiply_matches_untraced() {
+        use sdp_trace::CountingSink;
+        let a = rand_mat(3, 3, 4);
+        let b = rand_mat(4, 4, 2);
+        let plain = MatmulArray::multiply(&a, &b);
+        let mut sink = CountingSink::default();
+        let traced = MatmulArray::multiply_traced(&a, &b, &mut sink);
+        assert_eq!(traced.product, plain.product);
+        assert_eq!(traced.cycles, plain.cycles);
+        assert_eq!(sink.cycles, plain.cycles);
+        assert_eq!(sink.words_in, plain.stats.input_words());
+        assert_eq!(sink.pe_fires, plain.cycles * 6); // 3×2 mesh
+    }
+
+    #[test]
+    fn traced_dnc_emits_one_task_per_product() {
+        use sdp_trace::CountingSink;
+        let mats: Vec<Matrix<MinPlus>> = (0..6).map(|s| rand_mat(s, 2, 2)).collect();
+        let mut sink = CountingSink::default();
+        let (prod, _) = MatmulArray::multiply_string_dnc_traced(&mats, 4, &mut sink);
+        assert_eq!(prod, Matrix::string_product(&mats));
+        // 6 → 3 → 2 → 1 matrices: 3 + 1 + 1 = 5 products in 3 rounds.
+        assert_eq!(sink.task_starts, 5);
+        assert_eq!(sink.task_ends, 5);
+        assert_eq!(sink.cycles, 3);
     }
 }

@@ -94,9 +94,8 @@ pub fn search(g: &MultistageGraph, cfg: BnbConfig) -> BnbResult {
         }));
     }
     // best known cost per (stage, vertex) for dominance
-    let mut best_state: Vec<Vec<Cost>> = (0..s)
-        .map(|st| vec![Cost::INF; g.stage_size(st)])
-        .collect();
+    let mut best_state: Vec<Vec<Cost>> =
+        (0..s).map(|st| vec![Cost::INF; g.stage_size(st)]).collect();
     let mut incumbent = Cost::INF;
     let mut best_path = Vec::new();
     let mut expanded = 0u64;

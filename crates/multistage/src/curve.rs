@@ -109,8 +109,8 @@ impl SyntheticImage {
                     if step > cfg.max_step {
                         return sdp_semiring::MinPlus(Cost::INF);
                     }
-                    let mut c = cfg.curvature_penalty * step as i64
-                        + (self.mag_max - self.mag[s + 1][j]);
+                    let mut c =
+                        cfg.curvature_penalty * step as i64 + (self.mag_max - self.mag[s + 1][j]);
                     if s == 0 {
                         c += self.mag_max - self.mag[0][i];
                     }
@@ -216,9 +216,8 @@ mod tests {
             curvature_penalty: 50,
             max_step: 3,
         });
-        let bends = |rows: &[usize]| -> usize {
-            rows.windows(2).map(|w| w[0].abs_diff(w[1])).sum()
-        };
+        let bends =
+            |rows: &[usize]| -> usize { rows.windows(2).map(|w| w[0].abs_diff(w[1])).sum() };
         assert!(bends(&smooth.rows) <= bends(&wiggly.rows));
     }
 

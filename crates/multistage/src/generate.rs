@@ -8,8 +8,7 @@
 
 use crate::graph::MultistageGraph;
 use crate::node_value::{
-    AbsDiff, AsymmetricRamp, EdgeCostFn, InventoryCost, NodeValueGraph, ServiceDelay,
-    SquaredDiff,
+    AbsDiff, AsymmetricRamp, EdgeCostFn, InventoryCost, NodeValueGraph, ServiceDelay, SquaredDiff,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -17,13 +16,7 @@ use sdp_semiring::Cost;
 
 /// Uniform-random edge-cost multistage graph: `stages` stages of `m`
 /// vertices, costs drawn from `lo..=hi`.
-pub fn random_uniform(
-    seed: u64,
-    stages: usize,
-    m: usize,
-    lo: i64,
-    hi: i64,
-) -> MultistageGraph {
+pub fn random_uniform(seed: u64, stages: usize, m: usize, lo: i64, hi: i64) -> MultistageGraph {
     assert!(lo <= hi);
     let mut rng = StdRng::seed_from_u64(seed);
     MultistageGraph::uniform_from_fn(stages, m, |_, _, _| Cost::from(rng.gen_range(lo..=hi)))
@@ -123,12 +116,9 @@ pub fn fluid_flow(seed: u64, pumps: usize, pressures: usize) -> NodeValueGraph {
 /// service times for task `i`; cost is service plus tardiness.
 pub fn task_scheduling(seed: u64, tasks: usize, choices: usize) -> NodeValueGraph {
     let mut rng = StdRng::seed_from_u64(seed);
-    NodeValueGraph::uniform_from_fn(
-        tasks,
-        choices,
-        Box::new(ServiceDelay::default()),
-        |_, j| 1 + (j as i64) + rng.gen_range(0..3),
-    )
+    NodeValueGraph::uniform_from_fn(tasks, choices, Box::new(ServiceDelay::default()), |_, j| {
+        1 + (j as i64) + rng.gen_range(0..3)
+    })
 }
 
 /// Inventory / multistage-production planning (§3.2's "inventory

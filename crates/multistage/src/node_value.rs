@@ -263,11 +263,9 @@ impl NodeValueGraph {
     pub fn to_multistage(&self) -> MultistageGraph {
         let mats = (0..self.num_stages() - 1)
             .map(|s| {
-                sdp_semiring::Matrix::from_fn(
-                    self.stage_size(s),
-                    self.stage_size(s + 1),
-                    |i, j| sdp_semiring::MinPlus(self.edge_cost(s, i, j)),
-                )
+                sdp_semiring::Matrix::from_fn(self.stage_size(s), self.stage_size(s + 1), |i, j| {
+                    sdp_semiring::MinPlus(self.edge_cost(s, i, j))
+                })
             })
             .collect();
         MultistageGraph::new(mats)
@@ -299,10 +297,7 @@ mod tests {
     use super::*;
 
     fn simple() -> NodeValueGraph {
-        NodeValueGraph::new(
-            vec![vec![0, 5], vec![3, 8], vec![1, 9]],
-            Box::new(AbsDiff),
-        )
+        NodeValueGraph::new(vec![vec![0, 5], vec![3, 8], vec![1, 9]], Box::new(AbsDiff))
     }
 
     #[test]
@@ -329,9 +324,8 @@ mod tests {
 
     #[test]
     fn io_reduction_is_order_m() {
-        let g = NodeValueGraph::uniform_from_fn(10, 8, Box::new(AbsDiff), |s, j| {
-            (s * 8 + j) as i64
-        });
+        let g =
+            NodeValueGraph::uniform_from_fn(10, 8, Box::new(AbsDiff), |s, j| (s * 8 + j) as i64);
         let (node, edge) = g.io_words();
         assert_eq!(node, 80);
         assert_eq!(edge, 9 * 64);

@@ -40,12 +40,9 @@ pub struct DpSolution {
 /// ```
 pub fn forward_dp(g: &MultistageGraph) -> DpSolution {
     let s = g.num_stages();
-    let mut value: Vec<Vec<Cost>> = (0..s)
-        .map(|st| vec![Cost::INF; g.stage_size(st)])
-        .collect();
-    let mut choice: Vec<Vec<Option<usize>>> = (0..s)
-        .map(|st| vec![None; g.stage_size(st)])
-        .collect();
+    let mut value: Vec<Vec<Cost>> = (0..s).map(|st| vec![Cost::INF; g.stage_size(st)]).collect();
+    let mut choice: Vec<Vec<Option<usize>>> =
+        (0..s).map(|st| vec![None; g.stage_size(st)]).collect();
     let mut iterations = 0u64;
     for v in value[s - 1].iter_mut() {
         *v = Cost::ZERO;
@@ -100,12 +97,8 @@ pub fn forward_dp(g: &MultistageGraph) -> DpSolution {
 /// first stage forwards.
 pub fn backward_dp(g: &MultistageGraph) -> DpSolution {
     let s = g.num_stages();
-    let mut value: Vec<Vec<Cost>> = (0..s)
-        .map(|st| vec![Cost::INF; g.stage_size(st)])
-        .collect();
-    let mut pred: Vec<Vec<Option<usize>>> = (0..s)
-        .map(|st| vec![None; g.stage_size(st)])
-        .collect();
+    let mut value: Vec<Vec<Cost>> = (0..s).map(|st| vec![Cost::INF; g.stage_size(st)]).collect();
+    let mut pred: Vec<Vec<Option<usize>>> = (0..s).map(|st| vec![None; g.stage_size(st)]).collect();
     let mut iterations = 0u64;
     for v in value[0].iter_mut() {
         *v = Cost::ZERO;

@@ -6,9 +6,8 @@ use sdp_multistage::{generate, solve, MultistageGraph};
 use sdp_semiring::{Cost, Matrix, MinPlus};
 
 fn graph_strategy() -> impl Strategy<Value = MultistageGraph> {
-    (2usize..7, 1usize..5, 0u64..1000).prop_map(|(stages, m, seed)| {
-        generate::random_uniform(seed, stages, m, 0, 30)
-    })
+    (2usize..7, 1usize..5, 0u64..1000)
+        .prop_map(|(stages, m, seed)| generate::random_uniform(seed, stages, m, 0, 30))
 }
 
 proptest! {

@@ -156,9 +156,7 @@ impl<S: Semiring> Matrix<S> {
     pub fn vec_mul(&self, v: &[S]) -> Vec<S> {
         assert_eq!(self.rows, v.len(), "vector length must equal rows");
         (0..self.cols)
-            .map(|j| {
-                (0..self.rows).fold(S::zero(), |acc, k| acc.add(v[k].mul(self.get(k, j))))
-            })
+            .map(|j| (0..self.rows).fold(S::zero(), |acc, k| acc.add(v[k].mul(self.get(k, j)))))
             .collect()
     }
 
@@ -405,11 +403,7 @@ mod tests {
 
     #[test]
     fn max_plus_longest_path() {
-        let a = Matrix::from_rows(
-            1,
-            2,
-            vec![MaxPlus::from(3), MaxPlus::from(5)],
-        );
+        let a = Matrix::from_rows(1, 2, vec![MaxPlus::from(3), MaxPlus::from(5)]);
         let b = Matrix::from_rows(2, 1, vec![MaxPlus::from(2), MaxPlus::from(1)]);
         let p = a.mul(&b);
         // max(3+2, 5+1) = 6

@@ -8,6 +8,7 @@
 
 use crate::instrument::Stats;
 use crate::pe::ProcessingElement;
+use sdp_trace::{Event, NullSink, TraceSink};
 
 /// A linear systolic array of identical PEs (`P₁ … Pₘ` in the paper),
 /// connected left-to-right, with full cycle/utilization instrumentation.
@@ -56,6 +57,13 @@ impl<P: ProcessingElement> LinearArray<P> {
         &self.stats
     }
 
+    /// Mutable instrumentation, so co-simulated components (e.g. the
+    /// shared bus of Design 3) can fold their accounting into the same
+    /// report.
+    pub fn stats_mut(&mut self) -> &mut Stats {
+        &mut self.stats
+    }
+
     /// The word currently latched on the tail (output) link.
     pub fn tail(&self) -> Option<P::Flow> {
         self.links[self.pes.len()]
@@ -72,10 +80,31 @@ impl<P: ProcessingElement> LinearArray<P> {
     pub fn cycle(
         &mut self,
         head_in: Option<P::Flow>,
+        ext: impl FnMut(usize) -> P::Ext,
+        ctrl: impl FnMut(usize) -> P::Ctrl,
+    ) -> Option<P::Flow> {
+        self.cycle_traced(head_in, ext, ctrl, &mut NullSink)
+    }
+
+    /// [`cycle`](Self::cycle) with an event sink observing the clock
+    /// edge, per-PE activity, latch commits, and host I/O words.
+    ///
+    /// With [`NullSink`] every `sink.record` call (and the event
+    /// construction feeding it) is guarded by `S::ENABLED` and compiles
+    /// away, so the untraced path is identical to the pre-tracing code.
+    pub fn cycle_traced<S: TraceSink>(
+        &mut self,
+        head_in: Option<P::Flow>,
         mut ext: impl FnMut(usize) -> P::Ext,
         mut ctrl: impl FnMut(usize) -> P::Ctrl,
+        sink: &mut S,
     ) -> Option<P::Flow> {
         let m = self.pes.len();
+        if S::ENABLED {
+            sink.record(Event::CycleStart {
+                cycle: self.stats.cycles(),
+            });
+        }
         // Capture last cycle's link values so every PE sees pre-cycle state.
         let inbound: Vec<Option<P::Flow>> = {
             let mut v = Vec::with_capacity(m);
@@ -85,21 +114,48 @@ impl<P: ProcessingElement> LinearArray<P> {
         };
         if head_in.is_some() {
             self.stats.record_input_word();
+            if S::ENABLED {
+                sink.record(Event::WordIn);
+            }
         }
         let mut next_links = vec![None; m + 1];
+        let mut any_busy = false;
         for (i, pe) in self.pes.iter_mut().enumerate() {
             let out = pe.step(inbound[i], ext(i), ctrl(i));
             next_links[i + 1] = out;
-            if pe.was_busy() {
+            let busy = pe.was_busy();
+            if busy {
                 self.stats.record_busy(i);
+                any_busy = true;
+            }
+            if S::ENABLED {
+                sink.record(Event::PeFire {
+                    pe: i as u32,
+                    busy,
+                    value: pe.probe(),
+                });
             }
         }
         // head link latch (index 0) is external; keep what was presented.
         next_links[0] = head_in;
+        if S::ENABLED {
+            for (link, word) in next_links.iter().enumerate() {
+                sink.record(Event::LatchCommit {
+                    link: link as u32,
+                    occupied: word.is_some(),
+                });
+            }
+        }
         self.links = next_links;
         self.stats.record_cycle();
+        if !any_busy {
+            self.stats.record_stall_cycle();
+        }
         if self.links[m].is_some() {
             self.stats.record_output_word();
+            if S::ENABLED {
+                sink.record(Event::WordOut);
+            }
         }
         self.links[m]
     }
@@ -109,12 +165,23 @@ impl<P: ProcessingElement> LinearArray<P> {
     pub fn drain(
         &mut self,
         n: usize,
+        ext: impl FnMut(usize) -> P::Ext,
+        ctrl: impl FnMut(usize) -> P::Ctrl,
+    ) -> Vec<P::Flow> {
+        self.drain_traced(n, ext, ctrl, &mut NullSink)
+    }
+
+    /// [`drain`](Self::drain) with an event sink.
+    pub fn drain_traced<S: TraceSink>(
+        &mut self,
+        n: usize,
         mut ext: impl FnMut(usize) -> P::Ext,
         mut ctrl: impl FnMut(usize) -> P::Ctrl,
+        sink: &mut S,
     ) -> Vec<P::Flow> {
         let mut out = Vec::new();
         for _ in 0..n {
-            if let Some(w) = self.cycle(None, &mut ext, &mut ctrl) {
+            if let Some(w) = self.cycle_traced(None, &mut ext, &mut ctrl, sink) {
                 out.push(w);
             }
         }
@@ -227,6 +294,37 @@ mod tests {
     #[should_panic(expected = "at least one PE")]
     fn empty_array_rejected() {
         let _ = LinearArray::<Wire>::new(vec![]);
+    }
+
+    #[test]
+    fn traced_cycles_emit_consistent_events() {
+        use sdp_trace::CountingSink;
+        let mut arr = wires(3);
+        let mut sink = CountingSink::default();
+        arr.cycle_traced(Some(7), |_| (), |_| (), &mut sink);
+        arr.cycle_traced(None, |_| (), |_| (), &mut sink);
+        arr.cycle_traced(None, |_| (), |_| (), &mut sink);
+        assert_eq!(sink.cycles, 3);
+        assert_eq!(sink.pe_fires, 9); // 3 PEs × 3 cycles
+        assert_eq!(sink.busy_fires, 3); // the word visits each PE once
+        assert_eq!(sink.words_in, 1);
+        assert_eq!(sink.words_out, 1);
+        // Event counts agree with the Stats the array kept itself.
+        let s = arr.stats();
+        assert_eq!(sink.cycles, s.cycles());
+        assert_eq!(sink.words_in, s.input_words());
+        assert_eq!(sink.words_out, s.output_words());
+        assert_eq!(sink.busy_fires, (0..3).map(|i| s.busy(i)).sum::<u64>());
+    }
+
+    #[test]
+    fn idle_cycles_count_as_stalls() {
+        let mut arr = wires(2);
+        arr.cycle(Some(1), |_| (), |_| ());
+        arr.cycle(None, |_| (), |_| ());
+        arr.cycle(None, |_| (), |_| ()); // word gone: nobody busy
+        arr.cycle(None, |_| (), |_| ());
+        assert_eq!(arr.stats().stall_cycles(), 2);
     }
 
     #[test]

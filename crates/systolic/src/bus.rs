@@ -7,6 +7,15 @@
 //! [`TokenBus`] models exactly that: one word per cycle, delivered to the
 //! single PE currently holding the token, with the token advancing
 //! round-robin.
+//!
+//! Bus accounting lives in the shared [`Stats`] registry rather than in
+//! private counters, so a design's bus-word and token-rotation claims
+//! (§3.2's I/O analysis) are verifiable from the same report as its
+//! cycle and utilization numbers: use the `*_traced` variants and pass
+//! the owning array's `stats_mut()`.
+
+use crate::instrument::Stats;
+use sdp_trace::{Event, NullSink, TraceSink};
 
 /// A single-word broadcast bus with a circulating pick-up token over `m`
 /// stations.
@@ -15,7 +24,6 @@ pub struct TokenBus<W> {
     m: usize,
     token: usize,
     word: Option<W>,
-    deliveries: u64,
 }
 
 impl<W: Copy> TokenBus<W> {
@@ -26,7 +34,6 @@ impl<W: Copy> TokenBus<W> {
             m,
             token: 0,
             word: None,
-            deliveries: 0,
         }
     }
 
@@ -40,13 +47,18 @@ impl<W: Copy> TokenBus<W> {
         self.token
     }
 
-    /// Total words delivered so far.
-    pub fn deliveries(&self) -> u64 {
-        self.deliveries
-    }
-
     /// Drives `word` onto the bus for the current cycle.
     pub fn drive(&mut self, word: W) {
+        self.drive_traced(word, &mut NullSink);
+    }
+
+    /// [`drive`](Self::drive) with an event sink.
+    pub fn drive_traced<S: TraceSink>(&mut self, word: W, sink: &mut S) {
+        if S::ENABLED {
+            sink.record(Event::BusDrive {
+                station: self.token as u32,
+            });
+        }
         self.word = Some(word);
     }
 
@@ -56,10 +68,29 @@ impl<W: Copy> TokenBus<W> {
     ///
     /// Returns `Some((station, word))` when a delivery happened.
     pub fn settle(&mut self) -> Option<(usize, W)> {
+        let mut untracked = Stats::new(0);
+        self.settle_traced(&mut untracked, &mut NullSink)
+    }
+
+    /// [`settle`](Self::settle) that folds delivery and token-rotation
+    /// accounting into `stats` and reports the events to `sink`.
+    pub fn settle_traced<S: TraceSink>(
+        &mut self,
+        stats: &mut Stats,
+        sink: &mut S,
+    ) -> Option<(usize, W)> {
         self.word.take().map(|w| {
             let st = self.token;
             self.token = (self.token + 1) % self.m;
-            self.deliveries += 1;
+            stats.record_bus_word();
+            stats.record_token_rotation();
+            if S::ENABLED {
+                sink.record(Event::BusDeliver { station: st as u32 });
+                sink.record(Event::TokenAdvance {
+                    from: st as u32,
+                    to: self.token as u32,
+                });
+            }
             (st, w)
         })
     }
@@ -73,19 +104,23 @@ impl<W: Copy> TokenBus<W> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sdp_trace::CountingSink;
 
     #[test]
     fn round_robin_delivery() {
         let mut bus = TokenBus::new(3);
+        let mut stats = Stats::new(3);
+        let mut sink = NullSink;
         bus.drive(10);
-        assert_eq!(bus.settle(), Some((0, 10)));
+        assert_eq!(bus.settle_traced(&mut stats, &mut sink), Some((0, 10)));
         bus.drive(11);
-        assert_eq!(bus.settle(), Some((1, 11)));
+        assert_eq!(bus.settle_traced(&mut stats, &mut sink), Some((1, 11)));
         bus.drive(12);
-        assert_eq!(bus.settle(), Some((2, 12)));
+        assert_eq!(bus.settle_traced(&mut stats, &mut sink), Some((2, 12)));
         bus.drive(13);
-        assert_eq!(bus.settle(), Some((0, 13))); // wrapped
-        assert_eq!(bus.deliveries(), 4);
+        assert_eq!(bus.settle_traced(&mut stats, &mut sink), Some((0, 13))); // wrapped
+        assert_eq!(stats.bus_words(), 4);
+        assert_eq!(stats.token_rotations(), 4);
     }
 
     #[test]
@@ -96,6 +131,18 @@ mod tests {
         bus.drive(5);
         assert_eq!(bus.settle(), Some((0, 5)));
         assert_eq!(bus.token_at(), 1);
+    }
+
+    #[test]
+    fn idle_settle_records_nothing() {
+        let mut bus = TokenBus::<u32>::new(2);
+        let mut stats = Stats::new(2);
+        let mut sink = CountingSink::default();
+        assert_eq!(bus.settle_traced(&mut stats, &mut sink), None);
+        assert_eq!(stats.bus_words(), 0);
+        assert_eq!(stats.token_rotations(), 0);
+        assert_eq!(sink.bus_delivers, 0);
+        assert_eq!(sink.token_advances, 0);
     }
 
     #[test]
@@ -115,6 +162,19 @@ mod tests {
         bus.settle();
         bus.reset_token();
         assert_eq!(bus.token_at(), 0);
+    }
+
+    #[test]
+    fn traced_bus_emits_drive_deliver_advance() {
+        let mut bus = TokenBus::new(2);
+        let mut stats = Stats::new(2);
+        let mut sink = CountingSink::default();
+        bus.drive_traced(7, &mut sink);
+        let delivered = bus.settle_traced(&mut stats, &mut sink);
+        assert_eq!(delivered, Some((0, 7)));
+        assert_eq!(sink.bus_drives, 1);
+        assert_eq!(sink.bus_delivers, 1);
+        assert_eq!(sink.token_advances, 1);
     }
 
     #[test]

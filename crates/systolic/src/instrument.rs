@@ -7,12 +7,15 @@
 //! with a serial-iteration count to report PU.
 
 /// Instrumentation for one simulated array.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Stats {
     cycles: u64,
     busy: Vec<u64>,
     input_words: u64,
     output_words: u64,
+    bus_words: u64,
+    token_rotations: u64,
+    stall_cycles: u64,
 }
 
 /// A utilization report derived from [`Stats`].
@@ -34,6 +37,9 @@ impl Stats {
             busy: vec![0; m],
             input_words: 0,
             output_words: 0,
+            bus_words: 0,
+            token_rotations: 0,
+            stall_cycles: 0,
         }
     }
 
@@ -62,6 +68,21 @@ impl Stats {
         self.output_words
     }
 
+    /// Words delivered over the shared broadcast bus (§3.2).
+    pub fn bus_words(&self) -> u64 {
+        self.bus_words
+    }
+
+    /// Times the circulating pick-up token advanced to a new station.
+    pub fn token_rotations(&self) -> u64 {
+        self.token_rotations
+    }
+
+    /// Cycles in which no PE did useful work (pipeline bubbles).
+    pub fn stall_cycles(&self) -> u64 {
+        self.stall_cycles
+    }
+
     /// Records one elapsed cycle.
     pub fn record_cycle(&mut self) {
         self.cycles += 1;
@@ -80,6 +101,21 @@ impl Stats {
     /// Records a word leaving the array.
     pub fn record_output_word(&mut self) {
         self.output_words += 1;
+    }
+
+    /// Records a word delivered over the shared broadcast bus.
+    pub fn record_bus_word(&mut self) {
+        self.bus_words += 1;
+    }
+
+    /// Records an advance of the circulating pick-up token.
+    pub fn record_token_rotation(&mut self) {
+        self.token_rotations += 1;
+    }
+
+    /// Records a cycle in which no PE did useful work.
+    pub fn record_stall_cycle(&mut self) {
+        self.stall_cycles += 1;
     }
 
     /// Derives the utilization report.
@@ -155,5 +191,21 @@ mod tests {
         s.record_output_word();
         assert_eq!(s.input_words(), 2);
         assert_eq!(s.output_words(), 1);
+    }
+
+    #[test]
+    fn bus_and_stall_counters() {
+        let mut s = Stats::new(2);
+        assert_eq!(
+            (s.bus_words(), s.token_rotations(), s.stall_cycles()),
+            (0, 0, 0)
+        );
+        s.record_bus_word();
+        s.record_bus_word();
+        s.record_token_rotation();
+        s.record_stall_cycle();
+        assert_eq!(s.bus_words(), 2);
+        assert_eq!(s.token_rotations(), 1);
+        assert_eq!(s.stall_cycles(), 1);
     }
 }

@@ -13,6 +13,7 @@
 // Grid/stage updates read clearer with explicit indices.
 #![allow(clippy::needless_range_loop)]
 use crate::instrument::Stats;
+use sdp_trace::{Event, NullSink, TraceSink};
 
 /// One PE of a 2-D mesh.
 pub trait MeshProcessingElement {
@@ -35,6 +36,12 @@ pub trait MeshProcessingElement {
     /// Whether the previous `step` did useful work.
     fn was_busy(&self) -> bool {
         true
+    }
+
+    /// An observable register value for waveform export (usually the
+    /// local accumulator).  `None` keeps the VCD value signal at `x`.
+    fn probe(&self) -> Option<i64> {
+        None
     }
 }
 
@@ -82,6 +89,12 @@ impl<P: MeshProcessingElement> Mesh2D<P> {
         &self.stats
     }
 
+    /// Mutable engine statistics, for folding in co-simulated
+    /// accounting.
+    pub fn stats_mut(&mut self) -> &mut Stats {
+        &mut self.stats
+    }
+
     /// Advances one clock cycle.
     ///
     /// * `west_in(r)` — word presented on row `r`'s west edge;
@@ -92,11 +105,31 @@ impl<P: MeshProcessingElement> Mesh2D<P> {
     #[allow(clippy::type_complexity)]
     pub fn cycle(
         &mut self,
+        west_in: impl FnMut(usize) -> Option<P::Horiz>,
+        north_in: impl FnMut(usize) -> Option<P::Vert>,
+        ctrl: impl FnMut(usize, usize) -> P::Ctrl,
+    ) -> (Vec<Option<P::Horiz>>, Vec<Option<P::Vert>>) {
+        self.cycle_traced(west_in, north_in, ctrl, &mut NullSink)
+    }
+
+    /// [`cycle`](Self::cycle) with an event sink.  PE indices in the
+    /// emitted events are row-major (`r * cols + c`); mesh latches are
+    /// per-direction and internal, so no `LatchCommit` events are
+    /// emitted — edge I/O appears as `WordIn`/`WordOut`.
+    #[allow(clippy::type_complexity)]
+    pub fn cycle_traced<S: TraceSink>(
+        &mut self,
         mut west_in: impl FnMut(usize) -> Option<P::Horiz>,
         mut north_in: impl FnMut(usize) -> Option<P::Vert>,
         mut ctrl: impl FnMut(usize, usize) -> P::Ctrl,
+        sink: &mut S,
     ) -> (Vec<Option<P::Horiz>>, Vec<Option<P::Vert>>) {
         let (rows, cols) = (self.rows, self.cols);
+        if S::ENABLED {
+            sink.record(Event::CycleStart {
+                cycle: self.stats.cycles(),
+            });
+        }
         // Snapshot pre-cycle latches, inject edges.
         let mut h_in = self.h.clone();
         let mut v_in = self.v.clone();
@@ -104,24 +137,40 @@ impl<P: MeshProcessingElement> Mesh2D<P> {
             h_in[r][0] = west_in(r);
             if h_in[r][0].is_some() {
                 self.stats.record_input_word();
+                if S::ENABLED {
+                    sink.record(Event::WordIn);
+                }
             }
         }
         for c in 0..cols {
             v_in[0][c] = north_in(c);
             if v_in[0][c].is_some() {
                 self.stats.record_input_word();
+                if S::ENABLED {
+                    sink.record(Event::WordIn);
+                }
             }
         }
         let mut h_next = vec![vec![None; cols + 1]; rows];
         let mut v_next = vec![vec![None; cols]; rows + 1];
+        let mut any_busy = false;
         for r in 0..rows {
             for c in 0..cols {
                 let pe = &mut self.pes[r * cols + c];
                 let (east, south) = pe.step(h_in[r][c], v_in[r][c], ctrl(r, c));
                 h_next[r][c + 1] = east;
                 v_next[r + 1][c] = south;
-                if pe.was_busy() {
+                let busy = pe.was_busy();
+                if busy {
                     self.stats.record_busy(r * cols + c);
+                    any_busy = true;
+                }
+                if S::ENABLED {
+                    sink.record(Event::PeFire {
+                        pe: (r * cols + c) as u32,
+                        busy,
+                        value: pe.probe(),
+                    });
                 }
             }
         }
@@ -131,10 +180,16 @@ impl<P: MeshProcessingElement> Mesh2D<P> {
             + south_out.iter().filter(|w| w.is_some()).count();
         for _ in 0..out_words {
             self.stats.record_output_word();
+            if S::ENABLED {
+                sink.record(Event::WordOut);
+            }
         }
         self.h = h_next;
         self.v = v_next;
         self.stats.record_cycle();
+        if !any_busy {
+            self.stats.record_stall_cycle();
+        }
         (east_out, south_out)
     }
 }
@@ -168,7 +223,11 @@ mod tests {
     }
 
     fn mesh(rows: usize, cols: usize) -> Mesh2D<Cross> {
-        Mesh2D::new(rows, cols, (0..rows * cols).map(|_| Cross::default()).collect())
+        Mesh2D::new(
+            rows,
+            cols,
+            (0..rows * cols).map(|_| Cross::default()).collect(),
+        )
     }
 
     #[test]
@@ -217,5 +276,20 @@ mod tests {
     #[should_panic(expected = "rows*cols")]
     fn wrong_pe_count_rejected() {
         let _ = Mesh2D::new(2, 2, vec![Cross::default()]);
+    }
+
+    #[test]
+    fn traced_mesh_counts_match_stats() {
+        use sdp_trace::CountingSink;
+        let mut m = mesh(2, 2);
+        let mut sink = CountingSink::default();
+        m.cycle_traced(|_| Some(1), |_| Some(2), |_, _| (), &mut sink);
+        m.cycle_traced(|_| None, |_| None, |_, _| (), &mut sink);
+        let s = m.stats();
+        assert_eq!(sink.cycles, s.cycles());
+        assert_eq!(sink.words_in, s.input_words());
+        assert_eq!(sink.words_out, s.output_words());
+        assert_eq!(sink.pe_fires, 8); // 4 PEs × 2 cycles
+        assert_eq!(sink.busy_fires, (0..4).map(|i| s.busy(i)).sum::<u64>());
     }
 }

@@ -43,6 +43,13 @@ pub trait ProcessingElement {
     fn was_busy(&self) -> bool {
         true
     }
+
+    /// An observable register value for waveform export, when the PE has
+    /// a natural one (e.g. its accumulator).  `None` keeps the PE's
+    /// value signal at `x` in VCD dumps.
+    fn probe(&self) -> Option<i64> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -16,6 +16,10 @@
 //!   per-task durations, used when matrices have unequal dimensions and the
 //!   multiply tree becomes a dataflow graph (end of §4).
 
+use sdp_trace::chrome::ChromeTrace;
+use sdp_trace::json::Json;
+use sdp_trace::{Event, NullSink, TraceSink};
+
 /// The outcome of scheduling one divide-and-conquer reduction.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Schedule {
@@ -51,6 +55,32 @@ impl Schedule {
     pub fn kt2(&self) -> u64 {
         self.k * self.rounds * self.rounds
     }
+
+    /// Renders the schedule as a Chrome trace: one duration event per
+    /// multiply task, with rounds as the microsecond clock and arrays as
+    /// thread lanes.  Wind-down rounds are tagged in the event args so
+    /// Perfetto can distinguish the two phases of Eq. 29.
+    pub fn to_chrome_trace(&self) -> ChromeTrace {
+        let mut trace = ChromeTrace::new();
+        for (round, &tasks) in self.tasks_per_round.iter().enumerate() {
+            let winddown = tasks < self.k;
+            for slot in 0..tasks {
+                trace.complete_with_args(
+                    "multiply",
+                    if winddown { "winddown" } else { "computation" },
+                    round as u64,
+                    1,
+                    0,
+                    slot as u32,
+                    vec![
+                        ("round".to_string(), Json::from(round)),
+                        ("winddown".to_string(), Json::from(winddown)),
+                    ],
+                );
+            }
+        }
+        trace
+    }
 }
 
 /// Scheduler for the regular (equal-dimension) matrix string.
@@ -63,14 +93,38 @@ impl TreeScheduler {
     /// disjoint pairs are multiplied, each consuming two operands and
     /// producing one.  Runs until a single result remains.
     pub fn simulate(&self, n: u64, k: u64) -> Schedule {
+        self.simulate_traced(n, k, &mut NullSink)
+    }
+
+    /// [`simulate`](Self::simulate) with an event sink: each round emits
+    /// a `CycleStart`, and every multiply task emits a matching
+    /// `TaskStart`/`TaskEnd` pair on its array (tasks are numbered in
+    /// execution order).
+    pub fn simulate_traced<S: TraceSink>(&self, n: u64, k: u64, sink: &mut S) -> Schedule {
         assert!(n >= 1, "need at least one matrix");
         assert!(k >= 1, "need at least one array");
         let mut live = n;
         let mut tasks_per_round = Vec::new();
         let mut computation_rounds = 0;
         let mut winddown_rounds = 0;
+        let mut task_id = 0u32;
         while live > 1 {
             let tasks = (live / 2).min(k);
+            if S::ENABLED {
+                sink.record(Event::CycleStart {
+                    cycle: tasks_per_round.len() as u64,
+                });
+                for slot in 0..tasks {
+                    sink.record(Event::TaskStart {
+                        task: task_id + slot as u32,
+                        array: slot as u32,
+                    });
+                    sink.record(Event::TaskEnd {
+                        task: task_id + slot as u32,
+                        array: slot as u32,
+                    });
+                }
+            }
             live -= tasks;
             tasks_per_round.push(tasks);
             if tasks == k {
@@ -78,6 +132,7 @@ impl TreeScheduler {
             } else {
                 winddown_rounds += 1;
             }
+            task_id += tasks as u32;
         }
         Schedule {
             n,
@@ -137,6 +192,29 @@ pub struct DagSchedule {
     pub start: Vec<u64>,
     /// Worker each task ran on.
     pub worker: Vec<usize>,
+}
+
+impl DagSchedule {
+    /// Renders the schedule as a Chrome trace: one duration event per
+    /// task (named `task<i>`), workers as thread lanes, abstract
+    /// schedule time as the microsecond clock.  `tasks` must be the
+    /// list the schedule was computed from (durations come from it).
+    pub fn to_chrome_trace(&self, tasks: &[DagTask]) -> ChromeTrace {
+        assert_eq!(tasks.len(), self.start.len(), "task list mismatch");
+        let mut trace = ChromeTrace::new();
+        for (i, task) in tasks.iter().enumerate() {
+            trace.complete_with_args(
+                &format!("task{i}"),
+                "dag",
+                self.start[i],
+                task.duration.max(1),
+                0,
+                self.worker[i] as u32,
+                vec![("deps".to_string(), Json::from(task.deps.clone()))],
+            );
+        }
+        trace
+    }
 }
 
 /// Critical-path list scheduler over `K` identical workers.
@@ -224,8 +302,7 @@ impl DagScheduler {
         let mut order = Vec::with_capacity(n);
         while let Some(i) = stack.pop() {
             order.push(i);
-            level[i] = tasks[i].duration
-                + succs[i].iter().map(|&s| level[s]).max().unwrap_or(0);
+            level[i] = tasks[i].duration + succs[i].iter().map(|&s| level[s]).max().unwrap_or(0);
             for &d in &tasks[i].deps {
                 outdeg[d] -= 1;
                 if outdeg[d] == 0 {
@@ -326,9 +403,18 @@ mod tests {
     #[test]
     fn dag_serial_chain() {
         let tasks = vec![
-            DagTask { duration: 2, deps: vec![] },
-            DagTask { duration: 3, deps: vec![0] },
-            DagTask { duration: 1, deps: vec![1] },
+            DagTask {
+                duration: 2,
+                deps: vec![],
+            },
+            DagTask {
+                duration: 3,
+                deps: vec![0],
+            },
+            DagTask {
+                duration: 1,
+                deps: vec![1],
+            },
         ];
         let s = DagScheduler.schedule(&tasks, 4);
         assert_eq!(s.makespan, 6);
@@ -337,8 +423,14 @@ mod tests {
     #[test]
     fn dag_parallel_independent() {
         let tasks = vec![
-            DagTask { duration: 5, deps: vec![] },
-            DagTask { duration: 5, deps: vec![] },
+            DagTask {
+                duration: 5,
+                deps: vec![],
+            },
+            DagTask {
+                duration: 5,
+                deps: vec![],
+            },
         ];
         assert_eq!(DagScheduler.schedule(&tasks, 2).makespan, 5);
         assert_eq!(DagScheduler.schedule(&tasks, 1).makespan, 10);
@@ -351,11 +443,23 @@ mod tests {
         let mut tasks = Vec::new();
         // level of 4 combines over conceptual leaf pairs (no deps)
         for _ in 0..4 {
-            tasks.push(DagTask { duration: 1, deps: vec![] });
+            tasks.push(DagTask {
+                duration: 1,
+                deps: vec![],
+            });
         }
-        tasks.push(DagTask { duration: 1, deps: vec![0, 1] });
-        tasks.push(DagTask { duration: 1, deps: vec![2, 3] });
-        tasks.push(DagTask { duration: 1, deps: vec![4, 5] });
+        tasks.push(DagTask {
+            duration: 1,
+            deps: vec![0, 1],
+        });
+        tasks.push(DagTask {
+            duration: 1,
+            deps: vec![2, 3],
+        });
+        tasks.push(DagTask {
+            duration: 1,
+            deps: vec![4, 5],
+        });
         let s = DagScheduler.schedule(&tasks, 8);
         assert_eq!(s.makespan, 3);
         let sim = TreeScheduler.simulate(8, 8);
@@ -372,10 +476,22 @@ mod tests {
     fn dag_critical_path_priority_helps() {
         // One long chain plus fillers; CP priority starts the chain first.
         let tasks = vec![
-            DagTask { duration: 1, deps: vec![] },  // chain head
-            DagTask { duration: 10, deps: vec![0] },
-            DagTask { duration: 1, deps: vec![] },  // filler
-            DagTask { duration: 1, deps: vec![] },  // filler
+            DagTask {
+                duration: 1,
+                deps: vec![],
+            }, // chain head
+            DagTask {
+                duration: 10,
+                deps: vec![0],
+            },
+            DagTask {
+                duration: 1,
+                deps: vec![],
+            }, // filler
+            DagTask {
+                duration: 1,
+                deps: vec![],
+            }, // filler
         ];
         let s = DagScheduler.schedule(&tasks, 1);
         // chain head must be scheduled first (highest bottom level)
@@ -390,11 +506,62 @@ mod tests {
     }
 
     #[test]
+    fn traced_simulation_matches_untraced() {
+        use sdp_trace::CountingSink;
+        let mut sink = CountingSink::default();
+        let traced = TreeScheduler.simulate_traced(64, 5, &mut sink);
+        let untraced = TreeScheduler.simulate(64, 5);
+        assert_eq!(traced, untraced);
+        assert_eq!(sink.cycles, traced.rounds);
+        assert_eq!(sink.task_starts, traced.total_tasks());
+        assert_eq!(sink.task_ends, traced.total_tasks());
+    }
+
+    #[test]
+    fn schedule_chrome_trace_has_one_span_per_task() {
+        let s = TreeScheduler.simulate(16, 3);
+        let trace = s.to_chrome_trace();
+        assert_eq!(trace.spans.len() as u64, s.total_tasks());
+        // Final round is wind-down (one task left).
+        let last = trace.spans.last().unwrap();
+        assert_eq!(last.cat, "winddown");
+        assert_eq!(last.ts, s.rounds - 1);
+        let doc = trace.render();
+        assert!(doc.starts_with("{\"traceEvents\":["));
+    }
+
+    #[test]
+    fn dag_chrome_trace_follows_schedule() {
+        let tasks = vec![
+            DagTask {
+                duration: 2,
+                deps: vec![],
+            },
+            DagTask {
+                duration: 3,
+                deps: vec![0],
+            },
+        ];
+        let s = DagScheduler.schedule(&tasks, 2);
+        let trace = s.to_chrome_trace(&tasks);
+        assert_eq!(trace.spans.len(), 2);
+        assert_eq!(trace.spans[1].ts, s.start[1]);
+        assert_eq!(trace.spans[1].dur, 3);
+        assert_eq!(trace.spans[1].tid, s.worker[1] as u32);
+    }
+
+    #[test]
     #[should_panic(expected = "cyclic")]
     fn dag_cycle_detected() {
         let tasks = vec![
-            DagTask { duration: 1, deps: vec![1] },
-            DagTask { duration: 1, deps: vec![0] },
+            DagTask {
+                duration: 1,
+                deps: vec![1],
+            },
+            DagTask {
+                duration: 1,
+                deps: vec![0],
+            },
         ];
         let _ = DagScheduler.schedule(&tasks, 1);
     }

@@ -1,0 +1,239 @@
+//! A hand-rolled Chrome trace-event (Perfetto) JSON writer.
+//!
+//! [`ChromeTrace`] collects *complete* (`"ph": "X"`) duration events —
+//! the only phase type this stack needs — and renders the standard
+//! `{"traceEvents": [...]}` document.  Load the output in
+//! <https://ui.perfetto.dev> or `chrome://tracing`: rows are keyed by
+//! `(pid, tid)`, so schedulers map arrays/workers to thread ids and
+//! every round becomes a lane of task spans.
+//!
+//! [`ChromeTraceSink`] adapts the [`TraceSink`] event stream: each
+//! `TaskStart`/`TaskEnd` pair becomes one span with the simulation
+//! cycle as the microsecond timestamp.
+
+use crate::json::Json;
+use crate::{Event, TraceSink};
+
+/// One complete ("X") duration event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Span {
+    /// Display name of the slice.
+    pub name: String,
+    /// Comma-separated category list.
+    pub cat: String,
+    /// Start timestamp in microseconds.
+    pub ts: u64,
+    /// Duration in microseconds.
+    pub dur: u64,
+    /// Process id lane.
+    pub pid: u32,
+    /// Thread id lane (array / worker index).
+    pub tid: u32,
+    /// Extra key/value payload shown in the trace viewer.
+    pub args: Vec<(String, Json)>,
+}
+
+/// An in-memory Chrome trace: push spans, then [`ChromeTrace::render`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ChromeTrace {
+    /// Recorded spans, in insertion order.
+    pub spans: Vec<Span>,
+}
+
+impl ChromeTrace {
+    /// An empty trace.
+    pub fn new() -> ChromeTrace {
+        ChromeTrace::default()
+    }
+
+    /// Records a complete event with no extra args.
+    pub fn complete(&mut self, name: &str, cat: &str, ts: u64, dur: u64, pid: u32, tid: u32) {
+        self.spans.push(Span {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            ts,
+            dur,
+            pid,
+            tid,
+            args: Vec::new(),
+        });
+    }
+
+    /// Records a complete event carrying viewer-visible args.
+    #[allow(clippy::too_many_arguments)]
+    pub fn complete_with_args(
+        &mut self,
+        name: &str,
+        cat: &str,
+        ts: u64,
+        dur: u64,
+        pid: u32,
+        tid: u32,
+        args: Vec<(String, Json)>,
+    ) {
+        self.spans.push(Span {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            ts,
+            dur,
+            pid,
+            tid,
+            args,
+        });
+    }
+
+    /// Converts the trace to its JSON document form.
+    pub fn to_json(&self) -> Json {
+        let events: Vec<Json> = self
+            .spans
+            .iter()
+            .map(|s| {
+                let mut e = Json::object()
+                    .with("name", s.name.as_str())
+                    .with("cat", s.cat.as_str())
+                    .with("ph", "X")
+                    .with("ts", s.ts)
+                    .with("pid", s.pid)
+                    .with("tid", s.tid)
+                    .with("dur", s.dur);
+                if !s.args.is_empty() {
+                    let mut args = Json::object();
+                    for (k, v) in &s.args {
+                        args = args.with(k, v.clone());
+                    }
+                    e = e.with("args", args);
+                }
+                e
+            })
+            .collect();
+        Json::object()
+            .with("traceEvents", Json::Array(events))
+            .with("displayTimeUnit", "ms")
+    }
+
+    /// Renders the standard `{"traceEvents": [...]}` document.
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+}
+
+/// Adapts [`Event::TaskStart`] / [`Event::TaskEnd`] pairs into spans,
+/// using the current simulation cycle as the microsecond clock.
+#[derive(Debug, Default)]
+pub struct ChromeTraceSink {
+    /// The trace being built; take it when the run completes.
+    pub trace: ChromeTrace,
+    cycle: u64,
+    open: Vec<(u32, u32, u64)>,
+}
+
+impl ChromeTraceSink {
+    /// An empty sink.
+    pub fn new() -> ChromeTraceSink {
+        ChromeTraceSink::default()
+    }
+
+    /// Finishes the run: any still-open tasks close at the last seen
+    /// cycle, then the built trace is returned.
+    pub fn finish(mut self) -> ChromeTrace {
+        let open = std::mem::take(&mut self.open);
+        for (task, array, start) in open {
+            self.close_span(task, array, start);
+        }
+        self.trace
+    }
+
+    fn close_span(&mut self, task: u32, array: u32, start: u64) {
+        self.trace.complete_with_args(
+            &format!("task{task}"),
+            "sim",
+            start,
+            self.cycle.saturating_sub(start).max(1),
+            0,
+            array,
+            vec![("task".to_string(), Json::from(task))],
+        );
+    }
+}
+
+impl TraceSink for ChromeTraceSink {
+    fn record(&mut self, event: Event) {
+        match event {
+            Event::CycleStart { cycle } => self.cycle = cycle,
+            Event::TaskStart { task, array } => self.open.push((task, array, self.cycle)),
+            Event::TaskEnd { task, array } => {
+                if let Some(pos) = self
+                    .open
+                    .iter()
+                    .rposition(|&(t, a, _)| t == task && a == array)
+                {
+                    let (task, array, start) = self.open.remove(pos);
+                    self.close_span(task, array, start);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_complete_events() {
+        let mut trace = ChromeTrace::new();
+        trace.complete("round0", "schedule", 0, 10, 0, 1);
+        trace.complete_with_args(
+            "round1",
+            "schedule",
+            10,
+            5,
+            0,
+            2,
+            vec![("tasks".to_string(), Json::from(3u64))],
+        );
+        let doc = trace.render();
+        assert_eq!(
+            doc,
+            "{\"traceEvents\":[\
+             {\"name\":\"round0\",\"cat\":\"schedule\",\"ph\":\"X\",\"ts\":0,\"pid\":0,\"tid\":1,\"dur\":10},\
+             {\"name\":\"round1\",\"cat\":\"schedule\",\"ph\":\"X\",\"ts\":10,\"pid\":0,\"tid\":2,\"dur\":5,\
+             \"args\":{\"tasks\":3}}],\"displayTimeUnit\":\"ms\"}"
+        );
+    }
+
+    #[test]
+    fn sink_pairs_task_events_into_spans() {
+        let mut sink = ChromeTraceSink::new();
+        sink.record(Event::CycleStart { cycle: 0 });
+        sink.record(Event::TaskStart { task: 7, array: 2 });
+        sink.record(Event::CycleStart { cycle: 4 });
+        sink.record(Event::TaskEnd { task: 7, array: 2 });
+        let trace = sink.finish();
+        assert_eq!(trace.spans.len(), 1);
+        let s = &trace.spans[0];
+        assert_eq!((s.name.as_str(), s.ts, s.dur, s.tid), ("task7", 0, 4, 2));
+    }
+
+    #[test]
+    fn unclosed_tasks_close_at_finish() {
+        let mut sink = ChromeTraceSink::new();
+        sink.record(Event::CycleStart { cycle: 2 });
+        sink.record(Event::TaskStart { task: 1, array: 0 });
+        sink.record(Event::CycleStart { cycle: 9 });
+        let trace = sink.finish();
+        assert_eq!(trace.spans.len(), 1);
+        assert_eq!(trace.spans[0].ts, 2);
+        assert_eq!(trace.spans[0].dur, 7);
+    }
+
+    #[test]
+    fn zero_length_spans_get_minimum_width() {
+        let mut sink = ChromeTraceSink::new();
+        sink.record(Event::TaskStart { task: 0, array: 0 });
+        sink.record(Event::TaskEnd { task: 0, array: 0 });
+        let trace = sink.finish();
+        assert_eq!(trace.spans[0].dur, 1);
+    }
+}

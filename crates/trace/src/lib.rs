@@ -1,0 +1,257 @@
+//! Structured cycle-level tracing for the systolic simulation stack.
+//!
+//! The simulators in `sdp-systolic` / `sdp-core` advance in discrete
+//! clock cycles; this crate gives every interesting micro-event a typed
+//! representation ([`Event`]) and lets callers observe a run through a
+//! [`TraceSink`].  Three sinks ship here:
+//!
+//! * [`NullSink`] — the default; `record` is an inlined empty body, so
+//!   untraced runs compile to exactly the code they had before tracing
+//!   existed (no allocation, no branches on the hot path);
+//! * [`CountingSink`] — tallies events per kind, used by the property
+//!   tests that assert traced and untraced runs behave identically;
+//! * [`vcd::VcdSink`] — renders per-PE busy/value waveforms as a Value
+//!   Change Dump viewable in GTKWave;
+//!
+//! while [`chrome::ChromeTrace`] collects coarser task/round spans into
+//! the Chrome trace-event JSON format (load in Perfetto or
+//! `chrome://tracing`).  [`json::Json`] is the shared no-dependency JSON
+//! document type used by the Chrome writer and the `experiments --json`
+//! metrics output.
+//!
+//! All events are `Copy` and carry only integers, so recording never
+//! allocates; sinks that build text do so in pre-owned buffers.
+
+#![forbid(unsafe_code)]
+
+pub mod chrome;
+pub mod json;
+pub mod vcd;
+
+/// One micro-event in a simulated run.
+///
+/// Cycle-scoped events (`PeFire`, `LatchCommit`, bus events, `WordIn`,
+/// `WordOut`) belong to the most recent [`Event::CycleStart`]; sinks
+/// that need timestamps track the current cycle from it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A new clock cycle begins.
+    CycleStart {
+        /// Zero-based cycle index within the run.
+        cycle: u64,
+    },
+    /// A processing element stepped.
+    PeFire {
+        /// PE index within its array.
+        pe: u32,
+        /// Whether the PE did useful work this cycle (drives PU).
+        busy: bool,
+        /// A probe of the PE's visible register, when it exposes one.
+        value: Option<i64>,
+    },
+    /// An inter-PE latch committed its next value (two-phase clock).
+    LatchCommit {
+        /// Link index (`0` = head input, `m` = tail output).
+        link: u32,
+        /// Whether the latch now holds a word.
+        occupied: bool,
+    },
+    /// The shared bus was driven with a word this cycle.
+    BusDrive {
+        /// Station that the circulating token currently selects.
+        station: u32,
+    },
+    /// The bus delivered its word to the token-holding station.
+    BusDeliver {
+        /// Station that received the word.
+        station: u32,
+    },
+    /// The circulating pick-up token moved on.
+    TokenAdvance {
+        /// Station the token left.
+        from: u32,
+        /// Station the token now selects.
+        to: u32,
+    },
+    /// A word entered the array from the host.
+    WordIn,
+    /// A word left the array toward the host.
+    WordOut,
+    /// A scheduled task began on an array.
+    TaskStart {
+        /// Task id (tree node or DAG index).
+        task: u32,
+        /// Array / worker the task runs on.
+        array: u32,
+    },
+    /// A scheduled task finished on an array.
+    TaskEnd {
+        /// Task id (tree node or DAG index).
+        task: u32,
+        /// Array / worker the task ran on.
+        array: u32,
+    },
+}
+
+/// Receives [`Event`]s from a simulated run.
+///
+/// `ENABLED` lets hot loops skip event *construction* entirely when the
+/// sink is a no-op: `if S::ENABLED { sink.record(...) }` folds away for
+/// [`NullSink`] at compile time.
+pub trait TraceSink {
+    /// Whether this sink observes anything at all.
+    const ENABLED: bool = true;
+
+    /// Records one event.
+    fn record(&mut self, event: Event);
+}
+
+/// The zero-overhead default sink: records nothing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn record(&mut self, _event: Event) {}
+}
+
+/// Forwarding through a mutable reference, so call sites can pass
+/// `&mut sink` without consuming the sink.
+impl<S: TraceSink> TraceSink for &mut S {
+    const ENABLED: bool = S::ENABLED;
+
+    #[inline(always)]
+    fn record(&mut self, event: Event) {
+        (**self).record(event);
+    }
+}
+
+/// Tallies events per kind; the cheap sink for tests and sanity checks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CountingSink {
+    /// `CycleStart` events seen.
+    pub cycles: u64,
+    /// `PeFire` events seen (busy or not).
+    pub pe_fires: u64,
+    /// `PeFire` events with `busy == true`.
+    pub busy_fires: u64,
+    /// `LatchCommit` events with `occupied == true`.
+    pub occupied_latches: u64,
+    /// `BusDrive` events seen.
+    pub bus_drives: u64,
+    /// `BusDeliver` events seen.
+    pub bus_delivers: u64,
+    /// `TokenAdvance` events seen.
+    pub token_advances: u64,
+    /// `WordIn` events seen.
+    pub words_in: u64,
+    /// `WordOut` events seen.
+    pub words_out: u64,
+    /// `TaskStart` events seen.
+    pub task_starts: u64,
+    /// `TaskEnd` events seen.
+    pub task_ends: u64,
+}
+
+impl TraceSink for CountingSink {
+    fn record(&mut self, event: Event) {
+        match event {
+            Event::CycleStart { .. } => self.cycles += 1,
+            Event::PeFire { busy, .. } => {
+                self.pe_fires += 1;
+                if busy {
+                    self.busy_fires += 1;
+                }
+            }
+            Event::LatchCommit { occupied, .. } => {
+                if occupied {
+                    self.occupied_latches += 1;
+                }
+            }
+            Event::BusDrive { .. } => self.bus_drives += 1,
+            Event::BusDeliver { .. } => self.bus_delivers += 1,
+            Event::TokenAdvance { .. } => self.token_advances += 1,
+            Event::WordIn => self.words_in += 1,
+            Event::WordOut => self.words_out += 1,
+            Event::TaskStart { .. } => self.task_starts += 1,
+            Event::TaskEnd { .. } => self.task_ends += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_is_disabled() {
+        assert!(!NullSink::ENABLED);
+        assert!(CountingSink::ENABLED);
+        // The forwarding impl keeps the flag of the inner sink.
+        assert!(!<&mut NullSink as TraceSink>::ENABLED);
+        let mut sink = NullSink;
+        sink.record(Event::WordIn);
+    }
+
+    #[test]
+    fn counting_sink_tallies_by_kind() {
+        let mut sink = CountingSink::default();
+        sink.record(Event::CycleStart { cycle: 0 });
+        sink.record(Event::PeFire {
+            pe: 0,
+            busy: true,
+            value: Some(3),
+        });
+        sink.record(Event::PeFire {
+            pe: 1,
+            busy: false,
+            value: None,
+        });
+        sink.record(Event::LatchCommit {
+            link: 1,
+            occupied: true,
+        });
+        sink.record(Event::LatchCommit {
+            link: 2,
+            occupied: false,
+        });
+        sink.record(Event::BusDrive { station: 0 });
+        sink.record(Event::BusDeliver { station: 0 });
+        sink.record(Event::TokenAdvance { from: 0, to: 1 });
+        sink.record(Event::WordIn);
+        sink.record(Event::WordOut);
+        sink.record(Event::TaskStart { task: 4, array: 1 });
+        sink.record(Event::TaskEnd { task: 4, array: 1 });
+        assert_eq!(
+            sink,
+            CountingSink {
+                cycles: 1,
+                pe_fires: 2,
+                busy_fires: 1,
+                occupied_latches: 1,
+                bus_drives: 1,
+                bus_delivers: 1,
+                token_advances: 1,
+                words_in: 1,
+                words_out: 1,
+                task_starts: 1,
+                task_ends: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn events_are_copy_and_small() {
+        // Events must never allocate on the hot path.
+        let e = Event::PeFire {
+            pe: 1,
+            busy: true,
+            value: Some(9),
+        };
+        let f = e; // Copy
+        assert_eq!(e, f);
+        assert!(std::mem::size_of::<Event>() <= 32);
+    }
+}

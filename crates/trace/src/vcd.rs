@@ -1,0 +1,380 @@
+//! A hand-rolled Value Change Dump (IEEE 1364 §18) writer.
+//!
+//! [`VcdSink`] turns the event stream of a simulated run into a VCD
+//! document viewable in GTKWave: one `wire` per PE busy flag and
+//! inter-PE latch, one `integer` per PE probe value, plus pulse wires
+//! for host I/O words and (optionally) the shared-bus signals of §3.2.
+//! Output is fully deterministic — fixed `$date`/`$version` strings,
+//! cycle index as the timestamp, change-only emission — so golden tests
+//! can compare byte-for-byte.
+
+use crate::{Event, TraceSink};
+use std::fmt::Write as _;
+
+/// Signal value: unknown (`x`) until first driven, then a bit pattern.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Value {
+    Unknown,
+    Bits(i64),
+}
+
+struct Signal {
+    name: String,
+    /// Bit width; `1` renders as a scalar wire, wider as a vector.
+    width: u32,
+    /// `wire` or `integer` in the declaration.
+    kind: &'static str,
+    value: Value,
+    /// Pulses reset to `0` at the next `CycleStart`.
+    pulse: bool,
+}
+
+/// Streams events into VCD text; call [`VcdSink::finish`] for the
+/// document.
+pub struct VcdSink {
+    scope: String,
+    signals: Vec<Signal>,
+    /// Signal index of `busy_i` is `busy0 + i`; same for the others.
+    busy0: usize,
+    value0: usize,
+    link0: usize,
+    num_pes: usize,
+    num_links: usize,
+    word_in: usize,
+    word_out: usize,
+    /// `usize::MAX` when the layout has no bus.
+    token: usize,
+    body: String,
+    cycle: u64,
+    /// Whether `#<cycle>` has been written for the current cycle.
+    time_open: bool,
+    saw_cycle: bool,
+}
+
+impl VcdSink {
+    /// A sink for a linear array: `m` PEs and `m + 1` latched links.
+    pub fn for_linear_array(scope: &str, m: usize) -> VcdSink {
+        VcdSink::with_layout(scope, m, m + 1, 0)
+    }
+
+    /// A sink for a 2-D mesh: one busy/value pair per PE, no link or
+    /// bus signals (mesh latches are per-direction and stay internal).
+    pub fn for_mesh(scope: &str, rows: usize, cols: usize) -> VcdSink {
+        VcdSink::with_layout(scope, rows * cols, 0, 0)
+    }
+
+    /// A sink for a linear array attached to a circulating-token bus
+    /// with `stations` stations (Design 3, §3.2).
+    pub fn for_bus_array(scope: &str, m: usize, stations: usize) -> VcdSink {
+        assert!(stations >= 1);
+        VcdSink::with_layout(scope, m, m + 1, stations)
+    }
+
+    /// General layout: `pes` busy/value pairs, `links` latch wires, and
+    /// bus signals when `bus_stations > 0`.
+    pub fn with_layout(scope: &str, pes: usize, links: usize, bus_stations: usize) -> VcdSink {
+        assert!(pes >= 1, "VCD layout needs at least one PE");
+        let mut signals = Vec::new();
+        let mut push = |name: String, width: u32, kind: &'static str, pulse: bool| {
+            signals.push(Signal {
+                name,
+                width,
+                kind,
+                value: Value::Unknown,
+                pulse,
+            });
+        };
+        for i in 0..pes {
+            push(format!("busy_{i}"), 1, "wire", false);
+        }
+        for i in 0..pes {
+            push(format!("value_{i}"), 64, "integer", false);
+        }
+        for i in 0..links {
+            push(format!("link_{i}"), 1, "wire", false);
+        }
+        push("word_in".to_string(), 1, "wire", true);
+        push("word_out".to_string(), 1, "wire", true);
+        let token = if bus_stations > 0 {
+            push("token".to_string(), 32, "integer", false);
+            push("bus_drive".to_string(), 1, "wire", true);
+            push("bus_deliver".to_string(), 1, "wire", true);
+            2 * pes + links + 2
+        } else {
+            usize::MAX
+        };
+        VcdSink {
+            scope: scope.to_string(),
+            signals,
+            busy0: 0,
+            value0: pes,
+            link0: 2 * pes,
+            num_pes: pes,
+            num_links: links,
+            word_in: 2 * pes + links,
+            word_out: 2 * pes + links + 1,
+            token,
+            body: String::new(),
+            cycle: 0,
+            time_open: false,
+            saw_cycle: false,
+        }
+    }
+
+    /// Short printable identifier for signal `idx` (base-94 over
+    /// `!`..`~`, the VCD identifier alphabet).
+    fn id(mut idx: usize) -> String {
+        let mut out = String::new();
+        loop {
+            out.push((b'!' + (idx % 94) as u8) as char);
+            idx /= 94;
+            if idx == 0 {
+                return out;
+            }
+        }
+    }
+
+    fn write_change(out: &mut String, idx: usize, signal: &Signal) {
+        match signal.value {
+            Value::Unknown => {
+                if signal.width == 1 {
+                    let _ = writeln!(out, "x{}", VcdSink::id(idx));
+                } else {
+                    let _ = writeln!(out, "bx {}", VcdSink::id(idx));
+                }
+            }
+            Value::Bits(v) => {
+                if signal.width == 1 {
+                    let _ = writeln!(out, "{}{}", v & 1, VcdSink::id(idx));
+                } else {
+                    let bits = if v < 0 {
+                        // Two's complement at the declared width.
+                        let mask = if signal.width == 64 {
+                            u64::MAX
+                        } else {
+                            (1u64 << signal.width) - 1
+                        };
+                        format!("{:b}", (v as u64) & mask)
+                    } else {
+                        format!("{v:b}")
+                    };
+                    let _ = writeln!(out, "b{bits} {}", VcdSink::id(idx));
+                }
+            }
+        }
+    }
+
+    fn set(&mut self, idx: usize, v: i64) {
+        if self.signals[idx].value == Value::Bits(v) {
+            return;
+        }
+        self.signals[idx].value = Value::Bits(v);
+        if !self.time_open {
+            let _ = writeln!(self.body, "#{}", self.cycle);
+            self.time_open = true;
+        }
+        VcdSink::write_change(&mut self.body, idx, &self.signals[idx]);
+    }
+
+    /// Renders the complete VCD document.
+    pub fn finish(mut self) -> String {
+        let mut out = String::new();
+        out.push_str("$date\n    1985-08-26 (fixed for reproducibility)\n$end\n");
+        out.push_str("$version\n    sdp-trace VCD writer\n$end\n");
+        out.push_str("$timescale\n    1 ns\n$end\n");
+        let _ = writeln!(out, "$scope module {} $end", self.scope);
+        for (idx, s) in self.signals.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "$var {} {} {} {} $end",
+                s.kind,
+                s.width,
+                VcdSink::id(idx),
+                s.name
+            );
+        }
+        out.push_str("$upscope $end\n$enddefinitions $end\n");
+        // Initial values: wires at 0, probes unknown.
+        out.push_str("$dumpvars\n");
+        let mut initial = String::new();
+        for (idx, s) in self.signals.iter().enumerate() {
+            let init = Signal {
+                name: String::new(),
+                width: s.width,
+                kind: s.kind,
+                value: if s.kind == "wire" {
+                    Value::Bits(0)
+                } else {
+                    Value::Unknown
+                },
+                pulse: s.pulse,
+            };
+            VcdSink::write_change(&mut initial, idx, &init);
+        }
+        out.push_str(&initial);
+        out.push_str("$end\n");
+        out.push_str(&self.body);
+        if self.saw_cycle {
+            // Close the final cycle so the last changes get width.
+            let _ = writeln!(out, "#{}", self.cycle + 1);
+        }
+        // Fields only used during streaming.
+        self.body.clear();
+        out
+    }
+}
+
+impl TraceSink for VcdSink {
+    fn record(&mut self, event: Event) {
+        match event {
+            Event::CycleStart { cycle } => {
+                self.cycle = cycle;
+                self.time_open = false;
+                self.saw_cycle = true;
+                for idx in 0..self.signals.len() {
+                    if self.signals[idx].pulse && self.signals[idx].value == Value::Bits(1) {
+                        self.set(idx, 0);
+                    }
+                }
+            }
+            Event::PeFire { pe, busy, value } => {
+                let pe = pe as usize;
+                if pe < self.num_pes {
+                    self.set(self.busy0 + pe, i64::from(busy));
+                    if let Some(v) = value {
+                        self.set(self.value0 + pe, v);
+                    }
+                }
+            }
+            Event::LatchCommit { link, occupied } => {
+                let link = link as usize;
+                if link < self.num_links {
+                    self.set(self.link0 + link, i64::from(occupied));
+                }
+            }
+            Event::BusDrive { .. } => {
+                if self.token != usize::MAX {
+                    self.set(self.token + 1, 1);
+                }
+            }
+            Event::BusDeliver { station } => {
+                if self.token != usize::MAX {
+                    self.set(self.token, i64::from(station));
+                    self.set(self.token + 2, 1);
+                }
+            }
+            Event::TokenAdvance { to, .. } => {
+                if self.token != usize::MAX {
+                    self.set(self.token, i64::from(to));
+                }
+            }
+            Event::WordIn => self.set(self.word_in, 1),
+            Event::WordOut => self.set(self.word_out, 1),
+            Event::TaskStart { .. } | Event::TaskEnd { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_cover_the_vcd_alphabet() {
+        assert_eq!(VcdSink::id(0), "!");
+        assert_eq!(VcdSink::id(93), "~");
+        assert_eq!(VcdSink::id(94), "!\"");
+        assert_ne!(VcdSink::id(200), VcdSink::id(201));
+    }
+
+    #[test]
+    fn header_lists_every_signal() {
+        let sink = VcdSink::for_bus_array("d3", 2, 3);
+        let doc = sink.finish();
+        for name in [
+            "busy_0",
+            "busy_1",
+            "value_0",
+            "value_1",
+            "link_0",
+            "link_1",
+            "link_2",
+            "word_in",
+            "word_out",
+            "token",
+            "bus_drive",
+            "bus_deliver",
+        ] {
+            assert!(doc.contains(name), "missing {name} in:\n{doc}");
+        }
+        assert!(doc.starts_with("$date\n"));
+        assert!(doc.contains("$enddefinitions $end\n$dumpvars\n"));
+    }
+
+    #[test]
+    fn changes_are_emitted_once_per_transition() {
+        let mut sink = VcdSink::for_linear_array("a", 1);
+        sink.record(Event::CycleStart { cycle: 0 });
+        sink.record(Event::PeFire {
+            pe: 0,
+            busy: true,
+            value: Some(5),
+        });
+        sink.record(Event::CycleStart { cycle: 1 });
+        // Same busy value: no change line for cycle 1.
+        sink.record(Event::PeFire {
+            pe: 0,
+            busy: true,
+            value: Some(5),
+        });
+        sink.record(Event::CycleStart { cycle: 2 });
+        sink.record(Event::PeFire {
+            pe: 0,
+            busy: false,
+            value: None,
+        });
+        let doc = sink.finish();
+        let body = doc.split("$end\n").last().unwrap();
+        assert_eq!(body, "#0\n1!\nb101 \"\n#2\n0!\n#3\n");
+    }
+
+    #[test]
+    fn pulses_clear_on_next_cycle() {
+        let mut sink = VcdSink::for_linear_array("a", 1);
+        sink.record(Event::CycleStart { cycle: 0 });
+        sink.record(Event::WordIn);
+        sink.record(Event::CycleStart { cycle: 1 });
+        sink.record(Event::CycleStart { cycle: 2 });
+        let doc = sink.finish();
+        let body = doc.split("$end\n").last().unwrap();
+        // word_in is signal index 4 for a 1-PE linear array → id "%".
+        assert_eq!(body, "#0\n1%\n#1\n0%\n#3\n");
+    }
+
+    #[test]
+    fn bus_signals_track_token_and_pulses() {
+        let mut sink = VcdSink::for_bus_array("d3", 1, 4);
+        sink.record(Event::CycleStart { cycle: 0 });
+        sink.record(Event::BusDrive { station: 0 });
+        sink.record(Event::BusDeliver { station: 0 });
+        sink.record(Event::TokenAdvance { from: 0, to: 1 });
+        sink.record(Event::CycleStart { cycle: 1 });
+        let doc = sink.finish();
+        // token is signal index 6 for this layout → id "'".
+        assert!(doc.contains("b0 '"), "token value change missing:\n{doc}");
+        assert!(doc.contains("b1 '"), "token advance missing:\n{doc}");
+    }
+
+    #[test]
+    fn negative_probe_values_render_as_twos_complement() {
+        let mut sink = VcdSink::for_linear_array("a", 1);
+        sink.record(Event::CycleStart { cycle: 0 });
+        sink.record(Event::PeFire {
+            pe: 0,
+            busy: true,
+            value: Some(-1),
+        });
+        let doc = sink.finish();
+        assert!(doc.contains(&format!("b{} ", "1".repeat(64))), "{doc}");
+    }
+}

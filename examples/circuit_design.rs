@@ -18,9 +18,7 @@ fn main() {
     let levels = 5;
     println!("== circuit voltage assignment ==");
     let net = generate::circuit_voltage(77, points, levels);
-    println!(
-        "{points} circuit points, {levels} candidate voltages each; cost = (dV)^2\n"
-    );
+    println!("{points} circuit points, {levels} candidate voltages each; cost = (dV)^2\n");
     let res = Design3Array::new(levels).run(&net);
     let volts: Vec<i64> = res
         .path
@@ -66,7 +64,10 @@ fn main() {
     let (bf, _) = chain.brute_force();
     assert_eq!(dp2.cost, elim_cost);
     assert_eq!(dp2.cost, bf);
-    println!("grouped-serial DP   : optimum {} (matches elimination & brute force ✓)", dp2.cost);
+    println!(
+        "grouped-serial DP   : optimum {} (matches elimination & brute force ✓)",
+        dp2.cost
+    );
 
     let rec = table1(Formulation::MONADIC_NONSERIAL);
     println!("\nTable 1: {} -> {}", rec.class, rec.method);

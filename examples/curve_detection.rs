@@ -20,9 +20,7 @@ fn main() {
     let (width, height) = (64, 14);
     println!("== curve detection by dynamic programming ==");
     let img = SyntheticImage::generate(2024, width, height, 100, 55);
-    println!(
-        "{width}x{height} image, signal 100, noise <= 55, curvature penalty 3\n"
-    );
+    println!("{width}x{height} image, signal 100, noise <= 55, curvature penalty 3\n");
 
     let cfg = CurveConfig::default();
     let det = img.detect(cfg);

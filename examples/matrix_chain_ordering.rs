@@ -46,8 +46,15 @@ fn main() {
     // 3. the two array mappings
     let bc = simulate_chain_array(&dims, ChainMapping::Broadcast);
     let pl = simulate_chain_array(&dims, ChainMapping::Pipelined);
-    println!("\nbroadcast array: {} steps  (Prop. 2 says T_d(N) = N = {n})", bc.finish);
-    println!("pipelined array: {} steps  (Prop. 3 says T_p(N) = 2N = {})", pl.finish, 2 * n);
+    println!(
+        "\nbroadcast array: {} steps  (Prop. 2 says T_d(N) = N = {n})",
+        bc.finish
+    );
+    println!(
+        "pipelined array: {} steps  (Prop. 3 says T_p(N) = 2N = {})",
+        pl.finish,
+        2 * n
+    );
     assert_eq!(bc.cost, sol.cost);
     assert_eq!(pl.cost, sol.cost);
 

@@ -33,8 +33,16 @@ fn main() {
     let bc = sdp_core::chain_array::simulate_chain_problem(&p, ChainMapping::Broadcast);
     let pl = sdp_core::chain_array::simulate_chain_problem(&p, ChainMapping::Pipelined);
     let gk = GktArray::default().run_problem(&p);
-    println!("\nbroadcast mapping : cost {} in {} steps (T_d = N = {n})", bc.cost, bc.finish);
-    println!("pipelined mapping : cost {} in {} steps (T_p = 2N = {})", pl.cost, pl.finish, 2 * n);
+    println!(
+        "\nbroadcast mapping : cost {} in {} steps (T_d = N = {n})",
+        bc.cost, bc.finish
+    );
+    println!(
+        "pipelined mapping : cost {} in {} steps (T_p = 2N = {})",
+        pl.cost,
+        pl.finish,
+        2 * n
+    );
     println!(
         "GKT triangle      : cost {} in {} cycles, {} operand hops, {} cell ops",
         gk.cost, gk.finish, gk.messages, gk.operations

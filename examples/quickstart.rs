@@ -19,7 +19,10 @@ fn main() {
     // --- edge-cost form: sequential DP vs Designs 1 and 2 --------------
     let g = generate::random_single_source_sink(7, stages, m, 0, 99);
     let dp = solve::forward_dp(&g);
-    println!("sequential forward DP  : cost {} ({} iterations)", dp.cost, dp.iterations);
+    println!(
+        "sequential forward DP  : cost {} ({} iterations)",
+        dp.cost, dp.iterations
+    );
 
     let d1 = Design1Array::new(m).run(g.matrix_string());
     println!(

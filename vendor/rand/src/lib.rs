@@ -1,0 +1,185 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate provides the (small) API surface the workspace actually uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], [`Rng::gen_range`]
+//! over integer ranges, and [`Rng::gen_bool`].  The generator is a
+//! SplitMix64 — deterministic, fast, and statistically adequate for
+//! workload generation (the only use here).  Sequences differ from the
+//! real `rand` crate's `StdRng`; all workspace tests are seed-relative
+//! and self-consistent, so only determinism matters.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types with a uniform sampler (subset of
+/// `rand::distributions::uniform::SampleUniform`).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from the half-open range `[lo, hi)`.
+    fn sample_half_open(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self;
+    /// Uniform draw from the closed range `[lo, hi]`.
+    fn sample_inclusive(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self;
+}
+
+/// Ranges that can be sampled from (subset of
+/// `rand::distributions::uniform::SampleRange`).
+///
+/// The blanket impls over `SampleUniform` mirror the real crate's
+/// structure — one generic impl per range shape — which is what lets
+/// integer-literal ranges unify with the surrounding expression type.
+pub trait SampleRange<T> {
+    /// Draws one value from `rng` uniformly over the range.
+    fn sample_single(self, rng: &mut dyn RngCore) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single(self, rng: &mut dyn RngCore) -> T {
+        assert!(self.start < self.end, "empty range");
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single(self, rng: &mut dyn RngCore) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        T::sample_inclusive(lo, hi, rng)
+    }
+}
+
+/// The raw 64-bit generator interface.
+pub trait RngCore {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing sampling methods (subset of `rand::Rng`).
+pub trait Rng: RngCore + Sized {
+    /// Uniform sample from `range` (half-open or inclusive).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli sample: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        // 53 high bits give a uniform f64 in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(lo: $t, hi: $t, rng: &mut dyn RngCore) -> $t {
+                let span = (hi as i128 - lo as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+            fn sample_inclusive(lo: $t, hi: $t, rng: &mut dyn RngCore) -> $t {
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(i64, u64, i32, u32, usize, i16, u16, i8, u8);
+
+impl SampleUniform for f64 {
+    fn sample_half_open(lo: f64, hi: f64, rng: &mut dyn RngCore) -> f64 {
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + u * (hi - lo)
+    }
+    fn sample_inclusive(lo: f64, hi: f64, rng: &mut dyn RngCore) -> f64 {
+        f64::sample_half_open(lo, hi, rng)
+    }
+}
+
+/// Concrete generators (subset of `rand::rngs`).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for `StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // Pre-advance once so seed 0 does not start at state 0.
+            let mut rng = StdRng {
+                state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+            };
+            rng.next_u64();
+            rng
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0i64..1000), b.gen_range(0i64..1000));
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64)
+            .filter(|_| a.gen_range(0u64..1 << 32) == b.gen_range(0u64..1 << 32))
+            .count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&v));
+            let u = rng.gen_range(3usize..9);
+            assert!((3..9).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_mean() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "hits {hits}");
+    }
+}
