@@ -8,6 +8,7 @@
 //! solved, the multiply tree can be executed as a dataflow graph.
 
 use crate::graph::{AndOrGraph, NodeId};
+use sdp_fault::SdpError;
 use sdp_semiring::Cost;
 
 /// Saturating `r_{i-1}·r_k·r_j` as a finite [`Cost`] — chain products of
@@ -151,6 +152,26 @@ pub fn matrix_chain_order(dims: &[u64]) -> ChainSolution {
     }
 }
 
+/// Non-panicking [`matrix_chain_order`]: `dims` must hold at least two
+/// entries (one matrix) and every dimension must be positive.
+pub fn try_matrix_chain_order(dims: &[u64]) -> Result<ChainSolution, SdpError> {
+    if dims.len() < 2 {
+        return Err(SdpError::BadParameter {
+            name: "dims.len()",
+            got: dims.len() as u64,
+            min: 2,
+        });
+    }
+    if let Some(&bad) = dims.iter().find(|&&d| d == 0) {
+        return Err(SdpError::BadParameter {
+            name: "dims[i]",
+            got: bad,
+            min: 1,
+        });
+    }
+    Ok(matrix_chain_order(dims))
+}
+
 /// Brute-force chain cost by enumerating all parenthesizations
 /// (Catalan-many; oracle for small `n`).
 pub fn chain_brute_force(dims: &[u64]) -> Cost {
@@ -222,6 +243,18 @@ pub fn build_chain_andor(dims: &[u64]) -> ChainAndOr {
         ids,
         root,
     }
+}
+
+/// Non-panicking [`optimal_bst`]: `freq` must name at least one key.
+pub fn try_optimal_bst(freq: &[u64]) -> Result<ChainSolution, SdpError> {
+    if freq.is_empty() {
+        return Err(SdpError::BadParameter {
+            name: "freq.len()",
+            got: 0,
+            min: 1,
+        });
+    }
+    Ok(optimal_bst(freq))
 }
 
 /// Optimal binary search tree DP (the other polyadic problem the paper
@@ -411,6 +444,42 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_dims_rejected() {
         let _ = matrix_chain_order(&[3, 0, 2]);
+    }
+
+    #[test]
+    fn try_variants_return_typed_errors() {
+        assert_eq!(
+            try_matrix_chain_order(&[30, 35, 15, 5, 10, 20, 25]).unwrap(),
+            matrix_chain_order(&[30, 35, 15, 5, 10, 20, 25])
+        );
+        assert_eq!(
+            try_matrix_chain_order(&[3, 0, 2]),
+            Err(SdpError::BadParameter {
+                name: "dims[i]",
+                got: 0,
+                min: 1
+            })
+        );
+        assert_eq!(
+            try_matrix_chain_order(&[7]),
+            Err(SdpError::BadParameter {
+                name: "dims.len()",
+                got: 1,
+                min: 2
+            })
+        );
+        assert_eq!(
+            try_optimal_bst(&[4, 2, 6]).unwrap(),
+            optimal_bst(&[4, 2, 6])
+        );
+        assert_eq!(
+            try_optimal_bst(&[]),
+            Err(SdpError::BadParameter {
+                name: "freq.len()",
+                got: 0,
+                min: 1
+            })
+        );
     }
 
     #[test]

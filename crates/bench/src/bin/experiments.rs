@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of Wah & Li (1985).
 //!
 //! ```text
-//! experiments [all|e1|e2|e3|fig6|prop1|thm1|thm2|prop2|prop3|eq40|table1|e12] [--json]
+//! experiments [all|e1|e2|e3|fig6|prop1|thm1|thm2|prop2|prop3|eq40|table1|e12..e20|degradation] [--json]
 //! ```
 //!
 //! With `--json` the selected experiments are emitted as a single JSON
@@ -43,10 +43,11 @@ fn main() {
         "e18" | "bnb" => vec![ex::report_e18()],
         "e19" | "curve" => vec![ex::report_e19()],
         "e20" | "edit" => vec![ex::report_e20()],
+        "e21" | "degradation" => vec![ex::report_degradation()],
         other => {
             eprintln!(
                 "unknown experiment '{other}'; expected one of: all e1 e2 e3 fig6 \
-                 prop1 thm1 thm2 prop2 prop3 eq40 table1 e12..e20 [--json]"
+                 prop1 thm1 thm2 prop2 prop3 eq40 table1 e12..e20 degradation [--json]"
             );
             std::process::exit(2);
         }

@@ -958,6 +958,150 @@ pub fn report_e20() -> Report {
     report
 }
 
+/// E21 — graceful degradation under seeded faults (robustness
+/// extension; not part of the 1985 artifact set, so excluded from
+/// [`report_all`] to keep `BENCH_pr1.json` stable).
+///
+/// Sweeps a deterministic fault-rate ladder against two recovery
+/// layers: Design 1 under TMR (value faults: transient flips plus
+/// stuck-at latches) and the fault-tolerant divide-and-conquer
+/// executor (worker deaths).  Per rung it reports whether the bare
+/// faulty run was corrupted, whether recovery restored the exact
+/// fault-free answer, the redundancy cost in cycles, and the schedule
+/// inflation + achieved PU of the executor after reassignments.
+pub fn report_degradation() -> Report {
+    use sdp_core::dnc::ParallelExecutor;
+    use sdp_core::resilient::design1_tmr;
+    use sdp_fault::{FaultDomain, FaultPlan, FaultRates, PlanInjector};
+    use sdp_semiring::Matrix;
+    use sdp_trace::CountingSink;
+
+    let mut report = Report::new(
+        "e21",
+        "E21 (robustness extension): graceful degradation under seeded faults\n\
+         Design 1 (m=4, N=6) under TMR; D&C executor (N=12, K=3) with worker\n\
+         deaths recovered by task reassignment.  Seed 2026, fully deterministic.",
+    );
+    report.headers = vec![
+        "faults",
+        "injected",
+        "corrupted",
+        "tmr_ok",
+        "redundant_cycles",
+        "deaths",
+        "reassigned",
+        "rounds",
+        "rounds_ff",
+        "inflation",
+        "pu",
+    ];
+
+    const SEED: u64 = 2026;
+    let m = 4usize;
+    let g = generate::random_single_source_sink(SEED, 6, m, 0, 100);
+    let array = Design1Array::new(m);
+    let clean = array.run(g.matrix_string());
+
+    let n = 12usize; // matrices in the executor string
+    let k = 3usize; // worker arrays
+    let eg = generate::random_uniform(SEED + 1, n + 1, m, 0, 80);
+    let exec_mats = eg.matrix_string();
+    let tasks = exec_mats.len() as u64 - 1;
+    let want_product = Matrix::string_product(exec_mats);
+    let executor = ParallelExecutor::new(k);
+
+    let mut metrics = Vec::new();
+    for &faults in &[0u32, 1, 2, 4, 8] {
+        let rates = FaultRates {
+            transient_flips: faults,
+            stuck_at: faults / 2,
+            worker_deaths: faults.min(4),
+            ..FaultRates::default()
+        };
+        let domain = FaultDomain {
+            pes: m as u32 + 1,
+            cycles: clean.cycles,
+            tasks,
+            ..FaultDomain::default()
+        };
+        let plan = FaultPlan::random(SEED + faults as u64, rates, domain);
+
+        // Bare faulty run: did the planned value faults corrupt the DP
+        // answer (they may be absorbed by the minimization)?
+        let mut sink = CountingSink::default();
+        let faulty = array
+            .run_fault_traced(
+                g.matrix_string(),
+                &mut PlanInjector::new(plan.clone()),
+                &mut sink,
+            )
+            .expect("shapes are valid");
+        let corrupted = faulty.values != clean.values;
+
+        // TMR over the same plan (replica 0 faulty) must restore the
+        // exact fault-free answer.
+        let (voted, tmr_stats) = design1_tmr(
+            &array,
+            g.matrix_string(),
+            &mut PlanInjector::new(plan.clone()),
+            &mut sdp_trace::NullSink,
+        )
+        .expect("TMR over one faulty replica cannot lose the vote");
+        assert_eq!(voted.values, clean.values);
+
+        // Fault-tolerant executor under the same plan's worker deaths.
+        // Injected deaths are delivered as caught panics; silence the
+        // default hook so expected deaths don't spam stderr.
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let exec_run = executor.multiply_string_ft(
+            exec_mats,
+            &mut PlanInjector::new(plan.clone()),
+            &mut sdp_trace::NullSink,
+            3,
+        );
+        std::panic::set_hook(prev_hook);
+        let (product, exec_stats) = exec_run.expect("reassignment recovers every injected death");
+        assert_eq!(product, want_product);
+        let pu = tasks as f64 / (k as u64 * exec_stats.actual_rounds) as f64;
+
+        report.rows.push(vec![
+            format!("{}", plan.len()),
+            format!("{}", sink.faults_injected),
+            format!("{}", if corrupted { "yes" } else { "no" }),
+            "yes".to_string(),
+            format!("{}", tmr_stats.extra_cycles),
+            format!("{}", exec_stats.worker_deaths),
+            format!("{}", exec_stats.reassignments),
+            format!("{}", exec_stats.actual_rounds),
+            format!("{}", exec_stats.baseline_rounds),
+            format!("{:.3}", exec_stats.schedule_inflation()),
+            format!("{pu:.3}"),
+        ]);
+        metrics.push(
+            Json::object()
+                .with("faults_planned", plan.len() as u64)
+                .with("faults_injected", sink.faults_injected)
+                .with("corrupted", corrupted)
+                .with("tmr_recovered", true)
+                .with("tmr_redundant_cycles", tmr_stats.extra_cycles)
+                .with("tmr_mismatches", tmr_stats.mismatches as u64)
+                .with("worker_deaths", exec_stats.worker_deaths as u64)
+                .with("reassignments", exec_stats.reassignments as u64)
+                .with("rounds", exec_stats.actual_rounds)
+                .with("rounds_fault_free", exec_stats.baseline_rounds)
+                .with("schedule_inflation", exec_stats.schedule_inflation())
+                .with("pu", pu),
+        );
+    }
+    report.notes = vec![
+        "tmr_ok: the voted answer equals the fault-free DP values on every rung.".into(),
+        "pu: tasks / (K * rounds) for the executor after death recovery.".into(),
+    ];
+    report.metrics = rows_json(metrics);
+    report
+}
+
 /// Builds every experiment report in order.
 pub fn report_all() -> Vec<Report> {
     vec![

@@ -1,0 +1,34 @@
+//! Golden-file smoke test for the `degradation` fault-injection sweep.
+//!
+//! The experiment is fully deterministic (fixed seed, seeded fault
+//! plans), so its JSON metrics must match the committed fixture byte
+//! for byte.  CI runs this as the fault-injection smoke job: a drift
+//! here means either the fault model, the recovery layers, or the
+//! schedule changed.  Regenerate after an intentional change with:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test -p sdp-bench --test degradation_golden
+//! ```
+
+use sdp_bench::experiments::report_degradation;
+use sdp_bench::reports_to_json;
+
+#[test]
+fn degradation_json_is_byte_identical_to_golden() {
+    // Injected worker deaths arrive as caught panics inside the
+    // experiment; the report itself silences the hook around them.
+    let doc = format!("{}\n", reports_to_json(&[report_degradation()]).render());
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        let file = format!(
+            "{}/tests/golden/degradation.json",
+            env!("CARGO_MANIFEST_DIR")
+        );
+        std::fs::write(&file, &doc).unwrap();
+        return;
+    }
+    assert_eq!(
+        doc,
+        include_str!("golden/degradation.json"),
+        "golden/degradation.json is stale; rerun with GOLDEN_REGEN=1 if the change is intentional"
+    );
+}

@@ -21,9 +21,10 @@
 //! `m` nodes per intermediate stage) the paper charges `N·m` iterations on
 //! `m` PEs (Eq. 9); the simulation reports measured cycles alongside.
 
+use sdp_fault::{FaultInjector, NoFaults, RecoveryStats, SdpError};
 use sdp_semiring::{Cost, Matrix, MinPlus, Semiring};
 use sdp_systolic::{LinearArray, ProcessingElement, Stats};
-use sdp_trace::{NullSink, TraceSink};
+use sdp_trace::{Event, NullSink, TraceSink};
 use std::sync::Arc;
 
 /// Phase schedule entry.
@@ -227,8 +228,20 @@ pub struct Design1Array {
 impl Design1Array {
     /// An array of `m` PEs (one per intermediate-stage vertex).
     pub fn new(m: usize) -> Design1Array {
-        assert!(m >= 1);
-        Design1Array { m }
+        Self::try_new(m).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`new`](Self::new) that reports `m < 1` as a typed error instead
+    /// of panicking.
+    pub fn try_new(m: usize) -> Result<Design1Array, SdpError> {
+        if m < 1 {
+            return Err(SdpError::BadParameter {
+                name: "m",
+                got: m as u64,
+                min: 1,
+            });
+        }
+        Ok(Design1Array { m })
     }
 
     /// Runs the array on a matrix string shaped
@@ -248,30 +261,127 @@ impl Design1Array {
         mats: &[Matrix<MinPlus>],
         sink: &mut S,
     ) -> Design1Result {
+        self.try_run_traced(mats, sink)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`run`](Self::run) that reports malformed strings as a typed
+    /// error instead of panicking.
+    pub fn try_run(&self, mats: &[Matrix<MinPlus>]) -> Result<Design1Result, SdpError> {
+        self.try_run_traced(mats, &mut NullSink)
+    }
+
+    /// [`run_traced`](Self::run_traced) with typed errors.
+    pub fn try_run_traced<S: TraceSink>(
+        &self,
+        mats: &[Matrix<MinPlus>],
+        sink: &mut S,
+    ) -> Result<Design1Result, SdpError> {
+        self.run_core(mats, &mut NoFaults, sink, None)
+    }
+
+    /// [`try_run_traced`](Self::try_run_traced) with a [`FaultInjector`]
+    /// corrupting PE output words as they cross the inter-PE latches.
+    /// Faults perturb *values* only (the pipeline never wedges), so the
+    /// run completes and returns a possibly wrong [`Design1Result`] —
+    /// detection and recovery live in [`crate::resilient`].
+    pub fn run_fault_traced<S: TraceSink, F: FaultInjector>(
+        &self,
+        mats: &[Matrix<MinPlus>],
+        injector: &mut F,
+        sink: &mut S,
+    ) -> Result<Design1Result, SdpError> {
+        self.run_core(mats, injector, sink, None)
+    }
+
+    /// Spare-column remapping: runs the string on a physical array of
+    /// `m + 1` PEs with the known-faulty column `failed_pe` fused out
+    /// (bypassed to a one-cycle wire) and its work shifted one column
+    /// toward the spare — the 1985 VLSI repair strategy for a stuck PE
+    /// found by test.  The injector still targets *physical* columns, so
+    /// a plan faulting `failed_pe` is routed around and cannot corrupt
+    /// the run.
+    ///
+    /// Emits a `PeRemapped { failed, spare }` event and returns the
+    /// result alongside [`RecoveryStats`] whose `extra_cycles` is the
+    /// measured makespan cost of the longer pipeline (baseline/actual
+    /// rounds hold the fault-free and remapped cycle counts).
+    pub fn run_with_spare_traced<S: TraceSink, F: FaultInjector>(
+        &self,
+        mats: &[Matrix<MinPlus>],
+        failed_pe: usize,
+        injector: &mut F,
+        sink: &mut S,
+    ) -> Result<(Design1Result, RecoveryStats), SdpError> {
+        if failed_pe > self.m {
+            return Err(SdpError::BadParameter {
+                name: "failed_pe",
+                got: failed_pe as u64,
+                min: 0,
+            });
+        }
+        let baseline = self.run_core(mats, &mut NoFaults, &mut NullSink, None)?;
+        if S::ENABLED {
+            sink.record(Event::PeRemapped {
+                failed: failed_pe as u32,
+                spare: self.m as u32,
+            });
+        }
+        let res = self.run_core(mats, injector, sink, Some(failed_pe))?;
+        let stats = RecoveryStats {
+            baseline_rounds: baseline.cycles,
+            actual_rounds: res.cycles,
+            extra_cycles: res.cycles.saturating_sub(baseline.cycles),
+            ..RecoveryStats::default()
+        };
+        Ok((res, stats))
+    }
+
+    /// Validates the string shape and runs the pipelined simulation.
+    /// `spare_for = Some(f)` builds `m + 1` physical columns with
+    /// physical column `f` bypassed (logical PEs shift past it).
+    fn run_core<S: TraceSink, F: FaultInjector>(
+        &self,
+        mats: &[Matrix<MinPlus>],
+        injector: &mut F,
+        sink: &mut S,
+        spare_for: Option<usize>,
+    ) -> Result<Design1Result, SdpError> {
         let m = self.m;
-        assert!(!mats.is_empty(), "empty matrix string");
+        if mats.is_empty() {
+            return Err(SdpError::EmptyMatrixString);
+        }
         let has_row = mats[0].rows() == 1 && m > 1;
         let has_col = mats[mats.len() - 1].cols() == 1 && m > 1;
-        assert!(
-            mats.len() >= has_row as usize + has_col as usize,
-            "matrix string too short for its degenerate end shapes \
-             ({} matrices for m = {m})",
-            mats.len()
-        );
+        if mats.len() < has_row as usize + has_col as usize {
+            return Err(SdpError::StringTooShort {
+                got: mats.len(),
+                need: has_row as usize + has_col as usize,
+            });
+        }
         let mid_range = (has_row as usize)..(mats.len() - has_col as usize);
-        let mid_src = &mats[mid_range];
-        for mat in mid_src {
-            assert_eq!(
-                (mat.rows(), mat.cols()),
-                (m, m),
-                "interior matrices must be m x m"
-            );
+        let mid_src = &mats[mid_range.clone()];
+        for (off, mat) in mid_src.iter().enumerate() {
+            if (mat.rows(), mat.cols()) != (m, m) {
+                return Err(SdpError::NotSquare {
+                    index: mid_range.start + off,
+                    m,
+                });
+            }
         }
-        if has_row {
-            assert_eq!(mats[0].cols(), m);
+        if has_row && mats[0].cols() != m {
+            return Err(SdpError::WrongStageWidth {
+                stage: 0,
+                m,
+                got: mats[0].cols(),
+            });
         }
-        if has_col {
-            assert_eq!(mats[mats.len() - 1].rows(), m);
+        if has_col && mats[mats.len() - 1].rows() != m {
+            return Err(SdpError::WrongStageWidth {
+                stage: mats.len() - 1,
+                m,
+                got: mats[mats.len() - 1].rows(),
+            });
         }
 
         // Initial vector: the degenerate last column, or the all-one
@@ -286,12 +396,12 @@ impl Design1Array {
         // the column itself is the per-source answer.
         let p_count_probe = mid_src.len();
         if p_count_probe == 0 && !has_row {
-            return Design1Result {
+            return Ok(Design1Result {
                 values: v0.iter().map(|v| v.0).collect(),
                 cycles: 0,
                 paper_iterations: (mats.len() * m) as u64,
                 stats: sdp_systolic::Stats::new(m),
-            };
+            });
         }
 
         // Phases consume interior matrices right-to-left, alternating.
@@ -347,17 +457,36 @@ impl Design1Array {
             }
         }
 
-        // Drive the array cycle by cycle.
-        let mut array = LinearArray::new(
-            (0..m)
+        // Drive the array cycle by cycle.  With a spare, the physical
+        // array has m + 1 columns; logical PE `l` sits at physical
+        // column `l` before the fused-out column and `l + 1` after it.
+        let physical = |l: usize| match spare_for {
+            Some(f) if l >= f => l + 1,
+            _ => l,
+        };
+        let pes: Vec<Design1Pe> = match spare_for {
+            None => (0..m)
                 .map(|i| Design1Pe::new(i, Arc::clone(&feed)))
                 .collect(),
-        );
+            Some(f) => (0..=m)
+                .map(|p| {
+                    // Logical index for physical column p (the bypassed
+                    // column's PE is never stepped; index is unused).
+                    let logical = if p < f { p } else { p.saturating_sub(1) };
+                    Design1Pe::new(logical.min(m - 1), Arc::clone(&feed))
+                })
+                .collect(),
+        };
+        let mut array = LinearArray::new(pes);
+        if let Some(f) = spare_for {
+            array.set_bypass(f, true);
+        }
+        let columns = array.len() as u64;
         let total_items = plan.len();
         let mut tail_out: Vec<Option<MinPlus>> = vec![None; total_items];
         let mut injected = 0usize;
         let mut drained = 0usize;
-        let budget = (total_items + 2) as u64 * (m as u64 + 2) + 16;
+        let budget = (total_items + 2) as u64 * (columns + 2) + 16;
         while drained < total_items {
             let head = if injected < total_items {
                 let ready = match plan[injected] {
@@ -371,7 +500,7 @@ impl Design1Array {
             } else {
                 None
             };
-            if let Some(out) = array.cycle_traced(head, |_| (), |_| (), sink) {
+            if let Some(out) = array.cycle_fault_traced(head, |_| (), |_| (), injector, sink) {
                 tail_out[drained] = Some(out);
                 drained += 1;
             }
@@ -381,7 +510,8 @@ impl Design1Array {
             );
         }
 
-        // Extract results.
+        // Extract results (register reads go through the logical →
+        // physical column map).
         let last = *phases.last().expect("at least one phase");
         let values: Vec<Cost> = match last {
             Phase::Moving => {
@@ -391,15 +521,15 @@ impl Design1Array {
             Phase::FinalRowMoving => {
                 vec![tail_out[total_items - 1].unwrap().0]
             }
-            Phase::Stationary => array.pes().iter().map(|pe| pe.r()).collect(),
-            Phase::FinalRowHead => vec![array.pes()[0].r()],
+            Phase::Stationary => (0..m).map(|l| array.pes()[physical(l)].r()).collect(),
+            Phase::FinalRowHead => vec![array.pes()[physical(0)].r()],
         };
-        Design1Result {
+        Ok(Design1Result {
             values,
             cycles: array.stats().cycles(),
             paper_iterations: (mats.len() * m) as u64,
             stats: array.stats().clone(),
-        }
+        })
     }
 }
 
@@ -550,5 +680,75 @@ mod tests {
         // error and must fail with a message, not a slice-range panic.
         let one = Matrix::from_rows(1, 1, vec![MinPlus::from(4)]);
         let _ = Design1Array::new(3).run(&[one]);
+    }
+
+    #[test]
+    fn try_run_reports_shape_errors() {
+        let arr = Design1Array::new(3);
+        assert!(matches!(arr.try_run(&[]), Err(SdpError::EmptyMatrixString)));
+        let bad = Matrix::<MinPlus>::zeros(2, 2);
+        assert!(matches!(
+            arr.try_run(&[bad]),
+            Err(SdpError::NotSquare { index: 0, m: 3 })
+        ));
+        let one = Matrix::from_rows(1, 1, vec![MinPlus::from(4)]);
+        assert!(matches!(
+            arr.try_run(&[one]),
+            Err(SdpError::StringTooShort { got: 1, need: 2 })
+        ));
+        assert!(matches!(
+            Design1Array::try_new(0),
+            Err(SdpError::BadParameter { name: "m", .. })
+        ));
+    }
+
+    #[test]
+    fn fault_free_injector_reproduces_plain_run() {
+        use sdp_fault::NoFaults;
+        let g = generate::random_single_source_sink(5, 6, 4, 0, 30);
+        let arr = Design1Array::new(4);
+        let plain = arr.run(g.matrix_string());
+        let faulted = arr
+            .run_fault_traced(g.matrix_string(), &mut NoFaults, &mut NullSink)
+            .unwrap();
+        assert_eq!(plain.values, faulted.values);
+        assert_eq!(plain.cycles, faulted.cycles);
+        assert_eq!(plain.stats, faulted.stats);
+    }
+
+    #[test]
+    fn stuck_pe_corrupts_then_spare_recovers() {
+        use sdp_fault::{Fault, FaultPlan, PlanInjector};
+        use sdp_trace::CountingSink;
+        let g = generate::random_single_source_sink(11, 6, 4, 5, 30);
+        let arr = Design1Array::new(4);
+        let clean = arr.run(g.matrix_string());
+        let plan = FaultPlan::new().with(Fault::StuckAt {
+            pe: 2,
+            cycle: 0,
+            value: 0,
+        });
+        // The stuck column silently corrupts the DP value...
+        let mut inj = PlanInjector::new(plan.clone());
+        let faulty = arr
+            .run_fault_traced(g.matrix_string(), &mut inj, &mut NullSink)
+            .unwrap();
+        assert_ne!(faulty.optimum(), clean.optimum());
+        // ...spare-column remapping restores the exact answer, at a
+        // measured makespan cost.
+        let mut inj = PlanInjector::new(plan);
+        let mut sink = CountingSink::default();
+        let (fixed, rstats) = arr
+            .run_with_spare_traced(g.matrix_string(), 2, &mut inj, &mut sink)
+            .unwrap();
+        assert_eq!(fixed.optimum(), clean.optimum());
+        assert_eq!(fixed.values, clean.values);
+        assert!(
+            rstats.extra_cycles > 0,
+            "spare column adds pipeline latency"
+        );
+        assert_eq!(rstats.extra_cycles, fixed.cycles - clean.cycles);
+        assert_eq!(sink.pes_remapped, 1);
+        assert_eq!(sink.faults_injected, 0, "bypass shields the stuck column");
     }
 }

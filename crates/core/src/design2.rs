@@ -13,6 +13,7 @@
 //! simplification buys uniform data formatting at the price of a bus that
 //! must reach every PE in one cycle.
 
+use sdp_fault::{FaultInjector, FaultyWord, NoFaults, SdpError};
 use sdp_semiring::{Cost, Matrix, MinPlus, Semiring};
 use sdp_systolic::Stats;
 use sdp_trace::{Event, NullSink, TraceSink};
@@ -65,8 +66,20 @@ pub struct Design2Array {
 impl Design2Array {
     /// An array of `m` PEs.
     pub fn new(m: usize) -> Design2Array {
-        assert!(m >= 1);
-        Design2Array { m }
+        Self::try_new(m).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`new`](Self::new) that reports `m < 1` as a typed error instead
+    /// of panicking.
+    pub fn try_new(m: usize) -> Result<Design2Array, SdpError> {
+        if m < 1 {
+            return Err(SdpError::BadParameter {
+                name: "m",
+                got: m as u64,
+                min: 1,
+            });
+        }
+        Ok(Design2Array { m })
     }
 
     /// Runs the array on a matrix string shaped `[1×m]? [m×m]* [m×1]?`
@@ -83,17 +96,55 @@ impl Design2Array {
         mats: &[Matrix<MinPlus>],
         sink: &mut S,
     ) -> Design2Result {
+        self.try_run_traced(mats, sink)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`run`](Self::run) that reports malformed strings as a typed
+    /// error instead of panicking.
+    pub fn try_run(&self, mats: &[Matrix<MinPlus>]) -> Result<Design2Result, SdpError> {
+        self.try_run_traced(mats, &mut NullSink)
+    }
+
+    /// [`run_traced`](Self::run_traced) with typed errors.
+    pub fn try_run_traced<S: TraceSink>(
+        &self,
+        mats: &[Matrix<MinPlus>],
+        sink: &mut S,
+    ) -> Result<Design2Result, SdpError> {
+        self.run_fault_traced(mats, &mut NoFaults, sink)
+    }
+
+    /// [`try_run_traced`](Self::try_run_traced) with a [`FaultInjector`]
+    /// corrupting the candidate words PEs read off the broadcast bus
+    /// (value faults only — control flow never wedges).  With
+    /// [`NoFaults`] this is exactly the fault-free run.
+    pub fn run_fault_traced<S: TraceSink, F: FaultInjector>(
+        &self,
+        mats: &[Matrix<MinPlus>],
+        injector: &mut F,
+        sink: &mut S,
+    ) -> Result<Design2Result, SdpError> {
         let m = self.m;
-        assert!(!mats.is_empty(), "empty matrix string");
+        if mats.is_empty() {
+            return Err(SdpError::EmptyMatrixString);
+        }
         let has_row = mats[0].rows() == 1 && m > 1;
         let has_col = mats[mats.len() - 1].cols() == 1 && m > 1;
+        if mats.len() < has_row as usize + has_col as usize {
+            return Err(SdpError::StringTooShort {
+                got: mats.len(),
+                need: has_row as usize + has_col as usize,
+            });
+        }
         let interior = &mats[(has_row as usize)..(mats.len() - has_col as usize)];
-        for mat in interior {
-            assert_eq!(
-                (mat.rows(), mat.cols()),
-                (m, m),
-                "interior matrices must be m x m"
-            );
+        for (off, mat) in interior.iter().enumerate() {
+            if (mat.rows(), mat.cols()) != (m, m) {
+                return Err(SdpError::NotSquare {
+                    index: has_row as usize + off,
+                    m,
+                });
+            }
         }
 
         let mut pes = vec![
@@ -122,10 +173,9 @@ impl Design2Array {
             let mut arg: Vec<Option<usize>> = vec![None; m];
             for (j, &x) in source.iter().enumerate() {
                 broadcast_words += 1;
+                let now = stats.cycles();
                 if S::ENABLED {
-                    sink.record(Event::CycleStart {
-                        cycle: stats.cycles(),
-                    });
+                    sink.record(Event::CycleStart { cycle: now });
                     sink.record(Event::WordIn);
                     sink.record(Event::BusDrive { station: j as u32 });
                 }
@@ -133,7 +183,18 @@ impl Design2Array {
                 stats.record_input_word();
                 stats.record_bus_word();
                 for (i, pe) in pes.iter_mut().enumerate() {
-                    let cand = mat.get(i, j).mul(x);
+                    let mut cand = mat.get(i, j).mul(x);
+                    if F::ENABLED {
+                        if let Some(fault) = injector.pe_fault(i as u32, now) {
+                            if S::ENABLED {
+                                sink.record(Event::FaultInjected {
+                                    kind: fault.kind(),
+                                    site: i as u32,
+                                });
+                            }
+                            cand = cand.apply(fault);
+                        }
+                    }
                     if cand.0 < pe.acc.0 {
                         pe.acc = cand;
                         arg[i] = Some(j);
@@ -165,17 +226,27 @@ impl Design2Array {
             let mut acc = MinPlus::zero();
             for (j, &x) in source.iter().enumerate() {
                 broadcast_words += 1;
+                let now = stats.cycles();
                 if S::ENABLED {
-                    sink.record(Event::CycleStart {
-                        cycle: stats.cycles(),
-                    });
+                    sink.record(Event::CycleStart { cycle: now });
                     sink.record(Event::WordIn);
                     sink.record(Event::BusDrive { station: j as u32 });
                 }
                 stats.record_cycle();
                 stats.record_input_word();
                 stats.record_bus_word();
-                let cand = row[j].mul(x);
+                let mut cand = row[j].mul(x);
+                if F::ENABLED {
+                    if let Some(fault) = injector.pe_fault(0, now) {
+                        if S::ENABLED {
+                            sink.record(Event::FaultInjected {
+                                kind: fault.kind(),
+                                site: 0,
+                            });
+                        }
+                        cand = cand.apply(fault);
+                    }
+                }
                 if cand.0 < acc.0 {
                     acc = cand;
                     start_choice = Some(j);
@@ -233,14 +304,14 @@ impl Design2Array {
         }
         .filter(|p| !p.is_empty());
 
-        Design2Result {
+        Ok(Design2Result {
             values,
             path,
             cycles: stats.cycles(),
             paper_iterations: (mats.len() * m) as u64,
             stats,
             broadcast_words,
-        }
+        })
     }
 }
 
@@ -337,6 +408,48 @@ mod tests {
             let path = res.path.clone().expect("path");
             assert_eq!(solve::path_cost(&g, &path), res.optimum(), "seed {seed}");
         }
+    }
+
+    #[test]
+    fn try_run_reports_shape_errors() {
+        let arr = Design2Array::new(3);
+        assert!(matches!(arr.try_run(&[]), Err(SdpError::EmptyMatrixString)));
+        let bad = Matrix::<MinPlus>::zeros(2, 2);
+        assert!(matches!(
+            arr.try_run(&[bad]),
+            Err(SdpError::NotSquare { index: 0, m: 3 })
+        ));
+        assert!(matches!(
+            Design2Array::try_new(0),
+            Err(SdpError::BadParameter { name: "m", .. })
+        ));
+    }
+
+    #[test]
+    fn injected_fault_perturbs_and_no_faults_is_identity() {
+        use sdp_fault::{Fault, FaultPlan, NoFaults, PlanInjector};
+        use sdp_trace::CountingSink;
+        let g = generate::random_single_source_sink(6, 6, 4, 5, 30);
+        let arr = Design2Array::new(4);
+        let clean = arr.run(g.matrix_string());
+        let same = arr
+            .run_fault_traced(g.matrix_string(), &mut NoFaults, &mut NullSink)
+            .unwrap();
+        assert_eq!(clean.values, same.values);
+        assert_eq!(clean.cycles, same.cycles);
+        let plan = FaultPlan::new().with(Fault::StuckAt {
+            pe: 1,
+            cycle: 0,
+            value: 0,
+        });
+        let mut inj = PlanInjector::new(plan);
+        let mut sink = CountingSink::default();
+        let faulty = arr
+            .run_fault_traced(g.matrix_string(), &mut inj, &mut sink)
+            .unwrap();
+        assert_ne!(faulty.optimum(), clean.optimum());
+        assert!(sink.faults_injected > 0);
+        assert_eq!(faulty.cycles, clean.cycles, "value faults never stall");
     }
 
     #[test]

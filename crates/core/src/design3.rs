@@ -21,6 +21,7 @@
 //! simulation reproduces cycle-for-cycle.  Optional path registers in
 //! `Pₘ` record each step's argmin for traceback.
 
+use sdp_fault::{FaultInjector, FaultyWord, NoFaults, SdpError};
 use sdp_multistage::node_value::EdgeCostFn;
 use sdp_multistage::NodeValueGraph;
 use sdp_semiring::Cost;
@@ -38,6 +39,26 @@ struct Item {
     arg: Option<usize>,
     /// True for the final comparison token (the paper's `F = 0` mode).
     final_token: bool,
+}
+
+/// Faults corrupt the cost payload `h` only — the routing state
+/// (`final_token`, path register word) is control logic the 1985 fault
+/// model keeps intact, so a faulty PE yields a wrong value, never a
+/// wedged pipeline.
+impl FaultyWord for Item {
+    fn flip_bit(self, bit: u32) -> Item {
+        Item {
+            h: self.h.flip_bit(bit),
+            ..self
+        }
+    }
+
+    fn stuck_at(self, value: i64) -> Item {
+        Item {
+            h: self.h.stuck_at(value),
+            ..self
+        }
+    }
 }
 
 /// One PE of Design 3 (Fig. 5(b)).
@@ -134,8 +155,20 @@ pub struct Design3Array {
 impl Design3Array {
     /// An array of `m` PEs (one per quantized value per stage).
     pub fn new(m: usize) -> Design3Array {
-        assert!(m >= 1);
-        Design3Array { m }
+        Self::try_new(m).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`new`](Self::new) that reports `m < 1` as a typed error instead
+    /// of panicking.
+    pub fn try_new(m: usize) -> Result<Design3Array, SdpError> {
+        if m < 1 {
+            return Err(SdpError::BadParameter {
+                name: "m",
+                got: m as u64,
+                min: 1,
+            });
+        }
+        Ok(Design3Array { m })
     }
 
     /// Runs the array on a node-value graph whose stages all hold exactly
@@ -160,10 +193,48 @@ impl Design3Array {
     /// sink and folds word/rotation counts into the array's [`Stats`]
     /// (so `stats.bus_words()` in the result covers the feedback bus).
     pub fn run_traced<S: TraceSink>(&self, g: &NodeValueGraph, sink: &mut S) -> Design3Result {
+        self.try_run_traced(g, sink)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`run`](Self::run) that reports a malformed graph (a stage whose
+    /// width is not `m`) as a typed error instead of panicking.
+    pub fn try_run(&self, g: &NodeValueGraph) -> Result<Design3Result, SdpError> {
+        self.try_run_traced(g, &mut NullSink)
+    }
+
+    /// [`run_traced`](Self::run_traced) with typed errors.
+    pub fn try_run_traced<S: TraceSink>(
+        &self,
+        g: &NodeValueGraph,
+        sink: &mut S,
+    ) -> Result<Design3Result, SdpError> {
+        self.run_fault_traced(g, &mut NoFaults, sink)
+    }
+
+    /// [`try_run_traced`](Self::try_run_traced) with a [`FaultInjector`]
+    /// exercising both fault surfaces of Fig. 5: PE output words in the
+    /// R-pipeline (payload `h` only — routing state stays intact) and
+    /// the feedback token bus (dropped/corrupted words, lost
+    /// rotations).  Faults degrade values, never the schedule, so the
+    /// run always terminates; an unrecoverable traceback yields an
+    /// empty path rather than a panic.
+    pub fn run_fault_traced<S: TraceSink, F: FaultInjector>(
+        &self,
+        g: &NodeValueGraph,
+        injector: &mut F,
+        sink: &mut S,
+    ) -> Result<Design3Result, SdpError> {
         let m = self.m;
         let n = g.num_stages();
         for s in 0..n {
-            assert_eq!(g.stage_size(s), m, "stage {s} must have m = {m} values");
+            if g.stage_size(s) != m {
+                return Err(SdpError::WrongStageWidth {
+                    stage: s,
+                    m,
+                    got: g.stage_size(s),
+                });
+            }
         }
         let mut array = LinearArray::new(
             (0..m)
@@ -176,7 +247,10 @@ impl Design3Array {
                 })
                 .collect::<Vec<_>>(),
         );
-        let mut bus: TokenBus<(usize, i64, Cost)> = TokenBus::new(m);
+        // Bus word: (h, (stage, x)) — the cost payload leads so the
+        // generic pair impl of `FaultyWord` corrupts it and leaves the
+        // stage tag and node value (routing state) intact.
+        let mut bus: TokenBus<(Cost, (usize, i64))> = TokenBus::new(m);
 
         // Input schedule: stage k, vertex j enters the head at cycle
         // k·m + j; the single comparison token follows at cycle N·m.
@@ -191,7 +265,7 @@ impl Design3Array {
         while answer.is_none() {
             // 1. settle last cycle's feedback onto a PE (ext delivery);
             //    bus accounting folds into the array's own Stats.
-            let delivery = bus.settle_traced(array.stats_mut(), sink);
+            let delivery = bus.settle_fault_traced(array.stats_mut(), injector, sink);
             // 2. head injection per the static schedule.
             let head = if injected < total_inputs {
                 let cycle = injected; // contiguous schedule: one word/cycle
@@ -219,10 +293,11 @@ impl Design3Array {
                 None
             };
             // 3. clock the array.
-            let out = array.cycle_traced(
+            let out = array.cycle_fault_traced(
                 head,
-                |i| delivery.and_then(|(st, w)| if st == i { Some(w) } else { None }),
+                |i| delivery.and_then(|(st, (h, (stage, x)))| (st == i).then_some((stage, x, h))),
                 |_| (),
+                injector,
                 sink,
             );
             // 4. route the tail: stage results feed back; the comparison
@@ -240,7 +315,7 @@ impl Design3Array {
                     if stage == n - 1 {
                         finals.push(item.h);
                     }
-                    bus.drive_traced((stage, item.x, item.h), sink);
+                    bus.drive_traced((item.h, (stage, item.x)), sink);
                 }
             }
         }
@@ -258,18 +333,28 @@ impl Design3Array {
                 .unwrap_or(0);
             let mut path = vec![0usize; n];
             path[n - 1] = best;
+            let mut complete = true;
             for k in (1..n).rev() {
                 let p = path_regs[k][path[k]];
-                assert!(p != usize::MAX, "missing path register entry");
+                if p == usize::MAX {
+                    // Only possible under fault injection: a corrupted
+                    // cost left a register unwritten.  Report no path.
+                    complete = false;
+                    break;
+                }
                 path[k - 1] = p;
             }
-            path
+            if complete {
+                path
+            } else {
+                Vec::new()
+            }
         } else {
             Vec::new()
         };
 
         let f_evaluations = array.pes().iter().map(|p| p.f_evals).sum();
-        Design3Result {
+        Ok(Design3Result {
             cost,
             finals,
             path,
@@ -278,7 +363,7 @@ impl Design3Array {
             input_words,
             f_evaluations,
             stats: array.stats().clone(),
-        }
+        })
     }
 }
 
@@ -464,6 +549,68 @@ mod tests {
     fn wrong_width_rejected() {
         let g = generate::traffic_light(1, 4, 3);
         let _ = Design3Array::new(4).run(&g);
+    }
+
+    #[test]
+    fn try_run_reports_wrong_width() {
+        let g = generate::traffic_light(1, 4, 3);
+        assert!(matches!(
+            Design3Array::new(4).try_run(&g),
+            Err(SdpError::WrongStageWidth {
+                stage: 0,
+                m: 4,
+                got: 3
+            })
+        ));
+        assert!(matches!(
+            Design3Array::try_new(0),
+            Err(SdpError::BadParameter { name: "m", .. })
+        ));
+    }
+
+    #[test]
+    fn no_faults_run_is_identical() {
+        use sdp_fault::NoFaults;
+        use sdp_trace::CountingSink;
+        let g = generate::circuit_voltage(3, 5, 3);
+        let arr = Design3Array::new(3);
+        let mut sink_a = CountingSink::default();
+        let mut sink_b = CountingSink::default();
+        let plain = arr.run_traced(&g, &mut sink_a);
+        let faulted = arr
+            .run_fault_traced(&g, &mut NoFaults, &mut sink_b)
+            .unwrap();
+        assert_eq!(plain.cost, faulted.cost);
+        assert_eq!(plain.finals, faulted.finals);
+        assert_eq!(plain.path, faulted.path);
+        assert_eq!(plain.cycles, faulted.cycles);
+        assert_eq!(sink_a, sink_b);
+    }
+
+    #[test]
+    fn injected_faults_degrade_values_without_wedging() {
+        use sdp_fault::{Fault, FaultPlan, PlanInjector};
+        use sdp_trace::CountingSink;
+        let g = generate::circuit_voltage(8, 6, 4);
+        let arr = Design3Array::new(4);
+        let clean = arr.run(&g);
+        // A stuck PE, a dropped feedback word, and a lost rotation all
+        // at once: the schedule must still terminate in the same cycle
+        // count, with (likely) degraded values.
+        let plan = FaultPlan::new()
+            .with(Fault::StuckAt {
+                pe: 1,
+                cycle: 0,
+                value: 0,
+            })
+            .with(Fault::DropBusWord { word: 3 })
+            .with(Fault::LoseTokenRotation { rotation: 7 });
+        let mut inj = PlanInjector::new(plan);
+        let mut sink = CountingSink::default();
+        let faulty = arr.run_fault_traced(&g, &mut inj, &mut sink).unwrap();
+        assert_eq!(faulty.cycles, clean.cycles, "faults never stall the clock");
+        assert!(sink.faults_injected >= 3);
+        assert_ne!(faulty.finals, clean.finals);
     }
 
     #[test]

@@ -15,11 +15,14 @@
 //!   the same binary-tree schedule on real cores and cross-checks the
 //!   result against the sequential string product.
 
+use sdp_fault::{FaultInjector, RecoveryStats, SdpError};
 use sdp_semiring::{Matrix, Semiring};
 use sdp_systolic::scheduler::{eq29_kt2, eq29_time, Schedule, TreeScheduler};
 use sdp_trace::chrome::ChromeTrace;
 use sdp_trace::json::Json;
-use std::time::Instant;
+use sdp_trace::{Event, FaultKind, TraceSink};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
 /// One row of the Figure 6 sweep.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -44,8 +47,27 @@ pub struct GranularityPoint {
 /// assert_eq!(sweep[430].kt2, 139644);
 /// ```
 pub fn granularity_sweep(n: u64, k_max: u64) -> Vec<GranularityPoint> {
-    assert!(n >= 2 && k_max >= 1);
-    (1..=k_max)
+    try_granularity_sweep(n, k_max).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`granularity_sweep`] that reports malformed parameters (`n < 2` or
+/// `k_max < 1`) as a typed error instead of panicking.
+pub fn try_granularity_sweep(n: u64, k_max: u64) -> Result<Vec<GranularityPoint>, SdpError> {
+    if n < 2 {
+        return Err(SdpError::BadParameter {
+            name: "n",
+            got: n,
+            min: 2,
+        });
+    }
+    if k_max < 1 {
+        return Err(SdpError::BadParameter {
+            name: "k_max",
+            got: k_max,
+            min: 1,
+        });
+    }
+    Ok((1..=k_max)
         .map(|k| {
             let t = eq29_time(n, k);
             GranularityPoint {
@@ -55,7 +77,7 @@ pub fn granularity_sweep(n: u64, k_max: u64) -> Vec<GranularityPoint> {
                 pu: TreeScheduler.simulate(n, k).processor_utilization(),
             }
         })
-        .collect()
+        .collect())
 }
 
 /// The `K` minimizing `K·T²` over `[1, k_max]` (ties: smallest `K`),
@@ -71,9 +93,21 @@ pub fn optimal_granularity(n: u64, k_max: u64) -> (u64, u64) {
 /// `PU(k, N)` for `k = max(1, round(c · N / log₂N))` via the greedy
 /// schedule — the quantity of Proposition 1, whose limit is `1/(1+c)`.
 pub fn pu_asymptotic(n: u64, c: f64) -> f64 {
-    assert!(n >= 4);
+    try_pu_asymptotic(n, c).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`pu_asymptotic`] that reports `n < 4` as a typed error instead of
+/// panicking.
+pub fn try_pu_asymptotic(n: u64, c: f64) -> Result<f64, SdpError> {
+    if n < 4 {
+        return Err(SdpError::BadParameter {
+            name: "n",
+            got: n,
+            min: 4,
+        });
+    }
     let k = ((c * n as f64 / (n as f64).log2()).round() as u64).max(1);
-    TreeScheduler.simulate(n, k).processor_utilization()
+    Ok(TreeScheduler.simulate(n, k).processor_utilization())
 }
 
 /// `S·T²` with `T` from Eq. 29 — Theorem 1's figure of merit
@@ -103,13 +137,37 @@ pub struct ParallelExecutor {
 impl ParallelExecutor {
     /// An executor over `k` worker threads.
     pub fn new(k: usize) -> ParallelExecutor {
-        assert!(k >= 1);
-        ParallelExecutor { k }
+        Self::try_new(k).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`new`](Self::new) that reports `k < 1` as a typed error instead
+    /// of panicking.
+    pub fn try_new(k: usize) -> Result<ParallelExecutor, SdpError> {
+        if k < 1 {
+            return Err(SdpError::BadParameter {
+                name: "k",
+                got: k as u64,
+                min: 1,
+            });
+        }
+        Ok(ParallelExecutor { k })
     }
 
     /// Multiplies the string by rounds of pairwise products.  Returns the
     /// product and the number of rounds (the measured schedule length).
     pub fn multiply_string<S: Semiring>(&self, mats: &[Matrix<S>]) -> (Matrix<S>, u64) {
+        self.try_multiply_string(mats)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`multiply_string`](Self::multiply_string) with typed errors: an
+    /// empty string or a worker task that panics becomes an `Err`
+    /// instead of a panic (the panic is contained per task, so the
+    /// scoped join always completes and the host survives).
+    pub fn try_multiply_string<S: Semiring>(
+        &self,
+        mats: &[Matrix<S>],
+    ) -> Result<(Matrix<S>, u64), SdpError> {
         self.run(mats, None)
     }
 
@@ -123,7 +181,9 @@ impl ParallelExecutor {
         mats: &[Matrix<S>],
     ) -> (Matrix<S>, u64, ChromeTrace) {
         let mut trace = ChromeTrace::new();
-        let (product, rounds) = self.run(mats, Some(&mut trace));
+        let (product, rounds) = self
+            .run(mats, Some(&mut trace))
+            .unwrap_or_else(|e| panic!("{e}"));
         (product, rounds, trace)
     }
 
@@ -131,11 +191,14 @@ impl ParallelExecutor {
         &self,
         mats: &[Matrix<S>],
         mut trace: Option<&mut ChromeTrace>,
-    ) -> (Matrix<S>, u64) {
-        assert!(!mats.is_empty());
+    ) -> Result<(Matrix<S>, u64), SdpError> {
+        if mats.is_empty() {
+            return Err(SdpError::EmptyMatrixString);
+        }
         let t0 = Instant::now();
         let mut layer: Vec<Matrix<S>> = mats.to_vec();
         let mut rounds = 0u64;
+        let mut task_base = 0u64;
         while layer.len() > 1 {
             rounds += 1;
             // Pair up the first 2·t matrices this round, carrying the rest
@@ -154,7 +217,11 @@ impl ParallelExecutor {
                     let timing = timing_slots.next();
                     scope.spawn(move || {
                         let start = timed.then(|| t0.elapsed().as_micros() as u64);
-                        *slot = Some(a.mul(b));
+                        // Contain a task panic inside its own thread so
+                        // the scoped join never re-raises it: the host
+                        // observes an unfilled slot instead of unwinding
+                        // (or aborting on a double panic) mid-join.
+                        *slot = catch_unwind(AssertUnwindSafe(|| a.mul(b))).ok();
                         if let (Some(start), Some(timing)) = (start, timing) {
                             *timing = Some((start, t0.elapsed().as_micros() as u64));
                         }
@@ -163,7 +230,10 @@ impl ParallelExecutor {
             });
             if let Some(trace) = trace.as_deref_mut() {
                 for (tid, timing) in timings.iter().enumerate() {
-                    let (start, end) = timing.expect("worker recorded its span");
+                    // A panicked worker leaves no span.
+                    let Some((start, end)) = *timing else {
+                        continue;
+                    };
                     trace.complete_with_args(
                         "multiply",
                         "host",
@@ -175,6 +245,13 @@ impl ParallelExecutor {
                     );
                 }
             }
+            if let Some(slot) = products.iter().position(|p| p.is_none()) {
+                return Err(SdpError::TaskPanicked {
+                    task: task_base + slot as u64,
+                    attempts: 1,
+                });
+            }
+            task_base += t as u64;
             let rest = layer.split_off(2 * t);
             layer = products
                 .into_iter()
@@ -182,7 +259,145 @@ impl ParallelExecutor {
                 .chain(rest)
                 .collect();
         }
-        (layer.pop().expect("one matrix remains"), rounds)
+        Ok((layer.pop().expect("one matrix remains"), rounds))
+    }
+
+    /// Fault-tolerant divide-and-conquer execution.
+    ///
+    /// Runs the same synchronous-round schedule as
+    /// [`multiply_string`](Self::multiply_string), but consults a
+    /// [`FaultInjector`] for worker deaths (`Fault::KillWorker` by
+    /// global task ordinal), contains every task panic — injected or
+    /// real — with `catch_unwind`, and re-executes orphaned tasks in a
+    /// recovery wave with bounded retry and exponential backoff.  Each
+    /// retry re-consults the injector under the same task ordinal, so a
+    /// plan can kill the retry too.
+    ///
+    /// Fault traffic is reported to `sink` (`FaultInjected` on an
+    /// injected death, `FaultDetected` when the host finds the unfilled
+    /// slot, `TaskReassigned` per retry), and the returned
+    /// [`RecoveryStats`] captures retries, reassignments, and the
+    /// schedule-length inflation versus the fault-free round count.
+    ///
+    /// Fails with [`SdpError::TaskPanicked`] when a task stays faulty
+    /// through `max_retries` reassignments.
+    pub fn multiply_string_ft<S: Semiring, F: FaultInjector, K: TraceSink>(
+        &self,
+        mats: &[Matrix<S>],
+        injector: &mut F,
+        sink: &mut K,
+        max_retries: u32,
+    ) -> Result<(Matrix<S>, RecoveryStats), SdpError> {
+        if mats.is_empty() {
+            return Err(SdpError::EmptyMatrixString);
+        }
+        let mut stats = RecoveryStats {
+            baseline_rounds: TreeScheduler
+                .simulate(mats.len() as u64, self.k as u64)
+                .rounds,
+            ..RecoveryStats::default()
+        };
+        let mut layer: Vec<Matrix<S>> = mats.to_vec();
+        let mut task_base = 0u64;
+        while layer.len() > 1 {
+            stats.actual_rounds += 1;
+            let t = (layer.len() / 2).min(self.k.max(1));
+            // Decide injected deaths on the host (the injector is not
+            // shared across worker threads).
+            let deaths: Vec<bool> = (0..t)
+                .map(|slot| F::ENABLED && injector.worker_dies(task_base + slot as u64))
+                .collect();
+            for (slot, &dies) in deaths.iter().enumerate() {
+                if dies {
+                    stats.worker_deaths += 1;
+                    if K::ENABLED {
+                        sink.record(Event::FaultInjected {
+                            kind: FaultKind::WorkerDeath,
+                            site: (task_base + slot as u64) as u32,
+                        });
+                    }
+                }
+            }
+            let mut products: Vec<Option<Matrix<S>>> = vec![None; t];
+            std::thread::scope(|scope| {
+                for ((slot, product), chunk) in
+                    products.iter_mut().enumerate().zip(layer.chunks(2).take(t))
+                {
+                    let (a, b) = (&chunk[0], &chunk[1]);
+                    let dies = deaths[slot];
+                    scope.spawn(move || {
+                        *product = catch_unwind(AssertUnwindSafe(|| {
+                            if dies {
+                                panic!("injected worker death");
+                            }
+                            a.mul(b)
+                        }))
+                        .ok();
+                    });
+                }
+            });
+            // Recovery wave: re-execute every orphaned task with
+            // bounded retry + backoff.
+            let mut recovered_any = false;
+            for slot in 0..t {
+                if products[slot].is_some() {
+                    continue;
+                }
+                let task = task_base + slot as u64;
+                stats.panics_caught += 1;
+                if K::ENABLED {
+                    sink.record(Event::FaultDetected {
+                        kind: FaultKind::WorkerDeath,
+                        site: task as u32,
+                    });
+                }
+                let (a, b) = (&layer[2 * slot], &layer[2 * slot + 1]);
+                let mut attempts = 0u32;
+                while products[slot].is_none() {
+                    if attempts >= max_retries {
+                        return Err(SdpError::TaskPanicked { task, attempts });
+                    }
+                    attempts += 1;
+                    stats.retries += 1;
+                    stats.reassignments += 1;
+                    let to = (slot + attempts as usize) % self.k.max(1);
+                    if K::ENABLED {
+                        sink.record(Event::TaskReassigned {
+                            task: task as u32,
+                            from: slot as u32,
+                            to: to as u32,
+                        });
+                    }
+                    // Exponential backoff before the reassigned attempt.
+                    std::thread::sleep(Duration::from_micros(1u64 << attempts.min(10)));
+                    let dies = F::ENABLED && injector.worker_dies(task);
+                    products[slot] = catch_unwind(AssertUnwindSafe(|| {
+                        if dies {
+                            panic!("injected worker death");
+                        }
+                        a.mul(b)
+                    }))
+                    .ok();
+                    if products[slot].is_none() {
+                        stats.panics_caught += 1;
+                    }
+                }
+                recovered_any = true;
+            }
+            if recovered_any {
+                // The recovery wave serializes after the round barrier:
+                // it costs one extra synchronous round.
+                stats.actual_rounds += 1;
+            }
+            task_base += t as u64;
+            let rest = layer.split_off(2 * t);
+            layer = products
+                .into_iter()
+                .map(|p| p.expect("slot filled"))
+                .chain(rest)
+                .collect();
+        }
+        Ok((layer.pop().expect("one matrix remains"), stats))
     }
 }
 
@@ -369,5 +584,104 @@ mod tests {
         let (prod, rounds) = ParallelExecutor::new(4).multiply_string(&mats);
         assert_eq!(prod, mats[0]);
         assert_eq!(rounds, 0);
+    }
+
+    #[test]
+    fn empty_string_is_a_typed_error() {
+        let mats: Vec<Matrix<MinPlus>> = Vec::new();
+        assert!(matches!(
+            ParallelExecutor::new(2).try_multiply_string(&mats),
+            Err(SdpError::EmptyMatrixString)
+        ));
+        assert!(matches!(
+            ParallelExecutor::try_new(0),
+            Err(SdpError::BadParameter { name: "k", .. })
+        ));
+    }
+
+    #[test]
+    fn worker_panic_is_contained_and_typed() {
+        // A 2x2 · 3x3 product panics inside the worker ("inner
+        // dimensions").  The scoped join must complete and the host must
+        // see a typed error, not an unwind or abort.
+        let mats = vec![
+            Matrix::from_fn(2, 2, |_, _| MinPlus::from(1)),
+            Matrix::from_fn(3, 3, |_, _| MinPlus::from(1)),
+        ];
+        let got = ParallelExecutor::new(2).try_multiply_string(&mats);
+        assert!(matches!(
+            got,
+            Err(SdpError::TaskPanicked {
+                task: 0,
+                attempts: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn injected_worker_death_is_recovered() {
+        use sdp_fault::{Fault, FaultPlan, PlanInjector};
+        use sdp_trace::CountingSink;
+        let mats = rand_mats(7, 8, 4);
+        let plan = FaultPlan::new()
+            .with(Fault::KillWorker { task: 1 })
+            .with(Fault::KillWorker { task: 5 });
+        let mut inj = PlanInjector::new(plan);
+        let mut sink = CountingSink::default();
+        let (prod, stats) = ParallelExecutor::new(3)
+            .multiply_string_ft(&mats, &mut inj, &mut sink, 3)
+            .expect("recovered");
+        assert_eq!(prod, Matrix::string_product(&mats));
+        assert_eq!(stats.worker_deaths, 2);
+        assert_eq!(stats.reassignments, 2);
+        assert!(stats.any_faults());
+        assert!(stats.actual_rounds > stats.baseline_rounds);
+        assert!(stats.schedule_inflation() > 1.0);
+        assert_eq!(sink.faults_injected, 2);
+        assert_eq!(sink.faults_detected, 2);
+        assert_eq!(sink.tasks_reassigned, 2);
+    }
+
+    #[test]
+    fn ft_with_no_faults_matches_plain_run() {
+        use sdp_fault::NoFaults;
+        use sdp_trace::NullSink;
+        let mats = rand_mats(9, 8, 3);
+        let exec = ParallelExecutor::new(3);
+        let (plain, rounds) = exec.multiply_string(&mats);
+        let (ft, stats) = exec
+            .multiply_string_ft(&mats, &mut NoFaults, &mut NullSink, 0)
+            .expect("fault-free run");
+        assert_eq!(plain, ft);
+        assert!(!stats.any_faults());
+        assert_eq!(stats.actual_rounds, rounds);
+        assert_eq!(stats.actual_rounds, stats.baseline_rounds);
+        assert_eq!(stats.schedule_inflation(), 1.0);
+    }
+
+    #[test]
+    fn persistent_death_exhausts_retries() {
+        use sdp_trace::NullSink;
+        /// Kills task 0 on every attempt, forever.
+        struct AlwaysKillTask0;
+        impl FaultInjector for AlwaysKillTask0 {
+            fn worker_dies(&mut self, task: u64) -> bool {
+                task == 0
+            }
+        }
+        let mats = rand_mats(3, 4, 2);
+        let got = ParallelExecutor::new(2).multiply_string_ft(
+            &mats,
+            &mut AlwaysKillTask0,
+            &mut NullSink,
+            2,
+        );
+        assert!(matches!(
+            got,
+            Err(SdpError::TaskPanicked {
+                task: 0,
+                attempts: 2
+            })
+        ));
     }
 }

@@ -15,6 +15,7 @@
 //! its own value (the neighbour's "north") and the value it received from
 //! the **west** (the neighbour's "north-west").
 
+use sdp_fault::{FaultInjector, NoFaults, SdpError};
 use sdp_systolic::{Mesh2D, MeshProcessingElement, Stats};
 use sdp_trace::{NullSink, TraceSink};
 
@@ -89,17 +90,47 @@ pub fn edit_distance_mesh(a: &[u8], b: &[u8]) -> EditRun {
 /// [`edit_distance_mesh`] with an event sink; PE indices in the emitted
 /// events are row-major over the `|a| × |b|` mesh.
 pub fn edit_distance_mesh_traced<S: TraceSink>(a: &[u8], b: &[u8], sink: &mut S) -> EditRun {
+    try_edit_distance_mesh_traced(a, b, sink).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Non-panicking [`edit_distance_mesh`].
+pub fn try_edit_distance_mesh(a: &[u8], b: &[u8]) -> Result<EditRun, SdpError> {
+    try_edit_distance_mesh_traced(a, b, &mut NullSink)
+}
+
+/// Non-panicking [`edit_distance_mesh_traced`].
+pub fn try_edit_distance_mesh_traced<S: TraceSink>(
+    a: &[u8],
+    b: &[u8],
+    sink: &mut S,
+) -> Result<EditRun, SdpError> {
+    edit_distance_fault_traced(a, b, &mut NoFaults, sink)
+}
+
+/// [`edit_distance_mesh_traced`] under fault injection.  Both mesh word
+/// types (`u64` east, `(u64, u64)` south) carry the cell value in the
+/// leading position, so injected faults perturb `D[i][j]` while the
+/// piggybacked west value and the wavefront timing stay intact: a faulty
+/// run finishes in the same `|a| + |b| − 1` cycles with a (possibly)
+/// wrong distance — exactly the silent-data-corruption model the
+/// recovery wrappers detect.
+pub fn edit_distance_fault_traced<F: FaultInjector, S: TraceSink>(
+    a: &[u8],
+    b: &[u8],
+    injector: &mut F,
+    sink: &mut S,
+) -> Result<EditRun, SdpError> {
     if a.is_empty() || b.is_empty() {
         // No mesh is built and no cycle runs, so the stats must report
         // zero PEs — not a phantom idle processor.
-        return EditRun {
+        return Ok(EditRun {
             distance: (a.len() + b.len()) as u64,
             cycles: 0,
             stats: Stats::new(0),
-        };
+        });
     }
     let (p, q) = (a.len(), b.len());
-    let mut mesh = Mesh2D::new(
+    let mut mesh = Mesh2D::try_new(
         p,
         q,
         (0..p)
@@ -111,17 +142,18 @@ pub fn edit_distance_mesh_traced<S: TraceSink>(a: &[u8], b: &[u8], sink: &mut S)
                 busy: false,
             })
             .collect::<Vec<_>>(),
-    );
+    )?;
     let total = (p + q - 1) as u64;
     let mut result = None;
     for t in 0..total {
         // Boundary injections arrive exactly on the wavefront:
         // cell (r, 0) computes at cycle r and needs D[r][-1] = r + 1;
         // cell (0, c) needs (D[-1][c], D[-1][c-1]) = (c + 1, c).
-        let (east, south) = mesh.cycle_traced(
+        let (east, south) = mesh.cycle_fault_traced(
             |r| (r as u64 == t).then(|| r as u64 + 1),
             |c| (c as u64 == t).then(|| (c as u64 + 1, c as u64)),
             |_, _| (),
+            injector,
             sink,
         );
         // The apex value leaves the east edge of the last row (or the
@@ -133,11 +165,13 @@ pub fn edit_distance_mesh_traced<S: TraceSink>(a: &[u8], b: &[u8], sink: &mut S)
             result = Some(d);
         }
     }
-    EditRun {
+    // Value faults never suppress a firing (the corrupt hook rewrites
+    // payloads, it cannot drop mesh words), so the apex always emits.
+    Ok(EditRun {
         distance: result.expect("apex cell fired on the last cycle"),
         cycles: mesh.stats().cycles(),
         stats: mesh.stats().clone(),
-    }
+    })
 }
 
 /// Reference sequential edit distance (full-table DP oracle).
@@ -236,6 +270,42 @@ mod tests {
         let run = edit_distance_mesh(b"abcd", b"xyz");
         let busy: u64 = (0..12).map(|i| run.stats.busy(i)).sum();
         assert_eq!(busy, 12);
+    }
+
+    #[test]
+    fn no_faults_run_matches_plain() {
+        use sdp_trace::CountingSink;
+        let plain = edit_distance_mesh(b"kitten", b"sitting");
+        let mut sink = CountingSink::default();
+        let run =
+            edit_distance_fault_traced(b"kitten", b"sitting", &mut sdp_fault::NoFaults, &mut sink)
+                .unwrap();
+        assert_eq!(run.distance, plain.distance);
+        assert_eq!(run.cycles, plain.cycles);
+        assert_eq!(sink.faults_injected, 0);
+        assert_eq!(sink.cycles, plain.cycles);
+    }
+
+    #[test]
+    fn stuck_at_pe_corrupts_distance_without_stalling() {
+        use sdp_fault::{Fault, FaultPlan, PlanInjector};
+        use sdp_trace::CountingSink;
+        let clean = edit_distance_mesh(b"kitten", b"sitting");
+        // Pin the top-left cell's output to 40: every downstream cell
+        // inherits the inflated prefix cost.
+        let plan = FaultPlan::new().with(Fault::StuckAt {
+            pe: 0,
+            cycle: 0,
+            value: 40,
+        });
+        let mut inj = PlanInjector::new(plan);
+        let mut sink = CountingSink::default();
+        let faulty =
+            edit_distance_fault_traced(b"kitten", b"sitting", &mut inj, &mut sink).unwrap();
+        assert_ne!(faulty.distance, clean.distance);
+        // Faults degrade values, never the wavefront schedule.
+        assert_eq!(faulty.cycles, clean.cycles);
+        assert!(sink.faults_injected > 0);
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub mod edit_array;
 pub mod gkt;
 pub mod matmul_array;
 pub mod nonserial_array;
+pub mod resilient;
 
 pub use classify::{Arity, Formulation, Recommendation, Seriality};
 pub use design1::Design1Array;

@@ -18,6 +18,7 @@
 //! divide-and-conquer scheduler so Eq. 29's abstract `T₁` can be stated
 //! in real cycles.
 
+use sdp_fault::{FaultInjector, FaultyWord, SdpError};
 use sdp_semiring::{Matrix, Semiring};
 use sdp_systolic::{Mesh2D, MeshProcessingElement, Stats};
 use sdp_trace::{Event, NullSink, TraceSink};
@@ -80,7 +81,67 @@ impl MatmulArray {
         b: &Matrix<S>,
         sink: &mut K,
     ) -> MatmulRun<S> {
-        assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+        Self::try_multiply_traced(a, b, sink).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`multiply`](Self::multiply) that reports mismatched inner
+    /// dimensions as a typed error instead of panicking.
+    pub fn try_multiply<S: Semiring>(
+        a: &Matrix<S>,
+        b: &Matrix<S>,
+    ) -> Result<MatmulRun<S>, SdpError> {
+        Self::try_multiply_traced(a, b, &mut NullSink)
+    }
+
+    /// [`multiply_traced`](Self::multiply_traced) with typed errors.
+    pub fn try_multiply_traced<S: Semiring, K: TraceSink>(
+        a: &Matrix<S>,
+        b: &Matrix<S>,
+        sink: &mut K,
+    ) -> Result<MatmulRun<S>, SdpError> {
+        // Not routed through the fault path: that would demand
+        // `S: FaultyWord` of every caller, and the plain mesh never
+        // consults an injector anyway.
+        Self::run_mesh(a, b, sink, |mesh, west, north, sink| {
+            mesh.cycle_traced(west, north, |_, _| (), sink);
+        })
+    }
+
+    /// [`try_multiply_traced`](Self::try_multiply_traced) with a
+    /// [`FaultInjector`] corrupting the operand words a PE drives east
+    /// and south (requires a corruptible word type).  With
+    /// [`sdp_fault::NoFaults`] this is exactly the fault-free mesh run.
+    pub fn multiply_fault_traced<S: Semiring + FaultyWord, F: FaultInjector, K: TraceSink>(
+        a: &Matrix<S>,
+        b: &Matrix<S>,
+        injector: &mut F,
+        sink: &mut K,
+    ) -> Result<MatmulRun<S>, SdpError> {
+        Self::run_mesh(a, b, sink, |mesh, west, north, sink| {
+            mesh.cycle_fault_traced(west, north, |_, _| (), injector, sink);
+        })
+    }
+
+    /// Shared mesh driver: `clock` advances the mesh one cycle given the
+    /// west/north feeders (the fault and fault-free paths differ only in
+    /// which engine entry point they clock).
+    fn run_mesh<S: Semiring, K: TraceSink>(
+        a: &Matrix<S>,
+        b: &Matrix<S>,
+        sink: &mut K,
+        mut clock: impl FnMut(
+            &mut Mesh2D<MacPe<S>>,
+            &mut dyn FnMut(usize) -> Option<S>,
+            &mut dyn FnMut(usize) -> Option<S>,
+            &mut K,
+        ),
+    ) -> Result<MatmulRun<S>, SdpError> {
+        if a.cols() != b.rows() {
+            return Err(SdpError::InnerDimMismatch {
+                left_cols: a.cols(),
+                right_rows: b.rows(),
+            });
+        }
         let (p, q, r) = (a.rows(), a.cols(), b.cols());
         let mut mesh = Mesh2D::new(
             p,
@@ -94,27 +155,27 @@ impl MatmulArray {
         );
         let total = Self::t1(p, q, r);
         for t in 0..total {
-            mesh.cycle_traced(
-                |i| {
+            clock(
+                &mut mesh,
+                &mut |i| {
                     // a_{i,k} enters row i at cycle i + k
                     let k = t as i64 - i as i64;
                     (0..q as i64).contains(&k).then(|| a.get(i, k as usize))
                 },
-                |j| {
+                &mut |j| {
                     // b_{k,j} enters column j at cycle j + k
                     let k = t as i64 - j as i64;
                     (0..q as i64).contains(&k).then(|| b.get(k as usize, j))
                 },
-                |_, _| (),
                 sink,
             );
         }
         let product = Matrix::from_fn(p, r, |i, j| mesh.pe(i, j).acc);
-        MatmulRun {
+        Ok(MatmulRun {
             product,
             cycles: mesh.stats().cycles(),
             stats: mesh.stats().clone(),
-        }
+        })
     }
 
     /// Multiplies an entire string by the §4 divide-and-conquer schedule
@@ -135,14 +196,34 @@ impl MatmulArray {
         k: u64,
         sink: &mut K,
     ) -> (Matrix<S>, u64) {
-        assert!(!mats.is_empty());
+        Self::try_multiply_string_dnc_traced(mats, k, sink).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`multiply_string_dnc`](Self::multiply_string_dnc) that reports
+    /// an empty or non-square string as a typed error instead of
+    /// panicking.
+    pub fn try_multiply_string_dnc<S: Semiring>(
+        mats: &[Matrix<S>],
+        k: u64,
+    ) -> Result<(Matrix<S>, u64), SdpError> {
+        Self::try_multiply_string_dnc_traced(mats, k, &mut NullSink)
+    }
+
+    /// [`multiply_string_dnc_traced`](Self::multiply_string_dnc_traced)
+    /// with typed errors.
+    pub fn try_multiply_string_dnc_traced<S: Semiring, K: TraceSink>(
+        mats: &[Matrix<S>],
+        k: u64,
+        sink: &mut K,
+    ) -> Result<(Matrix<S>, u64), SdpError> {
+        if mats.is_empty() {
+            return Err(SdpError::EmptyMatrixString);
+        }
         let m = mats[0].rows();
-        for mat in mats {
-            assert_eq!(
-                (mat.rows(), mat.cols()),
-                (m, m),
-                "need square m x m matrices"
-            );
+        for (index, mat) in mats.iter().enumerate() {
+            if (mat.rows(), mat.cols()) != (m, m) {
+                return Err(SdpError::NotSquare { index, m });
+            }
         }
         let t1 = Self::t1(m, m, m);
         let mut layer: Vec<Matrix<S>> = mats.to_vec();
@@ -180,7 +261,7 @@ impl MatmulArray {
             round += 1;
             layer = products.into_iter().chain(rest).collect();
         }
-        (layer.pop().expect("one matrix remains"), cycles)
+        Ok((layer.pop().expect("one matrix remains"), cycles))
     }
 }
 
@@ -286,6 +367,55 @@ mod tests {
         let a = rand_mat(1, 2, 3);
         let b = rand_mat(2, 2, 2);
         let _ = MatmulArray::multiply(&a, &b);
+    }
+
+    #[test]
+    fn try_multiply_reports_typed_errors() {
+        let a = rand_mat(1, 2, 3);
+        let b = rand_mat(2, 2, 2);
+        assert!(matches!(
+            MatmulArray::try_multiply(&a, &b),
+            Err(SdpError::InnerDimMismatch {
+                left_cols: 3,
+                right_rows: 2
+            })
+        ));
+        let empty: Vec<Matrix<MinPlus>> = Vec::new();
+        assert!(matches!(
+            MatmulArray::try_multiply_string_dnc(&empty, 2),
+            Err(SdpError::EmptyMatrixString)
+        ));
+        let mixed = vec![rand_mat(1, 2, 2), rand_mat(2, 3, 3)];
+        assert!(matches!(
+            MatmulArray::try_multiply_string_dnc(&mixed, 2),
+            Err(SdpError::NotSquare { index: 1, m: 2 })
+        ));
+    }
+
+    #[test]
+    fn mesh_fault_injection_corrupts_product() {
+        use sdp_fault::{Fault, FaultPlan, NoFaults, PlanInjector};
+        use sdp_trace::CountingSink;
+        let a = rand_mat(21, 3, 3);
+        let b = rand_mat(22, 3, 3);
+        let clean = MatmulArray::multiply(&a, &b);
+        // NoFaults path is bit-identical.
+        let same =
+            MatmulArray::multiply_fault_traced(&a, &b, &mut NoFaults, &mut NullSink).unwrap();
+        assert_eq!(same.product, clean.product);
+        assert_eq!(same.stats, clean.stats);
+        // A stuck PE in the mesh interior corrupts the crossing operands.
+        let plan = FaultPlan::new().with(Fault::StuckAt {
+            pe: 4, // centre of the 3×3 mesh
+            cycle: 0,
+            value: 0,
+        });
+        let mut inj = PlanInjector::new(plan);
+        let mut sink = CountingSink::default();
+        let faulty = MatmulArray::multiply_fault_traced(&a, &b, &mut inj, &mut sink).unwrap();
+        assert_ne!(faulty.product, clean.product);
+        assert_eq!(faulty.cycles, clean.cycles, "faults never stall the mesh");
+        assert!(sink.faults_injected > 0);
     }
 
     #[test]

@@ -1,0 +1,40 @@
+//! Fault injection, detection, and recovery for the systolic stack.
+//!
+//! The paper's figures of merit (PU, S·T², the Eq. 29 schedule length)
+//! assume every PE, latch, and bus fires perfectly every cycle.  This
+//! crate turns the simulator into an instrument for the opposite case:
+//!
+//! * [`FaultPlan`] — a deterministic, seed-driven list of failures
+//!   (transient bit flips, stuck-at PE outputs, dropped/corrupted bus
+//!   words, lost token rotations, worker deaths);
+//! * [`FaultInjector`] — the hook trait the `sdp-systolic` engine
+//!   consults on its hot paths, with a zero-overhead [`NoFaults`]
+//!   default mirroring `sdp-trace`'s `TraceSink`/`NullSink` pattern
+//!   (`const ENABLED` folds the hooks away at compile time);
+//! * [`PlanInjector`] — the stateful injector that replays a
+//!   [`FaultPlan`] against a run;
+//! * [`recover`] — detection/recovery combinators: recompute-on-mismatch
+//!   (catches transients) and triple-modular-redundancy voting (catches
+//!   any single faulty replica), both panic-safe, reporting
+//!   [`RecoveryStats`];
+//! * [`SdpError`] — the typed error returned by the workspace's public
+//!   API boundaries instead of panicking on malformed input.
+//!
+//! Injected and detected faults surface as `sdp_trace::Event`
+//! (`FaultInjected`, `FaultDetected`, `TaskReassigned`, `PeRemapped`),
+//! so recovery is visible in the same VCD/Chrome exports as the
+//! fault-free micro-architecture.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod inject;
+pub mod plan;
+pub mod recover;
+
+pub use error::SdpError;
+pub use inject::{BusFault, FaultInjector, FaultyWord, NoFaults, PeFault, PlanInjector};
+pub use plan::{Fault, FaultDomain, FaultPlan, FaultRates};
+pub use recover::{recompute_on_mismatch, tmr, tmr_vote, RecoveryStats};
+pub use sdp_trace::FaultKind;

@@ -1,0 +1,306 @@
+//! Deterministic, seed-driven fault plans.
+//!
+//! A [`FaultPlan`] is an explicit list of failures to inject into a run.
+//! Plans are plain data: the same plan replayed against the same
+//! simulation produces bit-identical behaviour, which is what makes
+//! degradation sweeps and golden-file CI checks possible.  Plans are
+//! either built fault-by-fault (for targeted tests) or drawn from a
+//! seeded generator ([`FaultPlan::random`]) for rate sweeps.
+
+use sdp_trace::FaultKind;
+
+/// One failure to inject, in 1985 VLSI terms.
+///
+/// Indices are *ordinals within one run*: `cycle` counts array clock
+/// cycles, `word` counts bus words driven, `rotation` counts token
+/// advances, `task` counts scheduled tasks — all from 0.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Flip `bit` of the first word PE `pe` emits at or after `cycle`
+    /// (a transient alpha-particle upset; fires exactly once).
+    TransientFlip {
+        /// Target PE index.
+        pe: u32,
+        /// Earliest cycle the flip may fire.
+        cycle: u64,
+        /// Bit position to flip in the word's payload.
+        bit: u32,
+    },
+    /// From `cycle` on, every word PE `pe` emits has its payload stuck
+    /// at `value` (a permanent stuck-at fault in the output latch).
+    StuckAt {
+        /// Target PE index.
+        pe: u32,
+        /// First cycle the latch is stuck.
+        cycle: u64,
+        /// The value the latch is stuck at.
+        value: i64,
+    },
+    /// The `word`-th word driven on the shared bus never arrives.
+    DropBusWord {
+        /// Bus-word ordinal (0-based, counted per run).
+        word: u64,
+    },
+    /// The `word`-th bus word is delivered with `bit` flipped.
+    CorruptBusWord {
+        /// Bus-word ordinal (0-based, counted per run).
+        word: u64,
+        /// Bit position to flip in the word's payload.
+        bit: u32,
+    },
+    /// The `rotation`-th token advance is lost: the word is delivered
+    /// but the circulating token stays put.
+    LoseTokenRotation {
+        /// Token-rotation ordinal (0-based, counted per run).
+        rotation: u64,
+    },
+    /// The worker executing scheduled task `task` dies (panics) instead
+    /// of producing its result.
+    KillWorker {
+        /// Global task ordinal (0-based, counted per run).
+        task: u64,
+    },
+}
+
+impl Fault {
+    /// The trace-level class of this fault.
+    pub fn kind(self) -> FaultKind {
+        match self {
+            Fault::TransientFlip { .. } => FaultKind::TransientFlip,
+            Fault::StuckAt { .. } => FaultKind::StuckAt,
+            Fault::DropBusWord { .. } => FaultKind::DroppedBusWord,
+            Fault::CorruptBusWord { .. } => FaultKind::CorruptBusWord,
+            Fault::LoseTokenRotation { .. } => FaultKind::LostToken,
+            Fault::KillWorker { .. } => FaultKind::WorkerDeath,
+        }
+    }
+}
+
+/// The extent of one run, used to place randomly drawn faults.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultDomain {
+    /// Number of PEs fault sites may target.
+    pub pes: u32,
+    /// Clock-cycle horizon of the run.
+    pub cycles: u64,
+    /// Expected number of bus words (0 disables bus faults).
+    pub bus_words: u64,
+    /// Expected number of token rotations (0 disables token faults).
+    pub rotations: u64,
+    /// Expected number of scheduled tasks (0 disables worker faults).
+    pub tasks: u64,
+}
+
+/// Per-class fault counts for [`FaultPlan::random`].
+///
+/// Counts, not probabilities: a degradation sweep asks for "3 transient
+/// flips and 1 stuck PE over this run", which keeps plans exactly
+/// reproducible for a given seed regardless of run length.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultRates {
+    /// Transient single-bit flips to place.
+    pub transient_flips: u32,
+    /// Stuck-at PE faults to place.
+    pub stuck_at: u32,
+    /// Bus words to drop.
+    pub dropped_bus_words: u32,
+    /// Bus words to corrupt.
+    pub corrupt_bus_words: u32,
+    /// Token rotations to lose.
+    pub lost_tokens: u32,
+    /// Workers to kill.
+    pub worker_deaths: u32,
+}
+
+/// A deterministic list of failures to inject into one run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// The empty plan: injecting it is the identity (property-tested).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Builds a plan from an explicit fault list.
+    pub fn from_faults(faults: Vec<Fault>) -> FaultPlan {
+        FaultPlan { faults }
+    }
+
+    /// Adds one fault (builder style).
+    #[must_use]
+    pub fn with(mut self, fault: Fault) -> FaultPlan {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Adds one fault in place.
+    pub fn push(&mut self, fault: Fault) {
+        self.faults.push(fault);
+    }
+
+    /// The planned faults, in plan order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Number of planned faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// True when no faults are planned.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Draws a plan from a seeded generator: `rates` faults of each
+    /// class, placed uniformly over `domain`.  The same `(seed, rates,
+    /// domain)` triple always yields the same plan — this is what the
+    /// `degradation` experiment and its golden-file CI check rely on.
+    pub fn random(seed: u64, rates: FaultRates, domain: FaultDomain) -> FaultPlan {
+        let mut rng = SplitMix64::new(seed);
+        let mut faults = Vec::new();
+        if domain.pes > 0 && domain.cycles > 0 {
+            for _ in 0..rates.transient_flips {
+                faults.push(Fault::TransientFlip {
+                    pe: rng.below(domain.pes as u64) as u32,
+                    cycle: rng.below(domain.cycles),
+                    bit: rng.below(16) as u32,
+                });
+            }
+            for _ in 0..rates.stuck_at {
+                faults.push(Fault::StuckAt {
+                    pe: rng.below(domain.pes as u64) as u32,
+                    cycle: rng.below(domain.cycles),
+                    value: rng.below(1 << 10) as i64,
+                });
+            }
+        }
+        if domain.bus_words > 0 {
+            for _ in 0..rates.dropped_bus_words {
+                faults.push(Fault::DropBusWord {
+                    word: rng.below(domain.bus_words),
+                });
+            }
+            for _ in 0..rates.corrupt_bus_words {
+                faults.push(Fault::CorruptBusWord {
+                    word: rng.below(domain.bus_words),
+                    bit: rng.below(16) as u32,
+                });
+            }
+        }
+        if domain.rotations > 0 {
+            for _ in 0..rates.lost_tokens {
+                faults.push(Fault::LoseTokenRotation {
+                    rotation: rng.below(domain.rotations),
+                });
+            }
+        }
+        if domain.tasks > 0 {
+            for _ in 0..rates.worker_deaths {
+                faults.push(Fault::KillWorker {
+                    task: rng.below(domain.tasks),
+                });
+            }
+        }
+        FaultPlan { faults }
+    }
+}
+
+/// SplitMix64: the minimal deterministic generator used for fault
+/// placement (seeds map to the same plan on every platform).
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)` (bound > 0).
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_empty() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        assert_eq!(plan.len(), 0);
+        assert_eq!(plan.faults(), &[]);
+    }
+
+    #[test]
+    fn builder_accumulates_in_order() {
+        let plan = FaultPlan::new()
+            .with(Fault::DropBusWord { word: 3 })
+            .with(Fault::KillWorker { task: 1 });
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.faults()[0], Fault::DropBusWord { word: 3 });
+        assert_eq!(plan.faults()[1].kind(), sdp_trace::FaultKind::WorkerDeath);
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_per_seed() {
+        let rates = FaultRates {
+            transient_flips: 2,
+            stuck_at: 1,
+            dropped_bus_words: 1,
+            corrupt_bus_words: 1,
+            lost_tokens: 1,
+            worker_deaths: 1,
+        };
+        let domain = FaultDomain {
+            pes: 8,
+            cycles: 100,
+            bus_words: 50,
+            rotations: 50,
+            tasks: 10,
+        };
+        let a = FaultPlan::random(42, rates, domain);
+        let b = FaultPlan::random(42, rates, domain);
+        let c = FaultPlan::random(43, rates, domain);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 7);
+    }
+
+    #[test]
+    fn random_respects_zeroed_domain_axes() {
+        let rates = FaultRates {
+            transient_flips: 5,
+            dropped_bus_words: 5,
+            worker_deaths: 5,
+            ..FaultRates::default()
+        };
+        let domain = FaultDomain {
+            pes: 4,
+            cycles: 10,
+            ..FaultDomain::default()
+        };
+        let plan = FaultPlan::random(7, rates, domain);
+        // Bus and task axes are disabled; only PE faults appear.
+        assert_eq!(plan.len(), 5);
+        assert!(plan
+            .faults()
+            .iter()
+            .all(|f| matches!(f, Fault::TransientFlip { .. })));
+    }
+}

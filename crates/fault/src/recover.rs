@@ -1,0 +1,246 @@
+//! Detection and recovery combinators.
+//!
+//! Two classical schemes, both panic-safe (a replica that dies counts
+//! as a faulty replica, it does not take the host down):
+//!
+//! * [`recompute_on_mismatch`] — duplex execution with retry.  Two runs
+//!   are compared; on mismatch the computation is re-run until two
+//!   *consecutive* runs agree.  Catches transient upsets (a one-shot
+//!   fault fires in one run and not the next) but, like any duplex
+//!   scheme, cannot out-vote a fault that corrupts every run the same
+//!   way.
+//! * [`tmr`] — triple modular redundancy.  Three replicas run and the
+//!   majority value wins, so any *single* faulty replica — including a
+//!   permanent stuck-at — is masked.
+//!
+//! Both report what happened through [`RecoveryStats`], the same struct
+//! the fault-tolerant `ParallelExecutor` fills in, so degradation
+//! experiments read one shape everywhere.
+
+use crate::error::SdpError;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// What detection and recovery cost during one protected computation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Complete runs (replicas or attempts) executed.
+    pub runs: u32,
+    /// Result comparisons that disagreed (each is a detected fault).
+    pub mismatches: u32,
+    /// Replica runs that panicked and were contained.
+    pub panics_caught: u32,
+    /// Extra runs beyond the fault-free minimum.
+    pub retries: u32,
+    /// Tasks re-executed on another worker after a death.
+    pub reassignments: u32,
+    /// Worker deaths observed (injected or real panics).
+    pub worker_deaths: u32,
+    /// Scheduler rounds a fault-free run would have needed (Eq. 29).
+    pub baseline_rounds: u64,
+    /// Scheduler rounds actually executed.
+    pub actual_rounds: u64,
+    /// Extra clock cycles spent relative to the fault-free run
+    /// (e.g. the longer pipeline through a spare column).
+    pub extra_cycles: u64,
+}
+
+impl RecoveryStats {
+    /// Schedule-length inflation vs. the fault-free bound
+    /// (`actual_rounds / baseline_rounds`; 1.0 when nothing failed or
+    /// no rounds were tracked).
+    pub fn schedule_inflation(&self) -> f64 {
+        if self.baseline_rounds == 0 {
+            1.0
+        } else {
+            self.actual_rounds as f64 / self.baseline_rounds as f64
+        }
+    }
+
+    /// True when any fault was detected or contained.
+    pub fn any_faults(&self) -> bool {
+        self.mismatches > 0
+            || self.panics_caught > 0
+            || self.worker_deaths > 0
+            || self.reassignments > 0
+    }
+}
+
+/// Majority vote over three replica results.
+///
+/// Returns the value at least two replicas agree on, or
+/// [`SdpError::NoMajority`] when all three differ.
+pub fn tmr_vote<T: PartialEq>(a: T, b: T, c: T) -> Result<T, SdpError> {
+    if a == b || a == c {
+        Ok(a)
+    } else if b == c {
+        Ok(b)
+    } else {
+        Err(SdpError::NoMajority)
+    }
+}
+
+/// Triple-modular-redundancy execution: runs `run(0)`, `run(1)`,
+/// `run(2)` (each contained by `catch_unwind`) and majority-votes the
+/// results.  Any single faulty replica — wrong value or outright panic
+/// — is masked; the replica index lets callers wire fault injection
+/// into exactly one replica.
+pub fn tmr<T: PartialEq + Clone>(
+    mut run: impl FnMut(u32) -> T,
+) -> (Result<T, SdpError>, RecoveryStats) {
+    let mut stats = RecoveryStats::default();
+    let mut results: Vec<Option<T>> = Vec::with_capacity(3);
+    for replica in 0..3u32 {
+        stats.runs += 1;
+        match catch_unwind(AssertUnwindSafe(|| run(replica))) {
+            Ok(v) => results.push(Some(v)),
+            Err(_) => {
+                stats.panics_caught += 1;
+                results.push(None);
+            }
+        }
+    }
+    let ok: Vec<&T> = results.iter().flatten().collect();
+    let disagreement = ok.windows(2).any(|w| w[0] != w[1]);
+    if disagreement || stats.panics_caught > 0 {
+        stats.mismatches += 1;
+    }
+    // Majority among the surviving replicas.
+    let winner = ok
+        .iter()
+        .find(|candidate| ok.iter().filter(|other| other == candidate).count() >= 2)
+        .map(|v| (*v).clone());
+    (winner.ok_or(SdpError::NoMajority), stats)
+}
+
+/// Duplex execution with bounded retry: re-runs `run` until two
+/// consecutive attempts agree, up to `2 + max_retries` total runs.
+/// A panicking attempt is contained and treated as a mismatch.
+///
+/// The attempt index is passed to `run` so callers can inject faults
+/// into chosen attempts.  Returns
+/// [`SdpError::RecoveryExhausted`] when agreement is never reached.
+pub fn recompute_on_mismatch<T: PartialEq>(
+    max_retries: u32,
+    mut run: impl FnMut(u32) -> T,
+) -> (Result<T, SdpError>, RecoveryStats) {
+    let mut stats = RecoveryStats::default();
+    let budget = 2 + max_retries;
+    let mut prev: Option<T> = None;
+    for attempt in 0..budget {
+        stats.runs += 1;
+        if attempt >= 2 {
+            stats.retries += 1;
+        }
+        let current = match catch_unwind(AssertUnwindSafe(|| run(attempt))) {
+            Ok(v) => Some(v),
+            Err(_) => {
+                stats.panics_caught += 1;
+                None
+            }
+        };
+        match (&prev, &current) {
+            (Some(p), Some(c)) if p == c => {
+                return (Ok(current.unwrap()), stats);
+            }
+            (Some(_), _) | (_, None) => {
+                // Disagreement with the previous attempt (or a panic):
+                // a fault was detected; keep the newest result.
+                stats.mismatches += 1;
+            }
+            (None, Some(_)) => {}
+        }
+        prev = current;
+    }
+    (
+        Err(SdpError::RecoveryExhausted {
+            attempts: stats.runs,
+        }),
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vote_masks_one_bad_replica() {
+        assert_eq!(tmr_vote(7, 7, 9), Ok(7));
+        assert_eq!(tmr_vote(9, 7, 7), Ok(7));
+        assert_eq!(tmr_vote(7, 9, 7), Ok(7));
+        assert_eq!(tmr_vote(1, 2, 3), Err(SdpError::NoMajority));
+    }
+
+    #[test]
+    fn tmr_masks_wrong_value_and_panic() {
+        let (v, s) = tmr(|replica| if replica == 1 { 999 } else { 42 });
+        assert_eq!(v, Ok(42));
+        assert_eq!(s.runs, 3);
+        assert_eq!(s.mismatches, 1);
+
+        let (v, s) = tmr(|replica| {
+            if replica == 2 {
+                panic!("injected death");
+            }
+            42
+        });
+        assert_eq!(v, Ok(42));
+        assert_eq!(s.panics_caught, 1);
+    }
+
+    #[test]
+    fn tmr_clean_run_has_no_mismatches() {
+        let (v, s) = tmr(|_| 5u64);
+        assert_eq!(v, Ok(5));
+        assert_eq!(s.mismatches, 0);
+        assert!(!s.any_faults());
+    }
+
+    #[test]
+    fn recompute_recovers_transient() {
+        // Attempt 0 is corrupted; attempts 1 and 2 agree.
+        let (v, s) = recompute_on_mismatch(2, |attempt| if attempt == 0 { 13 } else { 42 });
+        assert_eq!(v, Ok(42));
+        assert_eq!(s.runs, 3);
+        assert_eq!(s.mismatches, 1);
+        assert_eq!(s.retries, 1);
+    }
+
+    #[test]
+    fn recompute_clean_run_stops_at_two() {
+        let (v, s) = recompute_on_mismatch(5, |_| 1u8);
+        assert_eq!(v, Ok(1));
+        assert_eq!(s.runs, 2);
+        assert_eq!(s.retries, 0);
+    }
+
+    #[test]
+    fn recompute_contains_panics() {
+        let (v, s) = recompute_on_mismatch(2, |attempt| {
+            if attempt == 0 {
+                panic!("injected death");
+            }
+            7
+        });
+        assert_eq!(v, Ok(7));
+        assert_eq!(s.panics_caught, 1);
+    }
+
+    #[test]
+    fn recompute_exhausts_on_persistent_disagreement() {
+        let (v, s) = recompute_on_mismatch(1, |attempt| attempt);
+        assert_eq!(v, Err(SdpError::RecoveryExhausted { attempts: 3 }));
+        assert_eq!(s.runs, 3);
+    }
+
+    #[test]
+    fn inflation_is_ratio_of_rounds() {
+        let s = RecoveryStats {
+            baseline_rounds: 4,
+            actual_rounds: 6,
+            ..RecoveryStats::default()
+        };
+        assert!((s.schedule_inflation() - 1.5).abs() < 1e-12);
+        assert!((RecoveryStats::default().schedule_inflation() - 1.0).abs() < 1e-12);
+    }
+}

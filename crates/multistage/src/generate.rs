@@ -12,6 +12,7 @@ use crate::node_value::{
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use sdp_fault::SdpError;
 use sdp_semiring::Cost;
 
 /// Uniform-random edge-cost multistage graph: `stages` stages of `m`
@@ -20,6 +21,20 @@ pub fn random_uniform(seed: u64, stages: usize, m: usize, lo: i64, hi: i64) -> M
     assert!(lo <= hi);
     let mut rng = StdRng::seed_from_u64(seed);
     MultistageGraph::uniform_from_fn(stages, m, |_, _, _| Cost::from(rng.gen_range(lo..=hi)))
+}
+
+/// Non-panicking [`random_uniform`]: validates the stage count, width,
+/// and cost range before generating.
+pub fn try_random_uniform(
+    seed: u64,
+    stages: usize,
+    m: usize,
+    lo: i64,
+    hi: i64,
+) -> Result<MultistageGraph, SdpError> {
+    validate_shape(stages, 2, m)?;
+    validate_range(lo, hi)?;
+    Ok(random_uniform(seed, stages, m, lo, hi))
 }
 
 /// Single-source / single-sink random graph in the Fig. 1(a) shape:
@@ -43,6 +58,45 @@ pub fn random_single_source_sink(
     }
     mats.push(sdp_semiring::Matrix::from_fn(m, 1, &mut cost));
     MultistageGraph::new(mats)
+}
+
+/// Non-panicking [`random_single_source_sink`]: validates the stage
+/// count (≥ 3: source, intermediates, sink), width, and cost range.
+pub fn try_random_single_source_sink(
+    seed: u64,
+    stages: usize,
+    m: usize,
+    lo: i64,
+    hi: i64,
+) -> Result<MultistageGraph, SdpError> {
+    validate_shape(stages, 3, m)?;
+    validate_range(lo, hi)?;
+    Ok(random_single_source_sink(seed, stages, m, lo, hi))
+}
+
+fn validate_shape(stages: usize, min_stages: usize, m: usize) -> Result<(), SdpError> {
+    if stages < min_stages {
+        return Err(SdpError::BadParameter {
+            name: "stages",
+            got: stages as u64,
+            min: min_stages as u64,
+        });
+    }
+    if m < 1 {
+        return Err(SdpError::BadParameter {
+            name: "m",
+            got: m as u64,
+            min: 1,
+        });
+    }
+    Ok(())
+}
+
+fn validate_range(lo: i64, hi: i64) -> Result<(), SdpError> {
+    if lo > hi {
+        return Err(SdpError::EmptyRange { lo, hi });
+    }
+    Ok(())
 }
 
 /// Sparse random graph: like [`random_uniform`] but each edge is absent
@@ -238,6 +292,46 @@ mod tests {
             let cost = crate::solve::forward_dp(&ms).cost;
             assert!(cost.is_finite(), "seed {seed}");
         }
+    }
+
+    #[test]
+    fn try_generators_accept_valid_and_reject_bad_inputs() {
+        assert_eq!(
+            try_random_uniform(7, 5, 4, 0, 9).unwrap(),
+            random_uniform(7, 5, 4, 0, 9)
+        );
+        assert_eq!(
+            try_random_single_source_sink(3, 6, 4, 1, 9).unwrap(),
+            random_single_source_sink(3, 6, 4, 1, 9)
+        );
+        assert_eq!(
+            try_random_uniform(0, 1, 4, 0, 9),
+            Err(SdpError::BadParameter {
+                name: "stages",
+                got: 1,
+                min: 2
+            })
+        );
+        assert_eq!(
+            try_random_single_source_sink(0, 2, 4, 0, 9),
+            Err(SdpError::BadParameter {
+                name: "stages",
+                got: 2,
+                min: 3
+            })
+        );
+        assert_eq!(
+            try_random_uniform(0, 5, 0, 0, 9),
+            Err(SdpError::BadParameter {
+                name: "m",
+                got: 0,
+                min: 1
+            })
+        );
+        assert_eq!(
+            try_random_uniform(0, 5, 4, 9, 0),
+            Err(SdpError::EmptyRange { lo: 9, hi: 0 })
+        );
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The edge-cost multistage graph and its matrix-string form.
 
+use sdp_fault::SdpError;
 use sdp_semiring::{Cost, Matrix, MinPlus};
 
 /// A multistage graph: vertices are grouped into stages `0 … S−1`, and
@@ -33,6 +34,24 @@ impl MultistageGraph {
             );
         }
         MultistageGraph { costs }
+    }
+
+    /// Non-panicking [`MultistageGraph::new`]: an empty matrix list is
+    /// [`SdpError::EmptyMatrixString`] and a broken stage chain is
+    /// [`SdpError::InnerDimMismatch`].
+    pub fn try_new(costs: Vec<Matrix<MinPlus>>) -> Result<MultistageGraph, SdpError> {
+        if costs.is_empty() {
+            return Err(SdpError::EmptyMatrixString);
+        }
+        for w in costs.windows(2) {
+            if w[0].cols() != w[1].rows() {
+                return Err(SdpError::InnerDimMismatch {
+                    left_cols: w[0].cols(),
+                    right_rows: w[1].rows(),
+                });
+            }
+        }
+        Ok(MultistageGraph { costs })
     }
 
     /// Builds a uniform graph with `stages` stages of `m` nodes each, with
@@ -248,6 +267,25 @@ mod tests {
         let a = Matrix::<MinPlus>::zeros(2, 3);
         let b = Matrix::<MinPlus>::zeros(2, 2);
         let _ = MultistageGraph::new(vec![a, b]);
+    }
+
+    #[test]
+    fn try_new_returns_typed_errors() {
+        let a = Matrix::<MinPlus>::zeros(2, 3);
+        let b = Matrix::<MinPlus>::zeros(2, 2);
+        assert_eq!(
+            MultistageGraph::try_new(vec![a.clone(), b.clone()]),
+            Err(SdpError::InnerDimMismatch {
+                left_cols: 3,
+                right_rows: 2
+            })
+        );
+        assert_eq!(
+            MultistageGraph::try_new(vec![]),
+            Err(SdpError::EmptyMatrixString)
+        );
+        let g = MultistageGraph::try_new(vec![b.clone(), b.clone()]).unwrap();
+        assert_eq!(g, MultistageGraph::new(vec![b.clone(), b]));
     }
 
     #[test]

@@ -125,6 +125,23 @@ impl<S: Semiring> Matrix<S> {
             "inner dimensions must agree: {}x{} · {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
+        self.mul_unchecked_dims(rhs)
+    }
+
+    /// Non-panicking [`Matrix::mul`]: `None` when the inner dimensions
+    /// disagree.
+    ///
+    /// This crate sits below the workspace error type, so shape failures
+    /// surface as `Option` here; callers in `sdp-core`/`sdp-fault` map
+    /// `None` to `SdpError::InnerDimMismatch`.
+    pub fn checked_mul(&self, rhs: &Matrix<S>) -> Option<Matrix<S>> {
+        if self.cols != rhs.rows {
+            return None;
+        }
+        Some(self.mul_unchecked_dims(rhs))
+    }
+
+    fn mul_unchecked_dims(&self, rhs: &Matrix<S>) -> Matrix<S> {
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         for i in 0..self.rows {
             let lrow = self.row(i);
@@ -198,6 +215,18 @@ impl<S: Semiring> Matrix<S> {
             acc = m.mul(&acc);
         }
         acc
+    }
+
+    /// Non-panicking [`Matrix::string_product`]: `None` when the string
+    /// is empty or any adjacent pair has mismatched inner dimensions
+    /// (the checks every `try_*` design driver performs before
+    /// simulating).
+    pub fn checked_string_product(ms: &[Matrix<S>]) -> Option<Matrix<S>> {
+        let mut acc = ms.last()?.clone();
+        for m in ms[..ms.len() - 1].iter().rev() {
+            acc = m.checked_mul(&acc)?;
+        }
+        Some(acc)
     }
 }
 
@@ -442,6 +471,28 @@ mod tests {
         let a = mat_mp(2, 2, &[1, 2, 3, 4]);
         let b = mat_mp(3, 2, &[1, 2, 3, 4, 5, 6]);
         let _ = a.mul(&b);
+    }
+
+    #[test]
+    fn checked_mul_matches_mul_or_rejects() {
+        let a = mat_mp(2, 3, &[1, 4, 2, 0, 3, 5]);
+        let b = mat_mp(3, 2, &[2, 2, 1, 0, 4, 3]);
+        assert_eq!(a.checked_mul(&b), Some(a.mul(&b)));
+        assert_eq!(b.checked_mul(&b), None);
+    }
+
+    #[test]
+    fn checked_string_product_matches_or_rejects() {
+        let a = mat_mp(2, 2, &[1, 9, 9, 1]);
+        let b = mat_mp(2, 2, &[0, 5, 5, 0]);
+        let c = mat_mp(2, 1, &[3, 4]);
+        let ok = [a.clone(), b.clone(), c.clone()];
+        assert_eq!(
+            Matrix::checked_string_product(&ok),
+            Some(Matrix::string_product(&ok))
+        );
+        assert_eq!(Matrix::<MinPlus>::checked_string_product(&[]), None);
+        assert_eq!(Matrix::checked_string_product(&[a, c, b]), None);
     }
 
     #[test]

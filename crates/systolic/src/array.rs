@@ -8,6 +8,7 @@
 
 use crate::instrument::Stats;
 use crate::pe::ProcessingElement;
+use sdp_fault::{FaultInjector, FaultyWord, SdpError};
 use sdp_trace::{Event, NullSink, TraceSink};
 
 /// A linear systolic array of identical PEs (`P₁ … Pₘ` in the paper),
@@ -17,19 +18,46 @@ pub struct LinearArray<P: ProcessingElement> {
     /// `links[i]` is the latched word on the link *into* PE `i`;
     /// `links[m]` is the latched word leaving the tail PE.
     links: Vec<Option<P::Flow>>,
+    /// `bypass[i]` routes around PE `i`: its column becomes a plain
+    /// one-cycle wire (spare-column remapping for a faulty PE).
+    bypass: Vec<bool>,
     stats: Stats,
 }
 
 impl<P: ProcessingElement> LinearArray<P> {
     /// Builds an array from a vector of PEs (must be non-empty).
     pub fn new(pes: Vec<P>) -> LinearArray<P> {
-        assert!(!pes.is_empty(), "a systolic array needs at least one PE");
+        Self::try_new(pes).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds an array, returning [`SdpError::EmptyArray`] instead of
+    /// panicking when `pes` is empty.
+    pub fn try_new(pes: Vec<P>) -> Result<LinearArray<P>, SdpError> {
+        if pes.is_empty() {
+            return Err(SdpError::EmptyArray);
+        }
         let m = pes.len();
-        LinearArray {
+        Ok(LinearArray {
             pes,
             links: vec![None; m + 1],
+            bypass: vec![false; m],
             stats: Stats::new(m),
-        }
+        })
+    }
+
+    /// Marks PE `pe` as bypassed (or restores it).  A bypassed PE's
+    /// column degenerates to a one-cycle wire: the word latched on its
+    /// input link is forwarded unchanged, the PE is never stepped, and
+    /// injected faults cannot corrupt it — this models the spare-column
+    /// remapping of §3's fault discussion, where a faulty PE is fused
+    /// out and its work shifts one column down to a spare.
+    pub fn set_bypass(&mut self, pe: usize, bypassed: bool) {
+        self.bypass[pe] = bypassed;
+    }
+
+    /// Whether PE `pe` is currently bypassed.
+    pub fn is_bypassed(&self, pe: usize) -> bool {
+        self.bypass[pe]
     }
 
     /// Number of PEs.
@@ -95,15 +123,63 @@ impl<P: ProcessingElement> LinearArray<P> {
     pub fn cycle_traced<S: TraceSink>(
         &mut self,
         head_in: Option<P::Flow>,
+        ext: impl FnMut(usize) -> P::Ext,
+        ctrl: impl FnMut(usize) -> P::Ctrl,
+        sink: &mut S,
+    ) -> Option<P::Flow> {
+        self.cycle_core(head_in, ext, ctrl, sink, |_, _, out, _| out)
+    }
+
+    /// [`cycle_traced`](Self::cycle_traced) with a [`FaultInjector`]
+    /// deciding, per PE and cycle, whether the emitted word is
+    /// corrupted.  With [`sdp_fault::NoFaults`] the hook folds away and
+    /// this is exactly `cycle_traced`; bypassed PEs are wires and can
+    /// never be corrupted (the spare path routes around the faulty
+    /// latch).
+    pub fn cycle_fault_traced<S: TraceSink, F: FaultInjector>(
+        &mut self,
+        head_in: Option<P::Flow>,
+        ext: impl FnMut(usize) -> P::Ext,
+        ctrl: impl FnMut(usize) -> P::Ctrl,
+        injector: &mut F,
+        sink: &mut S,
+    ) -> Option<P::Flow>
+    where
+        P::Flow: FaultyWord,
+    {
+        self.cycle_core(head_in, ext, ctrl, sink, |pe, cycle, out, sink| {
+            if F::ENABLED {
+                if let Some(word) = out {
+                    if let Some(fault) = injector.pe_fault(pe, cycle) {
+                        if S::ENABLED {
+                            sink.record(Event::FaultInjected {
+                                kind: fault.kind(),
+                                site: pe,
+                            });
+                        }
+                        return Some(word.apply(fault));
+                    }
+                }
+            }
+            out
+        })
+    }
+
+    /// The one true cycle body: `corrupt` observes each non-bypassed
+    /// PE's output word and may replace it (identity on the fault-free
+    /// path, where it inlines to nothing).
+    fn cycle_core<S: TraceSink>(
+        &mut self,
+        head_in: Option<P::Flow>,
         mut ext: impl FnMut(usize) -> P::Ext,
         mut ctrl: impl FnMut(usize) -> P::Ctrl,
         sink: &mut S,
+        mut corrupt: impl FnMut(u32, u64, Option<P::Flow>, &mut S) -> Option<P::Flow>,
     ) -> Option<P::Flow> {
         let m = self.pes.len();
+        let now = self.stats.cycles();
         if S::ENABLED {
-            sink.record(Event::CycleStart {
-                cycle: self.stats.cycles(),
-            });
+            sink.record(Event::CycleStart { cycle: now });
         }
         // Capture last cycle's link values so every PE sees pre-cycle state.
         let inbound: Vec<Option<P::Flow>> = {
@@ -120,10 +196,16 @@ impl<P: ProcessingElement> LinearArray<P> {
         }
         let mut next_links = vec![None; m + 1];
         let mut any_busy = false;
-        for (i, pe) in self.pes.iter_mut().enumerate() {
-            let out = pe.step(inbound[i], ext(i), ctrl(i));
+        for i in 0..m {
+            let bypassed = self.bypass[i];
+            let pe = &mut self.pes[i];
+            let (out, busy) = if bypassed {
+                (inbound[i], false)
+            } else {
+                let stepped = pe.step(inbound[i], ext(i), ctrl(i));
+                (corrupt(i as u32, now, stepped, &mut *sink), pe.was_busy())
+            };
             next_links[i + 1] = out;
-            let busy = pe.was_busy();
             if busy {
                 self.stats.record_busy(i);
                 any_busy = true;
@@ -132,7 +214,7 @@ impl<P: ProcessingElement> LinearArray<P> {
                 sink.record(Event::PeFire {
                     pe: i as u32,
                     busy,
-                    value: pe.probe(),
+                    value: self.pes[i].probe(),
                 });
             }
         }
@@ -334,5 +416,107 @@ mod tests {
         assert_eq!(arr.tail(), Some(9));
         arr.cycle(None, |_| (), |_| ());
         assert_eq!(arr.tail(), None);
+    }
+
+    #[test]
+    fn try_new_reports_empty_array() {
+        use sdp_fault::SdpError;
+        assert!(matches!(
+            LinearArray::<Wire>::try_new(vec![]),
+            Err(SdpError::EmptyArray)
+        ));
+        assert!(LinearArray::try_new(vec![Wire::default()]).is_ok());
+    }
+
+    /// PE that increments every word flowing through (distinguishes a
+    /// working column from a bypassed wire).
+    #[derive(Default)]
+    struct Plus1 {
+        busy: bool,
+    }
+
+    impl ProcessingElement for Plus1 {
+        type Flow = u32;
+        type Ext = ();
+        type Ctrl = ();
+        fn step(&mut self, flow_in: Option<u32>, _: (), _: ()) -> Option<u32> {
+            self.busy = flow_in.is_some();
+            flow_in.map(|v| v + 1)
+        }
+        fn was_busy(&self) -> bool {
+            self.busy
+        }
+    }
+
+    #[test]
+    fn bypassed_pe_is_a_one_cycle_wire() {
+        let mut arr = LinearArray::new(vec![Plus1::default(), Plus1::default(), Plus1::default()]);
+        arr.set_bypass(1, true);
+        assert!(arr.is_bypassed(1));
+        let mut outs = Vec::new();
+        outs.extend(arr.cycle(Some(0), |_| (), |_| ()));
+        outs.extend(arr.drain(4, |_| (), |_| ()));
+        // Latency is still one cycle per column, but only two PEs add 1.
+        assert_eq!(outs, vec![2]);
+        assert_eq!(arr.stats().busy(1), 0);
+    }
+
+    #[test]
+    fn injected_transient_flip_corrupts_one_word() {
+        use sdp_fault::{Fault, FaultPlan, PlanInjector};
+        use sdp_trace::CountingSink;
+        let plan = FaultPlan::new().with(Fault::TransientFlip {
+            pe: 0,
+            cycle: 0,
+            bit: 0,
+        });
+        let mut inj = PlanInjector::new(plan);
+        let mut sink = CountingSink::default();
+        let mut arr = wires(2);
+        arr.cycle_fault_traced(Some(4u32), |_| (), |_| (), &mut inj, &mut sink);
+        arr.cycle_fault_traced(None, |_| (), |_| (), &mut inj, &mut sink);
+        let out = arr.tail();
+        assert_eq!(out, Some(5)); // bit 0 of 4 flipped once
+        assert_eq!(sink.faults_injected, 1);
+    }
+
+    #[test]
+    fn bypass_shields_pe_from_injection() {
+        use sdp_fault::{Fault, FaultPlan, PlanInjector};
+        let plan = FaultPlan::new().with(Fault::StuckAt {
+            pe: 1,
+            cycle: 0,
+            value: 77,
+        });
+        let mut inj = PlanInjector::new(plan);
+        let mut arr = wires(3);
+        arr.set_bypass(1, true);
+        let mut out = Vec::new();
+        for head in [Some(4u32), None, None, None] {
+            if let Some(w) =
+                arr.cycle_fault_traced(head, |_| (), |_| (), &mut inj, &mut sdp_trace::NullSink)
+            {
+                out.push(w);
+            }
+        }
+        // The stuck latch is routed around: the word survives intact.
+        assert_eq!(out, vec![4]);
+    }
+
+    #[test]
+    fn no_faults_injector_is_identity() {
+        use sdp_fault::NoFaults;
+        use sdp_trace::CountingSink;
+        let mut plain = wires(3);
+        let mut faulty = wires(3);
+        let mut sink_a = CountingSink::default();
+        let mut sink_b = CountingSink::default();
+        for head in [Some(7u32), None, Some(9), None] {
+            plain.cycle_traced(head, |_| (), |_| (), &mut sink_a);
+            faulty.cycle_fault_traced(head, |_| (), |_| (), &mut NoFaults, &mut sink_b);
+        }
+        assert_eq!(plain.tail(), faulty.tail());
+        assert_eq!(sink_a, sink_b);
+        assert_eq!(plain.stats(), faulty.stats());
     }
 }

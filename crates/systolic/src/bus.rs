@@ -15,7 +15,8 @@
 //! the owning array's `stats_mut()`.
 
 use crate::instrument::Stats;
-use sdp_trace::{Event, NullSink, TraceSink};
+use sdp_fault::{BusFault, FaultInjector, FaultyWord, SdpError};
+use sdp_trace::{Event, FaultKind, NullSink, TraceSink};
 
 /// A single-word broadcast bus with a circulating pick-up token over `m`
 /// stations.
@@ -24,17 +25,31 @@ pub struct TokenBus<W> {
     m: usize,
     token: usize,
     word: Option<W>,
+    /// Words driven so far (the ordinal fault plans target).
+    driven: u64,
+    /// Deliveries attempted so far (the token-rotation ordinal).
+    deliveries: u64,
 }
 
 impl<W: Copy> TokenBus<W> {
     /// A bus over `m` stations; the token starts at station 0.
     pub fn new(m: usize) -> TokenBus<W> {
-        assert!(m > 0, "bus needs at least one station");
-        TokenBus {
+        Self::try_new(m).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`new`](Self::new), returning [`SdpError::EmptyBus`] instead of
+    /// panicking when `m` is zero.
+    pub fn try_new(m: usize) -> Result<TokenBus<W>, SdpError> {
+        if m == 0 {
+            return Err(SdpError::EmptyBus);
+        }
+        Ok(TokenBus {
             m,
             token: 0,
             word: None,
-        }
+            driven: 0,
+            deliveries: 0,
+        })
     }
 
     /// Number of stations.
@@ -60,6 +75,7 @@ impl<W: Copy> TokenBus<W> {
             });
         }
         self.word = Some(word);
+        self.driven += 1;
     }
 
     /// Completes the cycle: delivers the driven word (if any) to the token
@@ -82,6 +98,7 @@ impl<W: Copy> TokenBus<W> {
         self.word.take().map(|w| {
             let st = self.token;
             self.token = (self.token + 1) % self.m;
+            self.deliveries += 1;
             stats.record_bus_word();
             stats.record_token_rotation();
             if S::ENABLED {
@@ -93,6 +110,74 @@ impl<W: Copy> TokenBus<W> {
             }
             (st, w)
         })
+    }
+
+    /// [`settle_traced`](Self::settle_traced) with a [`FaultInjector`]
+    /// that may drop or corrupt the driven word, or lose the token
+    /// rotation (the word is delivered but the token stays put).  A
+    /// dropped word advances nothing: the token still marks the station
+    /// awaiting data.  With [`sdp_fault::NoFaults`] this is exactly
+    /// `settle_traced`.
+    pub fn settle_fault_traced<S: TraceSink, F: FaultInjector>(
+        &mut self,
+        stats: &mut Stats,
+        injector: &mut F,
+        sink: &mut S,
+    ) -> Option<(usize, W)>
+    where
+        W: FaultyWord,
+    {
+        if !F::ENABLED {
+            return self.settle_traced(stats, sink);
+        }
+        let mut word = self.word.take()?;
+        // Ordinal of the word currently on the bus (0-based).
+        match injector.bus_fault(self.driven - 1) {
+            Some(fault @ BusFault::Drop) => {
+                if S::ENABLED {
+                    sink.record(Event::FaultInjected {
+                        kind: fault.kind(),
+                        site: self.token as u32,
+                    });
+                }
+                return None;
+            }
+            Some(fault @ BusFault::FlipBit(bit)) => {
+                if S::ENABLED {
+                    sink.record(Event::FaultInjected {
+                        kind: fault.kind(),
+                        site: self.token as u32,
+                    });
+                }
+                word = word.flip_bit(bit);
+            }
+            None => {}
+        }
+        let st = self.token;
+        let lost = injector.token_lost(self.deliveries);
+        self.deliveries += 1;
+        stats.record_bus_word();
+        if S::ENABLED {
+            sink.record(Event::BusDeliver { station: st as u32 });
+        }
+        if lost {
+            if S::ENABLED {
+                sink.record(Event::FaultInjected {
+                    kind: FaultKind::LostToken,
+                    site: st as u32,
+                });
+            }
+        } else {
+            self.token = (self.token + 1) % self.m;
+            stats.record_token_rotation();
+            if S::ENABLED {
+                sink.record(Event::TokenAdvance {
+                    from: st as u32,
+                    to: self.token as u32,
+                });
+            }
+        }
+        Some((st, word))
     }
 
     /// Resets the token to station 0 (e.g. between matrix boundaries).
@@ -181,5 +266,90 @@ mod tests {
     #[should_panic(expected = "at least one station")]
     fn zero_station_bus_rejected() {
         let _ = TokenBus::<u8>::new(0);
+    }
+
+    #[test]
+    fn try_new_reports_empty_bus() {
+        use sdp_fault::SdpError;
+        assert!(matches!(
+            TokenBus::<u8>::try_new(0),
+            Err(SdpError::EmptyBus)
+        ));
+        assert!(TokenBus::<u8>::try_new(1).is_ok());
+    }
+
+    #[test]
+    fn dropped_word_leaves_token_in_place() {
+        use sdp_fault::{Fault, FaultPlan, PlanInjector};
+        let plan = FaultPlan::new().with(Fault::DropBusWord { word: 1 });
+        let mut inj = PlanInjector::new(plan);
+        let mut bus = TokenBus::new(3);
+        let mut stats = Stats::new(3);
+        let mut sink = CountingSink::default();
+        bus.drive(10u64);
+        assert_eq!(
+            bus.settle_fault_traced(&mut stats, &mut inj, &mut sink),
+            Some((0, 10))
+        );
+        bus.drive(11);
+        // Word ordinal 1 is dropped: no delivery, token stays at 1.
+        assert_eq!(
+            bus.settle_fault_traced(&mut stats, &mut inj, &mut sink),
+            None
+        );
+        assert_eq!(bus.token_at(), 1);
+        bus.drive(12);
+        assert_eq!(
+            bus.settle_fault_traced(&mut stats, &mut inj, &mut sink),
+            Some((1, 12))
+        );
+        assert_eq!(stats.bus_words(), 2);
+        assert_eq!(sink.faults_injected, 1);
+    }
+
+    #[test]
+    fn corrupt_word_and_lost_token() {
+        use sdp_fault::{Fault, FaultPlan, PlanInjector};
+        let plan = FaultPlan::new()
+            .with(Fault::CorruptBusWord { word: 0, bit: 0 })
+            .with(Fault::LoseTokenRotation { rotation: 1 });
+        let mut inj = PlanInjector::new(plan);
+        let mut bus = TokenBus::new(2);
+        let mut stats = Stats::new(2);
+        let mut sink = CountingSink::default();
+        bus.drive(4u64);
+        // Bit 0 flipped on delivery.
+        assert_eq!(
+            bus.settle_fault_traced(&mut stats, &mut inj, &mut sink),
+            Some((0, 5))
+        );
+        assert_eq!(bus.token_at(), 1);
+        bus.drive(6);
+        // Rotation 1 is lost: word delivered, token stays put.
+        assert_eq!(
+            bus.settle_fault_traced(&mut stats, &mut inj, &mut sink),
+            Some((1, 6))
+        );
+        assert_eq!(bus.token_at(), 1);
+        assert_eq!(stats.token_rotations(), 1);
+        assert_eq!(sink.faults_injected, 2);
+        assert_eq!(sink.token_advances, 1);
+    }
+
+    #[test]
+    fn no_faults_settle_matches_plain() {
+        use sdp_fault::NoFaults;
+        let mut a = TokenBus::new(3);
+        let mut b = TokenBus::new(3);
+        let mut stats_a = Stats::new(3);
+        let mut stats_b = Stats::new(3);
+        for w in 0..5u64 {
+            a.drive(w);
+            b.drive(w);
+            let pa = a.settle_traced(&mut stats_a, &mut NullSink);
+            let pb = b.settle_fault_traced(&mut stats_b, &mut NoFaults, &mut NullSink);
+            assert_eq!(pa, pb);
+        }
+        assert_eq!(stats_a, stats_b);
     }
 }

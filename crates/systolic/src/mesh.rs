@@ -13,6 +13,7 @@
 // Grid/stage updates read clearer with explicit indices.
 #![allow(clippy::needless_range_loop)]
 use crate::instrument::Stats;
+use sdp_fault::{FaultInjector, FaultyWord, SdpError};
 use sdp_trace::{Event, NullSink, TraceSink};
 
 /// One PE of a 2-D mesh.
@@ -62,16 +63,29 @@ pub struct Mesh2D<P: MeshProcessingElement> {
 impl<P: MeshProcessingElement> Mesh2D<P> {
     /// Builds a mesh from row-major PEs.
     pub fn new(rows: usize, cols: usize, pes: Vec<P>) -> Mesh2D<P> {
-        assert!(rows > 0 && cols > 0, "mesh dimensions must be positive");
-        assert_eq!(pes.len(), rows * cols, "need rows*cols PEs");
-        Mesh2D {
+        Self::try_new(rows, cols, pes).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds a mesh, returning a typed [`SdpError`] instead of
+    /// panicking on a zero dimension or a wrong PE count.
+    pub fn try_new(rows: usize, cols: usize, pes: Vec<P>) -> Result<Mesh2D<P>, SdpError> {
+        if rows == 0 || cols == 0 {
+            return Err(SdpError::MeshDims { rows, cols });
+        }
+        if pes.len() != rows * cols {
+            return Err(SdpError::PeCount {
+                expected: rows * cols,
+                got: pes.len(),
+            });
+        }
+        Ok(Mesh2D {
             rows,
             cols,
             pes,
             h: vec![vec![None; cols + 1]; rows],
             v: vec![vec![None; cols]; rows + 1],
             stats: Stats::new(rows * cols),
-        }
+        })
     }
 
     /// Grid shape `(rows, cols)`.
@@ -119,16 +133,73 @@ impl<P: MeshProcessingElement> Mesh2D<P> {
     #[allow(clippy::type_complexity)]
     pub fn cycle_traced<S: TraceSink>(
         &mut self,
+        west_in: impl FnMut(usize) -> Option<P::Horiz>,
+        north_in: impl FnMut(usize) -> Option<P::Vert>,
+        ctrl: impl FnMut(usize, usize) -> P::Ctrl,
+        sink: &mut S,
+    ) -> (Vec<Option<P::Horiz>>, Vec<Option<P::Vert>>) {
+        self.cycle_core(west_in, north_in, ctrl, sink, |_, _, out, _| out)
+    }
+
+    /// [`cycle_traced`](Self::cycle_traced) with a [`FaultInjector`]
+    /// deciding, per PE and cycle, whether the words the PE drives east
+    /// and south are corrupted.  One injected fault corrupts both
+    /// output latches of the PE (the classical single-PE failure
+    /// model); with [`sdp_fault::NoFaults`] the hook folds away.
+    #[allow(clippy::type_complexity)]
+    pub fn cycle_fault_traced<S: TraceSink, F: FaultInjector>(
+        &mut self,
+        west_in: impl FnMut(usize) -> Option<P::Horiz>,
+        north_in: impl FnMut(usize) -> Option<P::Vert>,
+        ctrl: impl FnMut(usize, usize) -> P::Ctrl,
+        injector: &mut F,
+        sink: &mut S,
+    ) -> (Vec<Option<P::Horiz>>, Vec<Option<P::Vert>>)
+    where
+        P::Horiz: FaultyWord,
+        P::Vert: FaultyWord,
+    {
+        self.cycle_core(west_in, north_in, ctrl, sink, |pe, cycle, out, sink| {
+            if F::ENABLED {
+                let (east, south) = out;
+                if east.is_some() || south.is_some() {
+                    if let Some(fault) = injector.pe_fault(pe, cycle) {
+                        if S::ENABLED {
+                            sink.record(Event::FaultInjected {
+                                kind: fault.kind(),
+                                site: pe,
+                            });
+                        }
+                        return (east.map(|w| w.apply(fault)), south.map(|w| w.apply(fault)));
+                    }
+                }
+                return (east, south);
+            }
+            out
+        })
+    }
+
+    /// The one true cycle body: `corrupt` observes each PE's
+    /// `(east, south)` output pair and may replace it (identity on the
+    /// fault-free path, where it inlines to nothing).
+    #[allow(clippy::type_complexity)]
+    fn cycle_core<S: TraceSink>(
+        &mut self,
         mut west_in: impl FnMut(usize) -> Option<P::Horiz>,
         mut north_in: impl FnMut(usize) -> Option<P::Vert>,
         mut ctrl: impl FnMut(usize, usize) -> P::Ctrl,
         sink: &mut S,
+        mut corrupt: impl FnMut(
+            u32,
+            u64,
+            (Option<P::Horiz>, Option<P::Vert>),
+            &mut S,
+        ) -> (Option<P::Horiz>, Option<P::Vert>),
     ) -> (Vec<Option<P::Horiz>>, Vec<Option<P::Vert>>) {
         let (rows, cols) = (self.rows, self.cols);
+        let now = self.stats.cycles();
         if S::ENABLED {
-            sink.record(Event::CycleStart {
-                cycle: self.stats.cycles(),
-            });
+            sink.record(Event::CycleStart { cycle: now });
         }
         // Snapshot pre-cycle latches, inject edges.
         let mut h_in = self.h.clone();
@@ -157,7 +228,8 @@ impl<P: MeshProcessingElement> Mesh2D<P> {
         for r in 0..rows {
             for c in 0..cols {
                 let pe = &mut self.pes[r * cols + c];
-                let (east, south) = pe.step(h_in[r][c], v_in[r][c], ctrl(r, c));
+                let stepped = pe.step(h_in[r][c], v_in[r][c], ctrl(r, c));
+                let (east, south) = corrupt((r * cols + c) as u32, now, stepped, &mut *sink);
                 h_next[r][c + 1] = east;
                 v_next[r + 1][c] = south;
                 let busy = pe.was_busy();
@@ -276,6 +348,54 @@ mod tests {
     #[should_panic(expected = "rows*cols")]
     fn wrong_pe_count_rejected() {
         let _ = Mesh2D::new(2, 2, vec![Cross::default()]);
+    }
+
+    #[test]
+    fn try_new_reports_shape_errors() {
+        use sdp_fault::SdpError;
+        assert!(matches!(
+            Mesh2D::<Cross>::try_new(0, 2, vec![]),
+            Err(SdpError::MeshDims { rows: 0, cols: 2 })
+        ));
+        assert!(matches!(
+            Mesh2D::try_new(2, 2, vec![Cross::default()]),
+            Err(SdpError::PeCount {
+                expected: 4,
+                got: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn injected_mesh_fault_corrupts_crossing_word() {
+        use sdp_fault::{Fault, FaultPlan, NoFaults, PlanInjector};
+        use sdp_trace::CountingSink;
+        let plan = FaultPlan::new().with(Fault::StuckAt {
+            pe: 0,
+            cycle: 0,
+            value: 99,
+        });
+        let mut inj = PlanInjector::new(plan);
+        let mut sink = CountingSink::default();
+        let mut m = mesh(1, 2);
+        m.cycle_fault_traced(|_| Some(7u32), |_| None, |_, _| (), &mut inj, &mut sink);
+        let (e, _) = m.cycle_fault_traced(|_| None, |_| None, |_, _| (), &mut inj, &mut sink);
+        // PE (0,0) is stuck: the word arrives at the east edge as 99.
+        assert_eq!(e, vec![Some(99)]);
+        assert!(sink.faults_injected >= 1);
+
+        // NoFaults is the identity.
+        let mut plain = mesh(1, 2);
+        let mut clean = mesh(1, 2);
+        plain.cycle(|_| Some(7u32), |_| None, |_, _| ());
+        clean.cycle_fault_traced(
+            |_| Some(7u32),
+            |_| None,
+            |_, _| (),
+            &mut NoFaults,
+            &mut sdp_trace::NullSink,
+        );
+        assert_eq!(plain.stats(), clean.stats());
     }
 
     #[test]

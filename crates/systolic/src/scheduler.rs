@@ -16,6 +16,7 @@
 //!   per-task durations, used when matrices have unequal dimensions and the
 //!   multiply tree becomes a dataflow graph (end of §4).
 
+use sdp_fault::SdpError;
 use sdp_trace::chrome::ChromeTrace;
 use sdp_trace::json::Json;
 use sdp_trace::{Event, NullSink, TraceSink};
@@ -101,8 +102,29 @@ impl TreeScheduler {
     /// `TaskStart`/`TaskEnd` pair on its array (tasks are numbered in
     /// execution order).
     pub fn simulate_traced<S: TraceSink>(&self, n: u64, k: u64, sink: &mut S) -> Schedule {
-        assert!(n >= 1, "need at least one matrix");
-        assert!(k >= 1, "need at least one array");
+        self.try_simulate_traced(n, k, sink)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`simulate`](Self::simulate) that reports malformed parameters
+    /// as a typed error instead of panicking.
+    pub fn try_simulate(&self, n: u64, k: u64) -> Result<Schedule, SdpError> {
+        self.try_simulate_traced(n, k, &mut NullSink)
+    }
+
+    /// [`simulate_traced`](Self::simulate_traced) with typed errors.
+    pub fn try_simulate_traced<S: TraceSink>(
+        &self,
+        n: u64,
+        k: u64,
+        sink: &mut S,
+    ) -> Result<Schedule, SdpError> {
+        if n < 1 {
+            return Err(SdpError::NoMatrices);
+        }
+        if k < 1 {
+            return Err(SdpError::NoArrays);
+        }
         let mut live = n;
         let mut tasks_per_round = Vec::new();
         let mut computation_rounds = 0;
@@ -134,14 +156,14 @@ impl TreeScheduler {
             }
             task_id += tasks as u32;
         }
-        Schedule {
+        Ok(Schedule {
             n,
             k,
             rounds: tasks_per_round.len() as u64,
             computation_rounds,
             winddown_rounds,
             tasks_per_round,
-        }
+        })
     }
 }
 
@@ -159,13 +181,23 @@ impl TreeScheduler {
 /// assert_eq!(eq29_time(4096, 465), 17);
 /// ```
 pub fn eq29_time(n: u64, k: u64) -> u64 {
-    assert!(n >= 1 && k >= 1);
+    try_eq29_time(n, k).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`eq29_time`] with typed parameter validation.
+pub fn try_eq29_time(n: u64, k: u64) -> Result<u64, SdpError> {
+    if n < 1 {
+        return Err(SdpError::NoMatrices);
+    }
+    if k < 1 {
+        return Err(SdpError::NoArrays);
+    }
     if n == 1 {
-        return 0;
+        return Ok(0);
     }
     let tc = (n - 1) / k;
     let rem = n + k - 1 - k * tc;
-    tc + rem.ilog2() as u64
+    Ok(tc + rem.ilog2() as u64)
 }
 
 /// `K · T²` from the exact formula (Figure 6's y-axis, `T₁ = 1`).
@@ -232,14 +264,28 @@ pub struct DagScheduler;
 impl DagScheduler {
     /// Schedules `tasks` onto `k` workers; returns the full schedule.
     pub fn schedule(&self, tasks: &[DagTask], k: usize) -> DagSchedule {
-        assert!(k >= 1, "need at least one worker");
+        self.try_schedule(tasks, k)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`schedule`](Self::schedule) that reports a cyclic graph, a bad
+    /// dependency index, or zero workers as a typed error instead of
+    /// panicking.
+    pub fn try_schedule(&self, tasks: &[DagTask], k: usize) -> Result<DagSchedule, SdpError> {
+        if k < 1 {
+            return Err(SdpError::BadParameter {
+                name: "workers",
+                got: k as u64,
+                min: 1,
+            });
+        }
         let n = tasks.len();
         if n == 0 {
-            return DagSchedule {
+            return Ok(DagSchedule {
                 makespan: 0,
                 start: vec![],
                 worker: vec![],
-            };
+            });
         }
         // successors and indegrees
         let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -247,12 +293,18 @@ impl DagScheduler {
         for (i, t) in tasks.iter().enumerate() {
             indeg[i] = t.deps.len();
             for &d in &t.deps {
-                assert!(d < n, "dependency index out of range");
+                if d >= n {
+                    return Err(SdpError::DepOutOfRange {
+                        task: i,
+                        dep: d,
+                        len: n,
+                    });
+                }
                 succs[d].push(i);
             }
         }
         // bottom level (critical path length to exit) via reverse topo order
-        let level = Self::bottom_levels(tasks, &succs);
+        let level = Self::bottom_levels(tasks, &succs).ok_or(SdpError::CyclicDag)?;
 
         let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
         let mut ready_at = vec![0u64; n]; // earliest data-ready time
@@ -263,10 +315,9 @@ impl DagScheduler {
         let mut scheduled = 0usize;
 
         while scheduled < n {
-            assert!(
-                !ready.is_empty(),
-                "cyclic dependency graph passed to DagScheduler"
-            );
+            if ready.is_empty() {
+                return Err(SdpError::CyclicDag);
+            }
             // Pick the ready task with the greatest bottom level
             // (ties: smaller index), on the earliest-free worker.
             ready.sort_by(|&a, &b| level[b].cmp(&level[a]).then(a.cmp(&b)));
@@ -286,14 +337,15 @@ impl DagScheduler {
                 }
             }
         }
-        DagSchedule {
+        Ok(DagSchedule {
             makespan: finish.iter().copied().max().unwrap_or(0),
             start,
             worker,
-        }
+        })
     }
 
-    fn bottom_levels(tasks: &[DagTask], succs: &[Vec<usize>]) -> Vec<u64> {
+    /// `None` when the graph is cyclic.
+    fn bottom_levels(tasks: &[DagTask], succs: &[Vec<usize>]) -> Option<Vec<u64>> {
         let n = tasks.len();
         // reverse topological order via Kahn on successors
         let mut outdeg: Vec<usize> = succs.iter().map(|s| s.len()).collect();
@@ -310,8 +362,7 @@ impl DagScheduler {
                 }
             }
         }
-        assert_eq!(order.len(), n, "cyclic dependency graph");
-        level
+        (order.len() == n).then_some(level)
     }
 }
 

@@ -91,6 +91,75 @@ pub enum Event {
         /// Array / worker the task ran on.
         array: u32,
     },
+    /// A fault from a [`FaultKind`] class fired at a site.
+    FaultInjected {
+        /// What kind of failure was injected.
+        kind: FaultKind,
+        /// Site index: PE, bus station, or task id depending on `kind`.
+        site: u32,
+    },
+    /// A checker (DMR/TMR compare, executor watchdog) observed a fault.
+    FaultDetected {
+        /// What kind of failure was diagnosed.
+        kind: FaultKind,
+        /// Site index: PE, bus station, or task id depending on `kind`.
+        site: u32,
+    },
+    /// A task orphaned by a dead worker was handed to another worker.
+    TaskReassigned {
+        /// Task id that was reassigned.
+        task: u32,
+        /// Worker the task was originally scheduled on.
+        from: u32,
+        /// Worker that re-ran the task.
+        to: u32,
+    },
+    /// A faulty PE column was bypassed and its work shifted to a spare.
+    PeRemapped {
+        /// Logical index of the PE diagnosed as faulty.
+        failed: u32,
+        /// Physical index of the spare now carrying its work.
+        spare: u32,
+    },
+}
+
+/// The class of a hardware or scheduling failure, in 1985 VLSI terms:
+/// transient upsets (alpha-particle bit flips), permanent stuck-at
+/// faults, interconnect/bus failures, and whole-PE (worker) death.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A single-cycle bit flip in a PE's output latch.
+    TransientFlip,
+    /// A PE output permanently stuck at a value from some cycle on.
+    StuckAt,
+    /// A word driven on the shared bus that never arrives.
+    DroppedBusWord,
+    /// A bus word delivered with a flipped bit.
+    CorruptBusWord,
+    /// The circulating pick-up token fails to advance for one cycle.
+    LostToken,
+    /// A scheduled worker dies (panics) at a chosen task index.
+    WorkerDeath,
+    /// A value-level disagreement observed by a redundancy checker
+    /// (duplex compare or TMR vote).  This is a *detection-side* class:
+    /// the checker sees corrupted output without being able to diagnose
+    /// which physical failure produced it.
+    ValueMismatch,
+}
+
+impl FaultKind {
+    /// Short lower-case label, stable for JSON/waveform output.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::TransientFlip => "transient_flip",
+            FaultKind::StuckAt => "stuck_at",
+            FaultKind::DroppedBusWord => "dropped_bus_word",
+            FaultKind::CorruptBusWord => "corrupt_bus_word",
+            FaultKind::LostToken => "lost_token",
+            FaultKind::WorkerDeath => "worker_death",
+            FaultKind::ValueMismatch => "value_mismatch",
+        }
+    }
 }
 
 /// Receives [`Event`]s from a simulated run.
@@ -153,6 +222,14 @@ pub struct CountingSink {
     pub task_starts: u64,
     /// `TaskEnd` events seen.
     pub task_ends: u64,
+    /// `FaultInjected` events seen.
+    pub faults_injected: u64,
+    /// `FaultDetected` events seen.
+    pub faults_detected: u64,
+    /// `TaskReassigned` events seen.
+    pub tasks_reassigned: u64,
+    /// `PeRemapped` events seen.
+    pub pes_remapped: u64,
 }
 
 impl TraceSink for CountingSink {
@@ -177,7 +254,30 @@ impl TraceSink for CountingSink {
             Event::WordOut => self.words_out += 1,
             Event::TaskStart { .. } => self.task_starts += 1,
             Event::TaskEnd { .. } => self.task_ends += 1,
+            Event::FaultInjected { .. } => self.faults_injected += 1,
+            Event::FaultDetected { .. } => self.faults_detected += 1,
+            Event::TaskReassigned { .. } => self.tasks_reassigned += 1,
+            Event::PeRemapped { .. } => self.pes_remapped += 1,
         }
+    }
+}
+
+/// Stores the complete event stream in order.
+///
+/// The expensive sink: one `Vec` entry per event.  Exists for tests
+/// that need *exact stream equality* — e.g. the property that injecting
+/// an empty fault plan is observationally identical to the fault-free
+/// run, which counter-based sinks cannot distinguish from a reordered
+/// stream.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecordingSink {
+    /// Every event recorded, in arrival order.
+    pub events: Vec<Event>,
+}
+
+impl TraceSink for RecordingSink {
+    fn record(&mut self, event: Event) {
+        self.events.push(event);
     }
 }
 
@@ -224,6 +324,23 @@ mod tests {
         sink.record(Event::WordOut);
         sink.record(Event::TaskStart { task: 4, array: 1 });
         sink.record(Event::TaskEnd { task: 4, array: 1 });
+        sink.record(Event::FaultInjected {
+            kind: FaultKind::StuckAt,
+            site: 2,
+        });
+        sink.record(Event::FaultDetected {
+            kind: FaultKind::StuckAt,
+            site: 2,
+        });
+        sink.record(Event::TaskReassigned {
+            task: 4,
+            from: 1,
+            to: 0,
+        });
+        sink.record(Event::PeRemapped {
+            failed: 2,
+            spare: 3,
+        });
         assert_eq!(
             sink,
             CountingSink {
@@ -238,6 +355,10 @@ mod tests {
                 words_out: 1,
                 task_starts: 1,
                 task_ends: 1,
+                faults_injected: 1,
+                faults_detected: 1,
+                tasks_reassigned: 1,
+                pes_remapped: 1,
             }
         );
     }

@@ -270,7 +270,14 @@ impl TraceSink for VcdSink {
             }
             Event::WordIn => self.set(self.word_in, 1),
             Event::WordOut => self.set(self.word_out, 1),
-            Event::TaskStart { .. } | Event::TaskEnd { .. } => {}
+            // Scheduling and fault bookkeeping events have no per-cycle
+            // waveform wire; the Chrome exporter and CountingSink carry them.
+            Event::TaskStart { .. }
+            | Event::TaskEnd { .. }
+            | Event::FaultInjected { .. }
+            | Event::FaultDetected { .. }
+            | Event::TaskReassigned { .. }
+            | Event::PeRemapped { .. } => {}
         }
     }
 }
