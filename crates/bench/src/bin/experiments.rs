@@ -1,13 +1,14 @@
 //! Regenerates every table and figure of Wah & Li (1985).
 //!
 //! ```text
-//! experiments [all|e1|e2|e3|fig6|prop1|thm1|thm2|prop2|prop3|eq40|table1|e12..e20|degradation] [--json]
+//! experiments [all|e1|e2|e3|fig6|prop1|thm1|thm2|prop2|prop3|eq40|table1|e12..e20|degradation|throughput] [--json]
 //! ```
 //!
 //! With `--json` the selected experiments are emitted as a single JSON
 //! document on stdout (metrics only, no tables); `all --json`
 //! additionally writes the document to `BENCH_pr1.json` in the current
-//! directory for regression tracking.
+//! directory for regression tracking, and `throughput --json` (E22)
+//! writes `BENCH_pr3.json`.
 
 use sdp_bench::experiments as ex;
 use sdp_bench::{reports_to_json, Report};
@@ -44,10 +45,13 @@ fn main() {
         "e19" | "curve" => vec![ex::report_e19()],
         "e20" | "edit" => vec![ex::report_e20()],
         "e21" | "degradation" => vec![ex::report_degradation()],
+        "e22" | "throughput" => vec![ex::report_throughput()],
+        "throughput-quick" => vec![ex::report_throughput_quick()],
         other => {
             eprintln!(
                 "unknown experiment '{other}'; expected one of: all e1 e2 e3 fig6 \
-                 prop1 thm1 thm2 prop2 prop3 eq40 table1 e12..e20 degradation [--json]"
+                 prop1 thm1 thm2 prop2 prop3 eq40 table1 e12..e20 degradation \
+                 throughput throughput-quick [--json]"
             );
             std::process::exit(2);
         }
@@ -58,6 +62,11 @@ fn main() {
         if which == "all" {
             if let Err(e) = std::fs::write("BENCH_pr1.json", format!("{doc}\n")) {
                 eprintln!("warning: could not write BENCH_pr1.json: {e}");
+            }
+        }
+        if which == "e22" || which == "throughput" {
+            if let Err(e) = std::fs::write("BENCH_pr3.json", format!("{doc}\n")) {
+                eprintln!("warning: could not write BENCH_pr3.json: {e}");
             }
         }
     } else {

@@ -1,0 +1,112 @@
+//! Golden-file smoke test for the E22 throughput experiment.
+//!
+//! Wall-clock columns are host-dependent, so this is a *schema*
+//! golden-diff, not a timing assertion: every timing/host-shaped value
+//! (ms, speedups, overheads, core/thread counts, flags, and the title
+//! line that embeds the core count) is redacted to `null` before the
+//! byte comparison.  The deterministic simulation numbers — batch
+//! cycles, sequential cycles, PU before/after batching — are compared
+//! exactly, so a drift here means the batching schedules or the kernel
+//! dispatch changed.  Regenerate after an intentional change with:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test -p sdp-bench --test throughput_golden
+//! ```
+
+use sdp_bench::experiments::report_throughput_quick;
+use sdp_bench::reports_to_json;
+use sdp_trace::json::Json;
+
+/// Nulls out every host-dependent field, keyed by name.
+fn redact(json: &mut Json) {
+    match json {
+        Json::Object(fields) => {
+            for (k, v) in fields.iter_mut() {
+                let host_dependent = [
+                    "ms", "cores", "threads", "speedup", "overhead", "flagged", "title",
+                ]
+                .iter()
+                .any(|n| k.contains(n));
+                if host_dependent {
+                    *v = Json::Null;
+                } else {
+                    redact(v);
+                }
+            }
+        }
+        Json::Array(items) => items.iter_mut().for_each(redact),
+        _ => {}
+    }
+}
+
+#[test]
+fn throughput_schema_and_cycle_metrics_match_golden() {
+    let mut doc = reports_to_json(&[report_throughput_quick()]);
+    redact(&mut doc);
+    let rendered = format!("{}\n", doc.render());
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        let file = format!(
+            "{}/tests/golden/throughput.json",
+            env!("CARGO_MANIFEST_DIR")
+        );
+        std::fs::write(&file, &rendered).unwrap();
+        return;
+    }
+    assert_eq!(
+        rendered,
+        include_str!("golden/throughput.json"),
+        "golden/throughput.json is stale; rerun with GOLDEN_REGEN=1 if the change is intentional"
+    );
+}
+
+#[test]
+fn batch_pu_strictly_improves_for_pipelined_arrays() {
+    // The acceptance gate for batching, checked on the quick variant:
+    // every fill/drain-overlapping engine must show strictly higher
+    // measured PU at B>1 than single-instance (the broadcast Design 2
+    // is exact concatenation and is exempt).
+    let report = report_throughput_quick();
+    let Json::Object(fields) = &report.metrics else {
+        panic!("metrics must be an object");
+    };
+    let batch = fields
+        .iter()
+        .find(|(k, _)| k == "batch")
+        .map(|(_, v)| v)
+        .expect("batch section");
+    let Json::Object(bfields) = batch else {
+        panic!("batch must be an object");
+    };
+    let Some((_, Json::Array(rows))) = bfields.iter().find(|(k, _)| k == "rows") else {
+        panic!("batch rows missing");
+    };
+    assert_eq!(rows.len(), 5, "five engines");
+    for row in rows {
+        let Json::Object(r) = row else {
+            panic!("row must be an object")
+        };
+        let get = |name: &str| -> f64 {
+            match r.iter().find(|(k, _)| k == name).map(|(_, v)| v) {
+                Some(Json::Float(f)) => *f,
+                Some(Json::Int(i)) => *i as f64,
+                other => panic!("{name} missing or non-numeric: {other:?}"),
+            }
+        };
+        let engine = match r.iter().find(|(k, _)| k == "engine").map(|(_, v)| v) {
+            Some(Json::Str(s)) => s.clone(),
+            other => panic!("engine missing: {other:?}"),
+        };
+        assert!(
+            get("batch_cycles") <= get("sequential_cycles"),
+            "{engine}: batching must never exceed sequential cycles"
+        );
+        if engine != "design2" {
+            assert!(
+                get("batch_pu") > get("single_pu"),
+                "{engine}: batch PU {} must beat single PU {}",
+                get("batch_pu"),
+                get("single_pu")
+            );
+        }
+    }
+}

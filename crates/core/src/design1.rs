@@ -27,19 +27,28 @@ use sdp_systolic::{LinearArray, ProcessingElement, Stats};
 use sdp_trace::{Event, NullSink, TraceSink};
 use std::sync::Arc;
 
-/// Phase schedule entry.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Phase {
+/// Phase schedule entry, carrying its own operand data.  A batched run
+/// concatenates the phase lists of every instance into one schedule, so
+/// each phase must be self-contained (no shared `mid`/`row` side tables).
+#[derive(Clone, Debug)]
+enum PhaseSpec {
     /// Results accumulate in place; the operand vector shifts through.
-    Stationary,
+    /// Carries the m×m matrix consumed in this phase.
+    Stationary(Matrix<MinPlus>),
     /// Operand vector is stationary (in `R`); partial results shift.
-    Moving,
+    Moving(Matrix<MinPlus>),
     /// Final 1×m row-vector phase executed as a moving pass
     /// (previous results already sit in `R`).
-    FinalRowMoving,
+    FinalRowMoving(Vec<MinPlus>),
     /// Final 1×m row-vector phase executed head-side: the vector streams
     /// in and `P₁` alone accumulates the scalar.
-    FinalRowHead,
+    FinalRowHead(Vec<MinPlus>),
+    /// Identity moving pass draining the stationary registers out the
+    /// tail between batched instances: item `j` picks up `Rⱼ` at PE `j`
+    /// (the identity matrix is `1̄` on the diagonal, `0̄` elsewhere).
+    /// Carries the item count — `m` to drain every register, `1` to
+    /// drain only `R₀` after a head-accumulated scalar.
+    Flush(usize),
 }
 
 /// Immutable per-run data shared by all PEs: the matrix elements each PE
@@ -47,29 +56,28 @@ enum Phase {
 /// off-chip streams of Fig. 3(a).
 struct Feed {
     m: usize,
-    /// `mid[p]` is the m×m matrix consumed in phase `p` (right-to-left).
-    mid: Vec<Matrix<MinPlus>>,
-    /// Optional final row vector (`A` in Eq. 8c).
-    row: Option<Vec<MinPlus>>,
-    phases: Vec<Phase>,
+    phases: Vec<PhaseSpec>,
 }
 
 impl Feed {
     /// Matrix element PE `i` needs for item `j` of phase `p`.
     fn element(&self, p: usize, i: usize, j: usize) -> MinPlus {
-        match self.phases[p] {
+        match &self.phases[p] {
             // result row i accumulates over arriving vector elements j
-            Phase::Stationary => self.mid[p].get(i, j),
+            PhaseSpec::Stationary(mat) => mat.get(i, j),
             // partial result j passes PE i holding stationary element i
-            Phase::Moving => self.mid[p].get(j, i),
-            Phase::FinalRowMoving => {
-                let row = self.row.as_ref().expect("row phase without row");
-                row[i]
-            }
-            Phase::FinalRowHead => {
+            PhaseSpec::Moving(mat) => mat.get(j, i),
+            PhaseSpec::FinalRowMoving(row) => row[i],
+            PhaseSpec::FinalRowHead(row) => {
                 if i == 0 {
-                    let row = self.row.as_ref().expect("row phase without row");
                     row[j]
+                } else {
+                    MinPlus::zero()
+                }
+            }
+            PhaseSpec::Flush(_) => {
+                if i == j {
+                    MinPlus::one()
                 } else {
                     MinPlus::zero()
                 }
@@ -79,10 +87,10 @@ impl Feed {
 
     /// Items processed per PE in phase `p`.
     fn items(&self, p: usize) -> usize {
-        if self.phases[p] == Phase::FinalRowMoving {
-            1
-        } else {
-            self.m
+        match &self.phases[p] {
+            PhaseSpec::FinalRowMoving(_) => 1,
+            PhaseSpec::Flush(k) => *k,
+            _ => self.m,
         }
     }
 }
@@ -125,7 +133,7 @@ impl Design1Pe {
             // pulse transfers the accumulated result into R.
             if matches!(
                 self.feed.phases[self.phase],
-                Phase::Stationary | Phase::FinalRowHead
+                PhaseSpec::Stationary(_) | PhaseSpec::FinalRowHead(_)
             ) {
                 self.r = self.acc;
                 self.acc = MinPlus::zero();
@@ -151,16 +159,16 @@ impl ProcessingElement for Design1Pe {
         debug_assert!(p < self.feed.phases.len(), "item after final phase");
         let c = self.feed.element(p, self.index, self.count);
         let out = match self.feed.phases[p] {
-            Phase::Stationary => {
+            PhaseSpec::Stationary(_) => {
                 // Aᵢ ⊕= c ⊗ x  (min-plus: Aᵢ = min(Aᵢ, c + x))
                 self.acc = self.acc.add(c.mul(x));
                 x // the operand vector shifts on
             }
-            Phase::Moving | Phase::FinalRowMoving => {
+            PhaseSpec::Moving(_) | PhaseSpec::FinalRowMoving(_) | PhaseSpec::Flush(_) => {
                 // y' = y ⊕ (c ⊗ Rᵢ)
                 x.add(c.mul(self.r))
             }
-            Phase::FinalRowHead => {
+            PhaseSpec::FinalRowHead(_) => {
                 if self.index == 0 {
                     self.acc = self.acc.add(c.mul(x));
                 }
@@ -187,6 +195,21 @@ enum Source {
     Value(MinPlus),
     /// The tail output of global item `q` (feedback of a moving phase).
     Tail(usize),
+}
+
+/// Where one instance's results come out of the schedule.
+enum Extract {
+    /// The m tail outputs of a final moving phase starting at item `base`.
+    MovingTail(usize),
+    /// The single tail output of a final row-moving phase (item `base`).
+    RowMovingTail(usize),
+    /// `count` tail outputs of a flush phase starting at item `base`.
+    FlushTail { base: usize, count: usize },
+    /// The stationary registers `R₀..R_{m−1}` after the run (last
+    /// instance of the batch only — nothing runs after it).
+    Registers,
+    /// The single register `R₀` after the run (head-accumulated scalar).
+    Register0,
 }
 
 /// The result of one Design 1 run.
@@ -217,6 +240,34 @@ impl Design1Result {
     /// The paper's PU (serial iterations over `N·m · m`).
     pub fn paper_pu(&self, serial_iterations: u64, m: u64) -> f64 {
         serial_iterations as f64 / (self.paper_iterations * m) as f64
+    }
+}
+
+/// The result of a batched Design 1 run: `B` independent matrix strings
+/// pipelined back-to-back through one array.
+#[derive(Clone, Debug)]
+pub struct Design1BatchResult {
+    /// `values[t]` = instance `t`'s final values (scalar optimum or
+    /// stage-1 cost vector, exactly as [`Design1Result::values`]).
+    pub values: Vec<Vec<Cost>>,
+    /// Measured makespan in clock cycles for the whole batch.
+    pub cycles: u64,
+    /// The paper's charged iteration count summed over the batch:
+    /// `B·N·m`.
+    pub paper_iterations: u64,
+    /// Engine statistics for the whole batch.
+    pub stats: Stats,
+}
+
+impl Design1BatchResult {
+    /// The scalar optimum of instance `t`.
+    pub fn optimum(&self, t: usize) -> Cost {
+        self.values[t].iter().copied().fold(Cost::INF, Cost::min)
+    }
+
+    /// Measured PU against the summed serial iteration count.
+    pub fn measured_pu(&self, serial_iterations: u64) -> f64 {
+        self.stats.processor_utilization(serial_iterations)
     }
 }
 
@@ -337,9 +388,36 @@ impl Design1Array {
         Ok((res, stats))
     }
 
-    /// Validates the string shape and runs the pipelined simulation.
-    /// `spare_for = Some(f)` builds `m + 1` physical columns with
-    /// physical column `f` bypassed (logical PEs shift past it).
+    /// Streams a batch of same-shaped matrix strings back-to-back through
+    /// one array: instance `t+1`'s first vector enters the head on the
+    /// cycle after instance `t`'s last item, so the pipeline-fill latency
+    /// is paid once for the whole batch instead of once per instance and
+    /// measured PU rises toward the Eq. 9 asymptote.  Instances whose
+    /// results end in the stationary registers are drained by an identity
+    /// *flush* pass before the next instance begins.  An empty batch or an
+    /// instance whose shape sequence differs from instance 0's is a typed
+    /// error.
+    pub fn run_batch(
+        &self,
+        instances: &[&[Matrix<MinPlus>]],
+    ) -> Result<Design1BatchResult, SdpError> {
+        self.run_batch_traced(instances, &mut NullSink)
+    }
+
+    /// [`run_batch`](Self::run_batch) with an event sink.  A batch of one
+    /// emits exactly the event stream of [`run_traced`](Self::run_traced).
+    pub fn run_batch_traced<S: TraceSink>(
+        &self,
+        instances: &[&[Matrix<MinPlus>]],
+        sink: &mut S,
+    ) -> Result<Design1BatchResult, SdpError> {
+        self.run_batch_core(instances, &mut NoFaults, sink, None)
+    }
+
+    /// Single-instance wrapper over the batch core: validates the string
+    /// shape and runs the pipelined simulation.  `spare_for = Some(f)`
+    /// builds `m + 1` physical columns with physical column `f` bypassed
+    /// (logical PEs shift past it).
     fn run_core<S: TraceSink, F: FaultInjector>(
         &self,
         mats: &[Matrix<MinPlus>],
@@ -347,7 +425,24 @@ impl Design1Array {
         sink: &mut S,
         spare_for: Option<usize>,
     ) -> Result<Design1Result, SdpError> {
-        let m = self.m;
+        let instances = [mats];
+        let Design1BatchResult {
+            mut values,
+            cycles,
+            paper_iterations,
+            stats,
+        } = self.run_batch_core(&instances, injector, sink, spare_for)?;
+        Ok(Design1Result {
+            values: values.pop().expect("one instance"),
+            cycles,
+            paper_iterations,
+            stats,
+        })
+    }
+
+    /// Shape checks shared by single and batched runs.  Returns
+    /// `(has_row, has_col)` for a valid string.
+    fn validate(m: usize, mats: &[Matrix<MinPlus>]) -> Result<(bool, bool), SdpError> {
         if mats.is_empty() {
             return Err(SdpError::EmptyMatrixString);
         }
@@ -360,8 +455,7 @@ impl Design1Array {
             });
         }
         let mid_range = (has_row as usize)..(mats.len() - has_col as usize);
-        let mid_src = &mats[mid_range.clone()];
-        for (off, mat) in mid_src.iter().enumerate() {
+        for (off, mat) in mats[mid_range.clone()].iter().enumerate() {
             if (mat.rows(), mat.cols()) != (m, m) {
                 return Err(SdpError::NotSquare {
                     index: mid_range.start + off,
@@ -383,79 +477,152 @@ impl Design1Array {
                 got: mats[mats.len() - 1].rows(),
             });
         }
+        Ok((has_row, has_col))
+    }
+
+    /// The shared single/batched driver: builds one concatenated phase
+    /// schedule covering every instance, drives the array through it, and
+    /// extracts each instance's results from the tail stream (or, for the
+    /// final instance, the registers).
+    fn run_batch_core<S: TraceSink, F: FaultInjector>(
+        &self,
+        instances: &[&[Matrix<MinPlus>]],
+        injector: &mut F,
+        sink: &mut S,
+        spare_for: Option<usize>,
+    ) -> Result<Design1BatchResult, SdpError> {
+        let m = self.m;
+        if instances.is_empty() {
+            return Err(SdpError::EmptyBatch);
+        }
+        let first = instances[0];
+        let (has_row, has_col) = Self::validate(m, first)?;
+        for (index, mats) in instances.iter().enumerate().skip(1) {
+            let same = mats.len() == first.len()
+                && mats
+                    .iter()
+                    .zip(first.iter())
+                    .all(|(a, b)| a.rows() == b.rows() && a.cols() == b.cols());
+            if !same {
+                return Err(SdpError::BatchShapeMismatch { index });
+            }
+        }
+        let bn = instances.len();
+        let p_count = first.len() - has_row as usize - has_col as usize;
+        let paper_iterations = (bn * first.len() * m) as u64;
 
         // Initial vector: the degenerate last column, or the all-one
         // (zero-cost) vector for multi-sink strings.
-        let v0: Vec<MinPlus> = if has_col {
-            (0..m).map(|i| mats[mats.len() - 1].get(i, 0)).collect()
-        } else {
-            vec![MinPlus::one(); m]
+        let v0 = |mats: &[Matrix<MinPlus>]| -> Vec<MinPlus> {
+            if has_col {
+                (0..m).map(|i| mats[mats.len() - 1].get(i, 0)).collect()
+            } else {
+                vec![MinPlus::one(); m]
+            }
         };
 
         // Degenerate string: only the m×1 column — nothing to pipeline;
-        // the column itself is the per-source answer.
-        let p_count_probe = mid_src.len();
-        if p_count_probe == 0 && !has_row {
-            return Ok(Design1Result {
-                values: v0.iter().map(|v| v.0).collect(),
+        // each instance's column is its per-source answer.
+        if p_count == 0 && !has_row {
+            return Ok(Design1BatchResult {
+                values: instances
+                    .iter()
+                    .map(|mats| v0(mats).iter().map(|v| v.0).collect())
+                    .collect(),
                 cycles: 0,
-                paper_iterations: (mats.len() * m) as u64,
+                paper_iterations,
                 stats: sdp_systolic::Stats::new(m),
             });
         }
 
-        // Phases consume interior matrices right-to-left, alternating.
-        let p_count = mid_src.len();
-        let mut phases = Vec::with_capacity(p_count + 1);
-        let mut mid = Vec::with_capacity(p_count);
-        for (pos, t) in (0..p_count).rev().enumerate() {
-            phases.push(if pos % 2 == 0 {
-                Phase::Stationary
-            } else {
-                Phase::Moving
-            });
-            mid.push(mid_src[t].clone());
+        // Build the concatenated schedule: per instance, phases consume
+        // interior matrices right-to-left, alternating — plus the
+        // injection plan (one Source per global item) and the extraction
+        // map, in one pass so tail feedback stays intra-instance.
+        enum LastKind {
+            Moving,
+            RowMoving,
+            Stationary,
+            RowHead,
         }
-        let row: Option<Vec<MinPlus>> = has_row.then(|| mats[0].row(0).to_vec());
-        if has_row {
-            let prev_stationary = p_count % 2 == 1; // last interior phase parity
-            phases.push(if p_count == 0 {
-                Phase::FinalRowHead
-            } else if prev_stationary {
-                Phase::FinalRowMoving
-            } else {
-                Phase::FinalRowHead
-            });
-        }
-        let feed = Arc::new(Feed {
-            m,
-            mid,
-            row,
-            phases: phases.clone(),
-        });
-
-        // Injection plan: one Source per global item.
+        let mut phases: Vec<PhaseSpec> = Vec::new();
         let mut plan: Vec<Source> = Vec::new();
-        let mut phase_first_item = Vec::with_capacity(phases.len());
-        for (p, ph) in phases.iter().enumerate() {
-            phase_first_item.push(plan.len());
-            match ph {
-                Phase::Stationary | Phase::FinalRowHead => {
-                    if p == 0 {
-                        plan.extend(v0.iter().map(|&v| Source::Value(v)));
+        let mut extracts: Vec<Extract> = Vec::with_capacity(bn);
+        for (t, mats) in instances.iter().enumerate() {
+            let mid_src = &mats[(has_row as usize)..(mats.len() - has_col as usize)];
+            let inst_first = phases.len();
+            let mut prev_base = 0usize;
+            for (pos, ti) in (0..p_count).rev().enumerate() {
+                let base = plan.len();
+                if pos % 2 == 0 {
+                    if phases.len() == inst_first {
+                        plan.extend(v0(mats).into_iter().map(Source::Value));
                     } else {
                         // previous phase was Moving: its tail outputs are
                         // the vector to stream in.
-                        let base = phase_first_item[p - 1];
-                        plan.extend((0..m).map(|j| Source::Tail(base + j)));
+                        plan.extend((0..m).map(|j| Source::Tail(prev_base + j)));
+                    }
+                    phases.push(PhaseSpec::Stationary(mid_src[ti].clone()));
+                } else {
+                    plan.extend((0..m).map(|_| Source::Value(MinPlus::zero())));
+                    phases.push(PhaseSpec::Moving(mid_src[ti].clone()));
+                }
+                prev_base = base;
+            }
+            if has_row {
+                let row = mats[0].row(0).to_vec();
+                let base = plan.len();
+                if p_count % 2 == 1 {
+                    // last interior phase was Stationary: results sit in
+                    // R, the row executes as a moving pass.
+                    plan.push(Source::Value(MinPlus::zero()));
+                    phases.push(PhaseSpec::FinalRowMoving(row));
+                } else {
+                    if p_count == 0 {
+                        plan.extend(v0(mats).into_iter().map(Source::Value));
+                    } else {
+                        plan.extend((0..m).map(|j| Source::Tail(prev_base + j)));
+                    }
+                    phases.push(PhaseSpec::FinalRowHead(row));
+                }
+                prev_base = base;
+            }
+            // Extraction — plus an identity flush pass when the results
+            // sit in R and another instance follows (whose MOVE pulses
+            // would overwrite the registers).
+            let last_kind = match phases.last().expect("at least one phase") {
+                PhaseSpec::Moving(_) => LastKind::Moving,
+                PhaseSpec::FinalRowMoving(_) => LastKind::RowMoving,
+                PhaseSpec::Stationary(_) => LastKind::Stationary,
+                PhaseSpec::FinalRowHead(_) => LastKind::RowHead,
+                PhaseSpec::Flush(_) => unreachable!("flush is never a real last phase"),
+            };
+            match last_kind {
+                LastKind::Moving => extracts.push(Extract::MovingTail(prev_base)),
+                LastKind::RowMoving => extracts.push(Extract::RowMovingTail(prev_base)),
+                LastKind::Stationary => {
+                    if t + 1 == bn {
+                        extracts.push(Extract::Registers);
+                    } else {
+                        let base = plan.len();
+                        plan.extend((0..m).map(|_| Source::Value(MinPlus::zero())));
+                        phases.push(PhaseSpec::Flush(m));
+                        extracts.push(Extract::FlushTail { base, count: m });
                     }
                 }
-                Phase::Moving => {
-                    plan.extend((0..m).map(|_| Source::Value(MinPlus::zero())));
+                LastKind::RowHead => {
+                    if t + 1 == bn {
+                        extracts.push(Extract::Register0);
+                    } else {
+                        let base = plan.len();
+                        plan.push(Source::Value(MinPlus::zero()));
+                        phases.push(PhaseSpec::Flush(1));
+                        extracts.push(Extract::FlushTail { base, count: 1 });
+                    }
                 }
-                Phase::FinalRowMoving => plan.push(Source::Value(MinPlus::zero())),
             }
         }
+        let feed = Arc::new(Feed { m, phases });
 
         // Drive the array cycle by cycle.  With a spare, the physical
         // array has m + 1 columns; logical PE `l` sits at physical
@@ -510,24 +677,26 @@ impl Design1Array {
             );
         }
 
-        // Extract results (register reads go through the logical →
-        // physical column map).
-        let last = *phases.last().expect("at least one phase");
-        let values: Vec<Cost> = match last {
-            Phase::Moving => {
-                let base = phase_first_item[phases.len() - 1];
-                (0..m).map(|j| tail_out[base + j].unwrap().0).collect()
-            }
-            Phase::FinalRowMoving => {
-                vec![tail_out[total_items - 1].unwrap().0]
-            }
-            Phase::Stationary => (0..m).map(|l| array.pes()[physical(l)].r()).collect(),
-            Phase::FinalRowHead => vec![array.pes()[physical(0)].r()],
-        };
-        Ok(Design1Result {
+        // Extract each instance's results (register reads go through the
+        // logical → physical column map).
+        let values: Vec<Vec<Cost>> = extracts
+            .iter()
+            .map(|e| match *e {
+                Extract::MovingTail(base) => {
+                    (0..m).map(|j| tail_out[base + j].unwrap().0).collect()
+                }
+                Extract::RowMovingTail(item) => vec![tail_out[item].unwrap().0],
+                Extract::FlushTail { base, count } => {
+                    (0..count).map(|j| tail_out[base + j].unwrap().0).collect()
+                }
+                Extract::Registers => (0..m).map(|l| array.pes()[physical(l)].r()).collect(),
+                Extract::Register0 => vec![array.pes()[physical(0)].r()],
+            })
+            .collect();
+        Ok(Design1BatchResult {
             values,
             cycles: array.stats().cycles(),
-            paper_iterations: (mats.len() * m) as u64,
+            paper_iterations,
             stats: array.stats().clone(),
         })
     }
@@ -750,5 +919,159 @@ mod tests {
         assert_eq!(rstats.extra_cycles, fixed.cycles - clean.cycles);
         assert_eq!(sink.pes_remapped, 1);
         assert_eq!(sink.faults_injected, 0, "bypass shields the stuck column");
+    }
+
+    #[test]
+    fn batch_matches_sequential_runs() {
+        // Shapes covering every extraction path: FinalRowMoving (even
+        // stage count), FinalRowHead (odd), uniform strings ending
+        // Stationary and Moving (flush drains R between instances), and
+        // m = 1 strings of bare 1×1 matrices.  Tail-extracted shapes
+        // (`no_slower = true`) must not lose cycles to batching;
+        // register-extracted shapes pay an explicit flush pass to drain
+        // R between instances (single runs read R for free), so only
+        // value equality is asserted there.
+        let cases: Vec<(usize, bool, Vec<Vec<Matrix<MinPlus>>>)> = vec![
+            (
+                4,
+                true,
+                (0..5)
+                    .map(|s| {
+                        generate::random_single_source_sink(s, 6, 4, 0, 30)
+                            .matrix_string()
+                            .to_vec()
+                    })
+                    .collect(),
+            ),
+            (
+                3,
+                true,
+                (0..4)
+                    .map(|s| {
+                        generate::random_single_source_sink(s + 50, 7, 3, 0, 30)
+                            .matrix_string()
+                            .to_vec()
+                    })
+                    .collect(),
+            ),
+            (
+                3,
+                false,
+                (0..4)
+                    .map(|s| {
+                        generate::random_uniform(s, 4, 3, 0, 25)
+                            .matrix_string()
+                            .to_vec()
+                    })
+                    .collect(),
+            ),
+            (
+                3,
+                true,
+                (0..4)
+                    .map(|s| {
+                        generate::random_uniform(s + 9, 5, 3, 0, 25)
+                            .matrix_string()
+                            .to_vec()
+                    })
+                    .collect(),
+            ),
+            (
+                1,
+                true,
+                (0..3)
+                    .map(|s| {
+                        generate::random_uniform(s, 5, 1, 0, 9)
+                            .matrix_string()
+                            .to_vec()
+                    })
+                    .collect(),
+            ),
+        ];
+        for (case, (m, no_slower, strings)) in cases.into_iter().enumerate() {
+            let arr = Design1Array::new(m);
+            let refs: Vec<&[Matrix<MinPlus>]> = strings.iter().map(|s| s.as_slice()).collect();
+            let batch = arr.run_batch(&refs).unwrap();
+            let mut sequential_cycles = 0u64;
+            for (t, s) in strings.iter().enumerate() {
+                let single = arr.run(s);
+                assert_eq!(batch.values[t], single.values, "case {case} instance {t}");
+                sequential_cycles += single.cycles;
+            }
+            if no_slower {
+                assert!(
+                    batch.cycles <= sequential_cycles,
+                    "case {case}: batch {} vs sequential {}",
+                    batch.cycles,
+                    sequential_cycles
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_of_one_emits_single_run_event_stream() {
+        use sdp_trace::RecordingSink;
+        let g = generate::random_single_source_sink(21, 6, 4, 0, 30);
+        let arr = Design1Array::new(4);
+        let mut single_sink = RecordingSink::default();
+        let single = arr.run_traced(g.matrix_string(), &mut single_sink);
+        let mut batch_sink = RecordingSink::default();
+        let batch = arr
+            .run_batch_traced(&[g.matrix_string()], &mut batch_sink)
+            .unwrap();
+        assert_eq!(batch.values, vec![single.values.clone()]);
+        assert_eq!(batch.cycles, single.cycles);
+        assert_eq!(batch_sink.events, single_sink.events);
+    }
+
+    #[test]
+    fn batch_pu_exceeds_single_pu() {
+        // B = 16 single-source/sink instances: the pipeline-fill latency
+        // is paid once instead of 16 times, so measured PU rises.
+        let (stages, m, b) = (6usize, 4usize, 16usize);
+        let strings: Vec<Vec<Matrix<MinPlus>>> = (0..b as u64)
+            .map(|s| {
+                generate::random_single_source_sink(s, stages, m, 0, 30)
+                    .matrix_string()
+                    .to_vec()
+            })
+            .collect();
+        let refs: Vec<&[Matrix<MinPlus>]> = strings.iter().map(|s| s.as_slice()).collect();
+        let arr = Design1Array::new(m);
+        let n_mats = (stages - 1) as u64;
+        let serial = solve::SerialCounts::matrix_string(n_mats, m as u64);
+        let single = arr.run(&strings[0]);
+        let single_pu = single.measured_pu(serial);
+        let batch = arr.run_batch(&refs).unwrap();
+        let batch_pu = batch.measured_pu(serial * b as u64);
+        assert!(
+            batch_pu > single_pu,
+            "batch {batch_pu} should beat single {single_pu}"
+        );
+        assert!(
+            batch.cycles < single.cycles * b as u64,
+            "batch {} vs {}x single {}",
+            batch.cycles,
+            b,
+            single.cycles
+        );
+    }
+
+    #[test]
+    fn batch_shape_errors_are_typed() {
+        let arr = Design1Array::new(3);
+        assert!(matches!(arr.run_batch(&[]), Err(SdpError::EmptyBatch)));
+        let a = generate::random_single_source_sink(1, 6, 3, 0, 9);
+        let b = generate::random_single_source_sink(2, 7, 3, 0, 9);
+        assert!(matches!(
+            arr.run_batch(&[a.matrix_string(), b.matrix_string()]),
+            Err(SdpError::BatchShapeMismatch { index: 1 })
+        ));
+        let u = generate::random_uniform(3, 4, 3, 0, 9);
+        assert!(matches!(
+            arr.run_batch(&[a.matrix_string(), u.matrix_string()]),
+            Err(SdpError::BatchShapeMismatch { index: 1 })
+        ));
     }
 }

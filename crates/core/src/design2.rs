@@ -50,6 +50,38 @@ impl Design2Result {
     }
 }
 
+/// The result of a batched Design 2 run: `B` same-shaped strings
+/// processed back-to-back on one array.
+#[derive(Clone, Debug)]
+pub struct Design2BatchResult {
+    /// Per-instance final values, in batch order.
+    pub values: Vec<Vec<Cost>>,
+    /// Per-instance recovered optimal paths.
+    pub paths: Vec<Option<Vec<usize>>>,
+    /// Total cycles for the whole batch (`B×` the single-run count — the
+    /// broadcast array has no fill/drain to amortize).
+    pub cycles: u64,
+    /// The paper's charged iteration count `B·N·m`.
+    pub paper_iterations: u64,
+    /// Busy/cycle statistics over the whole batch.
+    pub stats: Stats,
+    /// Words that crossed the array boundary (broadcast inputs).
+    pub broadcast_words: u64,
+}
+
+impl Design2BatchResult {
+    /// The scalar optimum of instance `t`.
+    pub fn optimum(&self, t: usize) -> Cost {
+        self.values[t].iter().copied().fold(Cost::INF, Cost::min)
+    }
+
+    /// Measured PU against the total serial iteration count of all
+    /// instances.
+    pub fn measured_pu(&self, serial_iterations: u64) -> f64 {
+        self.stats.processor_utilization(serial_iterations)
+    }
+}
+
 /// One PE of Design 2 (Fig. 4(b)): accumulator plus the `S` feedback
 /// register.
 #[derive(Clone, Debug)]
@@ -125,6 +157,112 @@ impl Design2Array {
         injector: &mut F,
         sink: &mut S,
     ) -> Result<Design2Result, SdpError> {
+        let (has_row, has_col) = self.validate(mats)?;
+        let mut pes = vec![
+            Pe2 {
+                acc: MinPlus::zero(),
+                s: MinPlus::zero(),
+            };
+            self.m
+        ];
+        let mut stats = Stats::new(self.m);
+        let mut broadcast_words = 0u64;
+        let (values, path) = self.run_instance(
+            mats,
+            has_row,
+            has_col,
+            &mut pes,
+            &mut stats,
+            &mut broadcast_words,
+            injector,
+            sink,
+        );
+        Ok(Design2Result {
+            values,
+            path,
+            cycles: stats.cycles(),
+            paper_iterations: (mats.len() * self.m) as u64,
+            stats,
+            broadcast_words,
+        })
+    }
+
+    /// Streams a batch of same-shaped strings through one array.  The
+    /// broadcast design has no pipeline fill or drain, so the batch is an
+    /// exact concatenation: `B×` the single-run cycles on one shared PE
+    /// array and statistics stream (Designs 1/3 and the meshes, which do
+    /// pay fill/drain, amortize it under batching).
+    pub fn run_batch(
+        &self,
+        instances: &[&[Matrix<MinPlus>]],
+    ) -> Result<Design2BatchResult, SdpError> {
+        self.run_batch_traced(instances, &mut NullSink)
+    }
+
+    /// [`run_batch`](Self::run_batch) with an event sink: the instances'
+    /// event streams appear back-to-back on one cycle axis.
+    pub fn run_batch_traced<S: TraceSink>(
+        &self,
+        instances: &[&[Matrix<MinPlus>]],
+        sink: &mut S,
+    ) -> Result<Design2BatchResult, SdpError> {
+        if instances.is_empty() {
+            return Err(SdpError::EmptyBatch);
+        }
+        let (has_row, has_col) = self.validate(instances[0])?;
+        let first = instances[0];
+        for (index, mats) in instances.iter().enumerate().skip(1) {
+            let same = mats.len() == first.len()
+                && mats
+                    .iter()
+                    .zip(first.iter())
+                    .all(|(a, b)| (a.rows(), a.cols()) == (b.rows(), b.cols()));
+            if !same {
+                return Err(SdpError::BatchShapeMismatch { index });
+            }
+        }
+        let mut pes = vec![
+            Pe2 {
+                acc: MinPlus::zero(),
+                s: MinPlus::zero(),
+            };
+            self.m
+        ];
+        let mut stats = Stats::new(self.m);
+        let mut broadcast_words = 0u64;
+        let mut values = Vec::with_capacity(instances.len());
+        let mut paths = Vec::with_capacity(instances.len());
+        for mats in instances {
+            // Host reload between instances: the registers start clean.
+            for pe in pes.iter_mut() {
+                pe.acc = MinPlus::zero();
+                pe.s = MinPlus::zero();
+            }
+            let (v, p) = self.run_instance(
+                mats,
+                has_row,
+                has_col,
+                &mut pes,
+                &mut stats,
+                &mut broadcast_words,
+                &mut NoFaults,
+                sink,
+            );
+            values.push(v);
+            paths.push(p);
+        }
+        Ok(Design2BatchResult {
+            values,
+            paths,
+            cycles: stats.cycles(),
+            paper_iterations: (instances.len() * first.len() * self.m) as u64,
+            stats,
+            broadcast_words,
+        })
+    }
+
+    /// Shape validation shared by the single and batched drivers.
+    fn validate(&self, mats: &[Matrix<MinPlus>]) -> Result<(bool, bool), SdpError> {
         let m = self.m;
         if mats.is_empty() {
             return Err(SdpError::EmptyMatrixString);
@@ -146,16 +284,26 @@ impl Design2Array {
                 });
             }
         }
+        Ok((has_row, has_col))
+    }
 
-        let mut pes = vec![
-            Pe2 {
-                acc: MinPlus::zero(),
-                s: MinPlus::zero(),
-            };
-            m
-        ];
-        let mut stats = Stats::new(m);
-        let mut broadcast_words = 0u64;
+    /// One instance's broadcast phases on an already-validated string,
+    /// accumulating into the caller's PE array and statistics (shared
+    /// across a batch).  Returns the result values and recovered path.
+    #[allow(clippy::too_many_arguments)]
+    fn run_instance<S: TraceSink, F: FaultInjector>(
+        &self,
+        mats: &[Matrix<MinPlus>],
+        has_row: bool,
+        has_col: bool,
+        pes: &mut [Pe2],
+        stats: &mut Stats,
+        broadcast_words: &mut u64,
+        injector: &mut F,
+        sink: &mut S,
+    ) -> (Vec<Cost>, Option<Vec<usize>>) {
+        let m = self.m;
+        let interior = &mats[(has_row as usize)..(mats.len() - has_col as usize)];
 
         // Initial broadcast source: degenerate column, or zero-cost vector.
         let mut source: Vec<MinPlus> = if has_col {
@@ -172,7 +320,7 @@ impl Design2Array {
         for mat in interior.iter().rev() {
             let mut arg: Vec<Option<usize>> = vec![None; m];
             for (j, &x) in source.iter().enumerate() {
-                broadcast_words += 1;
+                *broadcast_words += 1;
                 let now = stats.cycles();
                 if S::ENABLED {
                     sink.record(Event::CycleStart { cycle: now });
@@ -225,7 +373,7 @@ impl Design2Array {
             let row = mats[0].row(0);
             let mut acc = MinPlus::zero();
             for (j, &x) in source.iter().enumerate() {
-                broadcast_words += 1;
+                *broadcast_words += 1;
                 let now = stats.cycles();
                 if S::ENABLED {
                     sink.record(Event::CycleStart { cycle: now });
@@ -304,14 +452,7 @@ impl Design2Array {
         }
         .filter(|p| !p.is_empty());
 
-        Ok(Design2Result {
-            values,
-            path,
-            cycles: stats.cycles(),
-            paper_iterations: (mats.len() * m) as u64,
-            stats,
-            broadcast_words,
-        })
+        (values, path)
     }
 }
 
@@ -450,6 +591,66 @@ mod tests {
         assert_ne!(faulty.optimum(), clean.optimum());
         assert!(sink.faults_injected > 0);
         assert_eq!(faulty.cycles, clean.cycles, "value faults never stall");
+    }
+
+    #[test]
+    fn batch_matches_sequential_runs() {
+        let graphs: Vec<_> = (0..6)
+            .map(|seed| generate::random_single_source_sink(seed, 5, 4, 0, 30))
+            .collect();
+        let strings: Vec<&[Matrix<MinPlus>]> = graphs.iter().map(|g| g.matrix_string()).collect();
+        let arr = Design2Array::new(4);
+        let batch = arr.run_batch(&strings).unwrap();
+        let mut seq_cycles = 0;
+        for (t, s) in strings.iter().enumerate() {
+            let single = arr.run(s);
+            assert_eq!(batch.values[t], single.values, "t={t}");
+            assert_eq!(batch.paths[t], single.path, "t={t}");
+            seq_cycles += single.cycles;
+        }
+        // Broadcast arrays have no fill/drain: batch == concatenation.
+        assert_eq!(batch.cycles, seq_cycles);
+    }
+
+    #[test]
+    fn batch_trace_is_concatenation_of_singles() {
+        use sdp_trace::RecordingSink;
+        let graphs: Vec<_> = (0..3)
+            .map(|seed| generate::random_uniform(seed, 5, 3, 0, 20))
+            .collect();
+        let strings: Vec<&[Matrix<MinPlus>]> = graphs.iter().map(|g| g.matrix_string()).collect();
+        let arr = Design2Array::new(3);
+        let mut batch_sink = RecordingSink::default();
+        let _ = arr.run_batch_traced(&strings, &mut batch_sink).unwrap();
+        // Each instance's stream equals its solo stream, except cycle
+        // numbers continue across the batch instead of restarting.
+        let mut expect = Vec::new();
+        let mut offset = 0u64;
+        for s in &strings {
+            let mut sink = RecordingSink::default();
+            let single = arr.run_traced(s, &mut sink);
+            expect.extend(sink.events.into_iter().map(|e| match e {
+                Event::CycleStart { cycle } => Event::CycleStart {
+                    cycle: cycle + offset,
+                },
+                other => other,
+            }));
+            offset += single.cycles;
+        }
+        assert_eq!(batch_sink.events, expect);
+    }
+
+    #[test]
+    fn batch_shape_errors_are_typed() {
+        let arr = Design2Array::new(3);
+        assert!(matches!(arr.run_batch(&[]), Err(SdpError::EmptyBatch)));
+        let g1 = generate::random_uniform(1, 5, 3, 0, 9);
+        let g2 = generate::random_uniform(2, 6, 3, 0, 9);
+        let strings = [g1.matrix_string(), g2.matrix_string()];
+        assert!(matches!(
+            arr.run_batch(&strings),
+            Err(SdpError::BatchShapeMismatch { index: 1 })
+        ));
     }
 
     #[test]

@@ -22,7 +22,6 @@
 //! `Pₘ` record each step's argmin for traceback.
 
 use sdp_fault::{FaultInjector, FaultyWord, NoFaults, SdpError};
-use sdp_multistage::node_value::EdgeCostFn;
 use sdp_multistage::NodeValueGraph;
 use sdp_semiring::Cost;
 use sdp_systolic::{LinearArray, ProcessingElement, Stats, TokenBus};
@@ -31,6 +30,12 @@ use sdp_trace::{NullSink, TraceSink};
 /// A word moving through the R-pipeline.
 #[derive(Clone, Copy, Debug)]
 struct Item {
+    /// Batch instance this word belongs to (0 for single runs).
+    inst: u32,
+    /// Stage of the word (`n` marks the final comparison token) — with
+    /// `inst`, the delivery guard that keeps back-to-back instances from
+    /// reading each other's `K/H` registers.
+    stage: usize,
     /// The node value `x_{k,j}` (unused by the final comparison token).
     x: i64,
     /// The partial optimal cost `h` carried with the value.
@@ -64,18 +69,21 @@ impl FaultyWord for Item {
 /// One PE of Design 3 (Fig. 5(b)).
 struct Pe3<'a> {
     index: usize,
-    f: &'a dyn EdgeCostFn,
-    /// `(Kᵢ, Hᵢ)` once loaded by the feedback controller.
-    reg: Option<(usize, i64, Cost)>,
+    /// One graph (and edge-cost function) per batch instance; single
+    /// runs pass a slice of one.
+    graphs: &'a [&'a NodeValueGraph],
+    /// `(inst, stage, Kᵢ, Hᵢ)` once loaded by the feedback controller.
+    reg: Option<(u32, usize, i64, Cost)>,
     busy: bool,
     f_evals: u64,
 }
 
 impl ProcessingElement for Pe3<'_> {
     type Flow = Item;
-    /// Feedback delivery from the token bus: `(stage, x, h)` to latch
-    /// into `K/H` (the stage tag supports stage-dependent `fᵢ`).
-    type Ext = Option<(usize, i64, Cost)>;
+    /// Feedback delivery from the token bus: `(inst, stage, x, h)` to
+    /// latch into `K/H` (the tags support stage-dependent `fᵢ` and keep
+    /// batched instances from crossing).
+    type Ext = Option<(u32, usize, i64, Cost)>;
     type Ctrl = ();
 
     fn step(&mut self, flow_in: Option<Item>, ext: Self::Ext, _: ()) -> Option<Item> {
@@ -83,25 +91,32 @@ impl ProcessingElement for Pe3<'_> {
         // arriving the same cycle already sees the new K/H (the paper's
         // walkthrough: x_{2,1} enters P1 the cycle x_{1,1}, h(x_{1,1})
         // are fed back to it).
-        if let Some((stage, k, h)) = ext {
-            self.reg = Some((stage, k, h));
+        if let Some((inst, stage, k, h)) = ext {
+            self.reg = Some((inst, stage, k, h));
         }
         let Some(mut item) = flow_in else {
             self.busy = false;
             return None;
         };
         self.busy = true;
-        if let Some((stage, k, h_prev)) = self.reg {
-            let cand = if item.final_token {
-                // F = 0: circulate and compare only.
-                h_prev
-            } else {
-                self.f_evals += 1;
-                h_prev + self.f.cost_at(stage, k, item.x)
-            };
-            if cand < item.h {
-                item.h = cand;
-                item.arg = Some(self.index);
+        if let Some((r_inst, r_stage, k, h_prev)) = self.reg {
+            // Delivery guard: the register must hold this item's own
+            // instance, one stage behind it.  (Always true for single
+            // runs once the register is loaded; in a batch it keeps a
+            // trailing instance's stage-0 items from being "improved" by
+            // the previous instance's final-stage feedback.)
+            if r_inst == item.inst && r_stage + 1 == item.stage {
+                let cand = if item.final_token {
+                    // F = 0: circulate and compare only.
+                    h_prev
+                } else {
+                    self.f_evals += 1;
+                    h_prev + self.graphs[r_inst as usize].f().cost_at(r_stage, k, item.x)
+                };
+                if cand < item.h {
+                    item.h = cand;
+                    item.arg = Some(self.index);
+                }
             }
         }
         Some(item)
@@ -112,7 +127,7 @@ impl ProcessingElement for Pe3<'_> {
     }
 
     fn probe(&self) -> Option<i64> {
-        self.reg.and_then(|(_, _, h)| h.finite())
+        self.reg.and_then(|(_, _, _, h)| h.finite())
     }
 }
 
@@ -141,6 +156,39 @@ pub struct Design3Result {
 
 impl Design3Result {
     /// Measured PU against the serial count `(N−1)m² + m`.
+    pub fn measured_pu(&self, serial_iterations: u64) -> f64 {
+        self.stats.processor_utilization(serial_iterations)
+    }
+}
+
+/// The result of a batched Design 3 run: `B` independent instances
+/// pipelined back-to-back through one array.
+#[derive(Clone, Debug)]
+pub struct Design3BatchResult {
+    /// `costs[t]` = optimal total cost of instance `t`.
+    pub costs: Vec<Cost>,
+    /// `finals[t][j]` = instance `t`'s optimal cost ending at vertex `j`.
+    pub finals: Vec<Vec<Cost>>,
+    /// `paths[t]` = one optimal path of instance `t` (empty when its
+    /// optimum is unreachable).
+    pub paths: Vec<Vec<usize>>,
+    /// Measured clock cycles for the whole batch — exactly
+    /// `(B−1)·(N·m + 1) + (N+1)·m`.
+    pub cycles: u64,
+    /// The paper's charged iteration count summed over the batch:
+    /// `B·(N+1)·m`.
+    pub paper_iterations: u64,
+    /// Words that entered the array: `B·(N·m + 1)`.
+    pub input_words: u64,
+    /// Edge-cost (`F`-component) evaluations performed inside the array.
+    pub f_evaluations: u64,
+    /// Engine statistics for the whole batch.
+    pub stats: Stats,
+}
+
+impl Design3BatchResult {
+    /// Measured PU against the summed serial count
+    /// `B·((N−1)m² + m)`.
     pub fn measured_pu(&self, serial_iterations: u64) -> f64 {
         self.stats.processor_utilization(serial_iterations)
     }
@@ -225,54 +273,124 @@ impl Design3Array {
         injector: &mut F,
         sink: &mut S,
     ) -> Result<Design3Result, SdpError> {
-        let m = self.m;
+        let graphs = [g];
+        let batch = self.run_batch_core(&graphs, injector, sink)?;
         let n = g.num_stages();
-        for s in 0..n {
-            if g.stage_size(s) != m {
-                return Err(SdpError::WrongStageWidth {
-                    stage: s,
-                    m,
-                    got: g.stage_size(s),
-                });
+        let Design3BatchResult {
+            mut costs,
+            mut finals,
+            mut paths,
+            cycles,
+            input_words,
+            f_evaluations,
+            stats,
+            ..
+        } = batch;
+        Ok(Design3Result {
+            cost: costs.pop().expect("one instance"),
+            finals: finals.pop().expect("one instance"),
+            path: paths.pop().expect("one instance"),
+            cycles,
+            paper_iterations: ((n + 1) * self.m) as u64,
+            input_words,
+            f_evaluations,
+            stats,
+        })
+    }
+
+    /// Streams a batch of same-shaped graphs through one array: instance
+    /// `t`'s input schedule is offset `t·(N·m + 1)` cycles, so the array
+    /// fills with the next instance while the previous one drains.  The
+    /// whole batch finishes in `(B−1)·(N·m + 1) + (N+1)·m` cycles instead
+    /// of `B·(N+1)·m` — measured PU rises toward the Eq. 9 asymptote.
+    /// Instances must all have `N` stages of exactly `m` values; an empty
+    /// batch or a stage-count mismatch is a typed error.
+    pub fn run_batch(&self, graphs: &[&NodeValueGraph]) -> Result<Design3BatchResult, SdpError> {
+        self.run_batch_traced(graphs, &mut NullSink)
+    }
+
+    /// [`run_batch`](Self::run_batch) with an event sink.  A batch of one
+    /// emits exactly the event stream of [`run_traced`](Self::run_traced).
+    pub fn run_batch_traced<S: TraceSink>(
+        &self,
+        graphs: &[&NodeValueGraph],
+        sink: &mut S,
+    ) -> Result<Design3BatchResult, SdpError> {
+        self.run_batch_core(graphs, &mut NoFaults, sink)
+    }
+
+    /// The shared single/batched driver.
+    fn run_batch_core<S: TraceSink, F: FaultInjector>(
+        &self,
+        graphs: &[&NodeValueGraph],
+        injector: &mut F,
+        sink: &mut S,
+    ) -> Result<Design3BatchResult, SdpError> {
+        let m = self.m;
+        if graphs.is_empty() {
+            return Err(SdpError::EmptyBatch);
+        }
+        let n = graphs[0].num_stages();
+        for (index, g) in graphs.iter().enumerate() {
+            for s in 0..g.num_stages() {
+                if g.stage_size(s) != m {
+                    return Err(SdpError::WrongStageWidth {
+                        stage: s,
+                        m,
+                        got: g.stage_size(s),
+                    });
+                }
+            }
+            if g.num_stages() != n {
+                return Err(SdpError::BatchShapeMismatch { index });
             }
         }
+        let bn = graphs.len();
         let mut array = LinearArray::new(
             (0..m)
                 .map(|i| Pe3 {
                     index: i,
-                    f: g.f(),
+                    graphs,
                     reg: None,
                     busy: false,
                     f_evals: 0,
                 })
                 .collect::<Vec<_>>(),
         );
-        // Bus word: (h, (stage, x)) — the cost payload leads so the
+        // Bus word: (h, (inst, stage, x)) — the cost payload leads so the
         // generic pair impl of `FaultyWord` corrupts it and leaves the
-        // stage tag and node value (routing state) intact.
-        let mut bus: TokenBus<(Cost, (usize, i64))> = TokenBus::new(m);
+        // instance/stage tags and node value (routing state) intact.
+        let mut bus: TokenBus<(Cost, (u32, usize, i64))> = TokenBus::new(m);
 
-        // Input schedule: stage k, vertex j enters the head at cycle
-        // k·m + j; the single comparison token follows at cycle N·m.
-        let total_inputs = n * m + 1;
+        // Input schedule: instance t's words start at cycle t·(N·m + 1);
+        // within an instance, stage k vertex j enters the head at offset
+        // k·m + j and the comparison token at offset N·m.  Instances are
+        // back-to-back: the head never idles until the batch is fed.
+        let period = n * m + 1;
+        let total_inputs = bn * period;
         let mut injected = 0usize;
         let mut input_words = 0u64;
-        let mut finals: Vec<Cost> = Vec::with_capacity(m);
-        let mut path_regs: Vec<Vec<usize>> = vec![vec![usize::MAX; m]; n];
-        let mut tail_seen = 0usize; // stage items seen at the tail
-        let mut answer: Option<Item> = None;
+        let mut finals: Vec<Vec<Cost>> = vec![Vec::with_capacity(m); bn];
+        let mut path_regs: Vec<Vec<Vec<usize>>> = vec![vec![vec![usize::MAX; m]; n]; bn];
+        let mut tail_seen: Vec<usize> = vec![0; bn]; // stage items per instance
+        let mut answers: Vec<Option<Item>> = vec![None; bn];
+        let mut answered = 0usize;
 
-        while answer.is_none() {
+        while answered < bn {
             // 1. settle last cycle's feedback onto a PE (ext delivery);
             //    bus accounting folds into the array's own Stats.
             let delivery = bus.settle_fault_traced(array.stats_mut(), injector, sink);
             // 2. head injection per the static schedule.
             let head = if injected < total_inputs {
-                let cycle = injected; // contiguous schedule: one word/cycle
-                let item = if cycle < n * m {
-                    let stage = cycle / m;
-                    let j = cycle % m;
+                let inst = injected / period;
+                let offset = injected % period;
+                let g = graphs[inst];
+                let item = if offset < n * m {
+                    let stage = offset / m;
+                    let j = offset % m;
                     Item {
+                        inst: inst as u32,
+                        stage,
                         x: g.stage_values(stage)[j],
                         h: if stage == 0 { Cost::ZERO } else { Cost::INF },
                         arg: None,
@@ -280,6 +398,8 @@ impl Design3Array {
                     }
                 } else {
                     Item {
+                        inst: inst as u32,
+                        stage: n,
                         x: 0,
                         h: Cost::INF,
                         arg: None,
@@ -295,71 +415,85 @@ impl Design3Array {
             // 3. clock the array.
             let out = array.cycle_fault_traced(
                 head,
-                |i| delivery.and_then(|(st, (h, (stage, x)))| (st == i).then_some((stage, x, h))),
+                |i| {
+                    delivery.and_then(|(st, (h, (inst, stage, x)))| {
+                        (st == i).then_some((inst, stage, x, h))
+                    })
+                },
                 |_| (),
                 injector,
                 sink,
             );
-            // 4. route the tail: stage results feed back; the comparison
-            //    token is the answer.
+            // 4. route the tail: stage results feed back; each instance's
+            //    comparison token is its answer.
             if let Some(item) = out {
+                let inst = item.inst as usize;
                 if item.final_token {
-                    answer = Some(item);
+                    answers[inst] = Some(item);
+                    answered += 1;
                 } else {
-                    let stage = tail_seen / m;
-                    let j = tail_seen % m;
-                    tail_seen += 1;
+                    let stage = item.stage;
+                    let j = tail_seen[inst] % m;
+                    debug_assert_eq!(tail_seen[inst] / m, stage, "tail out of order");
+                    tail_seen[inst] += 1;
                     if stage >= 1 {
-                        path_regs[stage][j] = item.arg.unwrap_or(usize::MAX);
+                        path_regs[inst][stage][j] = item.arg.unwrap_or(usize::MAX);
                     }
                     if stage == n - 1 {
-                        finals.push(item.h);
+                        finals[inst].push(item.h);
                     }
-                    bus.drive_traced((item.h, (stage, item.x)), sink);
+                    bus.drive_traced((item.h, (item.inst, stage, item.x)), sink);
                 }
             }
         }
 
-        // Traceback through the path registers.  An unreachable optimum
-        // (every transition INF) has no path: report the INF cost with an
-        // empty path instead of tripping on an unwritten register.
-        let cost = finals.iter().copied().fold(Cost::INF, Cost::min);
-        let path = if cost.is_finite() {
-            let best = finals
-                .iter()
-                .enumerate()
-                .min_by_key(|&(_, &c)| c)
-                .map(|(j, _)| j)
-                .unwrap_or(0);
-            let mut path = vec![0usize; n];
-            path[n - 1] = best;
-            let mut complete = true;
-            for k in (1..n).rev() {
-                let p = path_regs[k][path[k]];
-                if p == usize::MAX {
-                    // Only possible under fault injection: a corrupted
-                    // cost left a register unwritten.  Report no path.
-                    complete = false;
-                    break;
+        // Traceback through the path registers, per instance.  An
+        // unreachable optimum (every transition INF) has no path: report
+        // the INF cost with an empty path instead of tripping on an
+        // unwritten register.
+        let mut costs = Vec::with_capacity(bn);
+        let mut paths = Vec::with_capacity(bn);
+        for inst in 0..bn {
+            let cost = finals[inst].iter().copied().fold(Cost::INF, Cost::min);
+            let path = if cost.is_finite() {
+                let best = finals[inst]
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, &c)| c)
+                    .map(|(j, _)| j)
+                    .unwrap_or(0);
+                let mut path = vec![0usize; n];
+                path[n - 1] = best;
+                let mut complete = true;
+                for k in (1..n).rev() {
+                    let p = path_regs[inst][k][path[k]];
+                    if p == usize::MAX {
+                        // Only possible under fault injection: a corrupted
+                        // cost left a register unwritten.  Report no path.
+                        complete = false;
+                        break;
+                    }
+                    path[k - 1] = p;
                 }
-                path[k - 1] = p;
-            }
-            if complete {
-                path
+                if complete {
+                    path
+                } else {
+                    Vec::new()
+                }
             } else {
                 Vec::new()
-            }
-        } else {
-            Vec::new()
-        };
+            };
+            costs.push(cost);
+            paths.push(path);
+        }
 
         let f_evaluations = array.pes().iter().map(|p| p.f_evals).sum();
-        Ok(Design3Result {
-            cost,
+        Ok(Design3BatchResult {
+            costs,
             finals,
-            path,
+            paths,
             cycles: array.stats().cycles(),
-            paper_iterations: ((n + 1) * m) as u64,
+            paper_iterations: (bn * (n + 1) * m) as u64,
             input_words,
             f_evaluations,
             stats: array.stats().clone(),
@@ -639,5 +773,94 @@ mod tests {
         assert_eq!(sink.bus_delivers, plain.stats.bus_words());
         assert_eq!(sink.token_advances, plain.stats.token_rotations());
         assert_eq!(sink.words_in, plain.input_words);
+    }
+
+    #[test]
+    fn batch_matches_sequential_runs() {
+        let (n, m, b) = (5usize, 4usize, 6usize);
+        let graphs: Vec<NodeValueGraph> = (0..b as u64)
+            .map(|seed| {
+                generate::node_value_random(
+                    seed,
+                    n,
+                    m,
+                    Box::new(sdp_multistage::node_value::AbsDiff),
+                    -15,
+                    15,
+                )
+            })
+            .collect();
+        let refs: Vec<&NodeValueGraph> = graphs.iter().collect();
+        let array = Design3Array::new(m);
+        let batch = array.run_batch(&refs).unwrap();
+        for (t, g) in graphs.iter().enumerate() {
+            let single = array.run(g);
+            assert_eq!(batch.costs[t], single.cost, "instance {t}");
+            assert_eq!(batch.finals[t], single.finals, "instance {t}");
+            assert_eq!(batch.paths[t], single.path, "instance {t}");
+        }
+        // Pipelined makespan: (B−1)·(N·m+1) fill periods plus one full run.
+        let expected = ((b - 1) * (n * m + 1) + (n + 1) * m) as u64;
+        assert_eq!(batch.cycles, expected);
+        assert_eq!(batch.input_words, (b * (n * m + 1)) as u64);
+    }
+
+    #[test]
+    fn batch_pu_exceeds_single_pu() {
+        let (n, m, b) = (6usize, 4usize, 16usize);
+        let graphs: Vec<NodeValueGraph> = (0..b as u64)
+            .map(|seed| {
+                generate::node_value_random(
+                    seed + 100,
+                    n,
+                    m,
+                    Box::new(sdp_multistage::node_value::SquaredDiff),
+                    -9,
+                    9,
+                )
+            })
+            .collect();
+        let refs: Vec<&NodeValueGraph> = graphs.iter().collect();
+        let array = Design3Array::new(m);
+        let serial = solve::SerialCounts::node_value(n as u64, m as u64);
+        let single_pu = array.run(&graphs[0]).measured_pu(serial);
+        let batch = array.run_batch(&refs).unwrap();
+        let batch_pu = batch.measured_pu(serial * b as u64);
+        assert!(
+            batch_pu > single_pu,
+            "batch {batch_pu} should beat single {single_pu}"
+        );
+    }
+
+    #[test]
+    fn batch_of_one_emits_single_run_event_stream() {
+        use sdp_trace::RecordingSink;
+        let g = generate::circuit_voltage(13, 6, 3);
+        let array = Design3Array::new(3);
+        let mut single_sink = RecordingSink::default();
+        let single = array.run_traced(&g, &mut single_sink);
+        let mut batch_sink = RecordingSink::default();
+        let batch = array.run_batch_traced(&[&g], &mut batch_sink).unwrap();
+        assert_eq!(batch.costs, vec![single.cost]);
+        assert_eq!(batch.cycles, single.cycles);
+        assert_eq!(batch_sink.events, single_sink.events);
+    }
+
+    #[test]
+    fn batch_shape_errors_are_typed() {
+        use sdp_fault::SdpError;
+        let array = Design3Array::new(3);
+        assert!(matches!(array.run_batch(&[]), Err(SdpError::EmptyBatch)));
+        let a = generate::traffic_light(1, 4, 3);
+        let b = generate::traffic_light(1, 5, 3);
+        assert!(matches!(
+            array.run_batch(&[&a, &b]),
+            Err(SdpError::BatchShapeMismatch { index: 1 })
+        ));
+        let c = generate::traffic_light(1, 4, 2);
+        assert!(matches!(
+            array.run_batch(&[&a, &c]),
+            Err(SdpError::WrongStageWidth { .. })
+        ));
     }
 }

@@ -16,6 +16,7 @@
 //!   result against the sequential string product.
 
 use sdp_fault::{FaultInjector, RecoveryStats, SdpError};
+use sdp_par::StealPool;
 use sdp_semiring::{Matrix, Semiring};
 use sdp_systolic::scheduler::{eq29_kt2, eq29_time, Schedule, TreeScheduler};
 use sdp_trace::chrome::ChromeTrace;
@@ -130,6 +131,8 @@ pub fn schedule(n: u64, k: u64) -> Schedule {
 /// A host-thread executor for the divide-and-conquer reduction: each
 /// round multiplies adjacent pairs in parallel over `k` workers, exactly
 /// the synchronous-round schedule analysed in §4, but on real cores.
+/// Rounds execute on a work-stealing [`StealPool`], so a straggler
+/// product no longer serializes its round behind one worker.
 pub struct ParallelExecutor {
     k: usize,
 }
@@ -151,6 +154,12 @@ impl ParallelExecutor {
             });
         }
         Ok(ParallelExecutor { k })
+    }
+
+    /// The configured worker-thread count `K` (the pool size actually
+    /// spawned per round, before capping to the number of tasks).
+    pub fn workers(&self) -> usize {
+        self.k
     }
 
     /// Multiplies the string by rounds of pairwise products.  Returns the
@@ -196,6 +205,8 @@ impl ParallelExecutor {
             return Err(SdpError::EmptyMatrixString);
         }
         let t0 = Instant::now();
+        let pool = StealPool::new(self.k.max(1));
+        let timed = trace.is_some();
         let mut layer: Vec<Matrix<S>> = mats.to_vec();
         let mut rounds = 0u64;
         let mut task_base = 0u64;
@@ -204,48 +215,44 @@ impl ParallelExecutor {
             // Pair up the first 2·t matrices this round, carrying the rest
             // over by move (no cloning) — mirrors TreeScheduler::simulate.
             let t = (layer.len() / 2).min(self.k.max(1));
-            let mut products: Vec<Option<Matrix<S>>> = vec![None; t];
-            // (start, end) wall-clock microseconds per worker, recorded
-            // only when tracing (the plain path skips the clock reads).
-            let mut timings: Vec<Option<(u64, u64)>> =
-                vec![None; if trace.is_some() { t } else { 0 }];
-            std::thread::scope(|scope| {
-                let timed = !timings.is_empty();
-                let mut timing_slots = timings.iter_mut();
-                for (slot, chunk) in products.iter_mut().zip(layer.chunks(2).take(t)) {
-                    let (a, b) = (&chunk[0], &chunk[1]);
-                    let timing = timing_slots.next();
-                    scope.spawn(move || {
-                        let start = timed.then(|| t0.elapsed().as_micros() as u64);
-                        // Contain a task panic inside its own thread so
-                        // the scoped join never re-raises it: the host
-                        // observes an unfilled slot instead of unwinding
-                        // (or aborting on a double panic) mid-join.
-                        *slot = catch_unwind(AssertUnwindSafe(|| a.mul(b))).ok();
-                        if let (Some(start), Some(timing)) = (start, timing) {
-                            *timing = Some((start, t0.elapsed().as_micros() as u64));
+            // A panicking product (e.g. a dimension mismatch) is contained
+            // inside the pool: the host observes an unfilled slot instead
+            // of unwinding (or aborting on a double panic) mid-join.
+            // (start, end) wall-clock microseconds are recorded only when
+            // tracing — the plain path skips the clock reads.
+            let results = pool.run(
+                layer
+                    .chunks(2)
+                    .take(t)
+                    .map(|chunk| {
+                        let (a, b) = (&chunk[0], &chunk[1]);
+                        move || {
+                            let start = timed.then(|| t0.elapsed().as_micros() as u64);
+                            let product = a.mul(b);
+                            let timing = start.map(|st| (st, t0.elapsed().as_micros() as u64));
+                            (product, timing)
                         }
-                    });
-                }
-            });
+                    })
+                    .collect(),
+            );
             if let Some(trace) = trace.as_deref_mut() {
-                for (tid, timing) in timings.iter().enumerate() {
+                for (tid, result) in results.iter().enumerate() {
                     // A panicked worker leaves no span.
-                    let Some((start, end)) = *timing else {
+                    let Some((_, Some((start, end)))) = result else {
                         continue;
                     };
                     trace.complete_with_args(
                         "multiply",
                         "host",
-                        start,
-                        end.saturating_sub(start).max(1),
+                        *start,
+                        end.saturating_sub(*start).max(1),
                         0,
                         tid as u32,
                         vec![("round".to_string(), Json::from(rounds - 1))],
                     );
                 }
             }
-            if let Some(slot) = products.iter().position(|p| p.is_none()) {
+            if let Some(slot) = results.iter().position(|p| p.is_none()) {
                 return Err(SdpError::TaskPanicked {
                     task: task_base + slot as u64,
                     attempts: 1,
@@ -253,13 +260,62 @@ impl ParallelExecutor {
             }
             task_base += t as u64;
             let rest = layer.split_off(2 * t);
-            layer = products
+            layer = results
+                .into_iter()
+                .map(|p| p.expect("slot filled").0)
+                .chain(rest)
+                .collect();
+        }
+        Ok((layer.pop().expect("one matrix remains"), rounds))
+    }
+
+    /// Throughput-oriented variant: every adjacent pair of the current
+    /// layer is a task (not just the first `k`), and the `k` pool workers
+    /// steal across the whole layer.  The schedule collapses to exactly
+    /// `⌈log₂ N⌉` layers regardless of `k` — this trades the paper's
+    /// fixed-`K` synchronous-round model (kept in
+    /// [`multiply_string`](Self::multiply_string), whose round count the
+    /// §4 analyses pin) for maximal host throughput.  Returns the product
+    /// and the layer count.
+    pub fn multiply_string_pool<S: Semiring>(
+        &self,
+        mats: &[Matrix<S>],
+    ) -> Result<(Matrix<S>, u64), SdpError> {
+        if mats.is_empty() {
+            return Err(SdpError::EmptyMatrixString);
+        }
+        let pool = StealPool::new(self.k.max(1));
+        let mut layer: Vec<Matrix<S>> = mats.to_vec();
+        let mut layers = 0u64;
+        let mut task_base = 0u64;
+        while layer.len() > 1 {
+            layers += 1;
+            let t = layer.len() / 2;
+            let results = pool.run(
+                layer
+                    .chunks(2)
+                    .take(t)
+                    .map(|chunk| {
+                        let (a, b) = (&chunk[0], &chunk[1]);
+                        move || a.mul(b)
+                    })
+                    .collect(),
+            );
+            if let Some(slot) = results.iter().position(|p| p.is_none()) {
+                return Err(SdpError::TaskPanicked {
+                    task: task_base + slot as u64,
+                    attempts: 1,
+                });
+            }
+            task_base += t as u64;
+            let rest = layer.split_off(2 * t);
+            layer = results
                 .into_iter()
                 .map(|p| p.expect("slot filled"))
                 .chain(rest)
                 .collect();
         }
-        Ok((layer.pop().expect("one matrix remains"), rounds))
+        Ok((layer.pop().expect("one matrix remains"), layers))
     }
 
     /// Fault-tolerant divide-and-conquer execution.
@@ -318,24 +374,24 @@ impl ParallelExecutor {
                     }
                 }
             }
-            let mut products: Vec<Option<Matrix<S>>> = vec![None; t];
-            std::thread::scope(|scope| {
-                for ((slot, product), chunk) in
-                    products.iter_mut().enumerate().zip(layer.chunks(2).take(t))
-                {
-                    let (a, b) = (&chunk[0], &chunk[1]);
-                    let dies = deaths[slot];
-                    scope.spawn(move || {
-                        *product = catch_unwind(AssertUnwindSafe(|| {
+            let pool = StealPool::new(self.k.max(1));
+            let mut products: Vec<Option<Matrix<S>>> = pool.run(
+                layer
+                    .chunks(2)
+                    .take(t)
+                    .enumerate()
+                    .map(|(slot, chunk)| {
+                        let (a, b) = (&chunk[0], &chunk[1]);
+                        let dies = deaths[slot];
+                        move || {
                             if dies {
                                 panic!("injected worker death");
                             }
                             a.mul(b)
-                        }))
-                        .ok();
-                    });
-                }
-            });
+                        }
+                    })
+                    .collect(),
+            );
             // Recovery wave: re-execute every orphaned task with
             // bounded retry + backoff.
             let mut recovered_any = false;
@@ -555,6 +611,36 @@ mod tests {
             let sched = TreeScheduler.simulate(n, k);
             assert_eq!(rounds, sched.rounds, "n={n} k={k}");
         }
+    }
+
+    #[test]
+    fn pool_variant_matches_sequential_in_log_layers() {
+        for (n, m, k) in [(8usize, 4usize, 3usize), (13, 3, 2), (16, 2, 8), (2, 5, 1)] {
+            let mats = rand_mats((n * m + k) as u64, n, m);
+            let (prod, layers) = ParallelExecutor::new(k)
+                .multiply_string_pool(&mats)
+                .expect("pool run");
+            assert_eq!(prod, Matrix::string_product(&mats), "n={n} m={m} k={k}");
+            assert_eq!(
+                layers,
+                (n as u64).ilog2() as u64 + u64::from(!n.is_power_of_two())
+            );
+        }
+    }
+
+    #[test]
+    fn pool_variant_contains_panics() {
+        let mats = vec![
+            Matrix::from_fn(2, 2, |_, _| MinPlus::from(1)),
+            Matrix::from_fn(3, 3, |_, _| MinPlus::from(1)),
+        ];
+        assert!(matches!(
+            ParallelExecutor::new(2).multiply_string_pool(&mats),
+            Err(SdpError::TaskPanicked {
+                task: 0,
+                attempts: 1
+            })
+        ));
     }
 
     #[test]

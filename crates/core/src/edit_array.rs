@@ -68,6 +68,62 @@ impl MeshProcessingElement for EditPe {
     }
 }
 
+/// One table cell of the batched mesh: per-instance character pairs are
+/// preloaded, and each wavefront that crosses the cell computes the next
+/// instance's value.  Instance `t`'s wavefront reaches cell `(i, j)` at
+/// cycle `i + j + t` — the instances ride one cycle apart, so the whole
+/// batch finishes in `p + q − 2 + B` cycles instead of `B·(p + q − 1)`.
+struct BatchEditPe {
+    /// `a_chars[t]` = instance `t`'s row character `a_t[i]`.
+    a_chars: Vec<u8>,
+    /// `b_chars[t]` = instance `t`'s column character `b_t[j]`.
+    b_chars: Vec<u8>,
+    /// Instances computed so far (= the next instance index to fire).
+    fired: usize,
+    /// Most recent value computed (waveform probe).
+    last: Option<u64>,
+    busy: bool,
+}
+
+impl MeshProcessingElement for BatchEditPe {
+    type Horiz = u64;
+    type Vert = SouthWord;
+    type Ctrl = ();
+
+    fn step(
+        &mut self,
+        west: Option<u64>,
+        north: Option<SouthWord>,
+        _: (),
+    ) -> (Option<u64>, Option<SouthWord>) {
+        self.busy = false;
+        if self.fired < self.a_chars.len() {
+            if let (Some(left), Some((up, diag))) = (west, north) {
+                let t = self.fired;
+                let sub = if self.a_chars[t] == self.b_chars[t] {
+                    0
+                } else {
+                    1
+                };
+                let d = (left + 1).min(up + 1).min(diag + sub);
+                self.fired += 1;
+                self.last = Some(d);
+                self.busy = true;
+                return (Some(d), Some((d, left)));
+            }
+        }
+        (None, None)
+    }
+
+    fn was_busy(&self) -> bool {
+        self.busy
+    }
+
+    fn probe(&self) -> Option<i64> {
+        self.last.map(|v| v as i64)
+    }
+}
+
 /// Result of one mesh run.
 #[derive(Clone, Debug)]
 pub struct EditRun {
@@ -169,6 +225,105 @@ pub fn edit_distance_fault_traced<F: FaultInjector, S: TraceSink>(
     // payloads, it cannot drop mesh words), so the apex always emits.
     Ok(EditRun {
         distance: result.expect("apex cell fired on the last cycle"),
+        cycles: mesh.stats().cycles(),
+        stats: mesh.stats().clone(),
+    })
+}
+
+/// Result of a batched mesh run.
+#[derive(Clone, Debug)]
+pub struct BatchEditRun {
+    /// One distance per input pair, in batch order.
+    pub distances: Vec<u64>,
+    /// Total cycles: `p + q − 2 + B` (vs `B·(p + q − 1)` sequential).
+    pub cycles: u64,
+    /// Engine statistics over the whole batch.
+    pub stats: Stats,
+}
+
+impl BatchEditRun {
+    /// Measured processor utilization: `B·p·q` cell computations over
+    /// `cycles × p·q` PE-cycles.  Single runs peak at `1/(p + q − 1)`;
+    /// batching asymptotically saturates the mesh.
+    pub fn measured_pu(&self) -> f64 {
+        self.stats
+            .processor_utilization(self.distances.len() as u64 * self.stats.num_pes() as u64)
+    }
+}
+
+/// Streams a batch of same-shaped comparisons through one mesh with
+/// wavefronts one cycle apart (instance `t`'s wavefront is `t` cycles
+/// behind instance 0's).  All pairs must share instance 0's operand
+/// lengths; an empty batch and shape mismatches are typed errors.
+pub fn edit_distance_mesh_batch(pairs: &[(&[u8], &[u8])]) -> Result<BatchEditRun, SdpError> {
+    edit_distance_mesh_batch_traced(pairs, &mut NullSink)
+}
+
+/// [`edit_distance_mesh_batch`] with an event sink.  A batch of one
+/// emits exactly the event stream of [`edit_distance_mesh_traced`].
+pub fn edit_distance_mesh_batch_traced<S: TraceSink>(
+    pairs: &[(&[u8], &[u8])],
+    sink: &mut S,
+) -> Result<BatchEditRun, SdpError> {
+    if pairs.is_empty() {
+        return Err(SdpError::EmptyBatch);
+    }
+    let (p, q) = (pairs[0].0.len(), pairs[0].1.len());
+    for (index, (a, b)) in pairs.iter().enumerate() {
+        if (a.len(), b.len()) != (p, q) {
+            return Err(SdpError::BatchShapeMismatch { index });
+        }
+    }
+    let bn = pairs.len();
+    if p == 0 || q == 0 {
+        return Ok(BatchEditRun {
+            distances: vec![(p + q) as u64; bn],
+            cycles: 0,
+            stats: Stats::new(0),
+        });
+    }
+    let mut mesh = Mesh2D::try_new(
+        p,
+        q,
+        (0..p)
+            .flat_map(|i| (0..q).map(move |j| (i, j)))
+            .map(|(i, j)| BatchEditPe {
+                a_chars: pairs.iter().map(|(a, _)| a[i]).collect(),
+                b_chars: pairs.iter().map(|(_, b)| b[j]).collect(),
+                fired: 0,
+                last: None,
+                busy: false,
+            })
+            .collect::<Vec<_>>(),
+    )?;
+    let total = (p + q - 2 + bn) as u64;
+    let mut distances = Vec::with_capacity(bn);
+    for t in 0..total {
+        // Instance `inst`'s boundary values arrive on its wavefront:
+        // cell (r, 0) fires instance `inst` at cycle r + inst.
+        let (east, _south) = mesh.cycle_traced(
+            |r| {
+                let inst = t as i64 - r as i64;
+                (0..bn as i64).contains(&inst).then(|| r as u64 + 1)
+            },
+            |c| {
+                let inst = t as i64 - c as i64;
+                (0..bn as i64)
+                    .contains(&inst)
+                    .then(|| (c as u64 + 1, c as u64))
+            },
+            |_, _| (),
+            sink,
+        );
+        // The apex cell fires once per instance, in batch order, and its
+        // value leaves the east edge of the last row the same cycle.
+        if let Some(d) = east[p - 1] {
+            distances.push(d);
+        }
+    }
+    debug_assert_eq!(distances.len(), bn);
+    Ok(BatchEditRun {
+        distances,
         cycles: mesh.stats().cycles(),
         stats: mesh.stats().clone(),
     })
@@ -306,6 +461,78 @@ mod tests {
         // Faults degrade values, never the wavefront schedule.
         assert_eq!(faulty.cycles, clean.cycles);
         assert!(sink.faults_injected > 0);
+    }
+
+    #[test]
+    fn batch_matches_sequential_runs() {
+        let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..8u8)
+            .map(|t| {
+                (
+                    (0..5).map(|i| b'a' + (t + i) % 3).collect(),
+                    (0..7).map(|j| b'a' + (t * 2 + j) % 3).collect(),
+                )
+            })
+            .collect();
+        let refs: Vec<(&[u8], &[u8])> = pairs
+            .iter()
+            .map(|(a, b)| (a.as_slice(), b.as_slice()))
+            .collect();
+        let batch = edit_distance_mesh_batch(&refs).unwrap();
+        for (t, (a, b)) in pairs.iter().enumerate() {
+            assert_eq!(
+                batch.distances[t],
+                edit_distance_mesh(a, b).distance,
+                "t={t}"
+            );
+            assert_eq!(batch.distances[t], edit_distance_seq(a, b), "t={t}");
+        }
+        assert_eq!(batch.cycles, (5 + 7 - 2 + 8) as u64);
+    }
+
+    #[test]
+    fn batch_of_one_emits_single_run_event_stream() {
+        use sdp_trace::RecordingSink;
+        let mut single_sink = RecordingSink::default();
+        let single = edit_distance_mesh_traced(b"kitten", b"sitting", &mut single_sink);
+        let mut batch_sink = RecordingSink::default();
+        let batch =
+            edit_distance_mesh_batch_traced(&[(b"kitten", b"sitting")], &mut batch_sink).unwrap();
+        assert_eq!(batch.distances, vec![single.distance]);
+        assert_eq!(batch.cycles, single.cycles);
+        assert_eq!(batch_sink.events, single_sink.events);
+    }
+
+    #[test]
+    fn batch_pu_exceeds_single_pu() {
+        let a: Vec<u8> = vec![b'a'; 6];
+        let b: Vec<u8> = vec![b'b'; 6];
+        let pairs: Vec<(&[u8], &[u8])> = (0..16).map(|_| (a.as_slice(), b.as_slice())).collect();
+        let single = edit_distance_mesh_batch(&pairs[..1]).unwrap();
+        let batch = edit_distance_mesh_batch(&pairs).unwrap();
+        assert!(
+            batch.measured_pu() > single.measured_pu(),
+            "batch {} vs single {}",
+            batch.measured_pu(),
+            single.measured_pu()
+        );
+        // 16 wavefronts over 6+6-2+16 = 26 cycles: PU ≈ 0.62 vs 1/11.
+        assert!(batch.measured_pu() > 0.5);
+    }
+
+    #[test]
+    fn batch_shape_errors_and_empty_operands() {
+        assert!(matches!(
+            edit_distance_mesh_batch(&[]),
+            Err(SdpError::EmptyBatch)
+        ));
+        assert!(matches!(
+            edit_distance_mesh_batch(&[(b"abc", b"xy"), (b"abc", b"xyz")]),
+            Err(SdpError::BatchShapeMismatch { index: 1 })
+        ));
+        let run = edit_distance_mesh_batch(&[(b"", b"abc"), (b"", b"xyz")]).unwrap();
+        assert_eq!(run.distances, vec![3, 3]);
+        assert_eq!(run.cycles, 0);
+        assert_eq!(run.stats.num_pes(), 0);
     }
 
     #[test]

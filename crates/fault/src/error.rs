@@ -102,6 +102,15 @@ pub enum SdpError {
         /// Recovery attempts that were made before giving up.
         attempts: u32,
     },
+    /// An instance of a batched run has a different shape from the
+    /// batch's first instance (batched pipelining requires uniform
+    /// shapes so every instance follows the same schedule).
+    BatchShapeMismatch {
+        /// Index of the offending instance.
+        index: usize,
+    },
+    /// A batched run was given zero instances.
+    EmptyBatch,
     /// Redundant replicas disagreed with no majority to vote with.
     NoMajority,
     /// Recompute-on-mismatch never saw two consecutive agreeing runs
@@ -156,6 +165,10 @@ impl fmt::Display for SdpError {
             SdpError::TaskPanicked { task, attempts } => {
                 write!(f, "task {task} panicked and stayed faulty after {attempts} attempts")
             }
+            SdpError::BatchShapeMismatch { index } => {
+                write!(f, "batch instance {index} has a different shape from instance 0")
+            }
+            SdpError::EmptyBatch => write!(f, "batch needs at least one instance"),
             SdpError::NoMajority => write!(f, "redundant replicas disagree with no majority"),
             SdpError::RecoveryExhausted { attempts } => {
                 write!(f, "recovery exhausted after {attempts} attempts")

@@ -1,0 +1,241 @@
+//! A dependency-free work-stealing pool for host-side task batches.
+//!
+//! The divide-and-conquer executors of `sdp-core` model the paper's §4
+//! granularity analysis on a real host: each reduction round is a batch
+//! of independent matrix products handed to `k` workers.  The original
+//! executor spawned one thread per task with no queue at all, so a round
+//! whose products have uneven cost left most workers idle while the
+//! slowest finished.  [`StealPool`] keeps a per-worker deque of task
+//! indices and lets idle workers steal from the back of their peers'
+//! deques — the standard Chase–Lev discipline, here with a mutex per
+//! deque since tasks are matrix products (milliseconds), not nanosecond
+//! futures.
+//!
+//! Panics are contained per task: a task that panics simply leaves `None`
+//! in its result slot, which is what lets the fault-tolerant executor
+//! treat "worker died" as an observable, recoverable event rather than a
+//! poisoned pool.
+//!
+//! The pool is deliberately built on `std::thread::scope` only — the
+//! workspace vendors no `rayon`/`crossbeam`, and the scoped design means
+//! tasks may borrow the caller's data (each round borrows the current
+//! layer of matrices without cloning).
+
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+/// Number of hardware threads the host exposes (at least 1).
+pub fn host_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// A work-stealing pool of a fixed number of workers.
+///
+/// The pool itself is cheap to construct; workers are scoped to each
+/// [`run`](StealPool::run) call so task closures may borrow caller state.
+#[derive(Debug, Clone, Copy)]
+pub struct StealPool {
+    workers: usize,
+}
+
+impl StealPool {
+    /// A pool of `workers` threads (clamped to at least 1).
+    pub fn new(workers: usize) -> StealPool {
+        StealPool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// A pool sized to the host's available parallelism.
+    pub fn host_sized() -> StealPool {
+        StealPool::new(host_threads())
+    }
+
+    /// Configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Workers that would actually run for a batch of `tasks` tasks
+    /// (never more threads than tasks).
+    pub fn workers_for(&self, tasks: usize) -> usize {
+        self.workers.min(tasks).max(1)
+    }
+
+    /// Executes every task, returning one result slot per task in input
+    /// order.  A task that panics yields `None` in its slot; all other
+    /// tasks still run to completion.
+    ///
+    /// Tasks are dealt round-robin onto per-worker deques; a worker pops
+    /// its own deque from the front and steals from the back of its
+    /// peers' deques when empty.  With one worker (or one task) the batch
+    /// runs inline on the caller thread — on a single-core host the pool
+    /// degrades to a plain panic-containing loop with no spawn cost.
+    pub fn run<T, R>(&self, tasks: Vec<T>) -> Vec<Option<R>>
+    where
+        T: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let n = tasks.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.workers_for(n);
+        if workers == 1 {
+            return tasks
+                .into_iter()
+                .map(|t| catch_unwind(AssertUnwindSafe(t)).ok())
+                .collect();
+        }
+
+        // One take-once cell per task so any worker may claim any task,
+        // and one write-once slot per result.
+        let cells: Vec<Mutex<Option<T>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| Mutex::new((w..n).step_by(workers).collect()))
+            .collect();
+
+        std::thread::scope(|scope| {
+            for me in 0..workers {
+                let cells = &cells;
+                let slots = &slots;
+                let deques = &deques;
+                scope.spawn(move || loop {
+                    // Own work first (front), then steal (back).
+                    let idx = {
+                        let mut own = deques[me].lock().unwrap();
+                        own.pop_front()
+                    }
+                    .or_else(|| {
+                        (1..workers).find_map(|d| {
+                            let victim = (me + d) % workers;
+                            let mut q = deques[victim].lock().unwrap();
+                            q.pop_back()
+                        })
+                    });
+                    let Some(idx) = idx else { break };
+                    let Some(task) = cells[idx].lock().unwrap().take() else {
+                        continue;
+                    };
+                    let result = catch_unwind(AssertUnwindSafe(task)).ok();
+                    *slots[idx].lock().unwrap() = result;
+                });
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().unwrap())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_task_in_order_slots() {
+        let pool = StealPool::new(4);
+        let out = pool.run((0..100).map(|i| move || i * 2).collect());
+        assert_eq!(out.len(), 100);
+        for (i, slot) in out.iter().enumerate() {
+            assert_eq!(*slot, Some(i * 2));
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let pool = StealPool::new(3);
+        let out: Vec<Option<u32>> = pool.run(Vec::<fn() -> u32>::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn panicking_task_leaves_none_and_others_complete() {
+        let pool = StealPool::new(3);
+        let out = pool.run(
+            (0..10)
+                .map(|i| {
+                    move || {
+                        if i == 4 {
+                            panic!("task 4 dies");
+                        }
+                        i
+                    }
+                })
+                .collect::<Vec<_>>(),
+        );
+        for (i, slot) in out.iter().enumerate() {
+            if i == 4 {
+                assert_eq!(*slot, None);
+            } else {
+                assert_eq!(*slot, Some(i));
+            }
+        }
+    }
+
+    #[test]
+    fn single_worker_runs_inline() {
+        let pool = StealPool::new(1);
+        let tid = std::thread::current().id();
+        let out = pool.run(vec![move || std::thread::current().id() == tid]);
+        assert_eq!(out, vec![Some(true)]);
+    }
+
+    #[test]
+    fn tasks_may_borrow_caller_state() {
+        let data: Vec<u64> = (0..50).collect();
+        let pool = StealPool::new(4);
+        let out = pool.run(
+            data.chunks(7)
+                .map(|chunk| move || chunk.iter().sum::<u64>())
+                .collect::<Vec<_>>(),
+        );
+        let total: u64 = out.into_iter().map(|s| s.unwrap()).sum();
+        assert_eq!(total, data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn uneven_tasks_all_complete_with_stealing() {
+        // A few heavy tasks and many light ones: stealing or not, every
+        // slot must fill exactly once.
+        static RAN: AtomicUsize = AtomicUsize::new(0);
+        RAN.store(0, Ordering::SeqCst);
+        let pool = StealPool::new(4);
+        let out = pool.run(
+            (0..32)
+                .map(|i| {
+                    move || {
+                        if i % 8 == 0 {
+                            // ~heavier work
+                            let mut acc = 0u64;
+                            for x in 0..20_000u64 {
+                                acc = acc.wrapping_add(x * x);
+                            }
+                            std::hint::black_box(acc);
+                        }
+                        RAN.fetch_add(1, Ordering::SeqCst);
+                        i
+                    }
+                })
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(RAN.load(Ordering::SeqCst), 32);
+        assert_eq!(out.iter().filter(|s| s.is_some()).count(), 32);
+    }
+
+    #[test]
+    fn workers_clamped() {
+        assert_eq!(StealPool::new(0).workers(), 1);
+        assert_eq!(StealPool::new(5).workers_for(2), 2);
+        assert_eq!(StealPool::new(2).workers_for(100), 2);
+        assert!(host_threads() >= 1);
+    }
+}

@@ -10,6 +10,28 @@
 
 use crate::semiring::{ClosedSemiring, MinPlus, Semiring};
 use std::fmt;
+use std::sync::OnceLock;
+
+/// Rows of the right operand kept hot per blocking step of the i–k–j
+/// kernel.  64 rows of a 256-wide `i64` matrix is 128 KiB — roughly an L2
+/// slice on the hosts we target.
+const K_BLOCK: usize = 64;
+
+/// `rows · inner · cols` threshold above which [`Matrix::mul`] fans out
+/// across host threads (≈ a 128³ product).  Below it the fork/join cost
+/// dominates; above it each extra core pays for itself.
+const PAR_MIN_OPS: usize = 1 << 21;
+
+/// Cached `available_parallelism` — consulted on every large `mul`, so a
+/// syscall per product would show up in the D&C executor's inner loop.
+fn host_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
 
 /// A dense row-major matrix over a semiring `S`.
 #[derive(Clone, PartialEq)]
@@ -125,7 +147,16 @@ impl<S: Semiring> Matrix<S> {
             "inner dimensions must agree: {}x{} · {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        self.mul_unchecked_dims(rhs)
+        let ops = self.rows.saturating_mul(self.cols).saturating_mul(rhs.cols);
+        if ops >= PAR_MIN_OPS {
+            let threads = host_threads();
+            if threads > 1 {
+                return self.mul_parallel_unchecked(rhs, threads);
+            }
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.blocked_rows_kernel(rhs, 0, &mut out.data);
+        out
     }
 
     /// Non-panicking [`Matrix::mul`]: `None` when the inner dimensions
@@ -138,10 +169,21 @@ impl<S: Semiring> Matrix<S> {
         if self.cols != rhs.rows {
             return None;
         }
-        Some(self.mul_unchecked_dims(rhs))
+        Some(self.mul(rhs))
     }
 
-    fn mul_unchecked_dims(&self, rhs: &Matrix<S>) -> Matrix<S> {
+    /// The reference i–j–k triple loop, kept as the oracle the blocked and
+    /// parallel kernels are property-tested against.  Every kernel in this
+    /// module reduces each output element over `k` in ascending order, so
+    /// all of them fold `0̄ ⊕ t₀ ⊕ t₁ ⊕ …` through the exact same sequence
+    /// of machine operations and the results are bit-identical — no appeal
+    /// to ⊕-commutativity needed.
+    pub fn mul_naive(&self, rhs: &Matrix<S>) -> Matrix<S> {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "inner dimensions must agree: {}x{} · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         for i in 0..self.rows {
             let lrow = self.row(i);
@@ -154,6 +196,82 @@ impl<S: Semiring> Matrix<S> {
             }
         }
         out
+    }
+
+    /// Cache-blocked product written into `out`, reshaping it in place.
+    ///
+    /// `out`'s buffer is reused across calls (it only reallocates when it
+    /// grows), which is what lets [`Matrix::pow`] and
+    /// [`Matrix::string_product`] run without a per-step allocation.
+    /// `out` must not alias `self` or `rhs`.
+    pub fn mul_blocked_into(&self, rhs: &Matrix<S>, out: &mut Matrix<S>) {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "inner dimensions must agree: {}x{} · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        out.rows = self.rows;
+        out.cols = rhs.cols;
+        out.data.resize(self.rows * rhs.cols, S::zero());
+        self.blocked_rows_kernel(rhs, 0, &mut out.data);
+    }
+
+    /// Row-parallel blocked product across `threads` host threads
+    /// (contiguous row chunks; each thread runs the blocked kernel on its
+    /// slice of the output).  Falls back to the serial blocked kernel for
+    /// `threads <= 1`.  Same reduction order per element as
+    /// [`Matrix::mul_naive`], hence bit-identical results.
+    pub fn mul_parallel(&self, rhs: &Matrix<S>, threads: usize) -> Matrix<S> {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "inner dimensions must agree: {}x{} · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        self.mul_parallel_unchecked(rhs, threads)
+    }
+
+    fn mul_parallel_unchecked(&self, rhs: &Matrix<S>, threads: usize) -> Matrix<S> {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        let workers = threads.min(self.rows).max(1);
+        if workers <= 1 {
+            self.blocked_rows_kernel(rhs, 0, &mut out.data);
+            return out;
+        }
+        let cols = rhs.cols;
+        let rows_per = self.rows.div_ceil(workers);
+        std::thread::scope(|scope| {
+            for (chunk_idx, chunk) in out.data.chunks_mut(rows_per * cols).enumerate() {
+                scope.spawn(move || {
+                    self.blocked_rows_kernel(rhs, chunk_idx * rows_per, chunk);
+                });
+            }
+        });
+        out
+    }
+
+    /// Blocked i–k–j kernel over the output rows `[row_base,
+    /// row_base + out_rows.len() / rhs.cols)`.  Walks `rhs` row-wise in
+    /// `K_BLOCK`-row panels so the inner loop streams two contiguous rows,
+    /// and keeps `k` ascending per output element to stay bit-identical to
+    /// the naive kernel.
+    fn blocked_rows_kernel(&self, rhs: &Matrix<S>, row_base: usize, out_rows: &mut [S]) {
+        let cols = rhs.cols;
+        let inner = self.cols;
+        let n_rows = out_rows.len() / cols;
+        out_rows.fill(S::zero());
+        for kb in (0..inner).step_by(K_BLOCK) {
+            let kend = (kb + K_BLOCK).min(inner);
+            for i in 0..n_rows {
+                let lrow = self.row(row_base + i);
+                let orow = &mut out_rows[i * cols..(i + 1) * cols];
+                for (k, &l) in lrow.iter().enumerate().take(kend).skip(kb) {
+                    let brow = rhs.row(k);
+                    for (o, &b) in orow.iter_mut().zip(brow) {
+                        *o = o.add(l.mul(b));
+                    }
+                }
+            }
+        }
     }
 
     /// Matrix–column-vector product `self ⊗ v`.
@@ -178,16 +296,26 @@ impl<S: Semiring> Matrix<S> {
     }
 
     /// The `k`-th semiring power of a square matrix (`k = 0` → identity).
+    ///
+    /// Square-and-multiply through one reusable scratch buffer: each step
+    /// writes into `scratch` and swaps, so the loop performs no allocation
+    /// after the three buffers exist (the old version cloned a full matrix
+    /// per squaring).
     pub fn pow(&self, mut k: u32) -> Matrix<S> {
         assert_eq!(self.rows, self.cols, "power requires a square matrix");
         let mut result = Matrix::identity(self.rows);
         let mut base = self.clone();
+        let mut scratch = Matrix::zeros(self.rows, self.cols);
         while k > 0 {
             if k & 1 == 1 {
-                result = result.mul(&base);
+                result.mul_blocked_into(&base, &mut scratch);
+                std::mem::swap(&mut result, &mut scratch);
             }
-            base = base.mul(&base);
             k >>= 1;
+            if k > 0 {
+                base.mul_blocked_into(&base, &mut scratch);
+                std::mem::swap(&mut base, &mut scratch);
+            }
         }
         result
     }
@@ -211,8 +339,13 @@ impl<S: Semiring> Matrix<S> {
     pub fn string_product(ms: &[Matrix<S>]) -> Matrix<S> {
         assert!(!ms.is_empty(), "string product of zero matrices");
         let mut acc = ms[ms.len() - 1].clone();
+        // Ping-pong between the accumulator and one scratch buffer; for a
+        // uniform string every step after the first reuses the same two
+        // allocations instead of building a fresh matrix per fold step.
+        let mut scratch = Matrix::zeros(1, 1);
         for m in ms[..ms.len() - 1].iter().rev() {
-            acc = m.mul(&acc);
+            m.mul_blocked_into(&acc, &mut scratch);
+            std::mem::swap(&mut acc, &mut scratch);
         }
         acc
     }
@@ -223,8 +356,13 @@ impl<S: Semiring> Matrix<S> {
     /// simulating).
     pub fn checked_string_product(ms: &[Matrix<S>]) -> Option<Matrix<S>> {
         let mut acc = ms.last()?.clone();
+        let mut scratch = Matrix::zeros(1, 1);
         for m in ms[..ms.len() - 1].iter().rev() {
-            acc = m.checked_mul(&acc)?;
+            if m.cols != acc.rows {
+                return None;
+            }
+            m.mul_blocked_into(&acc, &mut scratch);
+            std::mem::swap(&mut acc, &mut scratch);
         }
         Some(acc)
     }
@@ -493,6 +631,56 @@ mod tests {
         );
         assert_eq!(Matrix::<MinPlus>::checked_string_product(&[]), None);
         assert_eq!(Matrix::checked_string_product(&[a, c, b]), None);
+    }
+
+    /// Deterministic pseudo-random min-plus matrix with a sprinkling of
+    /// `INF` entries, sized to cross `K_BLOCK` and thread-chunk borders.
+    fn scrambled(rows: usize, cols: usize, seed: u64) -> Matrix<MinPlus> {
+        let mut state = seed | 1;
+        Matrix::from_fn(rows, cols, |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = (state >> 33) as i64 % 1000;
+            if v % 13 == 0 {
+                MinPlus::zero()
+            } else {
+                MinPlus::from(v)
+            }
+        })
+    }
+
+    #[test]
+    fn blocked_kernel_bit_identical_to_naive() {
+        // Sizes straddling K_BLOCK (64), including non-divisible shapes.
+        for &(p, q, r) in &[(1, 1, 1), (3, 65, 7), (70, 64, 5), (65, 130, 66)] {
+            let a = scrambled(p, q, 11 + p as u64);
+            let b = scrambled(q, r, 23 + r as u64);
+            assert_eq!(a.mul(&b), a.mul_naive(&b), "{p}x{q}·{q}x{r}");
+        }
+    }
+
+    #[test]
+    fn parallel_kernel_bit_identical_to_naive() {
+        let a = scrambled(67, 33, 5);
+        let b = scrambled(33, 41, 9);
+        let naive = a.mul_naive(&b);
+        for threads in [1, 2, 3, 8, 100] {
+            assert_eq!(a.mul_parallel(&b, threads), naive, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn mul_blocked_into_reshapes_and_reuses() {
+        let a = scrambled(4, 6, 3);
+        let b = scrambled(6, 2, 4);
+        let mut out = Matrix::zeros(1, 1);
+        a.mul_blocked_into(&b, &mut out);
+        assert_eq!(out, a.mul_naive(&b));
+        // Second product with different dims through the same buffer.
+        let c = scrambled(2, 5, 7);
+        b.mul_blocked_into(&c, &mut out);
+        assert_eq!(out, b.mul_naive(&c));
     }
 
     #[test]

@@ -64,6 +64,7 @@ impl Semiring for MinPlus {
 impl ClosedSemiring for MinPlus {
     /// With nonnegative costs `a* = 0`; a negative cost would give `-INF`
     /// (a negative cycle), which we clamp to the most negative finite cost.
+    #[inline]
     fn star(self) -> Self {
         if self.0 >= Cost::ZERO {
             MinPlus(Cost::ZERO)
@@ -74,12 +75,14 @@ impl ClosedSemiring for MinPlus {
 }
 
 impl From<i64> for MinPlus {
+    #[inline]
     fn from(v: i64) -> Self {
         MinPlus(Cost::from(v))
     }
 }
 
 impl From<Cost> for MinPlus {
+    #[inline]
     fn from(c: Cost) -> Self {
         MinPlus(c)
     }
@@ -116,6 +119,7 @@ impl Semiring for MaxPlus {
 }
 
 impl From<i64> for MaxPlus {
+    #[inline]
     fn from(v: i64) -> Self {
         MaxPlus(Cost::from(v))
     }
@@ -147,6 +151,7 @@ impl Semiring for BoolOr {
 }
 
 impl ClosedSemiring for BoolOr {
+    #[inline]
     fn star(self) -> Self {
         BoolOr(true)
     }

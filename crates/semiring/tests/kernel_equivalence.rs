@@ -1,0 +1,126 @@
+//! Exact-equality property tests for the blocked / parallel matmul kernels.
+//!
+//! The blocked i–k–j kernel and the row-parallel kernel both reduce every
+//! output element over `k` in ascending order — the same fold the naive
+//! i–j–k reference performs — so their results must be *bit-identical*,
+//! not merely approximately equal.  These properties pin that contract for
+//! an idempotent semiring (min-plus, with `INF` sentinels in play) and a
+//! non-idempotent one (saturating path counting).
+
+use proptest::prelude::*;
+use sdp_semiring::{CountPlus, Matrix, MinPlus, Semiring};
+
+/// Splitmix-style generator so each case is reproducible from its seed.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 16
+    }
+}
+
+/// Min-plus entries spanning finite costs and the `INF` additive identity.
+fn minplus_matrix(rows: usize, cols: usize, lcg: &mut Lcg) -> Matrix<MinPlus> {
+    Matrix::from_fn(rows, cols, |_, _| {
+        let v = lcg.next();
+        if v % 13 == 0 {
+            MinPlus::zero()
+        } else {
+            MinPlus::from(v as i64 % 1000 - 500)
+        }
+    })
+}
+
+/// Counting entries, with occasional near-`MAX` values to exercise the
+/// saturating arithmetic.
+fn countplus_matrix(rows: usize, cols: usize, lcg: &mut Lcg) -> Matrix<CountPlus> {
+    Matrix::from_fn(rows, cols, |_, _| {
+        let v = lcg.next();
+        if v % 17 == 0 {
+            CountPlus(u64::MAX / 2)
+        } else {
+            CountPlus(v % 1000)
+        }
+    })
+}
+
+/// Maps a raw pair of dial values onto dimension triples biased toward
+/// shapes that straddle the kernel's 64-row blocking factor and the
+/// parallel path's row chunking.
+fn pick_dims(shape: usize, dial: u64) -> (usize, usize, usize) {
+    let d = |n: u64| (dial >> (8 * n)) as usize % 12 + 1;
+    if shape % 5 == 4 {
+        (d(0).min(3), 60 + d(1) % 10, d(2).min(3))
+    } else {
+        (d(0), d(1), d(2))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn minplus_kernels_bit_identical(shape in 0usize..10, dial in 0u64..u64::MAX, seed in 0u64..u64::MAX) {
+        let (p, q, r) = pick_dims(shape, dial);
+        let mut lcg = Lcg(seed | 1);
+        let a = minplus_matrix(p, q, &mut lcg);
+        let b = minplus_matrix(q, r, &mut lcg);
+        let naive = a.mul_naive(&b);
+        prop_assert_eq!(&a.mul(&b), &naive);
+        let mut out = Matrix::zeros(1, 1);
+        a.mul_blocked_into(&b, &mut out);
+        prop_assert_eq!(&out, &naive);
+        prop_assert_eq!(&a.mul_parallel(&b, 4), &naive);
+    }
+
+    #[test]
+    fn countplus_kernels_bit_identical(shape in 0usize..10, dial in 0u64..u64::MAX, seed in 0u64..u64::MAX) {
+        let (p, q, r) = pick_dims(shape, dial);
+        let mut lcg = Lcg(seed | 1);
+        let a = countplus_matrix(p, q, &mut lcg);
+        let b = countplus_matrix(q, r, &mut lcg);
+        let naive = a.mul_naive(&b);
+        prop_assert_eq!(&a.mul(&b), &naive);
+        let mut out = Matrix::zeros(1, 1);
+        a.mul_blocked_into(&b, &mut out);
+        prop_assert_eq!(&out, &naive);
+        prop_assert_eq!(&a.mul_parallel(&b, 3), &naive);
+    }
+
+    #[test]
+    fn string_product_matches_naive_fold(
+        m in 1usize..6,
+        n in 1usize..6,
+        seed in 0u64..1_000,
+    ) {
+        // A uniform string [1×m] [m×m]^n [m×1] like the design drivers use.
+        let mut lcg = Lcg(seed | 1);
+        let mut ms = vec![minplus_matrix(1, m, &mut lcg)];
+        for _ in 0..n {
+            ms.push(minplus_matrix(m, m, &mut lcg));
+        }
+        ms.push(minplus_matrix(m, 1, &mut lcg));
+
+        let mut acc = ms[ms.len() - 1].clone();
+        for mat in ms[..ms.len() - 1].iter().rev() {
+            acc = mat.mul_naive(&acc);
+        }
+        prop_assert_eq!(&Matrix::string_product(&ms), &acc);
+        prop_assert_eq!(Matrix::checked_string_product(&ms).as_ref(), Some(&acc));
+    }
+
+    #[test]
+    fn pow_matches_naive_repeated_mul(n in 1usize..6, k in 0u32..8, seed in 0u64..1_000) {
+        let mut lcg = Lcg(seed | 1);
+        let a = minplus_matrix(n, n, &mut lcg);
+        let mut expect = Matrix::<MinPlus>::identity(n);
+        for _ in 0..k {
+            expect = expect.mul_naive(&a);
+        }
+        prop_assert_eq!(&a.pow(k), &expect);
+    }
+}

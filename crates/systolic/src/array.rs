@@ -18,6 +18,10 @@ pub struct LinearArray<P: ProcessingElement> {
     /// `links[i]` is the latched word on the link *into* PE `i`;
     /// `links[m]` is the latched word leaving the tail PE.
     links: Vec<Option<P::Flow>>,
+    /// Double buffer for the link latches: each cycle writes next-cycle
+    /// state here, then swaps with `links`.  Keeping it on the struct
+    /// means the per-cycle hot loop performs no allocation at all.
+    links_next: Vec<Option<P::Flow>>,
     /// `bypass[i]` routes around PE `i`: its column becomes a plain
     /// one-cycle wire (spare-column remapping for a faulty PE).
     bypass: Vec<bool>,
@@ -40,6 +44,7 @@ impl<P: ProcessingElement> LinearArray<P> {
         Ok(LinearArray {
             pes,
             links: vec![None; m + 1],
+            links_next: vec![None; m + 1],
             bypass: vec![false; m],
             stats: Stats::new(m),
         })
@@ -181,31 +186,28 @@ impl<P: ProcessingElement> LinearArray<P> {
         if S::ENABLED {
             sink.record(Event::CycleStart { cycle: now });
         }
-        // Capture last cycle's link values so every PE sees pre-cycle state.
-        let inbound: Vec<Option<P::Flow>> = {
-            let mut v = Vec::with_capacity(m);
-            v.push(head_in);
-            v.extend_from_slice(&self.links[1..m]);
-            v
-        };
         if head_in.is_some() {
             self.stats.record_input_word();
             if S::ENABLED {
                 sink.record(Event::WordIn);
             }
         }
-        let mut next_links = vec![None; m + 1];
+        // Two-phase update without per-cycle allocation: PEs read the
+        // pre-cycle state still held in `links` (head_in overrides the
+        // external index 0) while all writes go to `links_next`; the
+        // buffers swap at the end of the cycle.
         let mut any_busy = false;
         for i in 0..m {
+            let inbound = if i == 0 { head_in } else { self.links[i] };
             let bypassed = self.bypass[i];
             let pe = &mut self.pes[i];
             let (out, busy) = if bypassed {
-                (inbound[i], false)
+                (inbound, false)
             } else {
-                let stepped = pe.step(inbound[i], ext(i), ctrl(i));
+                let stepped = pe.step(inbound, ext(i), ctrl(i));
                 (corrupt(i as u32, now, stepped, &mut *sink), pe.was_busy())
             };
-            next_links[i + 1] = out;
+            self.links_next[i + 1] = out;
             if busy {
                 self.stats.record_busy(i);
                 any_busy = true;
@@ -219,16 +221,16 @@ impl<P: ProcessingElement> LinearArray<P> {
             }
         }
         // head link latch (index 0) is external; keep what was presented.
-        next_links[0] = head_in;
+        self.links_next[0] = head_in;
         if S::ENABLED {
-            for (link, word) in next_links.iter().enumerate() {
+            for (link, word) in self.links_next.iter().enumerate() {
                 sink.record(Event::LatchCommit {
                     link: link as u32,
                     occupied: word.is_some(),
                 });
             }
         }
-        self.links = next_links;
+        std::mem::swap(&mut self.links, &mut self.links_next);
         self.stats.record_cycle();
         if !any_busy {
             self.stats.record_stall_cycle();

@@ -57,6 +57,13 @@ pub struct Mesh2D<P: MeshProcessingElement> {
     /// `v[r][c]` = word latched on the vertical link *into* PE `(r, c)`;
     /// row index `rows` is the south edge output.
     v: Vec<Vec<Option<P::Vert>>>,
+    /// Double buffers for the link latches plus this cycle's edge
+    /// injections — persistent so the cycle loop never allocates grid
+    /// state (only the small per-cycle edge-output vectors it returns).
+    h_next: Vec<Vec<Option<P::Horiz>>>,
+    v_next: Vec<Vec<Option<P::Vert>>>,
+    west_edge: Vec<Option<P::Horiz>>,
+    north_edge: Vec<Option<P::Vert>>,
     stats: Stats,
 }
 
@@ -84,6 +91,10 @@ impl<P: MeshProcessingElement> Mesh2D<P> {
             pes,
             h: vec![vec![None; cols + 1]; rows],
             v: vec![vec![None; cols]; rows + 1],
+            h_next: vec![vec![None; cols + 1]; rows],
+            v_next: vec![vec![None; cols]; rows + 1],
+            west_edge: vec![None; rows],
+            north_edge: vec![None; cols],
             stats: Stats::new(rows * cols),
         })
     }
@@ -201,12 +212,12 @@ impl<P: MeshProcessingElement> Mesh2D<P> {
         if S::ENABLED {
             sink.record(Event::CycleStart { cycle: now });
         }
-        // Snapshot pre-cycle latches, inject edges.
-        let mut h_in = self.h.clone();
-        let mut v_in = self.v.clone();
+        // Latch this cycle's edge injections; interior reads below use
+        // the pre-cycle state still held in `h`/`v` while writes go to
+        // the `*_next` double buffers — no per-cycle grid allocation.
         for r in 0..rows {
-            h_in[r][0] = west_in(r);
-            if h_in[r][0].is_some() {
+            self.west_edge[r] = west_in(r);
+            if self.west_edge[r].is_some() {
                 self.stats.record_input_word();
                 if S::ENABLED {
                     sink.record(Event::WordIn);
@@ -214,24 +225,32 @@ impl<P: MeshProcessingElement> Mesh2D<P> {
             }
         }
         for c in 0..cols {
-            v_in[0][c] = north_in(c);
-            if v_in[0][c].is_some() {
+            self.north_edge[c] = north_in(c);
+            if self.north_edge[c].is_some() {
                 self.stats.record_input_word();
                 if S::ENABLED {
                     sink.record(Event::WordIn);
                 }
             }
         }
-        let mut h_next = vec![vec![None; cols + 1]; rows];
-        let mut v_next = vec![vec![None; cols]; rows + 1];
         let mut any_busy = false;
         for r in 0..rows {
             for c in 0..cols {
+                let west = if c == 0 {
+                    self.west_edge[r]
+                } else {
+                    self.h[r][c]
+                };
+                let north = if r == 0 {
+                    self.north_edge[c]
+                } else {
+                    self.v[r][c]
+                };
                 let pe = &mut self.pes[r * cols + c];
-                let stepped = pe.step(h_in[r][c], v_in[r][c], ctrl(r, c));
+                let stepped = pe.step(west, north, ctrl(r, c));
                 let (east, south) = corrupt((r * cols + c) as u32, now, stepped, &mut *sink);
-                h_next[r][c + 1] = east;
-                v_next[r + 1][c] = south;
+                self.h_next[r][c + 1] = east;
+                self.v_next[r + 1][c] = south;
                 let busy = pe.was_busy();
                 if busy {
                     self.stats.record_busy(r * cols + c);
@@ -246,8 +265,18 @@ impl<P: MeshProcessingElement> Mesh2D<P> {
                 }
             }
         }
-        let east_out: Vec<_> = (0..rows).map(|r| h_next[r][cols]).collect();
-        let south_out: Vec<_> = (0..cols).map(|c| v_next[rows][c]).collect();
+        // The west/north borders of the next state are edge-fed and never
+        // written by the loop above; clear them before the swap.
+        for r in 0..rows {
+            self.h_next[r][0] = None;
+        }
+        for c in 0..cols {
+            self.v_next[0][c] = None;
+        }
+        std::mem::swap(&mut self.h, &mut self.h_next);
+        std::mem::swap(&mut self.v, &mut self.v_next);
+        let east_out: Vec<_> = (0..rows).map(|r| self.h[r][cols]).collect();
+        let south_out: Vec<_> = (0..cols).map(|c| self.v[rows][c]).collect();
         let out_words = east_out.iter().filter(|w| w.is_some()).count()
             + south_out.iter().filter(|w| w.is_some()).count();
         for _ in 0..out_words {
@@ -256,8 +285,6 @@ impl<P: MeshProcessingElement> Mesh2D<P> {
                 sink.record(Event::WordOut);
             }
         }
-        self.h = h_next;
-        self.v = v_next;
         self.stats.record_cycle();
         if !any_busy {
             self.stats.record_stall_cycle();
