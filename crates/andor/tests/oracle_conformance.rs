@@ -1,0 +1,40 @@
+//! AND/OR-side conformance hooks: the chain DP, the generated AND/OR
+//! graphs, and the BST instance are checked against the oracle's
+//! interval DP and its from-scratch AND/OR evaluation semantics.
+
+use proptest::proptest;
+use proptest::rng::TestRng;
+use proptest::strategy::Strategy;
+use sdp_oracle::strategies::ChainDimsStrategy;
+use sdp_oracle::{diff, reference};
+
+struct FreqStrategy;
+impl Strategy for FreqStrategy {
+    type Value = Vec<u64>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<u64> {
+        let n = 1 + rng.below(7) as usize;
+        (0..n).map(|_| 1 + rng.below(10)).collect()
+    }
+}
+
+proptest! {
+    #[test]
+    fn chains_match_oracle_on_sampled_dims(dims in ChainDimsStrategy) {
+        diff::check_chain("andor sampled", &dims);
+    }
+
+    #[test]
+    fn bst_matches_oracle_on_sampled_freqs(freq in FreqStrategy) {
+        diff::check_bst("andor sampled", &freq);
+    }
+
+    #[test]
+    fn andor_evaluation_matches_oracle_semantics(dims in ChainDimsStrategy) {
+        let chain = sdp_andor::chain::build_chain_andor(&dims);
+        let got = chain.graph.evaluate_node(chain.root);
+        assert!(reference::weq(
+            reference::andor_eval_ref(&chain.graph, chain.root),
+            got
+        ));
+    }
+}

@@ -10,6 +10,8 @@
 //! GOLDEN_REGEN=1 cargo test -p sdp-bench --test degradation_golden
 //! ```
 
+mod support;
+
 use sdp_bench::experiments::report_degradation;
 use sdp_bench::reports_to_json;
 
@@ -18,17 +20,9 @@ fn degradation_json_is_byte_identical_to_golden() {
     // Injected worker deaths arrive as caught panics inside the
     // experiment; the report itself silences the hook around them.
     let doc = format!("{}\n", reports_to_json(&[report_degradation()]).render());
-    if std::env::var_os("GOLDEN_REGEN").is_some() {
-        let file = format!(
-            "{}/tests/golden/degradation.json",
-            env!("CARGO_MANIFEST_DIR")
-        );
-        std::fs::write(&file, &doc).unwrap();
-        return;
-    }
-    assert_eq!(
-        doc,
+    support::check_golden(
+        "degradation.json",
+        &doc,
         include_str!("golden/degradation.json"),
-        "golden/degradation.json is stale; rerun with GOLDEN_REGEN=1 if the change is intentional"
     );
 }

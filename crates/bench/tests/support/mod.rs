@@ -1,0 +1,52 @@
+//! Shared helpers for the golden-file smoke tests.
+//!
+//! Each golden test renders a deterministic JSON document and compares
+//! it byte-for-byte against a fixture committed under `tests/golden/`.
+//! The regen protocol and the host-field redaction rules live here so
+//! the throughput and fault-smoke goldens cannot drift apart.
+#![allow(dead_code)] // each integration test binary uses a subset
+
+use sdp_trace::json::Json;
+
+/// Nulls out every host-dependent field, keyed by name.
+///
+/// Wall-clock columns vary by machine, so schema goldens redact every
+/// timing/host-shaped value (ms, speedups, overheads, core/thread
+/// counts, flags, and title lines that embed the core count) to `null`
+/// before the byte comparison.
+pub fn redact(json: &mut Json) {
+    match json {
+        Json::Object(fields) => {
+            for (k, v) in fields.iter_mut() {
+                let host_dependent = [
+                    "ms", "cores", "threads", "speedup", "overhead", "flagged", "title",
+                ]
+                .iter()
+                .any(|n| k.contains(n));
+                if host_dependent {
+                    *v = Json::Null;
+                } else {
+                    redact(v);
+                }
+            }
+        }
+        Json::Array(items) => items.iter_mut().for_each(redact),
+        _ => {}
+    }
+}
+
+/// Byte-compares `rendered` against the `committed` fixture text, or
+/// rewrites `tests/golden/<name>` in place when `GOLDEN_REGEN=1` is
+/// set.  Callers pass the committed text via `include_str!` so a
+/// missing fixture is a compile error, not a runtime surprise.
+pub fn check_golden(name: &str, rendered: &str, committed: &str) {
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        let file = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+        std::fs::write(&file, rendered).unwrap();
+        return;
+    }
+    assert_eq!(
+        rendered, committed,
+        "golden/{name} is stale; rerun with GOLDEN_REGEN=1 if the change is intentional"
+    );
+}

@@ -13,49 +13,21 @@
 //! GOLDEN_REGEN=1 cargo test -p sdp-bench --test throughput_golden
 //! ```
 
+mod support;
+
 use sdp_bench::experiments::report_throughput_quick;
 use sdp_bench::reports_to_json;
 use sdp_trace::json::Json;
 
-/// Nulls out every host-dependent field, keyed by name.
-fn redact(json: &mut Json) {
-    match json {
-        Json::Object(fields) => {
-            for (k, v) in fields.iter_mut() {
-                let host_dependent = [
-                    "ms", "cores", "threads", "speedup", "overhead", "flagged", "title",
-                ]
-                .iter()
-                .any(|n| k.contains(n));
-                if host_dependent {
-                    *v = Json::Null;
-                } else {
-                    redact(v);
-                }
-            }
-        }
-        Json::Array(items) => items.iter_mut().for_each(redact),
-        _ => {}
-    }
-}
-
 #[test]
 fn throughput_schema_and_cycle_metrics_match_golden() {
     let mut doc = reports_to_json(&[report_throughput_quick()]);
-    redact(&mut doc);
+    support::redact(&mut doc);
     let rendered = format!("{}\n", doc.render());
-    if std::env::var_os("GOLDEN_REGEN").is_some() {
-        let file = format!(
-            "{}/tests/golden/throughput.json",
-            env!("CARGO_MANIFEST_DIR")
-        );
-        std::fs::write(&file, &rendered).unwrap();
-        return;
-    }
-    assert_eq!(
-        rendered,
+    support::check_golden(
+        "throughput.json",
+        &rendered,
         include_str!("golden/throughput.json"),
-        "golden/throughput.json is stale; rerun with GOLDEN_REGEN=1 if the change is intentional"
     );
 }
 

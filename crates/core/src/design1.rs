@@ -931,7 +931,9 @@ mod tests {
         // register-extracted shapes pay an explicit flush pass to drain
         // R between instances (single runs read R for free), so only
         // value equality is asserted there.
-        let cases: Vec<(usize, bool, Vec<Vec<Matrix<MinPlus>>>)> = vec![
+        // (stage count, no_slower gate, instance strings per case)
+        type BatchCase = (usize, bool, Vec<Vec<Matrix<MinPlus>>>);
+        let cases: Vec<BatchCase> = vec![
             (
                 4,
                 true,

@@ -174,7 +174,9 @@ pub fn design1_tmr<F: FaultInjector, K: TraceSink>(
     res.map(|r| (r, stats))
 }
 
-/// Design 2 under TMR (vote over the final cost vector).
+/// Design 2 under TMR (vote over the final cost vector *and* the
+/// recovered path — a fault that leaves the values intact but corrupts
+/// the argmin latches must still be out-voted).
 pub fn design2_tmr<F: FaultInjector, K: TraceSink>(
     array: &Design2Array,
     mats: &[Matrix<MinPlus>],
@@ -189,16 +191,16 @@ pub fn design2_tmr<F: FaultInjector, K: TraceSink>(
                 array.run_fault_traced(mats, &mut NoFaults, sink)
             }
         },
-        |a, b| a.values == b.values,
+        |a, b| a.values == b.values && a.path == b.path,
         |r| r.cycles,
     );
     emit_detections(sink, &detected);
     res.map(|r| (r, stats))
 }
 
-/// Design 3 under TMR (vote over cost *and* the per-vertex finals, so
-/// a fault that leaves the optimum intact but corrupts another final
-/// is still out-voted).
+/// Design 3 under TMR (vote over cost, the per-vertex finals, *and*
+/// the path registers, so a fault that leaves the optimum intact but
+/// corrupts another final or the recovered path is still out-voted).
 pub fn design3_tmr<F: FaultInjector, K: TraceSink>(
     array: &Design3Array,
     g: &NodeValueGraph,
@@ -213,7 +215,7 @@ pub fn design3_tmr<F: FaultInjector, K: TraceSink>(
                 array.run_fault_traced(g, &mut NoFaults, sink)
             }
         },
-        |a, b| a.cost == b.cost && a.finals == b.finals,
+        |a, b| a.cost == b.cost && a.finals == b.finals && a.path == b.path,
         |r| r.cycles,
     );
     emit_detections(sink, &detected);

@@ -187,3 +187,31 @@ proptest! {
         prop_assert_eq!(voted.distance, want);
     }
 }
+
+/// A *planned* sequence of worker deaths (one-shot `KillWorker` entries,
+/// one consumed per reassignment) that outlives the retry budget must
+/// surface the typed exhaustion error, not a wrong product or a hang.
+#[test]
+fn planned_worker_deaths_exhaust_bounded_retry() {
+    use sdp_core::dnc::ParallelExecutor;
+    use sdp_fault::SdpError;
+    use sdp_trace::NullSink;
+    let g = generate::random_uniform(11, 4, 3, 0, 9);
+    let mats = g.matrix_string();
+    let plan = (0..4).fold(FaultPlan::new(), |p, _| {
+        p.with(Fault::KillWorker { task: 0 })
+    });
+    let got = ParallelExecutor::new(2).multiply_string_ft(
+        mats,
+        &mut PlanInjector::new(plan),
+        &mut NullSink,
+        2,
+    );
+    assert!(matches!(
+        got,
+        Err(SdpError::TaskPanicked {
+            task: 0,
+            attempts: 2
+        })
+    ));
+}

@@ -1,0 +1,33 @@
+//! Engine-side conformance hooks: `sdp-core`'s own suite samples the
+//! oracle crate's conformance-grade instance distributions and runs the
+//! full differential drivers, so an engine regression fails here (next
+//! to the engine) as well as in the `sdp-oracle` sweep.
+
+use proptest::proptest;
+use sdp_oracle::diff;
+use sdp_oracle::strategies::{
+    EditPairStrategy, MinPlusStringStrategy, MultistageStrategy, NodeValueStrategy,
+};
+
+proptest! {
+    #[test]
+    fn designs_match_oracle_on_sampled_graphs(g in MultistageStrategy) {
+        diff::check_multistage_string("core sampled", g.matrix_string());
+    }
+
+    #[test]
+    fn design3_matches_oracle_on_sampled_graphs(g in NodeValueStrategy) {
+        diff::check_node_value("core sampled", &g);
+    }
+
+    #[test]
+    fn string_engines_match_oracle_on_sampled_strings(mats in MinPlusStringStrategy) {
+        diff::check_string_engines("core sampled", &mats);
+        diff::check_matmul_pair("core sampled", &mats[0], &mats[1]);
+    }
+
+    #[test]
+    fn edit_mesh_matches_oracle_on_sampled_pairs(pair in EditPairStrategy) {
+        diff::check_edit("core sampled", &pair.0, &pair.1);
+    }
+}

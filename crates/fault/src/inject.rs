@@ -337,8 +337,8 @@ mod tests {
 
     #[test]
     fn no_faults_is_disabled_and_inert() {
-        assert!(!NoFaults::ENABLED);
-        assert!(!<&mut NoFaults as FaultInjector>::ENABLED);
+        const { assert!(!NoFaults::ENABLED) };
+        const { assert!(!<&mut NoFaults as FaultInjector>::ENABLED) };
         let mut inj = NoFaults;
         assert_eq!(inj.pe_fault(0, 0), None);
         assert_eq!(inj.bus_fault(0), None);

@@ -1,0 +1,586 @@
+//! Cross-engine differential drivers.
+//!
+//! Each `check_*` driver pushes **one** instance through *every*
+//! applicable engine variant — plain, traced, `try_*`, fault-traced
+//! under [`NoFaults`], batched, TMR/duplex resilient wrappers, spare
+//! columns, and the `StealPool`-backed D&C executor — and requires each
+//! answer to be bit-identical (via [`reference::weq`]) to the
+//! independent oracle's.  The paper-invariant checkers from
+//! [`crate::invariants`] run on the measured stats of the same runs, so
+//! a conformance sweep validates values *and* timing at once.
+//!
+//! Every driver returns the number of engine variants it exercised;
+//! the conformance tests assert a floor on that count so a silently
+//! skipped variant fails the suite rather than shrinking it.
+
+use crate::invariants;
+use crate::reference::{self, weq, Weight};
+use sdp_andor::chain::{
+    bst_brute_force, build_chain_andor, chain_brute_force, matrix_chain_order, optimal_bst,
+    try_matrix_chain_order, try_optimal_bst,
+};
+use sdp_core::chain_array::{simulate_chain_array, ChainMapping};
+use sdp_core::design1::Design1Array;
+use sdp_core::design2::Design2Array;
+use sdp_core::design3::Design3Array;
+use sdp_core::dnc::ParallelExecutor;
+use sdp_core::edit_array::{
+    edit_distance_fault_traced, edit_distance_mesh, edit_distance_mesh_batch,
+    edit_distance_mesh_batch_traced, edit_distance_mesh_traced, edit_distance_seq,
+    try_edit_distance_mesh, try_edit_distance_mesh_traced,
+};
+use sdp_core::matmul_array::MatmulArray;
+use sdp_core::resilient::{
+    design1_tmr, design2_tmr, design3_tmr, edit_distance_recompute, edit_distance_tmr,
+    matmul_recompute, matmul_tmr,
+};
+use sdp_fault::{Fault, FaultPlan, FaultyWord, NoFaults, PlanInjector};
+use sdp_multistage::{solve, MultistageGraph, NodeValueGraph};
+use sdp_semiring::{Cost, Matrix, MinPlus, Semiring};
+use sdp_systolic::{scheduler::eq29_time, TreeScheduler};
+use sdp_trace::{CountingSink, NullSink};
+
+/// Asserts a cost vector is element-wise [`weq`]-identical to the
+/// oracle's weight vector.
+fn assert_values(tag: &str, got: &[Cost], want: &[Weight]) {
+    assert_eq!(got.len(), want.len(), "{tag}: values length");
+    for (i, (&g, &w)) in got.iter().zip(want).enumerate() {
+        assert!(weq(w, g), "{tag}: values[{i}] = {g:?}, oracle {w:?}");
+    }
+}
+
+/// Cost of a stage path through a raw matrix string, from the oracle's
+/// weight algebra (`path[i]` is the vertex chosen in stage `i`).
+fn string_path_weight(mats: &[Matrix<MinPlus>], path: &[usize]) -> Weight {
+    assert_eq!(path.len(), mats.len() + 1, "path must name every stage");
+    let mut w = Some(0);
+    for (s, m) in mats.iter().enumerate() {
+        let edge = reference::RefMat::from_minplus(m).get(path[s], path[s + 1]);
+        w = reference::wadd(w, edge);
+    }
+    w
+}
+
+/// A transient bit-flip aimed at PE 0's first busy cycle — used to
+/// prove the TMR/duplex wrappers out-vote an actually-corrupted
+/// replica, not just a fault-free one.
+fn flip_pe0() -> PlanInjector {
+    PlanInjector::new(FaultPlan::new().with(Fault::TransientFlip {
+        pe: 0,
+        cycle: 1,
+        bit: 1,
+    }))
+}
+
+/// Differential driver for the monadic-serial class: one min-plus
+/// matrix string through every Design 1 and Design 2 variant.
+pub fn check_multistage_string(tag: &str, mats: &[Matrix<MinPlus>]) -> usize {
+    let n = mats.len();
+    let m = if mats[0].rows() == 1 {
+        mats[0].cols()
+    } else {
+        mats[0].rows()
+    };
+    let sss = mats[0].rows() == 1 && mats[n - 1].cols() == 1;
+
+    // The oracle: the full string product, its per-row minima (the
+    // engines' `values` contract), and the scalar optimum — confirmed
+    // against brute-force path enumeration where feasible.
+    let prod = reference::minplus_string_ref(mats);
+    let want_vals = prod.row_mins();
+    let want_best = prod.best();
+    if n * m <= 12 {
+        assert_eq!(
+            reference::enumerate_paths_best(mats),
+            want_best,
+            "{tag}: oracle DP disagrees with path enumeration"
+        );
+    }
+
+    let mut variants = 0;
+
+    // Design 1 (pipelined, Fig. 3).
+    let d1 = Design1Array::new(m);
+    let mut sink = CountingSink::default();
+    let runs = [
+        d1.run(mats),
+        d1.run_traced(mats, &mut sink),
+        d1.try_run(mats).expect("d1 try_run"),
+        d1.try_run_traced(mats, &mut NullSink)
+            .expect("d1 try_run_traced"),
+        d1.run_fault_traced(mats, &mut NoFaults, &mut NullSink)
+            .expect("d1 fault traced"),
+        d1.run_with_spare_traced(mats, 0, &mut NoFaults, &mut NullSink)
+            .expect("d1 spare")
+            .0,
+        design1_tmr(&d1, mats, &mut NoFaults, &mut NullSink)
+            .expect("d1 tmr clean")
+            .0,
+        design1_tmr(&d1, mats, &mut flip_pe0(), &mut NullSink)
+            .expect("d1 tmr faulty")
+            .0,
+    ];
+    for r in &runs {
+        assert_values(tag, &r.values, &want_vals);
+        assert!(weq(want_best, r.optimum()), "{tag}: d1 optimum");
+        invariants::check_design1(m, n, r);
+        variants += 1;
+    }
+    assert_eq!(sink.cycles, runs[1].cycles, "{tag}: d1 sink cycle count");
+    if sss && n >= 2 {
+        invariants::check_eq9(m, n, &runs[0]);
+    }
+
+    // Design 1 batched: three copies pipelined must reproduce the
+    // single-run answer three times.
+    let batch = d1.run_batch(&[mats, mats, mats]).expect("d1 batch");
+    for t in 0..3 {
+        assert_values(tag, &batch.values[t], &want_vals);
+    }
+    assert!(
+        batch.cycles >= runs[0].cycles,
+        "{tag}: batching cannot beat one instance"
+    );
+    variants += 1;
+
+    // Design 2 (broadcast, Fig. 4).
+    let d2 = Design2Array::new(m);
+    let runs2 = [
+        d2.run(mats),
+        d2.run_traced(mats, &mut NullSink),
+        d2.try_run(mats).expect("d2 try_run"),
+        d2.try_run_traced(mats, &mut NullSink)
+            .expect("d2 try_run_traced"),
+        d2.run_fault_traced(mats, &mut NoFaults, &mut NullSink)
+            .expect("d2 fault traced"),
+        design2_tmr(&d2, mats, &mut NoFaults, &mut NullSink)
+            .expect("d2 tmr clean")
+            .0,
+        design2_tmr(&d2, mats, &mut flip_pe0(), &mut NullSink)
+            .expect("d2 tmr faulty")
+            .0,
+    ];
+    for r in &runs2 {
+        assert_values(tag, &r.values, &want_vals);
+        assert!(weq(want_best, r.optimum()), "{tag}: d2 optimum");
+        invariants::check_design2(m, n, r);
+        match &r.path {
+            Some(p) => {
+                assert!(
+                    want_best.is_some(),
+                    "{tag}: d2 path {p:?} on unreachable optimum"
+                );
+                assert!(
+                    weq(string_path_weight(mats, p), r.optimum()),
+                    "{tag}: d2 path {p:?} does not cost the optimum"
+                );
+            }
+            None => assert!(want_best.is_none(), "{tag}: d2 dropped a reachable path"),
+        }
+        variants += 1;
+    }
+
+    // Design 2 batched.
+    let batch2 = d2.run_batch(&[mats, mats, mats]).expect("d2 batch");
+    for t in 0..3 {
+        assert_values(tag, &batch2.values[t], &want_vals);
+    }
+    assert_eq!(
+        batch2.cycles,
+        3 * runs2[0].cycles,
+        "{tag}: broadcast batch is exactly B× one run"
+    );
+    variants += 1;
+
+    variants
+}
+
+/// Differential driver for a whole [`MultistageGraph`]: the serial DP
+/// solvers (forward, backward, brute force) against the oracle, then
+/// the systolic variant matrix on its matrix string.
+pub fn check_multistage_graph(tag: &str, g: &MultistageGraph) -> usize {
+    let want = reference::multistage_best(g);
+    let mut variants = 0;
+    let fwd = solve::forward_dp(g);
+    let bwd = solve::backward_dp(g);
+    for (name, sol) in [("forward_dp", &fwd), ("backward_dp", &bwd)] {
+        assert!(weq(want, sol.cost), "{tag}: {name} cost vs oracle");
+        if sol.cost.finite().is_some() {
+            assert_eq!(
+                solve::path_cost(g, &sol.path),
+                sol.cost,
+                "{tag}: {name} path does not cost its own optimum"
+            );
+        }
+        variants += 1;
+    }
+    if g.num_vertices() <= 24 {
+        let (bf_cost, _) = solve::brute_force(g);
+        assert!(weq(want, bf_cost), "{tag}: brute force vs oracle");
+        variants += 1;
+    }
+    variants + check_multistage_string(tag, g.matrix_string())
+}
+
+/// Differential driver for the node-value formulation (Design 3): the
+/// full variant matrix plus finals/path cross-checks.
+pub fn check_node_value(tag: &str, g: &NodeValueGraph) -> usize {
+    let n = g.num_stages();
+    let m = g.stage_size(0);
+    let (want_finals, want_best) = reference::node_value_ref(g);
+    if (0..n).map(|s| g.stage_size(s)).product::<usize>() <= 20_000 {
+        assert_eq!(
+            reference::node_value_enumerate(g),
+            want_best,
+            "{tag}: oracle DP disagrees with path enumeration"
+        );
+    }
+
+    let d3 = Design3Array::new(m);
+    let runs = [
+        d3.run(g),
+        d3.run_traced(g, &mut NullSink),
+        d3.try_run(g).expect("d3 try_run"),
+        d3.try_run_traced(g, &mut NullSink)
+            .expect("d3 try_run_traced"),
+        d3.run_fault_traced(g, &mut NoFaults, &mut NullSink)
+            .expect("d3 fault traced"),
+        design3_tmr(&d3, g, &mut NoFaults, &mut NullSink)
+            .expect("d3 tmr clean")
+            .0,
+        design3_tmr(&d3, g, &mut flip_pe0(), &mut NullSink)
+            .expect("d3 tmr faulty")
+            .0,
+    ];
+    let mut variants = 0;
+    for r in &runs {
+        assert!(weq(want_best, r.cost), "{tag}: d3 cost vs oracle");
+        assert_values(tag, &r.finals, &want_finals);
+        if want_best.is_some() {
+            assert!(
+                weq(reference::node_value_path_cost(g, &r.path), r.cost),
+                "{tag}: d3 path {:?} does not cost the optimum",
+                r.path
+            );
+        } else {
+            assert!(r.path.is_empty(), "{tag}: d3 path on unreachable optimum");
+        }
+        invariants::check_design3(m, n, r);
+        variants += 1;
+    }
+
+    let batch = d3.run_batch(&[g, g, g]).expect("d3 batch");
+    for t in 0..3 {
+        assert!(weq(want_best, batch.costs[t]), "{tag}: d3 batch cost[{t}]");
+        assert_values(tag, &batch.finals[t], &want_finals);
+    }
+    invariants::check_design3_batch(m, n, 3, &batch);
+    variants + 1
+}
+
+/// Differential driver for one mesh product over any semiring: plain,
+/// traced, `try_*`, and batched runs against the naive oracle product.
+pub fn check_matmul_pair<S: Semiring>(tag: &str, a: &Matrix<S>, b: &Matrix<S>) -> usize {
+    let want = reference::semiring_mul_ref(a, b);
+    let (p, q, r) = (a.rows(), a.cols(), b.cols());
+    let runs = [
+        MatmulArray::multiply(a, b),
+        MatmulArray::multiply_traced(a, b, &mut NullSink),
+        MatmulArray::try_multiply(a, b).expect("matmul try"),
+        MatmulArray::try_multiply_traced(a, b, &mut NullSink).expect("matmul try traced"),
+    ];
+    let mut variants = 0;
+    for run in &runs {
+        assert_eq!(run.product, want, "{tag}: mesh product vs oracle");
+        invariants::check_matmul(p, q, r, run);
+        variants += 1;
+    }
+    let pairs = vec![(a.clone(), b.clone()); 3];
+    let batch = MatmulArray::multiply_batch(&pairs).expect("matmul batch");
+    for t in 0..3 {
+        assert_eq!(batch.products[t], want, "{tag}: batch product[{t}]");
+    }
+    assert_eq!(
+        batch.cycles,
+        (p + q + r - 2 + 2 * q) as u64,
+        "{tag}: batch cycles T₁ + (B−1)·q"
+    );
+    variants + 1
+}
+
+/// The resilient mesh variants (TMR, duplex recompute) — only for word
+/// types the fault model knows how to corrupt.
+pub fn check_matmul_resilient<S: Semiring + FaultyWord>(
+    tag: &str,
+    a: &Matrix<S>,
+    b: &Matrix<S>,
+) -> usize {
+    let want = reference::semiring_mul_ref(a, b);
+    let mk: [(&str, &mut dyn FnMut() -> Matrix<S>); 4] = [
+        ("tmr clean", &mut || {
+            matmul_tmr(a, b, &mut NoFaults, &mut NullSink)
+                .expect("tmr clean")
+                .0
+                .product
+        }),
+        ("tmr faulty", &mut || {
+            matmul_tmr(a, b, &mut flip_pe0(), &mut NullSink)
+                .expect("tmr faulty")
+                .0
+                .product
+        }),
+        ("recompute clean", &mut || {
+            matmul_recompute(a, b, 2, &mut NoFaults, &mut NullSink)
+                .expect("recompute clean")
+                .0
+                .product
+        }),
+        ("recompute faulty", &mut || {
+            matmul_recompute(a, b, 2, &mut flip_pe0(), &mut NullSink)
+                .expect("recompute faulty")
+                .0
+                .product
+        }),
+    ];
+    let mut variants = 0;
+    for (name, f) in mk {
+        assert_eq!(f(), want, "{tag}: {name} product vs oracle");
+        variants += 1;
+    }
+    variants
+}
+
+/// Differential driver for the string-product engines over any
+/// semiring: sequential fold, the mesh D&C at several granularities,
+/// and every `ParallelExecutor` path (plain, `try`, `StealPool`,
+/// fault-tolerant with and without worker deaths).
+pub fn check_string_engines<S: Semiring>(tag: &str, mats: &[Matrix<S>]) -> usize {
+    let want = reference::semiring_string_ref(mats);
+    let n = mats.len() as u64;
+    assert_eq!(
+        Matrix::string_product(mats),
+        want,
+        "{tag}: sequential fold vs oracle"
+    );
+    let mut variants = 1;
+
+    // The D&C mesh schedule reports total cycles: `rounds × T₁`, with
+    // `T₁ = 3m − 2` for the square operands of a string product.
+    let t1 = (3 * mats[0].rows() - 2) as u64;
+    for k in [1u64, 2, 4] {
+        let (prod, cycles) = MatmulArray::multiply_string_dnc(mats, k);
+        assert_eq!(prod, want, "{tag}: dnc k={k} vs oracle");
+        assert_eq!(
+            cycles,
+            reference::dnc_rounds_ref(n, k) * t1,
+            "{tag}: dnc k={k} cycles vs greedy pairing model × T₁"
+        );
+        variants += 1;
+    }
+    let (prod, _) = MatmulArray::multiply_string_dnc_traced(mats, 2, &mut NullSink);
+    assert_eq!(prod, want, "{tag}: dnc traced vs oracle");
+    let (prod, _) = MatmulArray::try_multiply_string_dnc(mats, 2).expect("try dnc");
+    assert_eq!(prod, want, "{tag}: try dnc vs oracle");
+    variants += 2;
+
+    let exec = ParallelExecutor::new(2);
+    let (prod, rounds) = exec.multiply_string(mats);
+    assert_eq!(prod, want, "{tag}: executor vs oracle");
+    assert_eq!(
+        rounds,
+        reference::dnc_rounds_ref(n, 2),
+        "{tag}: executor rounds vs greedy pairing model"
+    );
+    let (prod, _) = exec.try_multiply_string(mats).expect("try executor");
+    assert_eq!(prod, want, "{tag}: try executor vs oracle");
+    variants += 2;
+
+    let (prod, layers) = exec.multiply_string_pool(mats).expect("pool");
+    assert_eq!(prod, want, "{tag}: steal pool vs oracle");
+    assert_eq!(
+        layers,
+        (64 - (n - 1).leading_zeros()) as u64,
+        "{tag}: pool layers vs ⌈log₂ N⌉"
+    );
+    variants += 1;
+
+    let (prod, stats) = exec
+        .multiply_string_ft(mats, &mut NoFaults, &mut NullSink, 0)
+        .expect("ft clean");
+    assert_eq!(prod, want, "{tag}: ft clean vs oracle");
+    assert!(!stats.any_faults(), "{tag}: clean run reported faults");
+    let mut killer = PlanInjector::new(FaultPlan::new().with(Fault::KillWorker { task: 0 }));
+    let (prod, stats) = exec
+        .multiply_string_ft(mats, &mut killer, &mut NullSink, 3)
+        .expect("ft recovered");
+    assert_eq!(prod, want, "{tag}: ft after worker death vs oracle");
+    assert_eq!(stats.worker_deaths, 1, "{tag}: planned death not observed");
+    variants + 2
+}
+
+/// Differential driver for the edit-distance mesh: plain/traced/`try`
+/// variants, the resilient wrappers, the engine's own sequential DP,
+/// and the pipelined batch, all against the oracle table.
+pub fn check_edit(tag: &str, a: &[u8], b: &[u8]) -> usize {
+    let want = reference::edit_distance_ref(a, b);
+    let runs = [
+        edit_distance_mesh(a, b),
+        edit_distance_mesh_traced(a, b, &mut NullSink),
+        try_edit_distance_mesh(a, b).expect("edit try"),
+        try_edit_distance_mesh_traced(a, b, &mut NullSink).expect("edit try traced"),
+        edit_distance_fault_traced(a, b, &mut NoFaults, &mut NullSink).expect("edit fault traced"),
+        edit_distance_tmr(a, b, &mut NoFaults, &mut NullSink)
+            .expect("edit tmr clean")
+            .0,
+        edit_distance_tmr(a, b, &mut flip_pe0(), &mut NullSink)
+            .expect("edit tmr faulty")
+            .0,
+        edit_distance_recompute(a, b, 2, &mut NoFaults, &mut NullSink)
+            .expect("edit recompute")
+            .0,
+    ];
+    let mut variants = 0;
+    for run in &runs {
+        assert_eq!(run.distance, want, "{tag}: mesh distance vs oracle");
+        invariants::check_edit(a.len(), b.len(), run);
+        variants += 1;
+    }
+    assert_eq!(
+        edit_distance_seq(a, b),
+        want,
+        "{tag}: sequential DP vs oracle"
+    );
+    variants += 1;
+
+    if !a.is_empty() && !b.is_empty() {
+        let pairs: Vec<(&[u8], &[u8])> = vec![(a, b); 3];
+        let batch = edit_distance_mesh_batch(&pairs).expect("edit batch");
+        let traced = edit_distance_mesh_batch_traced(&pairs, &mut NullSink).expect("edit batch");
+        for t in 0..3 {
+            assert_eq!(batch.distances[t], want, "{tag}: batch distance[{t}]");
+            assert_eq!(traced.distances[t], want, "{tag}: traced batch distance");
+        }
+        invariants::check_edit_batch(a.len(), b.len(), 3, &batch);
+        variants += 2;
+    }
+    variants
+}
+
+/// Differential driver for the polyadic-nonserial class: matrix-chain
+/// DP, brute force, the AND/OR-graph evaluation, and both chain-array
+/// mappings (Props 2/3) against the interval-DP oracle.
+pub fn check_chain(tag: &str, dims: &[u64]) -> usize {
+    let want = reference::chain_dp_ref(dims);
+    let n_mats = (dims.len() - 1) as u64;
+    let sol = matrix_chain_order(dims);
+    let try_sol = try_matrix_chain_order(dims).expect("chain try");
+    assert!(
+        weq(Some(want as i64), sol.cost),
+        "{tag}: chain DP vs oracle"
+    );
+    assert_eq!(sol.cost, try_sol.cost, "{tag}: try chain diverges");
+    let mut variants = 2;
+    if dims.len() <= 8 {
+        assert!(
+            weq(Some(want as i64), chain_brute_force(dims)),
+            "{tag}: chain brute force vs oracle"
+        );
+        assert_eq!(
+            reference::chain_enumerate_ref(dims),
+            want,
+            "{tag}: oracle DP disagrees with parenthesization enumeration"
+        );
+        variants += 1;
+    }
+
+    let andor = build_chain_andor(dims);
+    let got = andor.graph.evaluate_node(andor.root);
+    assert!(
+        weq(reference::andor_eval_ref(&andor.graph, andor.root), got),
+        "{tag}: AND/OR evaluation vs oracle AND/OR semantics"
+    );
+    assert!(
+        weq(Some(want as i64), got),
+        "{tag}: AND/OR value vs chain oracle"
+    );
+    variants += 1;
+
+    if n_mats >= 1 {
+        let broadcast = simulate_chain_array(dims, ChainMapping::Broadcast);
+        let pipelined = simulate_chain_array(dims, ChainMapping::Pipelined);
+        assert!(
+            weq(Some(want as i64), broadcast.cost),
+            "{tag}: chain array cost vs oracle"
+        );
+        invariants::check_props23(n_mats, &broadcast, &pipelined);
+        variants += 2;
+    }
+    variants
+}
+
+/// Differential driver for the optimal-BST instance of the chain
+/// formulation.
+pub fn check_bst(tag: &str, freq: &[u64]) -> usize {
+    let want = reference::bst_dp_ref(freq);
+    let sol = optimal_bst(freq);
+    let try_sol = try_optimal_bst(freq).expect("bst try");
+    assert!(weq(Some(want as i64), sol.cost), "{tag}: BST DP vs oracle");
+    assert_eq!(sol.cost, try_sol.cost, "{tag}: try BST diverges");
+    let mut variants = 2;
+    if freq.len() <= 8 {
+        assert!(
+            weq(Some(want as i64), bst_brute_force(freq)),
+            "{tag}: BST brute force vs oracle"
+        );
+        variants += 1;
+    }
+    variants
+}
+
+/// Differential driver for the D&C scheduler: the greedy simulation
+/// (all four variants) and the closed form against the oracle's
+/// independently re-derived round count.
+pub fn check_schedule(n: u64, k: u64) -> usize {
+    let core = sdp_core::dnc::schedule(n, k);
+    let sys = TreeScheduler.simulate(n, k);
+    let traced = TreeScheduler.simulate_traced(n, k, &mut NullSink);
+    let tried = TreeScheduler.try_simulate(n, k).expect("schedule try");
+    let tried_traced = TreeScheduler
+        .try_simulate_traced(n, k, &mut NullSink)
+        .expect("schedule try traced");
+    let mut variants = 0;
+    for s in [&core, &sys, &traced, &tried, &tried_traced] {
+        invariants::check_thm1(n, k, s);
+        variants += 1;
+    }
+    assert_eq!(
+        eq29_time(n, k),
+        reference::eq29_ref(n, k),
+        "Eq. 29 closed form vs oracle (N={n}, K={k})"
+    );
+    variants + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdp_multistage::generate;
+
+    #[test]
+    fn drivers_accept_known_good_instances() {
+        let g = MultistageGraph::fig_1a();
+        assert!(check_multistage_graph("fig1a", &g) >= 18);
+        assert!(check_chain("clrs", &[30, 35, 15, 5, 10, 20, 25]) >= 5);
+        assert!(check_bst("bst", &[4, 2, 6, 3]) >= 3);
+        assert!(check_edit("kitten", b"kitten", b"sitting") >= 11);
+        assert!(check_schedule(16, 2) >= 6);
+        let g = generate::random_uniform(42, 4, 3, 0, 9);
+        assert!(check_multistage_string("uniform", g.matrix_string()) >= 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "values[0]")]
+    fn value_comparison_rejects_a_corrupted_answer() {
+        assert_values("corrupted", &[Cost::from(3)], &[Some(4)]);
+    }
+}

@@ -1,0 +1,313 @@
+//! Differential test-case generation.
+//!
+//! Two regimes, per the harness contract:
+//!
+//! * **Seeded random ramps** — instance sizes ramp up with the case
+//!   index while every value derives from a caller-supplied seed, so a
+//!   failure names the exact instance (`DiffCase { seed, … }`) and a
+//!   rerun regenerates it bit-for-bit.
+//! * **Exhaustive small-N enumerators** — every instance of a tiny
+//!   shape (all 3-stage width-2 multistage graphs over `{0, 1, ∞}`,
+//!   every short string over a binary alphabet, every small dimension
+//!   vector), so the corner cases random sampling can miss are covered
+//!   by construction.
+
+use proptest::rng::TestRng;
+use sdp_multistage::{generate, MultistageGraph, NodeValueGraph};
+use sdp_semiring::{BoolOr, CountPlus, Matrix, MaxPlus, MinPlus, Semiring};
+
+/// One generated instance, tagged with the seed that regenerates it.
+#[derive(Clone, Debug)]
+pub struct DiffCase<T> {
+    /// Seed the instance derives from (ramp cases) — quote it in
+    /// failure messages.
+    pub seed: u64,
+    /// Human-readable shape, e.g. `"stages=4 m=3"`.
+    pub shape: String,
+    /// The instance itself.
+    pub instance: T,
+}
+
+fn case<T>(seed: u64, shape: String, instance: T) -> DiffCase<T> {
+    DiffCase {
+        seed,
+        shape,
+        instance,
+    }
+}
+
+/// Seeded size ramp of uniform multistage graphs (all stages width `m`):
+/// stages 3..=3+count/2, m 2..=5, costs in 0..=9, every third case
+/// sparse (some ∞ edges).
+pub fn multistage_ramp(seed: u64, count: usize) -> Vec<DiffCase<MultistageGraph>> {
+    (0..count)
+        .map(|i| {
+            let s = seed
+                .wrapping_add(i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let stages = 3 + i / 2 % 6;
+            let m = 2 + i % 4;
+            let g = if i % 3 == 2 {
+                generate::random_sparse(s, stages, m, 0, 9, 0.7)
+            } else {
+                generate::random_uniform(s, stages, m, 0, 9)
+            };
+            case(s, format!("uniform stages={stages} m={m}"), g)
+        })
+        .collect()
+}
+
+/// Seeded size ramp of single-source/sink multistage graphs — the
+/// Eq. 9 shape (degenerate 1×m first and m×1 last matrices).
+pub fn multistage_sss_ramp(seed: u64, count: usize) -> Vec<DiffCase<MultistageGraph>> {
+    (0..count)
+        .map(|i| {
+            let s = seed
+                .wrapping_add(0x5DEE_CE66)
+                .wrapping_add(i as u64 * 0x2545_F491);
+            let stages = 4 + i / 2 % 6;
+            let m = 2 + i % 4;
+            let g = generate::random_single_source_sink(s, stages, m, 0, 9);
+            case(s, format!("sss stages={stages} m={m}"), g)
+        })
+        .collect()
+}
+
+/// Every single-source/sink matrix string of shape `1×2, 2×2, 2×1`
+/// with entries drawn from `{0, 1, ∞}` — 3⁸ = 6561 instances, the
+/// exhaustive small-N sweep for the monadic-serial class.
+pub fn multistage_exhaustive_small() -> Vec<Vec<Matrix<MinPlus>>> {
+    let vals = [MinPlus::from(0), MinPlus::from(1), MinPlus::zero()];
+    let mut out = Vec::with_capacity(3usize.pow(8));
+    for code in 0..3u32.pow(8) {
+        let mut c = code;
+        let mut next = || {
+            let v = vals[(c % 3) as usize];
+            c /= 3;
+            v
+        };
+        let row = Matrix::from_fn(1, 2, |_, _| next());
+        let mid = Matrix::from_fn(2, 2, |_, _| next());
+        let col = Matrix::from_fn(2, 1, |_, _| next());
+        out.push(vec![row, mid, col]);
+    }
+    out
+}
+
+/// Seeded size ramp of node-value graphs (Design 3 inputs) using the
+/// absolute-difference edge cost.
+pub fn node_value_ramp(seed: u64, count: usize) -> Vec<DiffCase<NodeValueGraph>> {
+    (0..count)
+        .map(|i| {
+            let s = seed
+                .wrapping_add(0xA076_1D64)
+                .wrapping_add(i as u64 * 0x9E37_79B9);
+            let stages = 3 + i / 2 % 6;
+            let m = 2 + i % 4;
+            let g = generate::node_value_random(
+                s,
+                stages,
+                m,
+                Box::new(sdp_multistage::node_value::AbsDiff),
+                0,
+                20,
+            );
+            case(s, format!("node-value stages={stages} m={m}"), g)
+        })
+        .collect()
+}
+
+/// A seeded random matrix over any semiring, entries built through
+/// `from_value` on draws from `0..span` (drawing `span` itself maps to
+/// the annihilator `0̄` so sparsity is exercised).
+pub fn random_matrix<S: Semiring>(
+    rng: &mut TestRng,
+    rows: usize,
+    cols: usize,
+    span: u64,
+    from_value: impl Fn(u64) -> S,
+) -> Matrix<S> {
+    Matrix::from_fn(rows, cols, |_, _| {
+        let draw = rng.below(span + 1);
+        if draw == span {
+            S::zero()
+        } else {
+            from_value(draw)
+        }
+    })
+}
+
+/// Seeded ramp of square min-plus matrix strings (the D&C / string-
+/// product instances): string length 2..=2+count/2, width 2..=4.
+pub fn minplus_string_ramp(seed: u64, count: usize) -> Vec<DiffCase<Vec<Matrix<MinPlus>>>> {
+    (0..count)
+        .map(|i| {
+            let s = seed
+                .wrapping_add(0x1234_5678)
+                .wrapping_add(i as u64 * 0x6C62_272E);
+            let mut rng = TestRng::from_state(s);
+            let n = 2 + i / 2 % 6;
+            let m = 2 + i % 3;
+            let mats = (0..n)
+                .map(|_| random_matrix(&mut rng, m, m, 9, |v| MinPlus::from(v as i64)))
+                .collect();
+            case(s, format!("minplus string n={n} m={m}"), mats)
+        })
+        .collect()
+}
+
+/// One ramp entry per semiring — same seed family, same shapes.
+pub type OtherSemiringCase = (
+    DiffCase<Vec<Matrix<MaxPlus>>>,
+    DiffCase<Vec<Matrix<BoolOr>>>,
+    DiffCase<Vec<Matrix<CountPlus>>>,
+);
+
+/// Seeded ramp of matrix strings over the other semiring instances
+/// (max-plus, boolean, counting) — the polyadic-serial class is defined
+/// over *any* semiring, so the engines must agree there too.
+pub fn other_semiring_ramp(seed: u64, count: usize) -> Vec<OtherSemiringCase> {
+    (0..count)
+        .map(|i| {
+            let s = seed
+                .wrapping_add(0x0BAD_CAFE)
+                .wrapping_add(i as u64 * 0x8000_0001);
+            let n = 2 + i % 5;
+            let m = 2 + i % 3;
+            let shape = format!("string n={n} m={m}");
+            let mut rng = TestRng::from_state(s);
+            let maxp = (0..n)
+                .map(|_| random_matrix(&mut rng, m, m, 9, |v| MaxPlus::from(v as i64)))
+                .collect();
+            let mut rng = TestRng::from_state(s ^ 1);
+            let boolean = (0..n)
+                .map(|_| random_matrix(&mut rng, m, m, 2, |v| BoolOr(v % 2 == 0)))
+                .collect();
+            let mut rng = TestRng::from_state(s ^ 2);
+            let count_m = (0..n)
+                .map(|_| random_matrix(&mut rng, m, m, 4, CountPlus))
+                .collect();
+            (
+                case(s, shape.clone(), maxp),
+                case(s ^ 1, shape.clone(), boolean),
+                case(s ^ 2, shape, count_m),
+            )
+        })
+        .collect()
+}
+
+/// Every pair of matrices of shape `2×2 · 2×2` with min-plus entries in
+/// `{0, 1, ∞}` — 3⁸ = 6561 instances, the exhaustive small-N sweep for
+/// the polyadic-serial (string product) class.
+pub fn matmul_exhaustive_small() -> Vec<(Matrix<MinPlus>, Matrix<MinPlus>)> {
+    let vals = [MinPlus::from(0), MinPlus::from(1), MinPlus::zero()];
+    let mut out = Vec::with_capacity(3usize.pow(8));
+    for code in 0..3u32.pow(8) {
+        let mut c = code;
+        let mut next = || {
+            let v = vals[(c % 3) as usize];
+            c /= 3;
+            v
+        };
+        let a = Matrix::from_fn(2, 2, |_, _| next());
+        let b = Matrix::from_fn(2, 2, |_, _| next());
+        out.push((a, b));
+    }
+    out
+}
+
+/// Seeded ramp of edit-distance operand pairs over a 4-letter alphabet,
+/// lengths ramping to ~12 (empty operands included at the start).
+pub fn edit_ramp(seed: u64, count: usize) -> Vec<DiffCase<(Vec<u8>, Vec<u8>)>> {
+    (0..count)
+        .map(|i| {
+            let s = seed
+                .wrapping_add(0xED17_D157)
+                .wrapping_add(i as u64 * 0x45D9_F3B3);
+            let mut rng = TestRng::from_state(s);
+            let la = i % 13;
+            let lb = (i / 2) % 13;
+            let a: Vec<u8> = (0..la).map(|_| b'a' + rng.below(4) as u8).collect();
+            let b: Vec<u8> = (0..lb).map(|_| b'a' + rng.below(4) as u8).collect();
+            case(s, format!("edit |a|={la} |b|={lb}"), (a, b))
+        })
+        .collect()
+}
+
+/// Every pair of strings over `{a, b}` with lengths up to 3 — 15² = 225
+/// pairs, the exhaustive small-N sweep for the edit-distance class.
+pub fn edit_exhaustive_small() -> Vec<(Vec<u8>, Vec<u8>)> {
+    let mut strings = vec![Vec::new()];
+    for len in 1..=3usize {
+        for code in 0..(1u32 << len) {
+            strings.push((0..len).map(|i| b'a' + ((code >> i) & 1) as u8).collect());
+        }
+    }
+    let mut out = Vec::with_capacity(strings.len() * strings.len());
+    for a in &strings {
+        for b in &strings {
+            out.push((a.clone(), b.clone()));
+        }
+    }
+    out
+}
+
+/// Seeded ramp of matrix-chain dimension vectors (`r₀ … r_N`).
+pub fn chain_dims_ramp(seed: u64, count: usize) -> Vec<DiffCase<Vec<u64>>> {
+    (0..count)
+        .map(|i| {
+            let s = seed
+                .wrapping_add(0xC4A1_0D1E)
+                .wrapping_add(i as u64 * 0x1000_0001);
+            let n = 1 + i % 8;
+            let dims = generate::random_chain_dims(s, n, 1, 12);
+            case(s, format!("chain n={n}"), dims)
+        })
+        .collect()
+}
+
+/// Every dimension vector of length 2..=5 (1–4 matrices) with entries
+/// in `{1, 2, 3}` — 360 instances, the exhaustive small-N sweep for the
+/// polyadic-nonserial (chain) class.
+pub fn chain_exhaustive_small() -> Vec<Vec<u64>> {
+    let mut out = Vec::new();
+    for len in 2..=5usize {
+        for code in 0..3u32.pow(len as u32) {
+            let mut c = code;
+            out.push(
+                (0..len)
+                    .map(|_| {
+                        let v = 1 + (c % 3) as u64;
+                        c /= 3;
+                        v
+                    })
+                    .collect(),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramps_are_deterministic() {
+        let a = multistage_ramp(7, 6);
+        let b = multistage_ramp(7, 6);
+        assert_eq!(a.len(), 6);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(x.instance.matrix_string(), y.instance.matrix_string());
+        }
+    }
+
+    #[test]
+    fn exhaustive_counts() {
+        assert_eq!(multistage_exhaustive_small().len(), 6561);
+        assert_eq!(matmul_exhaustive_small().len(), 6561);
+        assert_eq!(edit_exhaustive_small().len(), 225);
+        assert_eq!(chain_exhaustive_small().len(), 9 + 27 + 81 + 243);
+    }
+}

@@ -1,0 +1,475 @@
+//! Textbook sequential reference solvers.
+//!
+//! Everything here recomputes the DP answers from the problem data with
+//! plain loops over `Option<i64>` weights (`None` = unreachable / +∞).
+//! The engine crates' kernels (`Matrix::mul`, `string_product`,
+//! `forward_dp`, `edit_distance_seq`, …) are deliberately *not* called:
+//! a bug shared between an engine and its in-crate reference cannot
+//! leak in here.  Engine types (`Matrix<MinPlus>`, `NodeValueGraph`,
+//! `AndOrGraph`) appear only as input containers, read element-wise at
+//! the boundary.
+
+use sdp_andor::graph::{AndOrGraph, NodeId, NodeKind};
+use sdp_multistage::{MultistageGraph, NodeValueGraph};
+use sdp_semiring::{Cost, Matrix, MinPlus, Semiring};
+
+/// A path weight: `Some(w)` is a finite cost, `None` is +∞.
+pub type Weight = Option<i64>;
+
+/// `a + b` over weights (+∞ absorbs; finite sums saturate like `Cost`).
+pub fn wadd(a: Weight, b: Weight) -> Weight {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.saturating_add(y)),
+        _ => None,
+    }
+}
+
+/// `min(a, b)` over weights (+∞ is the identity).
+pub fn wmin(a: Weight, b: Weight) -> Weight {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (Some(x), None) | (None, Some(x)) => Some(x),
+        (None, None) => None,
+    }
+}
+
+/// Does a weight equal an engine [`Cost`] bit-for-bit?
+pub fn weq(w: Weight, c: Cost) -> bool {
+    match w {
+        Some(v) => c.finite() == Some(v),
+        None => c.is_inf(),
+    }
+}
+
+/// A dense matrix of weights — the oracle's working representation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RefMat {
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+    /// Row-major weights.
+    pub w: Vec<Weight>,
+}
+
+impl RefMat {
+    /// Element at `(i, j)`.
+    pub fn get(&self, i: usize, j: usize) -> Weight {
+        self.w[i * self.cols + j]
+    }
+
+    /// Reads an engine min-plus matrix element-wise.
+    pub fn from_minplus(m: &Matrix<MinPlus>) -> RefMat {
+        let (rows, cols) = (m.rows(), m.cols());
+        let mut w = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                w.push(m.get(i, j).0.finite());
+            }
+        }
+        RefMat { rows, cols, w }
+    }
+
+    /// Min over every entry (the scalar optimum of a product).
+    pub fn best(&self) -> Weight {
+        self.w.iter().copied().fold(None, wmin)
+    }
+
+    /// Min over each row — what Designs 1/2 report as `values` (the
+    /// string product right-multiplied by the zero-cost one-vector).
+    pub fn row_mins(&self) -> Vec<Weight> {
+        (0..self.rows)
+            .map(|i| (0..self.cols).map(|j| self.get(i, j)).fold(None, wmin))
+            .collect()
+    }
+}
+
+/// Min-plus matrix product, written out as the three nested loops of
+/// Eq. 7: `(AB)[i][j] = MIN_k (A[i][k] + B[k][j])`.
+pub fn minplus_mul_ref(a: &RefMat, b: &RefMat) -> RefMat {
+    assert_eq!(a.cols, b.rows, "inner dimension mismatch");
+    let mut w = vec![None; a.rows * b.cols];
+    for i in 0..a.rows {
+        for j in 0..b.cols {
+            let mut acc = None;
+            for k in 0..a.cols {
+                acc = wmin(acc, wadd(a.get(i, k), b.get(k, j)));
+            }
+            w[i * b.cols + j] = acc;
+        }
+    }
+    RefMat {
+        rows: a.rows,
+        cols: b.cols,
+        w,
+    }
+}
+
+/// The min-plus string product `M₁ ⊗ M₂ ⊗ … ⊗ M_N` of an engine matrix
+/// string (Eq. 8's right-association is immaterial: ⊗ is associative
+/// and the weights are exact integers).
+pub fn minplus_string_ref(mats: &[Matrix<MinPlus>]) -> RefMat {
+    assert!(!mats.is_empty(), "empty matrix string");
+    let mut acc = RefMat::from_minplus(&mats[0]);
+    for m in &mats[1..] {
+        acc = minplus_mul_ref(&acc, &RefMat::from_minplus(m));
+    }
+    acc
+}
+
+/// Exhaustively enumerates every stage-vertex path of a matrix string
+/// and returns the cheapest total weight — the small-N oracle the DP
+/// reference itself is checked against.
+pub fn enumerate_paths_best(mats: &[Matrix<MinPlus>]) -> Weight {
+    let refs: Vec<RefMat> = mats.iter().map(RefMat::from_minplus).collect();
+    fn rec(refs: &[RefMat], stage: usize, row: usize, acc: i64) -> Weight {
+        if stage == refs.len() {
+            return Some(acc);
+        }
+        let m = &refs[stage];
+        let mut best = None;
+        for j in 0..m.cols {
+            if let Some(c) = m.get(row, j) {
+                best = wmin(best, rec(refs, stage + 1, j, acc.saturating_add(c)));
+            }
+        }
+        best
+    }
+    let first = &refs[0];
+    let mut best = None;
+    for i in 0..first.rows {
+        best = wmin(best, rec(&refs, 0, i, 0));
+    }
+    best
+}
+
+/// The optimum of a multistage graph: min total edge cost over all
+/// source → sink stage paths, by forward DP over the graph's edge costs.
+pub fn multistage_best(g: &MultistageGraph) -> Weight {
+    minplus_string_ref(g.matrix_string()).best()
+}
+
+/// Generic-semiring matrix product by the naive triple loop, using only
+/// the `Semiring` *algebra definition* (`zero`/`add`/`mul`) — none of
+/// the engine's blocked, parallel, or systolic kernels.
+pub fn semiring_mul_ref<S: Semiring>(a: &Matrix<S>, b: &Matrix<S>) -> Matrix<S> {
+    assert_eq!(a.cols(), b.rows(), "inner dimension mismatch");
+    Matrix::from_fn(a.rows(), b.cols(), |i, j| {
+        let mut acc = S::zero();
+        for k in 0..a.cols() {
+            acc = acc.add(a.get(i, k).mul(b.get(k, j)));
+        }
+        acc
+    })
+}
+
+/// Generic-semiring string product (left fold of [`semiring_mul_ref`]).
+pub fn semiring_string_ref<S: Semiring>(mats: &[Matrix<S>]) -> Matrix<S> {
+    assert!(!mats.is_empty(), "empty matrix string");
+    let mut acc = mats[0].clone();
+    for m in &mats[1..] {
+        acc = semiring_mul_ref(&acc, m);
+    }
+    acc
+}
+
+/// Node-value (Eq. 4 / Design 3) forward DP: `h[0][j] = 0`,
+/// `h[s][j] = MIN_i h[s−1][i] + f(x_{s−1,i}, x_{s,j})`.  Returns the
+/// final-stage cost vector and the scalar optimum.
+pub fn node_value_ref(g: &NodeValueGraph) -> (Vec<Weight>, Weight) {
+    let n = g.num_stages();
+    assert!(n >= 1);
+    let mut h = vec![Some(0i64); g.stage_size(0)];
+    for s in 1..n {
+        let m = g.stage_size(s);
+        let mut next = vec![None; m];
+        for (j, slot) in next.iter_mut().enumerate() {
+            for (i, &prev) in h.iter().enumerate() {
+                let edge = g.edge_cost(s - 1, i, j).finite();
+                *slot = wmin(*slot, wadd(prev, edge));
+            }
+        }
+        h = next;
+    }
+    let best = h.iter().copied().fold(None, wmin);
+    (h, best)
+}
+
+/// Exhaustive node-value optimum over all stage-vertex assignments
+/// (small-N oracle for [`node_value_ref`]).
+pub fn node_value_enumerate(g: &NodeValueGraph) -> Weight {
+    fn rec(g: &NodeValueGraph, stage: usize, prev: usize, acc: i64) -> Weight {
+        if stage == g.num_stages() {
+            return Some(acc);
+        }
+        let mut best = None;
+        for j in 0..g.stage_size(stage) {
+            if let Some(c) = g.edge_cost(stage - 1, prev, j).finite() {
+                best = wmin(best, rec(g, stage + 1, j, acc.saturating_add(c)));
+            }
+        }
+        best
+    }
+    let mut best = None;
+    for i in 0..g.stage_size(0) {
+        best = wmin(best, rec(g, 1, i, 0));
+    }
+    best
+}
+
+/// The total cost of one concrete stage-vertex path through a
+/// node-value graph (used to audit engine-reported argmin paths).
+pub fn node_value_path_cost(g: &NodeValueGraph, path: &[usize]) -> Weight {
+    if path.len() != g.num_stages() {
+        return None;
+    }
+    let mut acc = Some(0i64);
+    for s in 1..path.len() {
+        acc = wadd(acc, g.edge_cost(s - 1, path[s - 1], path[s]).finite());
+    }
+    acc
+}
+
+/// Levenshtein distance by the full `(|a|+1) × (|b|+1)` table — the
+/// classic formulation, distinct from the engine's rolling-array
+/// sequential baseline and from the wavefront mesh.
+pub fn edit_distance_ref(a: &[u8], b: &[u8]) -> u64 {
+    let (la, lb) = (a.len(), b.len());
+    let mut d = vec![vec![0u64; lb + 1]; la + 1];
+    for (i, row) in d.iter_mut().enumerate() {
+        row[0] = i as u64;
+    }
+    for (j, cell) in d[0].iter_mut().enumerate() {
+        *cell = j as u64;
+    }
+    for i in 1..=la {
+        for j in 1..=lb {
+            let sub = d[i - 1][j - 1] + u64::from(a[i - 1] != b[j - 1]);
+            d[i][j] = sub.min(d[i - 1][j] + 1).min(d[i][j - 1] + 1);
+        }
+    }
+    d[la][lb]
+}
+
+/// Matrix-chain order by the classic O(N³) interval DP over plain
+/// integers: `dims` is `r₀ … r_N`; returns the minimal scalar
+/// multiplication count.
+pub fn chain_dp_ref(dims: &[u64]) -> u64 {
+    assert!(dims.len() >= 2, "need at least one matrix");
+    let n = dims.len() - 1;
+    let mut cost = vec![vec![0u64; n]; n];
+    for len in 2..=n {
+        for i in 0..=n - len {
+            let j = i + len - 1;
+            cost[i][j] = (i..j)
+                .map(|k| {
+                    cost[i][k].saturating_add(cost[k + 1][j]).saturating_add(
+                        dims[i]
+                            .saturating_mul(dims[k + 1])
+                            .saturating_mul(dims[j + 1]),
+                    )
+                })
+                .min()
+                .expect("len >= 2 has at least one split");
+        }
+    }
+    cost[0][n - 1]
+}
+
+/// Exhaustive matrix-chain optimum over all (Catalan-many)
+/// parenthesizations — small-N oracle for [`chain_dp_ref`].
+pub fn chain_enumerate_ref(dims: &[u64]) -> u64 {
+    fn rec(dims: &[u64], i: usize, j: usize) -> u64 {
+        if i == j {
+            return 0;
+        }
+        (i..j)
+            .map(|k| {
+                rec(dims, i, k)
+                    .saturating_add(rec(dims, k + 1, j))
+                    .saturating_add(
+                        dims[i]
+                            .saturating_mul(dims[k + 1])
+                            .saturating_mul(dims[j + 1]),
+                    )
+            })
+            .min()
+            .expect("i < j")
+    }
+    assert!(dims.len() >= 2);
+    rec(dims, 0, dims.len() - 2)
+}
+
+/// Optimal binary search tree by the interval DP over plain integers:
+/// `e[i][j] = w(i,j) + MIN_r e[i][r−1] + e[r+1][j]`.
+pub fn bst_dp_ref(freq: &[u64]) -> u64 {
+    assert!(!freq.is_empty(), "need at least one key");
+    let n = freq.len();
+    let mut e = vec![vec![0u64; n + 1]; n + 1];
+    // e[i][j] covers keys i..j exclusive of j; e[i][i] = 0 (empty).
+    for len in 1..=n {
+        for i in 0..=n - len {
+            let j = i + len;
+            let w: u64 = freq[i..j].iter().sum();
+            e[i][j] = (i..j)
+                .map(|r| e[i][r].saturating_add(e[r + 1][j]).saturating_add(w))
+                .min()
+                .expect("len >= 1");
+        }
+    }
+    e[0][n]
+}
+
+/// Recursive AND/OR-graph evaluation: leaves yield their value, AND
+/// nodes add their local cost to the sum of children, OR nodes take the
+/// min — a direct reading of the §6 semantics, independent of the
+/// engine's levelled breadth-first evaluator.
+pub fn andor_eval_ref(g: &AndOrGraph, root: NodeId) -> Weight {
+    fn rec(g: &AndOrGraph, id: NodeId, memo: &mut [Option<Weight>]) -> Weight {
+        if let Some(v) = memo[id] {
+            return v;
+        }
+        let n = g.node(id);
+        let v = match n.kind {
+            NodeKind::Leaf => n.leaf_value.finite(),
+            NodeKind::And => n
+                .children
+                .iter()
+                .fold(n.local_cost.finite(), |acc, &c| wadd(acc, rec(g, c, memo))),
+            NodeKind::Or => n
+                .children
+                .iter()
+                .fold(None, |acc, &c| wmin(acc, rec(g, c, memo))),
+        };
+        memo[id] = Some(v);
+        v
+    }
+    let mut memo = vec![None; g.len()];
+    rec(g, root, &mut memo)
+}
+
+/// The divide-and-conquer round count of §4, re-derived from scratch:
+/// `R` live operands pair up, at most `K` products per round, until one
+/// operand remains.  Cross-checks both `TreeScheduler::simulate` and
+/// the `ParallelExecutor` round counters.
+pub fn dnc_rounds_ref(n: u64, k: u64) -> u64 {
+    assert!(n >= 1 && k >= 1);
+    let mut live = n;
+    let mut rounds = 0;
+    while live > 1 {
+        live -= (live / 2).min(k);
+        rounds += 1;
+    }
+    rounds
+}
+
+/// Eq. 29 written out locally:
+/// `T = ⌊(N−1)/K⌋ + ⌊log₂(N + K − 1 − K·⌊(N−1)/K⌋)⌋` (0 for `N = 1`).
+pub fn eq29_ref(n: u64, k: u64) -> u64 {
+    assert!(n >= 1 && k >= 1);
+    if n == 1 {
+        return 0;
+    }
+    let tc = (n - 1) / k;
+    let rem = n + k - 1 - k * tc;
+    tc + (63 - rem.leading_zeros() as u64)
+}
+
+/// Proposition 2's closed recurrence `T_d(k) = T_d(⌈k/2⌉) + ⌊k/2⌋`,
+/// `T_d(1) = 1`, written independently of `sdp-core::chain_array`.
+pub fn td_ref(k: u64) -> u64 {
+    let mut k = k.max(1);
+    let mut t = 1;
+    while k > 1 {
+        t += k / 2;
+        k = k.div_ceil(2);
+    }
+    t
+}
+
+/// Proposition 3's closed recurrence `T_p(k) = T_p(⌈k/2⌉) + 2⌊k/2⌋`,
+/// `T_p(1) = 2`.
+pub fn tp_ref(k: u64) -> u64 {
+    let mut k = k.max(1);
+    let mut t = 2;
+    while k > 1 {
+        t += 2 * (k / 2);
+        k = k.div_ceil(2);
+    }
+    t
+}
+
+/// The serial iteration count of an `N`-matrix, width-`m` single-
+/// source/sink string (the denominator data of Eq. 9):
+/// `(N−2)·m² + m` for `N ≥ 2`.
+pub fn serial_matrix_string_ref(n_matrices: u64, m: u64) -> u64 {
+    assert!(n_matrices >= 2);
+    (n_matrices - 2) * m * m + m
+}
+
+/// Eq. 9 itself: `PU = (N−2)/N + 1/(N·m)` — the utilization the paper
+/// reports for Design 1 on a single-source/sink string.
+pub fn eq9_pu_ref(n_matrices: u64, m: u64) -> f64 {
+    (n_matrices as f64 - 2.0) / n_matrices as f64 + 1.0 / (n_matrices as f64 * m as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_algebra() {
+        assert_eq!(wadd(Some(2), Some(3)), Some(5));
+        assert_eq!(wadd(Some(2), None), None);
+        assert_eq!(wmin(Some(2), Some(3)), Some(2));
+        assert_eq!(wmin(None, Some(3)), Some(3));
+        assert_eq!(wmin(None, None), None);
+        assert!(weq(None, Cost::INF));
+        assert!(weq(Some(7), Cost::from(7)));
+        assert!(!weq(Some(7), Cost::from(8)));
+    }
+
+    #[test]
+    fn edit_distance_known_values() {
+        assert_eq!(edit_distance_ref(b"kitten", b"sitting"), 3);
+        assert_eq!(edit_distance_ref(b"", b"abc"), 3);
+        assert_eq!(edit_distance_ref(b"abc", b""), 3);
+        assert_eq!(edit_distance_ref(b"abc", b"abc"), 0);
+    }
+
+    #[test]
+    fn chain_dp_clrs_example() {
+        assert_eq!(chain_dp_ref(&[30, 35, 15, 5, 10, 20, 25]), 15125);
+        assert_eq!(chain_enumerate_ref(&[30, 35, 15, 5, 10, 20, 25]), 15125);
+    }
+
+    #[test]
+    fn dnc_rounds_match_eq29_closely() {
+        // Two-sided agreement in the paper's regime (2K ≤ N); with K
+        // oversized Eq. 29's wind-down term overcharges and only the
+        // one-sided bound holds.
+        for n in [2u64, 7, 64, 255, 1024] {
+            for k in [1u64, 3, 16, 100] {
+                let (rounds, eq29) = (dnc_rounds_ref(n, k), eq29_ref(n, k));
+                if 2 * k <= n {
+                    assert!(rounds.abs_diff(eq29) <= 2, "n={n} k={k}");
+                } else {
+                    assert!(rounds <= eq29.max(1), "n={n} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn props_2_3_closed_forms() {
+        // Known bases plus the paper's linearity: T_d(N) = N, T_p(N) = 2N
+        // for powers of two.
+        for p in 0..8u32 {
+            let k = 1u64 << p;
+            assert_eq!(td_ref(k), k);
+            assert_eq!(tp_ref(k), 2 * k);
+        }
+        assert_eq!(td_ref(3), 3);
+        assert_eq!(tp_ref(3), 6);
+    }
+}

@@ -1,0 +1,152 @@
+//! Proptest strategies over conformance-grade instances.
+//!
+//! These wrap the seeded generators in [`crate::diffcase`] as
+//! [`Strategy`] values, so the per-engine test suites (`sdp-core`,
+//! `sdp-systolic`, `sdp-semiring`, `sdp-andor`) can sample the same
+//! instance distributions the conformance sweep uses — and any failure
+//! replays through the committed `*.proptest-regressions` seeds.
+
+use crate::diffcase;
+use proptest::rng::TestRng;
+use proptest::strategy::Strategy;
+use sdp_multistage::{generate, MultistageGraph, NodeValueGraph};
+use sdp_semiring::{Matrix, MinPlus};
+
+fn pick(rng: &mut TestRng, lo: usize, hi: usize) -> usize {
+    lo + rng.below((hi - lo + 1) as u64) as usize
+}
+
+/// Uniform multistage graphs: `stages ∈ [3, 8]`, `m ∈ [2, 5]`, costs in
+/// `0..=9`, one in three sparse.
+pub struct MultistageStrategy;
+
+impl Strategy for MultistageStrategy {
+    type Value = MultistageGraph;
+    fn sample(&self, rng: &mut TestRng) -> MultistageGraph {
+        let seed = rng.next_u64();
+        let stages = pick(rng, 3, 8);
+        let m = pick(rng, 2, 5);
+        if rng.below(3) == 0 {
+            generate::random_sparse(seed, stages, m, 0, 9, 0.7)
+        } else {
+            generate::random_uniform(seed, stages, m, 0, 9)
+        }
+    }
+}
+
+/// Single-source/sink multistage graphs — the Eq. 9 shape.
+pub struct SingleSourceSinkStrategy;
+
+impl Strategy for SingleSourceSinkStrategy {
+    type Value = MultistageGraph;
+    fn sample(&self, rng: &mut TestRng) -> MultistageGraph {
+        let seed = rng.next_u64();
+        let stages = pick(rng, 4, 8);
+        let m = pick(rng, 2, 5);
+        generate::random_single_source_sink(seed, stages, m, 0, 9)
+    }
+}
+
+/// Node-value graphs (Design 3 inputs) with the absolute-difference
+/// edge cost.
+pub struct NodeValueStrategy;
+
+impl Strategy for NodeValueStrategy {
+    type Value = NodeValueGraph;
+    fn sample(&self, rng: &mut TestRng) -> NodeValueGraph {
+        let seed = rng.next_u64();
+        let stages = pick(rng, 3, 8);
+        let m = pick(rng, 2, 5);
+        generate::node_value_random(
+            seed,
+            stages,
+            m,
+            Box::new(sdp_multistage::node_value::AbsDiff),
+            0,
+            20,
+        )
+    }
+}
+
+/// Square min-plus matrix strings: `n ∈ [2, 7]` matrices of width
+/// `m ∈ [2, 4]`, with ∞ entries included.
+pub struct MinPlusStringStrategy;
+
+impl Strategy for MinPlusStringStrategy {
+    type Value = Vec<Matrix<MinPlus>>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<Matrix<MinPlus>> {
+        let n = pick(rng, 2, 7);
+        let m = pick(rng, 2, 4);
+        (0..n)
+            .map(|_| diffcase::random_matrix(rng, m, m, 9, |v| MinPlus::from(v as i64)))
+            .collect()
+    }
+}
+
+/// Edit-distance operand pairs over a 4-letter alphabet (empty operands
+/// included).
+pub struct EditPairStrategy;
+
+impl Strategy for EditPairStrategy {
+    type Value = (Vec<u8>, Vec<u8>);
+    fn sample(&self, rng: &mut TestRng) -> (Vec<u8>, Vec<u8>) {
+        let la = rng.below(13) as usize;
+        let lb = rng.below(13) as usize;
+        let a = (0..la).map(|_| b'a' + rng.below(4) as u8).collect();
+        let b = (0..lb).map(|_| b'a' + rng.below(4) as u8).collect();
+        (a, b)
+    }
+}
+
+/// Matrix-chain dimension vectors `r₀ … r_N`, `N ∈ [1, 8]`, entries in
+/// `1..=12`.
+pub struct ChainDimsStrategy;
+
+impl Strategy for ChainDimsStrategy {
+    type Value = Vec<u64>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<u64> {
+        let n = pick(rng, 1, 8);
+        generate::random_chain_dims(rng.next_u64(), n, 1, 12)
+    }
+}
+
+/// `(N, K)` scheduler shapes: `N ∈ [2, 200]`, `K ∈ [1, 32]`.
+pub struct ScheduleShapeStrategy;
+
+impl Strategy for ScheduleShapeStrategy {
+    type Value = (u64, u64);
+    fn sample(&self, rng: &mut TestRng) -> (u64, u64) {
+        (2 + rng.below(199), 1 + rng.below(32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategies_replay_from_the_same_rng_state() {
+        let a = MinPlusStringStrategy.sample(&mut TestRng::from_state(99));
+        let b = MinPlusStringStrategy.sample(&mut TestRng::from_state(99));
+        assert_eq!(a, b);
+        let (n, k) = ScheduleShapeStrategy.sample(&mut TestRng::from_state(7));
+        assert!((2..=200).contains(&n) && (1..=32).contains(&k));
+    }
+
+    #[test]
+    fn strategies_cover_the_documented_shapes() {
+        let mut rng = TestRng::from_state(3);
+        for _ in 0..32 {
+            let g = MultistageStrategy.sample(&mut rng);
+            assert!((3..=8).contains(&g.num_stages()));
+            let s = SingleSourceSinkStrategy.sample(&mut rng);
+            assert!(s.is_single_source_sink_uniform());
+            let mats = MinPlusStringStrategy.sample(&mut rng);
+            assert!((2..=7).contains(&mats.len()));
+            let (a, b) = EditPairStrategy.sample(&mut rng);
+            assert!(a.len() <= 12 && b.len() <= 12);
+            let dims = ChainDimsStrategy.sample(&mut rng);
+            assert!((2..=9).contains(&dims.len()));
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Edge-of-envelope behavior of the work-stealing pool: worker counts
+//! that exceed the batch, degenerate pool sizes, and panic containment
+//! when most workers have nothing to do.
+
+use sdp_par::StealPool;
+
+#[test]
+fn more_workers_than_tasks_fills_every_slot() {
+    let pool = StealPool::new(16);
+    assert_eq!(pool.workers(), 16);
+    assert_eq!(pool.workers_for(3), 3);
+    let out = pool.run((0..3).map(|i| move || i * 10).collect::<Vec<_>>());
+    assert_eq!(out, vec![Some(0), Some(10), Some(20)]);
+}
+
+#[test]
+fn zero_worker_pool_degrades_to_inline_execution() {
+    let pool = StealPool::new(0);
+    assert_eq!(pool.workers_for(5), 1);
+    let out = pool.run((0..5).map(|i| move || i + 1).collect::<Vec<_>>());
+    assert_eq!(out, (1..=5).map(Some).collect::<Vec<_>>());
+}
+
+#[test]
+fn single_task_on_a_wide_pool_runs_inline() {
+    let pool = StealPool::new(8);
+    let tid = std::thread::current().id();
+    let out = pool.run(vec![move || std::thread::current().id() == tid]);
+    assert_eq!(out, vec![Some(true)]);
+}
+
+#[test]
+fn panic_with_idle_workers_is_contained() {
+    // Two tasks on a 16-worker pool: one panics, 14 workers never get
+    // work.  The scoped join must still complete with one None slot.
+    let pool = StealPool::new(16);
+    let out = pool.run(vec![
+        Box::new(|| 7u32) as Box<dyn FnOnce() -> u32 + Send>,
+        Box::new(|| panic!("second task dies")),
+    ]);
+    assert_eq!(out, vec![Some(7), None]);
+}
+
+#[test]
+fn host_sized_pool_is_usable() {
+    let pool = StealPool::host_sized();
+    assert!(pool.workers() >= 1);
+    let out = pool.run(
+        (0..pool.workers() * 2)
+            .map(|i| move || i)
+            .collect::<Vec<_>>(),
+    );
+    assert!(out.iter().enumerate().all(|(i, s)| *s == Some(i)));
+}

@@ -27,7 +27,7 @@ impl Lcg {
 fn minplus_matrix(rows: usize, cols: usize, lcg: &mut Lcg) -> Matrix<MinPlus> {
     Matrix::from_fn(rows, cols, |_, _| {
         let v = lcg.next();
-        if v % 13 == 0 {
+        if v.is_multiple_of(13) {
             MinPlus::zero()
         } else {
             MinPlus::from(v as i64 % 1000 - 500)
@@ -40,7 +40,7 @@ fn minplus_matrix(rows: usize, cols: usize, lcg: &mut Lcg) -> Matrix<MinPlus> {
 fn countplus_matrix(rows: usize, cols: usize, lcg: &mut Lcg) -> Matrix<CountPlus> {
     Matrix::from_fn(rows, cols, |_, _| {
         let v = lcg.next();
-        if v % 17 == 0 {
+        if v.is_multiple_of(17) {
             CountPlus(u64::MAX / 2)
         } else {
             CountPlus(v % 1000)

@@ -1,0 +1,62 @@
+//! Kernel-side conformance hooks: the dense matrix algebra is checked
+//! against the oracle's naive semiring products (written from scratch
+//! over `S::zero`/`add`/`mul` alone) on sampled instances.
+
+use proptest::proptest;
+use proptest::rng::TestRng;
+use proptest::strategy::Strategy;
+use sdp_oracle::reference;
+use sdp_oracle::strategies::MinPlusStringStrategy;
+use sdp_semiring::{BoolOr, Matrix, MaxPlus, Semiring};
+
+/// Samples a seed, then derives same-shape matrix strings over the
+/// other semirings from it (the kernel laws must hold for all four).
+struct SeedStrategy;
+impl Strategy for SeedStrategy {
+    type Value = u64;
+    fn sample(&self, rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+fn string<S: Semiring>(seed: u64, f: impl Fn(u64) -> S) -> Vec<Matrix<S>> {
+    let mut rng = TestRng::from_state(seed);
+    let n = 2 + (seed % 5) as usize;
+    let m = 2 + (seed % 3) as usize;
+    (0..n)
+        .map(|_| sdp_oracle::diffcase::random_matrix(&mut rng, m, m, 9, &f))
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn minplus_products_match_oracle(mats in MinPlusStringStrategy) {
+        assert_eq!(
+            Matrix::string_product(&mats),
+            reference::semiring_string_ref(&mats)
+        );
+        // All four multiply kernels (blocked, naive, parallel, and the
+        // in-place blocked form) must agree with the oracle product.
+        let want = reference::semiring_mul_ref(&mats[0], &mats[1]);
+        assert_eq!(mats[0].mul(&mats[1]), want);
+        assert_eq!(mats[0].mul_naive(&mats[1]), want);
+        assert_eq!(mats[0].mul_parallel(&mats[1], 2), want);
+        let mut out = Matrix::zeros(mats[0].rows(), mats[1].cols());
+        mats[0].mul_blocked_into(&mats[1], &mut out);
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn other_semiring_products_match_oracle(seed in SeedStrategy) {
+        let maxp = string(seed, |v| MaxPlus::from(v as i64));
+        assert_eq!(
+            Matrix::string_product(&maxp),
+            reference::semiring_string_ref(&maxp)
+        );
+        let boolean = string(seed, |v| BoolOr(v % 2 == 0));
+        assert_eq!(
+            Matrix::string_product(&boolean),
+            reference::semiring_string_ref(&boolean)
+        );
+    }
+}

@@ -287,10 +287,10 @@ mod tests {
 
     #[test]
     fn null_sink_is_disabled() {
-        assert!(!NullSink::ENABLED);
-        assert!(CountingSink::ENABLED);
+        const { assert!(!NullSink::ENABLED) };
+        const { assert!(CountingSink::ENABLED) };
         // The forwarding impl keeps the flag of the inner sink.
-        assert!(!<&mut NullSink as TraceSink>::ENABLED);
+        const { assert!(!<&mut NullSink as TraceSink>::ENABLED) };
         let mut sink = NullSink;
         sink.record(Event::WordIn);
     }

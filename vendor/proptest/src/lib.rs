@@ -8,6 +8,16 @@
 //! macros.  Sampling is deterministic per test (seeded from the test
 //! name); there is no shrinking — a failing case panics with its values
 //! via the assertion message.
+//!
+//! Two upstream behaviours are kept so CI can budget and replay runs:
+//!
+//! * `PROPTEST_CASES` overrides the default case count
+//!   ([`test_runner::Config::default`]), so a CI job can pin a fixed
+//!   sweep budget without editing each suite.
+//! * A `<test_file>.proptest-regressions` sibling file (upstream's `cc
+//!   <seed>` format) is loaded before the random loop and each committed
+//!   seed is replayed first; when a random case fails, its seed is
+//!   printed in the same `cc` format for committing.
 
 #![forbid(unsafe_code)]
 
@@ -30,6 +40,19 @@ pub mod rng {
                 h = h.wrapping_mul(0x1_0000_01b3);
             }
             TestRng { state: h }
+        }
+
+        /// Generator resumed from a raw state — the replay half of the
+        /// regression-seed protocol (see [`crate::regressions`]).
+        pub fn from_state(state: u64) -> TestRng {
+            TestRng { state }
+        }
+
+        /// The current raw state.  Captured immediately before a case's
+        /// arguments are sampled, it identifies that case exactly:
+        /// `from_state(state)` regenerates the same arguments.
+        pub fn state(&self) -> u64 {
+            self.state
         }
 
         /// Next raw 64 random bits.
@@ -292,9 +315,87 @@ pub mod test_runner {
     }
 
     impl Default for Config {
+        /// 256 cases, overridable via the `PROPTEST_CASES` environment
+        /// variable (upstream proptest's knob; CI uses it to pin a fixed
+        /// conformance budget).  Unparseable or zero values fall back to
+        /// the default.
         fn default() -> Config {
-            Config { cases: 256 }
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+                .filter(|&c| c > 0)
+                .unwrap_or(256);
+            Config { cases }
         }
+    }
+}
+
+pub mod regressions {
+    //! Committed-counterexample replay.
+    //!
+    //! Upstream proptest persists failing seeds to a sibling
+    //! `<test_file>.proptest-regressions` file as `cc <hex-seed> # note`
+    //! lines.  This stand-in reads the same format: every committed seed
+    //! is replayed (one case each) before any random sampling, so a
+    //! counterexample found once keeps failing until fixed, on every
+    //! machine, regardless of `PROPTEST_CASES`.
+    //!
+    //! Seeds written by this crate are 16 hex digits (a raw
+    //! [`TestRng`](crate::rng::TestRng) state).  Upstream's 64-digit
+    //! seeds are accepted too — they are folded to 64 bits, which keeps
+    //! the replay deterministic even though the upstream byte-for-byte
+    //! sample sequence cannot be reproduced.
+
+    use std::path::{Path, PathBuf};
+
+    /// Locates the regression file for `source_file` (a `file!()` path,
+    /// relative to the workspace root) by resolving it against
+    /// `manifest_dir` and each of its ancestors.  Returns `None` when no
+    /// file has been committed.
+    pub fn find_file(manifest_dir: &str, source_file: &str) -> Option<PathBuf> {
+        let rel = Path::new(source_file).with_extension("proptest-regressions");
+        if rel.as_os_str().is_empty() {
+            return None;
+        }
+        let mut dir = Some(Path::new(manifest_dir));
+        while let Some(d) = dir {
+            let candidate = d.join(&rel);
+            if candidate.is_file() {
+                return Some(candidate);
+            }
+            dir = d.parent();
+        }
+        None
+    }
+
+    /// Parses `cc <hex> …` lines into replay seeds; comments and
+    /// malformed lines are ignored.  Hex strings longer than 16 digits
+    /// are folded by XOR of 16-digit chunks.
+    pub fn parse(content: &str) -> Vec<u64> {
+        content
+            .lines()
+            .filter_map(|line| {
+                let rest = line.trim().strip_prefix("cc ")?;
+                let hex: &str = rest
+                    .split(|c: char| !c.is_ascii_hexdigit())
+                    .next()
+                    .filter(|h| !h.is_empty())?;
+                let mut seed = 0u64;
+                for chunk in hex.as_bytes().chunks(16) {
+                    let s = std::str::from_utf8(chunk).ok()?;
+                    seed ^= u64::from_str_radix(s, 16).ok()?;
+                }
+                Some(seed)
+            })
+            .collect()
+    }
+
+    /// The committed seeds for `source_file` (empty when none exist).
+    pub fn seeds(manifest_dir: &str, source_file: &str) -> Vec<u64> {
+        find_file(manifest_dir, source_file)
+            .and_then(|p| std::fs::read_to_string(p).ok())
+            .map(|c| parse(&c))
+            .unwrap_or_default()
     }
 }
 
@@ -329,12 +430,36 @@ macro_rules! __proptest_fns {
         $(#[$meta])*
         fn $name() {
             let config: $crate::test_runner::Config = $cfg;
+            // Committed counterexamples replay before any novel cases.
+            for __seed in $crate::regressions::seeds(
+                env!("CARGO_MANIFEST_DIR"), file!()
+            ) {
+                let mut rng = $crate::rng::TestRng::from_state(__seed);
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                $body
+            }
             let mut rng = $crate::rng::TestRng::deterministic(concat!(
                 module_path!(), "::", stringify!($name)
             ));
             for __case in 0..config.cases {
+                let __seed = rng.state();
                 $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
-                $body
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| { $body })
+                );
+                if let Err(__panic) = __outcome {
+                    eprintln!(
+                        "proptest: {} failed at case {} of {}; to replay, add \
+                         this line to {}.proptest-regressions:\ncc {:016x} # {}",
+                        stringify!($name),
+                        __case + 1,
+                        config.cases,
+                        file!().trim_end_matches(".rs"),
+                        __seed,
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(__panic);
+                }
             }
         }
     )*};
@@ -409,5 +534,39 @@ mod tests {
             prop_assert!(a + b >= a);
             prop_assert_eq!(a + b, b + a);
         }
+    }
+
+    #[test]
+    fn regression_seed_parsing() {
+        let content = "# comment\ncc 00000000000000ff # shrinks to x = 1\n\
+                       cc deadbeef\nnot a seed\ncc zz\n";
+        assert_eq!(crate::regressions::parse(content), vec![0xff, 0xdead_beef]);
+    }
+
+    #[test]
+    fn upstream_256_bit_seeds_fold_to_64() {
+        let content =
+            "cc 84b2a169d8645ca30c2631fdf65df0a723ddf1ec273ee4a930b61a9a8de7475b # shrinks";
+        let folded = 0x84b2_a169_d864_5ca3u64
+            ^ 0x0c26_31fd_f65d_f0a7
+            ^ 0x23dd_f1ec_273e_e4a9
+            ^ 0x30b6_1a9a_8de7_475b;
+        assert_eq!(crate::regressions::parse(content), vec![folded]);
+    }
+
+    #[test]
+    fn seed_replay_reproduces_samples() {
+        let mut a = crate::rng::TestRng::deterministic("replay");
+        let strat = (0i64..1000, 0i64..1000);
+        let _burn = strat.sample(&mut a);
+        let seed = a.state();
+        let first = strat.sample(&mut a);
+        let mut b = crate::rng::TestRng::from_state(seed);
+        assert_eq!(strat.sample(&mut b), first);
+    }
+
+    #[test]
+    fn missing_regression_file_is_empty() {
+        assert!(crate::regressions::seeds(env!("CARGO_MANIFEST_DIR"), "src/no_such.rs").is_empty());
     }
 }
