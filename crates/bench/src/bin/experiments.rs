@@ -1,14 +1,14 @@
 //! Regenerates every table and figure of Wah & Li (1985).
 //!
 //! ```text
-//! experiments [all|e1|e2|e3|fig6|prop1|thm1|thm2|prop2|prop3|eq40|table1|e12..e20|degradation|throughput] [--json]
+//! experiments [all|e1|e2|e3|fig6|prop1|thm1|thm2|prop2|prop3|eq40|table1|e12..e20|degradation|throughput|serve] [--json]
 //! ```
 //!
 //! With `--json` the selected experiments are emitted as a single JSON
 //! document on stdout (metrics only, no tables); `all --json`
 //! additionally writes the document to `BENCH_pr1.json` in the current
-//! directory for regression tracking, and `throughput --json` (E22)
-//! writes `BENCH_pr3.json`.
+//! directory for regression tracking, `throughput --json` (E22) writes
+//! `BENCH_pr3.json`, and `serve --json` (E24) writes `BENCH_pr5.json`.
 
 use sdp_bench::experiments as ex;
 use sdp_bench::{reports_to_json, Report};
@@ -47,11 +47,13 @@ fn main() {
         "e21" | "degradation" => vec![ex::report_degradation()],
         "e22" | "throughput" => vec![ex::report_throughput()],
         "throughput-quick" => vec![ex::report_throughput_quick()],
+        "e24" | "serve" => vec![ex::report_e24()],
+        "serve-quick" => vec![ex::report_e24_quick()],
         other => {
             eprintln!(
                 "unknown experiment '{other}'; expected one of: all e1 e2 e3 fig6 \
                  prop1 thm1 thm2 prop2 prop3 eq40 table1 e12..e20 degradation \
-                 throughput throughput-quick [--json]"
+                 throughput throughput-quick serve serve-quick [--json]"
             );
             std::process::exit(2);
         }
@@ -67,6 +69,11 @@ fn main() {
         if which == "e22" || which == "throughput" {
             if let Err(e) = std::fs::write("BENCH_pr3.json", format!("{doc}\n")) {
                 eprintln!("warning: could not write BENCH_pr3.json: {e}");
+            }
+        }
+        if which == "e24" || which == "serve" {
+            if let Err(e) = std::fs::write("BENCH_pr5.json", format!("{doc}\n")) {
+                eprintln!("warning: could not write BENCH_pr5.json: {e}");
             }
         }
     } else {

@@ -1438,6 +1438,142 @@ fn report_throughput_sized(kernel_n: usize, batch_b: usize, reps: usize) -> Repo
     report
 }
 
+/// E24 (server throughput): boots the `sdp-serve` dynamic-batching
+/// server in-process, fires concurrent mixed-class traffic at it over
+/// real TCP sockets, and reports throughput alongside the server's own
+/// metrics snapshot (queue, coalescing, cache).
+pub fn report_e24() -> Report {
+    report_e24_sized(8, 40, 10)
+}
+
+/// [`report_e24`] shrunk for the CI smoke job; identical schema.
+pub fn report_e24_quick() -> Report {
+    report_e24_sized(4, 8, 8)
+}
+
+fn report_e24_sized(clients: usize, reqs_per_client: usize, delay_ms: u64) -> Report {
+    use sdp_semiring::{Matrix, MinPlus};
+    use sdp_serve::client::{self, Client};
+    use sdp_serve::{json as sjson, Config};
+    use std::time::Instant;
+
+    // Fixed 8-problem working set over four engine classes: every
+    // problem repeats across clients, so both the coalescer and the
+    // cache see pressure.  All requests succeed, which keeps `served`
+    // and the per-class request counts deterministic for the golden.
+    let mat =
+        |vals: &[i64]| Matrix::from_rows(2, 2, vals.iter().map(|&v| MinPlus::from(v)).collect());
+    let (ma, mb) = (mat(&[1, 5, 2, 0]), mat(&[3, 1, 4, 1]));
+    let (mc, md) = (mat(&[0, 9, 7, 2]), mat(&[1, 1, 6, 0]));
+    let request_line = |id: i64, slot: usize| -> String {
+        match slot % 8 {
+            0 => client::edit_request(id, "kitten", "sitting"),
+            1 => client::edit_request(id, "saturn", "urbane"),
+            2 => client::chain_request(id, &[10, 20, 50, 1, 30]),
+            3 => client::chain_request(id, &[5, 40, 3, 12, 20]),
+            4 => client::bst_request(id, &[3, 1, 4, 1, 5]),
+            5 => client::bst_request(id, &[2, 7, 1, 8, 2]),
+            6 => client::matmul_request(id, &ma, &mb),
+            _ => client::matmul_request(id, &mc, &md),
+        }
+    };
+
+    let handle = sdp_serve::serve(Config {
+        max_delay: std::time::Duration::from_millis(delay_ms),
+        workers: 4,
+        ..Config::default()
+    })
+    .expect("serve bind");
+    let addr = handle.addr();
+
+    let t0 = Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|c| {
+            let lines: Vec<String> = (0..reqs_per_client)
+                .map(|r| request_line((c * reqs_per_client + r) as i64, c + r))
+                .collect();
+            std::thread::spawn(move || {
+                let mut cl = Client::connect(addr).expect("connect");
+                let mut cached = 0u64;
+                for line in &lines {
+                    let resp = cl.call_raw(line).expect("call");
+                    assert!(resp.ok, "E24 request failed: {:?}", resp.error_message);
+                    if resp.cached {
+                        cached += 1;
+                    }
+                }
+                cached
+            })
+        })
+        .collect();
+    let mut cache_hits_seen = 0u64;
+    for t in threads {
+        cache_hits_seen += t.join().expect("client thread");
+    }
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let total = (clients * reqs_per_client) as u64;
+    let req_per_s = total as f64 / (wall_ms / 1e3);
+
+    let mut cl = Client::connect(addr).expect("connect");
+    let snapshot = cl
+        .metrics()
+        .expect("metrics call")
+        .result
+        .expect("metrics payload");
+    let max_batch = handle.max_coalesced();
+    let hits = handle.cache_hits();
+    handle.shutdown();
+
+    let mut report = Report::new(
+        "e24",
+        format!(
+            "E24 (server throughput): sdp-serve dynamic batching, {clients} clients x \
+             {reqs_per_client} mixed-class requests (edit/chain/bst/matmul),\n\
+             coalescing window {delay_ms} ms"
+        ),
+    );
+    report.headers = vec!["section", "case", "value", "detail"];
+    report.rows.push(vec![
+        "traffic".into(),
+        "mixed 4-class".into(),
+        format!("{total}"),
+        format!("{wall_ms:.1} ms wall, {req_per_s:.0} req/s"),
+    ]);
+    report.rows.push(vec![
+        "coalescing".into(),
+        "max batch".into(),
+        format!("{max_batch}"),
+        format!(
+            "dispatches: {}",
+            sjson::get(&snapshot, "dispatches")
+                .and_then(sjson::as_i64)
+                .unwrap_or(-1)
+        ),
+    ]);
+    report.rows.push(vec![
+        "cache".into(),
+        "hits".into(),
+        format!("{hits}"),
+        format!("{cache_hits_seen} observed as cached responses"),
+    ]);
+    report.notes = vec![
+        "traffic counts and per-class request totals are deterministic; throughput,\n\
+         coalesced batch sizes, and cache hits depend on thread timing."
+            .into(),
+    ];
+    report.metrics = Json::object()
+        .with("clients", clients as u64)
+        .with("requests_per_client", reqs_per_client as u64)
+        .with("total_requests", total)
+        .with("delay_window_ms", delay_ms as f64)
+        .with("wall_ms", wall_ms)
+        .with("req_per_s", req_per_s)
+        .with("max_coalesced", max_batch)
+        .with("cache_hits_seen", cache_hits_seen)
+        .with("server", snapshot);
+    report
+}
+
 /// Builds every experiment report in order.
 pub fn report_all() -> Vec<Report> {
     vec![

@@ -1,0 +1,75 @@
+//! Golden-file smoke test for the E24 server-throughput experiment.
+//!
+//! E24 boots a live `sdp-serve` server and measures it under concurrent
+//! traffic, so two kinds of nondeterminism must be redacted before the
+//! byte comparison: host-dependent wall-clock fields (same rule as the
+//! E22 golden) and load-dependent counters that vary with thread
+//! interleaving (coalesced batch sizes, cache hit/miss splits, dispatch
+//! counts).  What remains — the request accounting — is exact: every
+//! request in the fixed 8-problem working set succeeds, so the totals,
+//! the per-class request counts, and the zero error/rejection counters
+//! are deterministic and a drift here means the serving pipeline
+//! dropped or misrouted traffic.  Regenerate after an intentional
+//! schema change with:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test -p sdp-bench --test serve_golden
+//! ```
+
+mod support;
+
+use sdp_bench::experiments::report_e24_quick;
+use sdp_bench::reports_to_json;
+use sdp_trace::json::Json;
+
+#[test]
+fn serve_schema_and_traffic_accounting_match_golden() {
+    let mut doc = reports_to_json(&[report_e24_quick()]);
+    support::redact_load_dependent(&mut doc);
+    let rendered = format!("{}\n", doc.render());
+    support::check_golden("serve.json", &rendered, include_str!("golden/serve.json"));
+}
+
+#[test]
+fn serve_accounting_invariants_hold() {
+    // Independent of the golden bytes: the live server's own metrics
+    // snapshot must account for exactly the traffic the clients sent —
+    // 4 clients x 8 requests spread evenly over the four traffic
+    // classes — with nothing rejected, malformed, or left queued.
+    let report = report_e24_quick();
+    let get = |doc: &Json, path: &[&str]| -> i64 {
+        let mut cur = doc.clone();
+        for name in path {
+            let Json::Object(fields) = cur else {
+                panic!("{path:?}: expected object at {name}");
+            };
+            cur = fields
+                .into_iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .unwrap_or_else(|| panic!("{path:?}: missing field {name}"));
+        }
+        match cur {
+            Json::Int(i) => i,
+            other => panic!("{path:?}: non-int leaf {other:?}"),
+        }
+    };
+    let m = &report.metrics;
+    assert_eq!(get(m, &["total_requests"]), 32);
+    assert_eq!(get(m, &["server", "served"]), 32);
+    assert_eq!(get(m, &["server", "errors"]), 0);
+    assert_eq!(get(m, &["server", "queue_depth"]), 0);
+    for rejected in ["queue_full", "malformed", "oversized"] {
+        assert_eq!(get(m, &["server", "rejected", rejected]), 0);
+    }
+    // The slot rotation hands each client one request per residue, so
+    // each of the four active classes sees exactly 8 requests; the
+    // three unused classes see none.
+    for class in ["edit", "chain", "bst", "matmul"] {
+        assert_eq!(get(m, &["server", "classes", class, "requests"]), 8);
+        assert_eq!(get(m, &["server", "classes", class, "errors"]), 0);
+    }
+    for class in ["multistage1", "multistage2", "andor"] {
+        assert_eq!(get(m, &["server", "classes", class, "requests"]), 0);
+    }
+}

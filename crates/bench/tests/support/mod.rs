@@ -35,6 +35,51 @@ pub fn redact(json: &mut Json) {
     }
 }
 
+/// Extends [`redact`] for the serving golden (E24): counters that
+/// depend on thread interleaving rather than just the host — coalesced
+/// batch sizes, cache hit/miss splits, dispatch counts, throughput —
+/// are nulled alongside the host-dependent fields, while the
+/// deterministic traffic accounting (total requests, per-class request
+/// counts, error and rejection counters, queue depth after drain) stays
+/// byte-compared.  Named containers like the batch-size histogram keep
+/// their keys with nulled leaves, so the schema itself is still pinned.
+pub fn redact_load_dependent(json: &mut Json) {
+    redact(json);
+    const LOAD_DEPENDENT: [&str; 8] = [
+        "req_per_s",
+        "coalesced",
+        "cache_hits_seen",
+        "dispatches",
+        "hits",
+        "misses",
+        "hit_rate",
+        "batches",
+    ];
+    fn null_leaves(json: &mut Json) {
+        match json {
+            Json::Object(fields) => fields.iter_mut().for_each(|(_, v)| null_leaves(v)),
+            Json::Array(items) => items.iter_mut().for_each(null_leaves),
+            other => *other = Json::Null,
+        }
+    }
+    fn walk(json: &mut Json, names: &[&str]) {
+        match json {
+            Json::Object(fields) => {
+                for (k, v) in fields.iter_mut() {
+                    if names.iter().any(|n| k.contains(n)) || k == "batch_size_histogram" {
+                        null_leaves(v);
+                    } else {
+                        walk(v, names);
+                    }
+                }
+            }
+            Json::Array(items) => items.iter_mut().for_each(|v| walk(v, names)),
+            _ => {}
+        }
+    }
+    walk(json, &LOAD_DEPENDENT);
+}
+
 /// Byte-compares `rendered` against the `committed` fixture text, or
 /// rewrites `tests/golden/<name>` in place when `GOLDEN_REGEN=1` is
 /// set.  Callers pass the committed text via `include_str!` so a

@@ -119,6 +119,27 @@ pub enum SdpError {
         /// Total runs performed.
         attempts: u32,
     },
+    /// A serving request could not be decoded (bad JSON, missing or
+    /// ill-typed fields, unknown request kind).
+    MalformedRequest {
+        /// Human-readable decode failure.
+        reason: String,
+    },
+    /// A serving request line exceeded the configured payload limit.
+    PayloadTooLarge {
+        /// Bytes received before the server gave up.
+        bytes: usize,
+        /// Configured per-request limit.
+        limit: usize,
+    },
+    /// The admission queue is full; the request was rejected for
+    /// backpressure rather than queued unboundedly.
+    QueueFull {
+        /// Queue depth at rejection time.
+        depth: usize,
+    },
+    /// The server is draining for shutdown and admits no new work.
+    ShuttingDown,
 }
 
 impl fmt::Display for SdpError {
@@ -173,6 +194,16 @@ impl fmt::Display for SdpError {
             SdpError::RecoveryExhausted { attempts } => {
                 write!(f, "recovery exhausted after {attempts} attempts")
             }
+            SdpError::MalformedRequest { ref reason } => {
+                write!(f, "malformed request: {reason}")
+            }
+            SdpError::PayloadTooLarge { bytes, limit } => {
+                write!(f, "payload too large ({bytes} bytes, limit {limit})")
+            }
+            SdpError::QueueFull { depth } => {
+                write!(f, "admission queue full (depth {depth})")
+            }
+            SdpError::ShuttingDown => write!(f, "server is shutting down"),
         }
     }
 }

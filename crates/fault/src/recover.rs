@@ -138,18 +138,21 @@ pub fn recompute_on_mismatch<T: PartialEq>(
                 None
             }
         };
-        match (&prev, &current) {
+        // Matching by value makes the invariant type-level: the
+        // agreement arm owns `c`, so "two consecutive runs agree but
+        // there is no result to return" cannot even be written.
+        prev = match (prev, current) {
             (Some(p), Some(c)) if p == c => {
-                return (Ok(current.unwrap()), stats);
+                return (Ok(c), stats);
             }
-            (Some(_), _) | (_, None) => {
+            (None, Some(c)) => Some(c),
+            (_, current) => {
                 // Disagreement with the previous attempt (or a panic):
                 // a fault was detected; keep the newest result.
                 stats.mismatches += 1;
+                current
             }
-            (None, Some(_)) => {}
-        }
-        prev = current;
+        };
     }
     (
         Err(SdpError::RecoveryExhausted {
@@ -231,6 +234,36 @@ mod tests {
         let (v, s) = recompute_on_mismatch(1, |attempt| attempt);
         assert_eq!(v, Err(SdpError::RecoveryExhausted { attempts: 3 }));
         assert_eq!(s.runs, 3);
+    }
+
+    #[test]
+    fn recompute_exhausts_at_zero_retry_budget() {
+        // The tightest budget: two runs, no retries.  Disagreement must
+        // surface as the typed error, never as a panic.
+        let (v, s) = recompute_on_mismatch(0, |attempt| attempt);
+        assert_eq!(v, Err(SdpError::RecoveryExhausted { attempts: 2 }));
+        assert_eq!(s.runs, 2);
+        assert_eq!(s.retries, 0);
+        assert_eq!(s.mismatches, 1);
+    }
+
+    #[test]
+    fn recompute_agreement_on_final_allowed_attempt_succeeds() {
+        // Budget 2 + 1 = 3 runs; attempts 1 and 2 agree, so the very
+        // last permitted run converts an about-to-exhaust loop into Ok.
+        let (v, s) = recompute_on_mismatch(1, |attempt| if attempt == 0 { 99 } else { 7 });
+        assert_eq!(v, Ok(7));
+        assert_eq!(s.runs, 3);
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.mismatches, 1);
+    }
+
+    #[test]
+    fn recompute_all_panicking_attempts_exhaust_with_typed_error() {
+        let (v, s) = recompute_on_mismatch(1, |_| -> u32 { panic!("every attempt dies") });
+        assert_eq!(v, Err(SdpError::RecoveryExhausted { attempts: 3 }));
+        assert_eq!(s.panics_caught, 3);
+        assert_eq!(s.mismatches, 3);
     }
 
     #[test]

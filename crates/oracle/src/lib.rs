@@ -25,6 +25,8 @@
 //!   run.
 //! * [`strategies`] — proptest strategies over the same case types, so
 //!   the per-engine suites can sample conformance-grade instances.
+//! * [`served`] — expected `sdp-serve` wire payloads derived from the
+//!   reference solvers, for served-vs-direct differential tests.
 //!
 //! The conformance suite itself lives in this crate's `tests/`
 //! directory and runs under `cargo test -p sdp-oracle` (the CI
@@ -36,4 +38,5 @@ pub mod diff;
 pub mod diffcase;
 pub mod invariants;
 pub mod reference;
+pub mod served;
 pub mod strategies;

@@ -1,0 +1,110 @@
+//! Expected wire payloads for the serving layer, derived from the
+//! *reference* solvers.
+//!
+//! `sdp-serve` responses carry a `result` JSON object per engine
+//! family.  These helpers predict that object from the textbook DP
+//! solvers in [`reference`](crate::reference) — no serve or engine code
+//! on the call path — so a differential test can demand the served
+//! bytes equal the oracle's bytes, whether the request was computed
+//! cold, coalesced into a batch, or replayed from the result cache.
+//!
+//! Design 2 responses additionally carry a `path` field; argmin
+//! tie-breaking makes the exact path engine-defined, so the oracle
+//! checks `values` and leaves path validation to the engine-level
+//! conformance suites.
+
+use crate::reference::{
+    andor_eval_ref, bst_dp_ref, chain_dp_ref, edit_distance_ref, minplus_mul_ref,
+    minplus_string_ref, RefMat, Weight,
+};
+use sdp_andor::graph::{AndOrGraph, NodeId};
+use sdp_semiring::{Matrix, MinPlus};
+use sdp_trace::json::Json;
+
+/// Renders a weight the way the server renders a cost (`null` = +∞).
+pub fn weight_to_json(w: Weight) -> Json {
+    match w {
+        Some(v) => Json::Int(v),
+        None => Json::Null,
+    }
+}
+
+fn refmat_to_json(m: &RefMat) -> Json {
+    let mut data = Vec::with_capacity(m.rows * m.cols);
+    for i in 0..m.rows {
+        for j in 0..m.cols {
+            data.push(weight_to_json(m.get(i, j)));
+        }
+    }
+    Json::object()
+        .with("rows", m.rows)
+        .with("cols", m.cols)
+        .with("data", Json::Array(data))
+}
+
+/// Expected `values` array for a `multistage` request: the row minima
+/// of the reference min-plus string product (a single entry for
+/// single-source strings).
+pub fn served_multistage_values(mats: &[Matrix<MinPlus>]) -> Json {
+    let product = minplus_string_ref(mats);
+    Json::Array(product.row_mins().into_iter().map(weight_to_json).collect())
+}
+
+/// Expected `result` object for a Design 1 `multistage` request.
+pub fn served_multistage1(mats: &[Matrix<MinPlus>]) -> Json {
+    Json::object().with("values", served_multistage_values(mats))
+}
+
+/// Expected `result` object for a `matmul` request.
+pub fn served_matmul(a: &Matrix<MinPlus>, b: &Matrix<MinPlus>) -> Json {
+    let product = minplus_mul_ref(&RefMat::from_minplus(a), &RefMat::from_minplus(b));
+    Json::object().with("product", refmat_to_json(&product))
+}
+
+/// Expected `result` object for an `edit` request.
+pub fn served_edit(a: &[u8], b: &[u8]) -> Json {
+    Json::object().with("distance", edit_distance_ref(a, b))
+}
+
+/// Expected `cost` for a `chain` request (the served object also
+/// carries the array's `steps`, a timing fact the oracle does not
+/// model).
+pub fn served_chain_cost(dims: &[u64]) -> Json {
+    Json::Int(chain_dp_ref(dims) as i64)
+}
+
+/// Expected `result` object for a `bst` request.
+pub fn served_bst(freq: &[u64]) -> Json {
+    Json::object().with("cost", Json::Int(bst_dp_ref(freq) as i64))
+}
+
+/// Expected `result` object for an `andor` request.
+pub fn served_andor(g: &AndOrGraph, root: NodeId) -> Json {
+    Json::object().with("value", weight_to_json(andor_eval_ref(g, root)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdp_semiring::Cost;
+
+    fn mat(rows: usize, cols: usize, vals: &[i64]) -> Matrix<MinPlus> {
+        Matrix::from_rows(
+            rows,
+            cols,
+            vals.iter().map(|&v| MinPlus(Cost::new(v))).collect(),
+        )
+    }
+
+    #[test]
+    fn payload_shapes_render_like_the_wire_format() {
+        assert_eq!(
+            served_edit(b"kitten", b"sitting").render(),
+            r#"{"distance":3}"#
+        );
+        assert_eq!(served_chain_cost(&[10, 20, 30]).render(), "6000");
+        assert_eq!(served_bst(&[1]).render(), r#"{"cost":1}"#);
+        let m = served_multistage1(&[mat(2, 2, &[1, 5, 2, 0]), mat(2, 2, &[3, 1, 4, 1])]);
+        assert_eq!(m.render(), r#"{"values":[2,1]}"#);
+    }
+}

@@ -1,0 +1,178 @@
+//! Served-vs-direct differential driver: every payload a live
+//! `sdp-serve` instance returns must be bit-identical to the oracle's
+//! expectation — cold, replayed from the cache, and coalesced into a
+//! batch alike.  The reference solvers are the only source of expected
+//! values; no engine code computes an expectation here.
+
+use sdp_oracle::{diffcase, served};
+use sdp_serve::client::{self, Client};
+use sdp_serve::{json, Config};
+use std::time::Duration;
+
+fn boot(max_delay_ms: u64) -> sdp_serve::ServerHandle {
+    sdp_serve::serve(Config {
+        max_delay: Duration::from_millis(max_delay_ms),
+        workers: 2,
+        ..Config::default()
+    })
+    .expect("bind")
+}
+
+/// Calls once cold and once again, demanding a byte-identical payload
+/// and a cache hit on the replay.
+fn call_cold_then_cached(c: &mut Client, line: &str, expected: &str, tag: &str) {
+    let cold = c.call_raw(line).expect("cold call");
+    assert!(
+        cold.ok,
+        "[{tag}] cold call failed: {:?}",
+        cold.error_message
+    );
+    assert!(!cold.cached, "[{tag}] first sighting cannot be cached");
+    let payload = cold.result.expect("payload").render();
+    assert_eq!(payload, expected, "[{tag}] served != oracle");
+    let warm = c.call_raw(line).expect("warm call");
+    assert!(
+        warm.ok && warm.cached,
+        "[{tag}] replay should hit the cache"
+    );
+    assert_eq!(
+        warm.result.expect("payload").render(),
+        payload,
+        "[{tag}] cached payload diverged from the cold one"
+    );
+}
+
+#[test]
+fn served_edit_matches_oracle_cold_and_cached() {
+    let handle = boot(1);
+    let mut c = Client::connect(handle.addr()).expect("connect");
+    for case in diffcase::edit_ramp(0xE217, 12) {
+        let (a, b) = &case.instance;
+        let line = client::edit_request(
+            1,
+            std::str::from_utf8(a).unwrap(),
+            std::str::from_utf8(b).unwrap(),
+        );
+        let expected = served::served_edit(a, b).render();
+        call_cold_then_cached(&mut c, &line, &expected, &case.shape);
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn served_chain_and_bst_match_oracle_cold_and_cached() {
+    let handle = boot(1);
+    let mut c = Client::connect(handle.addr()).expect("connect");
+    for case in diffcase::chain_dims_ramp(0xC417, 10) {
+        let dims = &case.instance;
+        let line = client::chain_request(2, dims);
+        // The served chain object carries the array's timing (`steps`)
+        // alongside the DP cost; the oracle pins the cost.
+        let cold = c.call_raw(&line).expect("cold");
+        assert!(cold.ok, "[{}] {:?}", case.shape, cold.error_message);
+        let payload = cold.result.expect("payload");
+        assert_eq!(
+            json::get(&payload, "cost").expect("cost field").render(),
+            served::served_chain_cost(dims).render(),
+            "[{}]",
+            case.shape
+        );
+        let warm = c.call_raw(&line).expect("warm");
+        assert!(warm.cached, "[{}]", case.shape);
+        assert_eq!(warm.result.expect("payload").render(), payload.render());
+
+        // The same dims double as BST access frequencies.
+        let line = client::bst_request(3, dims);
+        let expected = served::served_bst(dims).render();
+        call_cold_then_cached(&mut c, &line, &expected, &case.shape);
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn served_matmul_and_multistage_match_oracle_cold_and_cached() {
+    let handle = boot(1);
+    let mut c = Client::connect(handle.addr()).expect("connect");
+    // A deterministic slice of the exhaustive sweep — the engine-level
+    // conformance suites already cover all 6561; the wire differential
+    // only needs representative instances (including ∞ entries).
+    for (i, (a, b)) in diffcase::matmul_exhaustive_small()
+        .into_iter()
+        .step_by(257)
+        .enumerate()
+    {
+        let line = client::matmul_request(i as i64, &a, &b);
+        let expected = served::served_matmul(&a, &b).render();
+        call_cold_then_cached(&mut c, &line, &expected, &format!("matmul #{i}"));
+    }
+    for case in diffcase::minplus_string_ramp(0x517A, 8) {
+        let mats = &case.instance;
+        let line = client::multistage_request(4, 1, mats);
+        let expected = served::served_multistage1(mats).render();
+        call_cold_then_cached(&mut c, &line, &expected, &case.shape);
+
+        // Design 2 serves the same values plus a path; the values must
+        // still match the oracle bit-for-bit.
+        let line = client::multistage_request(5, 2, mats);
+        let cold = c.call_raw(&line).expect("design2 cold");
+        assert!(cold.ok, "[{}] {:?}", case.shape, cold.error_message);
+        let payload = cold.result.expect("payload");
+        assert_eq!(
+            json::get(&payload, "values").expect("values").render(),
+            served::served_multistage_values(mats).render(),
+            "[{}] design2 values",
+            case.shape
+        );
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn coalesced_batches_serve_oracle_identical_payloads() {
+    // A generous window so concurrent same-shape requests ride one
+    // pipelined batch.
+    let handle = boot(40);
+    let addr = handle.addr();
+    let cases: Vec<(Vec<u8>, Vec<u8>)> = (0..8u8)
+        .map(|i| {
+            // Same lengths (same shape key), different content.
+            let a: Vec<u8> = (0..6).map(|j| b'a' + ((i >> (j % 3)) & 1)).collect();
+            let b: Vec<u8> = (0..6).map(|j| b'a' + (((i + j) >> 1) & 1)).collect();
+            (a, b)
+        })
+        .collect();
+    let threads: Vec<_> = cases
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(i, (a, b))| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                let line = client::edit_request(
+                    i as i64,
+                    std::str::from_utf8(&a).unwrap(),
+                    std::str::from_utf8(&b).unwrap(),
+                );
+                let resp = c.call_raw(&line).expect("call");
+                assert!(resp.ok);
+                (a, b, resp.result.expect("payload").render(), resp.batch)
+            })
+        })
+        .collect();
+    let mut max_batch = 0;
+    for t in threads {
+        let (a, b, payload, batch) = t.join().expect("client thread");
+        assert_eq!(
+            payload,
+            served::served_edit(&a, &b).render(),
+            "batched payload diverged from oracle"
+        );
+        max_batch = max_batch.max(batch);
+    }
+    assert!(
+        max_batch > 1,
+        "concurrent same-shape requests should have coalesced (max batch {max_batch})"
+    );
+    assert!(handle.max_coalesced() > 1);
+    handle.shutdown();
+}

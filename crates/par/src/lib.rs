@@ -24,13 +24,27 @@
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Number of hardware threads the host exposes (at least 1).
 pub fn host_threads() -> usize {
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// Locks `mutex`, recovering the data if a previous holder panicked.
+///
+/// `std`'s mutexes are poisoned when a thread panics while holding the
+/// guard; a bare `.lock().unwrap()` then turns *one* contained task
+/// panic into a cascade that takes down every worker touching the same
+/// deque or result slot.  All pool state here is a plain index queue or
+/// a write-once slot — there is no invariant a mid-panic holder could
+/// have half-applied — so the data behind a poisoned lock is still
+/// valid and the right move is to keep going.  Task closures that share
+/// their own mutexes with a panicking sibling can use this too.
+pub fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// A work-stealing pool of a fixed number of workers.
@@ -106,31 +120,33 @@ impl StealPool {
                 let slots = &slots;
                 let deques = &deques;
                 scope.spawn(move || loop {
-                    // Own work first (front), then steal (back).
-                    let idx = {
-                        let mut own = deques[me].lock().unwrap();
-                        own.pop_front()
-                    }
-                    .or_else(|| {
+                    // Own work first (front), then steal (back).  The
+                    // own-deque guard must drop before any victim lock
+                    // is taken: chaining `.or_else` onto the guarded
+                    // `pop_front()` would keep the guard alive through
+                    // the steal (temporaries live to the end of the
+                    // statement) and two workers stealing from each
+                    // other would deadlock ABBA.
+                    let own = lock_recover(&deques[me]).pop_front();
+                    let idx = own.or_else(|| {
                         (1..workers).find_map(|d| {
                             let victim = (me + d) % workers;
-                            let mut q = deques[victim].lock().unwrap();
-                            q.pop_back()
+                            lock_recover(&deques[victim]).pop_back()
                         })
                     });
                     let Some(idx) = idx else { break };
-                    let Some(task) = cells[idx].lock().unwrap().take() else {
+                    let Some(task) = lock_recover(&cells[idx]).take() else {
                         continue;
                     };
                     let result = catch_unwind(AssertUnwindSafe(task)).ok();
-                    *slots[idx].lock().unwrap() = result;
+                    *lock_recover(&slots[idx]) = result;
                 });
             }
         });
 
         slots
             .into_iter()
-            .map(|slot| slot.into_inner().unwrap())
+            .map(|slot| slot.into_inner().unwrap_or_else(PoisonError::into_inner))
             .collect()
     }
 }

@@ -2,7 +2,8 @@
 //! that exceed the batch, degenerate pool sizes, and panic containment
 //! when most workers have nothing to do.
 
-use sdp_par::StealPool;
+use sdp_par::{lock_recover, StealPool};
+use std::sync::{Arc, Mutex};
 
 #[test]
 fn more_workers_than_tasks_fills_every_slot() {
@@ -39,6 +40,83 @@ fn panic_with_idle_workers_is_contained() {
         Box::new(|| panic!("second task dies")),
     ]);
     assert_eq!(out, vec![Some(7), None]);
+}
+
+#[test]
+fn lock_recover_reads_through_a_poisoned_mutex() {
+    let shared = Arc::new(Mutex::new(vec![1u32, 2, 3]));
+    let poisoner = Arc::clone(&shared);
+    // Panic while holding the guard: the mutex is now poisoned.
+    let _ = std::thread::spawn(move || {
+        let _guard = poisoner.lock().unwrap();
+        panic!("die holding the lock");
+    })
+    .join();
+    assert!(shared.lock().is_err(), "mutex should be poisoned");
+    assert_eq!(*lock_recover(&shared), vec![1, 2, 3]);
+}
+
+#[test]
+fn poisoned_shared_lock_does_not_cascade_across_the_pool() {
+    // A batch whose tasks all funnel through one caller-owned mutex.
+    // Task 5 panics *while holding the guard*, poisoning it; every
+    // other task must still acquire the lock (via recovery), append its
+    // marker, and fill its result slot — the documented panic-safe
+    // reassignment story, exercised on an actually poisoned lock.
+    let shared: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+    let pool = StealPool::new(4);
+    let out = pool.run(
+        (0..32usize)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                move || {
+                    let mut log = lock_recover(&shared);
+                    log.push(i);
+                    if i == 5 {
+                        // Poison `shared` for every later task.
+                        panic!("task 5 dies holding the shared lock");
+                    }
+                    drop(log);
+                    i * 2
+                }
+            })
+            .collect::<Vec<_>>(),
+    );
+    assert!(shared.lock().is_err(), "task 5 must have poisoned the lock");
+    for (i, slot) in out.iter().enumerate() {
+        if i == 5 {
+            assert_eq!(*slot, None, "the poisoning task itself is contained");
+        } else {
+            assert_eq!(*slot, Some(i * 2), "task {i} must survive the poison");
+        }
+    }
+    let log = lock_recover(&shared);
+    assert_eq!(log.len(), 32, "every task reached the shared section");
+}
+
+#[test]
+fn contended_stealing_does_not_deadlock() {
+    // Regression: the worker loop once held its *own* deque's lock
+    // while probing victims' deques (a guard temporary kept alive
+    // through an `.or_else` chain), so two workers stealing from each
+    // other could deadlock ABBA.  Hammer the race: thousands of rounds
+    // of instant tasks on a wide pool means every round ends with all
+    // workers racing to steal the stragglers.  One task per worker
+    // maximizes empty-deque probing; on a single-core host the buggy
+    // loop reliably wedges within a few hundred rounds at this width.
+    // A watchdog converts a deadlock into a test failure instead of a
+    // hung suite.
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let pool = StealPool::new(16);
+        for round in 0..4000u64 {
+            let out = pool.run((0..16).map(|i| move || round + i).collect::<Vec<_>>());
+            assert!(out.iter().all(Option::is_some));
+        }
+        tx.send(()).ok();
+    });
+    rx.recv_timeout(std::time::Duration::from_secs(60))
+        .expect("steal pool deadlocked under contention");
 }
 
 #[test]

@@ -1,0 +1,54 @@
+//! `sdp-serve` binary: boots the request server and blocks until a
+//! client sends a `shutdown` request.
+//!
+//! ```text
+//! sdp-serve [ADDR] [--workers N] [--max-batch N] [--max-delay-ms N]
+//!           [--cache N] [--max-queue N]
+//! ```
+
+use sdp_serve::Config;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sdp-serve [ADDR] [--workers N] [--max-batch N] \
+         [--max-delay-ms N] [--cache N] [--max-queue N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = Config {
+        addr: "127.0.0.1:7171".to_string(),
+        ..Config::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut num = |name: &str| -> usize {
+            args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("{name} needs a number");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--workers" => cfg.workers = num("--workers").max(1),
+            "--max-batch" => cfg.max_batch = num("--max-batch").max(1),
+            "--max-delay-ms" => cfg.max_delay = Duration::from_millis(num("--max-delay-ms") as u64),
+            "--cache" => cfg.cache_capacity = num("--cache"),
+            "--max-queue" => cfg.max_queue = num("--max-queue").max(1),
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') => cfg.addr = other.to_string(),
+            _ => usage(),
+        }
+    }
+    match sdp_serve::serve(cfg) {
+        Ok(handle) => {
+            println!("sdp-serve listening on {}", handle.addr());
+            handle.shutdown_on_request();
+        }
+        Err(e) => {
+            eprintln!("sdp-serve: bind failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

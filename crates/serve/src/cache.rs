@@ -1,0 +1,122 @@
+//! An exact-key LRU result cache.
+//!
+//! Keys are the *canonical byte encoding* of the problem
+//! ([`Body::canonical_key`](crate::protocol::Body::canonical_key)), not
+//! just its hash — a hash collision must never serve a wrong answer, so
+//! the full encoding is compared on every hit.  Values are the rendered
+//! result payloads (without the per-request `id`/`cached`/`batch`
+//! envelope, which differs per response).
+//!
+//! Recency is a monotone stamp per entry; eviction scans for the
+//! minimum stamp.  With the O(100–1000) capacities the server uses,
+//! the scan is noise next to a systolic simulation, and it keeps the
+//! structure a single `HashMap` with no unsafe intrusive list.
+
+use sdp_trace::json::Json;
+use std::collections::HashMap;
+
+/// LRU map from canonical problem keys to result payloads.
+#[derive(Debug)]
+pub struct LruCache {
+    capacity: usize,
+    clock: u64,
+    map: HashMap<Vec<u8>, (u64, Json)>,
+}
+
+impl LruCache {
+    /// A cache holding at most `capacity` results (0 disables caching).
+    pub fn new(capacity: usize) -> LruCache {
+        LruCache {
+            capacity,
+            clock: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    /// Current number of cached results.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &[u8]) -> Option<Json> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(key).map(|(stamp, payload)| {
+            *stamp = clock;
+            payload.clone()
+        })
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least-recently-used
+    /// entry when over capacity.
+    pub fn insert(&mut self, key: Vec<u8>, payload: Json) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.clock += 1;
+        self.map.insert(key, (self.clock, payload));
+        if self.map.len() > self.capacity {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(n: u8) -> Vec<u8> {
+        vec![n]
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let mut c = LruCache::new(4);
+        assert!(c.get(&k(1)).is_none());
+        c.insert(k(1), Json::Int(10));
+        assert_eq!(c.get(&k(1)), Some(Json::Int(10)));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert(k(1), Json::Int(1));
+        c.insert(k(2), Json::Int(2));
+        assert!(c.get(&k(1)).is_some()); // refresh 1; 2 is now LRU
+        c.insert(k(3), Json::Int(3));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&k(2)).is_none(), "2 was evicted");
+        assert!(c.get(&k(1)).is_some());
+        assert!(c.get(&k(3)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = LruCache::new(0);
+        c.insert(k(1), Json::Int(1));
+        assert!(c.get(&k(1)).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn exact_keys_do_not_collide() {
+        let mut c = LruCache::new(8);
+        c.insert(vec![1, 2], Json::Int(12));
+        c.insert(vec![2, 1], Json::Int(21));
+        assert_eq!(c.get(&[1, 2][..]), Some(Json::Int(12)));
+        assert_eq!(c.get(&[2, 1][..]), Some(Json::Int(21)));
+    }
+}

@@ -1,0 +1,192 @@
+//! A small blocking client for the wire protocol, plus request-line
+//! builders.  Used by the smoke binary, the E24 experiment, and the
+//! differential tests — anything that talks to a running server.
+
+use crate::json;
+use crate::protocol::matrix_to_json;
+use sdp_semiring::{Matrix, MinPlus};
+use sdp_trace::json::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One parsed response line.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Echoed correlation id.
+    pub id: i64,
+    /// Success flag.
+    pub ok: bool,
+    /// Result payload (successful responses only).
+    pub result: Option<Json>,
+    /// Error kind (failed responses only), e.g. `"queue_full"`.
+    pub error_kind: Option<String>,
+    /// Human-readable error message.
+    pub error_message: Option<String>,
+    /// Whether the result came from the server's LRU cache.
+    pub cached: bool,
+    /// Coalesced batch size the request rode in (0 = not batched).
+    pub batch: i64,
+    /// The raw response line, for byte-level comparisons.
+    pub raw: String,
+}
+
+impl Response {
+    fn parse(raw: String) -> std::io::Result<Response> {
+        let doc = json::parse(&raw).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad response line: {e}"),
+            )
+        })?;
+        let err = json::get(&doc, "error");
+        Ok(Response {
+            id: json::get(&doc, "id").and_then(json::as_i64).unwrap_or(0),
+            ok: json::get(&doc, "ok")
+                .and_then(json::as_bool)
+                .unwrap_or(false),
+            result: json::get(&doc, "result").cloned(),
+            error_kind: err
+                .and_then(|e| json::get(e, "kind"))
+                .and_then(json::as_str)
+                .map(str::to_owned),
+            error_message: err
+                .and_then(|e| json::get(e, "message"))
+                .and_then(json::as_str)
+                .map(str::to_owned),
+            cached: json::get(&doc, "cached")
+                .and_then(json::as_bool)
+                .unwrap_or(false),
+            batch: json::get(&doc, "batch").and_then(json::as_i64).unwrap_or(0),
+            raw,
+        })
+    }
+}
+
+/// A blocking newline-delimited-JSON client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one raw request line and reads one response line.
+    pub fn call_raw(&mut self, line: &str) -> std::io::Result<Response> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// Sends a raw line *without* reading the response (pipelining).
+    pub fn send_raw(&mut self, line: &str) -> std::io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Reads the next response line.
+    pub fn read_response(&mut self) -> std::io::Result<Response> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Response::parse(line.trim_end().to_owned())
+    }
+
+    /// Fetches a metrics snapshot.
+    pub fn metrics(&mut self) -> std::io::Result<Response> {
+        self.call_raw(&metrics_request(0))
+    }
+
+    /// Asks the server to drain and exit.
+    pub fn shutdown(&mut self) -> std::io::Result<Response> {
+        self.call_raw(&shutdown_request(0))
+    }
+}
+
+/// `multistage` request line for Design `design` (1 or 2).
+pub fn multistage_request(id: i64, design: u8, mats: &[Matrix<MinPlus>]) -> String {
+    Json::object()
+        .with("id", Json::Int(id))
+        .with("kind", "multistage")
+        .with("design", u64::from(design))
+        .with(
+            "mats",
+            Json::Array(mats.iter().map(matrix_to_json).collect()),
+        )
+        .render()
+}
+
+/// `matmul` request line (min-plus product of `a` and `b`).
+pub fn matmul_request(id: i64, a: &Matrix<MinPlus>, b: &Matrix<MinPlus>) -> String {
+    Json::object()
+        .with("id", Json::Int(id))
+        .with("kind", "matmul")
+        .with("a", matrix_to_json(a))
+        .with("b", matrix_to_json(b))
+        .render()
+}
+
+/// `edit` request line (edit distance between two strings).
+pub fn edit_request(id: i64, a: &str, b: &str) -> String {
+    Json::object()
+        .with("id", Json::Int(id))
+        .with("kind", "edit")
+        .with("a", a)
+        .with("b", b)
+        .render()
+}
+
+/// `chain` request line (matrix-chain ordering over `dims`).
+pub fn chain_request(id: i64, dims: &[u64]) -> String {
+    Json::object()
+        .with("id", Json::Int(id))
+        .with("kind", "chain")
+        .with(
+            "dims",
+            Json::Array(dims.iter().map(|&d| Json::from(d)).collect()),
+        )
+        .render()
+}
+
+/// `bst` request line (optimal BST over access frequencies).
+pub fn bst_request(id: i64, freq: &[u64]) -> String {
+    Json::object()
+        .with("id", Json::Int(id))
+        .with("kind", "bst")
+        .with(
+            "freq",
+            Json::Array(freq.iter().map(|&f| Json::from(f)).collect()),
+        )
+        .render()
+}
+
+/// `metrics` request line.
+pub fn metrics_request(id: i64) -> String {
+    Json::object()
+        .with("id", Json::Int(id))
+        .with("kind", "metrics")
+        .render()
+}
+
+/// `shutdown` request line.
+pub fn shutdown_request(id: i64) -> String {
+    Json::object()
+        .with("id", Json::Int(id))
+        .with("kind", "shutdown")
+        .render()
+}

@@ -1,0 +1,257 @@
+//! Executes one coalesced bucket of same-class, same-shape requests on
+//! the systolic engines.
+//!
+//! The batched classes hand the whole bucket to the PR 3 pipelined
+//! entry points (`run_batch` / `multiply_batch` /
+//! `edit_distance_mesh_batch`), so a coalesced dispatch pays the
+//! array's fill/drain latency once for B requests — the serving-side
+//! realization of the paper's §6 pipelining of independent instances.
+//! Classes without a batched engine (chain, BST, AND/OR) loop inside
+//! the one pool task their bucket became.
+//!
+//! Result payloads are a pure function of the problem instance — they
+//! never include batch-dependent numbers — so a response is bit
+//! identical whether it was computed cold, coalesced into a batch, or
+//! replayed from the cache.
+
+use crate::protocol::{cost_to_json, matrix_to_json, Body, Class};
+use sdp_andor::chain::{try_matrix_chain_order, try_optimal_bst};
+use sdp_core::chain_array::{simulate_chain_array, ChainMapping};
+use sdp_core::design1::Design1Array;
+use sdp_core::design2::Design2Array;
+use sdp_core::edit_array::edit_distance_mesh_batch;
+use sdp_core::matmul_array::MatmulArray;
+use sdp_fault::SdpError;
+use sdp_semiring::{Matrix, MinPlus};
+use sdp_trace::json::Json;
+
+/// PE count for a matrix string (the interior square side, or the
+/// boundary vector length for single-source strings).
+fn string_m(mats: &[Matrix<MinPlus>]) -> usize {
+    if mats[0].rows() == 1 {
+        mats[0].cols()
+    } else {
+        mats[0].rows()
+    }
+}
+
+fn values_json(values: &[sdp_semiring::Cost]) -> Json {
+    Json::object().with(
+        "values",
+        Json::Array(values.iter().map(|&c| cost_to_json(c)).collect()),
+    )
+}
+
+/// Runs a bucket, returning one result per request in bucket order.
+/// A batch-level engine error (shape validation) is reported to every
+/// rider of the bucket.
+pub fn run_bucket(class: Class, bodies: &[Body]) -> Vec<Result<Json, SdpError>> {
+    match run_bucket_inner(class, bodies) {
+        Ok(results) => results,
+        Err(e) => bodies.iter().map(|_| Err(e.clone())).collect(),
+    }
+}
+
+#[allow(clippy::type_complexity)]
+fn run_bucket_inner(
+    class: Class,
+    bodies: &[Body],
+) -> Result<Vec<Result<Json, SdpError>>, SdpError> {
+    match class {
+        Class::Multistage1 => {
+            let strings: Vec<&[Matrix<MinPlus>]> = bodies
+                .iter()
+                .map(|b| match b {
+                    Body::Multistage { mats, .. } => mats.as_slice(),
+                    _ => unreachable!("bucket is single-class"),
+                })
+                .collect();
+            let array = Design1Array::try_new(string_m(strings[0]))?;
+            let batch = array.run_batch(&strings)?;
+            Ok(batch
+                .values
+                .iter()
+                .map(|vals| Ok(values_json(vals)))
+                .collect())
+        }
+        Class::Multistage2 => {
+            let strings: Vec<&[Matrix<MinPlus>]> = bodies
+                .iter()
+                .map(|b| match b {
+                    Body::Multistage { mats, .. } => mats.as_slice(),
+                    _ => unreachable!("bucket is single-class"),
+                })
+                .collect();
+            let array = Design2Array::try_new(string_m(strings[0]))?;
+            let batch = array.run_batch(&strings)?;
+            Ok(batch
+                .values
+                .iter()
+                .zip(&batch.paths)
+                .map(|(vals, path)| {
+                    let path_json = match path {
+                        Some(p) => Json::Array(p.iter().map(|&v| Json::from(v)).collect()),
+                        None => Json::Null,
+                    };
+                    Ok(values_json(vals).with("path", path_json))
+                })
+                .collect())
+        }
+        Class::Matmul => {
+            let pairs: Vec<(Matrix<MinPlus>, Matrix<MinPlus>)> = bodies
+                .iter()
+                .map(|b| match b {
+                    Body::Matmul { a, b } => (a.clone(), b.clone()),
+                    _ => unreachable!("bucket is single-class"),
+                })
+                .collect();
+            let batch = MatmulArray::multiply_batch(&pairs)?;
+            Ok(batch
+                .products
+                .iter()
+                .map(|p| Ok(Json::object().with("product", matrix_to_json(p))))
+                .collect())
+        }
+        Class::Edit => {
+            let pairs: Vec<(&[u8], &[u8])> = bodies
+                .iter()
+                .map(|b| match b {
+                    Body::Edit { a, b } => (a.as_slice(), b.as_slice()),
+                    _ => unreachable!("bucket is single-class"),
+                })
+                .collect();
+            let batch = edit_distance_mesh_batch(&pairs)?;
+            Ok(batch
+                .distances
+                .iter()
+                .map(|&d| Ok(Json::object().with("distance", d)))
+                .collect())
+        }
+        Class::Chain => Ok(bodies
+            .iter()
+            .map(|b| match b {
+                Body::Chain { dims } => {
+                    let sol = try_matrix_chain_order(dims)?;
+                    let sim = simulate_chain_array(dims, ChainMapping::Broadcast);
+                    debug_assert_eq!(sim.cost, sol.cost, "array vs DP");
+                    Ok(Json::object()
+                        .with("cost", cost_to_json(sim.cost))
+                        .with("steps", sim.finish))
+                }
+                _ => unreachable!("bucket is single-class"),
+            })
+            .collect()),
+        Class::Bst => Ok(bodies
+            .iter()
+            .map(|b| match b {
+                Body::Bst { freq } => {
+                    let sol = try_optimal_bst(freq)?;
+                    Ok(Json::object().with("cost", cost_to_json(sol.cost)))
+                }
+                _ => unreachable!("bucket is single-class"),
+            })
+            .collect()),
+        Class::AndOr => Ok(bodies
+            .iter()
+            .map(|b| match b {
+                Body::AndOr { graph, root } => {
+                    Ok(Json::object().with("value", cost_to_json(graph.evaluate_node(*root))))
+                }
+                _ => unreachable!("bucket is single-class"),
+            })
+            .collect()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdp_semiring::Cost;
+
+    fn mat(rows: usize, cols: usize, vals: &[i64]) -> Matrix<MinPlus> {
+        Matrix::from_rows(
+            rows,
+            cols,
+            vals.iter().map(|&v| MinPlus(Cost::new(v))).collect(),
+        )
+    }
+
+    #[test]
+    fn edit_bucket_of_three_matches_singles() {
+        let b = |a: &str, bb: &str| Body::Edit {
+            a: a.as_bytes().to_vec(),
+            b: bb.as_bytes().to_vec(),
+        };
+        let bucket = vec![
+            b("kitten", "sitting"),
+            b("mitten", "fitting"),
+            b("kitten", "kitting"),
+        ];
+        let batched = run_bucket(Class::Edit, &bucket);
+        for (i, body) in bucket.iter().enumerate() {
+            let single = run_bucket(Class::Edit, std::slice::from_ref(body));
+            assert_eq!(batched[i], single[0], "instance {i}");
+        }
+    }
+
+    #[test]
+    fn multistage_bucket_matches_singles() {
+        let s1 = vec![mat(2, 2, &[1, 5, 2, 0]), mat(2, 2, &[3, 1, 4, 1])];
+        let s2 = vec![mat(2, 2, &[0, 2, 9, 1]), mat(2, 2, &[1, 1, 0, 7])];
+        for design in [Class::Multistage1, Class::Multistage2] {
+            let mk = |mats: &Vec<Matrix<MinPlus>>| Body::Multistage {
+                design: if design == Class::Multistage1 { 1 } else { 2 },
+                mats: mats.clone(),
+            };
+            let batched = run_bucket(design, &[mk(&s1), mk(&s2)]);
+            let a = run_bucket(design, &[mk(&s1)]);
+            let b = run_bucket(design, &[mk(&s2)]);
+            assert_eq!(batched[0], a[0]);
+            assert_eq!(batched[1], b[0]);
+        }
+    }
+
+    #[test]
+    fn batch_shape_error_reaches_every_rider() {
+        let b1 = Body::Edit {
+            a: b"ab".to_vec(),
+            b: b"cd".to_vec(),
+        };
+        let b2 = Body::Edit {
+            a: b"abc".to_vec(),
+            b: b"cd".to_vec(),
+        };
+        // A mixed-shape bucket can only arise through a coalescing bug;
+        // the engine still must fail typed, for every rider.
+        let out = run_bucket(Class::Edit, &[b1, b2]);
+        assert_eq!(out.len(), 2);
+        for r in out {
+            assert_eq!(r, Err(SdpError::BatchShapeMismatch { index: 1 }));
+        }
+    }
+
+    #[test]
+    fn chain_and_bst_and_andor_run_singly() {
+        let out = run_bucket(
+            Class::Chain,
+            &[Body::Chain {
+                dims: vec![10, 20, 50, 1],
+            }],
+        );
+        let payload = out[0].as_ref().unwrap().render();
+        assert!(payload.contains("\"cost\":"));
+        let out = run_bucket(
+            Class::Bst,
+            &[Body::Bst {
+                freq: vec![3, 1, 4],
+            }],
+        );
+        assert!(out[0].is_ok());
+        let mut g = sdp_andor::graph::AndOrGraph::new();
+        let l1 = g.add_leaf(0, Cost::new(2));
+        let l2 = g.add_leaf(0, Cost::new(5));
+        let a = g.add_and(1, vec![l1, l2], Cost::new(1));
+        let out = run_bucket(Class::AndOr, &[Body::AndOr { graph: g, root: a }]);
+        assert_eq!(out[0].as_ref().unwrap().render(), r#"{"value":8}"#);
+    }
+}

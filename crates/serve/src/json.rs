@@ -1,0 +1,360 @@
+//! A hand-rolled JSON *parser* for the wire protocol, the inverse of
+//! `sdp-trace`'s serializer.
+//!
+//! The workspace is dependency-free, so requests are decoded by a small
+//! recursive-descent parser into the same [`Json`] document type the
+//! trace crate renders.  The parser is deliberately strict: one value
+//! per line, UTF-8 input, a nesting-depth cap so an adversarial request
+//! cannot blow the connection thread's stack, and every failure is a
+//! `String` reason that the server wraps into
+//! [`SdpError::MalformedRequest`](sdp_fault::SdpError::MalformedRequest).
+
+pub use sdp_trace::json::Json;
+
+/// Maximum nesting depth accepted from the wire.
+pub const MAX_DEPTH: usize = 64;
+
+/// Parses one complete JSON value from `text` (surrounding whitespace
+/// allowed, trailing garbage rejected).
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(format!("trailing bytes at offset {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at offset {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at offset {}", self.pos))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, String> {
+        if depth > MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH}"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(format!(
+                "unexpected byte 0x{other:02x} at offset {}",
+                self.pos
+            )),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value(depth + 1)?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err("unterminated string".to_string());
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err("unterminated escape".to_string());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("bad \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            self.pos += 4;
+                            // Surrogate pairs are rejected rather than
+                            // combined — the protocol never emits them.
+                            let c = char::from_u32(code)
+                                .ok_or(format!("\\u{hex} is not a scalar value"))?;
+                            out.push(c);
+                        }
+                        other => return Err(format!("bad escape '\\{}'", other as char)),
+                    }
+                }
+                _ => {
+                    // Multi-byte UTF-8: copy the whole scalar.
+                    let start = self.pos - 1;
+                    if b < 0x80 {
+                        if b < 0x20 {
+                            return Err("raw control byte in string".to_string());
+                        }
+                        out.push(b as char);
+                    } else {
+                        let len = match b {
+                            0xC0..=0xDF => 2,
+                            0xE0..=0xEF => 3,
+                            0xF0..=0xF7 => 4,
+                            _ => return Err("invalid UTF-8 lead byte".to_string()),
+                        };
+                        let chunk = self
+                            .bytes
+                            .get(start..start + len)
+                            .and_then(|c| std::str::from_utf8(c).ok())
+                            .ok_or("invalid UTF-8 sequence")?;
+                        out.push_str(chunk);
+                        self.pos = start + len;
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| format!("bad number '{text}' at offset {start}"))
+    }
+}
+
+/// Field lookup on an object (`None` on non-objects / missing keys).
+pub fn get<'a>(doc: &'a Json, key: &str) -> Option<&'a Json> {
+    match doc {
+        Json::Object(fields) => fields.iter().find_map(|(k, v)| (k == key).then_some(v)),
+        _ => None,
+    }
+}
+
+/// Integer accessor.
+pub fn as_i64(doc: &Json) -> Option<i64> {
+    match doc {
+        Json::Int(i) => Some(*i),
+        _ => None,
+    }
+}
+
+/// String accessor.
+pub fn as_str(doc: &Json) -> Option<&str> {
+    match doc {
+        Json::Str(s) => Some(s),
+        _ => None,
+    }
+}
+
+/// Array accessor.
+pub fn as_array(doc: &Json) -> Option<&[Json]> {
+    match doc {
+        Json::Array(items) => Some(items),
+        _ => None,
+    }
+}
+
+/// Bool accessor.
+pub fn as_bool(doc: &Json) -> Option<bool> {
+    match doc {
+        Json::Bool(b) => Some(*b),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_the_serializer_output() {
+        let doc = Json::object()
+            .with("name", "e\u{e9}1\n")
+            .with("n", 42u64)
+            .with("x", -7i64)
+            .with("pu", 0.75)
+            .with("flag", true)
+            .with("none", Json::Null)
+            .with("rows", vec![1i64, 2, 3]);
+        let text = doc.render();
+        assert_eq!(parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn parses_nested_and_spaced() {
+        let v = parse(" { \"a\" : [ 1 , { \"b\" : [ ] } ] } ").unwrap();
+        assert_eq!(v.render(), r#"{"a":[1,{"b":[]}]}"#);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "1 2",
+            "\"unterminated",
+            "{\"a\" 1}",
+            "nul",
+            "[1 2]",
+            "--3",
+            "\"\\q\"",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn rejects_bottomless_nesting() {
+        let deep = "[".repeat(MAX_DEPTH + 2) + &"]".repeat(MAX_DEPTH + 2);
+        assert!(parse(&deep).unwrap_err().contains("nesting"));
+    }
+
+    #[test]
+    fn integers_stay_integers() {
+        assert_eq!(
+            parse("9007199254740993").unwrap(),
+            Json::Int(9007199254740993)
+        );
+        assert_eq!(parse("-1").unwrap(), Json::Int(-1));
+        assert_eq!(parse("1.5").unwrap(), Json::Float(1.5));
+        assert_eq!(parse("1e3").unwrap(), Json::Float(1000.0));
+    }
+
+    #[test]
+    fn accessors() {
+        let doc = parse(r#"{"kind":"edit","id":3,"arr":[1],"b":true}"#).unwrap();
+        assert_eq!(as_str(get(&doc, "kind").unwrap()), Some("edit"));
+        assert_eq!(as_i64(get(&doc, "id").unwrap()), Some(3));
+        assert_eq!(as_array(get(&doc, "arr").unwrap()).unwrap().len(), 1);
+        assert_eq!(as_bool(get(&doc, "b").unwrap()), Some(true));
+        assert!(get(&doc, "missing").is_none());
+        assert!(get(&Json::Int(1), "k").is_none());
+    }
+}

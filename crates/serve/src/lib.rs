@@ -1,0 +1,74 @@
+//! `sdp-serve` — a dynamic-batching request server over the systolic
+//! DP engines.
+//!
+//! The simulation crates answer one problem per call; this crate turns
+//! them into a long-running service.  Clients connect over TCP and send
+//! newline-delimited JSON requests for any engine family — multistage
+//! graphs on Designs 1/2, min-plus matrix products, edit distance,
+//! matrix-chain/optimal-BST, AND/OR graph evaluation.  The server
+//! coalesces same-shape requests into batches for the PR 3 pipelined
+//! entry points (the serving-side use of the paper's §6 observation
+//! that independent instances pipeline through one array), caches
+//! results under canonical problem keys, and degrades every failure —
+//! malformed input, engine panics, overload, shutdown — into a typed
+//! [`SdpError`](sdp_fault::SdpError) response instead of a dropped
+//! connection.
+//!
+//! Module map:
+//! - [`json`]: wire-format parser (inverse of `sdp-trace`'s serializer)
+//! - [`protocol`]: request decoding, canonical keys, response envelopes
+//! - [`queue`]: admission control and batch coalescing
+//! - [`engine`]: per-class dispatch onto the systolic engines
+//! - [`cache`]: exact-key LRU result cache
+//! - [`metrics`]: queue/batch/cache/latency telemetry
+//! - [`server`]: TCP accept loop, connection threads, dispatcher
+//! - [`client`]: blocking client and request builders
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod engine;
+pub mod json;
+pub mod metrics;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use client::Client;
+pub use server::{serve, ServerHandle};
+
+use std::time::Duration;
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Bind address; use port 0 to let the OS pick.
+    pub addr: String,
+    /// Admission-queue depth limit (beyond it: `queue_full`).
+    pub max_queue: usize,
+    /// Coalesced-batch size cap.
+    pub max_batch: usize,
+    /// Coalescing delay window.
+    pub max_delay: Duration,
+    /// LRU result-cache capacity (0 disables caching).
+    pub cache_capacity: usize,
+    /// Worker threads in the dispatch pool.
+    pub workers: usize,
+    /// Request-line byte limit (beyond it: `payload_too_large`).
+    pub max_request_bytes: usize,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            addr: "127.0.0.1:0".to_string(),
+            max_queue: 1024,
+            max_batch: 16,
+            max_delay: Duration::from_millis(5),
+            cache_capacity: 256,
+            workers: 4,
+            max_request_bytes: 1 << 20,
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Server telemetry: queue depth, batch-size histogram, cache hit
+//! rate, and per-class latency — rendered as one deterministic-schema
+//! JSON document by the `metrics` request (the serving-layer companion
+//! of the PR 1 `experiments --json` metrics).
+//!
+//! Field naming follows the golden-test redaction convention: every
+//! wall-clock value lives in a field whose name contains `ms`, so the
+//! shared `redact()` helper in `crates/bench/tests/support` nulls the
+//! host-dependent numbers and the schema stays byte-comparable.
+
+use crate::protocol::{Class, CLASSES};
+use sdp_trace::json::Json;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Histogram bucket upper bounds for coalesced batch sizes.
+const BATCH_BUCKETS: [(usize, &str); 5] =
+    [(1, "1"), (2, "2"), (4, "3_4"), (8, "5_8"), (16, "9_16")];
+
+#[derive(Clone, Copy, Debug, Default)]
+struct ClassStats {
+    requests: u64,
+    errors: u64,
+    batches: u64,
+    total_ms: f64,
+    max_ms: f64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    served: u64,
+    errors: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    rejected_queue_full: u64,
+    malformed: u64,
+    oversized: u64,
+    dispatches: u64,
+    max_coalesced: u64,
+    batch_hist: [u64; BATCH_BUCKETS.len() + 1],
+    per_class: [ClassStats; CLASSES.len()],
+}
+
+/// Thread-safe metrics registry shared by every server component.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    inner: Mutex<Inner>,
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A metrics mutex must never take the server down: recover the
+        // counters if a panicking thread poisoned the lock.
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Records a cache hit (served without queueing).
+    pub fn cache_hit(&self, class: Class) {
+        let mut m = self.lock();
+        m.cache_hits += 1;
+        m.served += 1;
+        m.per_class[class.index()].requests += 1;
+    }
+
+    /// Records a cache miss (request admitted to the queue).
+    pub fn cache_miss(&self) {
+        self.lock().cache_misses += 1;
+    }
+
+    /// Records an admission rejection for backpressure.
+    pub fn rejected_queue_full(&self) {
+        self.lock().rejected_queue_full += 1;
+    }
+
+    /// Records a protocol decode failure.
+    pub fn malformed(&self) {
+        self.lock().malformed += 1;
+    }
+
+    /// Records an oversized request line.
+    pub fn oversized(&self) {
+        self.lock().oversized += 1;
+    }
+
+    /// Records one dispatched batch of `size` coalesced requests.
+    pub fn dispatched_batch(&self, class: Class, size: usize) {
+        let mut m = self.lock();
+        m.dispatches += 1;
+        m.max_coalesced = m.max_coalesced.max(size as u64);
+        let bucket = BATCH_BUCKETS
+            .iter()
+            .position(|&(hi, _)| size <= hi)
+            .unwrap_or(BATCH_BUCKETS.len());
+        m.batch_hist[bucket] += 1;
+        m.per_class[class.index()].batches += 1;
+    }
+
+    /// Records one completed request with its queue-to-response latency.
+    pub fn completed(&self, class: Class, ok: bool, latency: Duration) {
+        let mut m = self.lock();
+        let ms = latency.as_secs_f64() * 1e3;
+        m.served += 1;
+        if !ok {
+            m.errors += 1;
+        }
+        let c = &mut m.per_class[class.index()];
+        c.requests += 1;
+        if !ok {
+            c.errors += 1;
+        }
+        c.total_ms += ms;
+        c.max_ms = c.max_ms.max(ms);
+    }
+
+    /// Cache hits so far (for tests and drain decisions).
+    pub fn cache_hits(&self) -> u64 {
+        self.lock().cache_hits
+    }
+
+    /// Largest coalesced batch dispatched so far.
+    pub fn max_coalesced(&self) -> u64 {
+        self.lock().max_coalesced
+    }
+
+    /// Renders the full snapshot; `queue_depth` is sampled by the
+    /// caller from the admission queue at render time.
+    pub fn to_json(&self, queue_depth: usize) -> Json {
+        let m = self.lock();
+        let mut hist = Json::object();
+        for (i, &(_, label)) in BATCH_BUCKETS.iter().enumerate() {
+            hist = hist.with(label, m.batch_hist[i]);
+        }
+        hist = hist.with("17_plus", m.batch_hist[BATCH_BUCKETS.len()]);
+        let lookups = m.cache_hits + m.cache_misses;
+        let mut classes = Json::object();
+        for class in CLASSES {
+            let c = &m.per_class[class.index()];
+            let mean_ms = if c.requests > 0 {
+                c.total_ms / c.requests as f64
+            } else {
+                0.0
+            };
+            classes = classes.with(
+                class.name(),
+                Json::object()
+                    .with("requests", c.requests)
+                    .with("errors", c.errors)
+                    .with("batches", c.batches)
+                    .with("mean_ms", mean_ms)
+                    .with("max_ms", c.max_ms),
+            );
+        }
+        Json::object()
+            .with("served", m.served)
+            .with("errors", m.errors)
+            .with("queue_depth", queue_depth)
+            .with("dispatches", m.dispatches)
+            .with("max_coalesced", m.max_coalesced)
+            .with("batch_size_histogram", hist)
+            .with(
+                "cache",
+                Json::object()
+                    .with("hits", m.cache_hits)
+                    .with("misses", m.cache_misses)
+                    .with(
+                        "hit_rate",
+                        if lookups > 0 {
+                            m.cache_hits as f64 / lookups as f64
+                        } else {
+                            0.0
+                        },
+                    ),
+            )
+            .with(
+                "rejected",
+                Json::object()
+                    .with("queue_full", m.rejected_queue_full)
+                    .with("malformed", m.malformed)
+                    .with("oversized", m.oversized),
+            )
+            .with("classes", classes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn snapshot_has_the_documented_schema() {
+        let m = Metrics::new();
+        m.cache_miss();
+        m.dispatched_batch(Class::Edit, 3);
+        m.completed(Class::Edit, true, Duration::from_millis(2));
+        m.cache_hit(Class::Edit);
+        let doc = m.to_json(5);
+        assert_eq!(json::as_i64(json::get(&doc, "served").unwrap()), Some(2));
+        assert_eq!(
+            json::as_i64(json::get(&doc, "queue_depth").unwrap()),
+            Some(5)
+        );
+        let hist = json::get(&doc, "batch_size_histogram").unwrap();
+        assert_eq!(json::as_i64(json::get(hist, "3_4").unwrap()), Some(1));
+        let cache = json::get(&doc, "cache").unwrap();
+        assert_eq!(json::as_i64(json::get(cache, "hits").unwrap()), Some(1));
+        let classes = json::get(&doc, "classes").unwrap();
+        let edit = json::get(classes, "edit").unwrap();
+        assert_eq!(json::as_i64(json::get(edit, "requests").unwrap()), Some(2));
+        assert_eq!(json::as_i64(json::get(edit, "batches").unwrap()), Some(1));
+    }
+
+    #[test]
+    fn histogram_buckets_cover_all_sizes() {
+        let m = Metrics::new();
+        for size in [1, 2, 3, 4, 5, 8, 9, 16, 17, 100] {
+            m.dispatched_batch(Class::Matmul, size);
+        }
+        let doc = m.to_json(0);
+        let hist = json::get(&doc, "batch_size_histogram").unwrap();
+        let total: i64 = ["1", "2", "3_4", "5_8", "9_16", "17_plus"]
+            .iter()
+            .map(|k| json::as_i64(json::get(hist, k).unwrap()).unwrap())
+            .sum();
+        assert_eq!(total, 10);
+        assert_eq!(m.max_coalesced(), 100);
+    }
+}

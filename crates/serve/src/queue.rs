@@ -1,0 +1,280 @@
+//! Admission queue with per-class dynamic batch coalescing.
+//!
+//! Requests are grouped into buckets keyed by `(class, shape_key)` —
+//! only uniform-shape instances can ride one pipelined array pass (the
+//! PR 3 batch entry points reject mixed shapes).  A bucket flushes when
+//! it reaches `max_batch` riders, when its oldest rider has waited
+//! `max_delay`, or when the server starts draining.  The delay window
+//! is the throughput/latency knob: paper Eq. 9 says array utilisation
+//! under pipelining is B/(B + fill/drain), so holding the window open a
+//! few milliseconds buys a larger B at a bounded latency cost.
+//!
+//! Backpressure is enforced at admission: beyond `max_queue` queued
+//! requests `submit` returns [`SdpError::QueueFull`] instead of growing
+//! without bound, and after [`Queue::start_drain`] it returns
+//! [`SdpError::ShuttingDown`].  The dispatcher thread calls
+//! [`Queue::next_batches`] in a loop; `None` means the queue drained
+//! and the server may exit.
+
+use crate::protocol::Body;
+use crate::protocol::Class;
+use sdp_fault::SdpError;
+use sdp_par::lock_recover;
+use sdp_trace::json::Json;
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Coalescing and backpressure knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct QueueConfig {
+    /// Admission limit: queued (not yet dispatched) requests.
+    pub max_queue: usize,
+    /// Flush a bucket as soon as it holds this many requests.
+    pub max_batch: usize,
+    /// Flush a bucket when its oldest rider has waited this long.
+    pub max_delay: Duration,
+}
+
+impl Default for QueueConfig {
+    fn default() -> QueueConfig {
+        QueueConfig {
+            max_queue: 1024,
+            max_batch: 16,
+            max_delay: Duration::from_millis(5),
+        }
+    }
+}
+
+/// What the dispatcher sends back to the connection thread.
+#[derive(Debug)]
+pub struct JobResponse {
+    /// Engine result or typed failure.
+    pub result: Result<Json, SdpError>,
+    /// Size of the coalesced batch this job rode in.
+    pub batch: usize,
+}
+
+/// One admitted compute request.
+#[derive(Debug)]
+pub struct Job {
+    /// Decoded problem.
+    pub body: Body,
+    /// Canonical cache key (already probed and missed).
+    pub cache_key: Vec<u8>,
+    /// Reply channel to the owning connection thread.
+    pub tx: mpsc::Sender<JobResponse>,
+    /// Admission time, for latency metrics.
+    pub enqueued: Instant,
+}
+
+struct Bucket {
+    jobs: Vec<Job>,
+    opened: Instant,
+}
+
+struct Inner {
+    buckets: HashMap<(Class, u64), Bucket>,
+    depth: usize,
+    draining: bool,
+}
+
+/// The shared admission queue.
+pub struct Queue {
+    cfg: QueueConfig,
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+impl Queue {
+    /// An empty queue with the given knobs.
+    pub fn new(cfg: QueueConfig) -> Queue {
+        Queue {
+            cfg,
+            inner: Mutex::new(Inner {
+                buckets: HashMap::new(),
+                depth: 0,
+                draining: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Queued-but-not-dispatched request count.
+    pub fn depth(&self) -> usize {
+        lock_recover(&self.inner).depth
+    }
+
+    /// Admits a job, or rejects it with a typed backpressure error.
+    pub fn submit(&self, job: Job) -> Result<(), SdpError> {
+        let class = job.body.class();
+        let shape = job.body.shape_key();
+        let mut q = lock_recover(&self.inner);
+        if q.draining {
+            return Err(SdpError::ShuttingDown);
+        }
+        if q.depth >= self.cfg.max_queue {
+            return Err(SdpError::QueueFull { depth: q.depth });
+        }
+        q.depth += 1;
+        q.buckets
+            .entry((class, shape))
+            .or_insert_with(|| Bucket {
+                jobs: Vec::new(),
+                opened: Instant::now(),
+            })
+            .jobs
+            .push(job);
+        drop(q);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Stops admitting work and wakes the dispatcher so remaining
+    /// buckets flush immediately.
+    pub fn start_drain(&self) {
+        lock_recover(&self.inner).draining = true;
+        self.cv.notify_all();
+    }
+
+    /// Blocks until at least one bucket is ready, then removes and
+    /// returns all ready buckets.  Returns `None` once the queue is
+    /// draining and empty.
+    pub fn next_batches(&self) -> Option<Vec<(Class, Vec<Job>)>> {
+        let mut q = lock_recover(&self.inner);
+        loop {
+            let now = Instant::now();
+            let mut next_deadline: Option<Instant> = None;
+            let mut ready_keys = Vec::new();
+            for (&key, bucket) in &q.buckets {
+                let deadline = bucket.opened + self.cfg.max_delay;
+                if q.draining || bucket.jobs.len() >= self.cfg.max_batch || deadline <= now {
+                    ready_keys.push(key);
+                } else {
+                    next_deadline =
+                        Some(next_deadline.map_or(deadline, |d: Instant| d.min(deadline)));
+                }
+            }
+            if !ready_keys.is_empty() {
+                // Deterministic flush order regardless of map iteration.
+                ready_keys.sort_by_key(|&(class, shape)| (class.index(), shape));
+                let mut out = Vec::with_capacity(ready_keys.len());
+                for key in ready_keys {
+                    let bucket = q.buckets.remove(&key).expect("key just seen");
+                    q.depth -= bucket.jobs.len();
+                    out.push((key.0, bucket.jobs));
+                }
+                return Some(out);
+            }
+            if q.draining {
+                return None;
+            }
+            let timeout = next_deadline
+                .map(|d| d.saturating_duration_since(now))
+                .unwrap_or(self.cfg.max_delay);
+            let (guard, _) = self
+                .cv
+                .wait_timeout(q, timeout)
+                .unwrap_or_else(|e| e.into_inner());
+            q = guard;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(a: &str, b: &str) -> (Job, mpsc::Receiver<JobResponse>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Job {
+                body: Body::Edit {
+                    a: a.as_bytes().to_vec(),
+                    b: b.as_bytes().to_vec(),
+                },
+                cache_key: Vec::new(),
+                tx,
+                enqueued: Instant::now(),
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn full_bucket_flushes_without_waiting_for_the_delay_window() {
+        let q = Queue::new(QueueConfig {
+            max_queue: 64,
+            max_batch: 2,
+            max_delay: Duration::from_secs(3600),
+        });
+        let (j1, _r1) = job("ab", "cd");
+        let (j2, _r2) = job("xy", "zw");
+        q.submit(j1).unwrap();
+        q.submit(j2).unwrap();
+        let batches = q.next_batches().expect("not draining");
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].1.len(), 2, "same shape coalesced");
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn expired_bucket_flushes_even_when_not_full() {
+        let q = Queue::new(QueueConfig {
+            max_queue: 64,
+            max_batch: 100,
+            max_delay: Duration::from_millis(1),
+        });
+        let (j, _r) = job("ab", "cd");
+        q.submit(j).unwrap();
+        let batches = q.next_batches().expect("not draining");
+        assert_eq!(batches[0].1.len(), 1);
+    }
+
+    #[test]
+    fn different_shapes_land_in_different_buckets() {
+        let q = Queue::new(QueueConfig {
+            max_queue: 64,
+            max_batch: 2,
+            max_delay: Duration::from_millis(1),
+        });
+        let (j1, _r1) = job("ab", "cd");
+        let (j2, _r2) = job("abc", "cd");
+        q.submit(j1).unwrap();
+        q.submit(j2).unwrap();
+        let batches = q.next_batches().expect("not draining");
+        assert_eq!(batches.len(), 2);
+        assert!(batches.iter().all(|(_, jobs)| jobs.len() == 1));
+    }
+
+    #[test]
+    fn overfull_queue_rejects_with_typed_error() {
+        let q = Queue::new(QueueConfig {
+            max_queue: 1,
+            max_batch: 16,
+            max_delay: Duration::from_secs(3600),
+        });
+        let (j1, _r1) = job("ab", "cd");
+        let (j2, _r2) = job("ef", "gh");
+        q.submit(j1).unwrap();
+        assert_eq!(q.submit(j2).unwrap_err(), SdpError::QueueFull { depth: 1 });
+    }
+
+    #[test]
+    fn drain_flushes_leftovers_then_returns_none() {
+        let q = Queue::new(QueueConfig {
+            max_queue: 64,
+            max_batch: 100,
+            max_delay: Duration::from_secs(3600),
+        });
+        let (j, _r) = job("ab", "cd");
+        q.submit(j).unwrap();
+        q.start_drain();
+        let batches = q.next_batches().expect("leftovers flush on drain");
+        assert_eq!(batches[0].1.len(), 1);
+        assert!(q.next_batches().is_none(), "drained queue signals exit");
+        let (j2, _r2) = job("ab", "cd");
+        assert_eq!(q.submit(j2).unwrap_err(), SdpError::ShuttingDown);
+    }
+}

@@ -1,0 +1,358 @@
+//! The TCP request server: accept loop, connection threads, and the
+//! batch dispatcher.
+//!
+//! Threading model: one acceptor thread, one detached thread per
+//! connection, and one dispatcher thread that pulls coalesced buckets
+//! off the [`Queue`](crate::queue::Queue) and fans them out over a
+//! [`StealPool`].  Connection threads never run engines — they decode,
+//! probe the cache, enqueue, and block on a per-request reply channel,
+//! so a slow simulation on one connection cannot stall another
+//! connection's protocol handling.
+//!
+//! The panic contract: every failure path a client can trigger —
+//! malformed JSON, oversized lines, invalid problems, engine panics,
+//! backpressure, shutdown — produces a typed
+//! [`SdpError`](sdp_fault::SdpError) response line.  A panic inside an
+//! engine is caught at the bucket boundary and surfaces as
+//! `task_panicked` for every rider of that bucket; the server itself
+//! keeps running.
+
+use crate::cache::LruCache;
+use crate::engine;
+use crate::metrics::Metrics;
+use crate::protocol::{self, Request};
+use crate::queue::{Job, JobResponse, Queue, QueueConfig};
+use crate::{json, Config};
+use sdp_fault::SdpError;
+use sdp_par::{lock_recover, StealPool};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+struct Shared {
+    cfg: Config,
+    addr: SocketAddr,
+    queue: Queue,
+    cache: Mutex<LruCache>,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Idempotent shutdown trigger: stop admissions, flush leftovers,
+    /// and wake the acceptor with a loopback dial.
+    fn begin_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.queue.start_drain();
+        // accept() has no timeout; an empty connection unblocks it so
+        // the acceptor can observe the flag and exit.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A running server; dropping the handle does *not* stop it — call
+/// [`ServerHandle::shutdown`] for a graceful drain.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Largest coalesced batch dispatched so far (test/experiment hook).
+    pub fn max_coalesced(&self) -> u64 {
+        self.shared.metrics.max_coalesced()
+    }
+
+    /// Cache hits so far (test/experiment hook).
+    pub fn cache_hits(&self) -> u64 {
+        self.shared.metrics.cache_hits()
+    }
+
+    /// Blocks until a client-initiated `shutdown` request drains the
+    /// server, then joins the threads (the `sdp-serve` binary's main).
+    pub fn shutdown_on_request(mut self) {
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Stops admitting requests, flushes every queued bucket, waits for
+    /// in-flight work, and joins the server threads.
+    pub fn shutdown(mut self) {
+        self.shared.begin_shutdown();
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Binds `cfg.addr` and starts the acceptor and dispatcher threads.
+pub fn serve(cfg: Config) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let queue_cfg = QueueConfig {
+        max_queue: cfg.max_queue,
+        max_batch: cfg.max_batch,
+        max_delay: cfg.max_delay,
+    };
+    let shared = Arc::new(Shared {
+        addr,
+        queue: Queue::new(queue_cfg),
+        cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
+        metrics: Metrics::new(),
+        shutdown: AtomicBool::new(false),
+        cfg,
+    });
+
+    let dispatcher = {
+        let shared = Arc::clone(&shared);
+        thread::Builder::new()
+            .name("sdp-serve-dispatch".into())
+            .spawn(move || dispatch_loop(&shared))?
+    };
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        thread::Builder::new()
+            .name("sdp-serve-accept".into())
+            .spawn(move || accept_loop(listener, shared))?
+    };
+    Ok(ServerHandle {
+        addr,
+        shared,
+        acceptor: Some(acceptor),
+        dispatcher: Some(dispatcher),
+    })
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(&shared);
+        // Detached: a connection that lingers past shutdown gets typed
+        // shutting_down responses until the client closes it.
+        let _ = thread::Builder::new()
+            .name("sdp-serve-conn".into())
+            .spawn(move || handle_connection(stream, &shared));
+    }
+}
+
+fn dispatch_loop(shared: &Arc<Shared>) {
+    let pool = StealPool::new(shared.cfg.workers);
+    while let Some(batches) = shared.queue.next_batches() {
+        let tasks: Vec<_> = batches
+            .into_iter()
+            .map(|(class, jobs)| {
+                let shared = Arc::clone(shared);
+                move || {
+                    let bodies: Vec<_> = jobs.iter().map(|j| j.body.clone()).collect();
+                    let size = jobs.len();
+                    shared.metrics.dispatched_batch(class, size);
+                    let results =
+                        catch_unwind(AssertUnwindSafe(|| engine::run_bucket(class, &bodies)))
+                            .unwrap_or_else(|_| {
+                                jobs.iter()
+                                    .map(|_| {
+                                        Err(SdpError::TaskPanicked {
+                                            task: 0,
+                                            attempts: 1,
+                                        })
+                                    })
+                                    .collect()
+                            });
+                    for (job, result) in jobs.into_iter().zip(results) {
+                        let ok = result.is_ok();
+                        if let Ok(payload) = &result {
+                            lock_recover(&shared.cache).insert(job.cache_key, payload.clone());
+                        }
+                        shared.metrics.completed(class, ok, job.enqueued.elapsed());
+                        // A dropped receiver means the client hung up
+                        // mid-request; the work is simply discarded.
+                        let _ = job.tx.send(JobResponse {
+                            result,
+                            batch: size,
+                        });
+                    }
+                }
+            })
+            .collect();
+        pool.run(tasks);
+    }
+}
+
+/// Reads one newline-terminated request line, enforcing the byte limit
+/// without trusting the client to ever send a newline.  Returns
+/// `Ok(None)` on clean EOF, `Err(bytes_read)` when the line exceeded
+/// the limit (the rest of the line is drained so the connection can
+/// continue).
+fn read_line_capped(
+    reader: &mut BufReader<TcpStream>,
+    limit: usize,
+) -> std::io::Result<Result<Option<String>, usize>> {
+    let mut buf = Vec::new();
+    let n = reader
+        .by_ref()
+        .take(limit as u64 + 1)
+        .read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(Ok(None));
+    }
+    if n > limit || (n == limit + 1 && buf.last() != Some(&b'\n')) {
+        // Drain the oversized line chunk-wise so the next request can
+        // be parsed from a clean boundary.
+        let mut total = n;
+        if buf.last() != Some(&b'\n') {
+            let mut chunk = [0u8; 4096];
+            'drain: loop {
+                let read = reader.read(&mut chunk)?;
+                if read == 0 {
+                    break;
+                }
+                total += read;
+                if chunk[..read].contains(&b'\n') {
+                    break 'drain;
+                }
+            }
+        }
+        return Ok(Err(total));
+    }
+    if buf.last() == Some(&b'\n') {
+        buf.pop();
+        if buf.last() == Some(&b'\r') {
+            buf.pop();
+        }
+    }
+    Ok(Ok(Some(String::from_utf8_lossy(&buf).into_owned())))
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = write_half;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let line = match read_line_capped(&mut reader, shared.cfg.max_request_bytes) {
+            Ok(Ok(Some(line))) => line,
+            // Clean EOF or a mid-request disconnect: either way the
+            // client is gone; drop the connection, never the server.
+            Ok(Ok(None)) | Err(_) => return,
+            Ok(Err(bytes)) => {
+                shared.metrics.oversized();
+                let e = SdpError::PayloadTooLarge {
+                    bytes,
+                    limit: shared.cfg.max_request_bytes,
+                };
+                if respond(&mut writer, &protocol::error_response(0, &e)).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = handle_line(&line, shared);
+        if respond(&mut writer, &reply).is_err() {
+            return;
+        }
+    }
+}
+
+fn respond(writer: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+fn handle_line(line: &str, shared: &Shared) -> String {
+    let doc = match json::parse(line) {
+        Ok(doc) => doc,
+        Err(reason) => {
+            shared.metrics.malformed();
+            return protocol::error_response(0, &SdpError::MalformedRequest { reason });
+        }
+    };
+    let request = match protocol::decode(&doc) {
+        Ok(r) => r,
+        Err(e) => {
+            shared.metrics.malformed();
+            let id = json::get(&doc, "id").and_then(json::as_i64).unwrap_or(0);
+            return protocol::error_response(id, &e);
+        }
+    };
+    match request {
+        Request::Metrics { id } => {
+            let snapshot = shared.metrics.to_json(shared.queue.depth());
+            protocol::ok_response(id, snapshot, false, 0)
+        }
+        Request::Shutdown { id } => {
+            let reply = protocol::ok_response(id, Json::object().with("draining", true), false, 0);
+            shared.begin_shutdown();
+            reply
+        }
+        Request::Compute { id, body } => handle_compute(id, body, shared),
+    }
+}
+
+use sdp_trace::json::Json;
+
+fn handle_compute(id: i64, body: crate::protocol::Body, shared: &Shared) -> String {
+    let class = body.class();
+    let key = body.canonical_key();
+    if let Some(payload) = lock_recover(&shared.cache).get(&key) {
+        shared.metrics.cache_hit(class);
+        return protocol::ok_response(id, payload, true, 0);
+    }
+    shared.metrics.cache_miss();
+    let (tx, rx) = mpsc::channel();
+    let job = Job {
+        body,
+        cache_key: key,
+        tx,
+        enqueued: Instant::now(),
+    };
+    if let Err(e) = shared.queue.submit(job) {
+        if matches!(e, SdpError::QueueFull { .. }) {
+            shared.metrics.rejected_queue_full();
+        }
+        return protocol::error_response(id, &e);
+    }
+    match rx.recv() {
+        Ok(JobResponse {
+            result: Ok(payload),
+            batch,
+        }) => protocol::ok_response(id, payload, false, batch),
+        Ok(JobResponse { result: Err(e), .. }) => protocol::error_response(id, &e),
+        // The dispatcher dropped the sender without replying — only
+        // possible if it died; still answer with a typed error.
+        Err(_) => protocol::error_response(
+            id,
+            &SdpError::TaskPanicked {
+                task: 0,
+                attempts: 1,
+            },
+        ),
+    }
+}

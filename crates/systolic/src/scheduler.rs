@@ -322,7 +322,21 @@ impl DagScheduler {
             // (ties: smaller index), on the earliest-free worker.
             ready.sort_by(|&a, &b| level[b].cmp(&level[a]).then(a.cmp(&b)));
             let t = ready.remove(0);
-            let w = (0..k).min_by_key(|&w| worker_free[w]).unwrap();
+            // `worker_free` has `k ≥ 1` entries (checked on entry), so
+            // the fold always yields a worker; unlike the old
+            // `(0..k).min_by_key(..).unwrap()`, a `k = 0` call can no
+            // longer reach a panic — it was already rejected above as a
+            // typed `BadParameter` error.
+            let w = worker_free
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &free)| free)
+                .map(|(w, _)| w)
+                .ok_or(SdpError::BadParameter {
+                    name: "workers",
+                    got: 0,
+                    min: 1,
+                })?;
             let s = worker_free[w].max(ready_at[t]);
             start[t] = s;
             worker[t] = w;
@@ -599,6 +613,54 @@ mod tests {
         assert_eq!(trace.spans[1].ts, s.start[1]);
         assert_eq!(trace.spans[1].dur, 3);
         assert_eq!(trace.spans[1].tid, s.worker[1] as u32);
+    }
+
+    #[test]
+    fn dag_zero_workers_is_a_typed_error_not_a_panic() {
+        let tasks = vec![
+            DagTask {
+                duration: 2,
+                deps: vec![],
+            },
+            DagTask {
+                duration: 3,
+                deps: vec![0],
+            },
+        ];
+        // Regression: this used to reach `(0..0).min_by_key(..).unwrap()`
+        // when the guard was bypassed; the typed path must reject k = 0
+        // before any scheduling work happens.
+        assert_eq!(
+            DagScheduler.try_schedule(&tasks, 0),
+            Err(SdpError::BadParameter {
+                name: "workers",
+                got: 0,
+                min: 1,
+            })
+        );
+        // An empty task list with zero workers is rejected the same way
+        // (parameter validation precedes the empty-DAG fast path).
+        assert!(DagScheduler.try_schedule(&[], 0).is_err());
+    }
+
+    #[test]
+    fn tree_zero_arrays_is_a_typed_error_not_a_panic() {
+        assert_eq!(TreeScheduler.try_simulate(8, 0), Err(SdpError::NoArrays));
+        assert_eq!(TreeScheduler.try_simulate(0, 4), Err(SdpError::NoMatrices));
+        assert_eq!(try_eq29_time(8, 0), Err(SdpError::NoArrays));
+    }
+
+    #[test]
+    fn zero_task_schedule_renders_an_empty_chrome_trace() {
+        // n = 1 means zero multiply tasks: the trace must be empty and
+        // still renderable — callers must not assume `spans.last()` is
+        // Some (the companion test above only unwraps it for n > 1).
+        let s = TreeScheduler.simulate(1, 3);
+        assert_eq!(s.total_tasks(), 0);
+        let trace = s.to_chrome_trace();
+        assert!(trace.spans.is_empty());
+        assert!(trace.spans.last().is_none());
+        assert!(trace.render().starts_with("{\"traceEvents\":["));
     }
 
     #[test]
