@@ -1,14 +1,15 @@
 //! Regenerates every table and figure of Wah & Li (1985).
 //!
 //! ```text
-//! experiments [all|e1|e2|e3|fig6|prop1|thm1|thm2|prop2|prop3|eq40|table1|e12..e20|degradation|throughput|serve] [--json]
+//! experiments [all|e1|e2|e3|fig6|prop1|thm1|thm2|prop2|prop3|eq40|table1|e12..e20|degradation|throughput|serve|observe] [--json]
 //! ```
 //!
 //! With `--json` the selected experiments are emitted as a single JSON
 //! document on stdout (metrics only, no tables); `all --json`
 //! additionally writes the document to `BENCH_pr1.json` in the current
 //! directory for regression tracking, `throughput --json` (E22) writes
-//! `BENCH_pr3.json`, and `serve --json` (E24) writes `BENCH_pr5.json`.
+//! `BENCH_pr3.json`, `serve --json` (E24) writes `BENCH_pr5.json`, and
+//! `observe --json` (E25) writes `BENCH_pr6.json`.
 
 use sdp_bench::experiments as ex;
 use sdp_bench::{reports_to_json, Report};
@@ -49,11 +50,14 @@ fn main() {
         "throughput-quick" => vec![ex::report_throughput_quick()],
         "e24" | "serve" => vec![ex::report_e24()],
         "serve-quick" => vec![ex::report_e24_quick()],
+        "e25" | "observe" => vec![ex::report_e25()],
+        "observe-quick" => vec![ex::report_e25_quick()],
         other => {
             eprintln!(
                 "unknown experiment '{other}'; expected one of: all e1 e2 e3 fig6 \
                  prop1 thm1 thm2 prop2 prop3 eq40 table1 e12..e20 degradation \
-                 throughput throughput-quick serve serve-quick [--json]"
+                 throughput throughput-quick serve serve-quick observe \
+                 observe-quick [--json]"
             );
             std::process::exit(2);
         }
@@ -74,6 +78,11 @@ fn main() {
         if which == "e24" || which == "serve" {
             if let Err(e) = std::fs::write("BENCH_pr5.json", format!("{doc}\n")) {
                 eprintln!("warning: could not write BENCH_pr5.json: {e}");
+            }
+        }
+        if which == "e25" || which == "observe" {
+            if let Err(e) = std::fs::write("BENCH_pr6.json", format!("{doc}\n")) {
+                eprintln!("warning: could not write BENCH_pr6.json: {e}");
             }
         }
     } else {

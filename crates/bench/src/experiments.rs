@@ -1574,6 +1574,183 @@ fn report_e24_sized(clients: usize, reqs_per_client: usize, delay_ms: u64) -> Re
     report
 }
 
+/// E25 (observability): drives the same mixed-class traffic as E24 but
+/// reports where the time went — the per-phase request-span breakdown
+/// (coalesce / queue / engine / respond), the steal-pool worker lanes,
+/// and the Prometheus text exposition's series census — all read from
+/// the server's lock-free `sdp-metrics` pipeline.
+pub fn report_e25() -> Report {
+    report_e25_sized(8, 40, 10)
+}
+
+/// [`report_e25`] shrunk for the CI smoke job; identical schema.
+pub fn report_e25_quick() -> Report {
+    report_e25_sized(4, 8, 8)
+}
+
+fn report_e25_sized(clients: usize, reqs_per_client: usize, delay_ms: u64) -> Report {
+    use sdp_semiring::{Matrix, MinPlus};
+    use sdp_serve::client::{self, Client};
+    use sdp_serve::metrics::PHASES;
+    use sdp_serve::{json as sjson, Config};
+    use std::time::Instant;
+
+    // The E24 working set: 8 problems over four engine classes, every
+    // request succeeding, so the span pipeline sees the full coalesce /
+    // queue / engine / respond path on every class.
+    let mat =
+        |vals: &[i64]| Matrix::from_rows(2, 2, vals.iter().map(|&v| MinPlus::from(v)).collect());
+    let (ma, mb) = (mat(&[1, 5, 2, 0]), mat(&[3, 1, 4, 1]));
+    let (mc, md) = (mat(&[0, 9, 7, 2]), mat(&[1, 1, 6, 0]));
+    let request_line = |id: i64, slot: usize| -> String {
+        match slot % 8 {
+            0 => client::edit_request(id, "kitten", "sitting"),
+            1 => client::edit_request(id, "saturn", "urbane"),
+            2 => client::chain_request(id, &[10, 20, 50, 1, 30]),
+            3 => client::chain_request(id, &[5, 40, 3, 12, 20]),
+            4 => client::bst_request(id, &[3, 1, 4, 1, 5]),
+            5 => client::bst_request(id, &[2, 7, 1, 8, 2]),
+            6 => client::matmul_request(id, &ma, &mb),
+            _ => client::matmul_request(id, &mc, &md),
+        }
+    };
+
+    let handle = sdp_serve::serve(Config {
+        max_delay: std::time::Duration::from_millis(delay_ms),
+        workers: 4,
+        // Caching off: every request must traverse the whole span
+        // pipeline, so the phase sample counts are deterministic.
+        cache_capacity: 0,
+        ..Config::default()
+    })
+    .expect("serve bind");
+    let addr = handle.addr();
+
+    let t0 = Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|c| {
+            let lines: Vec<String> = (0..reqs_per_client)
+                .map(|r| request_line((c * reqs_per_client + r) as i64, c + r))
+                .collect();
+            std::thread::spawn(move || {
+                let mut cl = Client::connect(addr).expect("connect");
+                for line in &lines {
+                    let resp = cl.call_raw(line).expect("call");
+                    assert!(resp.ok, "E25 request failed: {:?}", resp.error_message);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread");
+    }
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let total = (clients * reqs_per_client) as u64;
+    let req_per_s = total as f64 / (wall_ms / 1e3);
+
+    let mut cl = Client::connect(addr).expect("connect");
+    let snapshot = cl
+        .metrics()
+        .expect("metrics call")
+        .result
+        .expect("metrics payload");
+    let exposition = cl.metrics_text().expect("metrics_text call");
+    let text = sjson::get(exposition.result.as_ref().expect("payload"), "text")
+        .and_then(sjson::as_str)
+        .expect("prometheus text")
+        .to_string();
+    // The series census is deterministic: the registry is fully wired
+    // at server start (7 classes x fixed families + 4 worker lanes),
+    // so a drifting line count means a schema change.
+    let series_lines = text.lines().filter(|l| !l.starts_with('#')).count() as u64;
+    handle.shutdown();
+
+    // Aggregate the per-class phase histograms into one breakdown.
+    let classes = sjson::get(&snapshot, "classes").expect("classes");
+    let mut phase_doc = Json::object();
+    let mut rows_text: Vec<(String, f64, u64)> = Vec::new();
+    for phase in PHASES {
+        let (mut total_ms, mut samples) = (0.0f64, 0u64);
+        for class in ["edit", "chain", "bst", "matmul"] {
+            let p = sjson::get(classes, class)
+                .and_then(|c| sjson::get(c, "phases"))
+                .and_then(|ps| sjson::get(ps, phase))
+                .expect("phase document");
+            total_ms += sjson::get(p, "total_ms")
+                .and_then(sjson::as_f64)
+                .unwrap_or(0.0);
+            samples += sjson::get(p, "samples")
+                .and_then(sjson::as_i64)
+                .unwrap_or(0) as u64;
+        }
+        phase_doc = phase_doc.with(
+            phase,
+            Json::object()
+                .with("total_ms", total_ms)
+                .with("samples", samples),
+        );
+        rows_text.push((phase.to_string(), total_ms, samples));
+    }
+
+    let pool = sjson::get(&snapshot, "pool").expect("pool");
+    let lane_sum = |lane: &str| -> i64 {
+        sjson::get(pool, lane)
+            .and_then(sjson::as_array)
+            .map(|ws| ws.iter().filter_map(sjson::as_i64).sum())
+            .unwrap_or(0)
+    };
+
+    let mut report = Report::new(
+        "e25",
+        format!(
+            "E25 (observability): request-span phase breakdown under load, {clients} clients x \
+             {reqs_per_client} mixed-class requests, coalescing window {delay_ms} ms,\n\
+             cache off so every request spans all four phases"
+        ),
+    );
+    report.headers = vec!["section", "case", "value", "detail"];
+    for (phase, total_ms, samples) in &rows_text {
+        report.rows.push(vec![
+            "phase".into(),
+            phase.clone(),
+            format!("{total_ms:.2} ms"),
+            format!("{samples} samples"),
+        ]);
+    }
+    report.rows.push(vec![
+        "pool".into(),
+        "tasks".into(),
+        format!("{}", lane_sum("ran") + lane_sum("stolen")),
+        format!(
+            "{} run directly, {} stolen",
+            lane_sum("ran"),
+            lane_sum("stolen")
+        ),
+    ]);
+    report.rows.push(vec![
+        "exporter".into(),
+        "prometheus".into(),
+        format!("{series_lines}"),
+        "non-comment exposition lines".into(),
+    ]);
+    report.notes = vec![
+        "phase sample counts are deterministic (cache off: every request is spanned);\n\
+         ms totals and the ran/stolen split depend on thread timing."
+            .into(),
+    ];
+    report.metrics = Json::object()
+        .with("clients", clients as u64)
+        .with("requests_per_client", reqs_per_client as u64)
+        .with("total_requests", total)
+        .with("delay_window_ms", delay_ms as f64)
+        .with("wall_ms", wall_ms)
+        .with("req_per_s", req_per_s)
+        .with("phase_breakdown", phase_doc)
+        .with("prometheus_series_lines", series_lines)
+        .with("server", snapshot);
+    report
+}
+
 /// Builds every experiment report in order.
 pub fn report_all() -> Vec<Report> {
     vec![

@@ -1,0 +1,206 @@
+//! Golden-file and exposition-parse tests for the E25 observability
+//! experiment.
+//!
+//! E25 runs live traffic, so the golden is redacted the same way as the
+//! E24 one (wall-clock and load-dependent fields nulled).  What stays
+//! byte-compared is the *schema* of the span pipeline — the
+//! phase-breakdown document, the per-class phase histograms, the pool
+//! lanes — plus the deterministic accounting: with the cache off every
+//! request traverses all four phases, so the phase sample counts equal
+//! the traffic exactly.  Regenerate after an intentional schema change:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test -p sdp-bench --test observe_golden
+//! ```
+
+mod support;
+
+use sdp_bench::experiments::report_e25_quick;
+use sdp_bench::reports_to_json;
+use sdp_trace::json::Json;
+
+fn get(doc: &Json, path: &[&str]) -> Json {
+    let mut cur = doc.clone();
+    for name in path {
+        let Json::Object(fields) = cur else {
+            panic!("{path:?}: expected object at {name}");
+        };
+        cur = fields
+            .into_iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("{path:?}: missing field {name}"));
+    }
+    cur
+}
+
+fn get_i64(doc: &Json, path: &[&str]) -> i64 {
+    match get(doc, path) {
+        Json::Int(i) => i,
+        other => panic!("{path:?}: non-int leaf {other:?}"),
+    }
+}
+
+#[test]
+fn observe_schema_matches_golden() {
+    let mut doc = reports_to_json(&[report_e25_quick()]);
+    support::redact_load_dependent(&mut doc);
+    let rendered = format!("{}\n", doc.render());
+    support::check_golden(
+        "observe.json",
+        &rendered,
+        include_str!("golden/observe.json"),
+    );
+}
+
+#[test]
+fn every_request_is_spanned_through_all_four_phases() {
+    // 4 clients x 8 requests with the cache off: nothing short-circuits,
+    // so each phase histogram across the four active classes holds
+    // exactly one sample per request.
+    let report = report_e25_quick();
+    let m = &report.metrics;
+    assert_eq!(get_i64(m, &["total_requests"]), 32);
+    for phase in ["coalesce", "queue", "engine", "respond"] {
+        assert_eq!(
+            get_i64(m, &["phase_breakdown", phase, "samples"]),
+            32,
+            "phase {phase} lost or double-counted spans"
+        );
+    }
+    // Caching is off, so the snapshot must agree.
+    assert_eq!(get_i64(m, &["server", "cache", "hits"]), 0);
+    assert_eq!(get_i64(m, &["server", "served"]), 32);
+    // The slowest-requests ring is fed from the same spans.
+    let Json::Array(slowest) = get(m, &["server", "slowest"]) else {
+        panic!("slowest must be an array");
+    };
+    assert!(!slowest.is_empty(), "slow ring saw no spans");
+    assert!(slowest.len() <= 8, "slow ring exceeded its capacity");
+}
+
+#[test]
+fn redaction_covers_every_wall_clock_field() {
+    // The golden convention: every wall-clock value lives in a field
+    // whose name contains `ms`.  If a new field ever leaks timing under
+    // a different name, the golden would flake on the next host — this
+    // test pins the convention itself by checking that after redaction
+    // no `ms`-named field holds a value and no float leaves survive
+    // anywhere (every float this schema emits is load-dependent).
+    fn assert_redacted(json: &Json, path: &str) {
+        match json {
+            Json::Object(fields) => {
+                for (k, v) in fields {
+                    let here = format!("{path}.{k}");
+                    if k.contains("ms") {
+                        assert_eq!(v, &Json::Null, "{here}: ms field survived redaction");
+                    } else {
+                        assert_redacted(v, &here);
+                    }
+                }
+            }
+            Json::Array(items) => {
+                for (i, v) in items.iter().enumerate() {
+                    assert_redacted(v, &format!("{path}[{i}]"));
+                }
+            }
+            Json::Float(f) => panic!("{path}: unredacted float {f} (host-dependent by convention)"),
+            _ => {}
+        }
+    }
+    let mut doc = reports_to_json(&[report_e25_quick()]);
+    support::redact_load_dependent(&mut doc);
+    assert_redacted(&doc, "");
+}
+
+#[test]
+fn prometheus_exposition_line_parses_cleanly() {
+    use sdp_serve::client::{self, Client};
+    use sdp_serve::{json as sjson, Config};
+
+    let handle = sdp_serve::serve(Config {
+        workers: 2,
+        ..Config::default()
+    })
+    .expect("serve bind");
+    let mut cl = Client::connect(handle.addr()).expect("connect");
+    let r = cl
+        .call_raw(&client::edit_request(1, "kitten", "sitting"))
+        .expect("edit call");
+    assert!(r.ok);
+    let resp = cl.metrics_text().expect("metrics_text call");
+    assert!(resp.ok);
+    let payload = resp.result.expect("payload");
+    assert_eq!(
+        sjson::get(&payload, "format").and_then(sjson::as_str),
+        Some("prometheus")
+    );
+    let text = sjson::get(&payload, "text")
+        .and_then(sjson::as_str)
+        .expect("text")
+        .to_string();
+    handle.shutdown();
+
+    // Parse every line: `# TYPE name kind` headers or
+    // `name{labels} value` samples.  Collect (name, labels) series keys
+    // and per-histogram bucket sequences.
+    let mut seen = std::collections::HashSet::new();
+    let mut buckets: Vec<(String, Vec<(f64, u64)>)> = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split(' ');
+            let (name, kind) = (it.next().unwrap_or(""), it.next().unwrap_or(""));
+            assert!(!name.is_empty(), "TYPE header without a name: {line}");
+            assert!(
+                ["counter", "gauge", "histogram"].contains(&kind),
+                "unknown kind in {line}"
+            );
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+            panic!("sample line without a value: {line}");
+        });
+        assert!(value.parse::<f64>().is_ok(), "unparseable value in {line}");
+        assert!(
+            seen.insert(series.to_string()),
+            "duplicate series: {series}"
+        );
+        // Histogram bucket lines: strip the le label to key the family.
+        if let Some((prefix, rest)) = series.split_once("le=\"") {
+            let le = rest.trim_end_matches(['"', '}', ',']).to_string();
+            let bound = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse::<f64>()
+                    .unwrap_or_else(|_| panic!("bad le in {line}"))
+            };
+            let family = prefix.trim_end_matches([',', '{']).to_string();
+            let cum: u64 = value.parse().expect("bucket counts are integers");
+            match buckets.iter_mut().find(|(f, _)| *f == family) {
+                Some((_, seq)) => seq.push((bound, cum)),
+                None => buckets.push((family, vec![(bound, cum)])),
+            }
+        }
+    }
+    assert!(!buckets.is_empty(), "no histogram series in the exposition");
+    for (family, seq) in &buckets {
+        for pair in seq.windows(2) {
+            assert!(
+                pair[0].0 < pair[1].0,
+                "{family}: bucket bounds not strictly increasing"
+            );
+            assert!(
+                pair[0].1 <= pair[1].1,
+                "{family}: cumulative counts decreased"
+            );
+        }
+        assert_eq!(
+            seq.last().map(|&(b, _)| b),
+            Some(f64::INFINITY),
+            "{family}: final bucket must be +Inf"
+        );
+    }
+}

@@ -45,7 +45,7 @@ pub fn redact(json: &mut Json) {
 /// their keys with nulled leaves, so the schema itself is still pinned.
 pub fn redact_load_dependent(json: &mut Json) {
     redact(json);
-    const LOAD_DEPENDENT: [&str; 8] = [
+    const LOAD_DEPENDENT: [&str; 9] = [
         "req_per_s",
         "coalesced",
         "cache_hits_seen",
@@ -54,6 +54,9 @@ pub fn redact_load_dependent(json: &mut Json) {
         "misses",
         "hit_rate",
         "batches",
+        // Histogram sample counts (phase/queue-wait documents) depend
+        // on how requests interleaved into batches.
+        "samples",
     ];
     fn null_leaves(json: &mut Json) {
         match json {
@@ -66,7 +69,15 @@ pub fn redact_load_dependent(json: &mut Json) {
         match json {
             Json::Object(fields) => {
                 for (k, v) in fields.iter_mut() {
-                    if names.iter().any(|n| k.contains(n)) || k == "batch_size_histogram" {
+                    if k == "slowest" {
+                        // The slowest-requests ring's *length* varies
+                        // with interleaving, so even its shape cannot
+                        // be pinned — null the whole array.
+                        *v = Json::Null;
+                    } else if names.iter().any(|n| k.contains(n))
+                        || k == "batch_size_histogram"
+                        || k == "pool"
+                    {
                         null_leaves(v);
                     } else {
                         walk(v, names);

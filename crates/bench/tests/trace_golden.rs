@@ -1,0 +1,79 @@
+//! Golden-file test for the server's per-request Chrome trace export.
+//!
+//! A single compute request against a `Config { trace: true }` server
+//! produces exactly four trace slices — one per span phase, laid
+//! back-to-back on the engine class's lane — plus nothing else, so the
+//! trace *structure* is fully deterministic.  Only the `ts`/`dur`
+//! values are wall-clock; they are nulled before the byte comparison.
+//! Regenerate after an intentional schema change:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test -p sdp-bench --test trace_golden
+//! ```
+
+mod support;
+
+use sdp_serve::client::{self, Client};
+use sdp_serve::{json as sjson, Config};
+use sdp_trace::json::Json;
+
+/// Nulls the wall-clock event fields (`ts`, `dur`), keeping the event
+/// structure — names, categories, lanes, args — byte-comparable.
+fn redact_times(json: &mut Json) {
+    match json {
+        Json::Object(fields) => {
+            for (k, v) in fields.iter_mut() {
+                if k == "ts" || k == "dur" {
+                    *v = Json::Null;
+                } else {
+                    redact_times(v);
+                }
+            }
+        }
+        Json::Array(items) => items.iter_mut().for_each(redact_times),
+        _ => {}
+    }
+}
+
+#[test]
+fn single_request_trace_matches_golden() {
+    let mut handle = sdp_serve::serve(Config {
+        trace: true,
+        workers: 1,
+        ..Config::default()
+    })
+    .expect("serve bind");
+    let mut cl = Client::connect(handle.addr()).expect("connect");
+    let resp = cl
+        .call_raw(&client::edit_request(7, "kitten", "sitting"))
+        .expect("edit call");
+    assert!(resp.ok, "request failed: {:?}", resp.error_message);
+    // The span is finished (and traced) before the response line is
+    // written, so the trace is complete once the reply is in hand.
+    cl.shutdown().expect("shutdown call");
+    handle.wait();
+    let rendered = handle.trace_snapshot().expect("tracing was enabled");
+    let mut doc = sjson::parse(&rendered).expect("trace renders valid JSON");
+    redact_times(&mut doc);
+    let out = format!("{}\n", doc.render());
+    support::check_golden(
+        "trace_single.json",
+        &out,
+        include_str!("golden/trace_single.json"),
+    );
+}
+
+#[test]
+fn untraced_server_collects_nothing() {
+    let handle = sdp_serve::serve(Config::default()).expect("serve bind");
+    let mut cl = Client::connect(handle.addr()).expect("connect");
+    let resp = cl
+        .call_raw(&client::edit_request(1, "ab", "cd"))
+        .expect("edit call");
+    assert!(resp.ok);
+    assert!(
+        handle.trace_snapshot().is_none(),
+        "trace must be off by default"
+    );
+    handle.shutdown();
+}

@@ -1,0 +1,286 @@
+//! A named-metric registry with a Prometheus-style text exporter.
+//!
+//! Registration hands back plain `Arc` handles ([`Counter`], [`Gauge`],
+//! [`Histogram`]) and stores a second reference for export.  The
+//! registry's mutex is taken only while registering (server start-up)
+//! and while rendering (a `metrics_text` request) — **never** on the
+//! recording path, which operates on the returned handles directly.
+//! That split is the lock-freedom contract: once wiring is done, the
+//! registry could be dropped entirely and recording would still work.
+//!
+//! The exposition is deterministic: families render in first-
+//! registration order, entries within a family in registration order,
+//! and histogram buckets in ascending bound order with a final
+//! `le="+Inf"` line — so the text output is golden-testable and
+//! line-parseable (no duplicate series, monotone bounds).
+
+use crate::counter::{Counter, Gauge};
+use crate::hist::Histogram;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex, PoisonError};
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Entry {
+    labels: Vec<(String, String)>,
+    metric: Metric,
+}
+
+struct Family {
+    name: String,
+    entries: Vec<Entry>,
+}
+
+/// The metric registry: create-and-register handles, then render.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<Vec<Family>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let fams = self.families.lock().unwrap_or_else(PoisonError::into_inner);
+        f.debug_struct("Registry")
+            .field("families", &fams.len())
+            .finish()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn insert(&self, name: &str, labels: &[(&str, &str)], metric: Metric) {
+        let mut fams = self.families.lock().unwrap_or_else(PoisonError::into_inner);
+        let labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        if let Some(fam) = fams.iter_mut().find(|f| f.name == name) {
+            assert_eq!(
+                fam.entries[0].metric.kind(),
+                metric.kind(),
+                "metric family '{name}' registered with two kinds"
+            );
+            assert!(
+                !fam.entries.iter().any(|e| e.labels == labels),
+                "duplicate series: {name} {labels:?}"
+            );
+            fam.entries.push(Entry { labels, metric });
+        } else {
+            fams.push(Family {
+                name: name.to_string(),
+                entries: vec![Entry { labels, metric }],
+            });
+        }
+    }
+
+    /// Creates and registers a counter series.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let c = Arc::new(Counter::new());
+        self.insert(name, labels, Metric::Counter(Arc::clone(&c)));
+        c
+    }
+
+    /// Creates and registers a gauge series.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let g = Arc::new(Gauge::new());
+        self.register_gauge(name, labels, Arc::clone(&g));
+        g
+    }
+
+    /// Registers an externally created gauge (e.g. the admission
+    /// queue's depth gauge, which the queue owns).
+    pub fn register_gauge(&self, name: &str, labels: &[(&str, &str)], gauge: Arc<Gauge>) {
+        self.insert(name, labels, Metric::Gauge(gauge));
+    }
+
+    /// Creates and registers a histogram series with `buckets` log₂
+    /// buckets.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)], buckets: usize) -> Arc<Histogram> {
+        let h = Arc::new(Histogram::new(buckets));
+        self.insert(name, labels, Metric::Histogram(Arc::clone(&h)));
+        h
+    }
+
+    /// Renders the Prometheus text exposition (version 0.0.4 shape:
+    /// `# TYPE` headers, `name{labels} value` samples, cumulative
+    /// histogram buckets).
+    pub fn render_prometheus(&self) -> String {
+        let fams = self.families.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut out = String::new();
+        for fam in fams.iter() {
+            let kind = fam.entries[0].metric.kind();
+            let _ = writeln!(out, "# TYPE {} {}", fam.name, kind);
+            for entry in &fam.entries {
+                match &entry.metric {
+                    Metric::Counter(c) => {
+                        let _ = writeln!(
+                            out,
+                            "{}{} {}",
+                            fam.name,
+                            label_block(&entry.labels, None),
+                            c.get()
+                        );
+                    }
+                    Metric::Gauge(g) => {
+                        let _ = writeln!(
+                            out,
+                            "{}{} {}",
+                            fam.name,
+                            label_block(&entry.labels, None),
+                            g.get()
+                        );
+                    }
+                    Metric::Histogram(h) => {
+                        let snap = h.snapshot();
+                        let mut cum = 0u64;
+                        for (i, &c) in snap.counts.iter().enumerate() {
+                            cum += c;
+                            let le = match snap.bound(i) {
+                                Some(b) => b.to_string(),
+                                None => "+Inf".to_string(),
+                            };
+                            let _ = writeln!(
+                                out,
+                                "{}_bucket{} {}",
+                                fam.name,
+                                label_block(&entry.labels, Some(&le)),
+                                cum
+                            );
+                        }
+                        let _ = writeln!(
+                            out,
+                            "{}_sum{} {}",
+                            fam.name,
+                            label_block(&entry.labels, None),
+                            snap.sum
+                        );
+                        let _ = writeln!(
+                            out,
+                            "{}_count{} {}",
+                            fam.name,
+                            label_block(&entry.labels, None),
+                            snap.count
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Renders `{k="v",...}` (with `le` appended last when given), or an
+/// empty string for an unlabelled series.
+fn label_block(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_deterministic_exposition() {
+        let r = Registry::new();
+        let served = r.counter("sdp_served_total", &[]);
+        let depth = r.gauge("sdp_queue_depth", &[]);
+        let lat = r.histogram("sdp_latency_us", &[("class", "edit")], 4);
+        served.add(3);
+        depth.set(2);
+        lat.record(1);
+        lat.record(3);
+        lat.record(100);
+        let text = r.render_prometheus();
+        let expected = "\
+# TYPE sdp_served_total counter
+sdp_served_total 3
+# TYPE sdp_queue_depth gauge
+sdp_queue_depth 2
+# TYPE sdp_latency_us histogram
+sdp_latency_us_bucket{class=\"edit\",le=\"1\"} 1
+sdp_latency_us_bucket{class=\"edit\",le=\"2\"} 1
+sdp_latency_us_bucket{class=\"edit\",le=\"4\"} 2
+sdp_latency_us_bucket{class=\"edit\",le=\"+Inf\"} 3
+sdp_latency_us_sum{class=\"edit\"} 104
+sdp_latency_us_count{class=\"edit\"} 3
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate series")]
+    fn duplicate_series_registration_panics() {
+        let r = Registry::new();
+        let _a = r.counter("dup_total", &[("class", "edit")]);
+        let _b = r.counter("dup_total", &[("class", "edit")]);
+    }
+
+    #[test]
+    #[should_panic(expected = "two kinds")]
+    fn mixed_kind_family_panics() {
+        let r = Registry::new();
+        let _a = r.counter("thing", &[]);
+        let _b = r.gauge("thing", &[("x", "1")]);
+    }
+
+    #[test]
+    fn recording_needs_no_registry_lock() {
+        // The lock-freedom proof by API construction: handles outlive
+        // the registry itself.  If recording touched the registry's
+        // mutex (or any mutex), this would deadlock-or-UAF by design;
+        // instead the handles are self-contained atomics.
+        let c;
+        let h;
+        {
+            let r = Registry::new();
+            c = r.counter("outlives_total", &[]);
+            h = r.histogram("outlives_us", &[], 8);
+            drop(r);
+        }
+        let threads: Vec<_> = (0..16)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        c.inc();
+                        h.record(i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(), 16_000);
+        assert_eq!(h.count(), 16_000);
+    }
+}

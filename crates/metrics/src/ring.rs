@@ -1,0 +1,135 @@
+//! A bounded worst-N ring of request span breakdowns.
+//!
+//! Saturation debugging wants examples, not just quantiles: "show me
+//! the N slowest requests and where their time went".  [`SlowRing`]
+//! keeps the `cap` slowest [`SpanSample`]s seen so far.  The hot-path
+//! cost is one atomic load: once the ring is full, a request that is
+//! not slower than the current floor (the fastest resident sample)
+//! returns immediately without touching the lock.  Only candidate
+//! record-holders — by definition rare under load — take the small
+//! mutex to displace the floor entry.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// One request's phase breakdown, as offered to the ring.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanSample {
+    /// What the request was (e.g. the engine class name).
+    pub label: &'static str,
+    /// End-to-end duration in microseconds.
+    pub total_us: u64,
+    /// Ordered `(phase, µs)` breakdown summing to ≈ `total_us`.
+    pub phases: Vec<(&'static str, u64)>,
+}
+
+/// The bounded slowest-requests ring.
+#[derive(Debug)]
+pub struct SlowRing {
+    cap: usize,
+    /// Fast-path threshold: the smallest `total_us` currently resident
+    /// once the ring is full, else 0 (accept everything).
+    floor: AtomicU64,
+    inner: Mutex<Vec<SpanSample>>,
+}
+
+impl SlowRing {
+    /// A ring keeping the `cap` slowest samples (`cap` ≥ 1).
+    pub fn new(cap: usize) -> SlowRing {
+        SlowRing {
+            cap: cap.max(1),
+            floor: AtomicU64::new(0),
+            inner: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Sample capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Offers a sample.  Returns `true` if it was admitted.  The
+    /// common rejection (ring full, sample not slower than the floor)
+    /// is a single atomic load — no lock.
+    pub fn offer(&self, sample: SpanSample) -> bool {
+        // Relaxed is fine: a stale floor only means one extra lock
+        // acquisition or one marginally-wrong rejection, and the floor
+        // is re-read under the lock before any displacement.
+        let floor = self.floor.load(Ordering::Relaxed);
+        if floor > 0 && sample.total_us <= floor {
+            return false;
+        }
+        let mut ring = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if ring.len() < self.cap {
+            ring.push(sample);
+        } else {
+            let (min_idx, min_total) = ring
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (i, s.total_us))
+                .min_by_key(|&(_, t)| t)
+                .expect("ring non-empty at cap");
+            if sample.total_us <= min_total {
+                return false;
+            }
+            ring[min_idx] = sample;
+        }
+        if ring.len() == self.cap {
+            let new_floor = ring.iter().map(|s| s.total_us).min().unwrap_or(0);
+            self.floor.store(new_floor, Ordering::Relaxed);
+        }
+        true
+    }
+
+    /// The resident samples, slowest first (ties keep arrival order).
+    pub fn snapshot(&self) -> Vec<SpanSample> {
+        let ring = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut out = ring.clone();
+        out.sort_by_key(|s| std::cmp::Reverse(s.total_us));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(total: u64) -> SpanSample {
+        SpanSample {
+            label: "edit",
+            total_us: total,
+            phases: vec![("engine", total)],
+        }
+    }
+
+    #[test]
+    fn keeps_the_slowest_cap_samples() {
+        let ring = SlowRing::new(3);
+        for t in [5, 1, 9, 2, 7, 8] {
+            ring.offer(sample(t));
+        }
+        let totals: Vec<u64> = ring.snapshot().iter().map(|s| s.total_us).collect();
+        assert_eq!(totals, vec![9, 8, 7]);
+    }
+
+    #[test]
+    fn fast_path_rejects_below_floor_without_admitting() {
+        let ring = SlowRing::new(2);
+        assert!(ring.offer(sample(10)));
+        assert!(ring.offer(sample(20)));
+        assert!(!ring.offer(sample(5)), "below floor once full");
+        assert!(!ring.offer(sample(10)), "equal to floor is not slower");
+        assert!(ring.offer(sample(15)), "displaces the floor entry");
+        let totals: Vec<u64> = ring.snapshot().iter().map(|s| s.total_us).collect();
+        assert_eq!(totals, vec![20, 15]);
+    }
+
+    #[test]
+    fn partial_ring_accepts_everything() {
+        let ring = SlowRing::new(8);
+        for t in 0..4 {
+            assert!(ring.offer(sample(t)));
+        }
+        assert_eq!(ring.snapshot().len(), 4);
+    }
+}

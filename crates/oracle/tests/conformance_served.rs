@@ -128,6 +128,40 @@ fn served_matmul_and_multistage_match_oracle_cold_and_cached() {
 }
 
 #[test]
+fn both_metric_exporters_agree_on_the_request_count() {
+    // The JSON snapshot and the Prometheus exposition read the same
+    // lock-free registry; after deterministic traffic their served
+    // totals must agree with each other and with the traffic.
+    let handle = boot(1);
+    let mut c = Client::connect(handle.addr()).expect("connect");
+    const N: i64 = 5;
+    for i in 0..N {
+        let resp = c
+            .call_raw(&client::edit_request(i, "kitten", "sitting"))
+            .expect("edit call");
+        assert!(resp.ok);
+    }
+    let snap = c.metrics().expect("metrics call").result.expect("payload");
+    assert_eq!(
+        json::get(&snap, "served").expect("served field").render(),
+        N.to_string()
+    );
+    let text_resp = c.metrics_text().expect("metrics_text call");
+    assert!(text_resp.ok);
+    let payload = text_resp.result.expect("payload");
+    let text = json::get(&payload, "text")
+        .and_then(json::as_str)
+        .expect("text field")
+        .to_string();
+    let served_line = text
+        .lines()
+        .find(|l| l.starts_with("sdp_served_total "))
+        .expect("exposition must carry sdp_served_total");
+    assert_eq!(served_line, format!("sdp_served_total {N}"));
+    handle.shutdown();
+}
+
+#[test]
 fn coalesced_batches_serve_oracle_identical_payloads() {
     // A generous window so concurrent same-shape requests ride one
     // pipelined batch.

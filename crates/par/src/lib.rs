@@ -24,7 +24,87 @@
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Per-worker counters for one worker lane of a [`StealPool`].
+///
+/// Cache-line aligned so worker 3 bumping `ran` never invalidates
+/// worker 4's line.  All loads/stores are relaxed: these are telemetry,
+/// not synchronization.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+pub struct WorkerStats {
+    ran: AtomicU64,
+    stolen: AtomicU64,
+    parked: AtomicU64,
+    panicked: AtomicU64,
+}
+
+impl WorkerStats {
+    /// Tasks executed from this worker's own deque.
+    pub fn ran(&self) -> u64 {
+        self.ran.load(Ordering::Relaxed)
+    }
+
+    /// Tasks executed after stealing from a peer's deque.
+    pub fn stolen(&self) -> u64 {
+        self.stolen.load(Ordering::Relaxed)
+    }
+
+    /// Times this worker found every deque empty and parked (exited
+    /// the batch).
+    pub fn parked(&self) -> u64 {
+        self.parked.load(Ordering::Relaxed)
+    }
+
+    /// Tasks that panicked on this worker (their result slot is `None`;
+    /// fault-tolerant callers observe and reassign them).
+    pub fn panicked(&self) -> u64 {
+        self.panicked.load(Ordering::Relaxed)
+    }
+}
+
+/// Cumulative per-worker telemetry across every observed
+/// [`StealPool::run_observed`] call.
+///
+/// The pool itself stays `Copy` and stat-free; callers that want
+/// visibility (the serving dispatcher) allocate one `PoolStats` sized
+/// to the pool and pass it to each batch.  Recording is a relaxed
+/// `fetch_add` on the executing worker's own cache-line-padded lane —
+/// no lock, no cross-worker sharing.
+#[derive(Debug)]
+pub struct PoolStats {
+    workers: Vec<WorkerStats>,
+}
+
+impl PoolStats {
+    /// Stats for `workers` worker lanes (at least 1).
+    pub fn new(workers: usize) -> PoolStats {
+        PoolStats {
+            workers: (0..workers.max(1))
+                .map(|_| WorkerStats::default())
+                .collect(),
+        }
+    }
+
+    /// The per-worker lanes.
+    pub fn workers(&self) -> &[WorkerStats] {
+        &self.workers
+    }
+
+    fn lane(&self, worker: usize) -> &WorkerStats {
+        // A batch may run with fewer workers than lanes (never more,
+        // by construction in `run_observed`); the modulo keeps this
+        // panic-free even if a caller under-sizes the stats.
+        &self.workers[worker % self.workers.len()]
+    }
+
+    /// Total tasks executed (own + stolen) across all workers.
+    pub fn tasks_total(&self) -> u64 {
+        self.workers.iter().map(|w| w.ran() + w.stolen()).sum()
+    }
+}
 
 /// Number of hardware threads the host exposes (at least 1).
 pub fn host_threads() -> usize {
@@ -94,6 +174,26 @@ impl StealPool {
         T: FnOnce() -> R + Send,
         R: Send,
     {
+        self.run_inner(tasks, None)
+    }
+
+    /// [`run`](StealPool::run) with per-worker telemetry: own-deque
+    /// executions, steals, parks, and panics land in `stats`'s
+    /// cache-line-padded lanes.  Counting is a relaxed `fetch_add` per
+    /// event — observing a pool adds no lock to the task path.
+    pub fn run_observed<T, R>(&self, tasks: Vec<T>, stats: &PoolStats) -> Vec<Option<R>>
+    where
+        T: FnOnce() -> R + Send,
+        R: Send,
+    {
+        self.run_inner(tasks, Some(stats))
+    }
+
+    fn run_inner<T, R>(&self, tasks: Vec<T>, stats: Option<&PoolStats>) -> Vec<Option<R>>
+    where
+        T: FnOnce() -> R + Send,
+        R: Send,
+    {
         let n = tasks.len();
         if n == 0 {
             return Vec::new();
@@ -102,7 +202,17 @@ impl StealPool {
         if workers == 1 {
             return tasks
                 .into_iter()
-                .map(|t| catch_unwind(AssertUnwindSafe(t)).ok())
+                .map(|t| {
+                    let result = catch_unwind(AssertUnwindSafe(t)).ok();
+                    if let Some(stats) = stats {
+                        let lane = stats.lane(0);
+                        lane.ran.fetch_add(1, Ordering::Relaxed);
+                        if result.is_none() {
+                            lane.panicked.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    result
+                })
                 .collect();
         }
 
@@ -128,17 +238,33 @@ impl StealPool {
                     // statement) and two workers stealing from each
                     // other would deadlock ABBA.
                     let own = lock_recover(&deques[me]).pop_front();
+                    let stolen = own.is_none();
                     let idx = own.or_else(|| {
                         (1..workers).find_map(|d| {
                             let victim = (me + d) % workers;
                             lock_recover(&deques[victim]).pop_back()
                         })
                     });
-                    let Some(idx) = idx else { break };
+                    let Some(idx) = idx else {
+                        if let Some(stats) = stats {
+                            stats.lane(me).parked.fetch_add(1, Ordering::Relaxed);
+                        }
+                        break;
+                    };
                     let Some(task) = lock_recover(&cells[idx]).take() else {
                         continue;
                     };
+                    if let Some(stats) = stats {
+                        let lane = stats.lane(me);
+                        let claimed = if stolen { &lane.stolen } else { &lane.ran };
+                        claimed.fetch_add(1, Ordering::Relaxed);
+                    }
                     let result = catch_unwind(AssertUnwindSafe(task)).ok();
+                    if result.is_none() {
+                        if let Some(stats) = stats {
+                            stats.lane(me).panicked.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
                     *lock_recover(&slots[idx]) = result;
                 });
             }
@@ -245,6 +371,68 @@ mod tests {
         );
         assert_eq!(RAN.load(Ordering::SeqCst), 32);
         assert_eq!(out.iter().filter(|s| s.is_some()).count(), 32);
+    }
+
+    #[test]
+    fn observed_run_accounts_for_every_task() {
+        let pool = StealPool::new(4);
+        let stats = PoolStats::new(4);
+        let out = pool.run_observed((0..64).map(|i| move || i).collect::<Vec<_>>(), &stats);
+        assert_eq!(out.iter().filter(|s| s.is_some()).count(), 64);
+        // Every task was claimed exactly once, from its own deque or by
+        // a steal; attribution between the two depends on scheduling.
+        assert_eq!(stats.tasks_total(), 64);
+        let parked: u64 = stats.workers().iter().map(WorkerStats::parked).sum();
+        assert!(parked >= 1, "each worker parks when the batch drains");
+        assert_eq!(
+            stats
+                .workers()
+                .iter()
+                .map(WorkerStats::panicked)
+                .sum::<u64>(),
+            0
+        );
+    }
+
+    #[test]
+    fn observed_run_counts_panics_and_inline_path() {
+        let pool = StealPool::new(1); // inline fast path
+        let stats = PoolStats::new(1);
+        let out = pool.run_observed(
+            (0..6)
+                .map(|i| {
+                    move || {
+                        if i == 2 {
+                            panic!("task 2 dies");
+                        }
+                        i
+                    }
+                })
+                .collect::<Vec<_>>(),
+            &stats,
+        );
+        assert_eq!(out.iter().filter(|s| s.is_some()).count(), 5);
+        assert_eq!(stats.workers()[0].ran(), 6);
+        assert_eq!(stats.workers()[0].panicked(), 1);
+        assert_eq!(stats.workers()[0].stolen(), 0);
+    }
+
+    #[test]
+    fn observed_stats_accumulate_across_batches() {
+        let pool = StealPool::new(2);
+        let stats = PoolStats::new(2);
+        for _ in 0..3 {
+            pool.run_observed((0..8).map(|i| move || i).collect::<Vec<_>>(), &stats);
+        }
+        assert_eq!(stats.tasks_total(), 24);
+    }
+
+    #[test]
+    fn undersized_stats_fold_extra_workers_panic_free() {
+        let pool = StealPool::new(4);
+        let stats = PoolStats::new(2); // fewer lanes than workers
+        pool.run_observed((0..16).map(|i| move || i).collect::<Vec<_>>(), &stats);
+        assert_eq!(stats.tasks_total(), 16);
     }
 
     #[test]

@@ -54,10 +54,11 @@ impl LruCache {
     }
 
     /// Inserts (or refreshes) `key`, evicting the least-recently-used
-    /// entry when over capacity.
-    pub fn insert(&mut self, key: Vec<u8>, payload: Json) {
+    /// entry when over capacity.  Returns `true` when an entry was
+    /// evicted (for the `sdp_cache_evictions_total` counter).
+    pub fn insert(&mut self, key: Vec<u8>, payload: Json) -> bool {
         if self.capacity == 0 {
-            return;
+            return false;
         }
         self.clock += 1;
         self.map.insert(key, (self.clock, payload));
@@ -69,8 +70,10 @@ impl LruCache {
                 .map(|(k, _)| k.clone())
             {
                 self.map.remove(&oldest);
+                return true;
             }
         }
+        false
     }
 }
 
@@ -93,10 +96,10 @@ mod tests {
     #[test]
     fn evicts_least_recently_used() {
         let mut c = LruCache::new(2);
-        c.insert(k(1), Json::Int(1));
-        c.insert(k(2), Json::Int(2));
+        assert!(!c.insert(k(1), Json::Int(1)));
+        assert!(!c.insert(k(2), Json::Int(2)));
         assert!(c.get(&k(1)).is_some()); // refresh 1; 2 is now LRU
-        c.insert(k(3), Json::Int(3));
+        assert!(c.insert(k(3), Json::Int(3)), "over capacity evicts");
         assert_eq!(c.len(), 2);
         assert!(c.get(&k(2)).is_none(), "2 was evicted");
         assert!(c.get(&k(1)).is_some());

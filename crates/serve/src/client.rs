@@ -112,6 +112,11 @@ impl Client {
         self.call_raw(&metrics_request(0))
     }
 
+    /// Fetches the Prometheus text exposition.
+    pub fn metrics_text(&mut self) -> std::io::Result<Response> {
+        self.call_raw(&metrics_text_request(0))
+    }
+
     /// Asks the server to drain and exit.
     pub fn shutdown(&mut self) -> std::io::Result<Response> {
         self.call_raw(&shutdown_request(0))
@@ -180,6 +185,14 @@ pub fn metrics_request(id: i64) -> String {
     Json::object()
         .with("id", Json::Int(id))
         .with("kind", "metrics")
+        .render()
+}
+
+/// `metrics_text` request line (Prometheus exposition).
+pub fn metrics_text_request(id: i64) -> String {
+    Json::object()
+        .with("id", Json::Int(id))
+        .with("kind", "metrics_text")
         .render()
 }
 

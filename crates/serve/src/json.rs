@@ -277,6 +277,15 @@ pub fn as_array(doc: &Json) -> Option<&[Json]> {
     }
 }
 
+/// Float accessor (integers coerce).
+pub fn as_f64(doc: &Json) -> Option<f64> {
+    match doc {
+        Json::Float(f) => Some(*f),
+        Json::Int(i) => Some(*i as f64),
+        _ => None,
+    }
+}
+
 /// Bool accessor.
 pub fn as_bool(doc: &Json) -> Option<bool> {
     match doc {

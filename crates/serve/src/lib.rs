@@ -20,7 +20,8 @@
 //! - [`queue`]: admission control and batch coalescing
 //! - [`engine`]: per-class dispatch onto the systolic engines
 //! - [`cache`]: exact-key LRU result cache
-//! - [`metrics`]: queue/batch/cache/latency telemetry
+//! - [`metrics`]: lock-free telemetry (counters, histograms, spans)
+//!   over the `sdp-metrics` registry, with JSON and Prometheus exporters
 //! - [`server`]: TCP accept loop, connection threads, dispatcher
 //! - [`client`]: blocking client and request builders
 
@@ -57,6 +58,10 @@ pub struct Config {
     pub workers: usize,
     /// Request-line byte limit (beyond it: `payload_too_large`).
     pub max_request_bytes: usize,
+    /// Collect per-request phase spans into an in-memory Chrome trace,
+    /// exported via [`ServerHandle::trace_snapshot`] (and the
+    /// `sdp-serve --trace-out` flag).
+    pub trace: bool,
 }
 
 impl Default for Config {
@@ -69,6 +74,7 @@ impl Default for Config {
             cache_capacity: 256,
             workers: 4,
             max_request_bytes: 1 << 20,
+            trace: false,
         }
     }
 }

@@ -1,191 +1,445 @@
-//! Server telemetry: queue depth, batch-size histogram, cache hit
-//! rate, and per-class latency — rendered as one deterministic-schema
-//! JSON document by the `metrics` request (the serving-layer companion
-//! of the PR 1 `experiments --json` metrics).
+//! Server telemetry on the lock-free `sdp-metrics` registry.
 //!
-//! Field naming follows the golden-test redaction convention: every
-//! wall-clock value lives in a field whose name contains `ms`, so the
-//! shared `redact()` helper in `crates/bench/tests/support` nulls the
-//! host-dependent numbers and the schema stays byte-comparable.
+//! PR 5 kept every counter behind one global `Mutex<Inner>`; at the
+//! roadmap's target load that mutex is a contention point every
+//! connection thread, the dispatcher, and every pool worker would
+//! serialize on.  This module rebuilds the same telemetry — plus
+//! latency histograms, per-phase request spans, per-class batch-size
+//! histograms, pool/queue/cache instrumentation, and a
+//! slowest-requests ring — on sharded atomic counters and log₂
+//! histograms.  **No recording method below takes a lock**; the only
+//! mutexes in sight are the registry's (registration/export time only)
+//! and the slow ring's (guarded by an atomic floor so the common case
+//! is one load).
+//!
+//! Two exporters share the counters:
+//! - [`Metrics::to_json`]: the `metrics` request's JSON document — a
+//!   strict superset of the PR 5 schema.  Every pre-existing field is
+//!   kept (including the `17_plus` batch-overflow key, now twinned
+//!   with the explicit `gt_16` label); new fields are appended.
+//! - [`Metrics::render_prometheus`]: a Prometheus text exposition for
+//!   the `metrics_text` request.
+//!
+//! Field naming still follows the golden-test redaction convention:
+//! every wall-clock value lives in a field whose name contains `ms`,
+//! load-dependent sample counts in fields named `samples`, so the
+//! shared `redact_load_dependent()` helper in
+//! `crates/bench/tests/support` can null the host-dependent numbers
+//! while the schema stays byte-comparable.
 
 use crate::protocol::{Class, CLASSES};
+use sdp_metrics::{
+    us_to_ms, Counter, Gauge, Histogram, HistogramSnapshot, Registry, SlowRing, SpanSample,
+};
+use sdp_par::PoolStats;
 use sdp_trace::json::Json;
-use std::sync::Mutex;
+use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Duration;
 
-/// Histogram bucket upper bounds for coalesced batch sizes.
-const BATCH_BUCKETS: [(usize, &str); 5] =
-    [(1, "1"), (2, "2"), (4, "3_4"), (8, "5_8"), (16, "9_16")];
+/// Request phases attributed by the span pipeline, in timeline order:
+/// `coalesce` (admission → bucket flush, the delay-window wait),
+/// `queue` (flush → a pool worker picks the bucket up), `engine`
+/// (the systolic run itself), `respond` (engine done → the connection
+/// thread has the reply in hand).
+pub const PHASES: [&str; 4] = ["coalesce", "queue", "engine", "respond"];
 
-#[derive(Clone, Copy, Debug, Default)]
-struct ClassStats {
-    requests: u64,
-    errors: u64,
-    batches: u64,
-    total_ms: f64,
-    max_ms: f64,
+/// JSON labels for the batch-size histogram buckets, aligned with the
+/// log₂ bounds 1, 2, 4, 8, 16 and the unbounded overflow.  The last
+/// bucket carries the explicit `gt_16` label (the PR 5 document also
+/// keeps its historical `17_plus` spelling for compatibility).
+pub const BATCH_BUCKET_LABELS: [&str; 6] = ["1", "2", "3_4", "5_8", "9_16", "gt_16"];
+
+/// Slowest-requests ring capacity.
+pub const SLOW_RING_CAP: usize = 8;
+
+struct ClassMetrics {
+    requests: Arc<Counter>,
+    errors: Arc<Counter>,
+    batches: Arc<Counter>,
+    /// End-to-end latency (admission → completion) in µs.
+    latency: Arc<Histogram>,
+    /// Coalesced batch sizes this class's requests rode in.
+    batch_sizes: Arc<Histogram>,
+    /// One histogram per entry of [`PHASES`], in µs.
+    phases: [Arc<Histogram>; PHASES.len()],
 }
 
-#[derive(Debug, Default)]
-struct Inner {
-    served: u64,
-    errors: u64,
-    cache_hits: u64,
-    cache_misses: u64,
-    rejected_queue_full: u64,
-    malformed: u64,
-    oversized: u64,
-    dispatches: u64,
-    max_coalesced: u64,
-    batch_hist: [u64; BATCH_BUCKETS.len() + 1],
-    per_class: [ClassStats; CLASSES.len()],
-}
-
-/// Thread-safe metrics registry shared by every server component.
-#[derive(Debug, Default)]
+/// The server's metrics surface: lock-free to record, lock-only-to-export.
 pub struct Metrics {
-    inner: Mutex<Inner>,
+    registry: Registry,
+    served: Arc<Counter>,
+    errors: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    cache_evictions: Arc<Counter>,
+    rejected_queue_full: Arc<Counter>,
+    malformed: Arc<Counter>,
+    oversized: Arc<Counter>,
+    dispatches: Arc<Counter>,
+    max_coalesced: Arc<Gauge>,
+    /// Class-agnostic admission-queue wait (the coalesce phase), µs.
+    queue_wait: Arc<Histogram>,
+    per_class: Vec<ClassMetrics>,
+    pool: PoolStats,
+    slowest: SlowRing,
+}
+
+impl std::fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Metrics")
+            .field("served", &self.served.get())
+            .field("errors", &self.errors.get())
+            .finish()
+    }
 }
 
 impl Metrics {
-    /// Fresh, all-zero metrics.
-    pub fn new() -> Metrics {
-        Metrics::default()
+    /// Fresh all-zero metrics for a server with `workers` pool workers.
+    pub fn new(workers: usize) -> Metrics {
+        let registry = Registry::new();
+        let rejected = |reason: &str| registry.counter("sdp_rejected_total", &[("reason", reason)]);
+        let per_class = CLASSES
+            .iter()
+            .map(|class| {
+                let name = class.name();
+                let l = [("class", name)];
+                ClassMetrics {
+                    requests: registry.counter("sdp_requests_total", &l),
+                    errors: registry.counter("sdp_request_errors_total", &l),
+                    batches: registry.counter("sdp_batches_total", &l),
+                    latency: registry.histogram(
+                        "sdp_request_latency_us",
+                        &l,
+                        sdp_metrics::hist::LATENCY_BUCKETS,
+                    ),
+                    batch_sizes: registry.histogram(
+                        "sdp_batch_size",
+                        &l,
+                        BATCH_BUCKET_LABELS.len(),
+                    ),
+                    phases: PHASES.map(|phase| {
+                        registry.histogram(
+                            "sdp_phase_us",
+                            &[("class", name), ("phase", phase)],
+                            sdp_metrics::hist::LATENCY_BUCKETS,
+                        )
+                    }),
+                }
+            })
+            .collect();
+        Metrics {
+            served: registry.counter("sdp_served_total", &[]),
+            errors: registry.counter("sdp_errors_total", &[]),
+            cache_hits: registry.counter("sdp_cache_hits_total", &[]),
+            cache_misses: registry.counter("sdp_cache_misses_total", &[]),
+            cache_evictions: registry.counter("sdp_cache_evictions_total", &[]),
+            rejected_queue_full: rejected("queue_full"),
+            malformed: rejected("malformed"),
+            oversized: rejected("oversized"),
+            dispatches: registry.counter("sdp_dispatches_total", &[]),
+            max_coalesced: registry.gauge("sdp_max_coalesced", &[]),
+            queue_wait: registry.histogram(
+                "sdp_queue_wait_us",
+                &[],
+                sdp_metrics::hist::LATENCY_BUCKETS,
+            ),
+            per_class,
+            pool: PoolStats::new(workers),
+            slowest: SlowRing::new(SLOW_RING_CAP),
+            registry,
+        }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
-        // A metrics mutex must never take the server down: recover the
-        // counters if a panicking thread poisoned the lock.
-        self.inner
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    /// Registers the admission queue's depth gauge (owned by the
+    /// queue, exported here) under `sdp_queue_depth`.
+    pub fn register_queue_gauge(&self, gauge: Arc<Gauge>) {
+        self.registry.register_gauge("sdp_queue_depth", &[], gauge);
+    }
+
+    /// The dispatcher's per-worker pool telemetry lanes.
+    pub fn pool_stats(&self) -> &PoolStats {
+        &self.pool
+    }
+
+    fn class(&self, class: Class) -> &ClassMetrics {
+        &self.per_class[class.index()]
     }
 
     /// Records a cache hit (served without queueing).
     pub fn cache_hit(&self, class: Class) {
-        let mut m = self.lock();
-        m.cache_hits += 1;
-        m.served += 1;
-        m.per_class[class.index()].requests += 1;
+        self.cache_hits.inc();
+        self.served.inc();
+        self.class(class).requests.inc();
     }
 
     /// Records a cache miss (request admitted to the queue).
     pub fn cache_miss(&self) {
-        self.lock().cache_misses += 1;
+        self.cache_misses.inc();
+    }
+
+    /// Records an eviction from the LRU result cache.
+    pub fn cache_evicted(&self) {
+        self.cache_evictions.inc();
     }
 
     /// Records an admission rejection for backpressure.
     pub fn rejected_queue_full(&self) {
-        self.lock().rejected_queue_full += 1;
+        self.rejected_queue_full.inc();
     }
 
     /// Records a protocol decode failure.
     pub fn malformed(&self) {
-        self.lock().malformed += 1;
+        self.malformed.inc();
     }
 
     /// Records an oversized request line.
     pub fn oversized(&self) {
-        self.lock().oversized += 1;
+        self.oversized.inc();
     }
 
     /// Records one dispatched batch of `size` coalesced requests.
     pub fn dispatched_batch(&self, class: Class, size: usize) {
-        let mut m = self.lock();
-        m.dispatches += 1;
-        m.max_coalesced = m.max_coalesced.max(size as u64);
-        let bucket = BATCH_BUCKETS
-            .iter()
-            .position(|&(hi, _)| size <= hi)
-            .unwrap_or(BATCH_BUCKETS.len());
-        m.batch_hist[bucket] += 1;
-        m.per_class[class.index()].batches += 1;
+        self.dispatches.inc();
+        self.max_coalesced.raise_to(size as i64);
+        let c = self.class(class);
+        c.batches.inc();
+        c.batch_sizes.record(size as u64);
     }
 
     /// Records one completed request with its queue-to-response latency.
     pub fn completed(&self, class: Class, ok: bool, latency: Duration) {
-        let mut m = self.lock();
-        let ms = latency.as_secs_f64() * 1e3;
-        m.served += 1;
+        self.served.inc();
         if !ok {
-            m.errors += 1;
+            self.errors.inc();
         }
-        let c = &mut m.per_class[class.index()];
-        c.requests += 1;
+        let c = self.class(class);
+        c.requests.inc();
         if !ok {
-            c.errors += 1;
+            c.errors.inc();
         }
-        c.total_ms += ms;
-        c.max_ms = c.max_ms.max(ms);
+        c.latency.record(latency.as_micros() as u64);
+    }
+
+    /// Records the dispatcher-side phases of one request's span:
+    /// coalesce (delay-window wait), queue (wait for a pool worker),
+    /// and engine time, all in µs.
+    pub fn record_dispatch_phases(
+        &self,
+        class: Class,
+        coalesce_us: u64,
+        queue_us: u64,
+        engine_us: u64,
+    ) {
+        let c = self.class(class);
+        c.phases[0].record(coalesce_us);
+        c.phases[1].record(queue_us);
+        c.phases[2].record(engine_us);
+        self.queue_wait.record(coalesce_us);
+    }
+
+    /// Records the respond phase (engine done → reply in the
+    /// connection thread) and offers the whole span to the
+    /// slowest-requests ring.
+    pub fn record_respond(
+        &self,
+        class: Class,
+        coalesce_us: u64,
+        queue_us: u64,
+        engine_us: u64,
+        respond_us: u64,
+        total_us: u64,
+    ) {
+        self.class(class).phases[3].record(respond_us);
+        self.slowest.offer(SpanSample {
+            label: class.name(),
+            total_us,
+            phases: vec![
+                (PHASES[0], coalesce_us),
+                (PHASES[1], queue_us),
+                (PHASES[2], engine_us),
+                (PHASES[3], respond_us),
+            ],
+        });
     }
 
     /// Cache hits so far (for tests and drain decisions).
     pub fn cache_hits(&self) -> u64 {
-        self.lock().cache_hits
+        self.cache_hits.get()
     }
 
     /// Largest coalesced batch dispatched so far.
     pub fn max_coalesced(&self) -> u64 {
-        self.lock().max_coalesced
+        self.max_coalesced.get().max(0) as u64
     }
 
-    /// Renders the full snapshot; `queue_depth` is sampled by the
-    /// caller from the admission queue at render time.
-    pub fn to_json(&self, queue_depth: usize) -> Json {
-        let m = self.lock();
+    fn phase_json(snap: &HistogramSnapshot) -> Json {
+        Json::object()
+            .with("samples", snap.count)
+            .with("total_ms", us_to_ms(snap.sum))
+            .with("mean_ms", us_to_ms(snap.sum) / (snap.count.max(1) as f64))
+            .with("p50_ms", us_to_ms(snap.quantile(0.50)))
+            .with("p99_ms", us_to_ms(snap.quantile(0.99)))
+            .with("max_ms", us_to_ms(snap.max))
+    }
+
+    fn batch_hist_json(snap: &HistogramSnapshot) -> Json {
         let mut hist = Json::object();
-        for (i, &(_, label)) in BATCH_BUCKETS.iter().enumerate() {
-            hist = hist.with(label, m.batch_hist[i]);
+        for (i, label) in BATCH_BUCKET_LABELS.iter().enumerate() {
+            hist = hist.with(label, snap.counts[i]);
         }
-        hist = hist.with("17_plus", m.batch_hist[BATCH_BUCKETS.len()]);
-        let lookups = m.cache_hits + m.cache_misses;
+        hist
+    }
+
+    /// Renders the full JSON snapshot; `queue_depth` is sampled by the
+    /// caller from the admission queue at render time.  The document
+    /// is a strict superset of the PR 5 `metrics` schema.
+    pub fn to_json(&self, queue_depth: usize) -> Json {
+        // Global batch-size histogram = sum of the per-class ones.
+        let mut global_batches = HistogramSnapshot::empty(BATCH_BUCKET_LABELS.len());
+        for c in &self.per_class {
+            global_batches.merge(&c.batch_sizes.snapshot());
+        }
+        // The global document keeps PR 5's `17_plus` overflow spelling
+        // in its original position and twins it with the explicit
+        // `gt_16` label (same count, deliberate alias).
+        let mut hist = Self::batch_hist_json(&global_batches);
+        let Json::Object(fields) = &mut hist else {
+            unreachable!()
+        };
+        let gt16 = fields.pop().expect("gt_16 present");
+        fields.push(("17_plus".to_string(), gt16.1.clone()));
+        fields.push(gt16);
+
+        let hits = self.cache_hits.get();
+        let misses = self.cache_misses.get();
+        let lookups = hits + misses;
         let mut classes = Json::object();
         for class in CLASSES {
-            let c = &m.per_class[class.index()];
-            let mean_ms = if c.requests > 0 {
-                c.total_ms / c.requests as f64
-            } else {
-                0.0
-            };
+            let c = self.class(class);
+            let lat = c.latency.snapshot();
+            let mut phases = Json::object();
+            for (i, phase) in PHASES.iter().enumerate() {
+                phases = phases.with(phase, Self::phase_json(&c.phases[i].snapshot()));
+            }
             classes = classes.with(
                 class.name(),
                 Json::object()
-                    .with("requests", c.requests)
-                    .with("errors", c.errors)
-                    .with("batches", c.batches)
-                    .with("mean_ms", mean_ms)
-                    .with("max_ms", c.max_ms),
+                    .with("requests", c.requests.get())
+                    .with("errors", c.errors.get())
+                    .with("batches", c.batches.get())
+                    .with("mean_ms", us_to_ms(lat.sum) / (lat.count.max(1) as f64))
+                    .with("max_ms", us_to_ms(lat.max))
+                    .with("total_ms", us_to_ms(lat.sum))
+                    .with("p50_ms", us_to_ms(lat.quantile(0.50)))
+                    .with("p90_ms", us_to_ms(lat.quantile(0.90)))
+                    .with("p99_ms", us_to_ms(lat.quantile(0.99)))
+                    .with(
+                        "batch_size_histogram",
+                        Self::batch_hist_json(&c.batch_sizes.snapshot()),
+                    )
+                    .with("phases", phases),
             );
         }
+
+        let workers = self.pool.workers();
+        let lane = |f: fn(&sdp_par::WorkerStats) -> u64| {
+            Json::Array(workers.iter().map(|w| Json::from(f(w))).collect())
+        };
+        let pool = Json::object()
+            .with("workers", workers.len() as u64)
+            .with("ran", lane(sdp_par::WorkerStats::ran))
+            .with("stolen", lane(sdp_par::WorkerStats::stolen))
+            .with("parked", lane(sdp_par::WorkerStats::parked))
+            .with("panicked", lane(sdp_par::WorkerStats::panicked));
+
+        let slowest = Json::Array(
+            self.slowest
+                .snapshot()
+                .into_iter()
+                .map(|s| {
+                    let mut phases = Json::object();
+                    for (phase, us) in &s.phases {
+                        phases = phases.with(&format!("{phase}_ms"), us_to_ms(*us));
+                    }
+                    Json::object()
+                        .with("class", s.label)
+                        .with("total_ms", us_to_ms(s.total_us))
+                        .with("phases", phases)
+                })
+                .collect(),
+        );
+
+        let qwait = self.queue_wait.snapshot();
         Json::object()
-            .with("served", m.served)
-            .with("errors", m.errors)
+            .with("served", self.served.get())
+            .with("errors", self.errors.get())
             .with("queue_depth", queue_depth)
-            .with("dispatches", m.dispatches)
-            .with("max_coalesced", m.max_coalesced)
+            .with("dispatches", self.dispatches.get())
+            .with("max_coalesced", self.max_coalesced())
             .with("batch_size_histogram", hist)
             .with(
                 "cache",
                 Json::object()
-                    .with("hits", m.cache_hits)
-                    .with("misses", m.cache_misses)
+                    .with("hits", hits)
+                    .with("misses", misses)
                     .with(
                         "hit_rate",
                         if lookups > 0 {
-                            m.cache_hits as f64 / lookups as f64
+                            hits as f64 / lookups as f64
                         } else {
                             0.0
                         },
-                    ),
+                    )
+                    .with("evictions", self.cache_evictions.get()),
             )
             .with(
                 "rejected",
                 Json::object()
-                    .with("queue_full", m.rejected_queue_full)
-                    .with("malformed", m.malformed)
-                    .with("oversized", m.oversized),
+                    .with("queue_full", self.rejected_queue_full.get())
+                    .with("malformed", self.malformed.get())
+                    .with("oversized", self.oversized.get()),
             )
             .with("classes", classes)
+            .with("queue_wait", Self::phase_json(&qwait))
+            .with("pool", pool)
+            .with("slowest", slowest)
+    }
+
+    /// Renders the Prometheus text exposition for the `metrics_text`
+    /// request: every registered series plus the per-worker pool lanes.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = self.registry.render_prometheus();
+        let _ = writeln!(out, "# TYPE sdp_pool_tasks_total counter");
+        for (w, lane) in self.pool.workers().iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "sdp_pool_tasks_total{{worker=\"{w}\",kind=\"ran\"}} {}",
+                lane.ran()
+            );
+            let _ = writeln!(
+                out,
+                "sdp_pool_tasks_total{{worker=\"{w}\",kind=\"stolen\"}} {}",
+                lane.stolen()
+            );
+        }
+        let _ = writeln!(out, "# TYPE sdp_pool_parked_total counter");
+        for (w, lane) in self.pool.workers().iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "sdp_pool_parked_total{{worker=\"{w}\"}} {}",
+                lane.parked()
+            );
+        }
+        let _ = writeln!(out, "# TYPE sdp_pool_panicked_total counter");
+        for (w, lane) in self.pool.workers().iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "sdp_pool_panicked_total{{worker=\"{w}\"}} {}",
+                lane.panicked()
+            );
+        }
+        out
     }
 }
 
@@ -193,10 +447,11 @@ impl Metrics {
 mod tests {
     use super::*;
     use crate::json;
+    use std::sync::Arc as StdArc;
 
     #[test]
     fn snapshot_has_the_documented_schema() {
-        let m = Metrics::new();
+        let m = Metrics::new(4);
         m.cache_miss();
         m.dispatched_batch(Class::Edit, 3);
         m.completed(Class::Edit, true, Duration::from_millis(2));
@@ -211,25 +466,146 @@ mod tests {
         assert_eq!(json::as_i64(json::get(hist, "3_4").unwrap()), Some(1));
         let cache = json::get(&doc, "cache").unwrap();
         assert_eq!(json::as_i64(json::get(cache, "hits").unwrap()), Some(1));
+        assert_eq!(
+            json::as_i64(json::get(cache, "evictions").unwrap()),
+            Some(0)
+        );
         let classes = json::get(&doc, "classes").unwrap();
         let edit = json::get(classes, "edit").unwrap();
         assert_eq!(json::as_i64(json::get(edit, "requests").unwrap()), Some(2));
         assert_eq!(json::as_i64(json::get(edit, "batches").unwrap()), Some(1));
+        // New PR 6 fields are present alongside the old schema.
+        for field in ["p50_ms", "p90_ms", "p99_ms", "total_ms", "phases"] {
+            assert!(json::get(edit, field).is_some(), "missing {field}");
+        }
+        assert!(json::get(&doc, "pool").is_some());
+        assert!(json::get(&doc, "slowest").is_some());
     }
 
     #[test]
-    fn histogram_buckets_cover_all_sizes() {
-        let m = Metrics::new();
+    fn histogram_buckets_cover_all_sizes_and_label_the_overflow() {
+        let m = Metrics::new(1);
         for size in [1, 2, 3, 4, 5, 8, 9, 16, 17, 100] {
             m.dispatched_batch(Class::Matmul, size);
         }
         let doc = m.to_json(0);
         let hist = json::get(&doc, "batch_size_histogram").unwrap();
-        let total: i64 = ["1", "2", "3_4", "5_8", "9_16", "17_plus"]
+        let total: i64 = ["1", "2", "3_4", "5_8", "9_16", "gt_16"]
             .iter()
             .map(|k| json::as_i64(json::get(hist, k).unwrap()).unwrap())
             .sum();
         assert_eq!(total, 10);
+        // The overflow bucket is explicitly labelled, and the legacy
+        // spelling reports the same count.
+        assert_eq!(json::as_i64(json::get(hist, "gt_16").unwrap()), Some(2));
+        assert_eq!(
+            json::get(hist, "17_plus").and_then(json::as_i64),
+            json::get(hist, "gt_16").and_then(json::as_i64),
+        );
         assert_eq!(m.max_coalesced(), 100);
+        // The per-class histogram sees the same sizes.
+        let classes = json::get(&doc, "classes").unwrap();
+        let mm = json::get(classes, "matmul").unwrap();
+        let per_class = json::get(mm, "batch_size_histogram").unwrap();
+        assert_eq!(
+            json::as_i64(json::get(per_class, "gt_16").unwrap()),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn latency_percentiles_come_from_the_histogram() {
+        let m = Metrics::new(1);
+        for _ in 0..98 {
+            m.completed(Class::Chain, true, Duration::from_micros(100));
+        }
+        // Two slow outliers: the p99 rank (99 of 100) lands on them.
+        m.completed(Class::Chain, true, Duration::from_micros(50_000));
+        m.completed(Class::Chain, true, Duration::from_micros(50_000));
+        let doc = m.to_json(0);
+        let chain = json::get(json::get(&doc, "classes").unwrap(), "chain").unwrap();
+        let p50 = json::get(chain, "p50_ms").unwrap();
+        let p99 = json::get(chain, "p99_ms").unwrap();
+        // 100 µs ∈ (64,128] → 0.128 ms; 50 ms ∈ (32768,65536] → 65.536 ms.
+        assert_eq!(p50, &Json::Float(0.128));
+        assert_eq!(p99, &Json::Float(65.536));
+        let max = json::get(chain, "max_ms").unwrap();
+        assert_eq!(max, &Json::Float(50.0), "max is exact, not bucketed");
+    }
+
+    #[test]
+    fn spans_feed_phase_histograms_and_the_slow_ring() {
+        let m = Metrics::new(2);
+        m.record_dispatch_phases(Class::Edit, 1000, 50, 400);
+        m.record_respond(Class::Edit, 1000, 50, 400, 30, 1480);
+        m.record_dispatch_phases(Class::Edit, 9000, 70, 600);
+        m.record_respond(Class::Edit, 9000, 70, 600, 40, 9710);
+        let doc = m.to_json(0);
+        let edit = json::get(json::get(&doc, "classes").unwrap(), "edit").unwrap();
+        let phases = json::get(edit, "phases").unwrap();
+        for phase in PHASES {
+            let p = json::get(phases, phase).unwrap();
+            assert_eq!(json::as_i64(json::get(p, "samples").unwrap()), Some(2));
+        }
+        let slowest = json::get(&doc, "slowest").unwrap();
+        let Json::Array(entries) = slowest else {
+            panic!("slowest must be an array");
+        };
+        assert_eq!(entries.len(), 2);
+        // Slowest first.
+        assert_eq!(json::get(&entries[0], "total_ms"), Some(&Json::Float(9.71)));
+    }
+
+    #[test]
+    fn recording_is_lock_free_under_concurrent_hammer() {
+        // 16 threads hammer every recording path while a 17th renders
+        // both exporters in a loop.  With the PR 5 mutex this was the
+        // contention point; now the only assertion that matters is
+        // exactness: no sample may be lost or double-counted.
+        let m = StdArc::new(Metrics::new(4));
+        let render = {
+            let m = StdArc::clone(&m);
+            std::thread::spawn(move || {
+                for _ in 0..50 {
+                    let _ = m.to_json(0);
+                    let _ = m.render_prometheus();
+                }
+            })
+        };
+        let threads: Vec<_> = (0..16)
+            .map(|t| {
+                let m = StdArc::clone(&m);
+                std::thread::spawn(move || {
+                    let class = CLASSES[t % CLASSES.len()];
+                    for i in 0..2000u64 {
+                        m.completed(class, true, Duration::from_micros(i));
+                        m.dispatched_batch(class, (i % 20) as usize + 1);
+                        m.record_dispatch_phases(class, i, i / 2, i * 2);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        render.join().unwrap();
+        let doc = m.to_json(0);
+        assert_eq!(
+            json::as_i64(json::get(&doc, "served").unwrap()),
+            Some(32_000)
+        );
+        assert_eq!(
+            json::as_i64(json::get(&doc, "dispatches").unwrap()),
+            Some(32_000)
+        );
+        let classes = json::get(&doc, "classes").unwrap();
+        let per_class_total: i64 = CLASSES
+            .iter()
+            .map(|c| {
+                json::as_i64(json::get(json::get(classes, c.name()).unwrap(), "requests").unwrap())
+                    .unwrap()
+            })
+            .sum();
+        assert_eq!(per_class_total, 32_000);
     }
 }

@@ -13,6 +13,7 @@
 //! | `bst`        | `freq` (access frequencies)                  | interval DP       |
 //! | `andor`      | `nodes` (postorder), `root`                  | AND/OR evaluation |
 //! | `metrics`    | —                                            | server introspection |
+//! | `metrics_text` | —                                          | Prometheus text exposition |
 //! | `shutdown`   | —                                            | graceful drain    |
 //!
 //! Matrices are `{"rows":r,"cols":c,"data":[..]}` row-major with `null`
@@ -276,6 +277,11 @@ pub enum Request {
         /// Correlation id.
         id: i64,
     },
+    /// Prometheus text-exposition request (answered inline).
+    MetricsText {
+        /// Correlation id.
+        id: i64,
+    },
     /// Graceful-drain request (answered inline, then the server drains).
     Shutdown {
         /// Correlation id.
@@ -433,6 +439,7 @@ pub fn decode(doc: &Json) -> Result<Request, SdpError> {
         .ok_or_else(|| bad("missing string 'kind'"))?;
     let body = match kind {
         "metrics" => return Ok(Request::Metrics { id }),
+        "metrics_text" => return Ok(Request::MetricsText { id }),
         "shutdown" => return Ok(Request::Shutdown { id }),
         "multistage" => {
             let design = match json::get(doc, "design").and_then(json::as_i64).unwrap_or(1) {
@@ -572,6 +579,7 @@ mod tests {
             r#"{"id":6,"kind":"andor","nodes":[{"op":"leaf","value":2},{"op":"leaf","value":5},{"op":"and","level":1,"children":[0,1],"cost":1},{"op":"or","level":2,"children":[2]}],"root":3}"#,
             r#"{"id":7,"kind":"metrics"}"#,
             r#"{"id":8,"kind":"shutdown"}"#,
+            r#"{"id":9,"kind":"metrics_text"}"#,
         ];
         for line in lines {
             decode(&parse(line).unwrap()).unwrap_or_else(|e| panic!("{line}: {e}"));

@@ -19,11 +19,12 @@
 use crate::protocol::Body;
 use crate::protocol::Class;
 use sdp_fault::SdpError;
+use sdp_metrics::Gauge;
 use sdp_par::lock_recover;
 use sdp_trace::json::Json;
 use std::collections::HashMap;
 use std::sync::mpsc;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Coalescing and backpressure knobs.
@@ -47,6 +48,21 @@ impl Default for QueueConfig {
     }
 }
 
+/// Dispatcher-side span timings, forwarded to the connection thread so
+/// it can close the request's `respond` phase (reply received → the
+/// client-visible end of the request).
+#[derive(Clone, Copy, Debug)]
+pub struct SpanTimes {
+    /// Admission → bucket flush (the coalescing delay-window wait), µs.
+    pub coalesce_us: u64,
+    /// Bucket flush → a pool worker picked the batch up, µs.
+    pub queue_us: u64,
+    /// Engine run, µs.
+    pub engine_us: u64,
+    /// When the engine finished — the respond phase starts here.
+    pub engine_done: Instant,
+}
+
 /// What the dispatcher sends back to the connection thread.
 #[derive(Debug)]
 pub struct JobResponse {
@@ -54,6 +70,8 @@ pub struct JobResponse {
     pub result: Result<Json, SdpError>,
     /// Size of the coalesced batch this job rode in.
     pub batch: usize,
+    /// Phase timings for the span pipeline.
+    pub span: SpanTimes,
 }
 
 /// One admitted compute request.
@@ -85,6 +103,9 @@ pub struct Queue {
     cfg: QueueConfig,
     inner: Mutex<Inner>,
     cv: Condvar,
+    /// Mirror of `Inner::depth` for the metrics registry — updated
+    /// under the queue lock, readable without it.
+    depth_gauge: Arc<Gauge>,
 }
 
 impl Queue {
@@ -98,12 +119,19 @@ impl Queue {
                 draining: false,
             }),
             cv: Condvar::new(),
+            depth_gauge: Arc::new(Gauge::new()),
         }
     }
 
     /// Queued-but-not-dispatched request count.
     pub fn depth(&self) -> usize {
         lock_recover(&self.inner).depth
+    }
+
+    /// The live depth gauge, for registration with the metrics
+    /// registry (`sdp_queue_depth`).
+    pub fn depth_gauge(&self) -> Arc<Gauge> {
+        Arc::clone(&self.depth_gauge)
     }
 
     /// Admits a job, or rejects it with a typed backpressure error.
@@ -118,6 +146,7 @@ impl Queue {
             return Err(SdpError::QueueFull { depth: q.depth });
         }
         q.depth += 1;
+        self.depth_gauge.set(q.depth as i64);
         q.buckets
             .entry((class, shape))
             .or_insert_with(|| Bucket {
@@ -165,6 +194,7 @@ impl Queue {
                     q.depth -= bucket.jobs.len();
                     out.push((key.0, bucket.jobs));
                 }
+                self.depth_gauge.set(q.depth as i64);
                 return Some(out);
             }
             if q.draining {
@@ -259,6 +289,24 @@ mod tests {
         let (j2, _r2) = job("ef", "gh");
         q.submit(j1).unwrap();
         assert_eq!(q.submit(j2).unwrap_err(), SdpError::QueueFull { depth: 1 });
+    }
+
+    #[test]
+    fn depth_gauge_mirrors_admissions_and_flushes() {
+        let q = Queue::new(QueueConfig {
+            max_queue: 64,
+            max_batch: 2,
+            max_delay: Duration::from_secs(3600),
+        });
+        let g = q.depth_gauge();
+        let (j1, _r1) = job("ab", "cd");
+        q.submit(j1).unwrap();
+        assert_eq!(g.get(), 1);
+        let (j2, _r2) = job("xy", "zw");
+        q.submit(j2).unwrap();
+        assert_eq!(g.get(), 2);
+        q.next_batches().expect("full bucket flushes");
+        assert_eq!(g.get(), 0, "flush returns the gauge to zero");
     }
 
     #[test]

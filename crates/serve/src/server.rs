@@ -19,12 +19,13 @@
 
 use crate::cache::LruCache;
 use crate::engine;
-use crate::metrics::Metrics;
-use crate::protocol::{self, Request};
-use crate::queue::{Job, JobResponse, Queue, QueueConfig};
+use crate::metrics::{Metrics, PHASES};
+use crate::protocol::{self, Class, Request};
+use crate::queue::{Job, JobResponse, Queue, QueueConfig, SpanTimes};
 use crate::{json, Config};
 use sdp_fault::SdpError;
 use sdp_par::{lock_recover, StealPool};
+use sdp_trace::chrome::ChromeTrace;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -33,12 +34,21 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Instant;
 
+/// The in-memory Chrome trace a `Config { trace: true }` server
+/// collects: one slice per request phase, lanes keyed by engine class.
+struct TraceState {
+    /// Trace epoch — slice timestamps are µs since server start.
+    t0: Instant,
+    trace: ChromeTrace,
+}
+
 struct Shared {
     cfg: Config,
     addr: SocketAddr,
     queue: Queue,
     cache: Mutex<LruCache>,
     metrics: Metrics,
+    trace: Option<Mutex<TraceState>>,
     shutdown: AtomicBool,
 }
 
@@ -81,9 +91,20 @@ impl ServerHandle {
         self.shared.metrics.cache_hits()
     }
 
-    /// Blocks until a client-initiated `shutdown` request drains the
-    /// server, then joins the threads (the `sdp-serve` binary's main).
-    pub fn shutdown_on_request(mut self) {
+    /// The rendered Chrome trace collected so far, or `None` when the
+    /// server was started with `Config { trace: false }`.
+    pub fn trace_snapshot(&self) -> Option<String> {
+        self.shared
+            .trace
+            .as_ref()
+            .map(|t| lock_recover(t).trace.render())
+    }
+
+    /// Blocks until the server drains (a `shutdown` request or an
+    /// earlier [`ServerHandle::shutdown`]) and joins its threads,
+    /// keeping the handle alive for post-drain inspection
+    /// ([`ServerHandle::trace_snapshot`]).  Idempotent.
+    pub fn wait(&mut self) {
         if let Some(h) = self.acceptor.take() {
             let _ = h.join();
         }
@@ -92,16 +113,17 @@ impl ServerHandle {
         }
     }
 
+    /// Blocks until a client-initiated `shutdown` request drains the
+    /// server, then joins the threads (the `sdp-serve` binary's main).
+    pub fn shutdown_on_request(mut self) {
+        self.wait();
+    }
+
     /// Stops admitting requests, flushes every queued bucket, waits for
     /// in-flight work, and joins the server threads.
     pub fn shutdown(mut self) {
         self.shared.begin_shutdown();
-        if let Some(h) = self.acceptor.take() {
-            let _ = h.join();
-        }
-        if let Some(h) = self.dispatcher.take() {
-            let _ = h.join();
-        }
+        self.wait();
     }
 }
 
@@ -118,10 +140,19 @@ pub fn serve(cfg: Config) -> std::io::Result<ServerHandle> {
         addr,
         queue: Queue::new(queue_cfg),
         cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
-        metrics: Metrics::new(),
+        metrics: Metrics::new(cfg.workers),
+        trace: cfg.trace.then(|| {
+            Mutex::new(TraceState {
+                t0: Instant::now(),
+                trace: ChromeTrace::new(),
+            })
+        }),
         shutdown: AtomicBool::new(false),
         cfg,
     });
+    shared
+        .metrics
+        .register_queue_gauge(shared.queue.depth_gauge());
 
     let dispatcher = {
         let shared = Arc::clone(&shared);
@@ -161,11 +192,13 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
 fn dispatch_loop(shared: &Arc<Shared>) {
     let pool = StealPool::new(shared.cfg.workers);
     while let Some(batches) = shared.queue.next_batches() {
+        let flushed = Instant::now();
         let tasks: Vec<_> = batches
             .into_iter()
             .map(|(class, jobs)| {
                 let shared = Arc::clone(shared);
                 move || {
+                    let started = Instant::now();
                     let bodies: Vec<_> = jobs.iter().map(|j| j.body.clone()).collect();
                     let size = jobs.len();
                     shared.metrics.dispatched_batch(class, size);
@@ -181,23 +214,46 @@ fn dispatch_loop(shared: &Arc<Shared>) {
                                     })
                                     .collect()
                             });
+                    let engine_done = Instant::now();
+                    // Batch-level phase boundaries; only the coalesce
+                    // wait differs per rider (each admitted at its own
+                    // time, all flushed together).
+                    let queue_us = started.saturating_duration_since(flushed).as_micros() as u64;
+                    let engine_us =
+                        engine_done.saturating_duration_since(started).as_micros() as u64;
                     for (job, result) in jobs.into_iter().zip(results) {
                         let ok = result.is_ok();
                         if let Ok(payload) = &result {
-                            lock_recover(&shared.cache).insert(job.cache_key, payload.clone());
+                            if lock_recover(&shared.cache).insert(job.cache_key, payload.clone()) {
+                                shared.metrics.cache_evicted();
+                            }
                         }
+                        let coalesce_us =
+                            flushed.saturating_duration_since(job.enqueued).as_micros() as u64;
+                        shared.metrics.record_dispatch_phases(
+                            class,
+                            coalesce_us,
+                            queue_us,
+                            engine_us,
+                        );
                         shared.metrics.completed(class, ok, job.enqueued.elapsed());
                         // A dropped receiver means the client hung up
                         // mid-request; the work is simply discarded.
                         let _ = job.tx.send(JobResponse {
                             result,
                             batch: size,
+                            span: SpanTimes {
+                                coalesce_us,
+                                queue_us,
+                                engine_us,
+                                engine_done,
+                            },
                         });
                     }
                 }
             })
             .collect();
-        pool.run(tasks);
+        pool.run_observed(tasks, shared.metrics.pool_stats());
     }
 }
 
@@ -307,6 +363,12 @@ fn handle_line(line: &str, shared: &Shared) -> String {
             let snapshot = shared.metrics.to_json(shared.queue.depth());
             protocol::ok_response(id, snapshot, false, 0)
         }
+        Request::MetricsText { id } => {
+            let payload = Json::object()
+                .with("format", "prometheus")
+                .with("text", shared.metrics.render_prometheus());
+            protocol::ok_response(id, payload, false, 0)
+        }
         Request::Shutdown { id } => {
             let reply = protocol::ok_response(id, Json::object().with("draining", true), false, 0);
             shared.begin_shutdown();
@@ -317,6 +379,51 @@ fn handle_line(line: &str, shared: &Shared) -> String {
 }
 
 use sdp_trace::json::Json;
+
+/// Closes a request span in the connection thread: measures the
+/// `respond` phase (engine done → reply in hand), feeds the span to the
+/// metrics pipeline, and — when tracing is enabled — appends one trace
+/// slice per phase, laid back-to-back on the engine class's lane.
+fn finish_span(id: i64, class: Class, batch: usize, span: &SpanTimes, shared: &Shared) {
+    let respond_us = span.engine_done.elapsed().as_micros() as u64;
+    let total_us = span.coalesce_us + span.queue_us + span.engine_us + respond_us;
+    shared.metrics.record_respond(
+        class,
+        span.coalesce_us,
+        span.queue_us,
+        span.engine_us,
+        respond_us,
+        total_us,
+    );
+    let Some(trace) = &shared.trace else { return };
+    let mut t = lock_recover(trace);
+    let end_us = t.t0.elapsed().as_micros() as u64;
+    // Zero-length phases get the viewer's 1 µs minimum width, so the
+    // rendered span may end slightly past `end_us`; start from the
+    // widened durations to keep the slices contiguous.
+    let durs = [
+        span.coalesce_us.max(1),
+        span.queue_us.max(1),
+        span.engine_us.max(1),
+        respond_us.max(1),
+    ];
+    let mut ts = end_us.saturating_sub(durs.iter().sum());
+    for (phase, dur) in PHASES.iter().zip(durs) {
+        t.trace.complete_with_args(
+            phase,
+            class.name(),
+            ts,
+            dur,
+            0,
+            class.index() as u32,
+            vec![
+                ("id".to_string(), Json::Int(id)),
+                ("batch".to_string(), Json::from(batch)),
+            ],
+        );
+        ts += dur;
+    }
+}
 
 fn handle_compute(id: i64, body: crate::protocol::Body, shared: &Shared) -> String {
     let class = body.class();
@@ -343,8 +450,19 @@ fn handle_compute(id: i64, body: crate::protocol::Body, shared: &Shared) -> Stri
         Ok(JobResponse {
             result: Ok(payload),
             batch,
-        }) => protocol::ok_response(id, payload, false, batch),
-        Ok(JobResponse { result: Err(e), .. }) => protocol::error_response(id, &e),
+            span,
+        }) => {
+            finish_span(id, class, batch, &span, shared);
+            protocol::ok_response(id, payload, false, batch)
+        }
+        Ok(JobResponse {
+            result: Err(e),
+            batch,
+            span,
+        }) => {
+            finish_span(id, class, batch, &span, shared);
+            protocol::error_response(id, &e)
+        }
         // The dispatcher dropped the sender without replying — only
         // possible if it died; still answer with a typed error.
         Err(_) => protocol::error_response(
