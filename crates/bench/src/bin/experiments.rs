@@ -1,15 +1,16 @@
 //! Regenerates every table and figure of Wah & Li (1985).
 //!
 //! ```text
-//! experiments [all|e1|e2|e3|fig6|prop1|thm1|thm2|prop2|prop3|eq40|table1|e12..e20|degradation|throughput|serve|observe] [--json]
+//! experiments [all|e1|e2|e3|fig6|prop1|thm1|thm2|prop2|prop3|eq40|table1|e12..e20|degradation|throughput|serve|observe|chaos] [--json]
 //! ```
 //!
 //! With `--json` the selected experiments are emitted as a single JSON
 //! document on stdout (metrics only, no tables); `all --json`
 //! additionally writes the document to `BENCH_pr1.json` in the current
 //! directory for regression tracking, `throughput --json` (E22) writes
-//! `BENCH_pr3.json`, `serve --json` (E24) writes `BENCH_pr5.json`, and
-//! `observe --json` (E25) writes `BENCH_pr6.json`.
+//! `BENCH_pr3.json`, `serve --json` (E24) writes `BENCH_pr5.json`,
+//! `observe --json` (E25) writes `BENCH_pr6.json`, and `chaos --json`
+//! (E26) writes `BENCH_pr7.json`.
 
 use sdp_bench::experiments as ex;
 use sdp_bench::{reports_to_json, Report};
@@ -52,12 +53,14 @@ fn main() {
         "serve-quick" => vec![ex::report_e24_quick()],
         "e25" | "observe" => vec![ex::report_e25()],
         "observe-quick" => vec![ex::report_e25_quick()],
+        "e26" | "chaos" => vec![ex::report_e26()],
+        "chaos-quick" => vec![ex::report_e26_quick()],
         other => {
             eprintln!(
                 "unknown experiment '{other}'; expected one of: all e1 e2 e3 fig6 \
                  prop1 thm1 thm2 prop2 prop3 eq40 table1 e12..e20 degradation \
                  throughput throughput-quick serve serve-quick observe \
-                 observe-quick [--json]"
+                 observe-quick chaos chaos-quick [--json]"
             );
             std::process::exit(2);
         }
@@ -83,6 +86,11 @@ fn main() {
         if which == "e25" || which == "observe" {
             if let Err(e) = std::fs::write("BENCH_pr6.json", format!("{doc}\n")) {
                 eprintln!("warning: could not write BENCH_pr6.json: {e}");
+            }
+        }
+        if which == "e26" || which == "chaos" {
+            if let Err(e) = std::fs::write("BENCH_pr7.json", format!("{doc}\n")) {
+                eprintln!("warning: could not write BENCH_pr7.json: {e}");
             }
         }
     } else {

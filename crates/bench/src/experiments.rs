@@ -1751,6 +1751,335 @@ fn report_e25_sized(clients: usize, reqs_per_client: usize, delay_ms: u64) -> Re
     report
 }
 
+/// One deterministic chaos campaign's client-side accounting.
+struct ChaosCampaign {
+    ok: u64,
+    typed: u64,
+    lost: u64,
+    degraded: u64,
+    reconnects: u64,
+    /// Typed-error counts keyed by the fixed kind schema
+    /// ([`CHAOS_ERROR_KINDS`]); unexpected kinds land in `other`.
+    kinds: Vec<u64>,
+    injected: [(&'static str, u64); 4],
+    drops_injected: u64,
+    payloads_ok: bool,
+    ids_ok: bool,
+    queue_drained: bool,
+}
+
+/// The fixed error-kind schema E26 reports (zero-defaulted so the
+/// golden pins the keys even when a kind never fires).
+const CHAOS_ERROR_KINDS: [&str; 6] = [
+    "task_panicked",
+    "circuit_open",
+    "overloaded",
+    "deadline_exceeded",
+    "queue_full",
+    "other",
+];
+
+/// Suppresses backtrace noise from chaos-injected engine panics (they
+/// are caught at the bucket boundary; the default hook would still spam
+/// stderr once per injection).  Non-chaos panics pass through.
+fn quiet_chaos_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<&str>()
+                .copied()
+                .map(str::to_owned)
+                .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            if msg.contains("chaos") {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// Drives one chaos campaign: a fresh server wired to the seed's
+/// [`ChaosPlan`](sdp_fault::ChaosPlan), `clients` concurrent
+/// connections sending `reqs_per_client` edit requests each (10 s
+/// deadlines, cache off), every outcome classified exactly once.
+/// Returns the accounting plus the final server snapshot.
+fn chaos_campaign(seed: u64, clients: usize, reqs_per_client: usize) -> (ChaosCampaign, Json) {
+    use sdp_fault::{ChaosDomain, ChaosPlan, ChaosRates, ServeChaos};
+    use sdp_oracle::served;
+    use sdp_serve::client::{self, Client};
+    use sdp_serve::{json as sjson, Config};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    quiet_chaos_panics();
+    let total = (clients * reqs_per_client) as u64;
+    let plan = ChaosPlan::random(
+        seed,
+        ChaosRates {
+            engine_panics: 2,
+            engine_stalls: 2,
+            torn_writes: 3,
+            connection_drops: 2,
+        },
+        ChaosDomain {
+            dispatches: total,
+            replies: total,
+            max_stall_ms: 25,
+        },
+    );
+    let chaos = Arc::new(ServeChaos::new(&plan));
+    let handle = sdp_serve::serve(Config {
+        max_delay: Duration::from_millis(2),
+        cache_capacity: 0,
+        breaker_trip_after: 2,
+        breaker_cooldown: Duration::from_millis(150),
+        breaker_fallback_max_bytes: 64,
+        chaos: Some(Arc::clone(&chaos)),
+        ..Config::default()
+    })
+    .expect("serve bind");
+    let addr = handle.addr();
+
+    const PAIRS: [(&str, &str); 4] = [
+        ("kitten", "sitting"),
+        ("saturn", "urbane"),
+        ("flaw", "lawn"),
+        ("gumbo", "gambol"),
+    ];
+    let ok = Arc::new(AtomicU64::new(0));
+    let lost = Arc::new(AtomicU64::new(0));
+    let degraded = Arc::new(AtomicU64::new(0));
+    let reconnects = Arc::new(AtomicU64::new(0));
+    let kinds: Arc<Vec<AtomicU64>> = Arc::new(
+        CHAOS_ERROR_KINDS
+            .iter()
+            .map(|_| AtomicU64::new(0))
+            .collect(),
+    );
+    let payloads_ok = Arc::new(AtomicBool::new(true));
+    let ids_ok = Arc::new(AtomicBool::new(true));
+
+    let threads: Vec<_> = (0..clients)
+        .map(|c| {
+            let (ok, lost, degraded, reconnects, kinds, payloads_ok, ids_ok) = (
+                Arc::clone(&ok),
+                Arc::clone(&lost),
+                Arc::clone(&degraded),
+                Arc::clone(&reconnects),
+                Arc::clone(&kinds),
+                Arc::clone(&payloads_ok),
+                Arc::clone(&ids_ok),
+            );
+            std::thread::spawn(move || {
+                let mut conn = Client::connect(addr).expect("connect");
+                for r in 0..reqs_per_client {
+                    let id = (c * reqs_per_client + r) as i64 + 1;
+                    let (a, b) = PAIRS[(c + r) % PAIRS.len()];
+                    let line = client::with_deadline(&client::edit_request(id, a, b), 10_000);
+                    // A failed write never reached the server: resend on
+                    // a fresh connection (bounded), never double-count.
+                    let mut outcome = None;
+                    for _ in 0..4 {
+                        if conn.send_raw(&line).is_err() {
+                            reconnects.fetch_add(1, Ordering::Relaxed);
+                            conn = Client::connect(addr).expect("reconnect");
+                            continue;
+                        }
+                        match conn.read_response() {
+                            Ok(resp) => {
+                                outcome = Some(Some(resp));
+                                break;
+                            }
+                            Err(_) => {
+                                // Reply lost to an injected drop.
+                                outcome = Some(None);
+                                reconnects.fetch_add(1, Ordering::Relaxed);
+                                conn = Client::connect(addr).expect("reconnect");
+                                break;
+                            }
+                        }
+                    }
+                    match outcome.expect("write retries exhausted") {
+                        Some(resp) => {
+                            if resp.id != id {
+                                ids_ok.store(false, Ordering::Relaxed);
+                            }
+                            if resp.ok {
+                                let expect =
+                                    served::served_edit(a.as_bytes(), b.as_bytes()).render();
+                                let got = resp.result.map(|p| p.render()).unwrap_or_default();
+                                if got != expect {
+                                    payloads_ok.store(false, Ordering::Relaxed);
+                                }
+                                if resp.degraded {
+                                    degraded.fetch_add(1, Ordering::Relaxed);
+                                }
+                                ok.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                let kind = resp.error_kind.as_deref().unwrap_or("other");
+                                let slot = CHAOS_ERROR_KINDS
+                                    .iter()
+                                    .position(|k| *k == kind)
+                                    .unwrap_or(CHAOS_ERROR_KINDS.len() - 1);
+                                kinds[slot].fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        None => {
+                            lost.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("chaos client thread");
+    }
+
+    // Control replies bypass chaos, so the final snapshot is always
+    // observable.
+    let mut cl = Client::connect(addr).expect("post-chaos connect");
+    let snapshot = cl
+        .metrics()
+        .expect("metrics call")
+        .result
+        .expect("metrics payload");
+    let queue_drained = sjson::get(&snapshot, "queue_depth").and_then(sjson::as_i64) == Some(0);
+    drop(cl);
+    handle.shutdown();
+
+    let campaign = ChaosCampaign {
+        ok: ok.load(Ordering::Relaxed),
+        typed: kinds.iter().map(|k| k.load(Ordering::Relaxed)).sum(),
+        lost: lost.load(Ordering::Relaxed),
+        degraded: degraded.load(Ordering::Relaxed),
+        reconnects: reconnects.load(Ordering::Relaxed),
+        kinds: kinds.iter().map(|k| k.load(Ordering::Relaxed)).collect(),
+        injected: chaos.injected_counts(),
+        drops_injected: chaos.drops_injected(),
+        payloads_ok: payloads_ok.load(Ordering::Relaxed),
+        ids_ok: ids_ok.load(Ordering::Relaxed),
+        queue_drained,
+    };
+    (campaign, snapshot)
+}
+
+/// E26 (chaos): deterministic seed-driven fault injection across the
+/// whole serving path — engine panics, stalls, torn writes, and
+/// connection drops — machine-checking the paper-of-record invariant
+/// for a robust server: *every accepted request yields exactly one
+/// reply or one typed error*, under any chaos seed.
+pub fn report_e26() -> Report {
+    report_e26_sized(8, 30, &[0x2026, 0x31337, 0x99])
+}
+
+/// [`report_e26`] shrunk for the CI smoke job; identical schema.
+pub fn report_e26_quick() -> Report {
+    report_e26_sized(4, 10, &[0x2026])
+}
+
+fn report_e26_sized(clients: usize, reqs_per_client: usize, seeds: &[u64]) -> Report {
+    use std::time::Instant;
+
+    let per_seed = (clients * reqs_per_client) as u64;
+    let t0 = Instant::now();
+    let mut campaigns: Vec<(u64, ChaosCampaign)> = Vec::new();
+    let mut last_snapshot = Json::Null;
+    for &seed in seeds {
+        let (campaign, snapshot) = chaos_campaign(seed, clients, reqs_per_client);
+        campaigns.push((seed, campaign));
+        last_snapshot = snapshot;
+    }
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // The machine-checked invariants, ANDed across every seed.
+    let exactly_one = campaigns
+        .iter()
+        .all(|(_, c)| c.ok + c.typed + c.lost == per_seed);
+    // Each injected connection drop loses the in-flight reply and can
+    // additionally eat one write racing into the dying socket; with no
+    // drops injected, no reply may be lost at all.
+    let drops_accounted = campaigns
+        .iter()
+        .all(|(_, c)| c.lost >= c.drops_injected && c.lost <= 2 * c.drops_injected);
+    let payloads_match = campaigns.iter().all(|(_, c)| c.payloads_ok);
+    let ids_in_order = campaigns.iter().all(|(_, c)| c.ids_ok);
+    let queues_drained = campaigns.iter().all(|(_, c)| c.queue_drained);
+
+    let mut report = Report::new(
+        "e26",
+        format!(
+            "E26 (chaos): seed-driven fault injection over the serving path, {clients} clients x \
+             {reqs_per_client} requests per seed, {} seeds,\n\
+             invariant: every accepted request yields exactly one reply or one typed error",
+            seeds.len()
+        ),
+    );
+    report.headers = vec!["seed", "outcomes", "injected", "invariants"];
+    let sum = |f: fn(&ChaosCampaign) -> u64| campaigns.iter().map(|(_, c)| f(c)).sum::<u64>();
+    for (seed, c) in &campaigns {
+        let inj: Vec<String> = c.injected.iter().map(|(k, n)| format!("{k}={n}")).collect();
+        report.rows.push(vec![
+            format!("{seed:#x}"),
+            format!("ok={} typed={} lost={}", c.ok, c.typed, c.lost),
+            inj.join(" "),
+            format!(
+                "one-outcome={} drops-accounted={} oracle-match={}",
+                c.ok + c.typed + c.lost == per_seed,
+                c.lost >= c.drops_injected && c.lost <= 2 * c.drops_injected,
+                c.payloads_ok
+            ),
+        ]);
+    }
+    report.notes = vec![
+        "seeds, request counts, and the invariant verdicts are deterministic; which\n\
+         chaos events actually fire (and therefore the outcome split) depends on how\n\
+         requests interleave into engine buckets."
+            .into(),
+    ];
+
+    let mut kinds_doc = Json::object();
+    for (i, kind) in CHAOS_ERROR_KINDS.iter().enumerate() {
+        let n: u64 = campaigns.iter().map(|(_, c)| c.kinds[i]).sum();
+        kinds_doc = kinds_doc.with(*kind, n);
+    }
+    let mut injected_doc = Json::object();
+    for i in 0..4 {
+        let name = campaigns[0].1.injected[i].0;
+        let n: u64 = campaigns.iter().map(|(_, c)| c.injected[i].1).sum();
+        injected_doc = injected_doc.with(name, n);
+    }
+    report.metrics = Json::object()
+        .with("clients", clients as u64)
+        .with("requests_per_client", reqs_per_client as u64)
+        .with("requests_per_seed", per_seed)
+        .with(
+            "seeds",
+            Json::Array(seeds.iter().map(|&s| Json::from(s)).collect()),
+        )
+        .with("invariant_exactly_one_outcome", exactly_one)
+        .with("invariant_drops_accounted", drops_accounted)
+        .with("invariant_payloads_match_oracle", payloads_match)
+        .with("invariant_ids_in_order", ids_in_order)
+        .with("invariant_queue_drained", queues_drained)
+        .with("wall_ms", wall_ms)
+        .with("ok_observed", sum(|c| c.ok))
+        .with("typed_errors_observed", sum(|c| c.typed))
+        .with("lost_observed", sum(|c| c.lost))
+        .with("degraded_observed", sum(|c| c.degraded))
+        .with("reconnects_observed", sum(|c| c.reconnects))
+        .with("error_kinds_observed", kinds_doc)
+        .with("chaos_injected_observed", injected_doc)
+        .with("server", last_snapshot);
+    report
+}
+
 /// Builds every experiment report in order.
 pub fn report_all() -> Vec<Report> {
     vec![

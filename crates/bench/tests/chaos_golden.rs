@@ -1,0 +1,66 @@
+//! Golden-file and invariant tests for the E26 chaos experiment.
+//!
+//! E26 injects deterministic seed-driven faults into a live server, so
+//! the golden pins the *schema* plus everything that is deterministic
+//! under a fixed seed: the seed list, the request accounting, and the
+//! five machine-checked `invariant_*` verdicts.  Outcome splits (which
+//! chaos events actually fire depends on bucket interleaving) are
+//! redacted.  Regenerate after an intentional schema change:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test -p sdp-bench --test chaos_golden
+//! ```
+
+mod support;
+
+use sdp_bench::experiments::report_e26_quick;
+use sdp_bench::reports_to_json;
+use sdp_trace::json::Json;
+
+fn get(doc: &Json, path: &[&str]) -> Json {
+    let mut cur = doc.clone();
+    for name in path {
+        let Json::Object(fields) = cur else {
+            panic!("{path:?}: expected object at {name}");
+        };
+        cur = fields
+            .into_iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("{path:?}: missing field {name}"));
+    }
+    cur
+}
+
+#[test]
+fn chaos_schema_matches_golden() {
+    let mut doc = reports_to_json(&[report_e26_quick()]);
+    support::redact_chaos(&mut doc);
+    let rendered = format!("{}\n", doc.render());
+    support::check_golden("chaos.json", &rendered, include_str!("golden/chaos.json"));
+}
+
+#[test]
+fn chaos_invariants_hold_under_the_ci_seed() {
+    let report = report_e26_quick();
+    let m = &report.metrics;
+    for invariant in [
+        "invariant_exactly_one_outcome",
+        "invariant_drops_accounted",
+        "invariant_payloads_match_oracle",
+        "invariant_ids_in_order",
+        "invariant_queue_drained",
+    ] {
+        assert_eq!(
+            get(m, &[invariant]),
+            Json::Bool(true),
+            "{invariant} violated under the CI chaos seed"
+        );
+    }
+    // The chaos really ran: the injected-event census is present and
+    // the accounting covers the whole campaign.
+    let Json::Int(total) = get(m, &["requests_per_seed"]) else {
+        panic!("requests_per_seed must be an integer");
+    };
+    assert_eq!(total, 40);
+}

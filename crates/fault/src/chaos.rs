@@ -1,0 +1,440 @@
+//! Serving-level chaos: deterministic, seed-driven failure injection
+//! for the request path.
+//!
+//! [`FaultPlan`](crate::FaultPlan) aims failures at the simulated
+//! *hardware* (PEs, buses, tokens).  A [`ChaosPlan`] aims them one
+//! level up, at the *serving* layer: engine dispatches that panic or
+//! stall, replies that are torn across multiple socket writes, and
+//! connections that drop right before a reply is delivered.  Like
+//! fault plans, chaos plans are plain data drawn from a seeded
+//! generator — the same `(seed, rates, domain)` triple always yields
+//! the same plan, which is what lets the E26 chaos experiment be
+//! golden-diffed and lets any failing seed be replayed exactly.
+//!
+//! The runtime half, [`ServeChaos`], converts a plan into per-site
+//! decisions: the server asks [`ServeChaos::on_dispatch`] once per
+//! engine dispatch and [`ServeChaos::on_reply`] once per compute reply,
+//! each call consuming one ordinal from an atomic counter.  A server
+//! configured without chaos never constructs one of these, so the
+//! default cost is a single `Option` check per site.
+//!
+//! Which *request* a given ordinal lands on depends on thread
+//! interleaving; the serving invariant — every accepted request yields
+//! exactly one reply or one typed error — must therefore hold for
+//! every placement, and that is precisely what the chaos proptest and
+//! E26 check.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::plan::SplitMix64;
+
+/// One serving-level failure to inject.
+///
+/// `dispatch` counts engine-bucket dispatches and `reply` counts
+/// compute replies, both 0-based ordinals within one server run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosEvent {
+    /// The `dispatch`-th engine dispatch panics instead of computing.
+    EnginePanic {
+        /// Dispatch ordinal (0-based, counted per server run).
+        dispatch: u64,
+    },
+    /// The `dispatch`-th engine dispatch stalls for `ms` milliseconds
+    /// before computing (a slow engine, not a dead one).
+    EngineStall {
+        /// Dispatch ordinal (0-based, counted per server run).
+        dispatch: u64,
+        /// Stall duration in milliseconds.
+        ms: u64,
+    },
+    /// The `reply`-th compute reply is written in two flushed segments
+    /// (a torn write: the line is still complete, just not atomic).
+    TornWrite {
+        /// Reply ordinal (0-based, counted per server run).
+        reply: u64,
+    },
+    /// The connection carrying the `reply`-th compute reply is closed
+    /// instead of delivering it; the client sees EOF.
+    ConnectionDrop {
+        /// Reply ordinal (0-based, counted per server run).
+        reply: u64,
+    },
+}
+
+/// Per-class event counts for [`ChaosPlan::random`].
+///
+/// Counts, not probabilities, for the same reason as
+/// [`FaultRates`](crate::FaultRates): a fixed count keeps the plan
+/// exactly reproducible for a given seed regardless of run length.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChaosRates {
+    /// Engine dispatches to panic.
+    pub engine_panics: u32,
+    /// Engine dispatches to stall.
+    pub engine_stalls: u32,
+    /// Compute replies to tear across two writes.
+    pub torn_writes: u32,
+    /// Compute replies whose connection is dropped.
+    pub connection_drops: u32,
+}
+
+/// The extent of one server run, used to place randomly drawn events.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChaosDomain {
+    /// Dispatch-ordinal horizon (0 disables dispatch events).
+    pub dispatches: u64,
+    /// Reply-ordinal horizon (0 disables reply events).
+    pub replies: u64,
+    /// Stall durations are drawn from `1..=max_stall_ms`.
+    pub max_stall_ms: u64,
+}
+
+/// A deterministic list of serving-level failures for one server run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChaosPlan {
+    events: Vec<ChaosEvent>,
+}
+
+impl ChaosPlan {
+    /// The empty plan: injecting it is the identity.
+    pub fn new() -> ChaosPlan {
+        ChaosPlan::default()
+    }
+
+    /// Builds a plan from an explicit event list.
+    pub fn from_events(events: Vec<ChaosEvent>) -> ChaosPlan {
+        ChaosPlan { events }
+    }
+
+    /// Adds one event (builder style).
+    #[must_use]
+    pub fn with(mut self, event: ChaosEvent) -> ChaosPlan {
+        self.events.push(event);
+        self
+    }
+
+    /// Adds one event in place.
+    pub fn push(&mut self, event: ChaosEvent) {
+        self.events.push(event);
+    }
+
+    /// The planned events, in plan order.
+    pub fn events(&self) -> &[ChaosEvent] {
+        &self.events
+    }
+
+    /// Number of planned events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are planned.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Draws a plan from a seeded generator: `rates` events of each
+    /// class, placed uniformly over `domain`.  The same `(seed, rates,
+    /// domain)` triple always yields the same plan.
+    pub fn random(seed: u64, rates: ChaosRates, domain: ChaosDomain) -> ChaosPlan {
+        let mut rng = SplitMix64::new(seed);
+        let mut events = Vec::new();
+        if domain.dispatches > 0 {
+            for _ in 0..rates.engine_panics {
+                events.push(ChaosEvent::EnginePanic {
+                    dispatch: rng.below(domain.dispatches),
+                });
+            }
+            for _ in 0..rates.engine_stalls {
+                events.push(ChaosEvent::EngineStall {
+                    dispatch: rng.below(domain.dispatches),
+                    ms: rng.below(domain.max_stall_ms.max(1)) + 1,
+                });
+            }
+        }
+        if domain.replies > 0 {
+            for _ in 0..rates.torn_writes {
+                events.push(ChaosEvent::TornWrite {
+                    reply: rng.below(domain.replies),
+                });
+            }
+            for _ in 0..rates.connection_drops {
+                events.push(ChaosEvent::ConnectionDrop {
+                    reply: rng.below(domain.replies),
+                });
+            }
+        }
+        ChaosPlan { events }
+    }
+}
+
+/// What the server should do at one engine dispatch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DispatchAction {
+    /// Run the engine normally.
+    Run,
+    /// Panic instead of computing (the dispatcher's `catch_unwind`
+    /// turns this into `TaskPanicked` for every rider of the bucket).
+    Panic,
+    /// Sleep for `ms` milliseconds, then run the engine normally.
+    Stall {
+        /// Stall duration in milliseconds.
+        ms: u64,
+    },
+}
+
+/// What the connection thread should do with one compute reply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplyAction {
+    /// Write the reply normally.
+    Deliver,
+    /// Write the reply in two flushed segments.
+    Tear,
+    /// Close the connection without writing the reply.
+    Drop,
+}
+
+/// Names for the injected-event counters, in the order
+/// [`ServeChaos::injected_counts`] reports them.
+pub const CHAOS_KINDS: [&str; 4] = [
+    "engine_panic",
+    "engine_stall",
+    "torn_write",
+    "connection_drop",
+];
+
+const K_PANIC: usize = 0;
+const K_STALL: usize = 1;
+const K_TORN: usize = 2;
+const K_DROP: usize = 3;
+
+/// The runtime half of a [`ChaosPlan`]: hands out per-site decisions
+/// as the server consumes dispatch and reply ordinals.
+///
+/// Thread-safe; ordinal counters are atomic so concurrent connection
+/// threads and the dispatcher can consult it without locking.  When an
+/// ordinal carries both a panic and a stall, the panic wins; when a
+/// reply carries both a drop and a torn write, the drop wins.
+#[derive(Debug, Default)]
+pub struct ServeChaos {
+    panics: Vec<u64>,
+    stalls: Vec<(u64, u64)>,
+    torn: Vec<u64>,
+    drops: Vec<u64>,
+    dispatch_ctr: AtomicU64,
+    reply_ctr: AtomicU64,
+    injected: [AtomicU64; 4],
+}
+
+impl ServeChaos {
+    /// Compiles a plan into its runtime form.
+    pub fn new(plan: &ChaosPlan) -> ServeChaos {
+        let mut chaos = ServeChaos::default();
+        for event in plan.events() {
+            match *event {
+                ChaosEvent::EnginePanic { dispatch } => chaos.panics.push(dispatch),
+                ChaosEvent::EngineStall { dispatch, ms } => chaos.stalls.push((dispatch, ms)),
+                ChaosEvent::TornWrite { reply } => chaos.torn.push(reply),
+                ChaosEvent::ConnectionDrop { reply } => chaos.drops.push(reply),
+            }
+        }
+        chaos
+    }
+
+    /// Consumes the next dispatch ordinal and reports what to do.
+    pub fn on_dispatch(&self) -> DispatchAction {
+        let n = self.dispatch_ctr.fetch_add(1, Ordering::Relaxed);
+        if self.panics.contains(&n) {
+            self.injected[K_PANIC].fetch_add(1, Ordering::Relaxed);
+            return DispatchAction::Panic;
+        }
+        if let Some(&(_, ms)) = self.stalls.iter().find(|&&(d, _)| d == n) {
+            self.injected[K_STALL].fetch_add(1, Ordering::Relaxed);
+            return DispatchAction::Stall { ms };
+        }
+        DispatchAction::Run
+    }
+
+    /// Consumes the next reply ordinal and reports what to do.
+    pub fn on_reply(&self) -> ReplyAction {
+        let n = self.reply_ctr.fetch_add(1, Ordering::Relaxed);
+        if self.drops.contains(&n) {
+            self.injected[K_DROP].fetch_add(1, Ordering::Relaxed);
+            return ReplyAction::Drop;
+        }
+        if self.torn.contains(&n) {
+            self.injected[K_TORN].fetch_add(1, Ordering::Relaxed);
+            return ReplyAction::Tear;
+        }
+        ReplyAction::Deliver
+    }
+
+    /// Dispatch ordinals consumed so far.
+    pub fn dispatches_seen(&self) -> u64 {
+        self.dispatch_ctr.load(Ordering::Relaxed)
+    }
+
+    /// Reply ordinals consumed so far.
+    pub fn replies_seen(&self) -> u64 {
+        self.reply_ctr.load(Ordering::Relaxed)
+    }
+
+    /// Events that actually fired, as `(kind, count)` pairs in
+    /// [`CHAOS_KINDS`] order.
+    pub fn injected_counts(&self) -> [(&'static str, u64); 4] {
+        [
+            (
+                CHAOS_KINDS[0],
+                self.injected[K_PANIC].load(Ordering::Relaxed),
+            ),
+            (
+                CHAOS_KINDS[1],
+                self.injected[K_STALL].load(Ordering::Relaxed),
+            ),
+            (
+                CHAOS_KINDS[2],
+                self.injected[K_TORN].load(Ordering::Relaxed),
+            ),
+            (
+                CHAOS_KINDS[3],
+                self.injected[K_DROP].load(Ordering::Relaxed),
+            ),
+        ]
+    }
+
+    /// Connection drops that actually fired (the count client-side EOF
+    /// outcomes must match exactly under the serving invariant).
+    pub fn drops_injected(&self) -> u64 {
+        self.injected[K_DROP].load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_empty_and_inert() {
+        let plan = ChaosPlan::new();
+        assert!(plan.is_empty());
+        assert_eq!(plan.len(), 0);
+        let chaos = ServeChaos::new(&plan);
+        for _ in 0..16 {
+            assert_eq!(chaos.on_dispatch(), DispatchAction::Run);
+            assert_eq!(chaos.on_reply(), ReplyAction::Deliver);
+        }
+        assert!(chaos.injected_counts().iter().all(|&(_, n)| n == 0));
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_per_seed() {
+        let rates = ChaosRates {
+            engine_panics: 2,
+            engine_stalls: 2,
+            torn_writes: 3,
+            connection_drops: 2,
+        };
+        let domain = ChaosDomain {
+            dispatches: 32,
+            replies: 64,
+            max_stall_ms: 25,
+        };
+        let a = ChaosPlan::random(42, rates, domain);
+        let b = ChaosPlan::random(42, rates, domain);
+        let c = ChaosPlan::random(43, rates, domain);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 9);
+    }
+
+    #[test]
+    fn random_respects_zeroed_domain_axes() {
+        let rates = ChaosRates {
+            engine_panics: 3,
+            torn_writes: 3,
+            ..ChaosRates::default()
+        };
+        let domain = ChaosDomain {
+            dispatches: 8,
+            replies: 0,
+            max_stall_ms: 10,
+        };
+        let plan = ChaosPlan::random(7, rates, domain);
+        assert_eq!(plan.len(), 3);
+        assert!(plan
+            .events()
+            .iter()
+            .all(|e| matches!(e, ChaosEvent::EnginePanic { .. })));
+    }
+
+    #[test]
+    fn stall_durations_stay_in_bounds() {
+        let rates = ChaosRates {
+            engine_stalls: 50,
+            ..ChaosRates::default()
+        };
+        let domain = ChaosDomain {
+            dispatches: 100,
+            replies: 0,
+            max_stall_ms: 25,
+        };
+        let plan = ChaosPlan::random(11, rates, domain);
+        for event in plan.events() {
+            match *event {
+                ChaosEvent::EngineStall { ms, .. } => assert!((1..=25).contains(&ms)),
+                ref other => panic!("unexpected event {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn ordinals_fire_exactly_once_each() {
+        let plan = ChaosPlan::new()
+            .with(ChaosEvent::EnginePanic { dispatch: 1 })
+            .with(ChaosEvent::EngineStall { dispatch: 3, ms: 5 })
+            .with(ChaosEvent::ConnectionDrop { reply: 0 })
+            .with(ChaosEvent::TornWrite { reply: 2 });
+        let chaos = ServeChaos::new(&plan);
+        let dispatches: Vec<DispatchAction> = (0..5).map(|_| chaos.on_dispatch()).collect();
+        assert_eq!(
+            dispatches,
+            vec![
+                DispatchAction::Run,
+                DispatchAction::Panic,
+                DispatchAction::Run,
+                DispatchAction::Stall { ms: 5 },
+                DispatchAction::Run,
+            ]
+        );
+        let replies: Vec<ReplyAction> = (0..4).map(|_| chaos.on_reply()).collect();
+        assert_eq!(
+            replies,
+            vec![
+                ReplyAction::Drop,
+                ReplyAction::Deliver,
+                ReplyAction::Tear,
+                ReplyAction::Deliver,
+            ]
+        );
+        assert_eq!(chaos.dispatches_seen(), 5);
+        assert_eq!(chaos.replies_seen(), 4);
+        assert_eq!(chaos.drops_injected(), 1);
+        let counts = chaos.injected_counts();
+        assert_eq!(counts[0], ("engine_panic", 1));
+        assert_eq!(counts[1], ("engine_stall", 1));
+        assert_eq!(counts[2], ("torn_write", 1));
+        assert_eq!(counts[3], ("connection_drop", 1));
+    }
+
+    #[test]
+    fn panic_beats_stall_and_drop_beats_tear_on_shared_ordinals() {
+        let plan = ChaosPlan::new()
+            .with(ChaosEvent::EngineStall { dispatch: 0, ms: 9 })
+            .with(ChaosEvent::EnginePanic { dispatch: 0 })
+            .with(ChaosEvent::TornWrite { reply: 0 })
+            .with(ChaosEvent::ConnectionDrop { reply: 0 });
+        let chaos = ServeChaos::new(&plan);
+        assert_eq!(chaos.on_dispatch(), DispatchAction::Panic);
+        assert_eq!(chaos.on_reply(), ReplyAction::Drop);
+    }
+}

@@ -140,6 +140,27 @@ pub enum SdpError {
     },
     /// The server is draining for shutdown and admits no new work.
     ShuttingDown,
+    /// A request's deadline expired before an engine produced its
+    /// answer; the job was discarded without burning engine work.
+    DeadlineExceeded {
+        /// Milliseconds the request had waited when it was expired.
+        waited_ms: u64,
+        /// The deadline the request carried (client-supplied or the
+        /// server default).
+        deadline_ms: u64,
+    },
+    /// The admission queue is above its shed threshold; the request was
+    /// shed pre-emptively so queued work keeps meeting its deadlines.
+    Overloaded {
+        /// Suggested client back-off before retrying.
+        retry_after_ms: u64,
+    },
+    /// The circuit breaker for this engine class is open (the engine
+    /// has been failing) and no degraded fallback applied.
+    CircuitOpen {
+        /// Milliseconds until the breaker will admit a probe.
+        retry_after_ms: u64,
+    },
 }
 
 impl fmt::Display for SdpError {
@@ -204,6 +225,19 @@ impl fmt::Display for SdpError {
                 write!(f, "admission queue full (depth {depth})")
             }
             SdpError::ShuttingDown => write!(f, "server is shutting down"),
+            SdpError::DeadlineExceeded {
+                waited_ms,
+                deadline_ms,
+            } => write!(
+                f,
+                "deadline exceeded (waited {waited_ms} ms, deadline {deadline_ms} ms)"
+            ),
+            SdpError::Overloaded { retry_after_ms } => {
+                write!(f, "server overloaded, retry after {retry_after_ms} ms")
+            }
+            SdpError::CircuitOpen { retry_after_ms } => {
+                write!(f, "engine circuit open, retry after {retry_after_ms} ms")
+            }
         }
     }
 }

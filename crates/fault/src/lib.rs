@@ -17,6 +17,10 @@
 //!   (catches transients) and triple-modular-redundancy voting (catches
 //!   any single faulty replica), both panic-safe, reporting
 //!   [`RecoveryStats`];
+//! * [`ChaosPlan`] / [`ServeChaos`] — the same idea one level up:
+//!   deterministic, seed-driven failures for the *serving* path
+//!   (engine panics and stalls, torn socket writes, connection drops),
+//!   behind a zero-overhead no-op default;
 //! * [`SdpError`] — the typed error returned by the workspace's public
 //!   API boundaries instead of panicking on malformed input.
 //!
@@ -28,11 +32,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod error;
 pub mod inject;
 pub mod plan;
 pub mod recover;
 
+pub use chaos::{
+    ChaosDomain, ChaosEvent, ChaosPlan, ChaosRates, DispatchAction, ReplyAction, ServeChaos,
+    CHAOS_KINDS,
+};
 pub use error::SdpError;
 pub use inject::{BusFault, FaultInjector, FaultyWord, NoFaults, PeFault, PlanInjector};
 pub use plan::{Fault, FaultDomain, FaultPlan, FaultRates};

@@ -211,17 +211,18 @@ impl FaultPlan {
 }
 
 /// SplitMix64: the minimal deterministic generator used for fault
-/// placement (seeds map to the same plan on every platform).
-struct SplitMix64 {
+/// placement (seeds map to the same plan on every platform).  Shared
+/// with the serving-level chaos planner in [`crate::chaos`].
+pub(crate) struct SplitMix64 {
     state: u64,
 }
 
 impl SplitMix64 {
-    fn new(seed: u64) -> SplitMix64 {
+    pub(crate) fn new(seed: u64) -> SplitMix64 {
         SplitMix64 { state: seed }
     }
 
-    fn next(&mut self) -> u64 {
+    pub(crate) fn next(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
         let mut z = self.state;
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
@@ -230,7 +231,7 @@ impl SplitMix64 {
     }
 
     /// Uniform draw in `[0, bound)` (bound > 0).
-    fn below(&mut self, bound: u64) -> u64 {
+    pub(crate) fn below(&mut self, bound: u64) -> u64 {
         self.next() % bound
     }
 }

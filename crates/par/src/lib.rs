@@ -127,6 +127,48 @@ pub fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// Runs `f` on a named thread and panics if it does not finish within
+/// `timeout` — converting a deadlock or wedge into a loud test failure
+/// instead of a hung suite.
+///
+/// This is the watchdog pattern the PR 5 deadlock-regression test
+/// introduced (a channel send on completion, `recv_timeout` on the
+/// observer side), extracted so stress tests across the workspace stop
+/// re-rolling it.  If `f` panics, the panic is propagated to the caller
+/// (via the join) rather than reported as a timeout.
+pub fn watchdog<R, F>(label: &str, timeout: std::time::Duration, f: F) -> R
+where
+    R: Send + 'static,
+    F: FnOnce() -> R + Send + 'static,
+{
+    let (tx, rx) = std::sync::mpsc::channel();
+    let handle = std::thread::Builder::new()
+        .name(format!("watchdog-{label}"))
+        .spawn(move || {
+            let out = f();
+            // A dropped receiver only happens after a timeout panic.
+            let _ = tx.send(());
+            out
+        })
+        .expect("spawn watchdog thread");
+    match rx.recv_timeout(timeout) {
+        Ok(()) => match handle.join() {
+            Ok(out) => out,
+            Err(p) => std::panic::resume_unwind(p),
+        },
+        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+            // The worker died without sending: propagate its panic.
+            match handle.join() {
+                Ok(out) => out,
+                Err(p) => std::panic::resume_unwind(p),
+            }
+        }
+        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+            panic!("watchdog '{label}': no completion within {timeout:?} (deadlock?)")
+        }
+    }
+}
+
 /// A work-stealing pool of a fixed number of workers.
 ///
 /// The pool itself is cheap to construct; workers are scoped to each

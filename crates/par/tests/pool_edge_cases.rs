@@ -2,7 +2,7 @@
 //! that exceed the batch, degenerate pool sizes, and panic containment
 //! when most workers have nothing to do.
 
-use sdp_par::{lock_recover, StealPool};
+use sdp_par::{lock_recover, watchdog, StealPool};
 use std::sync::{Arc, Mutex};
 
 #[test]
@@ -104,19 +104,19 @@ fn contended_stealing_does_not_deadlock() {
     // workers racing to steal the stragglers.  One task per worker
     // maximizes empty-deque probing; on a single-core host the buggy
     // loop reliably wedges within a few hundred rounds at this width.
-    // A watchdog converts a deadlock into a test failure instead of a
+    // The watchdog converts a deadlock into a test failure instead of a
     // hung suite.
-    let (tx, rx) = std::sync::mpsc::channel();
-    std::thread::spawn(move || {
-        let pool = StealPool::new(16);
-        for round in 0..4000u64 {
-            let out = pool.run((0..16).map(|i| move || round + i).collect::<Vec<_>>());
-            assert!(out.iter().all(Option::is_some));
-        }
-        tx.send(()).ok();
-    });
-    rx.recv_timeout(std::time::Duration::from_secs(60))
-        .expect("steal pool deadlocked under contention");
+    watchdog(
+        "contended-stealing",
+        std::time::Duration::from_secs(60),
+        || {
+            let pool = StealPool::new(16);
+            for round in 0..4000u64 {
+                let out = pool.run((0..16).map(|i| move || round + i).collect::<Vec<_>>());
+                assert!(out.iter().all(Option::is_some));
+            }
+        },
+    );
 }
 
 #[test]

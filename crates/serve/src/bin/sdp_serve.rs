@@ -3,7 +3,9 @@
 //!
 //! ```text
 //! sdp-serve [ADDR] [--workers N] [--max-batch N] [--max-delay-ms N]
-//!           [--cache N] [--max-queue N] [--trace-out FILE]
+//!           [--cache N] [--max-queue N] [--shed-queue N]
+//!           [--default-deadline-ms N] [--idle-timeout-ms N]
+//!           [--trace-out FILE]
 //! ```
 //!
 //! `--trace-out FILE` enables per-request span tracing and, after the
@@ -16,7 +18,8 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: sdp-serve [ADDR] [--workers N] [--max-batch N] \
-         [--max-delay-ms N] [--cache N] [--max-queue N] [--trace-out FILE]"
+         [--max-delay-ms N] [--cache N] [--max-queue N] [--shed-queue N] \
+         [--default-deadline-ms N] [--idle-timeout-ms N] [--trace-out FILE]"
     );
     std::process::exit(2);
 }
@@ -44,6 +47,15 @@ fn main() {
             }
             "--cache" => cfg.cache_capacity = num_arg(&mut args, "--cache"),
             "--max-queue" => cfg.max_queue = num_arg(&mut args, "--max-queue").max(1),
+            "--shed-queue" => cfg.shed_queue = num_arg(&mut args, "--shed-queue").max(1),
+            "--default-deadline-ms" => {
+                cfg.default_deadline =
+                    Duration::from_millis(num_arg(&mut args, "--default-deadline-ms") as u64)
+            }
+            "--idle-timeout-ms" => {
+                cfg.idle_timeout =
+                    Duration::from_millis(num_arg(&mut args, "--idle-timeout-ms").max(1) as u64)
+            }
             "--trace-out" => {
                 let path = args.next().unwrap_or_else(|| {
                     eprintln!("--trace-out needs a file path");

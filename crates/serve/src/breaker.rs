@@ -1,0 +1,286 @@
+//! Per-engine-class circuit breaker.
+//!
+//! Each engine class gets one breaker with the classic three-state
+//! machine.  **Closed** (normal): every request is admitted; engine
+//! bucket panics count as consecutive failures and `trip_after` of
+//! them in a row trip the breaker.  **Open**: requests are *not*
+//! dispatched to the suspect engine — small, decode-validated inputs
+//! degrade to the `sdp-oracle` reference solver (graceful degradation,
+//! not silence), the rest fast-reject with a typed `circuit_open`
+//! error carrying the remaining cooldown as `retry_after_ms`.  After
+//! `cooldown` the breaker lets exactly one **half-open** probe through
+//! to the real engine; success closes the breaker, another panic
+//! reopens it for a fresh cooldown.
+//!
+//! Only panics count as failures: a malformed problem is the client's
+//! fault and says nothing about engine health.  State changes mirror
+//! into the metrics registry (`sdp_breaker_state`,
+//! `sdp_breaker_trips_total`) so trips are visible in the Prometheus
+//! export.
+
+use sdp_metrics::{Counter, Gauge};
+use sdp_par::lock_recover;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Breaker tuning knobs (from the server [`Config`](crate::Config)).
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Consecutive bucket panics that trip the breaker open.
+    pub trip_after: u32,
+    /// How long the breaker stays open before admitting one probe.
+    pub cooldown: Duration,
+}
+
+/// Gauge encoding of the breaker state (pinned by the metrics schema).
+pub const STATE_CLOSED: i64 = 0;
+/// Half-open: one probe is allowed through to the real engine.
+pub const STATE_HALF_OPEN: i64 = 1;
+/// Open: requests degrade to the fallback or fast-reject.
+pub const STATE_OPEN: i64 = 2;
+
+enum State {
+    Closed { consecutive_failures: u32 },
+    Open { until: Instant },
+    HalfOpen { probe_in_flight: bool },
+}
+
+/// What the breaker says about one incoming request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Dispatch to the real engine (`probe` marks the half-open test
+    /// request).
+    Admit {
+        /// True when this is the single half-open probe.
+        probe: bool,
+    },
+    /// Do not dispatch; degrade or fast-reject.
+    Reject {
+        /// Milliseconds until a probe will be admitted.
+        retry_after_ms: u64,
+    },
+}
+
+/// One engine class's breaker.
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: Mutex<State>,
+    state_gauge: Arc<Gauge>,
+    trips: Arc<Counter>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker wired to its metrics series.
+    pub fn new(cfg: BreakerConfig, state_gauge: Arc<Gauge>, trips: Arc<Counter>) -> CircuitBreaker {
+        state_gauge.set(STATE_CLOSED);
+        CircuitBreaker {
+            cfg,
+            state: Mutex::new(State::Closed {
+                consecutive_failures: 0,
+            }),
+            state_gauge,
+            trips,
+        }
+    }
+
+    /// Gate one incoming request of this class.
+    pub fn admit(&self) -> Admission {
+        let mut s = lock_recover(&self.state);
+        match *s {
+            State::Closed { .. } => Admission::Admit { probe: false },
+            State::Open { until } => {
+                let now = Instant::now();
+                if now >= until {
+                    *s = State::HalfOpen {
+                        probe_in_flight: true,
+                    };
+                    self.state_gauge.set(STATE_HALF_OPEN);
+                    Admission::Admit { probe: true }
+                } else {
+                    Admission::Reject {
+                        retry_after_ms: (until - now).as_millis().max(1) as u64,
+                    }
+                }
+            }
+            State::HalfOpen {
+                probe_in_flight: false,
+            } => {
+                *s = State::HalfOpen {
+                    probe_in_flight: true,
+                };
+                Admission::Admit { probe: true }
+            }
+            State::HalfOpen {
+                probe_in_flight: true,
+            } => Admission::Reject {
+                retry_after_ms: (self.cfg.cooldown.as_millis().max(1)) as u64,
+            },
+        }
+    }
+
+    /// Report one engine-bucket outcome for this class (`ok` is false
+    /// when the bucket panicked).
+    pub fn record(&self, ok: bool) {
+        let mut s = lock_recover(&self.state);
+        match (&mut *s, ok) {
+            (
+                State::Closed {
+                    consecutive_failures,
+                },
+                true,
+            ) => *consecutive_failures = 0,
+            (
+                State::Closed {
+                    consecutive_failures,
+                },
+                false,
+            ) => {
+                *consecutive_failures += 1;
+                if *consecutive_failures >= self.cfg.trip_after {
+                    *s = State::Open {
+                        until: Instant::now() + self.cfg.cooldown,
+                    };
+                    self.state_gauge.set(STATE_OPEN);
+                    self.trips.inc();
+                }
+            }
+            (State::HalfOpen { .. }, true) => {
+                *s = State::Closed {
+                    consecutive_failures: 0,
+                };
+                self.state_gauge.set(STATE_CLOSED);
+            }
+            (State::HalfOpen { .. }, false) => {
+                *s = State::Open {
+                    until: Instant::now() + self.cfg.cooldown,
+                };
+                self.state_gauge.set(STATE_OPEN);
+                self.trips.inc();
+            }
+            // A stale bucket from before the trip; the open timer
+            // already covers it.
+            (State::Open { .. }, _) => {}
+        }
+    }
+
+    /// Report that an admitted bucket never reached the engine (every
+    /// rider expired pre-dispatch).  Frees a half-open probe slot so
+    /// an expired probe cannot wedge the breaker half-open forever.
+    pub fn record_skip(&self) {
+        let mut s = lock_recover(&self.state);
+        if let State::HalfOpen { probe_in_flight } = &mut *s {
+            *probe_in_flight = false;
+        }
+    }
+
+    /// Current state as its gauge code (test/JSON hook).
+    pub fn state_code(&self) -> i64 {
+        self.state_gauge.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(trip_after: u32, cooldown_ms: u64) -> CircuitBreaker {
+        CircuitBreaker::new(
+            BreakerConfig {
+                trip_after,
+                cooldown: Duration::from_millis(cooldown_ms),
+            },
+            Arc::new(Gauge::new()),
+            Arc::new(Counter::new()),
+        )
+    }
+
+    #[test]
+    fn stays_closed_under_success_and_isolated_failures() {
+        let b = breaker(3, 50);
+        for _ in 0..10 {
+            assert_eq!(b.admit(), Admission::Admit { probe: false });
+            b.record(true);
+        }
+        b.record(false);
+        b.record(false);
+        b.record(true); // streak broken
+        b.record(false);
+        b.record(false);
+        assert_eq!(b.state_code(), STATE_CLOSED);
+        assert_eq!(b.admit(), Admission::Admit { probe: false });
+    }
+
+    #[test]
+    fn trips_open_after_consecutive_failures_and_rejects() {
+        let b = breaker(2, 10_000);
+        b.record(false);
+        b.record(false);
+        assert_eq!(b.state_code(), STATE_OPEN);
+        match b.admit() {
+            Admission::Reject { retry_after_ms } => assert!(retry_after_ms >= 1),
+            other => panic!("expected Reject, got {other:?}"),
+        }
+        // Results from buckets dispatched before the trip don't close it.
+        b.record(true);
+        assert_eq!(b.state_code(), STATE_OPEN);
+    }
+
+    #[test]
+    fn half_open_probe_success_closes() {
+        let b = breaker(1, 20);
+        b.record(false);
+        assert_eq!(b.state_code(), STATE_OPEN);
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(b.admit(), Admission::Admit { probe: true });
+        // Only one probe at a time.
+        assert!(matches!(b.admit(), Admission::Reject { .. }));
+        b.record(true);
+        assert_eq!(b.state_code(), STATE_CLOSED);
+        assert_eq!(b.admit(), Admission::Admit { probe: false });
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens() {
+        let b = breaker(1, 20);
+        b.record(false);
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(b.admit(), Admission::Admit { probe: true });
+        b.record(false);
+        assert_eq!(b.state_code(), STATE_OPEN);
+        assert!(matches!(b.admit(), Admission::Reject { .. }));
+    }
+
+    #[test]
+    fn expired_probe_releases_the_slot() {
+        let b = breaker(1, 20);
+        b.record(false);
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(b.admit(), Admission::Admit { probe: true });
+        b.record_skip();
+        // The slot is free again without waiting another cooldown.
+        assert_eq!(b.admit(), Admission::Admit { probe: true });
+    }
+
+    #[test]
+    fn trip_counter_and_gauge_mirror_transitions() {
+        let gauge = Arc::new(Gauge::new());
+        let trips = Arc::new(Counter::new());
+        let b = CircuitBreaker::new(
+            BreakerConfig {
+                trip_after: 1,
+                cooldown: Duration::from_millis(10),
+            },
+            Arc::clone(&gauge),
+            Arc::clone(&trips),
+        );
+        assert_eq!(gauge.get(), STATE_CLOSED);
+        b.record(false);
+        assert_eq!(gauge.get(), STATE_OPEN);
+        assert_eq!(trips.get(), 1);
+        std::thread::sleep(Duration::from_millis(15));
+        b.admit();
+        assert_eq!(gauge.get(), STATE_HALF_OPEN);
+        b.record(false);
+        assert_eq!(trips.get(), 2);
+    }
+}

@@ -1,6 +1,13 @@
 //! A small blocking client for the wire protocol, plus request-line
-//! builders.  Used by the smoke binary, the E24 experiment, and the
-//! differential tests — anything that talks to a running server.
+//! builders.  Used by the smoke binary, the E24/E26 experiments, and
+//! the differential tests — anything that talks to a running server.
+//!
+//! Robustness hooks: [`Client::set_read_timeout`] turns a dead server
+//! into a typed `TimedOut` error instead of a hang, and
+//! [`Client::call_with_retry`] honors the server's backpressure
+//! protocol — `overloaded` / `circuit_open` / `queue_full` responses
+//! are retried with jittered exponential backoff, preferring the
+//! server's own `retry_after_ms` hint when present.
 
 use crate::json;
 use crate::protocol::matrix_to_json;
@@ -8,6 +15,7 @@ use sdp_semiring::{Matrix, MinPlus};
 use sdp_trace::json::Json;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// One parsed response line.
 #[derive(Clone, Debug)]
@@ -22,8 +30,14 @@ pub struct Response {
     pub error_kind: Option<String>,
     /// Human-readable error message.
     pub error_message: Option<String>,
+    /// Server backpressure hint: retry no sooner than this many ms
+    /// (`overloaded` / `circuit_open` errors only).
+    pub retry_after_ms: Option<i64>,
     /// Whether the result came from the server's LRU cache.
     pub cached: bool,
+    /// True when an open circuit breaker answered from the reference
+    /// solver instead of the systolic engine.
+    pub degraded: bool,
     /// Coalesced batch size the request rode in (0 = not batched).
     pub batch: i64,
     /// The raw response line, for byte-level comparisons.
@@ -53,12 +67,83 @@ impl Response {
                 .and_then(|e| json::get(e, "message"))
                 .and_then(json::as_str)
                 .map(str::to_owned),
+            retry_after_ms: err
+                .and_then(|e| json::get(e, "retry_after_ms"))
+                .and_then(json::as_i64),
             cached: json::get(&doc, "cached")
+                .and_then(json::as_bool)
+                .unwrap_or(false),
+            degraded: json::get(&doc, "degraded")
                 .and_then(json::as_bool)
                 .unwrap_or(false),
             batch: json::get(&doc, "batch").and_then(json::as_i64).unwrap_or(0),
             raw,
         })
+    }
+
+    /// True for the error kinds that are worth retrying: transient
+    /// backpressure, not client mistakes.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self.error_kind.as_deref(),
+            Some("overloaded") | Some("circuit_open") | Some("queue_full")
+        )
+    }
+}
+
+/// Jittered-exponential-backoff retry schedule for
+/// [`Client::call_with_retry`].  Deterministic: the jitter comes from a
+/// SplitMix64 stream seeded with `seed`, so a fixed seed replays the
+/// exact same sleep schedule (the chaos harness depends on this).
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = plain `call_raw`).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles each further retry.
+    pub base_backoff: Duration,
+    /// Upper clamp on any single backoff sleep (hints included).
+    pub max_backoff: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(1),
+            seed: 0x5d_2026,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `attempt` (0-based), honoring the
+    /// server's `retry_after_ms` hint as the floor of the window when
+    /// present.  Jitter picks uniformly from `[base/2, base]` so
+    /// synchronized clients spread out instead of retrying in lockstep.
+    pub fn backoff(&self, attempt: u32, hint_ms: Option<i64>, rng_state: &mut u64) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.max_backoff);
+        let base = match hint_ms {
+            Some(ms) if ms > 0 => Duration::from_millis(ms as u64)
+                .min(self.max_backoff)
+                .max(exp),
+            _ => exp,
+        };
+        let base_ms = base.as_millis().max(1) as u64;
+        // SplitMix64 step — small enough to inline rather than exposing
+        // sdp-fault's internal RNG.
+        *rng_state = rng_state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *rng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let jitter = z % (base_ms / 2 + 1);
+        Duration::from_millis(base_ms - jitter)
     }
 }
 
@@ -79,6 +164,14 @@ impl Client {
         })
     }
 
+    /// Bounds every subsequent read: a server that accepts the
+    /// connection but never answers surfaces as a typed
+    /// [`std::io::ErrorKind::TimedOut`] error instead of a hang.
+    /// `None` restores blocking reads.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
     /// Sends one raw request line and reads one response line.
     pub fn call_raw(&mut self, line: &str) -> std::io::Result<Response> {
         self.writer.write_all(line.as_bytes())?;
@@ -97,7 +190,21 @@ impl Client {
     /// Reads the next response line.
     pub fn read_response(&mut self) -> std::io::Result<Response> {
         let mut line = String::new();
-        let n = self.reader.read_line(&mut line)?;
+        let n = self.reader.read_line(&mut line).map_err(|e| {
+            // Unix reports an elapsed read timeout as WouldBlock;
+            // normalize so callers can match one kind.
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) {
+                std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "timed out waiting for a response line",
+                )
+            } else {
+                e
+            }
+        })?;
         if n == 0 {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::UnexpectedEof,
@@ -105,6 +212,29 @@ impl Client {
             ));
         }
         Response::parse(line.trim_end().to_owned())
+    }
+
+    /// [`Client::call_raw`] plus the backpressure retry protocol:
+    /// `overloaded` / `circuit_open` / `queue_full` responses are
+    /// retried up to `policy.max_retries` times with deterministic
+    /// jittered exponential backoff, honoring the server's
+    /// `retry_after_ms` hint.  Returns the last response either way —
+    /// callers still check `ok`.
+    pub fn call_with_retry(
+        &mut self,
+        line: &str,
+        policy: &RetryPolicy,
+    ) -> std::io::Result<Response> {
+        let mut rng_state = policy.seed;
+        let mut response = self.call_raw(line)?;
+        for attempt in 0..policy.max_retries {
+            if response.ok || !response.is_retryable() {
+                return Ok(response);
+            }
+            std::thread::sleep(policy.backoff(attempt, response.retry_after_ms, &mut rng_state));
+            response = self.call_raw(line)?;
+        }
+        Ok(response)
     }
 
     /// Fetches a metrics snapshot.
@@ -178,6 +308,15 @@ pub fn bst_request(id: i64, freq: &[u64]) -> String {
             Json::Array(freq.iter().map(|&f| Json::from(f)).collect()),
         )
         .render()
+}
+
+/// Attaches a `deadline_ms` budget to an already-rendered compute
+/// request line (the server clamps a missing field to its default).
+pub fn with_deadline(line: &str, deadline_ms: u64) -> String {
+    match json::parse(line) {
+        Ok(doc) => doc.with("deadline_ms", deadline_ms).render(),
+        Err(_) => line.to_owned(),
+    }
 }
 
 /// `metrics` request line.

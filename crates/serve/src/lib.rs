@@ -17,7 +17,8 @@
 //! Module map:
 //! - [`json`]: wire-format parser (inverse of `sdp-trace`'s serializer)
 //! - [`protocol`]: request decoding, canonical keys, response envelopes
-//! - [`queue`]: admission control and batch coalescing
+//! - [`queue`]: admission control, load shedding, and batch coalescing
+//! - [`breaker`]: per-engine-class circuit breaker
 //! - [`engine`]: per-class dispatch onto the systolic engines
 //! - [`cache`]: exact-key LRU result cache
 //! - [`metrics`]: lock-free telemetry (counters, histograms, spans)
@@ -27,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+pub mod breaker;
 pub mod cache;
 pub mod client;
 pub mod engine;
@@ -36,9 +38,11 @@ pub mod protocol;
 pub mod queue;
 pub mod server;
 
-pub use client::Client;
+pub use client::{Client, RetryPolicy};
 pub use server::{serve, ServerHandle};
 
+use sdp_fault::ServeChaos;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Server configuration.
@@ -48,6 +52,10 @@ pub struct Config {
     pub addr: String,
     /// Admission-queue depth limit (beyond it: `queue_full`).
     pub max_queue: usize,
+    /// Load-shed threshold: at or beyond this queue depth (but below
+    /// `max_queue`) new work is shed with a typed `overloaded` error
+    /// carrying a `retry_after_ms` hint.
+    pub shed_queue: usize,
     /// Coalesced-batch size cap.
     pub max_batch: usize,
     /// Coalescing delay window.
@@ -58,6 +66,29 @@ pub struct Config {
     pub workers: usize,
     /// Request-line byte limit (beyond it: `payload_too_large`).
     pub max_request_bytes: usize,
+    /// Deadline applied to requests that carry no `deadline_ms` field.
+    /// Jobs still queued when their deadline passes are expired with a
+    /// typed `deadline_exceeded` error instead of burning engine work.
+    pub default_deadline: Duration,
+    /// A connection with no complete request line for this long is
+    /// reaped (closed), so slow-loris clients cannot pin connection
+    /// threads forever.
+    pub idle_timeout: Duration,
+    /// Socket write timeout for response lines.
+    pub write_timeout: Duration,
+    /// Consecutive engine-bucket panics of one class that trip that
+    /// class's circuit breaker open.
+    pub breaker_trip_after: u32,
+    /// How long a tripped breaker stays open before admitting one
+    /// half-open probe.
+    pub breaker_cooldown: Duration,
+    /// While a breaker is open, requests whose canonical key is at most
+    /// this many bytes are answered by the `sdp-oracle` reference
+    /// solver (degraded but correct); larger ones are fast-rejected.
+    pub breaker_fallback_max_bytes: usize,
+    /// Serving-level chaos injection (`None` in production: the hooks
+    /// cost one `Option` check per site).
+    pub chaos: Option<Arc<ServeChaos>>,
     /// Collect per-request phase spans into an in-memory Chrome trace,
     /// exported via [`ServerHandle::trace_snapshot`] (and the
     /// `sdp-serve --trace-out` flag).
@@ -69,11 +100,19 @@ impl Default for Config {
         Config {
             addr: "127.0.0.1:0".to_string(),
             max_queue: 1024,
+            shed_queue: 768,
             max_batch: 16,
             max_delay: Duration::from_millis(5),
             cache_capacity: 256,
             workers: 4,
             max_request_bytes: 1 << 20,
+            default_deadline: Duration::from_secs(30),
+            idle_timeout: Duration::from_secs(60),
+            write_timeout: Duration::from_secs(10),
+            breaker_trip_after: 5,
+            breaker_cooldown: Duration::from_secs(1),
+            breaker_fallback_max_bytes: 4096,
+            chaos: None,
             trace: false,
         }
     }

@@ -63,6 +63,10 @@ struct ClassMetrics {
     batch_sizes: Arc<Histogram>,
     /// One histogram per entry of [`PHASES`], in µs.
     phases: [Arc<Histogram>; PHASES.len()],
+    /// Circuit-breaker state gauge (0 closed, 1 half-open, 2 open).
+    breaker_state: Arc<Gauge>,
+    /// Times this class's breaker tripped open.
+    breaker_trips: Arc<Counter>,
 }
 
 /// The server's metrics surface: lock-free to record, lock-only-to-export.
@@ -74,8 +78,15 @@ pub struct Metrics {
     cache_misses: Arc<Counter>,
     cache_evictions: Arc<Counter>,
     rejected_queue_full: Arc<Counter>,
+    rejected_overloaded: Arc<Counter>,
+    rejected_circuit_open: Arc<Counter>,
     malformed: Arc<Counter>,
     oversized: Arc<Counter>,
+    deadline_exceeded: Arc<Counter>,
+    degraded: Arc<Counter>,
+    connections: Arc<Gauge>,
+    reaped: Arc<Counter>,
+    chaos: Vec<Arc<Counter>>,
     dispatches: Arc<Counter>,
     max_coalesced: Arc<Gauge>,
     /// Class-agnostic admission-queue wait (the coalesce phase), µs.
@@ -125,6 +136,8 @@ impl Metrics {
                             sdp_metrics::hist::LATENCY_BUCKETS,
                         )
                     }),
+                    breaker_state: registry.gauge("sdp_breaker_state", &l),
+                    breaker_trips: registry.counter("sdp_breaker_trips_total", &l),
                 }
             })
             .collect();
@@ -135,8 +148,18 @@ impl Metrics {
             cache_misses: registry.counter("sdp_cache_misses_total", &[]),
             cache_evictions: registry.counter("sdp_cache_evictions_total", &[]),
             rejected_queue_full: rejected("queue_full"),
+            rejected_overloaded: rejected("overloaded"),
+            rejected_circuit_open: rejected("circuit_open"),
             malformed: rejected("malformed"),
             oversized: rejected("oversized"),
+            deadline_exceeded: registry.counter("sdp_deadline_exceeded_total", &[]),
+            degraded: registry.counter("sdp_degraded_total", &[]),
+            connections: registry.gauge("sdp_connections", &[]),
+            reaped: registry.counter("sdp_reaped_connections_total", &[]),
+            chaos: sdp_fault::CHAOS_KINDS
+                .iter()
+                .map(|kind| registry.counter("sdp_chaos_injected_total", &[("kind", kind)]))
+                .collect(),
             dispatches: registry.counter("sdp_dispatches_total", &[]),
             max_coalesced: registry.gauge("sdp_max_coalesced", &[]),
             queue_wait: registry.histogram(
@@ -186,6 +209,72 @@ impl Metrics {
     /// Records an admission rejection for backpressure.
     pub fn rejected_queue_full(&self) {
         self.rejected_queue_full.inc();
+    }
+
+    /// Records a request shed at admission (`overloaded`).
+    pub fn rejected_overloaded(&self) {
+        self.rejected_overloaded.inc();
+    }
+
+    /// Records a fast-reject from an open circuit breaker.
+    pub fn rejected_circuit_open(&self) {
+        self.rejected_circuit_open.inc();
+    }
+
+    /// Records a job expired at dispatch time (deadline exceeded
+    /// before any engine work was spent on it).
+    pub fn deadline_expired(&self) {
+        self.deadline_exceeded.inc();
+    }
+
+    /// Records a request answered by the degraded oracle fallback
+    /// while this class's breaker was open.  Counts as served: the
+    /// client got a correct (if slower-path) answer.
+    pub fn degraded(&self, class: Class) {
+        self.degraded.inc();
+        self.served.inc();
+        self.class(class).requests.inc();
+    }
+
+    /// Records a connection accepted.
+    pub fn connection_opened(&self) {
+        self.connections.add(1);
+    }
+
+    /// Records a connection closed (any reason).
+    pub fn connection_closed(&self) {
+        self.connections.add(-1);
+    }
+
+    /// Live connection count (test hook).
+    pub fn active_connections(&self) -> i64 {
+        self.connections.get()
+    }
+
+    /// Records an idle/slow connection reaped by the read-timeout
+    /// watchdog.
+    pub fn reaped(&self) {
+        self.reaped.inc();
+    }
+
+    /// Reaped-connection count so far (test hook).
+    pub fn reaped_count(&self) -> u64 {
+        self.reaped.get()
+    }
+
+    /// Records one injected chaos event (`kind` must be one of
+    /// [`sdp_fault::CHAOS_KINDS`]).
+    pub fn chaos_injected(&self, kind: &str) {
+        if let Some(i) = sdp_fault::CHAOS_KINDS.iter().position(|&k| k == kind) {
+            self.chaos[i].inc();
+        }
+    }
+
+    /// The breaker metrics series for one class, for wiring into a
+    /// [`CircuitBreaker`](crate::breaker::CircuitBreaker).
+    pub fn breaker_series(&self, class: Class) -> (Arc<Gauge>, Arc<Counter>) {
+        let c = self.class(class);
+        (Arc::clone(&c.breaker_state), Arc::clone(&c.breaker_trips))
     }
 
     /// Records a protocol decode failure.
@@ -328,6 +417,12 @@ impl Metrics {
                     .with("requests", c.requests.get())
                     .with("errors", c.errors.get())
                     .with("batches", c.batches.get())
+                    .with(
+                        "breaker",
+                        Json::object()
+                            .with("state", c.breaker_state.get())
+                            .with("trips", c.breaker_trips.get()),
+                    )
                     .with("mean_ms", us_to_ms(lat.sum) / (lat.count.max(1) as f64))
                     .with("max_ms", us_to_ms(lat.max))
                     .with("total_ms", us_to_ms(lat.sum))
@@ -397,9 +492,22 @@ impl Metrics {
                 "rejected",
                 Json::object()
                     .with("queue_full", self.rejected_queue_full.get())
+                    .with("overloaded", self.rejected_overloaded.get())
+                    .with("circuit_open", self.rejected_circuit_open.get())
                     .with("malformed", self.malformed.get())
                     .with("oversized", self.oversized.get()),
             )
+            .with("deadline_exceeded", self.deadline_exceeded.get())
+            .with("degraded", self.degraded.get())
+            .with("connections", self.connections.get())
+            .with("reaped", self.reaped.get())
+            .with("chaos", {
+                let mut chaos = Json::object();
+                for (i, kind) in sdp_fault::CHAOS_KINDS.iter().enumerate() {
+                    chaos = chaos.with(kind, self.chaos[i].get());
+                }
+                chaos
+            })
             .with("classes", classes)
             .with("queue_wait", Self::phase_json(&qwait))
             .with("pool", pool)
@@ -480,6 +588,79 @@ mod tests {
         }
         assert!(json::get(&doc, "pool").is_some());
         assert!(json::get(&doc, "slowest").is_some());
+    }
+
+    #[test]
+    fn robustness_series_land_in_both_exporters() {
+        let m = Metrics::new(2);
+        m.rejected_overloaded();
+        m.rejected_circuit_open();
+        m.deadline_expired();
+        m.degraded(Class::Edit);
+        m.connection_opened();
+        m.connection_opened();
+        m.connection_closed();
+        m.reaped();
+        m.chaos_injected("engine_panic");
+        m.chaos_injected("connection_drop");
+        m.chaos_injected("no_such_kind"); // ignored, not a panic
+        let (gauge, trips) = m.breaker_series(Class::Matmul);
+        gauge.set(2);
+        trips.inc();
+
+        let doc = m.to_json(0);
+        let rejected = json::get(&doc, "rejected").unwrap();
+        assert_eq!(
+            json::as_i64(json::get(rejected, "overloaded").unwrap()),
+            Some(1)
+        );
+        assert_eq!(
+            json::as_i64(json::get(rejected, "circuit_open").unwrap()),
+            Some(1)
+        );
+        assert_eq!(
+            json::as_i64(json::get(&doc, "deadline_exceeded").unwrap()),
+            Some(1)
+        );
+        assert_eq!(json::as_i64(json::get(&doc, "degraded").unwrap()), Some(1));
+        assert_eq!(
+            json::as_i64(json::get(&doc, "connections").unwrap()),
+            Some(1)
+        );
+        assert_eq!(json::as_i64(json::get(&doc, "reaped").unwrap()), Some(1));
+        let chaos = json::get(&doc, "chaos").unwrap();
+        assert_eq!(
+            json::as_i64(json::get(chaos, "engine_panic").unwrap()),
+            Some(1)
+        );
+        assert_eq!(
+            json::as_i64(json::get(chaos, "engine_stall").unwrap()),
+            Some(0)
+        );
+        let classes = json::get(&doc, "classes").unwrap();
+        let mm = json::get(classes, "matmul").unwrap();
+        let breaker = json::get(mm, "breaker").unwrap();
+        assert_eq!(json::as_i64(json::get(breaker, "state").unwrap()), Some(2));
+        assert_eq!(json::as_i64(json::get(breaker, "trips").unwrap()), Some(1));
+        // Degraded answers count as served for that class.
+        let edit = json::get(classes, "edit").unwrap();
+        assert_eq!(json::as_i64(json::get(edit, "requests").unwrap()), Some(1));
+        assert_eq!(json::as_i64(json::get(&doc, "served").unwrap()), Some(1));
+
+        let prom = m.render_prometheus();
+        for series in [
+            "sdp_rejected_total{reason=\"overloaded\"} 1",
+            "sdp_rejected_total{reason=\"circuit_open\"} 1",
+            "sdp_deadline_exceeded_total 1",
+            "sdp_degraded_total 1",
+            "sdp_connections 1",
+            "sdp_reaped_connections_total 1",
+            "sdp_chaos_injected_total{kind=\"engine_panic\"} 1",
+            "sdp_breaker_state{class=\"matmul\"} 2",
+            "sdp_breaker_trips_total{class=\"matmul\"} 1",
+        ] {
+            assert!(prom.contains(series), "missing prometheus series {series}");
+        }
     }
 
     #[test]

@@ -271,6 +271,9 @@ pub enum Request {
         id: i64,
         /// The decoded problem.
         body: Body,
+        /// Client-supplied deadline in milliseconds (`None`: the
+        /// server default applies).
+        deadline_ms: Option<u64>,
     },
     /// Metrics snapshot request (answered inline).
     Metrics {
@@ -492,7 +495,18 @@ pub fn decode(doc: &Json) -> Result<Request, SdpError> {
         "andor" => parse_andor(doc)?,
         other => return Err(bad(format!("unknown kind '{other}'"))),
     };
-    Ok(Request::Compute { id, body })
+    let deadline_ms = match json::get(doc, "deadline_ms") {
+        None | Some(Json::Null) => None,
+        Some(v) => match json::as_i64(v) {
+            Some(ms) if ms >= 0 => Some(ms as u64),
+            _ => return Err(bad("'deadline_ms' must be a non-negative integer")),
+        },
+    };
+    Ok(Request::Compute {
+        id,
+        body,
+        deadline_ms,
+    })
 }
 
 /// Renders a min-plus matrix as wire JSON (`null` = +∞).
@@ -544,22 +558,42 @@ pub fn error_kind(e: &SdpError) -> &'static str {
         SdpError::BadParameter { .. } => "bad_parameter",
         SdpError::EmptyBatch => "empty_batch",
         SdpError::BatchShapeMismatch { .. } => "batch_shape_mismatch",
+        SdpError::DeadlineExceeded { .. } => "deadline_exceeded",
+        SdpError::Overloaded { .. } => "overloaded",
+        SdpError::CircuitOpen { .. } => "circuit_open",
         _ => "engine_error",
     }
 }
 
+/// A successful response computed by the degraded fallback path (the
+/// circuit breaker routed around a failing engine to the reference
+/// solver); flagged so clients can tell, and never cached.
+pub fn degraded_response(id: i64, result: Json) -> String {
+    Json::object()
+        .with("id", Json::Int(id))
+        .with("ok", true)
+        .with("result", result)
+        .with("cached", false)
+        .with("batch", 0usize)
+        .with("degraded", true)
+        .render()
+}
+
 /// An error response line — the server's contract is that *every*
 /// failure becomes one of these, never a dropped connection.
+/// Backpressure errors carry a machine-readable `retry_after_ms` hint
+/// the client retry policy honours.
 pub fn error_response(id: i64, e: &SdpError) -> String {
+    let mut err = Json::object()
+        .with("kind", error_kind(e))
+        .with("message", e.to_string());
+    if let SdpError::Overloaded { retry_after_ms } | SdpError::CircuitOpen { retry_after_ms } = e {
+        err = err.with("retry_after_ms", *retry_after_ms);
+    }
     Json::object()
         .with("id", Json::Int(id))
         .with("ok", false)
-        .with(
-            "error",
-            Json::object()
-                .with("kind", error_kind(e))
-                .with("message", e.to_string()),
-        )
+        .with("error", err)
         .render()
 }
 
@@ -659,5 +693,51 @@ mod tests {
         assert!(r.contains("\"ok\":false"));
         assert!(r.contains("\"kind\":\"queue_full\""));
         assert!(r.contains("\"id\":7"));
+    }
+
+    #[test]
+    fn decodes_optional_deadline() {
+        let r = decode(&parse(r#"{"id":1,"kind":"edit","a":"x","b":"y"}"#).unwrap()).unwrap();
+        let Request::Compute { deadline_ms, .. } = r else {
+            panic!("compute");
+        };
+        assert_eq!(deadline_ms, None);
+        let r =
+            decode(&parse(r#"{"id":1,"kind":"edit","a":"x","b":"y","deadline_ms":250}"#).unwrap())
+                .unwrap();
+        let Request::Compute { deadline_ms, .. } = r else {
+            panic!("compute");
+        };
+        assert_eq!(deadline_ms, Some(250));
+        let bad = parse(r#"{"id":1,"kind":"edit","a":"x","b":"y","deadline_ms":-3}"#).unwrap();
+        assert!(decode(&bad).is_err(), "negative deadline must be rejected");
+    }
+
+    #[test]
+    fn backpressure_errors_carry_retry_hints() {
+        let r = error_response(3, &SdpError::Overloaded { retry_after_ms: 40 });
+        assert!(r.contains("\"kind\":\"overloaded\""));
+        assert!(r.contains("\"retry_after_ms\":40"));
+        let r = error_response(4, &SdpError::CircuitOpen { retry_after_ms: 75 });
+        assert!(r.contains("\"kind\":\"circuit_open\""));
+        assert!(r.contains("\"retry_after_ms\":75"));
+        let r = error_response(
+            5,
+            &SdpError::DeadlineExceeded {
+                waited_ms: 9,
+                deadline_ms: 5,
+            },
+        );
+        assert!(r.contains("\"kind\":\"deadline_exceeded\""));
+        assert!(!r.contains("retry_after_ms"), "no hint on deadline errors");
+    }
+
+    #[test]
+    fn degraded_responses_are_flagged_and_uncached() {
+        let r = degraded_response(11, Json::object().with("distance", 3u64));
+        assert!(r.contains("\"ok\":true"));
+        assert!(r.contains("\"degraded\":true"));
+        assert!(r.contains("\"cached\":false"));
+        assert!(r.contains("\"id\":11"));
     }
 }

@@ -9,12 +9,14 @@
 //! under pipelining is B/(B + fill/drain), so holding the window open a
 //! few milliseconds buys a larger B at a bounded latency cost.
 //!
-//! Backpressure is enforced at admission: beyond `max_queue` queued
-//! requests `submit` returns [`SdpError::QueueFull`] instead of growing
-//! without bound, and after [`Queue::start_drain`] it returns
-//! [`SdpError::ShuttingDown`].  The dispatcher thread calls
-//! [`Queue::next_batches`] in a loop; `None` means the queue drained
-//! and the server may exit.
+//! Backpressure is enforced at admission in two tiers: at or beyond
+//! `shed_queue` queued requests `submit` sheds with
+//! [`SdpError::Overloaded`] (carrying a `retry_after_ms` hint sized to
+//! the estimated drain time of the excess), beyond `max_queue` it
+//! hard-rejects with [`SdpError::QueueFull`], and after
+//! [`Queue::start_drain`] it returns [`SdpError::ShuttingDown`].  The
+//! dispatcher thread calls [`Queue::next_batches`] in a loop; `None`
+//! means the queue drained and the server may exit.
 
 use crate::protocol::Body;
 use crate::protocol::Class;
@@ -32,6 +34,9 @@ use std::time::{Duration, Instant};
 pub struct QueueConfig {
     /// Admission limit: queued (not yet dispatched) requests.
     pub max_queue: usize,
+    /// Shed threshold: at or beyond this depth (but below `max_queue`)
+    /// new work is shed with `overloaded` + `retry_after_ms`.
+    pub shed_queue: usize,
     /// Flush a bucket as soon as it holds this many requests.
     pub max_batch: usize,
     /// Flush a bucket when its oldest rider has waited this long.
@@ -42,6 +47,7 @@ impl Default for QueueConfig {
     fn default() -> QueueConfig {
         QueueConfig {
             max_queue: 1024,
+            shed_queue: 768,
             max_batch: 16,
             max_delay: Duration::from_millis(5),
         }
@@ -85,6 +91,11 @@ pub struct Job {
     pub tx: mpsc::Sender<JobResponse>,
     /// Admission time, for latency metrics.
     pub enqueued: Instant,
+    /// The job is expired (typed `deadline_exceeded`, no engine work)
+    /// if it is still undispatched at this instant.
+    pub deadline: Instant,
+    /// The deadline the request carried, for the error payload.
+    pub deadline_ms: u64,
 }
 
 struct Bucket {
@@ -144,6 +155,16 @@ impl Queue {
         }
         if q.depth >= self.cfg.max_queue {
             return Err(SdpError::QueueFull { depth: q.depth });
+        }
+        if q.depth >= self.cfg.shed_queue {
+            // Shed early with a hint sized to the estimated drain time
+            // of the excess: each max_batch-sized flush clears within
+            // about one delay window.
+            let excess_batches = (q.depth - self.cfg.shed_queue) / self.cfg.max_batch.max(1) + 1;
+            let window_ms = (self.cfg.max_delay.as_millis() as u64).max(1);
+            return Err(SdpError::Overloaded {
+                retry_after_ms: window_ms * excess_batches as u64,
+            });
         }
         q.depth += 1;
         self.depth_gauge.set(q.depth as i64);
@@ -227,6 +248,8 @@ mod tests {
                 cache_key: Vec::new(),
                 tx,
                 enqueued: Instant::now(),
+                deadline: Instant::now() + Duration::from_secs(3600),
+                deadline_ms: 3_600_000,
             },
             rx,
         )
@@ -236,6 +259,7 @@ mod tests {
     fn full_bucket_flushes_without_waiting_for_the_delay_window() {
         let q = Queue::new(QueueConfig {
             max_queue: 64,
+            shed_queue: 64,
             max_batch: 2,
             max_delay: Duration::from_secs(3600),
         });
@@ -253,6 +277,7 @@ mod tests {
     fn expired_bucket_flushes_even_when_not_full() {
         let q = Queue::new(QueueConfig {
             max_queue: 64,
+            shed_queue: 64,
             max_batch: 100,
             max_delay: Duration::from_millis(1),
         });
@@ -266,6 +291,7 @@ mod tests {
     fn different_shapes_land_in_different_buckets() {
         let q = Queue::new(QueueConfig {
             max_queue: 64,
+            shed_queue: 64,
             max_batch: 2,
             max_delay: Duration::from_millis(1),
         });
@@ -282,6 +308,7 @@ mod tests {
     fn overfull_queue_rejects_with_typed_error() {
         let q = Queue::new(QueueConfig {
             max_queue: 1,
+            shed_queue: 1,
             max_batch: 16,
             max_delay: Duration::from_secs(3600),
         });
@@ -292,9 +319,48 @@ mod tests {
     }
 
     #[test]
+    fn shed_threshold_returns_overloaded_with_retry_hint() {
+        let q = Queue::new(QueueConfig {
+            max_queue: 64,
+            shed_queue: 2,
+            max_batch: 16,
+            max_delay: Duration::from_millis(5),
+        });
+        let (j1, _r1) = job("ab", "cd");
+        let (j2, _r2) = job("ef", "gh");
+        let (j3, _r3) = job("ij", "kl");
+        q.submit(j1).unwrap();
+        q.submit(j2).unwrap();
+        match q.submit(j3).unwrap_err() {
+            SdpError::Overloaded { retry_after_ms } => {
+                assert!(retry_after_ms >= 1, "hint must be positive");
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        // Shedding does not grow the queue.
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn hard_cap_wins_over_shed_when_thresholds_coincide() {
+        // With shed_queue == max_queue == depth, the hard QueueFull
+        // rejection takes precedence (pinned by protocol tests that
+        // run a zero-capacity queue).
+        let q = Queue::new(QueueConfig {
+            max_queue: 0,
+            shed_queue: 0,
+            max_batch: 16,
+            max_delay: Duration::from_millis(5),
+        });
+        let (j, _r) = job("ab", "cd");
+        assert_eq!(q.submit(j).unwrap_err(), SdpError::QueueFull { depth: 0 });
+    }
+
+    #[test]
     fn depth_gauge_mirrors_admissions_and_flushes() {
         let q = Queue::new(QueueConfig {
             max_queue: 64,
+            shed_queue: 64,
             max_batch: 2,
             max_delay: Duration::from_secs(3600),
         });
@@ -313,6 +379,7 @@ mod tests {
     fn drain_flushes_leftovers_then_returns_none() {
         let q = Queue::new(QueueConfig {
             max_queue: 64,
+            shed_queue: 64,
             max_batch: 100,
             max_delay: Duration::from_secs(3600),
         });

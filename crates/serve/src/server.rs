@@ -17,22 +17,27 @@
 //! `task_panicked` for every rider of that bucket; the server itself
 //! keeps running.
 
+use crate::breaker::{Admission, BreakerConfig, CircuitBreaker};
 use crate::cache::LruCache;
 use crate::engine;
 use crate::metrics::{Metrics, PHASES};
-use crate::protocol::{self, Class, Request};
+use crate::protocol::{self, Body, Class, Request, CLASSES};
 use crate::queue::{Job, JobResponse, Queue, QueueConfig, SpanTimes};
 use crate::{json, Config};
-use sdp_fault::SdpError;
+use sdp_fault::{DispatchAction, ReplyAction, SdpError};
 use sdp_par::{lock_recover, StealPool};
 use sdp_trace::chrome::ChromeTrace;
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// How long the nonblocking acceptor sleeps between polls; bounds both
+/// accept latency and the shutdown-observation delay.
+const ACCEPT_TICK: Duration = Duration::from_millis(5);
 
 /// The in-memory Chrome trace a `Config { trace: true }` server
 /// collects: one slice per request phase, lanes keyed by engine class.
@@ -44,25 +49,25 @@ struct TraceState {
 
 struct Shared {
     cfg: Config,
-    addr: SocketAddr,
     queue: Queue,
     cache: Mutex<LruCache>,
     metrics: Metrics,
+    /// One circuit breaker per engine class, indexed by `Class::index`.
+    breakers: Vec<CircuitBreaker>,
     trace: Option<Mutex<TraceState>>,
     shutdown: AtomicBool,
 }
 
 impl Shared {
-    /// Idempotent shutdown trigger: stop admissions, flush leftovers,
-    /// and wake the acceptor with a loopback dial.
+    /// Idempotent shutdown trigger: stop admissions and flush
+    /// leftovers.  The acceptor polls a nonblocking listener, so
+    /// setting the flag is enough to stop it within one tick — no
+    /// loopback self-dial needed.
     fn begin_shutdown(&self) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
         self.queue.start_drain();
-        // accept() has no timeout; an empty connection unblocks it so
-        // the acceptor can observe the flag and exit.
-        let _ = TcpStream::connect(self.addr);
     }
 }
 
@@ -89,6 +94,22 @@ impl ServerHandle {
     /// Cache hits so far (test/experiment hook).
     pub fn cache_hits(&self) -> u64 {
         self.shared.metrics.cache_hits()
+    }
+
+    /// Currently-open client connections (test/experiment hook).
+    pub fn active_connections(&self) -> i64 {
+        self.shared.metrics.active_connections()
+    }
+
+    /// Connections reaped for idling past the timeout (test hook).
+    pub fn reaped_count(&self) -> u64 {
+        self.shared.metrics.reaped_count()
+    }
+
+    /// Current breaker state code for one engine class (test hook);
+    /// see [`crate::breaker`] for the encoding.
+    pub fn breaker_code(&self, class: Class) -> i64 {
+        self.shared.breakers[class.index()].state_code()
     }
 
     /// The rendered Chrome trace collected so far, or `None` when the
@@ -131,16 +152,32 @@ impl ServerHandle {
 pub fn serve(cfg: Config) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
+    // The acceptor polls so it can observe the shutdown flag without a
+    // wake-up connection (satellite fix for the old loopback self-poke).
+    listener.set_nonblocking(true)?;
     let queue_cfg = QueueConfig {
         max_queue: cfg.max_queue,
+        shed_queue: cfg.shed_queue,
         max_batch: cfg.max_batch,
         max_delay: cfg.max_delay,
     };
+    let metrics = Metrics::new(cfg.workers);
+    let breaker_cfg = BreakerConfig {
+        trip_after: cfg.breaker_trip_after,
+        cooldown: cfg.breaker_cooldown,
+    };
+    let breakers = CLASSES
+        .iter()
+        .map(|class| {
+            let (gauge, trips) = metrics.breaker_series(*class);
+            CircuitBreaker::new(breaker_cfg, gauge, trips)
+        })
+        .collect();
     let shared = Arc::new(Shared {
-        addr,
         queue: Queue::new(queue_cfg),
         cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
-        metrics: Metrics::new(cfg.workers),
+        metrics,
+        breakers,
         trace: cfg.trace.then(|| {
             Mutex::new(TraceState {
                 t0: Instant::now(),
@@ -175,17 +212,38 @@ pub fn serve(cfg: Config) -> std::io::Result<ServerHandle> {
 }
 
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
-    for stream in listener.incoming() {
+    loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
-        let Ok(stream) = stream else { continue };
-        let shared = Arc::clone(&shared);
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                thread::sleep(ACCEPT_TICK);
+                continue;
+            }
+            Err(_) => continue,
+        };
+        // The listener is nonblocking for the poll loop; accepted
+        // streams must not inherit that — connection threads rely on
+        // per-socket read timeouts instead.
+        if stream.set_nonblocking(false).is_err() {
+            continue;
+        }
+        shared.metrics.connection_opened();
+        let conn_shared = Arc::clone(&shared);
         // Detached: a connection that lingers past shutdown gets typed
         // shutting_down responses until the client closes it.
-        let _ = thread::Builder::new()
+        if thread::Builder::new()
             .name("sdp-serve-conn".into())
-            .spawn(move || handle_connection(stream, &shared));
+            .spawn(move || {
+                handle_connection(stream, &conn_shared);
+                conn_shared.metrics.connection_closed();
+            })
+            .is_err()
+        {
+            shared.metrics.connection_closed();
+        }
     }
 }
 
@@ -197,124 +255,235 @@ fn dispatch_loop(shared: &Arc<Shared>) {
             .into_iter()
             .map(|(class, jobs)| {
                 let shared = Arc::clone(shared);
-                move || {
-                    let started = Instant::now();
-                    let bodies: Vec<_> = jobs.iter().map(|j| j.body.clone()).collect();
-                    let size = jobs.len();
-                    shared.metrics.dispatched_batch(class, size);
-                    let results =
-                        catch_unwind(AssertUnwindSafe(|| engine::run_bucket(class, &bodies)))
-                            .unwrap_or_else(|_| {
-                                jobs.iter()
-                                    .map(|_| {
-                                        Err(SdpError::TaskPanicked {
-                                            task: 0,
-                                            attempts: 1,
-                                        })
-                                    })
-                                    .collect()
-                            });
-                    let engine_done = Instant::now();
-                    // Batch-level phase boundaries; only the coalesce
-                    // wait differs per rider (each admitted at its own
-                    // time, all flushed together).
-                    let queue_us = started.saturating_duration_since(flushed).as_micros() as u64;
-                    let engine_us =
-                        engine_done.saturating_duration_since(started).as_micros() as u64;
-                    for (job, result) in jobs.into_iter().zip(results) {
-                        let ok = result.is_ok();
-                        if let Ok(payload) = &result {
-                            if lock_recover(&shared.cache).insert(job.cache_key, payload.clone()) {
-                                shared.metrics.cache_evicted();
-                            }
-                        }
-                        let coalesce_us =
-                            flushed.saturating_duration_since(job.enqueued).as_micros() as u64;
-                        shared.metrics.record_dispatch_phases(
-                            class,
-                            coalesce_us,
-                            queue_us,
-                            engine_us,
-                        );
-                        shared.metrics.completed(class, ok, job.enqueued.elapsed());
-                        // A dropped receiver means the client hung up
-                        // mid-request; the work is simply discarded.
-                        let _ = job.tx.send(JobResponse {
-                            result,
-                            batch: size,
-                            span: SpanTimes {
-                                coalesce_us,
-                                queue_us,
-                                engine_us,
-                                engine_done,
-                            },
-                        });
-                    }
-                }
+                move || dispatch_bucket(class, jobs, flushed, &shared)
             })
             .collect();
         pool.run_observed(tasks, shared.metrics.pool_stats());
     }
 }
 
-/// Reads one newline-terminated request line, enforcing the byte limit
-/// without trusting the client to ever send a newline.  Returns
-/// `Ok(None)` on clean EOF, `Err(bytes_read)` when the line exceeded
-/// the limit (the rest of the line is drained so the connection can
-/// continue).
-fn read_line_capped(
-    reader: &mut BufReader<TcpStream>,
-    limit: usize,
-) -> std::io::Result<Result<Option<String>, usize>> {
-    let mut buf = Vec::new();
-    let n = reader
-        .by_ref()
-        .take(limit as u64 + 1)
-        .read_until(b'\n', &mut buf)?;
-    if n == 0 {
-        return Ok(Ok(None));
+/// Answer one expired rider with `deadline_exceeded` without burning
+/// engine time on it.
+fn expire_job(job: Job, started: Instant, flushed: Instant, class: Class, shared: &Shared) {
+    let waited_ms = started.saturating_duration_since(job.enqueued).as_millis() as u64;
+    shared.metrics.deadline_expired();
+    shared
+        .metrics
+        .completed(class, false, job.enqueued.elapsed());
+    let coalesce_us = flushed.saturating_duration_since(job.enqueued).as_micros() as u64;
+    let queue_us = started.saturating_duration_since(flushed).as_micros() as u64;
+    let _ = job.tx.send(JobResponse {
+        result: Err(SdpError::DeadlineExceeded {
+            waited_ms,
+            deadline_ms: job.deadline_ms,
+        }),
+        batch: 0,
+        span: SpanTimes {
+            coalesce_us,
+            queue_us,
+            engine_us: 0,
+            engine_done: started,
+        },
+    });
+}
+
+/// Run one coalesced bucket on the engine: expire overdue riders, apply
+/// any chaos dispatch action, catch engine panics, feed the class
+/// breaker, and fan replies back out to the connection threads.
+fn dispatch_bucket(class: Class, jobs: Vec<Job>, flushed: Instant, shared: &Shared) {
+    let started = Instant::now();
+    let breaker = &shared.breakers[class.index()];
+    // Jobs past their deadline are answered without engine work; the
+    // rest run as a (possibly smaller) bucket.
+    let (expired, live): (Vec<_>, Vec<_>) = jobs.into_iter().partition(|j| started >= j.deadline);
+    for job in expired {
+        expire_job(job, started, flushed, class, shared);
     }
-    if n > limit || (n == limit + 1 && buf.last() != Some(&b'\n')) {
-        // Drain the oversized line chunk-wise so the next request can
-        // be parsed from a clean boundary.
-        let mut total = n;
-        if buf.last() != Some(&b'\n') {
-            let mut chunk = [0u8; 4096];
-            'drain: loop {
-                let read = reader.read(&mut chunk)?;
-                if read == 0 {
-                    break;
+    if live.is_empty() {
+        // Nothing reached the engine, so this bucket says nothing
+        // about engine health — but it may have been the half-open
+        // probe, whose slot must be released.
+        breaker.record_skip();
+        return;
+    }
+    let jobs = live;
+    let bodies: Vec<_> = jobs.iter().map(|j| j.body.clone()).collect();
+    let size = jobs.len();
+    shared.metrics.dispatched_batch(class, size);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if let Some(chaos) = &shared.cfg.chaos {
+            match chaos.on_dispatch() {
+                DispatchAction::Run => {}
+                DispatchAction::Stall { ms } => {
+                    shared.metrics.chaos_injected("engine_stall");
+                    thread::sleep(Duration::from_millis(ms));
                 }
-                total += read;
-                if chunk[..read].contains(&b'\n') {
-                    break 'drain;
+                DispatchAction::Panic => {
+                    shared.metrics.chaos_injected("engine_panic");
+                    panic!("chaos: injected engine panic");
                 }
             }
         }
-        return Ok(Err(total));
+        engine::run_bucket(class, &bodies)
+    }));
+    breaker.record(outcome.is_ok());
+    let results = outcome.unwrap_or_else(|_| {
+        jobs.iter()
+            .map(|_| {
+                Err(SdpError::TaskPanicked {
+                    task: 0,
+                    attempts: 1,
+                })
+            })
+            .collect()
+    });
+    let engine_done = Instant::now();
+    // Batch-level phase boundaries; only the coalesce wait differs per
+    // rider (each admitted at its own time, all flushed together).
+    let queue_us = started.saturating_duration_since(flushed).as_micros() as u64;
+    let engine_us = engine_done.saturating_duration_since(started).as_micros() as u64;
+    for (job, result) in jobs.into_iter().zip(results) {
+        let ok = result.is_ok();
+        if let Ok(payload) = &result {
+            if lock_recover(&shared.cache).insert(job.cache_key, payload.clone()) {
+                shared.metrics.cache_evicted();
+            }
+        }
+        let coalesce_us = flushed.saturating_duration_since(job.enqueued).as_micros() as u64;
+        shared
+            .metrics
+            .record_dispatch_phases(class, coalesce_us, queue_us, engine_us);
+        shared.metrics.completed(class, ok, job.enqueued.elapsed());
+        // A dropped receiver means the client hung up mid-request; the
+        // work is simply discarded.
+        let _ = job.tx.send(JobResponse {
+            result,
+            batch: size,
+            span: SpanTimes {
+                coalesce_us,
+                queue_us,
+                engine_us,
+                engine_done,
+            },
+        });
     }
-    if buf.last() == Some(&b'\n') {
-        buf.pop();
-        if buf.last() == Some(&b'\r') {
-            buf.pop();
+}
+
+/// One `read_line_capped` outcome.
+enum LineRead {
+    /// A complete request line (newline stripped).
+    Line(String),
+    /// Clean EOF, or EOF mid-line (client vanished either way).
+    Eof,
+    /// The line exceeded the byte limit; carries total bytes consumed
+    /// (the rest of the line was drained to a clean boundary).
+    TooLarge(usize),
+    /// No complete line arrived within the idle window — reap the
+    /// connection (slow-loris protection).
+    IdleTimeout,
+}
+
+/// True for the error kinds a read timeout surfaces as (`WouldBlock` on
+/// unix, `TimedOut` on some platforms).
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+/// Reads one newline-terminated request line, enforcing the byte limit
+/// without trusting the client to ever send a newline, and an overall
+/// idle deadline without trusting it to keep bytes flowing.  The socket
+/// carries a short read timeout (a fraction of `idle_timeout`), so a
+/// stalled read wakes up periodically to check the deadline; any
+/// received byte resets it.
+fn read_line_capped(
+    reader: &mut BufReader<TcpStream>,
+    limit: usize,
+    idle_timeout: Duration,
+) -> std::io::Result<LineRead> {
+    let mut deadline = Instant::now() + idle_timeout;
+    let mut buf: Vec<u8> = Vec::new();
+    // None while accumulating a normal line; Some(total) once the line
+    // blew the limit and we're draining to the next newline.
+    let mut oversized: Option<usize> = None;
+    loop {
+        // fill_buf's borrow must end before consume, so decide how many
+        // bytes to take (and whether they finish a line) first.
+        let (take, done) = match reader.fill_buf() {
+            Ok([]) => return Ok(LineRead::Eof),
+            Ok(available) => match available.iter().position(|b| *b == b'\n') {
+                Some(pos) => (pos + 1, true),
+                None => (available.len(), false),
+            },
+            Err(e) if is_timeout(&e) => {
+                if Instant::now() >= deadline {
+                    return Ok(LineRead::IdleTimeout);
+                }
+                continue;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if let Some(total) = &mut oversized {
+            *total += take;
+        } else {
+            buf.extend_from_slice(&reader.buffer()[..take]);
+            // Same boundary as before the rewrite: the newline counts
+            // against the limit.
+            if buf.len() > limit {
+                oversized = Some(buf.len());
+                buf.clear();
+            }
+        }
+        reader.consume(take);
+        deadline = Instant::now() + idle_timeout;
+        if done {
+            if let Some(total) = oversized {
+                return Ok(LineRead::TooLarge(total));
+            }
+            buf.pop(); // the newline
+            if buf.last() == Some(&b'\r') {
+                buf.pop();
+            }
+            return Ok(LineRead::Line(String::from_utf8_lossy(&buf).into_owned()));
         }
     }
-    Ok(Ok(Some(String::from_utf8_lossy(&buf).into_owned())))
 }
 
 fn handle_connection(stream: TcpStream, shared: &Shared) {
+    // Short read timeout so a stalled connection wakes up to check its
+    // idle deadline; write timeout so a client that stops draining its
+    // socket cannot pin this thread in write_all forever.
+    let tick =
+        (shared.cfg.idle_timeout / 4).clamp(Duration::from_millis(10), Duration::from_millis(250));
+    if stream.set_read_timeout(Some(tick)).is_err() {
+        return;
+    }
+    if stream
+        .set_write_timeout(Some(shared.cfg.write_timeout))
+        .is_err()
+    {
+        return;
+    }
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
     let mut writer = write_half;
     let mut reader = BufReader::new(stream);
     loop {
-        let line = match read_line_capped(&mut reader, shared.cfg.max_request_bytes) {
-            Ok(Ok(Some(line))) => line,
+        let line = match read_line_capped(
+            &mut reader,
+            shared.cfg.max_request_bytes,
+            shared.cfg.idle_timeout,
+        ) {
+            Ok(LineRead::Line(line)) => line,
             // Clean EOF or a mid-request disconnect: either way the
             // client is gone; drop the connection, never the server.
-            Ok(Ok(None)) | Err(_) => return,
-            Ok(Err(bytes)) => {
+            Ok(LineRead::Eof) | Err(_) => return,
+            Ok(LineRead::IdleTimeout) => {
+                shared.metrics.reaped();
+                return;
+            }
+            Ok(LineRead::TooLarge(bytes)) => {
                 shared.metrics.oversized();
                 let e = SdpError::PayloadTooLarge {
                     bytes,
@@ -330,7 +499,32 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             continue;
         }
         let reply = handle_line(&line, shared);
-        if respond(&mut writer, &reply).is_err() {
+        // Chaos reply actions apply only to compute replies: torn
+        // writes and connection drops model a flaky network around
+        // real work, while metrics/shutdown/error replies stay intact
+        // so harnesses can always observe final state.
+        if reply.is_compute {
+            if let Some(chaos) = &shared.cfg.chaos {
+                match chaos.on_reply() {
+                    ReplyAction::Deliver => {}
+                    ReplyAction::Tear => {
+                        shared.metrics.chaos_injected("torn_write");
+                        let half = reply.text.len() / 2;
+                        let _ = writer.write_all(&reply.text.as_bytes()[..half]);
+                        let _ = writer.flush();
+                        if respond_tail(&mut writer, &reply.text[half..]).is_err() {
+                            return;
+                        }
+                        continue;
+                    }
+                    ReplyAction::Drop => {
+                        shared.metrics.chaos_injected("connection_drop");
+                        return;
+                    }
+                }
+            }
+        }
+        if respond(&mut writer, &reply.text).is_err() {
             return;
         }
     }
@@ -342,12 +536,47 @@ fn respond(writer: &mut TcpStream, line: &str) -> std::io::Result<()> {
     writer.flush()
 }
 
-fn handle_line(line: &str, shared: &Shared) -> String {
+/// Second half of a torn write: the line still completes (the tear is a
+/// mid-line flush boundary, not data loss) so the invariant checker can
+/// prove exactly-one-reply even under torn-write chaos.
+fn respond_tail(writer: &mut TcpStream, rest: &str) -> std::io::Result<()> {
+    writer.write_all(rest.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// One reply line plus whether it answers a compute request (only
+/// compute replies are subject to chaos reply actions).
+struct Reply {
+    text: String,
+    is_compute: bool,
+}
+
+impl Reply {
+    fn control(text: String) -> Reply {
+        Reply {
+            text,
+            is_compute: false,
+        }
+    }
+
+    fn compute(text: String) -> Reply {
+        Reply {
+            text,
+            is_compute: true,
+        }
+    }
+}
+
+fn handle_line(line: &str, shared: &Shared) -> Reply {
     let doc = match json::parse(line) {
         Ok(doc) => doc,
         Err(reason) => {
             shared.metrics.malformed();
-            return protocol::error_response(0, &SdpError::MalformedRequest { reason });
+            return Reply::control(protocol::error_response(
+                0,
+                &SdpError::MalformedRequest { reason },
+            ));
         }
     };
     let request = match protocol::decode(&doc) {
@@ -355,26 +584,30 @@ fn handle_line(line: &str, shared: &Shared) -> String {
         Err(e) => {
             shared.metrics.malformed();
             let id = json::get(&doc, "id").and_then(json::as_i64).unwrap_or(0);
-            return protocol::error_response(id, &e);
+            return Reply::control(protocol::error_response(id, &e));
         }
     };
     match request {
         Request::Metrics { id } => {
             let snapshot = shared.metrics.to_json(shared.queue.depth());
-            protocol::ok_response(id, snapshot, false, 0)
+            Reply::control(protocol::ok_response(id, snapshot, false, 0))
         }
         Request::MetricsText { id } => {
             let payload = Json::object()
                 .with("format", "prometheus")
                 .with("text", shared.metrics.render_prometheus());
-            protocol::ok_response(id, payload, false, 0)
+            Reply::control(protocol::ok_response(id, payload, false, 0))
         }
         Request::Shutdown { id } => {
             let reply = protocol::ok_response(id, Json::object().with("draining", true), false, 0);
             shared.begin_shutdown();
-            reply
+            Reply::control(reply)
         }
-        Request::Compute { id, body } => handle_compute(id, body, shared),
+        Request::Compute {
+            id,
+            body,
+            deadline_ms,
+        } => Reply::compute(handle_compute(id, body, deadline_ms, shared)),
     }
 }
 
@@ -425,7 +658,22 @@ fn finish_span(id: i64, class: Class, batch: usize, span: &SpanTimes, shared: &S
     }
 }
 
-fn handle_compute(id: i64, body: crate::protocol::Body, shared: &Shared) -> String {
+/// The oracle fallback an open breaker degrades to, for classes whose
+/// served payload is bit-identical to the engine's.  `Chain` is out
+/// (the engine adds a `steps` field) and `Multistage` is out (interior
+/// shape checks are engine-side), so those fast-reject instead.
+fn fallback_payload(body: &Body) -> Option<Json> {
+    use sdp_oracle::served;
+    match body {
+        Body::Matmul { a, b } => Some(served::served_matmul(a, b)),
+        Body::Edit { a, b } => Some(served::served_edit(a, b)),
+        Body::Bst { freq } => Some(served::served_bst(freq)),
+        Body::AndOr { graph, root } => Some(served::served_andor(graph, *root)),
+        Body::Chain { .. } | Body::Multistage { .. } => None,
+    }
+}
+
+fn handle_compute(id: i64, body: Body, deadline_ms: Option<u64>, shared: &Shared) -> String {
     let class = body.class();
     let key = body.canonical_key();
     if let Some(payload) = lock_recover(&shared.cache).get(&key) {
@@ -433,16 +681,48 @@ fn handle_compute(id: i64, body: crate::protocol::Body, shared: &Shared) -> Stri
         return protocol::ok_response(id, payload, true, 0);
     }
     shared.metrics.cache_miss();
+    let breaker = &shared.breakers[class.index()];
+    let admission = breaker.admit();
+    if let Admission::Reject { retry_after_ms } = admission {
+        // Open breaker: degrade small decode-validated inputs to the
+        // reference solver instead of going dark; everything else
+        // fast-rejects with the remaining cooldown as a retry hint.
+        if key.len() <= shared.cfg.breaker_fallback_max_bytes {
+            if let Some(payload) = fallback_payload(&body) {
+                shared.metrics.degraded(class);
+                return protocol::degraded_response(id, payload);
+            }
+        }
+        shared.metrics.rejected_circuit_open();
+        return protocol::error_response(id, &SdpError::CircuitOpen { retry_after_ms });
+    }
+    let probe = matches!(admission, Admission::Admit { probe: true });
+    let deadline_ms = deadline_ms.unwrap_or(shared.cfg.default_deadline.as_millis() as u64);
+    let now = Instant::now();
+    let deadline = now
+        .checked_add(Duration::from_millis(deadline_ms))
+        // An absurd deadline_ms can overflow Instant arithmetic; a
+        // year out is indistinguishable from "no deadline".
+        .unwrap_or_else(|| now + Duration::from_secs(365 * 24 * 3600));
     let (tx, rx) = mpsc::channel();
     let job = Job {
         body,
         cache_key: key,
         tx,
-        enqueued: Instant::now(),
+        enqueued: now,
+        deadline,
+        deadline_ms,
     };
     if let Err(e) = shared.queue.submit(job) {
-        if matches!(e, SdpError::QueueFull { .. }) {
-            shared.metrics.rejected_queue_full();
+        match &e {
+            SdpError::QueueFull { .. } => shared.metrics.rejected_queue_full(),
+            SdpError::Overloaded { .. } => shared.metrics.rejected_overloaded(),
+            _ => {}
+        }
+        if probe {
+            // The probe never reached the engine; free its slot so the
+            // breaker can try again.
+            breaker.record_skip();
         }
         return protocol::error_response(id, &e);
     }

@@ -1,0 +1,223 @@
+//! Property: under ANY chaos seed and ANY concurrent request mix,
+//! every request the server accepts yields exactly one reply or one
+//! typed error — no duplicates, no silent losses — and the server
+//! drains cleanly afterwards.
+//!
+//! Client-side accounting rules (the TCP subtleties matter):
+//! - a write failure means the request never reached the server; it is
+//!   retried on a fresh connection, not counted;
+//! - a read failure after a successful write is a lost reply — legal
+//!   only when connection-drop chaos was actually injected, and one
+//!   injected drop can cost at most two observations (the in-flight
+//!   reply plus one racing write that buffered into a dying socket).
+
+use proptest::proptest;
+use sdp_fault::{ChaosDomain, ChaosPlan, ChaosRates, ServeChaos};
+use sdp_oracle::served;
+use sdp_par::watchdog;
+use sdp_serve::client::{self, Client};
+use sdp_serve::{json, Config};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Chaos-injected engine panics print no backtrace noise: the hook
+/// swallows payloads carrying the "chaos" marker and defers everything
+/// else to the default hook.
+fn quiet_chaos_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<&str>()
+                .copied()
+                .map(str::to_owned)
+                .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            if msg.contains("chaos") {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// The fixed traffic palette: small edit problems with known oracle
+/// answers (cache is off, so every ok response crossed an engine or
+/// the degraded fallback — either way the payload must match).
+const PAIRS: [(&str, &str); 4] = [
+    ("kitten", "sitting"),
+    ("saturn", "urbane"),
+    ("flaw", "lawn"),
+    ("gumbo", "gambol"),
+];
+
+struct ClientTally {
+    ok: u64,
+    typed: u64,
+    lost: u64,
+}
+
+fn run_client(addr: std::net::SocketAddr, client_idx: usize, reqs: usize) -> ClientTally {
+    let mut tally = ClientTally {
+        ok: 0,
+        typed: 0,
+        lost: 0,
+    };
+    let mut conn = Client::connect(addr).expect("connect");
+    for r in 0..reqs {
+        let id = (client_idx * reqs + r) as i64 + 1;
+        let (a, b) = PAIRS[(client_idx + r) % PAIRS.len()];
+        let line = client::edit_request(id, a, b);
+        // Bounded write retries: a failed write never reached the
+        // server, so resending cannot double-submit.
+        let mut outcome = None;
+        for _ in 0..4 {
+            match conn.send_raw(&line) {
+                Ok(()) => {}
+                Err(_) => {
+                    conn = Client::connect(addr).expect("reconnect");
+                    continue;
+                }
+            }
+            match conn.read_response() {
+                Ok(resp) => {
+                    outcome = Some(Some(resp));
+                    break;
+                }
+                Err(_) => {
+                    // Reply lost to a connection drop (or a write that
+                    // buffered into a dying socket).
+                    outcome = Some(None);
+                    conn = Client::connect(addr).expect("reconnect");
+                    break;
+                }
+            }
+        }
+        match outcome.expect("write retries exhausted without reaching the server") {
+            Some(resp) => {
+                assert_eq!(resp.id, id, "response correlation broke");
+                if resp.ok {
+                    let expect = served::served_edit(a.as_bytes(), b.as_bytes()).render();
+                    assert_eq!(
+                        resp.result.expect("payload").render(),
+                        expect,
+                        "ok response diverged from the oracle (degraded={})",
+                        resp.degraded
+                    );
+                    tally.ok += 1;
+                } else {
+                    assert!(resp.error_kind.is_some(), "untyped error: {}", resp.raw);
+                    tally.typed += 1;
+                }
+            }
+            None => tally.lost += 1,
+        }
+    }
+    // Duplicate sentinel: any stray extra reply in the stream would
+    // surface as an id mismatch here.
+    if let Ok(resp) = conn.call_raw(&client::metrics_request(900_000 + client_idx as i64)) {
+        assert_eq!(
+            resp.id,
+            900_000 + client_idx as i64,
+            "stray duplicate reply"
+        );
+    }
+    tally
+}
+
+fn run_case(seed: u64, clients: usize, reqs: usize) {
+    quiet_chaos_panics();
+    let total = (clients * reqs) as u64;
+    let plan = ChaosPlan::random(
+        seed,
+        ChaosRates {
+            engine_panics: 2,
+            engine_stalls: 2,
+            torn_writes: 3,
+            connection_drops: 2,
+        },
+        ChaosDomain {
+            dispatches: total,
+            replies: total,
+            max_stall_ms: 20,
+        },
+    );
+    let chaos = Arc::new(ServeChaos::new(&plan));
+    let handle = sdp_serve::serve(Config {
+        max_delay: Duration::from_millis(2),
+        cache_capacity: 0,
+        breaker_trip_after: 2,
+        breaker_cooldown: Duration::from_millis(50),
+        breaker_fallback_max_bytes: 64,
+        chaos: Some(Arc::clone(&chaos)),
+        ..Config::default()
+    })
+    .expect("bind");
+    let addr = handle.addr();
+
+    let tallies: Arc<Mutex<Vec<ClientTally>>> = Arc::new(Mutex::new(Vec::new()));
+    let threads: Vec<_> = (0..clients)
+        .map(|c| {
+            let tallies = Arc::clone(&tallies);
+            std::thread::spawn(move || {
+                let t = run_client(addr, c, reqs);
+                tallies.lock().unwrap().push(t);
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread");
+    }
+
+    let tallies = tallies.lock().unwrap();
+    let (ok, typed, lost) = tallies.iter().fold((0, 0, 0), |(o, t, l), x| {
+        (o + x.ok, t + x.typed, l + x.lost)
+    });
+    // Exactly one outcome per request.
+    assert_eq!(
+        ok + typed + lost,
+        total,
+        "outcome accounting broke (ok={ok} typed={typed} lost={lost})"
+    );
+    // Losses are explained by injected drops and nothing else: each
+    // injected drop loses the in-flight reply (≥1) and can additionally
+    // eat one racing write that buffered into the dying socket (≤2).
+    let drops = chaos.drops_injected();
+    assert!(
+        lost >= drops,
+        "{drops} drops injected but only {lost} replies lost"
+    );
+    assert!(
+        lost <= 2 * drops,
+        "lost {lost} replies but only {drops} drops injected"
+    );
+
+    // The server is still fully functional and drains cleanly.
+    let mut c = Client::connect(addr).expect("post-chaos connect");
+    let m = c.metrics().expect("metrics");
+    let doc = m.result.expect("payload");
+    assert_eq!(
+        json::get(&doc, "queue_depth").and_then(json::as_i64),
+        Some(0),
+        "queue did not drain"
+    );
+    drop(c);
+    handle.shutdown();
+}
+
+proptest! {
+    #![proptest_config(proptest::test_runner::Config::with_cases(12))]
+    #[test]
+    fn every_accepted_request_has_exactly_one_outcome(
+        seed in 0u64..(1u64 << 48),
+        clients in 1usize..=3,
+        reqs in 2usize..=6,
+    ) {
+        watchdog("chaos-case", Duration::from_secs(60), move || {
+            run_case(seed, clients, reqs);
+        });
+    }
+}

@@ -1,0 +1,115 @@
+//! Slow-loris protection end-to-end: a client that sends half a
+//! request line (or nothing at all) and stalls must not block other
+//! clients, must be reaped after the idle timeout, and the connection
+//! gauge must return to baseline.  Plus the client-side dual: a server
+//! that accepts but never answers surfaces as a typed read timeout.
+
+use sdp_par::watchdog;
+use sdp_serve::client::{self, Client};
+use sdp_serve::Config;
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Polls `cond` until true or `timeout`; false on expiry.
+fn eventually(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    cond()
+}
+
+#[test]
+fn half_written_lines_are_reaped_and_do_not_block_other_clients() {
+    watchdog("slow-client", Duration::from_secs(60), || {
+        let handle = sdp_serve::serve(Config {
+            idle_timeout: Duration::from_millis(300),
+            ..Config::default()
+        })
+        .expect("bind");
+        let addr = handle.addr();
+
+        // Two pathological connections: one totally silent, one that
+        // sends half an NDJSON line and stalls mid-request.
+        let silent = TcpStream::connect(addr).expect("silent connect");
+        let mut torn = TcpStream::connect(addr).expect("torn connect");
+        torn.write_all(br#"{"id":7,"kind":"edit","a":"kit"#)
+            .expect("half line");
+        torn.flush().expect("flush");
+
+        // A well-behaved client keeps getting answers while the two
+        // stalled connections sit there.
+        let mut c = Client::connect(addr).expect("connect");
+        for i in 0..5 {
+            let resp = c
+                .call_raw(&client::edit_request(i, "abcde", "abxde"))
+                .expect("healthy client call");
+            assert!(resp.ok, "healthy request {i}: {:?}", resp.error_message);
+        }
+
+        // Both stalled connections get reaped once their idle window
+        // passes — never the healthy one.
+        assert!(
+            eventually(Duration::from_secs(10), || handle.reaped_count() >= 2),
+            "stalled connections were not reaped (reaped={})",
+            handle.reaped_count()
+        );
+        assert_eq!(handle.reaped_count(), 2, "healthy connection reaped too");
+
+        // The healthy client still works after the reaping.
+        let resp = c
+            .call_raw(&client::edit_request(99, "still", "alive"))
+            .expect("post-reap call");
+        assert!(resp.ok);
+
+        // Gauge: only the healthy connection remains, and closing it
+        // returns the count to zero.
+        assert!(
+            eventually(Duration::from_secs(5), || handle.active_connections() == 1),
+            "connection gauge stuck at {}",
+            handle.active_connections()
+        );
+        drop(c);
+        assert!(
+            eventually(Duration::from_secs(5), || handle.active_connections() == 0),
+            "connection gauge did not return to baseline: {}",
+            handle.active_connections()
+        );
+
+        drop(silent);
+        drop(torn);
+        handle.shutdown();
+    });
+}
+
+#[test]
+fn client_read_timeout_turns_a_dead_server_into_a_typed_error() {
+    // A "server" that accepts the connection and then says nothing.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let (hold_tx, hold_rx) = std::sync::mpsc::channel::<()>();
+    let acceptor = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("accept");
+        // Keep the socket open (no reply, no EOF) until the test ends.
+        let _ = hold_rx.recv();
+        drop(stream);
+    });
+
+    let mut c = Client::connect(addr).expect("connect");
+    c.set_read_timeout(Some(Duration::from_millis(200)))
+        .expect("set timeout");
+    c.send_raw(&client::metrics_request(1)).expect("send");
+    let err = c.read_response().expect_err("must not block forever");
+    assert_eq!(
+        err.kind(),
+        std::io::ErrorKind::TimedOut,
+        "expected a typed timeout, got {err:?}"
+    );
+
+    hold_tx.send(()).ok();
+    acceptor.join().expect("acceptor thread");
+}
