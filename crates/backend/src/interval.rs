@@ -1,0 +1,217 @@
+//! Direct interval DP (matrix chain, optimal BST) mirroring the
+//! AND/OR reference recurrences and the chain array's schedule length.
+//!
+//! The reference solvers in `sdp-andor` walk nested `Vec<Vec<Cost>>`
+//! tables whose inner split loop reads `cost[k+1][j]` — a strided
+//! column walk that misses cache on every step once the table outgrows
+//! L2.  The direct solvers sweep the same diagonals over flat row-major
+//! tables and keep a *transposed mirror* of the cost table, so both
+//! terms of the split scan (`cost[i][k]` and `costᵀ[j][k+1]`) are
+//! contiguous.  The candidate expression, its saturating-add
+//! association, and the first-strict-minimum split tie-break are
+//! replicated literally, so cost *and* split table are bit-identical
+//! to `matrix_chain_order` / `optimal_bst`.
+
+use sdp_andor::chain::ChainSolution;
+use sdp_fault::SdpError;
+use sdp_semiring::Cost;
+
+/// Saturating `r_{i−1}·r_k·r_j` as a finite [`Cost`] (the reference
+/// solver's overflow clamp, replicated).
+fn triple_product_cost(a: u64, b: u64, c: u64) -> Cost {
+    Cost::saturating_from_u64(a.saturating_mul(b).saturating_mul(c))
+}
+
+/// Flat `n × n` cost table plus its transposed mirror and split table.
+struct Tables {
+    n: usize,
+    cost: Vec<Cost>,
+    cost_t: Vec<Cost>,
+    split: Vec<usize>,
+}
+
+impl Tables {
+    fn new(n: usize) -> Tables {
+        Tables {
+            n,
+            cost: vec![Cost::ZERO; n * n],
+            cost_t: vec![Cost::ZERO; n * n],
+            split: vec![0usize; n * n],
+        }
+    }
+
+    fn set(&mut self, i: usize, j: usize, c: Cost, k: usize) {
+        self.cost[i * self.n + j] = c;
+        self.cost_t[j * self.n + i] = c;
+        self.split[i * self.n + j] = k;
+    }
+
+    fn solution(self) -> ChainSolution {
+        let n = self.n;
+        ChainSolution {
+            cost: self.cost[n - 1], // (0, n−1)
+            split: (0..n)
+                .map(|i| self.split[i * n..(i + 1) * n].to_vec())
+                .collect(),
+            n,
+        }
+    }
+}
+
+/// Direct matrix-chain order: bit-identical cost *and* split table to
+/// `sdp_andor::chain::try_matrix_chain_order`, computed over flat
+/// tables with contiguous split scans.
+pub fn chain_direct(dims: &[u64]) -> Result<ChainSolution, SdpError> {
+    if dims.len() < 2 {
+        return Err(SdpError::BadParameter {
+            name: "dims.len()",
+            got: dims.len() as u64,
+            min: 2,
+        });
+    }
+    if let Some(&bad) = dims.iter().find(|&&d| d == 0) {
+        return Err(SdpError::BadParameter {
+            name: "dims[i]",
+            got: bad,
+            min: 1,
+        });
+    }
+    let n = dims.len() - 1;
+    let mut t = Tables::new(n);
+    for len in 2..=n {
+        for i in 0..=n - len {
+            let j = i + len - 1;
+            let mut best = Cost::INF;
+            let mut arg = i;
+            let row_i = &t.cost[i * n..];
+            let row_jt = &t.cost_t[j * n..];
+            for k in i..j {
+                let c = row_i[k]
+                    + row_jt[k + 1]
+                    + triple_product_cost(dims[i], dims[k + 1], dims[j + 1]);
+                if c < best {
+                    best = c;
+                    arg = k;
+                }
+            }
+            t.set(i, j, best, arg);
+        }
+    }
+    Ok(t.solution())
+}
+
+/// Direct optimal BST: bit-identical cost *and* root table to
+/// `sdp_andor::chain::try_optimal_bst`.
+pub fn bst_direct(freq: &[u64]) -> Result<ChainSolution, SdpError> {
+    if freq.is_empty() {
+        return Err(SdpError::BadParameter {
+            name: "freq.len()",
+            got: 0,
+            min: 1,
+        });
+    }
+    let n = freq.len();
+    let mut pre = vec![0u64; n + 1];
+    for (i, &f) in freq.iter().enumerate() {
+        pre[i + 1] = pre[i] + f;
+    }
+    let weight = |i: usize, j: usize| (pre[j + 1] - pre[i]) as i64;
+    let mut t = Tables::new(n);
+    for (i, &f) in freq.iter().enumerate() {
+        t.set(i, i, Cost::from(f as i64), i);
+    }
+    for len in 2..=n {
+        for i in 0..=n - len {
+            let j = i + len - 1;
+            let mut best = Cost::INF;
+            let mut arg = i;
+            let w = Cost::from(weight(i, j));
+            let row_i = &t.cost[i * n..];
+            let row_jt = &t.cost_t[j * n..];
+            for r in i..=j {
+                let left = if r > i { row_i[r - 1] } else { Cost::ZERO };
+                let right = if r < j { row_jt[r + 1] } else { Cost::ZERO };
+                let c = left + right + w;
+                if c < best {
+                    best = c;
+                    arg = r;
+                }
+            }
+            t.set(i, j, best, arg);
+        }
+    }
+    Ok(t.solution())
+}
+
+/// Steps the chain array takes to retire an `n`-matrix chain under the
+/// broadcast mapping: Prop. 2's top-down recurrence gives exactly `n`
+/// (`td_recurrence(n) = n`), pinned against the simulator by test.
+pub fn chain_steps(n: usize) -> u64 {
+    n as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdp_andor::chain::{
+        matrix_chain_order, optimal_bst, try_matrix_chain_order, try_optimal_bst,
+    };
+    use sdp_core::chain_array::{simulate_chain_array, ChainMapping};
+
+    fn dims(seed: u64, n: usize) -> Vec<u64> {
+        let mut s = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        (0..=n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                1 + s % 40
+            })
+            .collect()
+    }
+
+    #[test]
+    fn chain_matches_reference_exactly() {
+        assert_eq!(
+            chain_direct(&[30, 35, 15, 5, 10, 20, 25]).unwrap(),
+            matrix_chain_order(&[30, 35, 15, 5, 10, 20, 25])
+        );
+        for n in 1..=12 {
+            let d = dims(n as u64, n);
+            assert_eq!(chain_direct(&d).unwrap(), matrix_chain_order(&d), "{d:?}");
+        }
+        // Saturating dimensions clamp identically.
+        let big = 2_100_000u64;
+        assert_eq!(
+            chain_direct(&[big, big, big, big]).unwrap(),
+            matrix_chain_order(&[big, big, big, big])
+        );
+    }
+
+    #[test]
+    fn bst_matches_reference_exactly() {
+        for n in 1..=12 {
+            let f = dims(100 + n as u64, n - 1);
+            assert_eq!(bst_direct(&f).unwrap(), optimal_bst(&f), "{f:?}");
+        }
+    }
+
+    #[test]
+    fn errors_match_reference() {
+        assert_eq!(chain_direct(&[7]).err(), try_matrix_chain_order(&[7]).err());
+        assert_eq!(
+            chain_direct(&[3, 0, 2]).err(),
+            try_matrix_chain_order(&[3, 0, 2]).err()
+        );
+        assert_eq!(bst_direct(&[]).err(), try_optimal_bst(&[]).err());
+    }
+
+    #[test]
+    fn chain_steps_matches_broadcast_simulation() {
+        for n in 1..=24 {
+            let d = dims(7 + n as u64, n);
+            let sim = simulate_chain_array(&d, ChainMapping::Broadcast);
+            assert_eq!(chain_steps(n), sim.finish, "n {n}");
+        }
+    }
+}

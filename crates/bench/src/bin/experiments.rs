@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of Wah & Li (1985).
 //!
 //! ```text
-//! experiments [all|e1|e2|e3|fig6|prop1|thm1|thm2|prop2|prop3|eq40|table1|e12..e20|degradation|throughput|serve|observe|chaos] [--json]
+//! experiments [all|e1|e2|e3|fig6|prop1|thm1|thm2|prop2|prop3|eq40|table1|e12..e20|degradation|throughput|serve|observe|chaos|backend] [--json]
 //! ```
 //!
 //! With `--json` the selected experiments are emitted as a single JSON
@@ -9,8 +9,9 @@
 //! additionally writes the document to `BENCH_pr1.json` in the current
 //! directory for regression tracking, `throughput --json` (E22) writes
 //! `BENCH_pr3.json`, `serve --json` (E24) writes `BENCH_pr5.json`,
-//! `observe --json` (E25) writes `BENCH_pr6.json`, and `chaos --json`
-//! (E26) writes `BENCH_pr7.json`.
+//! `observe --json` (E25) writes `BENCH_pr6.json`, `chaos --json`
+//! (E26) writes `BENCH_pr7.json`, and `backend --json` (E27) writes
+//! `BENCH_pr8.json`.
 
 use sdp_bench::experiments as ex;
 use sdp_bench::{reports_to_json, Report};
@@ -55,12 +56,14 @@ fn main() {
         "observe-quick" => vec![ex::report_e25_quick()],
         "e26" | "chaos" => vec![ex::report_e26()],
         "chaos-quick" => vec![ex::report_e26_quick()],
+        "e27" | "backend" => vec![ex::report_e27()],
+        "backend-quick" => vec![ex::report_e27_quick()],
         other => {
             eprintln!(
                 "unknown experiment '{other}'; expected one of: all e1 e2 e3 fig6 \
                  prop1 thm1 thm2 prop2 prop3 eq40 table1 e12..e20 degradation \
                  throughput throughput-quick serve serve-quick observe \
-                 observe-quick chaos chaos-quick [--json]"
+                 observe-quick chaos chaos-quick backend backend-quick [--json]"
             );
             std::process::exit(2);
         }
@@ -91,6 +94,11 @@ fn main() {
         if which == "e26" || which == "chaos" {
             if let Err(e) = std::fs::write("BENCH_pr7.json", format!("{doc}\n")) {
                 eprintln!("warning: could not write BENCH_pr7.json: {e}");
+            }
+        }
+        if which == "e27" || which == "backend" {
+            if let Err(e) = std::fs::write("BENCH_pr8.json", format!("{doc}\n")) {
+                eprintln!("warning: could not write BENCH_pr8.json: {e}");
             }
         }
     } else {

@@ -19,7 +19,14 @@ pub fn redact(json: &mut Json) {
         Json::Object(fields) => {
             for (k, v) in fields.iter_mut() {
                 let host_dependent = [
-                    "ms", "cores", "threads", "speedup", "overhead", "flagged", "title",
+                    "ms",
+                    "cores",
+                    "threads",
+                    "speedup",
+                    "overhead",
+                    "flagged",
+                    "title",
+                    "single_core",
                 ]
                 .iter()
                 .any(|n| k.contains(n));
@@ -45,7 +52,7 @@ pub fn redact(json: &mut Json) {
 /// their keys with nulled leaves, so the schema itself is still pinned.
 pub fn redact_load_dependent(json: &mut Json) {
     redact(json);
-    const LOAD_DEPENDENT: [&str; 10] = [
+    const LOAD_DEPENDENT: [&str; 11] = [
         "req_per_s",
         "coalesced",
         "cache_hits_seen",
@@ -54,6 +61,9 @@ pub fn redact_load_dependent(json: &mut Json) {
         "misses",
         "hit_rate",
         "batches",
+        // Per-engine bucket counts (sim/direct split) are dispatch
+        // events, so they vary with coalescing exactly like `batches`.
+        "engine",
         // Histogram sample counts (phase/queue-wait documents) depend
         // on how requests interleaved into batches.
         "samples",
@@ -85,6 +95,32 @@ pub fn redact_load_dependent(json: &mut Json) {
         }
     }
     walk(json, &LOAD_DEPENDENT);
+}
+
+/// Extends [`redact`] for the backend golden (E27): which ramp size
+/// first shows the direct solver at least matching the simulator is a
+/// wall-clock race, so `crossover_work` is nulled alongside the
+/// host-dependent timing fields.  What stays byte-compared: the class
+/// list, the deterministic size/work columns, and the per-row
+/// `payload_identical` verdicts.
+pub fn redact_backend(json: &mut Json) {
+    redact(json);
+    fn walk(json: &mut Json) {
+        match json {
+            Json::Object(fields) => {
+                for (k, v) in fields.iter_mut() {
+                    if k.contains("crossover") {
+                        *v = Json::Null;
+                    } else {
+                        walk(v);
+                    }
+                }
+            }
+            Json::Array(items) => items.iter_mut().for_each(walk),
+            _ => {}
+        }
+    }
+    walk(json);
 }
 
 /// Nulls every value under fields whose structure survives but whose

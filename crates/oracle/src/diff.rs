@@ -3,9 +3,13 @@
 //! Each `check_*` driver pushes **one** instance through *every*
 //! applicable engine variant — plain, traced, `try_*`, fault-traced
 //! under [`NoFaults`], batched, TMR/duplex resilient wrappers, spare
-//! columns, and the `StealPool`-backed D&C executor — and requires each
-//! answer to be bit-identical (via [`reference::weq`]) to the
-//! independent oracle's.  The paper-invariant checkers from
+//! columns, the `StealPool`-backed D&C executor, and the `sdp-backend`
+//! compiled direct solvers — and requires each answer to be
+//! bit-identical (via [`reference::weq`]) to the independent oracle's.
+//! The direct solvers are additionally held to **full-field
+//! [`sdp_systolic::Stats`] equality** against the simulated run: their analytic closed forms
+//! must reproduce the measured cycles, busy vectors, and I/O words
+//! exactly, or a direct run would be distinguishable downstream.  The paper-invariant checkers from
 //! [`crate::invariants`] run on the measured stats of the same runs, so
 //! a conformance sweep validates values *and* timing at once.
 //!
@@ -143,6 +147,38 @@ pub fn check_multistage_string(tag: &str, mats: &[Matrix<MinPlus>]) -> usize {
     );
     variants += 1;
 
+    // Design 1 direct backend: values vs the oracle, and the analytic
+    // Stats must equal the *measured* Stats field-for-field.
+    let direct1 = sdp_backend::design1_direct(m, mats).expect("d1 direct");
+    assert_values(tag, &direct1.values, &want_vals);
+    assert!(
+        weq(want_best, direct1.optimum()),
+        "{tag}: d1 direct optimum"
+    );
+    assert_eq!(direct1.cycles, runs[0].cycles, "{tag}: d1 direct cycles");
+    assert_eq!(
+        direct1.paper_iterations, runs[0].paper_iterations,
+        "{tag}: d1 direct paper iterations"
+    );
+    assert_eq!(
+        direct1.stats, runs[0].stats,
+        "{tag}: d1 direct analytic stats vs measured"
+    );
+    let direct1b =
+        sdp_backend::design1_direct_batch(m, &[mats, mats, mats]).expect("d1 direct batch");
+    for t in 0..3 {
+        assert_values(tag, &direct1b.values[t], &want_vals);
+    }
+    assert_eq!(
+        direct1b.cycles, batch.cycles,
+        "{tag}: d1 direct batch cycles"
+    );
+    assert_eq!(
+        direct1b.stats, batch.stats,
+        "{tag}: d1 direct batch analytic stats vs measured"
+    );
+    variants += 2;
+
     // Design 2 (broadcast, Fig. 4).
     let d2 = Design2Array::new(m);
     let runs2 = [
@@ -191,6 +227,39 @@ pub fn check_multistage_string(tag: &str, mats: &[Matrix<MinPlus>]) -> usize {
         "{tag}: broadcast batch is exactly B× one run"
     );
     variants += 1;
+
+    // Design 2 direct backend: the argmin path latches are observable
+    // output, so the direct solver must replicate them bit-for-bit too.
+    let direct2 = sdp_backend::design2_direct(m, mats).expect("d2 direct");
+    assert_values(tag, &direct2.values, &want_vals);
+    assert_eq!(direct2.path, runs2[0].path, "{tag}: d2 direct path latches");
+    assert_eq!(direct2.cycles, runs2[0].cycles, "{tag}: d2 direct cycles");
+    assert_eq!(
+        direct2.broadcast_words, runs2[0].broadcast_words,
+        "{tag}: d2 direct broadcast words"
+    );
+    assert_eq!(
+        direct2.stats, runs2[0].stats,
+        "{tag}: d2 direct analytic stats vs measured"
+    );
+    let direct2b =
+        sdp_backend::design2_direct_batch(m, &[mats, mats, mats]).expect("d2 direct batch");
+    for t in 0..3 {
+        assert_values(tag, &direct2b.values[t], &want_vals);
+        assert_eq!(
+            direct2b.paths[t], batch2.paths[t],
+            "{tag}: d2 direct batch path[{t}]"
+        );
+    }
+    assert_eq!(
+        direct2b.cycles, batch2.cycles,
+        "{tag}: d2 direct batch cycles"
+    );
+    assert_eq!(
+        direct2b.stats, batch2.stats,
+        "{tag}: d2 direct batch analytic stats vs measured"
+    );
+    variants += 2;
 
     variants
 }
@@ -305,7 +374,32 @@ pub fn check_matmul_pair<S: Semiring>(tag: &str, a: &Matrix<S>, b: &Matrix<S>) -
         (p + q + r - 2 + 2 * q) as u64,
         "{tag}: batch cycles T₁ + (B−1)·q"
     );
-    variants + 1
+    variants += 1;
+
+    // Direct backend (blocked host kernel): product vs the oracle and
+    // analytic Stats vs the mesh's measured Stats, single and batched.
+    let direct = sdp_backend::matmul_direct(a, b).expect("matmul direct");
+    assert_eq!(direct.product, want, "{tag}: direct product vs oracle");
+    assert_eq!(direct.cycles, runs[0].cycles, "{tag}: direct cycles");
+    assert_eq!(
+        direct.stats, runs[0].stats,
+        "{tag}: direct analytic stats vs measured"
+    );
+    let dbatch = sdp_backend::matmul_direct_batch(&pairs).expect("matmul direct batch");
+    assert_eq!(
+        dbatch.products, batch.products,
+        "{tag}: direct batch products"
+    );
+    assert_eq!(dbatch.cycles, batch.cycles, "{tag}: direct batch cycles");
+    assert_eq!(
+        dbatch.serial_ops, batch.serial_ops,
+        "{tag}: direct batch serial ops"
+    );
+    assert_eq!(
+        dbatch.stats, batch.stats,
+        "{tag}: direct batch analytic stats vs measured"
+    );
+    variants + 2
 }
 
 /// The resilient mesh variants (TMR, duplex recompute) — only for word
@@ -452,6 +546,17 @@ pub fn check_edit(tag: &str, a: &[u8], b: &[u8]) -> usize {
     );
     variants += 1;
 
+    // Direct backend (tiled rolling rows): distance vs the oracle and
+    // analytic Stats vs the wavefront mesh's measured Stats.
+    let direct = sdp_backend::edit_direct(a, b);
+    assert_eq!(direct.distance, want, "{tag}: direct distance vs oracle");
+    assert_eq!(direct.cycles, runs[0].cycles, "{tag}: direct cycles");
+    assert_eq!(
+        direct.stats, runs[0].stats,
+        "{tag}: direct analytic stats vs measured"
+    );
+    variants += 1;
+
     if !a.is_empty() && !b.is_empty() {
         let pairs: Vec<(&[u8], &[u8])> = vec![(a, b); 3];
         let batch = edit_distance_mesh_batch(&pairs).expect("edit batch");
@@ -461,7 +566,17 @@ pub fn check_edit(tag: &str, a: &[u8], b: &[u8]) -> usize {
             assert_eq!(traced.distances[t], want, "{tag}: traced batch distance");
         }
         invariants::check_edit_batch(a.len(), b.len(), 3, &batch);
-        variants += 2;
+        let dbatch = sdp_backend::edit_direct_batch(&pairs).expect("edit direct batch");
+        assert_eq!(
+            dbatch.distances, batch.distances,
+            "{tag}: direct batch distances"
+        );
+        assert_eq!(dbatch.cycles, batch.cycles, "{tag}: direct batch cycles");
+        assert_eq!(
+            dbatch.stats, batch.stats,
+            "{tag}: direct batch analytic stats vs measured"
+        );
+        variants += 3;
     }
     variants
 }
@@ -514,6 +629,19 @@ pub fn check_chain(tag: &str, dims: &[u64]) -> usize {
         );
         invariants::check_props23(n_mats, &broadcast, &pipelined);
         variants += 2;
+
+        // Direct backend: the flat-table interval DP must reproduce the
+        // reference solution — cost *and* split table — bit-for-bit,
+        // and its closed-form step count must match the simulated
+        // broadcast array's measured finish step.
+        let direct = sdp_backend::chain_direct(dims).expect("chain direct");
+        assert_eq!(direct, sol, "{tag}: direct interval DP vs chain order");
+        assert_eq!(
+            sdp_backend::chain_steps(n_mats as usize),
+            broadcast.finish,
+            "{tag}: chain_steps closed form vs broadcast finish"
+        );
+        variants += 1;
     }
     variants
 }
@@ -526,7 +654,9 @@ pub fn check_bst(tag: &str, freq: &[u64]) -> usize {
     let try_sol = try_optimal_bst(freq).expect("bst try");
     assert!(weq(Some(want as i64), sol.cost), "{tag}: BST DP vs oracle");
     assert_eq!(sol.cost, try_sol.cost, "{tag}: try BST diverges");
-    let mut variants = 2;
+    let direct = sdp_backend::bst_direct(freq).expect("bst direct");
+    assert_eq!(direct, sol, "{tag}: direct interval DP vs BST order");
+    let mut variants = 3;
     if freq.len() <= 8 {
         assert!(
             weq(Some(want as i64), bst_brute_force(freq)),
@@ -569,13 +699,13 @@ mod tests {
     #[test]
     fn drivers_accept_known_good_instances() {
         let g = MultistageGraph::fig_1a();
-        assert!(check_multistage_graph("fig1a", &g) >= 18);
-        assert!(check_chain("clrs", &[30, 35, 15, 5, 10, 20, 25]) >= 5);
-        assert!(check_bst("bst", &[4, 2, 6, 3]) >= 3);
-        assert!(check_edit("kitten", b"kitten", b"sitting") >= 11);
+        assert!(check_multistage_graph("fig1a", &g) >= 22);
+        assert!(check_chain("clrs", &[30, 35, 15, 5, 10, 20, 25]) >= 6);
+        assert!(check_bst("bst", &[4, 2, 6, 3]) >= 4);
+        assert!(check_edit("kitten", b"kitten", b"sitting") >= 13);
         assert!(check_schedule(16, 2) >= 6);
         let g = generate::random_uniform(42, 4, 3, 0, 9);
-        assert!(check_multistage_string("uniform", g.matrix_string()) >= 17);
+        assert!(check_multistage_string("uniform", g.matrix_string()) >= 21);
     }
 
     #[test]

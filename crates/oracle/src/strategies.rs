@@ -110,6 +110,75 @@ impl Strategy for ChainDimsStrategy {
     }
 }
 
+/// Large-N min-plus matrix strings for the direct-backend sweep:
+/// `n ∈ [40, 100]` stages of width `m ∈ [16, 32]`, so the serve work
+/// measure `n·m²` lands in the 10⁴–10⁵ band the crossover targets.
+pub struct LargeMinPlusStringStrategy;
+
+impl Strategy for LargeMinPlusStringStrategy {
+    type Value = Vec<Matrix<MinPlus>>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<Matrix<MinPlus>> {
+        let n = pick(rng, 40, 100);
+        let m = pick(rng, 16, 32);
+        (0..n)
+            .map(|_| diffcase::random_matrix(rng, m, m, 99, |v| MinPlus::from(v as i64)))
+            .collect()
+    }
+}
+
+/// Large square min-plus mesh operand pairs: `m ∈ [22, 46]`, so the
+/// work measure `m³` lands in 10⁴–10⁵.
+pub struct LargeMatmulPairStrategy;
+
+impl Strategy for LargeMatmulPairStrategy {
+    type Value = (Matrix<MinPlus>, Matrix<MinPlus>);
+    fn sample(&self, rng: &mut TestRng) -> (Matrix<MinPlus>, Matrix<MinPlus>) {
+        let m = pick(rng, 22, 46);
+        let a = diffcase::random_matrix(rng, m, m, 99, |v| MinPlus::from(v as i64));
+        let b = diffcase::random_matrix(rng, m, m, 99, |v| MinPlus::from(v as i64));
+        (a, b)
+    }
+}
+
+/// Large edit-distance operand pairs: lengths in `[100, 320]` over a
+/// 4-letter alphabet, so the work measure `|a|·|b|` lands in 10⁴–10⁵.
+pub struct LargeEditPairStrategy;
+
+impl Strategy for LargeEditPairStrategy {
+    type Value = (Vec<u8>, Vec<u8>);
+    fn sample(&self, rng: &mut TestRng) -> (Vec<u8>, Vec<u8>) {
+        let la = pick(rng, 100, 320);
+        let lb = pick(rng, 100, 320);
+        let a = (0..la).map(|_| b'a' + rng.below(4) as u8).collect();
+        let b = (0..lb).map(|_| b'a' + rng.below(4) as u8).collect();
+        (a, b)
+    }
+}
+
+/// Large matrix-chain dimension vectors: `N ∈ [22, 46]` matrices with
+/// dimensions in `1..=40`, so the work measure `N³` lands in 10⁴–10⁵.
+pub struct LargeChainDimsStrategy;
+
+impl Strategy for LargeChainDimsStrategy {
+    type Value = Vec<u64>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<u64> {
+        let n = pick(rng, 22, 46);
+        generate::random_chain_dims(rng.next_u64(), n, 1, 40)
+    }
+}
+
+/// Large BST key-frequency vectors: `N ∈ [22, 46]` keys with counts in
+/// `1..=100` — the same 10⁴–10⁵ `N³` work band as the chains.
+pub struct LargeBstFreqStrategy;
+
+impl Strategy for LargeBstFreqStrategy {
+    type Value = Vec<u64>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<u64> {
+        let n = pick(rng, 22, 46);
+        (0..n).map(|_| 1 + rng.below(100)).collect()
+    }
+}
+
 /// `(N, K)` scheduler shapes: `N ∈ [2, 200]`, `K ∈ [1, 32]`.
 pub struct ScheduleShapeStrategy;
 
@@ -147,6 +216,27 @@ mod tests {
             assert!(a.len() <= 12 && b.len() <= 12);
             let dims = ChainDimsStrategy.sample(&mut rng);
             assert!((2..=9).contains(&dims.len()));
+        }
+    }
+
+    #[test]
+    fn large_strategies_land_in_the_crossover_band() {
+        let mut rng = TestRng::from_state(11);
+        for _ in 0..8 {
+            let mats = LargeMinPlusStringStrategy.sample(&mut rng);
+            let work = mats.len() * mats[0].rows() * mats[0].rows();
+            assert!((10_000..=110_000).contains(&work), "string work {work}");
+            let (a, b) = LargeMatmulPairStrategy.sample(&mut rng);
+            let work = a.rows() * a.cols() * b.cols();
+            assert!((10_000..=110_000).contains(&work), "matmul work {work}");
+            let (a, b) = LargeEditPairStrategy.sample(&mut rng);
+            assert!((10_000..=110_000).contains(&(a.len() * b.len())));
+            let dims = LargeChainDimsStrategy.sample(&mut rng);
+            let n = dims.len() - 1;
+            assert!((10_000..=110_000).contains(&(n * n * n)), "chain n {n}");
+            let freq = LargeBstFreqStrategy.sample(&mut rng);
+            let n = freq.len();
+            assert!((10_000..=110_000).contains(&(n * n * n)), "bst n {n}");
         }
     }
 }

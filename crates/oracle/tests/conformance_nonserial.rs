@@ -13,7 +13,7 @@ use sdp_oracle::{diff, diffcase};
 fn exhaustive_small_chains_match_oracle() {
     for (i, dims) in diffcase::chain_exhaustive_small().iter().enumerate() {
         let variants = diff::check_chain(&format!("exhaustive[{i}]"), dims);
-        assert!(variants >= 6, "variant matrix shrank to {variants}");
+        assert!(variants >= 7, "variant matrix shrank to {variants}");
     }
 }
 
@@ -22,7 +22,7 @@ fn exhaustive_small_chains_match_oracle() {
 fn chain_ramp_matches_oracle() {
     for c in diffcase::chain_dims_ramp(0xC4A1, 18) {
         let tag = format!("{} seed={:#x}", c.shape, c.seed);
-        assert!(diff::check_chain(&tag, &c.instance) >= 5);
+        assert!(diff::check_chain(&tag, &c.instance) >= 6);
     }
 }
 
@@ -39,7 +39,7 @@ fn bst_instances_match_oracle() {
         &[3, 3, 3, 3, 3, 3, 3],
     ];
     for freq in freqs {
-        assert!(diff::check_bst(&format!("bst {freq:?}"), freq) >= 2);
+        assert!(diff::check_bst(&format!("bst {freq:?}"), freq) >= 3);
     }
 }
 

@@ -14,7 +14,7 @@ use sdp_semiring::{Matrix, MinPlus};
 fn exhaustive_small_products_match_oracle() {
     for (i, (a, b)) in diffcase::matmul_exhaustive_small().iter().enumerate() {
         let variants = diff::check_matmul_pair(&format!("exhaustive[{i}]"), a, b);
-        assert!(variants >= 5, "variant matrix shrank to {variants}");
+        assert!(variants >= 7, "variant matrix shrank to {variants}");
     }
 }
 
@@ -25,7 +25,7 @@ fn minplus_string_ramp_matches_oracle() {
     for c in diffcase::minplus_string_ramp(0x57A1, 18) {
         let tag = format!("{} seed={:#x}", c.shape, c.seed);
         assert!(diff::check_string_engines(&tag, &c.instance) >= 10);
-        assert!(diff::check_matmul_pair(&tag, &c.instance[0], &c.instance[1]) >= 5);
+        assert!(diff::check_matmul_pair(&tag, &c.instance[0], &c.instance[1]) >= 7);
         assert!(diff::check_matmul_resilient(&tag, &c.instance[0], &c.instance[1]) >= 4);
     }
 }
@@ -41,10 +41,10 @@ fn other_semirings_match_oracle() {
         assert!(diff::check_matmul_resilient(&tag, &maxp.instance[0], &maxp.instance[1]) >= 4);
         let tag = format!("boolor {} seed={:#x}", boolean.shape, boolean.seed);
         assert!(diff::check_string_engines(&tag, &boolean.instance) >= 10);
-        assert!(diff::check_matmul_pair(&tag, &boolean.instance[0], &boolean.instance[1]) >= 5);
+        assert!(diff::check_matmul_pair(&tag, &boolean.instance[0], &boolean.instance[1]) >= 7);
         let tag = format!("countplus {} seed={:#x}", counting.shape, counting.seed);
         assert!(diff::check_string_engines(&tag, &counting.instance) >= 10);
-        assert!(diff::check_matmul_pair(&tag, &counting.instance[0], &counting.instance[1]) >= 5);
+        assert!(diff::check_matmul_pair(&tag, &counting.instance[0], &counting.instance[1]) >= 7);
     }
 }
 
@@ -57,7 +57,7 @@ fn rectangular_products_match_oracle() {
     for (p, q, r) in [(1, 1, 1), (1, 3, 2), (4, 1, 3), (2, 5, 1), (3, 4, 5)] {
         let a = diffcase::random_matrix(&mut rng, p, q, 9, |v| MinPlus::from(v as i64));
         let b = diffcase::random_matrix(&mut rng, q, r, 9, |v| MinPlus::from(v as i64));
-        assert!(diff::check_matmul_pair(&format!("rect {p}x{q}x{r}"), &a, &b) >= 5);
+        assert!(diff::check_matmul_pair(&format!("rect {p}x{q}x{r}"), &a, &b) >= 7);
     }
 }
 

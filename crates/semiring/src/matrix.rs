@@ -216,11 +216,14 @@ impl<S: Semiring> Matrix<S> {
         self.blocked_rows_kernel(rhs, 0, &mut out.data);
     }
 
-    /// Row-parallel blocked product across `threads` host threads
-    /// (contiguous row chunks; each thread runs the blocked kernel on its
-    /// slice of the output).  Falls back to the serial blocked kernel for
-    /// `threads <= 1`.  Same reduction order per element as
-    /// [`Matrix::mul_naive`], hence bit-identical results.
+    /// Row-parallel blocked product across `threads` host threads.  The
+    /// output rows are oversplit into `threads × 4` contiguous chunks
+    /// claimed from a shared queue, so a straggler core (or a chunk of
+    /// unusually expensive rows) delays the join by one chunk rather
+    /// than a whole `rows / threads` slab.  Falls back to the serial
+    /// blocked kernel for `threads <= 1`.  Same reduction order per
+    /// element as [`Matrix::mul_naive`], hence bit-identical results
+    /// regardless of which worker claims which chunk.
     pub fn mul_parallel(&self, rhs: &Matrix<S>, threads: usize) -> Matrix<S> {
         assert_eq!(
             self.cols, rhs.rows,
@@ -233,16 +236,34 @@ impl<S: Semiring> Matrix<S> {
     fn mul_parallel_unchecked(&self, rhs: &Matrix<S>, threads: usize) -> Matrix<S> {
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         let workers = threads.min(self.rows).max(1);
-        if workers <= 1 {
+        let cols = rhs.cols;
+        if workers <= 1 || cols == 0 {
             self.blocked_rows_kernel(rhs, 0, &mut out.data);
             return out;
         }
-        let cols = rhs.cols;
-        let rows_per = self.rows.div_ceil(workers);
+        let chunks = (workers * 4).min(self.rows);
+        let rows_per = self.rows.div_ceil(chunks);
+        let queue: std::sync::Mutex<Vec<(usize, &mut [S])>> = std::sync::Mutex::new(
+            out.data
+                .chunks_mut(rows_per * cols)
+                .enumerate()
+                .map(|(chunk_idx, chunk)| (chunk_idx * rows_per, chunk))
+                .collect(),
+        );
         std::thread::scope(|scope| {
-            for (chunk_idx, chunk) in out.data.chunks_mut(rows_per * cols).enumerate() {
-                scope.spawn(move || {
-                    self.blocked_rows_kernel(rhs, chunk_idx * rows_per, chunk);
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    loop {
+                        // Claim the next unprocessed chunk; the queue is
+                        // only contended for the duration of a pop.
+                        let claimed = queue.lock().expect("chunk queue").pop();
+                        match claimed {
+                            Some((row_base, chunk)) => {
+                                self.blocked_rows_kernel(rhs, row_base, chunk)
+                            }
+                            None => break,
+                        }
+                    }
                 });
             }
         });

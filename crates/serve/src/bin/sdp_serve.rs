@@ -5,8 +5,12 @@
 //! sdp-serve [ADDR] [--workers N] [--max-batch N] [--max-delay-ms N]
 //!           [--cache N] [--max-queue N] [--shed-queue N]
 //!           [--default-deadline-ms N] [--idle-timeout-ms N]
-//!           [--trace-out FILE]
+//!           [--direct-threshold N] [--trace-out FILE]
 //! ```
+//!
+//! `--direct-threshold N` sets the engine-dispatch crossover: requests
+//! whose work measure is at or beyond `N` run on the compiled
+//! `sdp-backend` solvers instead of the cycle-accurate simulators.
 //!
 //! `--trace-out FILE` enables per-request span tracing and, after the
 //! drain completes, writes the collected Chrome trace (load it in
@@ -19,7 +23,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: sdp-serve [ADDR] [--workers N] [--max-batch N] \
          [--max-delay-ms N] [--cache N] [--max-queue N] [--shed-queue N] \
-         [--default-deadline-ms N] [--idle-timeout-ms N] [--trace-out FILE]"
+         [--default-deadline-ms N] [--idle-timeout-ms N] \
+         [--direct-threshold N] [--trace-out FILE]"
     );
     std::process::exit(2);
 }
@@ -55,6 +60,9 @@ fn main() {
             "--idle-timeout-ms" => {
                 cfg.idle_timeout =
                     Duration::from_millis(num_arg(&mut args, "--idle-timeout-ms").max(1) as u64)
+            }
+            "--direct-threshold" => {
+                cfg.direct_threshold = num_arg(&mut args, "--direct-threshold") as u64
             }
             "--trace-out" => {
                 let path = args.next().unwrap_or_else(|| {

@@ -40,6 +40,9 @@ pub struct Response {
     pub degraded: bool,
     /// Coalesced batch size the request rode in (0 = not batched).
     pub batch: i64,
+    /// Which backend answered a freshly-computed request (`"sim"` or
+    /// `"direct"`); absent on cached, degraded, and control replies.
+    pub engine: Option<String>,
     /// The raw response line, for byte-level comparisons.
     pub raw: String,
 }
@@ -77,6 +80,9 @@ impl Response {
                 .and_then(json::as_bool)
                 .unwrap_or(false),
             batch: json::get(&doc, "batch").and_then(json::as_i64).unwrap_or(0),
+            engine: json::get(&doc, "engine")
+                .and_then(json::as_str)
+                .map(str::to_owned),
             raw,
         })
     }

@@ -13,6 +13,14 @@
 //! never include batch-dependent numbers — so a response is bit
 //! identical whether it was computed cold, coalesced into a batch, or
 //! replayed from the cache.
+//!
+//! Auto-dispatch: every bucket is sized by [`body_work`] and routed by
+//! [`choose`] — below the configured crossover it runs on the
+//! cycle-accurate simulators, at or beyond it on the `sdp-backend`
+//! direct solvers, which return bit-identical answers (proved by the
+//! `conformance_backend` suite), so the choice is invisible in the
+//! payload and visible only in the response's `engine` tag and the
+//! per-class metrics.
 
 use crate::protocol::{cost_to_json, matrix_to_json, Body, Class};
 use sdp_andor::chain::{try_matrix_chain_order, try_optimal_bst};
@@ -42,11 +50,80 @@ fn values_json(values: &[sdp_semiring::Cost]) -> Json {
     )
 }
 
-/// Runs a bucket, returning one result per request in bucket order.
-/// A batch-level engine error (shape validation) is reported to every
-/// rider of the bucket.
+/// Which execution backend answered a bucket: the cycle-accurate
+/// simulator or the compiled `sdp-backend` direct solver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Cycle-accurate systolic simulation (`sdp-core`).
+    Sim,
+    /// Compiled direct solver (`sdp-backend`).
+    Direct,
+}
+
+impl EngineKind {
+    /// Wire/metrics label: `"sim"` or `"direct"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Sim => "sim",
+            EngineKind::Direct => "direct",
+        }
+    }
+}
+
+/// Per-instance work measure used for dispatch: the serial-op count of
+/// the recurrence (DP cells × fan-in), the quantity both engines scale
+/// with.  Multistage `N·m²`, matmul `p·q·r`, edit `|a|·|b|`,
+/// chain/BST `n³`; AND/OR evaluation is already direct, so it measures
+/// 0 and never leaves the simulator path.
+pub fn body_work(body: &Body) -> u64 {
+    match body {
+        Body::Multistage { mats, .. } => mats
+            .first()
+            .map_or(0, |_| (mats.len() * string_m(mats) * string_m(mats)) as u64),
+        Body::Matmul { a, b } => (a.rows() * a.cols() * b.cols()) as u64,
+        Body::Edit { a, b } => (a.len() * b.len()) as u64,
+        Body::Chain { dims } => {
+            let n = dims.len().saturating_sub(1) as u64;
+            n * n * n
+        }
+        Body::Bst { freq } => {
+            let n = freq.len() as u64;
+            n * n * n
+        }
+        Body::AndOr { .. } => 0,
+    }
+}
+
+/// Dispatch decision for a coalesced bucket.  Buckets are uniform in
+/// shape (same `shape_key`), so the first rider's work measure speaks
+/// for all of them.
+pub fn choose(bodies: &[Body], direct_threshold: u64) -> EngineKind {
+    match bodies.first() {
+        Some(body) if body_work(body) >= direct_threshold => EngineKind::Direct,
+        _ => EngineKind::Sim,
+    }
+}
+
+/// Runs a bucket on the simulator, returning one result per request in
+/// bucket order.  A batch-level engine error (shape validation) is
+/// reported to every rider of the bucket.
 pub fn run_bucket(class: Class, bodies: &[Body]) -> Vec<Result<Json, SdpError>> {
-    match run_bucket_inner(class, bodies) {
+    run_bucket_on(EngineKind::Sim, class, bodies)
+}
+
+/// Runs a bucket on the chosen backend.  Direct and sim payloads are
+/// bit-identical, so riders cannot observe the dispatch except through
+/// the response's `engine` tag.
+pub fn run_bucket_on(
+    kind: EngineKind,
+    class: Class,
+    bodies: &[Body],
+) -> Vec<Result<Json, SdpError>> {
+    let results = match kind {
+        EngineKind::Sim => run_bucket_inner(class, bodies),
+        EngineKind::Direct => run_bucket_direct_inner(class, bodies),
+    };
+    match results {
         Ok(results) => results,
         Err(e) => bodies.iter().map(|_| Err(e.clone())).collect(),
     }
@@ -163,6 +240,109 @@ fn run_bucket_inner(
     }
 }
 
+/// The direct-solver mirror of [`run_bucket_inner`]: same payload
+/// construction, same typed errors, answers from `sdp-backend`.
+#[allow(clippy::type_complexity)]
+fn run_bucket_direct_inner(
+    class: Class,
+    bodies: &[Body],
+) -> Result<Vec<Result<Json, SdpError>>, SdpError> {
+    match class {
+        Class::Multistage1 => {
+            let strings: Vec<&[Matrix<MinPlus>]> = bodies
+                .iter()
+                .map(|b| match b {
+                    Body::Multistage { mats, .. } => mats.as_slice(),
+                    _ => unreachable!("bucket is single-class"),
+                })
+                .collect();
+            let batch = sdp_backend::design1_direct_batch(string_m(strings[0]), &strings)?;
+            Ok(batch
+                .values
+                .iter()
+                .map(|vals| Ok(values_json(vals)))
+                .collect())
+        }
+        Class::Multistage2 => {
+            let strings: Vec<&[Matrix<MinPlus>]> = bodies
+                .iter()
+                .map(|b| match b {
+                    Body::Multistage { mats, .. } => mats.as_slice(),
+                    _ => unreachable!("bucket is single-class"),
+                })
+                .collect();
+            let batch = sdp_backend::design2_direct_batch(string_m(strings[0]), &strings)?;
+            Ok(batch
+                .values
+                .iter()
+                .zip(&batch.paths)
+                .map(|(vals, path)| {
+                    let path_json = match path {
+                        Some(p) => Json::Array(p.iter().map(|&v| Json::from(v)).collect()),
+                        None => Json::Null,
+                    };
+                    Ok(values_json(vals).with("path", path_json))
+                })
+                .collect())
+        }
+        Class::Matmul => {
+            let pairs: Vec<(Matrix<MinPlus>, Matrix<MinPlus>)> = bodies
+                .iter()
+                .map(|b| match b {
+                    Body::Matmul { a, b } => (a.clone(), b.clone()),
+                    _ => unreachable!("bucket is single-class"),
+                })
+                .collect();
+            let batch = sdp_backend::matmul_direct_batch(&pairs)?;
+            Ok(batch
+                .products
+                .iter()
+                .map(|p| Ok(Json::object().with("product", matrix_to_json(p))))
+                .collect())
+        }
+        Class::Edit => {
+            let pairs: Vec<(&[u8], &[u8])> = bodies
+                .iter()
+                .map(|b| match b {
+                    Body::Edit { a, b } => (a.as_slice(), b.as_slice()),
+                    _ => unreachable!("bucket is single-class"),
+                })
+                .collect();
+            let batch = sdp_backend::edit_direct_batch(&pairs)?;
+            Ok(batch
+                .distances
+                .iter()
+                .map(|&d| Ok(Json::object().with("distance", d)))
+                .collect())
+        }
+        Class::Chain => Ok(bodies
+            .iter()
+            .map(|b| match b {
+                Body::Chain { dims } => {
+                    let sol = sdp_backend::chain_direct(dims)?;
+                    Ok(Json::object()
+                        .with("cost", cost_to_json(sol.cost))
+                        .with("steps", sdp_backend::chain_steps(dims.len() - 1)))
+                }
+                _ => unreachable!("bucket is single-class"),
+            })
+            .collect()),
+        Class::Bst => Ok(bodies
+            .iter()
+            .map(|b| match b {
+                Body::Bst { freq } => {
+                    let sol = sdp_backend::bst_direct(freq)?;
+                    Ok(Json::object().with("cost", cost_to_json(sol.cost)))
+                }
+                _ => unreachable!("bucket is single-class"),
+            })
+            .collect()),
+        // AND/OR evaluation is already a direct graph walk; `choose`
+        // never dispatches it here.
+        Class::AndOr => run_bucket_inner(class, bodies),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,6 +408,99 @@ mod tests {
         for r in out {
             assert_eq!(r, Err(SdpError::BatchShapeMismatch { index: 1 }));
         }
+    }
+
+    #[test]
+    fn direct_buckets_serve_bit_identical_payloads() {
+        let mk_mats = |vals: [i64; 4]| mat(2, 2, &vals);
+        let buckets: Vec<(Class, Vec<Body>)> = vec![
+            (
+                Class::Multistage1,
+                vec![Body::Multistage {
+                    design: 1,
+                    mats: vec![mk_mats([1, 5, 2, 0]), mk_mats([3, 1, 4, 1])],
+                }],
+            ),
+            (
+                Class::Multistage2,
+                vec![Body::Multistage {
+                    design: 2,
+                    mats: vec![mk_mats([0, 2, 9, 1]), mk_mats([1, 1, 0, 7])],
+                }],
+            ),
+            (
+                Class::Matmul,
+                vec![Body::Matmul {
+                    a: mat(2, 3, &[1, 2, 3, 4, 5, 6]),
+                    b: mat(3, 2, &[6, 5, 4, 3, 2, 1]),
+                }],
+            ),
+            (
+                Class::Edit,
+                vec![
+                    Body::Edit {
+                        a: b"kitten".to_vec(),
+                        b: b"sitting".to_vec(),
+                    },
+                    Body::Edit {
+                        a: b"mitten".to_vec(),
+                        b: b"fitting".to_vec(),
+                    },
+                ],
+            ),
+            (
+                Class::Chain,
+                vec![Body::Chain {
+                    dims: vec![10, 20, 50, 1],
+                }],
+            ),
+            (
+                Class::Bst,
+                vec![Body::Bst {
+                    freq: vec![3, 1, 4, 1, 5],
+                }],
+            ),
+        ];
+        for (class, bodies) in buckets {
+            let sim = run_bucket_on(EngineKind::Sim, class, &bodies);
+            let direct = run_bucket_on(EngineKind::Direct, class, &bodies);
+            assert_eq!(sim, direct, "{class:?} direct payload diverged from sim");
+        }
+        // Typed errors take the same shape on both paths.
+        let bad = vec![Body::Chain { dims: vec![7] }];
+        assert_eq!(
+            run_bucket_on(EngineKind::Sim, Class::Chain, &bad),
+            run_bucket_on(EngineKind::Direct, Class::Chain, &bad),
+        );
+    }
+
+    #[test]
+    fn choose_routes_by_work_measure() {
+        let small = Body::Edit {
+            a: b"ab".to_vec(),
+            b: b"cd".to_vec(),
+        };
+        let big = Body::Edit {
+            a: vec![b'a'; 100],
+            b: vec![b'b'; 100],
+        };
+        assert_eq!(body_work(&small), 4);
+        assert_eq!(body_work(&big), 10_000);
+        assert_eq!(choose(&[small.clone()], 4096), EngineKind::Sim);
+        assert_eq!(choose(&[big.clone()], 4096), EngineKind::Direct);
+        assert_eq!(choose(&[big], u64::MAX), EngineKind::Sim, "MAX pins sim");
+        assert_eq!(choose(&[small], 0), EngineKind::Direct);
+        // AND/OR measures zero work, so any positive threshold keeps it
+        // on the evaluator path.
+        let mut g = sdp_andor::graph::AndOrGraph::new();
+        let leaf = g.add_leaf(0, Cost::new(2));
+        let andor = Body::AndOr {
+            graph: g,
+            root: leaf,
+        };
+        assert_eq!(body_work(&andor), 0);
+        assert_eq!(choose(&[andor], 1), EngineKind::Sim);
+        assert_eq!(choose(&[], 0), EngineKind::Sim, "empty bucket");
     }
 
     #[test]

@@ -86,6 +86,13 @@ pub struct Config {
     /// this many bytes are answered by the `sdp-oracle` reference
     /// solver (degraded but correct); larger ones are fast-rejected.
     pub breaker_fallback_max_bytes: usize,
+    /// Engine-dispatch crossover: buckets whose per-instance work
+    /// measure (see [`engine::body_work`]) is at or beyond this run on
+    /// the `sdp-backend` direct solvers, smaller ones on the
+    /// cycle-accurate simulators.  Payloads are bit-identical either
+    /// way; the choice is recorded in metrics and the response's
+    /// `engine` field.  `u64::MAX` pins everything to the simulator.
+    pub direct_threshold: u64,
     /// Serving-level chaos injection (`None` in production: the hooks
     /// cost one `Option` check per site).
     pub chaos: Option<Arc<ServeChaos>>,
@@ -112,6 +119,7 @@ impl Default for Config {
             breaker_trip_after: 5,
             breaker_cooldown: Duration::from_secs(1),
             breaker_fallback_max_bytes: 4096,
+            direct_threshold: 4096,
             chaos: None,
             trace: false,
         }

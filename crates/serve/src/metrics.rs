@@ -27,6 +27,7 @@
 //! `crates/bench/tests/support` can null the host-dependent numbers
 //! while the schema stays byte-comparable.
 
+use crate::engine::EngineKind;
 use crate::protocol::{Class, CLASSES};
 use sdp_metrics::{
     us_to_ms, Counter, Gauge, Histogram, HistogramSnapshot, Registry, SlowRing, SpanSample,
@@ -67,6 +68,8 @@ struct ClassMetrics {
     breaker_state: Arc<Gauge>,
     /// Times this class's breaker tripped open.
     breaker_trips: Arc<Counter>,
+    /// Buckets routed to each backend, indexed [sim, direct].
+    engines: [Arc<Counter>; 2],
 }
 
 /// The server's metrics surface: lock-free to record, lock-only-to-export.
@@ -138,6 +141,12 @@ impl Metrics {
                     }),
                     breaker_state: registry.gauge("sdp_breaker_state", &l),
                     breaker_trips: registry.counter("sdp_breaker_trips_total", &l),
+                    engines: ["sim", "direct"].map(|engine| {
+                        registry.counter(
+                            "sdp_engine_batches_total",
+                            &[("class", name), ("engine", engine)],
+                        )
+                    }),
                 }
             })
             .collect();
@@ -287,13 +296,19 @@ impl Metrics {
         self.oversized.inc();
     }
 
-    /// Records one dispatched batch of `size` coalesced requests.
-    pub fn dispatched_batch(&self, class: Class, size: usize) {
+    /// Records one dispatched batch of `size` coalesced requests and
+    /// the backend it was routed to.
+    pub fn dispatched_batch(&self, class: Class, size: usize, engine: EngineKind) {
         self.dispatches.inc();
         self.max_coalesced.raise_to(size as i64);
         let c = self.class(class);
         c.batches.inc();
         c.batch_sizes.record(size as u64);
+        c.engines[match engine {
+            EngineKind::Sim => 0,
+            EngineKind::Direct => 1,
+        }]
+        .inc();
     }
 
     /// Records one completed request with its queue-to-response latency.
@@ -417,6 +432,12 @@ impl Metrics {
                     .with("requests", c.requests.get())
                     .with("errors", c.errors.get())
                     .with("batches", c.batches.get())
+                    .with(
+                        "engine",
+                        Json::object()
+                            .with("sim", c.engines[0].get())
+                            .with("direct", c.engines[1].get()),
+                    )
                     .with(
                         "breaker",
                         Json::object()
@@ -561,7 +582,7 @@ mod tests {
     fn snapshot_has_the_documented_schema() {
         let m = Metrics::new(4);
         m.cache_miss();
-        m.dispatched_batch(Class::Edit, 3);
+        m.dispatched_batch(Class::Edit, 3, EngineKind::Direct);
         m.completed(Class::Edit, true, Duration::from_millis(2));
         m.cache_hit(Class::Edit);
         let doc = m.to_json(5);
@@ -586,6 +607,13 @@ mod tests {
         for field in ["p50_ms", "p90_ms", "p99_ms", "total_ms", "phases"] {
             assert!(json::get(edit, field).is_some(), "missing {field}");
         }
+        // The engine split accounts for the dispatched bucket.
+        let engine = json::get(edit, "engine").unwrap();
+        assert_eq!(json::as_i64(json::get(engine, "sim").unwrap()), Some(0));
+        assert_eq!(json::as_i64(json::get(engine, "direct").unwrap()), Some(1));
+        let prom = m.render_prometheus();
+        assert!(prom.contains("sdp_engine_batches_total{class=\"edit\",engine=\"direct\"} 1"));
+        assert!(prom.contains("sdp_engine_batches_total{class=\"edit\",engine=\"sim\"} 0"));
         assert!(json::get(&doc, "pool").is_some());
         assert!(json::get(&doc, "slowest").is_some());
     }
@@ -667,7 +695,7 @@ mod tests {
     fn histogram_buckets_cover_all_sizes_and_label_the_overflow() {
         let m = Metrics::new(1);
         for size in [1, 2, 3, 4, 5, 8, 9, 16, 17, 100] {
-            m.dispatched_batch(Class::Matmul, size);
+            m.dispatched_batch(Class::Matmul, size, EngineKind::Sim);
         }
         let doc = m.to_json(0);
         let hist = json::get(&doc, "batch_size_histogram").unwrap();
@@ -760,7 +788,12 @@ mod tests {
                     let class = CLASSES[t % CLASSES.len()];
                     for i in 0..2000u64 {
                         m.completed(class, true, Duration::from_micros(i));
-                        m.dispatched_batch(class, (i % 20) as usize + 1);
+                        let engine = if i % 2 == 0 {
+                            EngineKind::Sim
+                        } else {
+                            EngineKind::Direct
+                        };
+                        m.dispatched_batch(class, (i % 20) as usize + 1, engine);
                         m.record_dispatch_phases(class, i, i / 2, i * 2);
                     }
                 })

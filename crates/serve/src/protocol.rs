@@ -542,6 +542,21 @@ pub fn ok_response(id: i64, result: Json, cached: bool, batch: usize) -> String 
         .render()
 }
 
+/// A success response for a freshly-computed request, tagged with the
+/// backend that answered it (`"sim"` or `"direct"`).  Cached replays
+/// and control replies stay untagged — the cache stores payloads, not
+/// provenance, and the payload is bit-identical either way.
+pub fn ok_engine_response(id: i64, result: Json, batch: usize, engine: &str) -> String {
+    Json::object()
+        .with("id", Json::Int(id))
+        .with("ok", true)
+        .with("result", result)
+        .with("cached", false)
+        .with("batch", batch)
+        .with("engine", engine)
+        .render()
+}
+
 /// Stable wire name for an error variant.
 pub fn error_kind(e: &SdpError) -> &'static str {
     match e {

@@ -4,10 +4,14 @@
 //! only uniform-shape instances can ride one pipelined array pass (the
 //! PR 3 batch entry points reject mixed shapes).  A bucket flushes when
 //! it reaches `max_batch` riders, when its oldest rider has waited
-//! `max_delay`, or when the server starts draining.  The delay window
-//! is the throughput/latency knob: paper Eq. 9 says array utilisation
-//! under pipelining is B/(B + fill/drain), so holding the window open a
-//! few milliseconds buys a larger B at a bounded latency cost.
+//! `max_delay`, when the server starts draining — or, adaptively, as
+//! soon as the admission stream drains: if a full [`DRAIN_TICK`] passes
+//! with no new admission, waiting out the rest of the window cannot
+//! grow any bucket, so every pending bucket flushes immediately.  The
+//! delay window is the throughput/latency knob: paper Eq. 9 says array
+//! utilisation under pipelining is B/(B + fill/drain), so holding the
+//! window open a few milliseconds buys a larger B at a bounded latency
+//! cost — but only while requests are still arriving to coalesce.
 //!
 //! Backpressure is enforced at admission in two tiers: at or beyond
 //! `shed_queue` queued requests `submit` sheds with
@@ -76,6 +80,8 @@ pub struct JobResponse {
     pub result: Result<Json, SdpError>,
     /// Size of the coalesced batch this job rode in.
     pub batch: usize,
+    /// Which backend ran the bucket (meaningful on `Ok` results only).
+    pub engine: crate::engine::EngineKind,
     /// Phase timings for the span pipeline.
     pub span: SpanTimes,
 }
@@ -98,6 +104,12 @@ pub struct Job {
     pub deadline_ms: u64,
 }
 
+/// How long [`Queue::next_batches`] waits for a further admission
+/// before concluding the arrival stream has drained and flushing
+/// partial buckets early.  Small against any useful `max_delay`, large
+/// against the admission path itself, so bursts still coalesce.
+const DRAIN_TICK: Duration = Duration::from_micros(500);
+
 struct Bucket {
     jobs: Vec<Job>,
     opened: Instant,
@@ -106,6 +118,9 @@ struct Bucket {
 struct Inner {
     buckets: HashMap<(Class, u64), Bucket>,
     depth: usize,
+    /// Admission counter; `next_batches` compares it across a wait to
+    /// detect a drained arrival stream.
+    seq: u64,
     draining: bool,
 }
 
@@ -127,6 +142,7 @@ impl Queue {
             inner: Mutex::new(Inner {
                 buckets: HashMap::new(),
                 depth: 0,
+                seq: 0,
                 draining: false,
             }),
             cv: Condvar::new(),
@@ -167,6 +183,7 @@ impl Queue {
             });
         }
         q.depth += 1;
+        q.seq += 1;
         self.depth_gauge.set(q.depth as i64);
         q.buckets
             .entry((class, shape))
@@ -193,13 +210,22 @@ impl Queue {
     /// draining and empty.
     pub fn next_batches(&self) -> Option<Vec<(Class, Vec<Job>)>> {
         let mut q = lock_recover(&self.inner);
+        // Admission count observed entering the previous wait; a wait
+        // that ends with it unchanged means no request arrived during a
+        // full DRAIN_TICK — the stream has drained.
+        let mut seen_seq: Option<u64> = None;
         loop {
             let now = Instant::now();
+            let drained = seen_seq == Some(q.seq) && !q.buckets.is_empty();
             let mut next_deadline: Option<Instant> = None;
             let mut ready_keys = Vec::new();
             for (&key, bucket) in &q.buckets {
                 let deadline = bucket.opened + self.cfg.max_delay;
-                if q.draining || bucket.jobs.len() >= self.cfg.max_batch || deadline <= now {
+                if q.draining
+                    || drained
+                    || bucket.jobs.len() >= self.cfg.max_batch
+                    || deadline <= now
+                {
                     ready_keys.push(key);
                 } else {
                     next_deadline =
@@ -221,9 +247,13 @@ impl Queue {
             if q.draining {
                 return None;
             }
+            // With buckets pending, wait at most one DRAIN_TICK so the
+            // drained check above runs even when every deadline is far
+            // out; an idle (bucketless) queue sleeps the full window.
             let timeout = next_deadline
-                .map(|d| d.saturating_duration_since(now))
+                .map(|d| d.saturating_duration_since(now).min(DRAIN_TICK))
                 .unwrap_or(self.cfg.max_delay);
+            seen_seq = Some(q.seq);
             let (guard, _) = self
                 .cv
                 .wait_timeout(q, timeout)
@@ -285,6 +315,47 @@ mod tests {
         q.submit(j).unwrap();
         let batches = q.next_batches().expect("not draining");
         assert_eq!(batches[0].1.len(), 1);
+    }
+
+    #[test]
+    fn lone_job_on_an_idle_queue_flushes_long_before_the_window() {
+        let q = Queue::new(QueueConfig {
+            max_queue: 64,
+            shed_queue: 64,
+            max_batch: 100,
+            max_delay: Duration::from_secs(3600),
+        });
+        let (j, _r) = job("ab", "cd");
+        let t0 = Instant::now();
+        q.submit(j).unwrap();
+        let batches = q.next_batches().expect("not draining");
+        assert_eq!(batches[0].1.len(), 1);
+        assert!(
+            t0.elapsed() < Duration::from_secs(60),
+            "adaptive flush must not wait out the hour-long window"
+        );
+    }
+
+    #[test]
+    fn adaptive_flush_still_coalesces_a_burst() {
+        // Three same-shape jobs admitted back-to-back must ride one
+        // batch: the drain check fires only after a tick with no new
+        // admissions, and all three are already queued by then.
+        let q = Queue::new(QueueConfig {
+            max_queue: 64,
+            shed_queue: 64,
+            max_batch: 100,
+            max_delay: Duration::from_secs(3600),
+        });
+        let mut rxs = Vec::new();
+        for (a, b) in [("ab", "cd"), ("ef", "gh"), ("ij", "kl")] {
+            let (j, r) = job(a, b);
+            q.submit(j).unwrap();
+            rxs.push(r);
+        }
+        let batches = q.next_batches().expect("not draining");
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].1.len(), 3, "burst coalesced into one batch");
     }
 
     #[test]

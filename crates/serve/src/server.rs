@@ -19,7 +19,7 @@
 
 use crate::breaker::{Admission, BreakerConfig, CircuitBreaker};
 use crate::cache::LruCache;
-use crate::engine;
+use crate::engine::{self, EngineKind};
 use crate::metrics::{Metrics, PHASES};
 use crate::protocol::{self, Body, Class, Request, CLASSES};
 use crate::queue::{Job, JobResponse, Queue, QueueConfig, SpanTimes};
@@ -278,6 +278,7 @@ fn expire_job(job: Job, started: Instant, flushed: Instant, class: Class, shared
             deadline_ms: job.deadline_ms,
         }),
         batch: 0,
+        engine: EngineKind::Sim,
         span: SpanTimes {
             coalesce_us,
             queue_us,
@@ -309,7 +310,11 @@ fn dispatch_bucket(class: Class, jobs: Vec<Job>, flushed: Instant, shared: &Shar
     let jobs = live;
     let bodies: Vec<_> = jobs.iter().map(|j| j.body.clone()).collect();
     let size = jobs.len();
-    shared.metrics.dispatched_batch(class, size);
+    // Route by problem size: the crossover threshold sends large
+    // buckets to the compiled direct solvers, small ones to the
+    // cycle-accurate simulators.  Answers are bit-identical either way.
+    let kind = engine::choose(&bodies, shared.cfg.direct_threshold);
+    shared.metrics.dispatched_batch(class, size, kind);
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         if let Some(chaos) = &shared.cfg.chaos {
             match chaos.on_dispatch() {
@@ -324,7 +329,7 @@ fn dispatch_bucket(class: Class, jobs: Vec<Job>, flushed: Instant, shared: &Shar
                 }
             }
         }
-        engine::run_bucket(class, &bodies)
+        engine::run_bucket_on(kind, class, &bodies)
     }));
     breaker.record(outcome.is_ok());
     let results = outcome.unwrap_or_else(|_| {
@@ -359,6 +364,7 @@ fn dispatch_bucket(class: Class, jobs: Vec<Job>, flushed: Instant, shared: &Shar
         let _ = job.tx.send(JobResponse {
             result,
             batch: size,
+            engine: kind,
             span: SpanTimes {
                 coalesce_us,
                 queue_us,
@@ -730,15 +736,17 @@ fn handle_compute(id: i64, body: Body, deadline_ms: Option<u64>, shared: &Shared
         Ok(JobResponse {
             result: Ok(payload),
             batch,
+            engine,
             span,
         }) => {
             finish_span(id, class, batch, &span, shared);
-            protocol::ok_response(id, payload, false, batch)
+            protocol::ok_engine_response(id, payload, batch, engine.name())
         }
         Ok(JobResponse {
             result: Err(e),
             batch,
             span,
+            ..
         }) => {
             finish_span(id, class, batch, &span, shared);
             protocol::error_response(id, &e)

@@ -43,6 +43,32 @@ impl Stats {
         }
     }
 
+    /// Builds a [`Stats`] from closed-form counts instead of a
+    /// simulation.  Direct-execution backends use this to report the
+    /// paper's analytic cycle/word formulas (Eq. 9, N·m, Thm 1) in the
+    /// same shape the cycle-accurate engines measure, so downstream
+    /// consumers cannot tell the two apart.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        cycles: u64,
+        busy: Vec<u64>,
+        input_words: u64,
+        output_words: u64,
+        bus_words: u64,
+        token_rotations: u64,
+        stall_cycles: u64,
+    ) -> Stats {
+        Stats {
+            cycles,
+            busy,
+            input_words,
+            output_words,
+            bus_words,
+            token_rotations,
+            stall_cycles,
+        }
+    }
+
     /// Number of PEs being tracked.
     pub fn num_pes(&self) -> usize {
         self.busy.len()
