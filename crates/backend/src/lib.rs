@@ -30,13 +30,22 @@
 //! | [`matmul`] | polyadic serial | the blocked `Matrix::mul` kernel |
 //! | [`edit`] | monadic nonserial | column-strip tiled rolling rows, O(min(m,n)) memory |
 //! | [`interval`] | polyadic nonserial | diagonal sweep with a transposed mirror table |
+//! | [`align`] | monadic nonserial | rolling-row SW/Gotoh/banded with in-flight argmax |
+//! | [`knapsack`] | monadic serial | descending one-row sweep with the array's tie-break |
 
+pub mod align;
 pub mod edit;
 pub mod interval;
+pub mod knapsack;
 pub mod matmul;
 pub mod multistage;
 
+pub use align::{
+    gotoh_direct, gotoh_direct_batch, sw_banded_direct, sw_banded_direct_batch, sw_direct,
+    sw_direct_batch,
+};
 pub use edit::{edit_direct, edit_direct_batch};
 pub use interval::{bst_direct, chain_direct, chain_steps};
+pub use knapsack::{knapsack_direct, knapsack_direct_batch, knapsack_direct_recovered};
 pub use matmul::{matmul_direct, matmul_direct_batch};
 pub use multistage::{design1_direct, design1_direct_batch, design2_direct, design2_direct_batch};

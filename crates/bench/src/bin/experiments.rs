@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of Wah & Li (1985).
 //!
 //! ```text
-//! experiments [all|e1|e2|e3|fig6|prop1|thm1|thm2|prop2|prop3|eq40|table1|e12..e20|degradation|throughput|serve|observe|chaos|backend] [--json]
+//! experiments [all|e1|e2|e3|fig6|prop1|thm1|thm2|prop2|prop3|eq40|table1|e12..e20|degradation|throughput|serve|observe|chaos|backend|workloads] [--json]
 //! ```
 //!
 //! With `--json` the selected experiments are emitted as a single JSON
@@ -10,8 +10,9 @@
 //! directory for regression tracking, `throughput --json` (E22) writes
 //! `BENCH_pr3.json`, `serve --json` (E24) writes `BENCH_pr5.json`,
 //! `observe --json` (E25) writes `BENCH_pr6.json`, `chaos --json`
-//! (E26) writes `BENCH_pr7.json`, and `backend --json` (E27) writes
-//! `BENCH_pr8.json`.
+//! (E26) writes `BENCH_pr7.json`, `backend --json` (E27) writes
+//! `BENCH_pr8.json`, and `workloads --json` (E28) writes
+//! `BENCH_pr9.json`.
 
 use sdp_bench::experiments as ex;
 use sdp_bench::{reports_to_json, Report};
@@ -58,12 +59,15 @@ fn main() {
         "chaos-quick" => vec![ex::report_e26_quick()],
         "e27" | "backend" => vec![ex::report_e27()],
         "backend-quick" => vec![ex::report_e27_quick()],
+        "e28" | "workloads" => vec![ex::report_e28()],
+        "workloads-quick" => vec![ex::report_e28_quick()],
         other => {
             eprintln!(
                 "unknown experiment '{other}'; expected one of: all e1 e2 e3 fig6 \
                  prop1 thm1 thm2 prop2 prop3 eq40 table1 e12..e20 degradation \
                  throughput throughput-quick serve serve-quick observe \
-                 observe-quick chaos chaos-quick backend backend-quick [--json]"
+                 observe-quick chaos chaos-quick backend backend-quick workloads \
+                 workloads-quick [--json]"
             );
             std::process::exit(2);
         }
@@ -99,6 +103,11 @@ fn main() {
         if which == "e27" || which == "backend" {
             if let Err(e) = std::fs::write("BENCH_pr8.json", format!("{doc}\n")) {
                 eprintln!("warning: could not write BENCH_pr8.json: {e}");
+            }
+        }
+        if which == "e28" || which == "workloads" {
+            if let Err(e) = std::fs::write("BENCH_pr9.json", format!("{doc}\n")) {
+                eprintln!("warning: could not write BENCH_pr9.json: {e}");
             }
         }
     } else {

@@ -2343,6 +2343,196 @@ fn report_e27_sized(ramp_len: usize, reps: usize) -> Report {
     report
 }
 
+/// E28 (DP workloads): the alignment and knapsack request classes at
+/// the same `run_bucket_on` dispatch seam E27 measures — sim vs direct
+/// wall time across a work ramp, with each payload first proved
+/// bit-identical between the two engines *and* to the independent
+/// oracle's `served_*` rendering.
+///
+/// Emitted as `BENCH_pr9.json` by `experiments workloads --json`.
+pub fn report_e28() -> Report {
+    report_e28_sized(5, 3)
+}
+
+/// [`report_e28`] shrunk for the CI smoke job: the first three ramp
+/// sizes per class, fewer reps.  Identical schema, so the golden
+/// schema-diff runs on this variant.
+pub fn report_e28_quick() -> Report {
+    report_e28_sized(3, 2)
+}
+
+fn report_e28_sized(ramp_len: usize, reps: usize) -> Report {
+    use sdp_core::knapsack_array::KnapsackItem;
+    use sdp_oracle::served;
+    use sdp_serve::engine::{self, EngineKind};
+    use sdp_serve::protocol::{Body, Class};
+    use std::time::Instant;
+
+    fn draw(seed: &mut u64, span: u64) -> u64 {
+        *seed ^= *seed << 13;
+        *seed ^= *seed >> 7;
+        *seed ^= *seed << 17;
+        *seed % span
+    }
+
+    // Work ramps spanning ~10²..10⁵ so both sides of the serve
+    // threshold (default 4096) appear in each class.
+    let align_body = |len: usize| -> Body {
+        let mut s = 0xE281u64 | 1;
+        Body::Align {
+            a: (0..len).map(|_| draw(&mut s, 4) as u8).collect(),
+            b: (0..len).map(|_| draw(&mut s, 4) as u8).collect(),
+            matched: 2,
+            mismatched: -1,
+            gap: 1,
+        }
+    };
+    let knapsack_body = |n: usize, capacity: u64| -> Body {
+        let mut s = 0xE282u64 | 1;
+        Body::Knapsack {
+            items: (0..n)
+                .map(|_| KnapsackItem::new(1 + draw(&mut s, 8), 1 + draw(&mut s, 100)))
+                .collect(),
+            capacity,
+        }
+    };
+    let ramps: Vec<(&str, Class, Vec<(String, Body)>)> = vec![
+        (
+            "align",
+            Class::Align,
+            [8usize, 24, 64, 160, 320]
+                .iter()
+                .map(|&len| (format!("|a|=|b|={len}"), align_body(len)))
+                .collect(),
+        ),
+        (
+            "knapsack",
+            Class::Knapsack,
+            [(4usize, 15u64), (8, 60), (16, 250), (40, 800), (100, 999)]
+                .iter()
+                .map(|&(n, c)| (format!("n={n} C={c}"), knapsack_body(n, c)))
+                .collect(),
+        ),
+    ];
+
+    // The oracle's expected payload for a workload body — computed from
+    // the from-scratch reference solvers, no engine code on the path.
+    let oracle_payload = |body: &Body| -> String {
+        match body {
+            Body::Align {
+                a,
+                b,
+                matched,
+                mismatched,
+                gap,
+            } => served::served_align(a, b, *matched, *mismatched, *gap).render(),
+            Body::Knapsack { items, capacity } => {
+                let pairs: Vec<(u64, u64)> = items.iter().map(|it| (it.weight, it.value)).collect();
+                served::served_knapsack(&pairs, *capacity).render()
+            }
+            _ => unreachable!("workload ramp"),
+        }
+    };
+
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    let mut report = Report::new(
+        "e28",
+        format!(
+            "E28 (DP workloads): alignment & knapsack request classes, sim vs\n\
+             direct wall time across a work ramp at the run_bucket_on dispatch\n\
+             seam, payloads proved identical to the oracle; x{reps} reps (host\n\
+             cores: {cores})"
+        ),
+    );
+    report.headers = vec!["class", "size", "work", "sim ms", "direct ms", "speedup"];
+
+    let timed_ms = |kind: EngineKind, class: Class, body: &Body| -> f64 {
+        let bodies = std::slice::from_ref(body);
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(engine::run_bucket_on(kind, class, bodies));
+        }
+        t0.elapsed().as_secs_f64() * 1e3 / reps as f64
+    };
+
+    let mut class_docs = Vec::new();
+    for (label, class, sizes) in &ramps {
+        let mut rows = Vec::new();
+        let mut crossover_work = Json::Null;
+        let mut speedup_at_max = 0.0f64;
+        for (desc, body) in sizes.iter().take(ramp_len) {
+            // Triple identity first — never time engines that disagree
+            // with each other or with the oracle.
+            let sim = engine::run_bucket_on(EngineKind::Sim, *class, std::slice::from_ref(body));
+            let direct =
+                engine::run_bucket_on(EngineKind::Direct, *class, std::slice::from_ref(body));
+            let want = oracle_payload(body);
+            let identical = match (&sim[0], &direct[0]) {
+                (Ok(s), Ok(d)) => s.render() == d.render() && s.render() == want,
+                _ => false,
+            };
+            assert!(
+                identical,
+                "E28 {label} {desc}: sim, direct, and oracle payloads must agree"
+            );
+
+            let work = engine::body_work(body);
+            let sim_ms = timed_ms(EngineKind::Sim, *class, body);
+            let direct_ms = timed_ms(EngineKind::Direct, *class, body);
+            let speedup = sim_ms / direct_ms;
+            speedup_at_max = speedup;
+            if matches!(crossover_work, Json::Null) && direct_ms <= sim_ms {
+                crossover_work = Json::from(work);
+            }
+            report.rows.push(vec![
+                (*label).into(),
+                desc.clone(),
+                format!("{work}"),
+                format!("{sim_ms:.3}"),
+                format!("{direct_ms:.3}"),
+                format!("{speedup:.1}x"),
+            ]);
+            rows.push(
+                Json::object()
+                    .with("size", desc.as_str())
+                    .with("work", work)
+                    .with("sim_ms", sim_ms)
+                    .with("direct_ms", direct_ms)
+                    .with("speedup", speedup)
+                    .with("payload_identical", true)
+                    .with("oracle_identical", true),
+            );
+        }
+        class_docs.push(
+            Json::object()
+                .with("class", *label)
+                .with("rows", Json::Array(rows))
+                .with("crossover_work", crossover_work)
+                .with("speedup_at_max", speedup_at_max),
+        );
+    }
+
+    report.notes = vec![
+        "payloads asserted bit-identical between sim, direct, and the oracle's\n\
+         served_* rendering before timing; ms and speedup columns are host\n\
+         wall-clock, size/work columns deterministic."
+            .into(),
+        "crossover_work = smallest ramp work measure where the direct solver is\n\
+         at least as fast as the simulator; the serve --direct-threshold default\n\
+         (4096) sits inside both ramps."
+            .into(),
+    ];
+    report.metrics = Json::object()
+        .with("host_cores", cores as u64)
+        .with("single_core_host", cores == 1)
+        .with("reps", reps as u64)
+        .with("ramp_len", ramp_len as u64)
+        .with("classes", Json::Array(class_docs));
+    report
+}
+
 /// Builds every experiment report in order.
 pub fn report_all() -> Vec<Report> {
     vec![

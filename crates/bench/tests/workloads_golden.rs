@@ -1,0 +1,80 @@
+//! Golden-file smoke test for the E28 DP-workloads experiment.
+//!
+//! Wall-clock columns are host-dependent, so this is a *schema*
+//! golden-diff, not a timing assertion: every timing/host-shaped value
+//! (sim/direct ms, speedups, core counts, and the wall-clock-raced
+//! `crossover_work`) is redacted to `null` before the byte comparison.
+//! What stays byte-compared: the class list, the deterministic
+//! size/work ramp, and the per-row `payload_identical` /
+//! `oracle_identical` verdicts — a drift here means the ramp instances
+//! or the sim/direct/oracle payload contract changed.  Regenerate after
+//! an intentional change with:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test -p sdp-bench --test workloads_golden
+//! ```
+
+mod support;
+
+use sdp_bench::experiments::report_e28_quick;
+use sdp_bench::reports_to_json;
+use sdp_trace::json::Json;
+
+#[test]
+fn workloads_schema_and_ramp_metrics_match_golden() {
+    let mut doc = reports_to_json(&[report_e28_quick()]);
+    support::redact_backend(&mut doc);
+    let rendered = format!("{}\n", doc.render());
+    support::check_golden(
+        "workloads.json",
+        &rendered,
+        include_str!("golden/workloads.json"),
+    );
+}
+
+#[test]
+fn both_workload_classes_prove_triple_payload_identity() {
+    // The acceptance gate for the new classes: every (class, size) cell
+    // must have compared the sim, direct, and oracle payloads
+    // byte-for-byte before any timing ran, and the work ramp must be
+    // strictly increasing so the crossover search scans a monotone axis.
+    let report = report_e28_quick();
+    let Json::Object(fields) = &report.metrics else {
+        panic!("metrics must be an object");
+    };
+    let Some((_, Json::Array(classes))) = fields.iter().find(|(k, _)| k == "classes") else {
+        panic!("classes section missing");
+    };
+    assert_eq!(classes.len(), 2, "both workload classes measured");
+    for class in classes {
+        let Json::Object(c) = class else {
+            panic!("class entry must be an object");
+        };
+        let name = match c.iter().find(|(k, _)| k == "class").map(|(_, v)| v) {
+            Some(Json::Str(s)) => s.clone(),
+            other => panic!("class name missing: {other:?}"),
+        };
+        let Some((_, Json::Array(rows))) = c.iter().find(|(k, _)| k == "rows") else {
+            panic!("{name}: rows missing");
+        };
+        assert!(!rows.is_empty(), "{name}: ramp must be non-empty");
+        let mut last_work = 0i64;
+        for row in rows {
+            let Json::Object(r) = row else {
+                panic!("{name}: row must be an object");
+            };
+            for verdict in ["payload_identical", "oracle_identical"] {
+                match r.iter().find(|(k, _)| k == verdict).map(|(_, v)| v) {
+                    Some(Json::Bool(true)) => {}
+                    other => panic!("{name}: {verdict} missing or false: {other:?}"),
+                }
+            }
+            let work = match r.iter().find(|(k, _)| k == "work").map(|(_, v)| v) {
+                Some(Json::Int(w)) => *w,
+                other => panic!("{name}: work missing: {other:?}"),
+            };
+            assert!(work > last_work, "{name}: work ramp must increase");
+            last_work = work;
+        }
+    }
+}

@@ -35,10 +35,23 @@
 //!
 //! * [`classify`] — the four-way taxonomy and the Table 1 recommendation
 //!   engine.
+//!
+//! # DP workload families
+//!
+//! * [`align`] — the §4 string-correction mesh generalized into an
+//!   alignment engine: Smith–Waterman local alignment (max-with-zero
+//!   semiring, in-flight argmax tracking), Gotoh affine gaps (three
+//!   interleaved DP layers per PE), banded meshes for long sequences,
+//!   and host-side traceback recovery;
+//! * [`knapsack_array`] — 0/1 knapsack as a serial-monadic row
+//!   streamer: capacity-indexed PEs, value trains closing the
+//!   `c − w_i` dependency gap, per-PE take/leave traceback memory, and
+//!   a closed-form schedule length.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod align;
 pub mod chain_array;
 pub mod chain_problem;
 pub mod classify;
@@ -48,6 +61,7 @@ pub mod design3;
 pub mod dnc;
 pub mod edit_array;
 pub mod gkt;
+pub mod knapsack_array;
 pub mod matmul_array;
 pub mod nonserial_array;
 pub mod resilient;

@@ -6,7 +6,8 @@
 use proptest::proptest;
 use sdp_oracle::diff;
 use sdp_oracle::strategies::{
-    EditPairStrategy, MinPlusStringStrategy, MultistageStrategy, NodeValueStrategy,
+    AlignInstanceStrategy, EditPairStrategy, KnapsackInstanceStrategy, MinPlusStringStrategy,
+    MultistageStrategy, NodeValueStrategy,
 };
 
 proptest! {
@@ -29,5 +30,17 @@ proptest! {
     #[test]
     fn edit_mesh_matches_oracle_on_sampled_pairs(pair in EditPairStrategy) {
         diff::check_edit("core sampled", &pair.0, &pair.1);
+    }
+
+    #[test]
+    fn align_meshes_match_oracle_on_sampled_instances(inst in AlignInstanceStrategy) {
+        let (a, b, band, scoring) = &inst;
+        diff::check_alignment("core sampled", a, b, *band, scoring);
+    }
+
+    #[test]
+    fn knapsack_array_matches_oracle_on_sampled_instances(inst in KnapsackInstanceStrategy) {
+        let (items, cap) = &inst;
+        diff::check_knapsack("core sampled", items, *cap);
     }
 }

@@ -111,6 +111,16 @@ pub enum SdpError {
     },
     /// A batched run was given zero instances.
     EmptyBatch,
+    /// An alignment operand contains a symbol outside the scoring
+    /// scheme's alphabet.
+    SymbolOutOfRange {
+        /// Byte offset of the offending symbol within its operand.
+        index: usize,
+        /// The symbol itself.
+        symbol: u8,
+        /// Alphabet size the scoring matrix covers (symbols `0..alphabet`).
+        alphabet: u8,
+    },
     /// Redundant replicas disagreed with no majority to vote with.
     NoMajority,
     /// Recompute-on-mismatch never saw two consecutive agreeing runs
@@ -211,6 +221,14 @@ impl fmt::Display for SdpError {
                 write!(f, "batch instance {index} has a different shape from instance 0")
             }
             SdpError::EmptyBatch => write!(f, "batch needs at least one instance"),
+            SdpError::SymbolOutOfRange {
+                index,
+                symbol,
+                alphabet,
+            } => write!(
+                f,
+                "symbol {symbol} at offset {index} is outside the scoring alphabet (size {alphabet})"
+            ),
             SdpError::NoMajority => write!(f, "redundant replicas disagree with no majority"),
             SdpError::RecoveryExhausted { attempts } => {
                 write!(f, "recovery exhausted after {attempts} attempts")

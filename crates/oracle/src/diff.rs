@@ -23,6 +23,7 @@ use sdp_andor::chain::{
     bst_brute_force, build_chain_andor, chain_brute_force, matrix_chain_order, optimal_bst,
     try_matrix_chain_order, try_optimal_bst,
 };
+use sdp_core::align::Scoring;
 use sdp_core::chain_array::{simulate_chain_array, ChainMapping};
 use sdp_core::design1::Design1Array;
 use sdp_core::design2::Design2Array;
@@ -581,6 +582,405 @@ pub fn check_edit(tag: &str, a: &[u8], b: &[u8]) -> usize {
     variants
 }
 
+/// Validates a recovered local alignment against the run it came from:
+/// the ops must consume `a[start.0..=end.0]` / `b[start.1..=end.1]`
+/// exactly, re-score to the run's score under linear gaps, and (when
+/// banded) stay inside the band.
+fn assert_alignment_valid(
+    tag: &str,
+    a: &[u8],
+    b: &[u8],
+    band: Option<usize>,
+    scoring: &Scoring,
+    run: &sdp_core::align::AlignRun,
+    alignment: Option<&sdp_core::align::LocalAlignment>,
+) {
+    use sdp_core::align::AlignOp;
+    let Some(al) = alignment else {
+        assert_eq!(run.score, 0, "{tag}: positive score without an alignment");
+        return;
+    };
+    assert!(run.score > 0, "{tag}: alignment recovered from score 0");
+    assert_eq!(al.score, run.score, "{tag}: alignment score vs run");
+    assert_eq!(Some(al.end), run.end, "{tag}: alignment end vs argmax");
+    let (mut i, mut j) = al.start;
+    let mut score = 0i64;
+    for (k, op) in al.ops.iter().enumerate() {
+        if let Some(w) = band {
+            assert!(
+                (i as i64 - j as i64).unsigned_abs() <= w as u64,
+                "{tag}: op {k} leaves the band at ({i}, {j})"
+            );
+        }
+        match op {
+            AlignOp::Match | AlignOp::Sub => {
+                assert_eq!(
+                    a[i] == b[j],
+                    matches!(op, AlignOp::Match),
+                    "{tag}: op {k} mislabels ({i}, {j})"
+                );
+                score += scoring.subst.score(a[i], b[j]);
+                i += 1;
+                j += 1;
+            }
+            AlignOp::Del => {
+                score -= scoring.gap;
+                i += 1;
+            }
+            AlignOp::Ins => {
+                score -= scoring.gap;
+                j += 1;
+            }
+        }
+    }
+    assert_eq!(
+        (i, j),
+        (al.end.0 + 1, al.end.1 + 1),
+        "{tag}: ops do not land on the endpoint"
+    );
+    assert_eq!(score, run.score, "{tag}: ops re-score to {score}");
+}
+
+/// Differential driver for the local-alignment family: Smith–Waterman,
+/// banded SW, and Gotoh affine gaps through every mesh variant, the
+/// direct backends (full-field `Stats` equality), the pipelined
+/// batches, and host-side traceback — all against the from-scratch
+/// textbook references.
+pub fn check_alignment(tag: &str, a: &[u8], b: &[u8], band: usize, scoring: &Scoring) -> usize {
+    use sdp_core::align::{
+        gotoh_fault_traced, gotoh_mesh, gotoh_mesh_batch, gotoh_mesh_batch_traced,
+        gotoh_mesh_traced, recover_local_alignment, sw_banded_fault_traced, sw_banded_mesh,
+        sw_banded_mesh_aligned, sw_banded_mesh_batch, sw_banded_mesh_batch_traced,
+        sw_banded_mesh_traced, sw_fault_traced, sw_mesh, sw_mesh_aligned, sw_mesh_batch,
+        sw_mesh_batch_traced, sw_mesh_traced, try_gotoh_mesh, try_gotoh_mesh_traced,
+        try_sw_banded_mesh, try_sw_banded_mesh_traced, try_sw_mesh, try_sw_mesh_traced,
+    };
+    let sub = |p: u8, q: u8| scoring.subst.score(p, q);
+    let want_sw = reference::sw_ref(a, b, &sub, scoring.gap);
+    let want_banded = reference::sw_banded_ref(a, b, Some(band), &sub, scoring.gap);
+    let want_gotoh = reference::gotoh_ref(a, b, &sub, scoring.gap_open, scoring.gap_extend);
+    let mut variants = 0;
+
+    // The oracle itself answers to brute-force path enumeration where
+    // that is feasible.
+    if a.len() + b.len() <= 8 {
+        assert_eq!(
+            want_sw.0,
+            reference::local_align_enumerate_ref(a, b, &sub, scoring.gap),
+            "{tag}: oracle DP disagrees with path enumeration"
+        );
+        variants += 1;
+    }
+
+    let sw_runs = [
+        sw_mesh(a, b, scoring),
+        sw_mesh_traced(a, b, scoring, &mut NullSink),
+        try_sw_mesh(a, b, scoring).expect("sw try"),
+        try_sw_mesh_traced(a, b, scoring, &mut NullSink).expect("sw try traced"),
+        sw_fault_traced(a, b, scoring, &mut NoFaults, &mut NullSink).expect("sw fault traced"),
+    ];
+    let banded_runs = [
+        sw_banded_mesh(a, b, band, scoring),
+        sw_banded_mesh_traced(a, b, band, scoring, &mut NullSink),
+        try_sw_banded_mesh(a, b, band, scoring).expect("banded try"),
+        try_sw_banded_mesh_traced(a, b, band, scoring, &mut NullSink).expect("banded try traced"),
+        sw_banded_fault_traced(a, b, band, scoring, &mut NoFaults, &mut NullSink)
+            .expect("banded fault traced"),
+    ];
+    let gotoh_runs = [
+        gotoh_mesh(a, b, scoring),
+        gotoh_mesh_traced(a, b, scoring, &mut NullSink),
+        try_gotoh_mesh(a, b, scoring).expect("gotoh try"),
+        try_gotoh_mesh_traced(a, b, scoring, &mut NullSink).expect("gotoh try traced"),
+        gotoh_fault_traced(a, b, scoring, &mut NoFaults, &mut NullSink)
+            .expect("gotoh fault traced"),
+    ];
+    let cycles = if a.is_empty() || b.is_empty() {
+        0
+    } else {
+        (a.len() + b.len() - 1) as u64
+    };
+    for (family, runs, want) in [
+        ("sw", &sw_runs, want_sw),
+        ("banded", &banded_runs, want_banded),
+        ("gotoh", &gotoh_runs, want_gotoh),
+    ] {
+        for run in runs {
+            assert_eq!(run.score, want.0, "{tag}: {family} score vs oracle");
+            assert_eq!(run.end, want.1, "{tag}: {family} argmax vs oracle");
+            assert_eq!(run.cycles, cycles, "{tag}: {family} makespan");
+            variants += 1;
+        }
+    }
+
+    // Cross-design agreement: a band that covers the whole matrix is
+    // the full mesh, and affine gaps with open == extend degenerate to
+    // the linear model.
+    if band >= a.len().max(b.len()) {
+        assert_eq!(banded_runs[0], sw_runs[0], "{tag}: covering band ≠ full");
+    }
+    if scoring.gap_open == scoring.gap && scoring.gap_extend == scoring.gap {
+        assert_eq!(
+            (gotoh_runs[0].score, gotoh_runs[0].end),
+            (sw_runs[0].score, sw_runs[0].end),
+            "{tag}: degenerate affine ≠ linear"
+        );
+    }
+
+    // Direct backends: value equality with the oracle plus full-field
+    // analytic-vs-measured Stats equality with the mesh.
+    let directs = [
+        ("sw", sdp_backend::sw_direct(a, b, scoring), &sw_runs[0]),
+        (
+            "banded",
+            sdp_backend::sw_banded_direct(a, b, band, scoring),
+            &banded_runs[0],
+        ),
+        (
+            "gotoh",
+            sdp_backend::gotoh_direct(a, b, scoring),
+            &gotoh_runs[0],
+        ),
+    ];
+    for (family, direct, mesh) in directs {
+        let direct = direct.unwrap_or_else(|e| panic!("{tag}: {family} direct: {e}"));
+        assert_eq!(
+            &direct, mesh,
+            "{tag}: {family} direct vs mesh (incl. stats)"
+        );
+        variants += 1;
+    }
+
+    // Host-side traceback, full and banded: the recovered ops must
+    // replay to the forward pass's score.
+    let (run, alignment) = sw_mesh_aligned(a, b, scoring);
+    assert_eq!(run, sw_runs[0], "{tag}: aligned rerun diverges");
+    assert_alignment_valid(tag, a, b, None, scoring, &run, alignment.as_ref());
+    assert_eq!(
+        alignment,
+        recover_local_alignment(a, b, None, scoring, &run),
+        "{tag}: traceback is not a pure function of the run"
+    );
+    let (brun, banded_alignment) = sw_banded_mesh_aligned(a, b, band, scoring);
+    assert_eq!(brun, banded_runs[0], "{tag}: banded aligned rerun diverges");
+    assert_alignment_valid(
+        tag,
+        a,
+        b,
+        Some(band),
+        scoring,
+        &brun,
+        banded_alignment.as_ref(),
+    );
+    variants += 2;
+
+    // Pipelined batches of three copies: per-instance answers, and the
+    // direct batch mirrors held to full Stats equality.
+    if !a.is_empty() && !b.is_empty() {
+        let pairs: Vec<(&[u8], &[u8])> = vec![(a, b); 3];
+        let batches = [
+            (
+                "sw",
+                sw_mesh_batch(&pairs, scoring),
+                sdp_backend::sw_direct_batch(&pairs, scoring),
+                want_sw,
+            ),
+            (
+                "banded",
+                sw_banded_mesh_batch(&pairs, band, scoring),
+                sdp_backend::sw_banded_direct_batch(&pairs, band, scoring),
+                want_banded,
+            ),
+            (
+                "gotoh",
+                gotoh_mesh_batch(&pairs, scoring),
+                sdp_backend::gotoh_direct_batch(&pairs, scoring),
+                want_gotoh,
+            ),
+        ];
+        for (family, mesh, direct, want) in batches {
+            let mesh = mesh.unwrap_or_else(|e| panic!("{tag}: {family} batch: {e}"));
+            let direct = direct.unwrap_or_else(|e| panic!("{tag}: {family} direct batch: {e}"));
+            assert_eq!(mesh.scores, vec![want.0; 3], "{tag}: {family} batch scores");
+            assert_eq!(mesh.ends, vec![want.1; 3], "{tag}: {family} batch ends");
+            assert_eq!(
+                mesh.cycles,
+                (a.len() + b.len() + 1) as u64,
+                "{tag}: {family} batch makespan"
+            );
+            assert_eq!(direct, mesh, "{tag}: {family} direct batch vs mesh");
+            variants += 2;
+        }
+        let traced = [
+            sw_mesh_batch_traced(&pairs, scoring, &mut NullSink).expect("sw batch traced"),
+            sw_banded_mesh_batch_traced(&pairs, band, scoring, &mut NullSink)
+                .expect("banded batch traced"),
+            gotoh_mesh_batch_traced(&pairs, scoring, &mut NullSink).expect("gotoh batch traced"),
+        ];
+        for (batch, want) in traced.iter().zip([want_sw, want_banded, want_gotoh]) {
+            assert_eq!(batch.scores, vec![want.0; 3], "{tag}: traced batch scores");
+            variants += 1;
+        }
+    }
+    variants
+}
+
+/// Score-level driver for the wide exhaustive sweeps: the direct
+/// backends against the references only.  The full variant matrix
+/// ([`check_alignment`]) establishes mesh ≡ direct on the smaller
+/// exhaustive tier, the ramps, and the property samples; this driver
+/// extends oracle coverage to every pair of the wide tier at a cost
+/// that keeps the sweep exhaustive rather than sampled.
+pub fn check_alignment_scores(
+    tag: &str,
+    a: &[u8],
+    b: &[u8],
+    band: usize,
+    scoring: &Scoring,
+) -> usize {
+    let sub = |p: u8, q: u8| scoring.subst.score(p, q);
+    let runs = [
+        (
+            "sw",
+            sdp_backend::sw_direct(a, b, scoring),
+            reference::sw_ref(a, b, &sub, scoring.gap),
+        ),
+        (
+            "banded",
+            sdp_backend::sw_banded_direct(a, b, band, scoring),
+            reference::sw_banded_ref(a, b, Some(band), &sub, scoring.gap),
+        ),
+        (
+            "gotoh",
+            sdp_backend::gotoh_direct(a, b, scoring),
+            reference::gotoh_ref(a, b, &sub, scoring.gap_open, scoring.gap_extend),
+        ),
+    ];
+    let mut variants = 0;
+    for (family, run, want) in runs {
+        let run = run.unwrap_or_else(|e| panic!("{tag}: {family}: {e}"));
+        assert_eq!((run.score, run.end), want, "{tag}: {family} vs oracle");
+        variants += 1;
+    }
+    variants
+}
+
+/// Differential driver for the 0/1 knapsack array: every streaming
+/// variant, item-set recovery against brute-force subset enumeration,
+/// the direct backend (full-field `Stats` equality), and the flush-
+/// separated batch — all against the from-scratch reference row.
+pub fn check_knapsack(
+    tag: &str,
+    items: &[sdp_core::knapsack_array::KnapsackItem],
+    capacity: u64,
+) -> usize {
+    use sdp_core::knapsack_array::{
+        knapsack_array, knapsack_array_batch, knapsack_array_batch_traced,
+        knapsack_array_recovered, knapsack_array_traced, knapsack_cycle_count,
+        knapsack_fault_traced, try_knapsack_array, try_knapsack_array_recovered,
+        try_knapsack_array_traced,
+    };
+    let plain: Vec<(u64, u64)> = items.iter().map(|it| (it.weight, it.value)).collect();
+    let want_row = reference::knapsack_row_ref(&plain, capacity);
+    let want_best = *want_row.last().expect("row is never empty");
+    let mut variants = 0;
+
+    // The oracle row answers to brute-force subset enumeration.
+    if items.len() <= 12 {
+        for cap in [0, capacity / 2, capacity] {
+            assert_eq!(
+                reference::knapsack_row_ref(&plain, cap).last(),
+                Some(&reference::knapsack_enumerate_ref(&plain, cap)),
+                "{tag}: oracle DP disagrees with subset enumeration at cap {cap}"
+            );
+        }
+        variants += 1;
+    }
+
+    let runs = [
+        knapsack_array(items, capacity),
+        knapsack_array_traced(items, capacity, &mut NullSink),
+        try_knapsack_array(items, capacity).expect("knapsack try"),
+        try_knapsack_array_traced(items, capacity, &mut NullSink).expect("knapsack try traced"),
+        knapsack_fault_traced(items, capacity, &mut NoFaults, &mut NullSink)
+            .expect("knapsack fault traced"),
+    ];
+    let want_cycles = if items.is_empty() {
+        0
+    } else {
+        knapsack_cycle_count(items, capacity)
+    };
+    for run in &runs {
+        assert_eq!(run.per_capacity, want_row, "{tag}: array row vs oracle");
+        assert_eq!(run.best, want_best, "{tag}: array optimum vs oracle");
+        assert_eq!(run.cycles, want_cycles, "{tag}: array makespan closed form");
+        variants += 1;
+    }
+
+    // Item-set recovery from the PEs' traceback memory: the set must
+    // be feasible, worth exactly the optimum, and identical across the
+    // recovered variants and the direct replay.
+    let (rec_run, set) = knapsack_array_recovered(items, capacity);
+    assert_eq!(rec_run, runs[0], "{tag}: recovered rerun diverges");
+    let (try_run, try_set) = try_knapsack_array_recovered(items, capacity).expect("recover try");
+    assert_eq!(
+        (&try_run, &try_set),
+        (&rec_run, &set),
+        "{tag}: try recovery"
+    );
+    let weight: u64 = set.iter().map(|&i| items[i].weight).sum();
+    let value: u64 = set.iter().map(|&i| items[i].value).sum();
+    assert!(weight <= capacity, "{tag}: recovered set overweight");
+    assert_eq!(value, want_best, "{tag}: recovered set value vs optimum");
+    assert!(
+        set.windows(2).all(|w| w[0] < w[1]),
+        "{tag}: recovered set not ascending"
+    );
+    variants += 2;
+
+    // Direct backend: bit-identical run (including analytic Stats) and
+    // the same recovered set.
+    let direct = sdp_backend::knapsack_direct(items, capacity);
+    assert_eq!(direct, runs[0], "{tag}: direct vs array (incl. stats)");
+    let (drun, dset) = sdp_backend::knapsack_direct_recovered(items, capacity);
+    assert_eq!(drun, rec_run, "{tag}: direct recovered run");
+    assert_eq!(dset, set, "{tag}: direct recovered set");
+    variants += 2;
+
+    // Flush-separated batch of three copies, plus the direct mirror.
+    let refs: Vec<&[sdp_core::knapsack_array::KnapsackItem]> = vec![items; 3];
+    let batch = knapsack_array_batch(&refs, capacity).expect("knapsack batch");
+    let traced = knapsack_array_batch_traced(&refs, capacity, &mut NullSink).expect("batch traced");
+    assert_eq!(batch, traced, "{tag}: traced batch diverges");
+    for t in 0..3 {
+        assert_eq!(batch.per_capacity[t], want_row, "{tag}: batch row[{t}]");
+        assert_eq!(batch.bests[t], want_best, "{tag}: batch best[{t}]");
+    }
+    let dbatch = sdp_backend::knapsack_direct_batch(&refs, capacity).expect("direct batch");
+    assert_eq!(dbatch, batch, "{tag}: direct batch vs array (incl. stats)");
+    variants + 3
+}
+
+/// Row-level driver for the wide exhaustive knapsack sweep: the direct
+/// backend against the reference row and (for every instance — they
+/// are all tiny) brute-force subset enumeration.
+pub fn check_knapsack_row(
+    tag: &str,
+    items: &[sdp_core::knapsack_array::KnapsackItem],
+    capacity: u64,
+) -> usize {
+    let plain: Vec<(u64, u64)> = items.iter().map(|it| (it.weight, it.value)).collect();
+    let want_row = reference::knapsack_row_ref(&plain, capacity);
+    let direct = sdp_backend::knapsack_direct(items, capacity);
+    assert_eq!(direct.per_capacity, want_row, "{tag}: direct row vs oracle");
+    assert_eq!(
+        direct.best,
+        reference::knapsack_enumerate_ref(&plain, capacity),
+        "{tag}: direct optimum vs subset enumeration"
+    );
+    2
+}
+
 /// Differential driver for the polyadic-nonserial class: matrix-chain
 /// DP, brute force, the AND/OR-graph evaluation, and both chain-array
 /// mappings (Props 2/3) against the interval-DP oracle.
@@ -703,6 +1103,15 @@ mod tests {
         assert!(check_chain("clrs", &[30, 35, 15, 5, 10, 20, 25]) >= 6);
         assert!(check_bst("bst", &[4, 2, 6, 3]) >= 4);
         assert!(check_edit("kitten", b"kitten", b"sitting") >= 13);
+        let scoring = sdp_core::align::Scoring::simple(2, -1, 1);
+        assert!(check_alignment("sw", b"acacacta", b"agcacaca", 3, &scoring) >= 29);
+        assert!(check_alignment_scores("sw scores", b"acgt", b"cgta", 2, &scoring) >= 3);
+        let eps: Vec<_> = [(1, 1), (3, 4), (4, 5), (5, 7)]
+            .iter()
+            .map(|&(w, v)| sdp_core::knapsack_array::KnapsackItem::new(w, v))
+            .collect();
+        assert!(check_knapsack("eps", &eps, 7) >= 13);
+        assert!(check_knapsack_row("eps row", &eps, 7) >= 2);
         assert!(check_schedule(16, 2) >= 6);
         let g = generate::random_uniform(42, 4, 3, 0, 9);
         assert!(check_multistage_string("uniform", g.matrix_string()) >= 21);

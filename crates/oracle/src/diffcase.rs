@@ -13,6 +13,8 @@
 //!   by construction.
 
 use proptest::rng::TestRng;
+use sdp_core::align::Scoring;
+use sdp_core::knapsack_array::KnapsackItem;
 use sdp_multistage::{generate, MultistageGraph, NodeValueGraph};
 use sdp_semiring::{BoolOr, CountPlus, Matrix, MaxPlus, MinPlus, Semiring};
 
@@ -252,6 +254,170 @@ pub fn edit_exhaustive_small() -> Vec<(Vec<u8>, Vec<u8>)> {
     out
 }
 
+/// One local-alignment instance: operands, band half-width, scoring.
+pub type AlignInstance = (Vec<u8>, Vec<u8>, usize, Scoring);
+
+/// A seeded scoring scheme: cycles through simple, affine, and full
+/// substitution-matrix schemes so every `Subst` arm rides every ramp.
+pub fn random_scoring(rng: &mut TestRng, flavor: usize) -> Scoring {
+    let matched = 1 + rng.below(4) as i64;
+    let mismatched = -(1 + rng.below(4) as i64);
+    let gap = rng.below(4) as i64;
+    match flavor % 3 {
+        0 => Scoring::simple(matched, mismatched, gap),
+        1 => Scoring::affine(matched, mismatched, gap + rng.below(3) as i64, gap),
+        _ => {
+            // Weighted 4-letter alphabet: entries in [−4, 4], no
+            // structure imposed (the engines assume none).
+            let scores = (0..16).map(|_| rng.below(9) as i64 - 4).collect();
+            Scoring::matrix(4, scores, gap, gap + rng.below(3) as i64, gap)
+        }
+    }
+}
+
+/// Seeded size ramp of local-alignment instances over a 4-symbol
+/// alphabet (symbols `0..4`, so matrix scoring applies): lengths to
+/// ~12 with empty operands at the start, bands from 0 to covering,
+/// scoring cycling through all three scheme flavors.
+pub fn align_ramp(seed: u64, count: usize) -> Vec<DiffCase<AlignInstance>> {
+    (0..count)
+        .map(|i| {
+            let s = seed
+                .wrapping_add(0xA119_0000)
+                .wrapping_add(i as u64 * 0x9E37_79B9);
+            let mut rng = TestRng::from_state(s);
+            let la = i % 13;
+            let lb = (i / 2) % 13;
+            let a: Vec<u8> = (0..la).map(|_| rng.below(4) as u8).collect();
+            let b: Vec<u8> = (0..lb).map(|_| rng.below(4) as u8).collect();
+            let band = i % (la.max(lb) + 2);
+            let scoring = random_scoring(&mut rng, i);
+            case(
+                s,
+                format!("align |a|={la} |b|={lb} band={band}"),
+                (a, b, band, scoring),
+            )
+        })
+        .collect()
+}
+
+fn all_strings(alphabet: u8, max_len: usize) -> Vec<Vec<u8>> {
+    let mut strings = vec![Vec::new()];
+    let mut frontier = vec![Vec::new()];
+    for _ in 0..max_len {
+        let mut next = Vec::new();
+        for s in &frontier {
+            for sym in 0..alphabet {
+                let mut t = s.clone();
+                t.push(sym);
+                next.push(t);
+            }
+        }
+        strings.extend(next.iter().cloned());
+        frontier = next;
+    }
+    strings
+}
+
+/// Every pair of strings over the 3-symbol alphabet `{0, 1, 2}` with
+/// lengths ≤ 3 — 40² = 1600 pairs, the tier that rides the *full*
+/// alignment variant matrix.
+pub fn align_exhaustive_small() -> Vec<(Vec<u8>, Vec<u8>)> {
+    let strings = all_strings(3, 3);
+    let mut out = Vec::with_capacity(strings.len() * strings.len());
+    for a in &strings {
+        for b in &strings {
+            out.push((a.clone(), b.clone()));
+        }
+    }
+    out
+}
+
+/// Every pair of strings over `{0, 1, 2}` with lengths ≤ 5 — 364² =
+/// 132 496 pairs, the wide tier swept at score level
+/// ([`crate::diff::check_alignment_scores`]).
+pub fn align_exhaustive_wide() -> Vec<(Vec<u8>, Vec<u8>)> {
+    let strings = all_strings(3, 5);
+    let mut out = Vec::with_capacity(strings.len() * strings.len());
+    for a in &strings {
+        for b in &strings {
+            out.push((a.clone(), b.clone()));
+        }
+    }
+    out
+}
+
+/// Seeded size ramp of 0/1 knapsack instances: up to 10 items with
+/// weights ≤ 6 (zero-weight items included) and values ≤ 9,
+/// capacities to 12 (empty item lists and capacity 0 at the start).
+pub fn knapsack_ramp(seed: u64, count: usize) -> Vec<DiffCase<(Vec<KnapsackItem>, u64)>> {
+    (0..count)
+        .map(|i| {
+            let s = seed
+                .wrapping_add(0x0CA5_EC0D)
+                .wrapping_add(i as u64 * 0x45D9_F3B3);
+            let mut rng = TestRng::from_state(s);
+            let n = i % 11;
+            let capacity = (i as u64 / 2) % 13;
+            let items: Vec<KnapsackItem> = (0..n)
+                .map(|_| KnapsackItem::new(rng.below(7), rng.below(10)))
+                .collect();
+            case(
+                s,
+                format!("knapsack n={n} cap={capacity}"),
+                (items, capacity),
+            )
+        })
+        .collect()
+}
+
+const KNAPSACK_ITEM_TYPES: [(u64, u64); 6] = [(0, 1), (1, 1), (1, 2), (2, 1), (2, 3), (3, 2)];
+
+fn all_item_lists(max_len: usize) -> Vec<Vec<KnapsackItem>> {
+    let mut lists = vec![Vec::new()];
+    let mut frontier = vec![Vec::new()];
+    for _ in 0..max_len {
+        let mut next = Vec::new();
+        for l in &frontier {
+            for &(w, v) in &KNAPSACK_ITEM_TYPES {
+                let mut t = l.clone();
+                t.push(KnapsackItem::new(w, v));
+                next.push(t);
+            }
+        }
+        lists.extend(next.iter().cloned());
+        frontier = next;
+    }
+    lists
+}
+
+/// Every knapsack with ≤ 2 items over the 6-type item universe
+/// (zero-weight included) × every capacity ≤ 8 — 43 × 9 = 387
+/// instances, the tier that rides the *full* variant matrix.
+pub fn knapsack_exhaustive_small() -> Vec<(Vec<KnapsackItem>, u64)> {
+    let mut out = Vec::new();
+    for list in all_item_lists(2) {
+        for cap in 0..=8u64 {
+            out.push((list.clone(), cap));
+        }
+    }
+    out
+}
+
+/// Every knapsack with ≤ 5 items over the same universe × every
+/// capacity ≤ 8 — 9331 × 9 = 83 979 instances, the wide tier swept at
+/// row level against both the reference DP and subset enumeration
+/// ([`crate::diff::check_knapsack_row`]).
+pub fn knapsack_exhaustive_wide() -> Vec<(Vec<KnapsackItem>, u64)> {
+    let mut out = Vec::new();
+    for list in all_item_lists(5) {
+        for cap in 0..=8u64 {
+            out.push((list.clone(), cap));
+        }
+    }
+    out
+}
+
 /// Seeded ramp of matrix-chain dimension vectors (`r₀ … r_N`).
 pub fn chain_dims_ramp(seed: u64, count: usize) -> Vec<DiffCase<Vec<u64>>> {
     (0..count)
@@ -309,5 +475,27 @@ mod tests {
         assert_eq!(matmul_exhaustive_small().len(), 6561);
         assert_eq!(edit_exhaustive_small().len(), 225);
         assert_eq!(chain_exhaustive_small().len(), 9 + 27 + 81 + 243);
+        assert_eq!(align_exhaustive_small().len(), 40 * 40);
+        assert_eq!(align_exhaustive_wide().len(), 364 * 364);
+        assert_eq!(knapsack_exhaustive_small().len(), 43 * 9);
+        assert_eq!(knapsack_exhaustive_wide().len(), 9331 * 9);
+    }
+
+    #[test]
+    fn workload_ramps_are_deterministic_and_flavored() {
+        let a = align_ramp(5, 12);
+        let b = align_ramp(5, 12);
+        assert_eq!(a.len(), 12);
+        let mut matrix_seen = false;
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(x.instance, y.instance);
+            matrix_seen |= matches!(x.instance.3.subst, sdp_core::align::Subst::Matrix { .. });
+        }
+        assert!(matrix_seen, "ramp never sampled a substitution matrix");
+        let k = knapsack_ramp(5, 12);
+        assert_eq!(k.len(), 12);
+        assert_eq!(k[3].instance, knapsack_ramp(5, 12)[3].instance);
+        assert!(k.iter().any(|c| !c.instance.0.is_empty()));
     }
 }

@@ -413,6 +413,173 @@ pub fn eq9_pu_ref(n_matrices: u64, m: u64) -> f64 {
     (n_matrices as f64 - 2.0) / n_matrices as f64 + 1.0 / (n_matrices as f64 * m as f64)
 }
 
+/// Smith–Waterman local alignment from the textbook recurrence: the
+/// full `(|a|+1)×(|b|+1)` table with `H = max(0, diag+s, up−g, left−g)`
+/// and a row-major argmax scan, so the returned endpoint carries the
+/// engines' tie-break (highest score, then smallest `(i, j)`).
+/// Substitution scores arrive as a plain closure so no engine scoring
+/// type sits on the call path.
+pub fn sw_ref(
+    a: &[u8],
+    b: &[u8],
+    subst: &dyn Fn(u8, u8) -> i64,
+    gap: i64,
+) -> (i64, Option<(usize, usize)>) {
+    sw_banded_ref(a, b, None, subst, gap)
+}
+
+/// [`sw_ref`] restricted to the diagonal band `|i − j| ≤ band`
+/// (`None` = the full table); out-of-band cells simply never exist.
+pub fn sw_banded_ref(
+    a: &[u8],
+    b: &[u8],
+    band: Option<usize>,
+    subst: &dyn Fn(u8, u8) -> i64,
+    gap: i64,
+) -> (i64, Option<(usize, usize)>) {
+    const NEG: i64 = i64::MIN / 4;
+    let mut h = vec![vec![0i64; b.len() + 1]; a.len() + 1];
+    let (mut best, mut end) = (0i64, None);
+    for i in 1..=a.len() {
+        for j in 1..=b.len() {
+            if let Some(w) = band {
+                if (i as i64 - j as i64).unsigned_abs() > w as u64 {
+                    // Out-of-band cells read as −∞, not 0, so a gap move
+                    // from outside the band can never seed a path.
+                    h[i][j] = NEG;
+                    continue;
+                }
+            }
+            let cell = 0i64
+                .max(h[i - 1][j - 1].saturating_add(subst(a[i - 1], b[j - 1])))
+                .max(h[i - 1][j].saturating_sub(gap))
+                .max(h[i][j - 1].saturating_sub(gap));
+            h[i][j] = cell;
+            if cell > best {
+                best = cell;
+                end = Some((i - 1, j - 1));
+            }
+        }
+    }
+    (best, end)
+}
+
+/// Gotoh affine-gap local alignment from the textbook three-table
+/// recurrence (`E` = gap in `a`, `F` = gap in `b`, a length-`L` gap
+/// costing `open + (L−1)·extend`), with the same argmax tie-break as
+/// [`sw_ref`].
+pub fn gotoh_ref(
+    a: &[u8],
+    b: &[u8],
+    subst: &dyn Fn(u8, u8) -> i64,
+    open: i64,
+    extend: i64,
+) -> (i64, Option<(usize, usize)>) {
+    const NEG: i64 = i64::MIN / 4;
+    let cols = b.len() + 1;
+    let mut h = vec![vec![0i64; cols]; a.len() + 1];
+    let mut e = vec![vec![NEG; cols]; a.len() + 1];
+    let mut f = vec![vec![NEG; cols]; a.len() + 1];
+    let (mut best, mut end) = (0i64, None);
+    for i in 1..=a.len() {
+        for j in 1..=b.len() {
+            e[i][j] = (h[i][j - 1].saturating_sub(open)).max(e[i][j - 1].saturating_sub(extend));
+            f[i][j] = (h[i - 1][j].saturating_sub(open)).max(f[i - 1][j].saturating_sub(extend));
+            let cell = 0i64
+                .max(h[i - 1][j - 1].saturating_add(subst(a[i - 1], b[j - 1])))
+                .max(e[i][j])
+                .max(f[i][j]);
+            h[i][j] = cell;
+            if cell > best {
+                best = cell;
+                end = Some((i - 1, j - 1));
+            }
+        }
+    }
+    (best, end)
+}
+
+/// Brute-force best local-alignment score: every monotone lattice path
+/// from every start cell, linear gaps, exponential in `|a| + |b|` —
+/// small-N verification that the DP references optimize over the right
+/// search space.
+pub fn local_align_enumerate_ref(
+    a: &[u8],
+    b: &[u8],
+    subst: &dyn Fn(u8, u8) -> i64,
+    gap: i64,
+) -> i64 {
+    struct Walk<'w> {
+        a: &'w [u8],
+        b: &'w [u8],
+        subst: &'w dyn Fn(u8, u8) -> i64,
+        gap: i64,
+        best: i64,
+    }
+    impl Walk<'_> {
+        fn go(&mut self, i: usize, j: usize, acc: i64) {
+            self.best = self.best.max(acc);
+            if i < self.a.len() && j < self.b.len() {
+                self.go(i + 1, j + 1, acc + (self.subst)(self.a[i], self.b[j]));
+            }
+            if i < self.a.len() {
+                self.go(i + 1, j, acc - self.gap);
+            }
+            if j < self.b.len() {
+                self.go(i, j + 1, acc - self.gap);
+            }
+        }
+    }
+    let mut walk = Walk {
+        a,
+        b,
+        subst,
+        gap,
+        best: 0,
+    };
+    for i0 in 0..a.len() {
+        for j0 in 0..b.len() {
+            walk.go(i0, j0, 0);
+        }
+    }
+    walk.best
+}
+
+/// 0/1 knapsack from the textbook capacity-descending one-row sweep
+/// over plain `(weight, value)` pairs: returns the final
+/// `best-value-at-capacity-c` row for `c = 0..=capacity`.
+pub fn knapsack_row_ref(items: &[(u64, u64)], capacity: u64) -> Vec<u64> {
+    let c = capacity as usize;
+    let mut row = vec![0u64; c + 1];
+    for &(w, v) in items {
+        let w = w as usize;
+        for cap in (w..=c).rev() {
+            row[cap] = row[cap].max(row[cap - w].saturating_add(v));
+        }
+    }
+    row
+}
+
+/// Brute-force 0/1 knapsack: every one of the `2^n` subsets, best value
+/// among those with total weight ≤ `capacity`.
+pub fn knapsack_enumerate_ref(items: &[(u64, u64)], capacity: u64) -> u64 {
+    assert!(items.len() <= 20, "enumeration is 2^n");
+    let mut best = 0u64;
+    for mask in 0..1u32 << items.len() {
+        let (mut w, mut v) = (0u64, 0u64);
+        for (i, &(wi, vi)) in items.iter().enumerate() {
+            if mask >> i & 1 == 1 {
+                w = w.saturating_add(wi);
+                v = v.saturating_add(vi);
+            }
+        }
+        if w <= capacity {
+            best = best.max(v);
+        }
+    }
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -457,6 +624,68 @@ mod tests {
                     assert!(rounds <= eq29.max(1), "n={n} k={k}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn alignment_known_values() {
+        let simple = |m: i64, x: i64| move |p: u8, q: u8| if p == q { m } else { x };
+        // The classic pair under +2/−1/−1: identical runs dominate.
+        let sub = simple(2, -1);
+        let (score, end) = sw_ref(b"acacacta", b"agcacaca", &sub, 1);
+        assert_eq!(score, 12);
+        assert!(end.is_some());
+        // Identical strings: the full diagonal, ending at the corner.
+        assert_eq!(sw_ref(b"abc", b"abc", &sub, 1), (6, Some((2, 2))));
+        // Nothing in common: the empty alignment.
+        assert_eq!(sw_ref(b"aaa", b"bbb", &simple(1, -2), 2), (0, None));
+        // A band of 0 keeps only the main diagonal: the off-diagonal
+        // match that full SW finds in `ab` vs `ba` disappears.
+        assert_eq!(sw_ref(b"ab", b"ba", &sub, 1).0, 2);
+        assert_eq!(sw_banded_ref(b"ab", b"ba", Some(0), &sub, 1).0, 0);
+        assert_eq!(sw_banded_ref(b"abab", b"abab", Some(0), &sub, 1).0, 8);
+        // Affine with open == extend degenerates to the linear model.
+        for (a, b) in [(&b"gattaca"[..], &b"gcatgcg"[..]), (b"aab", b"ab")] {
+            assert_eq!(gotoh_ref(a, b, &sub, 1, 1), sw_ref(a, b, &sub, 1));
+        }
+        // One long gap beats two short ones once extension is cheap.
+        let (affine, _) = gotoh_ref(b"ccccxxxdddd", b"ccccdddd", &sub, 3, 1);
+        assert_eq!(affine, 2 * 8 - 3 - 2);
+    }
+
+    #[test]
+    fn alignment_dp_matches_path_enumeration() {
+        let sub = |p: u8, q: u8| if p == q { 2 } else { -1 };
+        for (a, b) in [
+            (&b"acgt"[..], &b"cgta"[..]),
+            (b"aabba", b"abab"),
+            (b"abc", b""),
+            (b"ccag", b"ggac"),
+        ] {
+            assert_eq!(
+                sw_ref(a, b, &sub, 1).0,
+                local_align_enumerate_ref(a, b, &sub, 1),
+                "{a:?} vs {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn knapsack_known_values() {
+        // The EPS example: weights/values where items {1, 2} win at 7.
+        let items = [(1, 1), (3, 4), (4, 5), (5, 7)];
+        let row = knapsack_row_ref(&items, 7);
+        assert_eq!(row, vec![0, 1, 1, 4, 5, 7, 8, 9]);
+        assert_eq!(knapsack_enumerate_ref(&items, 7), 9);
+        assert_eq!(knapsack_row_ref(&[], 3), vec![0, 0, 0, 0]);
+        // Zero-weight items are free value at every capacity.
+        assert_eq!(knapsack_row_ref(&[(0, 5)], 0), vec![5]);
+        for cap in 0..=8 {
+            assert_eq!(
+                *knapsack_row_ref(&items, cap).last().unwrap(),
+                knapsack_enumerate_ref(&items, cap),
+                "cap {cap}"
+            );
         }
     }
 

@@ -14,8 +14,8 @@
 //! conformance suites.
 
 use crate::reference::{
-    andor_eval_ref, bst_dp_ref, chain_dp_ref, edit_distance_ref, minplus_mul_ref,
-    minplus_string_ref, RefMat, Weight,
+    andor_eval_ref, bst_dp_ref, chain_dp_ref, edit_distance_ref, knapsack_row_ref, minplus_mul_ref,
+    minplus_string_ref, sw_ref, RefMat, Weight,
 };
 use sdp_andor::graph::{AndOrGraph, NodeId};
 use sdp_semiring::{Matrix, MinPlus};
@@ -78,6 +78,31 @@ pub fn served_bst(freq: &[u64]) -> Json {
     Json::object().with("cost", Json::Int(bst_dp_ref(freq) as i64))
 }
 
+/// Expected `result` object for an `align` request (simple
+/// match/mismatch scoring with a linear gap — the served scheme).
+pub fn served_align(a: &[u8], b: &[u8], matched: i64, mismatched: i64, gap: i64) -> Json {
+    let sub = move |p: u8, q: u8| if p == q { matched } else { mismatched };
+    let (score, end) = sw_ref(a, b, &sub, gap);
+    let end_json = match end {
+        Some((i, j)) => Json::Array(vec![Json::Int(i as i64), Json::Int(j as i64)]),
+        None => Json::Null,
+    };
+    Json::object()
+        .with("score", Json::Int(score))
+        .with("end", end_json)
+}
+
+/// Expected `result` object for a `knapsack` request: the optimum and
+/// the full best-value-per-capacity row.
+pub fn served_knapsack(items: &[(u64, u64)], capacity: u64) -> Json {
+    let row = knapsack_row_ref(items, capacity);
+    let best = *row.last().expect("row is never empty");
+    Json::object().with("best", best).with(
+        "row",
+        Json::Array(row.into_iter().map(Json::from).collect()),
+    )
+}
+
 /// Expected `result` object for an `andor` request.
 pub fn served_andor(g: &AndOrGraph, root: NodeId) -> Json {
     Json::object().with("value", weight_to_json(andor_eval_ref(g, root)))
@@ -106,5 +131,17 @@ mod tests {
         assert_eq!(served_bst(&[1]).render(), r#"{"cost":1}"#);
         let m = served_multistage1(&[mat(2, 2, &[1, 5, 2, 0]), mat(2, 2, &[3, 1, 4, 1])]);
         assert_eq!(m.render(), r#"{"values":[2,1]}"#);
+        assert_eq!(
+            served_align(b"abc", b"abc", 2, -1, 1).render(),
+            r#"{"score":6,"end":[2,2]}"#
+        );
+        assert_eq!(
+            served_align(b"aaa", b"bbb", 1, -2, 2).render(),
+            r#"{"score":0,"end":null}"#
+        );
+        assert_eq!(
+            served_knapsack(&[(1, 1), (3, 4)], 4).render(),
+            r#"{"best":5,"row":[0,1,1,4,5]}"#
+        );
     }
 }

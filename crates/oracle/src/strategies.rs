@@ -179,6 +179,77 @@ impl Strategy for LargeBstFreqStrategy {
     }
 }
 
+/// Local-alignment instances `(a, b, band, scoring)` over the
+/// 4-symbol alphabet `0..4`: lengths ≤ 12 (empty operands included),
+/// bands from 0 to past covering, and the scoring scheme cycling
+/// through simple, affine, and full-matrix substitution flavors.
+pub struct AlignInstanceStrategy;
+
+impl Strategy for AlignInstanceStrategy {
+    type Value = diffcase::AlignInstance;
+    fn sample(&self, rng: &mut TestRng) -> diffcase::AlignInstance {
+        let la = rng.below(13) as usize;
+        let lb = rng.below(13) as usize;
+        let a = (0..la).map(|_| rng.below(4) as u8).collect();
+        let b = (0..lb).map(|_| rng.below(4) as u8).collect();
+        let band = rng.below(la.max(lb) as u64 + 2) as usize;
+        let flavor = rng.below(3) as usize;
+        let scoring = diffcase::random_scoring(rng, flavor);
+        (a, b, band, scoring)
+    }
+}
+
+/// Knapsack instances `(items, capacity)`: up to 10 items with weights
+/// ≤ 6 (zero-weight included, some oversized for the capacity) and
+/// values ≤ 9, capacities ≤ 12.
+pub struct KnapsackInstanceStrategy;
+
+impl Strategy for KnapsackInstanceStrategy {
+    type Value = (Vec<sdp_core::knapsack_array::KnapsackItem>, u64);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let n = rng.below(11) as usize;
+        let capacity = rng.below(13);
+        let items = (0..n)
+            .map(|_| sdp_core::knapsack_array::KnapsackItem::new(rng.below(7), rng.below(10)))
+            .collect();
+        (items, capacity)
+    }
+}
+
+/// Large local-alignment operand pairs: lengths in `[100, 320]` over a
+/// 4-symbol alphabet, so the serve work measure `|a|·|b|` lands in the
+/// 10⁴–10⁵ crossover band.
+pub struct LargeAlignPairStrategy;
+
+impl Strategy for LargeAlignPairStrategy {
+    type Value = (Vec<u8>, Vec<u8>);
+    fn sample(&self, rng: &mut TestRng) -> (Vec<u8>, Vec<u8>) {
+        let la = pick(rng, 100, 320);
+        let lb = pick(rng, 100, 320);
+        let a = (0..la).map(|_| rng.below(4) as u8).collect();
+        let b = (0..lb).map(|_| rng.below(4) as u8).collect();
+        (a, b)
+    }
+}
+
+/// Large knapsack instances: `n ∈ [50, 100]` items, capacities in
+/// `[199, 999]`, so the work measure `n·(C+1)` lands in 10⁴–10⁵.
+pub struct LargeKnapsackStrategy;
+
+impl Strategy for LargeKnapsackStrategy {
+    type Value = (Vec<sdp_core::knapsack_array::KnapsackItem>, u64);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let n = pick(rng, 50, 100);
+        let capacity = 199 + rng.below(801);
+        let items = (0..n)
+            .map(|_| {
+                sdp_core::knapsack_array::KnapsackItem::new(1 + rng.below(8), 1 + rng.below(100))
+            })
+            .collect();
+        (items, capacity)
+    }
+}
+
 /// `(N, K)` scheduler shapes: `N ∈ [2, 200]`, `K ∈ [1, 32]`.
 pub struct ScheduleShapeStrategy;
 
@@ -237,6 +308,29 @@ mod tests {
             let freq = LargeBstFreqStrategy.sample(&mut rng);
             let n = freq.len();
             assert!((10_000..=110_000).contains(&(n * n * n)), "bst n {n}");
+            let (a, b) = LargeAlignPairStrategy.sample(&mut rng);
+            assert!((10_000..=110_000).contains(&(a.len() * b.len())));
+            let (items, cap) = LargeKnapsackStrategy.sample(&mut rng);
+            let work = items.len() * (cap as usize + 1);
+            assert!((10_000..=110_000).contains(&work), "knapsack work {work}");
         }
+    }
+
+    #[test]
+    fn workload_strategies_cover_the_documented_shapes() {
+        let mut rng = TestRng::from_state(17);
+        let mut matrix_seen = false;
+        let mut zero_weight_seen = false;
+        for _ in 0..64 {
+            let (a, b, band, scoring) = AlignInstanceStrategy.sample(&mut rng);
+            assert!(a.len() <= 12 && b.len() <= 12);
+            assert!(band <= a.len().max(b.len()) + 1);
+            matrix_seen |= matches!(scoring.subst, sdp_core::align::Subst::Matrix { .. });
+            let (items, cap) = KnapsackInstanceStrategy.sample(&mut rng);
+            assert!(items.len() <= 10 && cap <= 12);
+            zero_weight_seen |= items.iter().any(|it| it.weight == 0);
+        }
+        assert!(matrix_seen, "never sampled a substitution matrix");
+        assert!(zero_weight_seen, "never sampled a zero-weight item");
     }
 }

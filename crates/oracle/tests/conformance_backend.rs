@@ -19,16 +19,18 @@ use proptest::prelude::ProptestConfig;
 use proptest::proptest;
 use proptest::rng::TestRng;
 use sdp_andor::chain::{matrix_chain_order, optimal_bst};
+use sdp_core::align::{gotoh_mesh, sw_banded_mesh, sw_mesh, Scoring};
 use sdp_core::chain_array::{simulate_chain_array, ChainMapping};
 use sdp_core::design1::{Design1Array, Design1Result};
 use sdp_core::design2::{Design2Array, Design2Result};
 use sdp_core::edit_array::edit_distance_mesh;
+use sdp_core::knapsack_array::{knapsack_array, knapsack_cycle_count, KnapsackItem};
 use sdp_core::matmul_array::MatmulArray;
 use sdp_multistage::generate;
 use sdp_oracle::reference::{self, weq, Weight};
 use sdp_oracle::strategies::{
-    LargeBstFreqStrategy, LargeChainDimsStrategy, LargeEditPairStrategy, LargeMatmulPairStrategy,
-    LargeMinPlusStringStrategy,
+    LargeAlignPairStrategy, LargeBstFreqStrategy, LargeChainDimsStrategy, LargeEditPairStrategy,
+    LargeKnapsackStrategy, LargeMatmulPairStrategy, LargeMinPlusStringStrategy,
 };
 use sdp_oracle::{diffcase, invariants};
 use sdp_semiring::{Cost, Matrix, MinPlus};
@@ -270,6 +272,101 @@ fn large_interval_ramp_direct_vs_sim_and_reference() {
     }
 }
 
+/// Seeded alignment ramp, `|a|·|b|` from 10⁴ to 10⁵: all three blocked
+/// direct solvers against the references, with wavefront-mesh overlap
+/// (full-field `AlignRun` equality) on the moderate sizes.
+#[test]
+fn large_align_ramp_direct_vs_sim_and_reference() {
+    let linear = Scoring::simple(2, -1, 1);
+    let affine = Scoring::affine(2, -1, 3, 1);
+    let sub = |p: u8, q: u8| if p == q { 2 } else { -1 };
+    for (seed, la, lb, sim_overlap) in [
+        (0xA141u64, 100usize, 100usize, true),
+        (0xA142, 130, 130, true),
+        (0xA143, 240, 220, false),
+        (0xA144, 320, 320, false),
+    ] {
+        let tag = format!("align |a|={la} |b|={lb} seed={seed:#x}");
+        let mut rng = TestRng::from_state(seed);
+        let a: Vec<u8> = (0..la).map(|_| rng.below(4) as u8).collect();
+        let b: Vec<u8> = (0..lb).map(|_| rng.below(4) as u8).collect();
+        let band = la.max(lb) / 4;
+
+        let want = reference::sw_ref(&a, &b, &sub, 1);
+        let direct = sdp_backend::sw_direct(&a, &b, &linear).expect("sw direct");
+        assert_eq!((direct.score, direct.end), want, "{tag}: sw vs oracle");
+
+        let want_banded = reference::sw_banded_ref(&a, &b, Some(band), &sub, 1);
+        let banded = sdp_backend::sw_banded_direct(&a, &b, band, &linear).expect("banded direct");
+        assert_eq!(
+            (banded.score, banded.end),
+            want_banded,
+            "{tag}: banded sw vs oracle"
+        );
+
+        let want_affine = reference::gotoh_ref(&a, &b, &sub, 3, 1);
+        let gotoh = sdp_backend::gotoh_direct(&a, &b, &affine).expect("gotoh direct");
+        assert_eq!(
+            (gotoh.score, gotoh.end),
+            want_affine,
+            "{tag}: gotoh vs oracle"
+        );
+
+        if sim_overlap {
+            assert_eq!(direct, sw_mesh(&a, &b, &linear), "{tag}: sw direct vs mesh");
+            assert_eq!(
+                banded,
+                sw_banded_mesh(&a, &b, band, &linear),
+                "{tag}: banded direct vs mesh"
+            );
+            assert_eq!(
+                gotoh,
+                gotoh_mesh(&a, &b, &affine),
+                "{tag}: gotoh direct vs mesh"
+            );
+        }
+    }
+}
+
+/// Seeded knapsack ramp, `n·(C+1)` from 10⁴ to 10⁵.  The streaming
+/// array is cheap enough to simulate everywhere, so every size gets
+/// full-field `KnapsackRun` equality on top of the reference row.
+#[test]
+fn large_knapsack_ramp_direct_vs_sim_and_reference() {
+    for (seed, n, capacity) in [
+        (0xCB41u64, 50usize, 240u64),
+        (0xCB42, 64, 450),
+        (0xCB43, 80, 700),
+        (0xCB44, 100, 999),
+    ] {
+        let tag = format!("knapsack n={n} C={capacity} seed={seed:#x}");
+        let mut rng = TestRng::from_state(seed);
+        let items: Vec<KnapsackItem> = (0..n)
+            .map(|_| KnapsackItem::new(1 + rng.below(8), 1 + rng.below(100)))
+            .collect();
+        let pairs: Vec<(u64, u64)> = items.iter().map(|it| (it.weight, it.value)).collect();
+        let want_row = reference::knapsack_row_ref(&pairs, capacity);
+
+        let direct = sdp_backend::knapsack_direct(&items, capacity);
+        assert_eq!(direct.per_capacity, want_row, "{tag}: direct row vs oracle");
+        assert_eq!(
+            direct.best,
+            *want_row.last().unwrap(),
+            "{tag}: direct best vs oracle"
+        );
+        assert_eq!(
+            direct.cycles,
+            knapsack_cycle_count(&items, capacity),
+            "{tag}: direct cycles vs closed form"
+        );
+        assert_eq!(
+            direct,
+            knapsack_array(&items, capacity),
+            "{tag}: direct vs streaming array"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -313,5 +410,26 @@ proptest! {
         let direct = sdp_backend::bst_direct(&freq).expect("bst direct");
         let want = reference::bst_dp_ref(&freq);
         assert!(weq(Some(want as i64), direct.cost), "BST cost vs oracle");
+    }
+
+    #[test]
+    fn sampled_large_aligns_direct_matches_reference(pair in LargeAlignPairStrategy) {
+        let (a, b) = &pair;
+        let scoring = Scoring::simple(2, -1, 1);
+        let sub = |p: u8, q: u8| if p == q { 2 } else { -1 };
+        let direct = sdp_backend::sw_direct(a, b, &scoring).expect("sw direct");
+        assert_eq!((direct.score, direct.end), reference::sw_ref(a, b, &sub, 1));
+        let affine = Scoring::affine(2, -1, 3, 1);
+        let gotoh = sdp_backend::gotoh_direct(a, b, &affine).expect("gotoh direct");
+        assert_eq!((gotoh.score, gotoh.end), reference::gotoh_ref(a, b, &sub, 3, 1));
+    }
+
+    #[test]
+    fn sampled_large_knapsacks_direct_matches_reference(inst in LargeKnapsackStrategy) {
+        let (items, capacity) = &inst;
+        let pairs: Vec<(u64, u64)> = items.iter().map(|it| (it.weight, it.value)).collect();
+        let direct = sdp_backend::knapsack_direct(items, *capacity);
+        assert_eq!(direct.per_capacity, reference::knapsack_row_ref(&pairs, *capacity));
+        assert_eq!(direct.cycles, knapsack_cycle_count(items, *capacity));
     }
 }

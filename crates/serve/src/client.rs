@@ -316,6 +316,41 @@ pub fn bst_request(id: i64, freq: &[u64]) -> String {
         .render()
 }
 
+/// `align` request line (Smith–Waterman local alignment under simple
+/// scoring; the server defaults are `match=2`, `mismatch=-1`, `gap=1`).
+pub fn align_request(id: i64, a: &str, b: &str, scores: Option<(i64, i64, i64)>) -> String {
+    let mut doc = Json::object()
+        .with("id", Json::Int(id))
+        .with("kind", "align")
+        .with("a", a)
+        .with("b", b);
+    if let Some((matched, mismatched, gap)) = scores {
+        doc = doc
+            .with("match", Json::Int(matched))
+            .with("mismatch", Json::Int(mismatched))
+            .with("gap", Json::Int(gap));
+    }
+    doc.render()
+}
+
+/// `knapsack` request line (0/1 knapsack over parallel weight/value
+/// lists).
+pub fn knapsack_request(id: i64, weights: &[u64], values: &[u64], capacity: u64) -> String {
+    Json::object()
+        .with("id", Json::Int(id))
+        .with("kind", "knapsack")
+        .with(
+            "weights",
+            Json::Array(weights.iter().map(|&w| Json::from(w)).collect()),
+        )
+        .with(
+            "values",
+            Json::Array(values.iter().map(|&v| Json::from(v)).collect()),
+        )
+        .with("capacity", capacity)
+        .render()
+}
+
 /// Attaches a `deadline_ms` budget to an already-rendered compute
 /// request line (the server clamps a missing field to its default).
 pub fn with_deadline(line: &str, deadline_ms: u64) -> String {

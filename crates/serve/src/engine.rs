@@ -24,10 +24,12 @@
 
 use crate::protocol::{cost_to_json, matrix_to_json, Body, Class};
 use sdp_andor::chain::{try_matrix_chain_order, try_optimal_bst};
+use sdp_core::align::{sw_mesh_batch, Scoring};
 use sdp_core::chain_array::{simulate_chain_array, ChainMapping};
 use sdp_core::design1::Design1Array;
 use sdp_core::design2::Design2Array;
 use sdp_core::edit_array::edit_distance_mesh_batch;
+use sdp_core::knapsack_array::{knapsack_array_batch, KnapsackItem};
 use sdp_core::matmul_array::MatmulArray;
 use sdp_fault::SdpError;
 use sdp_semiring::{Matrix, MinPlus};
@@ -48,6 +50,42 @@ fn values_json(values: &[sdp_semiring::Cost]) -> Json {
         "values",
         Json::Array(values.iter().map(|&c| cost_to_json(c)).collect()),
     )
+}
+
+/// Renders one alignment answer the way the oracle's `served_align`
+/// does: `{"score":s,"end":[i,j]}` with `null` when nothing scored
+/// positive.
+fn align_json(score: i64, end: Option<(usize, usize)>) -> Json {
+    let end_json = match end {
+        Some((i, j)) => Json::Array(vec![Json::Int(i as i64), Json::Int(j as i64)]),
+        None => Json::Null,
+    };
+    Json::object()
+        .with("score", Json::Int(score))
+        .with("end", end_json)
+}
+
+/// Renders one knapsack answer: the optimum plus the full
+/// best-value-per-capacity row.
+fn knapsack_json(best: u64, row: &[u64]) -> Json {
+    Json::object().with("best", best).with(
+        "row",
+        Json::Array(row.iter().map(|&v| Json::from(v)).collect()),
+    )
+}
+
+/// The shared simple-scoring scheme of an align bucket (uniform by
+/// shape key).
+fn align_scoring(bodies: &[Body]) -> Scoring {
+    match bodies.first() {
+        Some(Body::Align {
+            matched,
+            mismatched,
+            gap,
+            ..
+        }) => Scoring::simple(*matched, *mismatched, *gap),
+        _ => unreachable!("bucket is single-class"),
+    }
 }
 
 /// Which execution backend answered a bucket: the cycle-accurate
@@ -73,8 +111,9 @@ impl EngineKind {
 /// Per-instance work measure used for dispatch: the serial-op count of
 /// the recurrence (DP cells × fan-in), the quantity both engines scale
 /// with.  Multistage `N·m²`, matmul `p·q·r`, edit `|a|·|b|`,
-/// chain/BST `n³`; AND/OR evaluation is already direct, so it measures
-/// 0 and never leaves the simulator path.
+/// chain/BST `n³`, align `|a|·|b|`, knapsack `n·(C+1)`; AND/OR
+/// evaluation is already direct, so it measures 0 and never leaves the
+/// simulator path.
 pub fn body_work(body: &Body) -> u64 {
     match body {
         Body::Multistage { mats, .. } => mats
@@ -91,6 +130,8 @@ pub fn body_work(body: &Body) -> u64 {
             n * n * n
         }
         Body::AndOr { .. } => 0,
+        Body::Align { a, b, .. } => (a.len() * b.len()) as u64,
+        Body::Knapsack { items, capacity } => items.len() as u64 * (capacity + 1),
     }
 }
 
@@ -237,6 +278,32 @@ fn run_bucket_inner(
                 _ => unreachable!("bucket is single-class"),
             })
             .collect()),
+        Class::Align => {
+            let pairs: Vec<(&[u8], &[u8])> = bodies
+                .iter()
+                .map(|b| match b {
+                    Body::Align { a, b, .. } => (a.as_slice(), b.as_slice()),
+                    _ => unreachable!("bucket is single-class"),
+                })
+                .collect();
+            let batch = sw_mesh_batch(&pairs, &align_scoring(bodies))?;
+            Ok(batch
+                .scores
+                .iter()
+                .zip(&batch.ends)
+                .map(|(&score, &end)| Ok(align_json(score, end)))
+                .collect())
+        }
+        Class::Knapsack => {
+            let (items, capacity) = knapsack_bucket(bodies);
+            let batch = knapsack_array_batch(&items, capacity)?;
+            Ok(batch
+                .bests
+                .iter()
+                .zip(&batch.per_capacity)
+                .map(|(&best, row)| Ok(knapsack_json(best, row)))
+                .collect())
+        }
     }
 }
 
@@ -340,7 +407,50 @@ fn run_bucket_direct_inner(
         // AND/OR evaluation is already a direct graph walk; `choose`
         // never dispatches it here.
         Class::AndOr => run_bucket_inner(class, bodies),
+        Class::Align => {
+            let pairs: Vec<(&[u8], &[u8])> = bodies
+                .iter()
+                .map(|b| match b {
+                    Body::Align { a, b, .. } => (a.as_slice(), b.as_slice()),
+                    _ => unreachable!("bucket is single-class"),
+                })
+                .collect();
+            let batch = sdp_backend::sw_direct_batch(&pairs, &align_scoring(bodies))?;
+            Ok(batch
+                .scores
+                .iter()
+                .zip(&batch.ends)
+                .map(|(&score, &end)| Ok(align_json(score, end)))
+                .collect())
+        }
+        Class::Knapsack => {
+            let (items, capacity) = knapsack_bucket(bodies);
+            let batch = sdp_backend::knapsack_direct_batch(&items, capacity)?;
+            Ok(batch
+                .bests
+                .iter()
+                .zip(&batch.per_capacity)
+                .map(|(&best, row)| Ok(knapsack_json(best, row)))
+                .collect())
+        }
     }
+}
+
+/// Splits a knapsack bucket into the batch engine's argument shape (the
+/// capacity is uniform by shape key).
+fn knapsack_bucket(bodies: &[Body]) -> (Vec<&[KnapsackItem]>, u64) {
+    let capacity = match bodies.first() {
+        Some(Body::Knapsack { capacity, .. }) => *capacity,
+        _ => unreachable!("bucket is single-class"),
+    };
+    let items = bodies
+        .iter()
+        .map(|b| match b {
+            Body::Knapsack { items, .. } => items.as_slice(),
+            _ => unreachable!("bucket is single-class"),
+        })
+        .collect();
+    (items, capacity)
 }
 
 #[cfg(test)]
@@ -460,6 +570,43 @@ mod tests {
                     freq: vec![3, 1, 4, 1, 5],
                 }],
             ),
+            (
+                Class::Align,
+                vec![
+                    Body::Align {
+                        a: b"acacacta".to_vec(),
+                        b: b"agcacaca".to_vec(),
+                        matched: 2,
+                        mismatched: -1,
+                        gap: 1,
+                    },
+                    Body::Align {
+                        a: b"gattacaa".to_vec(),
+                        b: b"gcatgcua".to_vec(),
+                        matched: 2,
+                        mismatched: -1,
+                        gap: 1,
+                    },
+                ],
+            ),
+            (
+                Class::Knapsack,
+                vec![
+                    Body::Knapsack {
+                        items: vec![
+                            KnapsackItem::new(1, 1),
+                            KnapsackItem::new(3, 4),
+                            KnapsackItem::new(4, 5),
+                            KnapsackItem::new(5, 7),
+                        ],
+                        capacity: 7,
+                    },
+                    Body::Knapsack {
+                        items: vec![KnapsackItem::new(2, 3)],
+                        capacity: 7,
+                    },
+                ],
+            ),
         ];
         for (class, bodies) in buckets {
             let sim = run_bucket_on(EngineKind::Sim, class, &bodies);
@@ -501,6 +648,52 @@ mod tests {
         assert_eq!(body_work(&andor), 0);
         assert_eq!(choose(&[andor], 1), EngineKind::Sim);
         assert_eq!(choose(&[], 0), EngineKind::Sim, "empty bucket");
+    }
+
+    #[test]
+    fn workload_buckets_match_singles_and_the_oracle_rendering() {
+        let align = |a: &[u8], b: &[u8]| Body::Align {
+            a: a.to_vec(),
+            b: b.to_vec(),
+            matched: 2,
+            mismatched: -1,
+            gap: 1,
+        };
+        let bucket = vec![
+            align(b"acacacta", b"agcacaca"),
+            align(b"aaaaaaaa", b"tttttttt"),
+        ];
+        let batched = run_bucket(Class::Align, &bucket);
+        for (i, body) in bucket.iter().enumerate() {
+            let single = run_bucket(Class::Align, std::slice::from_ref(body));
+            assert_eq!(batched[i], single[0], "align instance {i}");
+        }
+        assert_eq!(
+            batched[0].as_ref().unwrap().render(),
+            sdp_oracle::served::served_align(b"acacacta", b"agcacaca", 2, -1, 1).render()
+        );
+        assert_eq!(
+            batched[1].as_ref().unwrap().render(),
+            r#"{"score":0,"end":null}"#
+        );
+
+        let sack = |items: &[(u64, u64)]| Body::Knapsack {
+            items: items
+                .iter()
+                .map(|&(w, v)| KnapsackItem::new(w, v))
+                .collect(),
+            capacity: 7,
+        };
+        let bucket = vec![sack(&[(1, 1), (3, 4), (4, 5), (5, 7)]), sack(&[(2, 3)])];
+        let batched = run_bucket(Class::Knapsack, &bucket);
+        for (i, body) in bucket.iter().enumerate() {
+            let single = run_bucket(Class::Knapsack, std::slice::from_ref(body));
+            assert_eq!(batched[i], single[0], "knapsack instance {i}");
+        }
+        assert_eq!(
+            batched[0].as_ref().unwrap().render(),
+            sdp_oracle::served::served_knapsack(&[(1, 1), (3, 4), (4, 5), (5, 7)], 7).render()
+        );
     }
 
     #[test]

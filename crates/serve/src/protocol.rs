@@ -12,6 +12,8 @@
 //! | `chain`      | `dims` (r₀…r_N)                              | chain array       |
 //! | `bst`        | `freq` (access frequencies)                  | interval DP       |
 //! | `andor`      | `nodes` (postorder), `root`                  | AND/OR evaluation |
+//! | `align`      | `a`, `b` (strings), `match`/`mismatch`/`gap` | Smith–Waterman mesh |
+//! | `knapsack`   | `weights`, `values`, `capacity`              | knapsack array    |
 //! | `metrics`    | —                                            | server introspection |
 //! | `metrics_text` | —                                          | Prometheus text exposition |
 //! | `shutdown`   | —                                            | graceful drain    |
@@ -22,6 +24,7 @@
 
 use crate::json::{self, Json};
 use sdp_andor::graph::AndOrGraph;
+use sdp_core::knapsack_array::KnapsackItem;
 use sdp_fault::SdpError;
 use sdp_semiring::{Cost, Matrix, MinPlus};
 
@@ -43,10 +46,14 @@ pub enum Class {
     Bst,
     /// AND/OR-graph evaluation.
     AndOr,
+    /// Smith–Waterman local-alignment mesh (simple scoring, linear gap).
+    Align,
+    /// 0/1 knapsack on the capacity-indexed streaming array.
+    Knapsack,
 }
 
 /// All engine classes, in metrics order.
-pub const CLASSES: [Class; 7] = [
+pub const CLASSES: [Class; 9] = [
     Class::Multistage1,
     Class::Multistage2,
     Class::Matmul,
@@ -54,6 +61,8 @@ pub const CLASSES: [Class; 7] = [
     Class::Chain,
     Class::Bst,
     Class::AndOr,
+    Class::Align,
+    Class::Knapsack,
 ];
 
 impl Class {
@@ -67,6 +76,8 @@ impl Class {
             Class::Chain => "chain",
             Class::Bst => "bst",
             Class::AndOr => "andor",
+            Class::Align => "align",
+            Class::Knapsack => "knapsack",
         }
     }
 
@@ -118,6 +129,26 @@ pub enum Body {
         /// Node whose value is requested.
         root: usize,
     },
+    /// One Smith–Waterman local alignment under simple scoring.
+    Align {
+        /// First operand.
+        a: Vec<u8>,
+        /// Second operand.
+        b: Vec<u8>,
+        /// Score for a matching symbol pair.
+        matched: i64,
+        /// Score for a mismatching symbol pair.
+        mismatched: i64,
+        /// Per-symbol gap penalty (subtracted).
+        gap: i64,
+    },
+    /// One 0/1 knapsack instance.
+    Knapsack {
+        /// The items (weight, value), in stream order.
+        items: Vec<KnapsackItem>,
+        /// Knapsack capacity.
+        capacity: u64,
+    },
 }
 
 impl Body {
@@ -131,6 +162,8 @@ impl Body {
             Body::Chain { .. } => Class::Chain,
             Body::Bst { .. } => Class::Bst,
             Body::AndOr { .. } => Class::AndOr,
+            Body::Align { .. } => Class::Align,
+            Body::Knapsack { .. } => Class::Knapsack,
         }
     }
 
@@ -207,6 +240,31 @@ impl Body {
                     }
                 }
             }
+            Body::Align {
+                a,
+                b,
+                matched,
+                mismatched,
+                gap,
+            } => {
+                out.push(60);
+                push_u64(&mut out, a.len() as u64);
+                out.extend_from_slice(a);
+                push_u64(&mut out, b.len() as u64);
+                out.extend_from_slice(b);
+                for s in [matched, mismatched, gap] {
+                    out.extend_from_slice(&s.to_le_bytes());
+                }
+            }
+            Body::Knapsack { items, capacity } => {
+                out.push(70);
+                push_u64(&mut out, *capacity);
+                push_u64(&mut out, items.len() as u64);
+                for it in items {
+                    push_u64(&mut out, it.weight);
+                    push_u64(&mut out, it.value);
+                }
+            }
         }
         out
     }
@@ -247,6 +305,29 @@ impl Body {
             Body::Chain { .. } => bytes.push(30),
             Body::Bst { .. } => bytes.push(40),
             Body::AndOr { .. } => bytes.push(50),
+            Body::Align {
+                a,
+                b,
+                matched,
+                mismatched,
+                gap,
+            } => {
+                // The batched mesh takes one shared scoring scheme, so
+                // the scoring parameters are part of the shape.
+                bytes.push(60);
+                bytes.extend_from_slice(&(a.len() as u64).to_le_bytes());
+                bytes.extend_from_slice(&(b.len() as u64).to_le_bytes());
+                for s in [matched, mismatched, gap] {
+                    bytes.extend_from_slice(&s.to_le_bytes());
+                }
+            }
+            Body::Knapsack { capacity, .. } => {
+                // The batch array schedule is launch-driven, so riders
+                // may carry different item counts — only the capacity
+                // (the array length) must agree.
+                bytes.push(70);
+                bytes.extend_from_slice(&capacity.to_le_bytes());
+            }
         }
         fnv1a(&bytes)
     }
@@ -486,6 +567,55 @@ pub fn decode(doc: &Json) -> Result<Request, SdpError> {
                 b: b.as_bytes().to_vec(),
             }
         }
+        "align" => {
+            let a = json::get(doc, "a")
+                .and_then(json::as_str)
+                .ok_or_else(|| bad("missing string 'a'"))?;
+            let b = json::get(doc, "b")
+                .and_then(json::as_str)
+                .ok_or_else(|| bad("missing string 'b'"))?;
+            let param = |field: &str, default: i64| -> Result<i64, SdpError> {
+                match json::get(doc, field) {
+                    None | Some(Json::Null) => Ok(default),
+                    Some(v) => json::as_i64(v)
+                        .filter(|s| s.unsigned_abs() <= 1 << 20)
+                        .ok_or_else(|| bad(format!("'{field}' must be an integer within ±2^20"))),
+                }
+            };
+            Body::Align {
+                a: a.as_bytes().to_vec(),
+                b: b.as_bytes().to_vec(),
+                matched: param("match", 2)?,
+                mismatched: param("mismatch", -1)?,
+                gap: param("gap", 1)?,
+            }
+        }
+        "knapsack" => {
+            let weights = parse_u64_list(doc, "weights", 1)?;
+            let values = parse_u64_list(doc, "values", 1)?;
+            if weights.len() != values.len() {
+                return Err(bad(format!(
+                    "'weights' has {} entries but 'values' has {}",
+                    weights.len(),
+                    values.len()
+                )));
+            }
+            let capacity = json::get(doc, "capacity")
+                .and_then(json::as_i64)
+                .ok_or_else(|| bad("missing integer 'capacity'"))?;
+            if !(0..=100_000).contains(&capacity) {
+                return Err(bad("'capacity' must be in 0..=100000"));
+            }
+            let items = weights
+                .into_iter()
+                .zip(values)
+                .map(|(w, v)| KnapsackItem::new(w, v))
+                .collect();
+            Body::Knapsack {
+                items,
+                capacity: capacity as u64,
+            }
+        }
         "chain" => Body::Chain {
             dims: parse_u64_list(doc, "dims", 2)?,
         },
@@ -629,6 +759,9 @@ mod tests {
             r#"{"id":7,"kind":"metrics"}"#,
             r#"{"id":8,"kind":"shutdown"}"#,
             r#"{"id":9,"kind":"metrics_text"}"#,
+            r#"{"id":10,"kind":"align","a":"acacacta","b":"agcacaca"}"#,
+            r#"{"id":11,"kind":"align","a":"gat","b":"cat","match":3,"mismatch":-2,"gap":2}"#,
+            r#"{"id":12,"kind":"knapsack","weights":[1,3,4,5],"values":[1,4,5,7],"capacity":7}"#,
         ];
         for line in lines {
             decode(&parse(line).unwrap()).unwrap_or_else(|e| panic!("{line}: {e}"));
@@ -683,6 +816,59 @@ mod tests {
     }
 
     #[test]
+    fn workload_shape_keys_group_batchable_requests_only() {
+        let align = |a: &[u8], b: &[u8], gap: i64| Body::Align {
+            a: a.to_vec(),
+            b: b.to_vec(),
+            matched: 2,
+            mismatched: -1,
+            gap,
+        };
+        // Same lengths + same scoring ride one batched mesh; a scoring
+        // or length change is a different shape.
+        assert_eq!(
+            align(b"abc", b"de", 1).shape_key(),
+            align(b"xyz", b"qw", 1).shape_key()
+        );
+        assert_ne!(
+            align(b"abc", b"de", 1).shape_key(),
+            align(b"abc", b"de", 2).shape_key()
+        );
+        assert_ne!(
+            align(b"abc", b"de", 1).shape_key(),
+            align(b"ab", b"de", 1).shape_key()
+        );
+        // Knapsacks batch on capacity alone: item counts may differ.
+        let sack = |weights: &[u64], capacity: u64| Body::Knapsack {
+            items: weights.iter().map(|&w| KnapsackItem::new(w, w)).collect(),
+            capacity,
+        };
+        assert_eq!(sack(&[1, 2, 3], 9).shape_key(), sack(&[5], 9).shape_key());
+        assert_ne!(
+            sack(&[1, 2, 3], 9).shape_key(),
+            sack(&[1, 2, 3], 8).shape_key()
+        );
+    }
+
+    #[test]
+    fn align_decode_defaults_match_the_served_scheme() {
+        let r = decode(&parse(r#"{"id":1,"kind":"align","a":"ab","b":"ab"}"#).unwrap()).unwrap();
+        let Request::Compute { body, .. } = r else {
+            panic!("compute");
+        };
+        let Body::Align {
+            matched,
+            mismatched,
+            gap,
+            ..
+        } = body
+        else {
+            panic!("align");
+        };
+        assert_eq!((matched, mismatched, gap), (2, -1, 1));
+    }
+
+    #[test]
     fn rejects_malformed_bodies() {
         let lines = [
             r#"{"id":1}"#,
@@ -695,6 +881,11 @@ mod tests {
             r#"{"id":1,"kind":"multistage","mats":[]}"#,
             r#"{"id":1,"kind":"andor","nodes":[{"op":"and","children":[0],"level":1}]}"#,
             r#"{"id":1,"kind":"andor","nodes":[{"op":"leaf","value":1},{"op":"or","children":[1],"level":1}]}"#,
+            r#"{"id":1,"kind":"align","a":"x"}"#,
+            r#"{"id":1,"kind":"align","a":"x","b":"y","gap":99999999999}"#,
+            r#"{"id":1,"kind":"knapsack","weights":[1,2],"values":[1],"capacity":5}"#,
+            r#"{"id":1,"kind":"knapsack","weights":[1],"values":[1],"capacity":200000}"#,
+            r#"{"id":1,"kind":"knapsack","weights":[1],"values":[1]}"#,
         ];
         for line in lines {
             let doc = parse(line).unwrap();

@@ -675,6 +675,17 @@ fn fallback_payload(body: &Body) -> Option<Json> {
         Body::Edit { a, b } => Some(served::served_edit(a, b)),
         Body::Bst { freq } => Some(served::served_bst(freq)),
         Body::AndOr { graph, root } => Some(served::served_andor(graph, *root)),
+        Body::Align {
+            a,
+            b,
+            matched,
+            mismatched,
+            gap,
+        } => Some(served::served_align(a, b, *matched, *mismatched, *gap)),
+        Body::Knapsack { items, capacity } => {
+            let pairs: Vec<(u64, u64)> = items.iter().map(|it| (it.weight, it.value)).collect();
+            Some(served::served_knapsack(&pairs, *capacity))
+        }
         Body::Chain { .. } | Body::Multistage { .. } => None,
     }
 }

@@ -44,15 +44,37 @@ fn quiet_chaos_panics() {
     });
 }
 
-/// The fixed traffic palette: small edit problems with known oracle
-/// answers (cache is off, so every ok response crossed an engine or
-/// the degraded fallback — either way the payload must match).
+/// The fixed traffic palette: small problems with known oracle answers
+/// across three request classes (cache is off, so every ok response
+/// crossed an engine or the degraded fallback — either way the payload
+/// must match).
 const PAIRS: [(&str, &str); 4] = [
     ("kitten", "sitting"),
     ("saturn", "urbane"),
     ("flaw", "lawn"),
     ("gumbo", "gambol"),
 ];
+
+/// Request line and expected oracle payload for palette slot `slot`.
+fn palette(id: i64, slot: usize) -> (String, String) {
+    match slot % 6 {
+        s @ 0..=3 => {
+            let (a, b) = PAIRS[s];
+            (
+                client::edit_request(id, a, b),
+                served::served_edit(a.as_bytes(), b.as_bytes()).render(),
+            )
+        }
+        4 => (
+            client::align_request(id, "acacacta", "agcacaca", None),
+            served::served_align(b"acacacta", b"agcacaca", 2, -1, 1).render(),
+        ),
+        _ => (
+            client::knapsack_request(id, &[1, 3, 4, 5], &[1, 4, 5, 7], 7),
+            served::served_knapsack(&[(1, 1), (3, 4), (4, 5), (5, 7)], 7).render(),
+        ),
+    }
+}
 
 struct ClientTally {
     ok: u64,
@@ -69,8 +91,7 @@ fn run_client(addr: std::net::SocketAddr, client_idx: usize, reqs: usize) -> Cli
     let mut conn = Client::connect(addr).expect("connect");
     for r in 0..reqs {
         let id = (client_idx * reqs + r) as i64 + 1;
-        let (a, b) = PAIRS[(client_idx + r) % PAIRS.len()];
-        let line = client::edit_request(id, a, b);
+        let (line, expect) = palette(id, client_idx + r);
         // Bounded write retries: a failed write never reached the
         // server, so resending cannot double-submit.
         let mut outcome = None;
@@ -100,7 +121,6 @@ fn run_client(addr: std::net::SocketAddr, client_idx: usize, reqs: usize) -> Cli
             Some(resp) => {
                 assert_eq!(resp.id, id, "response correlation broke");
                 if resp.ok {
-                    let expect = served::served_edit(a.as_bytes(), b.as_bytes()).render();
                     assert_eq!(
                         resp.result.expect("payload").render(),
                         expect,

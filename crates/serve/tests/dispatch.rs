@@ -96,6 +96,14 @@ fn every_class_dispatches_direct_above_threshold() {
         ("edit", client::edit_request(4, "kitten", "sitting")),
         ("chain", client::chain_request(5, &[10, 20, 50, 1])),
         ("bst", client::bst_request(6, &[3, 1, 4, 1, 5])),
+        (
+            "align",
+            client::align_request(7, "acacacta", "agcacaca", None),
+        ),
+        (
+            "knapsack",
+            client::knapsack_request(8, &[1, 3, 4, 5], &[1, 4, 5, 7], 7),
+        ),
     ];
     for (class, line) in &lines {
         let resp = c.call_raw(line).expect("call");

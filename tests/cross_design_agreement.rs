@@ -100,6 +100,44 @@ fn chain_arrays_agree_with_andor_and_dp() {
 }
 
 #[test]
+fn banded_alignment_agrees_with_full_mesh_when_band_covers() {
+    use systolic_dp::prelude::Scoring;
+    for seed in 0..12u64 {
+        let la = 1 + (seed as usize % 9);
+        let lb = 1 + ((seed as usize / 2) % 9);
+        let sym = |i: usize| {
+            let x = seed
+                .wrapping_mul(0x9E37_79B9)
+                .wrapping_add(i as u64 * 0x45D9_F3B3);
+            (x % 4) as u8
+        };
+        let a: Vec<u8> = (0..la).map(sym).collect();
+        let b: Vec<u8> = (la..la + lb).map(sym).collect();
+        let scoring = Scoring::simple(2, -1, 1);
+        let full = sw_mesh(&a, &b, &scoring);
+        // Any band ≥ max(|a|,|b|) − 1 covers every cell of the matrix,
+        // so the banded mesh must reproduce the full run exactly.
+        for extra in 0..2usize {
+            let band = la.max(lb) - 1 + extra;
+            let banded = sdp_core::align::sw_banded_mesh(&a, &b, band, &scoring);
+            assert_eq!(
+                (banded.score, banded.end),
+                (full.score, full.end),
+                "seed {seed} band {band}"
+            );
+        }
+        // The traceback recovered from the full mesh re-scores to the
+        // run's optimum.
+        let (run, alignment) = sw_mesh_aligned(&a, &b, &scoring);
+        if let Some(al) = alignment {
+            assert_eq!(al.score, run.score, "seed {seed}");
+        } else {
+            assert_eq!(run.score, 0, "seed {seed}");
+        }
+    }
+}
+
+#[test]
 fn sparse_graphs_with_unreachable_edges() {
     for seed in 0..10 {
         let g = generate::random_sparse(seed, 6, 4, 1, 20, 0.5);

@@ -129,6 +129,34 @@ fn io_reduction_claim() {
     assert_eq!(res.input_words, node as u64 + 1); // + the comparison token
 }
 
+/// §5 (serial-monadic): the capacity-indexed knapsack array finishes in
+/// exactly `n + Σwᵢ + 2(C+1)` cycles — the item stream drains through
+/// C+1 capacity cells with one extra hop per unit of weight.
+#[test]
+fn knapsack_array_cycles_match_closed_form() {
+    for seed in 0..20u64 {
+        let n = 1 + (seed as usize % 9);
+        let capacity = seed % 13;
+        let items: Vec<KnapsackItem> = (0..n)
+            .map(|i| {
+                let x = seed
+                    .wrapping_mul(0x9E37_79B9)
+                    .wrapping_add(i as u64 * 0x45D9_F3B3);
+                KnapsackItem::new(x % 7, (x >> 8) % 10)
+            })
+            .collect();
+        let run = knapsack_array(&items, capacity);
+        let weight_sum: u64 = items.iter().map(|it| it.weight).sum();
+        assert_eq!(
+            run.cycles,
+            n as u64 + weight_sum + 2 * (capacity + 1),
+            "seed {seed}"
+        );
+    }
+    // Empty item lists build no array and spend no cycles.
+    assert_eq!(knapsack_array(&[], 5).cycles, 0);
+}
+
 /// Fig. 2 structure: four matrices give six subchain (OR) processors —
 /// "mapped directly into six processors connected by broadcast busses".
 #[test]
