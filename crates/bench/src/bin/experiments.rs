@@ -8,11 +8,11 @@
 //! document on stdout (metrics only, no tables); `all --json`
 //! additionally writes the document to `BENCH_pr1.json` in the current
 //! directory for regression tracking, `throughput --json` (E22) writes
-//! `BENCH_pr3.json`, `serve --json` (E24) writes `BENCH_pr5.json`,
-//! `observe --json` (E25) writes `BENCH_pr6.json`, `chaos --json`
-//! (E26) writes `BENCH_pr7.json`, `backend --json` (E27) writes
-//! `BENCH_pr8.json`, and `workloads --json` (E28) writes
-//! `BENCH_pr9.json`.
+//! `BENCH_pr3.json`, `serve --json` (E24, the serving-saturation
+//! experiment) writes `BENCH_pr10.json`, `observe --json` (E25) writes
+//! `BENCH_pr6.json`, `chaos --json` (E26) writes `BENCH_pr7.json`,
+//! `backend --json` (E27) writes `BENCH_pr8.json`, and `workloads
+//! --json` (E28) writes `BENCH_pr9.json`.
 
 use sdp_bench::experiments as ex;
 use sdp_bench::{reports_to_json, Report};
@@ -86,8 +86,8 @@ fn main() {
             }
         }
         if which == "e24" || which == "serve" {
-            if let Err(e) = std::fs::write("BENCH_pr5.json", format!("{doc}\n")) {
-                eprintln!("warning: could not write BENCH_pr5.json: {e}");
+            if let Err(e) = std::fs::write("BENCH_pr10.json", format!("{doc}\n")) {
+                eprintln!("warning: could not write BENCH_pr10.json: {e}");
             }
         }
         if which == "e25" || which == "observe" {

@@ -1438,148 +1438,209 @@ fn report_throughput_sized(kernel_n: usize, batch_b: usize, reps: usize) -> Repo
     report
 }
 
-/// E24 (server throughput): boots the `sdp-serve` dynamic-batching
-/// server in-process, fires concurrent mixed-class traffic at it over
-/// real TCP sockets, and reports throughput alongside the server's own
-/// metrics snapshot (queue, coalescing, cache).
+/// E24 (serving saturation): boots the event-driven `sdp-serve` stack
+/// in-process and drives it with the poll-multiplexed load generator
+/// over real TCP sockets — a cached phase (a fixed 8-problem hot set,
+/// measuring the front-end and result-cache fast path) and a cold
+/// phase (distinct same-shape problems, measuring coalesced engine
+/// dispatch) — and reports throughput, latency percentiles, and the
+/// mean coalesced batch size alongside the server's own snapshot.
 pub fn report_e24() -> Report {
-    report_e24_sized(8, 40, 10)
+    report_e24_sized(64, 16, 256, 2, std::time::Duration::from_millis(1000))
 }
 
 /// [`report_e24`] shrunk for the CI smoke job; identical schema.
 pub fn report_e24_quick() -> Report {
-    report_e24_sized(4, 8, 8)
+    report_e24_sized(16, 4, 48, 2, std::time::Duration::from_millis(250))
 }
 
-fn report_e24_sized(clients: usize, reqs_per_client: usize, delay_ms: u64) -> Report {
+fn report_e24_sized(
+    cached_conns: usize,
+    cached_pipeline: usize,
+    cold_conns: usize,
+    cold_pipeline: usize,
+    window: std::time::Duration,
+) -> Report {
     use sdp_semiring::{Matrix, MinPlus};
     use sdp_serve::client::{self, Client};
+    use sdp_serve::loadgen::{self, Arrival, LoadConfig};
     use sdp_serve::{json as sjson, Config};
-    use std::time::Instant;
 
-    // Fixed 8-problem working set over four engine classes: every
-    // problem repeats across clients, so both the coalescer and the
-    // cache see pressure.  All requests succeed, which keeps `served`
-    // and the per-class request counts deterministic for the golden.
-    let mat =
-        |vals: &[i64]| Matrix::from_rows(2, 2, vals.iter().map(|&v| MinPlus::from(v)).collect());
-    let (ma, mb) = (mat(&[1, 5, 2, 0]), mat(&[3, 1, 4, 1]));
-    let (mc, md) = (mat(&[0, 9, 7, 2]), mat(&[1, 1, 6, 0]));
-    let request_line = |id: i64, slot: usize| -> String {
-        match slot % 8 {
-            0 => client::edit_request(id, "kitten", "sitting"),
-            1 => client::edit_request(id, "saturn", "urbane"),
-            2 => client::chain_request(id, &[10, 20, 50, 1, 30]),
-            3 => client::chain_request(id, &[5, 40, 3, 12, 20]),
-            4 => client::bst_request(id, &[3, 1, 4, 1, 5]),
-            5 => client::bst_request(id, &[2, 7, 1, 8, 2]),
-            6 => client::matmul_request(id, &ma, &mb),
-            _ => client::matmul_request(id, &mc, &md),
-        }
-    };
-
+    // The serving configuration under test: the event-loop front-end
+    // with a tight adaptive coalescing window, and every bucket pinned
+    // to the direct backends (E27 showed they dominate at these sizes;
+    // saturation measures the serving stack, not the simulator).
     let handle = sdp_serve::serve(Config {
-        max_delay: std::time::Duration::from_millis(delay_ms),
-        workers: 4,
+        max_delay: std::time::Duration::from_millis(2),
+        workers: 2,
+        direct_threshold: 0,
         ..Config::default()
     })
     .expect("serve bind");
     let addr = handle.addr();
 
-    let t0 = Instant::now();
-    let threads: Vec<_> = (0..clients)
-        .map(|c| {
-            let lines: Vec<String> = (0..reqs_per_client)
-                .map(|r| request_line((c * reqs_per_client + r) as i64, c + r))
-                .collect();
-            std::thread::spawn(move || {
-                let mut cl = Client::connect(addr).expect("connect");
-                let mut cached = 0u64;
-                for line in &lines {
-                    let resp = cl.call_raw(line).expect("call");
-                    assert!(resp.ok, "E24 request failed: {:?}", resp.error_message);
-                    if resp.cached {
-                        cached += 1;
-                    }
-                }
-                cached
-            })
-        })
-        .collect();
-    let mut cache_hits_seen = 0u64;
-    for t in threads {
-        cache_hits_seen += t.join().expect("client thread");
+    // Fixed 8-problem hot set over four engine classes, warmed through
+    // a plain client so the cached phase runs at a 100% hit rate.
+    let mat =
+        |vals: &[i64]| Matrix::from_rows(2, 2, vals.iter().map(|&v| MinPlus::from(v)).collect());
+    let (ma, mb) = (mat(&[1, 5, 2, 0]), mat(&[3, 1, 4, 1]));
+    let (mc, md) = (mat(&[0, 9, 7, 2]), mat(&[1, 1, 6, 0]));
+    let hot_set: Vec<String> = vec![
+        client::edit_request(1, "kitten", "sitting"),
+        client::edit_request(2, "saturn", "urbane"),
+        client::chain_request(3, &[10, 20, 50, 1, 30]),
+        client::chain_request(4, &[5, 40, 3, 12, 20]),
+        client::bst_request(5, &[3, 1, 4, 1, 5]),
+        client::bst_request(6, &[2, 7, 1, 8, 2]),
+        client::matmul_request(7, &ma, &mb),
+        client::matmul_request(8, &mc, &md),
+    ];
+    let mut warm = Client::connect(addr).expect("connect");
+    for line in &hot_set {
+        let resp = warm.call_raw(line).expect("warm call");
+        assert!(resp.ok, "E24 warmup failed: {:?}", resp.error_message);
     }
-    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-    let total = (clients * reqs_per_client) as u64;
-    let req_per_s = total as f64 / (wall_ms / 1e3);
 
-    let mut cl = Client::connect(addr).expect("connect");
-    let snapshot = cl
+    // Cached phase: closed-loop pipelining over the hot set.  Offered
+    // load adapts to the completion rate, so this measures the
+    // sustainable fast-path throughput without unbounded queueing.
+    let hot = loadgen::run(
+        &LoadConfig {
+            addr: addr.to_string(),
+            connections: cached_conns,
+            duration: window,
+            arrival: Arrival::Closed {
+                pipeline: cached_pipeline,
+            },
+            ..LoadConfig::default()
+        },
+        |seq| hot_set[(seq % 8) as usize].clone(),
+    )
+    .expect("cached-phase load run");
+
+    let dispatches_of = |snapshot: &Json| {
+        sjson::get(snapshot, "dispatches")
+            .and_then(sjson::as_i64)
+            .expect("dispatches counter")
+    };
+    let mut probe = Client::connect(addr).expect("connect");
+    let mid = probe
         .metrics()
         .expect("metrics call")
         .result
         .expect("metrics payload");
+    let dispatches_before = dispatches_of(&mid);
+
+    // Cold phase: every request is a distinct same-shape edit problem
+    // (deterministic operands keyed by sequence number), so the cache
+    // never hits and every reply rides a coalesced engine batch.
+    let cold = loadgen::run(
+        &LoadConfig {
+            addr: addr.to_string(),
+            connections: cold_conns,
+            duration: window,
+            arrival: Arrival::Closed {
+                pipeline: cold_pipeline,
+            },
+            ..LoadConfig::default()
+        },
+        |seq| {
+            let mut a = String::new();
+            let mut b = String::new();
+            let mut x = seq.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+            for _ in 0..10 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                a.push(char::from(b'a' + (x % 26) as u8));
+                b.push(char::from(b'a' + ((x >> 8) % 26) as u8));
+            }
+            format!("{{\"id\":{seq},\"kind\":\"edit\",\"a\":\"{a}\",\"b\":\"{b}\"}}")
+        },
+    )
+    .expect("cold-phase load run");
+
+    let snapshot = probe
+        .metrics()
+        .expect("metrics call")
+        .result
+        .expect("metrics payload");
+    let cold_dispatches = (dispatches_of(&snapshot) - dispatches_before).max(1) as f64;
+    let mean_cold_batch = cold.completed as f64 / cold_dispatches;
     let max_batch = handle.max_coalesced();
-    let hits = handle.cache_hits();
     handle.shutdown();
 
+    let phase_row = |name: &str, r: &loadgen::Report| {
+        vec![
+            name.to_string(),
+            format!(
+                "{} conns",
+                if name == "cached" {
+                    cached_conns
+                } else {
+                    cold_conns
+                }
+            ),
+            format!("{:.0} req/s", r.req_per_s),
+            format!(
+                "{} reqs, p50 {:.3} ms, p99 {:.3} ms, errors {}",
+                r.completed,
+                r.latency.quantile(0.50) as f64 / 1e3,
+                r.latency.quantile(0.99) as f64 / 1e3,
+                r.errors(),
+            ),
+        ]
+    };
     let mut report = Report::new(
         "e24",
         format!(
-            "E24 (server throughput): sdp-serve dynamic batching, {clients} clients x \
-             {reqs_per_client} mixed-class requests (edit/chain/bst/matmul),\n\
-             coalescing window {delay_ms} ms"
+            "E24 (serving saturation): event-loop front-end + adaptive coalescing,\n\
+             cached phase {cached_conns} conns x pipeline {cached_pipeline} over an \
+             8-problem hot set,\n\
+             cold phase {cold_conns} conns x pipeline {cold_pipeline} of distinct \
+             edit problems, {} ms per phase",
+            window.as_millis()
         ),
     );
-    report.headers = vec!["section", "case", "value", "detail"];
-    report.rows.push(vec![
-        "traffic".into(),
-        "mixed 4-class".into(),
-        format!("{total}"),
-        format!("{wall_ms:.1} ms wall, {req_per_s:.0} req/s"),
-    ]);
+    report.headers = vec!["phase", "load", "throughput", "detail"];
+    report.rows.push(phase_row("cached", &hot));
+    report.rows.push(phase_row("cold", &cold));
     report.rows.push(vec![
         "coalescing".into(),
-        "max batch".into(),
-        format!("{max_batch}"),
-        format!(
-            "dispatches: {}",
-            sjson::get(&snapshot, "dispatches")
-                .and_then(sjson::as_i64)
-                .unwrap_or(-1)
-        ),
-    ]);
-    report.rows.push(vec![
-        "cache".into(),
-        "hits".into(),
-        format!("{hits}"),
-        format!("{cache_hits_seen} observed as cached responses"),
+        "cold dispatch".into(),
+        format!("{mean_cold_batch:.1} mean batch"),
+        format!("max coalesced {max_batch}"),
     ]);
     let cores = std::thread::available_parallelism()
         .map(|c| c.get())
         .unwrap_or(1);
     report.notes = vec![
-        "traffic counts and per-class request totals are deterministic; throughput,\n\
-         coalesced batch sizes, and cache hits depend on thread timing."
+        "closed-loop arrival: offered load adapts to service rate, so throughput is\n\
+         the sustainable completion rate; error and unanswered counts must be zero."
             .into(),
     ];
     if cores == 1 {
         report.notes.push(
-            "host has a single core: throughput and coalescing figures are flagged,\n\
-             not comparable across runs (same convention as E12/E22)."
+            "host has a single core: the load generator and the server share it, so\n\
+             throughput figures are flagged, not comparable across runs (same\n\
+             convention as E12/E22)."
                 .into(),
         );
     }
     report.metrics = Json::object()
-        .with("clients", clients as u64)
-        .with("requests_per_client", reqs_per_client as u64)
-        .with("total_requests", total)
-        .with("delay_window_ms", delay_ms as f64)
-        .with("wall_ms", wall_ms)
-        .with("req_per_s", req_per_s)
+        .with(
+            "config",
+            Json::object()
+                .with("cached_connections", cached_conns as u64)
+                .with("cached_pipeline", cached_pipeline as u64)
+                .with("cold_connections", cold_conns as u64)
+                .with("cold_pipeline", cold_pipeline as u64)
+                .with("phase_window_ms", window.as_secs_f64() * 1e3),
+        )
+        .with("cached", hot.to_json())
+        .with("cold", cold.to_json())
+        .with("mean_cold_batch", mean_cold_batch)
         .with("max_coalesced", max_batch)
-        .with("cache_hits_seen", cache_hits_seen)
         .with("host_cores", cores as u64)
         .with("single_core_host", cores == 1)
         .with("server", snapshot);

@@ -52,7 +52,7 @@ pub fn redact(json: &mut Json) {
 /// their keys with nulled leaves, so the schema itself is still pinned.
 pub fn redact_load_dependent(json: &mut Json) {
     redact(json);
-    const LOAD_DEPENDENT: [&str; 11] = [
+    const LOAD_DEPENDENT: [&str; 19] = [
         "req_per_s",
         "coalesced",
         "cache_hits_seen",
@@ -61,6 +61,17 @@ pub fn redact_load_dependent(json: &mut Json) {
         "misses",
         "hit_rate",
         "batches",
+        // The saturation phases are duration-bounded, so every volume
+        // figure — injected, answered, per-class, and the mean batch
+        // they produce — varies run to run.  What stays pinned: the
+        // error/unanswered/rejection counters (zero by invariant) and
+        // the document schema.
+        "sent",
+        "completed",
+        "ok",
+        "cached",
+        "served",
+        "requests",
         // Per-engine bucket counts (sim/direct split) are dispatch
         // events, so they vary with coalescing exactly like `batches`.
         "engine",
@@ -70,6 +81,8 @@ pub fn redact_load_dependent(json: &mut Json) {
         // The connection gauge is sampled while the snapshot client is
         // itself connected and other connections are winding down.
         "connections",
+        "mean_cold_batch",
+        "evictions",
     ];
     fn walk(json: &mut Json, names: &[&str]) {
         match json {

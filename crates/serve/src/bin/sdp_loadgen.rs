@@ -1,0 +1,112 @@
+//! `sdp-loadgen` binary: drives an `sdp-serve` instance with thousands
+//! of concurrent connections from one poll-driven thread and prints a
+//! JSON report (throughput, latency percentiles, outcome counts).
+//!
+//! ```text
+//! sdp-loadgen ADDR [--connections N] [--duration-ms N]
+//!             [--pipeline N | --rate N] [--kind edit]
+//!             [--len N] [--distinct N] [--drain-grace-ms N]
+//! ```
+//!
+//! Closed loop by default (`--pipeline N` outstanding requests per
+//! connection); `--rate N` switches to open-loop arrival at `N`
+//! requests/s aggregate — the saturation probe, where a slow server
+//! cannot throttle the arrival stream.
+//!
+//! `--distinct N` sizes the working set: request bodies cycle through
+//! `N` distinct same-shape problems, so `N` at or below the server's
+//! cache capacity measures the cached hot path and a large `N`
+//! measures cold dispatch.
+
+use sdp_serve::loadgen::{run, Arrival, LoadConfig};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sdp-loadgen ADDR [--connections N] [--duration-ms N] \
+         [--pipeline N | --rate N] [--kind edit] [--len N] [--distinct N] \
+         [--drain-grace-ms N]"
+    );
+    std::process::exit(2);
+}
+
+fn num_arg(args: &mut impl Iterator<Item = String>, name: &str) -> usize {
+    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{name} needs a number");
+        usage()
+    })
+}
+
+/// A fixed-shape edit-distance request line: operand bytes are a
+/// deterministic function of the variant index, so `distinct` controls
+/// exactly how many canonical keys the run touches.
+fn edit_line(seq: u64, len: usize, distinct: u64) -> String {
+    let variant = seq % distinct.max(1);
+    let mut a = String::with_capacity(len);
+    let mut b = String::with_capacity(len);
+    // Cheap deterministic mixing, distinct per variant.
+    let mut x = variant.wrapping_mul(6364136223846793005).wrapping_add(1);
+    for _ in 0..len.max(1) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        a.push(char::from(b'a' + (x % 26) as u8));
+        b.push(char::from(b'a' + ((x >> 8) % 26) as u8));
+    }
+    format!("{{\"id\":{seq},\"kind\":\"edit\",\"a\":\"{a}\",\"b\":\"{b}\"}}")
+}
+
+fn main() {
+    let mut cfg = LoadConfig {
+        connections: 256,
+        duration: Duration::from_secs(2),
+        arrival: Arrival::Closed { pipeline: 4 },
+        ..LoadConfig::default()
+    };
+    let mut kind = "edit".to_string();
+    let mut len = 8usize;
+    let mut distinct = 64u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--connections" => cfg.connections = num_arg(&mut args, "--connections").max(1),
+            "--duration-ms" => {
+                cfg.duration = Duration::from_millis(num_arg(&mut args, "--duration-ms") as u64)
+            }
+            "--pipeline" => {
+                cfg.arrival = Arrival::Closed {
+                    pipeline: num_arg(&mut args, "--pipeline").max(1),
+                }
+            }
+            "--rate" => {
+                cfg.arrival = Arrival::Open {
+                    rate_per_s: num_arg(&mut args, "--rate").max(1) as f64,
+                }
+            }
+            "--kind" => kind = args.next().unwrap_or_else(|| usage()),
+            "--len" => len = num_arg(&mut args, "--len").max(1),
+            "--distinct" => distinct = num_arg(&mut args, "--distinct").max(1) as u64,
+            "--drain-grace-ms" => {
+                cfg.drain_grace =
+                    Duration::from_millis(num_arg(&mut args, "--drain-grace-ms") as u64)
+            }
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') => cfg.addr = other.to_string(),
+            _ => usage(),
+        }
+    }
+    if cfg.addr.is_empty() {
+        usage();
+    }
+    if kind != "edit" {
+        eprintln!("sdp-loadgen: only --kind edit is wired up");
+        std::process::exit(2);
+    }
+    match run(&cfg, |seq| edit_line(seq, len, distinct)) {
+        Ok(report) => println!("{}", report.to_json().render()),
+        Err(e) => {
+            eprintln!("sdp-loadgen: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -2,11 +2,15 @@
 //! client sends a `shutdown` request.
 //!
 //! ```text
-//! sdp-serve [ADDR] [--workers N] [--max-batch N] [--max-delay-ms N]
-//!           [--cache N] [--max-queue N] [--shed-queue N]
-//!           [--default-deadline-ms N] [--idle-timeout-ms N]
-//!           [--direct-threshold N] [--trace-out FILE]
+//! sdp-serve [ADDR] [--workers N] [--event-workers N] [--max-batch N]
+//!           [--max-delay-ms N] [--cache N] [--max-queue N]
+//!           [--shed-queue N] [--default-deadline-ms N]
+//!           [--idle-timeout-ms N] [--direct-threshold N]
+//!           [--trace-out FILE]
 //! ```
+//!
+//! `--event-workers N` sizes the pool of event-loop connection
+//! workers (each multiplexes a slab of nonblocking sockets).
 //!
 //! `--direct-threshold N` sets the engine-dispatch crossover: requests
 //! whose work measure is at or beyond `N` run on the compiled
@@ -21,9 +25,9 @@ use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sdp-serve [ADDR] [--workers N] [--max-batch N] \
-         [--max-delay-ms N] [--cache N] [--max-queue N] [--shed-queue N] \
-         [--default-deadline-ms N] [--idle-timeout-ms N] \
+        "usage: sdp-serve [ADDR] [--workers N] [--event-workers N] \
+         [--max-batch N] [--max-delay-ms N] [--cache N] [--max-queue N] \
+         [--shed-queue N] [--default-deadline-ms N] [--idle-timeout-ms N] \
          [--direct-threshold N] [--trace-out FILE]"
     );
     std::process::exit(2);
@@ -46,6 +50,7 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--workers" => cfg.workers = num_arg(&mut args, "--workers").max(1),
+            "--event-workers" => cfg.event_workers = num_arg(&mut args, "--event-workers").max(1),
             "--max-batch" => cfg.max_batch = num_arg(&mut args, "--max-batch").max(1),
             "--max-delay-ms" => {
                 cfg.max_delay = Duration::from_millis(num_arg(&mut args, "--max-delay-ms") as u64)

@@ -1,26 +1,37 @@
-//! An exact-key LRU result cache.
+//! An exact-key LRU result cache, sharded per engine class.
 //!
 //! Keys are the *canonical byte encoding* of the problem
 //! ([`Body::canonical_key`](crate::protocol::Body::canonical_key)), not
 //! just its hash — a hash collision must never serve a wrong answer, so
-//! the full encoding is compared on every hit.  Values are the rendered
-//! result payloads (without the per-request `id`/`cached`/`batch`
-//! envelope, which differs per response).
+//! the full encoding is compared on every hit.  Values are the
+//! *pre-rendered* result payloads (without the per-request
+//! `id`/`cached`/`batch` envelope, which differs per response) behind an
+//! `Arc<str>`: the cached-hit fast path is the throughput ceiling of
+//! the whole server, and re-rendering a `Json` tree per hit — or even
+//! deep-cloning it out of the cache — would put an allocation storm on
+//! exactly that path.  A hit now costs one `HashMap` probe and one
+//! refcount bump; the reply line is assembled by string concatenation
+//! (see [`protocol::ok_cached_response`](crate::protocol::ok_cached_response)).
+//!
+//! The server keeps one `Mutex<LruCache>` per engine class rather than
+//! a single cache lock: event-loop workers probing `edit` keys no
+//! longer serialize against `matmul` insertions from the dispatcher.
+//! Capacity is therefore *per class*.
 //!
 //! Recency is a monotone stamp per entry; eviction scans for the
 //! minimum stamp.  With the O(100–1000) capacities the server uses,
 //! the scan is noise next to a systolic simulation, and it keeps the
 //! structure a single `HashMap` with no unsafe intrusive list.
 
-use sdp_trace::json::Json;
 use std::collections::HashMap;
+use std::sync::Arc;
 
-/// LRU map from canonical problem keys to result payloads.
+/// LRU map from canonical problem keys to rendered result payloads.
 #[derive(Debug)]
 pub struct LruCache {
     capacity: usize,
     clock: u64,
-    map: HashMap<Vec<u8>, (u64, Json)>,
+    map: HashMap<Vec<u8>, (u64, Arc<str>)>,
 }
 
 impl LruCache {
@@ -44,19 +55,19 @@ impl LruCache {
     }
 
     /// Looks up `key`, refreshing its recency on a hit.
-    pub fn get(&mut self, key: &[u8]) -> Option<Json> {
+    pub fn get(&mut self, key: &[u8]) -> Option<Arc<str>> {
         self.clock += 1;
         let clock = self.clock;
         self.map.get_mut(key).map(|(stamp, payload)| {
             *stamp = clock;
-            payload.clone()
+            Arc::clone(payload)
         })
     }
 
     /// Inserts (or refreshes) `key`, evicting the least-recently-used
     /// entry when over capacity.  Returns `true` when an entry was
     /// evicted (for the `sdp_cache_evictions_total` counter).
-    pub fn insert(&mut self, key: Vec<u8>, payload: Json) -> bool {
+    pub fn insert(&mut self, key: Vec<u8>, payload: Arc<str>) -> bool {
         if self.capacity == 0 {
             return false;
         }
@@ -85,21 +96,25 @@ mod tests {
         vec![n]
     }
 
+    fn v(s: &str) -> Arc<str> {
+        Arc::from(s)
+    }
+
     #[test]
     fn hit_after_insert_miss_before() {
         let mut c = LruCache::new(4);
         assert!(c.get(&k(1)).is_none());
-        c.insert(k(1), Json::Int(10));
-        assert_eq!(c.get(&k(1)), Some(Json::Int(10)));
+        c.insert(k(1), v("10"));
+        assert_eq!(c.get(&k(1)).as_deref(), Some("10"));
     }
 
     #[test]
     fn evicts_least_recently_used() {
         let mut c = LruCache::new(2);
-        assert!(!c.insert(k(1), Json::Int(1)));
-        assert!(!c.insert(k(2), Json::Int(2)));
+        assert!(!c.insert(k(1), v("1")));
+        assert!(!c.insert(k(2), v("2")));
         assert!(c.get(&k(1)).is_some()); // refresh 1; 2 is now LRU
-        assert!(c.insert(k(3), Json::Int(3)), "over capacity evicts");
+        assert!(c.insert(k(3), v("3")), "over capacity evicts");
         assert_eq!(c.len(), 2);
         assert!(c.get(&k(2)).is_none(), "2 was evicted");
         assert!(c.get(&k(1)).is_some());
@@ -109,7 +124,7 @@ mod tests {
     #[test]
     fn zero_capacity_disables() {
         let mut c = LruCache::new(0);
-        c.insert(k(1), Json::Int(1));
+        c.insert(k(1), v("1"));
         assert!(c.get(&k(1)).is_none());
         assert!(c.is_empty());
     }
@@ -117,9 +132,21 @@ mod tests {
     #[test]
     fn exact_keys_do_not_collide() {
         let mut c = LruCache::new(8);
-        c.insert(vec![1, 2], Json::Int(12));
-        c.insert(vec![2, 1], Json::Int(21));
-        assert_eq!(c.get(&[1, 2][..]), Some(Json::Int(12)));
-        assert_eq!(c.get(&[2, 1][..]), Some(Json::Int(21)));
+        c.insert(vec![1, 2], v("12"));
+        c.insert(vec![2, 1], v("21"));
+        assert_eq!(c.get(&[1, 2][..]).as_deref(), Some("12"));
+        assert_eq!(c.get(&[2, 1][..]).as_deref(), Some("21"));
+    }
+
+    #[test]
+    fn hits_share_one_allocation() {
+        let mut c = LruCache::new(4);
+        let payload = v("{\"cost\":7}");
+        c.insert(k(1), Arc::clone(&payload));
+        let hit = c.get(&k(1)).unwrap();
+        assert!(
+            Arc::ptr_eq(&hit, &payload),
+            "hit is a refcount bump, not a copy"
+        );
     }
 }

@@ -1,0 +1,165 @@
+//! Readiness-polling primitives for the event-loop front-end and the
+//! load generator: a hand-rolled `poll(2)` binding and a self-pipe
+//! wake channel built on a nonblocking `UnixStream` pair.
+//!
+//! No new dependencies: std already links libc on unix, so the one
+//! foreign function the event loop needs can be declared directly.
+//! Only the flags the server uses are exposed; `revents` may carry
+//! `POLLERR`/`POLLHUP`/`POLLNVAL` bits beyond what was requested, so
+//! callers treat "any bit set" as "go service this fd" and let the
+//! subsequent read/write surface the actual condition.
+
+use std::io::{Read, Write};
+use std::os::fd::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Readable (or peer hung up with data pending).
+pub const POLLIN: i16 = 0x001;
+/// Writable without blocking.
+pub const POLLOUT: i16 = 0x004;
+
+/// One entry of the `poll(2)` fd set, ABI-compatible with
+/// `struct pollfd`.
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct PollFd {
+    /// The file descriptor to watch.
+    pub fd: RawFd,
+    /// Requested readiness (`POLLIN` / `POLLOUT` bits).
+    pub events: i16,
+    /// Kernel-reported readiness, valid after [`poll_fds`] returns.
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// A fresh entry watching `fd` for `events`.
+    pub fn new(fd: RawFd, events: i16) -> PollFd {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// True when the kernel flagged any readiness or error condition.
+    pub fn ready(&self) -> bool {
+        self.revents != 0
+    }
+}
+
+extern "C" {
+    // `nfds_t` is `c_ulong` (= u64) on the 64-bit Linux targets this
+    // server runs on.
+    fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+}
+
+/// Blocks until at least one fd is ready or `timeout` elapses
+/// (`None` = wait indefinitely).  Returns the ready count; `EINTR`
+/// retries internally, any other error reports zero ready fds.
+/// Sub-millisecond timeouts round *up* so a short deadline never
+/// degenerates into a zero-timeout busy spin.
+pub fn poll_fds(fds: &mut [PollFd], timeout: Option<Duration>) -> usize {
+    let ms: i32 = match timeout {
+        None => -1,
+        Some(d) => d.as_micros().div_ceil(1000).min(i32::MAX as u128) as i32,
+    };
+    loop {
+        let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, ms) };
+        if n >= 0 {
+            return n as usize;
+        }
+        let err = std::io::Error::last_os_error();
+        if err.kind() != std::io::ErrorKind::Interrupted {
+            return 0;
+        }
+    }
+}
+
+/// The sending side of a wake pipe; clone freely across threads.  A
+/// wake is a single byte — if the pipe is already full the receiver
+/// has a wake pending anyway, so a blocked write is dropped, never
+/// waited on.
+#[derive(Clone, Debug)]
+pub struct WakeHandle {
+    // One-byte writes to a socket are atomic; no lock needed even when
+    // several dispatcher workers wake the same loop concurrently.
+    tx: Arc<UnixStream>,
+}
+
+impl WakeHandle {
+    /// Nudges the owning event loop out of `poll`.
+    pub fn wake(&self) {
+        let _ = (&*self.tx).write(&[1u8]);
+    }
+}
+
+/// The receiving side of a wake pipe, owned by one event loop.
+#[derive(Debug)]
+pub struct WakePipe {
+    rx: UnixStream,
+}
+
+impl WakePipe {
+    /// The fd to include (with `POLLIN`) in the loop's poll set.
+    pub fn fd(&self) -> RawFd {
+        self.rx.as_raw_fd()
+    }
+
+    /// Consumes every pending wake byte (call once per readiness).
+    pub fn drain(&self) {
+        let mut buf = [0u8; 256];
+        while matches!((&self.rx).read(&mut buf), Ok(n) if n > 0) {}
+    }
+}
+
+/// A connected nonblocking wake pair.
+pub fn wake_pipe() -> std::io::Result<(WakeHandle, WakePipe)> {
+    let (tx, rx) = UnixStream::pair()?;
+    tx.set_nonblocking(true)?;
+    rx.set_nonblocking(true)?;
+    Ok((WakeHandle { tx: Arc::new(tx) }, WakePipe { rx }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn wake_makes_the_pipe_readable_and_drain_clears_it() {
+        let (tx, rx) = wake_pipe().unwrap();
+        let mut fds = [PollFd::new(rx.fd(), POLLIN)];
+        assert_eq!(poll_fds(&mut fds, Some(Duration::from_millis(0))), 0);
+        tx.wake();
+        tx.wake(); // coalesces, never blocks
+        let n = poll_fds(&mut fds, Some(Duration::from_secs(5)));
+        assert_eq!(n, 1);
+        assert!(fds[0].ready());
+        rx.drain();
+        fds[0].revents = 0;
+        assert_eq!(poll_fds(&mut fds, Some(Duration::from_millis(0))), 0);
+    }
+
+    #[test]
+    fn poll_timeout_expires_without_readiness() {
+        let (_tx, rx) = wake_pipe().unwrap();
+        let mut fds = [PollFd::new(rx.fd(), POLLIN)];
+        let t0 = Instant::now();
+        let n = poll_fds(&mut fds, Some(Duration::from_millis(20)));
+        assert_eq!(n, 0);
+        assert!(t0.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn submillisecond_timeouts_round_up_not_to_zero() {
+        let (_tx, rx) = wake_pipe().unwrap();
+        let mut fds = [PollFd::new(rx.fd(), POLLIN)];
+        let t0 = Instant::now();
+        poll_fds(&mut fds, Some(Duration::from_micros(300)));
+        // A zero-rounded timeout would return in ~1 µs; rounding up
+        // to 1 ms actually sleeps.
+        assert!(t0.elapsed() >= Duration::from_micros(300));
+    }
+}

@@ -23,8 +23,13 @@
 //! - [`cache`]: exact-key LRU result cache
 //! - [`metrics`]: lock-free telemetry (counters, histograms, spans)
 //!   over the `sdp-metrics` registry, with JSON and Prometheus exporters
-//! - [`server`]: TCP accept loop, connection threads, dispatcher
+//! - [`evloop`]: `poll(2)` readiness primitives and the self-pipe wake
+//!   channel shared by the server front-end and the load generator
+//! - [`server`]: acceptor, event-loop connection workers, per-class
+//!   dispatchers
 //! - [`client`]: blocking client and request builders
+//! - [`loadgen`]: open/closed-loop load generator (the `sdp_loadgen`
+//!   binary) for saturation benchmarking
 
 #![warn(missing_docs)]
 
@@ -32,7 +37,9 @@ pub mod breaker;
 pub mod cache;
 pub mod client;
 pub mod engine;
+pub mod evloop;
 pub mod json;
+pub mod loadgen;
 pub mod metrics;
 pub mod protocol;
 pub mod queue;
@@ -58,8 +65,18 @@ pub struct Config {
     pub shed_queue: usize,
     /// Coalesced-batch size cap.
     pub max_batch: usize,
-    /// Coalescing delay window.
+    /// Coalescing delay window (upper bound — the adaptive flush
+    /// releases buckets early whenever the arrival stream pauses).
     pub max_delay: Duration,
+    /// How long a shard's dispatcher waits for a further admission
+    /// before treating the arrival stream as paused and flushing
+    /// partial buckets early.  Raising it toward `max_delay` restores
+    /// the fixed-window coalescing behaviour (useful to manufacture
+    /// queue pressure in tests).
+    pub drain_tick: Duration,
+    /// Event-loop connection workers (each owns a slab of nonblocking
+    /// sockets multiplexed with `poll(2)`).
+    pub event_workers: usize,
     /// LRU result-cache capacity (0 disables caching).
     pub cache_capacity: usize,
     /// Worker threads in the dispatch pool.
@@ -70,9 +87,10 @@ pub struct Config {
     /// Jobs still queued when their deadline passes are expired with a
     /// typed `deadline_exceeded` error instead of burning engine work.
     pub default_deadline: Duration,
-    /// A connection with no complete request line for this long is
-    /// reaped (closed), so slow-loris clients cannot pin connection
-    /// threads forever.
+    /// Slow-loris reap window: a connection stalled mid-request-line
+    /// (or that never completed one) for this long is closed.
+    /// Established connections idling cleanly between requests are
+    /// exempt — a parked socket costs the event loop nothing.
     pub idle_timeout: Duration,
     /// Socket write timeout for response lines.
     pub write_timeout: Duration,
@@ -110,6 +128,8 @@ impl Default for Config {
             shed_queue: 768,
             max_batch: 16,
             max_delay: Duration::from_millis(5),
+            drain_tick: Duration::from_micros(500),
+            event_workers: 2,
             cache_capacity: 256,
             workers: 4,
             max_request_bytes: 1 << 20,

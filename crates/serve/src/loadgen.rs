@@ -1,0 +1,424 @@
+//! A single-threaded, poll-driven load generator for the serving
+//! stack (the `sdp_loadgen` binary).
+//!
+//! Thousands of concurrent connections, one thread: every client
+//! socket is nonblocking and multiplexed over the same
+//! [`poll(2)`](crate::evloop) readiness loop the server front-end
+//! uses.  Two arrival disciplines:
+//!
+//! - **Closed loop** ([`Arrival::Closed`]): each connection keeps
+//!   `pipeline` requests outstanding and tops one up per reply.
+//!   Measures the server's sustainable completion rate — offered load
+//!   adapts to service rate, so the queue never grows without bound.
+//! - **Open loop** ([`Arrival::Open`]): requests are injected at a
+//!   fixed `rate_per_s` regardless of completions (token pacing,
+//!   round-robin across connections).  This is the honest saturation
+//!   probe: unlike closed-loop, a slow server does not throttle the
+//!   arrival stream, so queueing delay and shedding become visible
+//!   instead of silently flattening the load.
+//!
+//! Replies are matched to requests per connection in FIFO order — the
+//! server answers each connection's pipelined lines in order, so no id
+//! bookkeeping is needed for latency attribution.  Latency is measured
+//! from the instant a request is queued for the socket to the instant
+//! its reply line is parsed off, into the same log₂ histogram the
+//! server's own metrics use.
+
+use crate::evloop::{poll_fds, PollFd, POLLIN, POLLOUT};
+use sdp_metrics::{hist, us_to_ms, Histogram, HistogramSnapshot};
+use sdp_trace::json::Json;
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::os::fd::AsRawFd;
+use std::time::{Duration, Instant};
+
+/// Arrival discipline for [`run`].
+#[derive(Clone, Copy, Debug)]
+pub enum Arrival {
+    /// Keep `pipeline` requests outstanding per connection.
+    Closed {
+        /// Outstanding requests per connection.
+        pipeline: usize,
+    },
+    /// Inject `rate_per_s` requests per second, independent of
+    /// completions.
+    Open {
+        /// Aggregate injection rate across all connections.
+        rate_per_s: f64,
+    },
+}
+
+/// Load-run parameters.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Server address.
+    pub addr: String,
+    /// Concurrent connections.
+    pub connections: usize,
+    /// How long to inject load.
+    pub duration: Duration,
+    /// Arrival discipline.
+    pub arrival: Arrival,
+    /// After the injection window, how long to wait for outstanding
+    /// replies before counting them unanswered.
+    pub drain_grace: Duration,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            addr: String::new(),
+            connections: 64,
+            duration: Duration::from_secs(1),
+            arrival: Arrival::Closed { pipeline: 4 },
+            drain_grace: Duration::from_secs(5),
+        }
+    }
+}
+
+/// What a load run observed.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Requests written toward the server.
+    pub sent: u64,
+    /// Reply lines received.
+    pub completed: u64,
+    /// Replies with `"ok":true`.
+    pub ok: u64,
+    /// Replies served from the result cache.
+    pub cached: u64,
+    /// Replies answered by the degraded oracle fallback.
+    pub degraded: u64,
+    /// Replies with `"ok":false`, by error kind.
+    pub error_kinds: BTreeMap<String, u64>,
+    /// Requests with no reply by the end of the drain grace.
+    pub unanswered: u64,
+    /// Injection window wall time (excludes the drain grace).
+    pub elapsed: Duration,
+    /// Completions per second of wall time (completions landing
+    /// during the drain count toward the rate's numerator but the
+    /// denominator stays the injection window — the standard
+    /// open-loop convention).
+    pub req_per_s: f64,
+    /// Request latency (queued → reply parsed), µs.
+    pub latency: HistogramSnapshot,
+}
+
+impl Report {
+    /// Total error replies.
+    pub fn errors(&self) -> u64 {
+        self.error_kinds.values().sum()
+    }
+
+    /// The report as a JSON document (the `sdp_loadgen` output and the
+    /// saturation experiment's building block).  Wall-clock fields
+    /// follow the `*_ms` redaction convention.
+    pub fn to_json(&self) -> Json {
+        let mut errors = Json::object();
+        for (kind, n) in &self.error_kinds {
+            errors = errors.with(kind, *n);
+        }
+        Json::object()
+            .with("sent", self.sent)
+            .with("completed", self.completed)
+            .with("ok", self.ok)
+            .with("cached", self.cached)
+            .with("degraded", self.degraded)
+            .with("errors", self.errors())
+            .with("error_kinds", errors)
+            .with("unanswered", self.unanswered)
+            .with("elapsed_ms", self.elapsed.as_secs_f64() * 1000.0)
+            .with("req_per_s", self.req_per_s)
+            .with(
+                "latency",
+                Json::object()
+                    .with("samples", self.latency.count)
+                    .with(
+                        "mean_ms",
+                        us_to_ms(self.latency.sum) / (self.latency.count.max(1) as f64),
+                    )
+                    .with("p50_ms", us_to_ms(self.latency.quantile(0.50)))
+                    .with("p99_ms", us_to_ms(self.latency.quantile(0.99)))
+                    .with("max_ms", us_to_ms(self.latency.max)),
+            )
+    }
+}
+
+struct LoadConn {
+    stream: TcpStream,
+    /// Request bytes not yet accepted by the socket.
+    outbox: Vec<u8>,
+    /// Partial reply line.
+    partial: Vec<u8>,
+    /// Queue times of requests awaiting replies, FIFO.
+    sends: VecDeque<Instant>,
+    /// Socket died (error or EOF).
+    dead: bool,
+}
+
+/// Runs one load session: `gen(seq)` produces the request line
+/// (without trailing newline) for the `seq`-th request.  Returns the
+/// aggregate [`Report`]; fails only if no connection can be opened.
+pub fn run(cfg: &LoadConfig, mut gen: impl FnMut(u64) -> String) -> std::io::Result<Report> {
+    let mut conns = Vec::with_capacity(cfg.connections);
+    for _ in 0..cfg.connections.max(1) {
+        let stream = TcpStream::connect(&cfg.addr)?;
+        stream.set_nonblocking(true)?;
+        // One-line requests; never Nagle them.
+        let _ = stream.set_nodelay(true);
+        conns.push(LoadConn {
+            stream,
+            outbox: Vec::new(),
+            partial: Vec::new(),
+            sends: VecDeque::new(),
+            dead: false,
+        });
+    }
+
+    let latency = Histogram::new(hist::LATENCY_BUCKETS);
+    let mut sent = 0u64;
+    let mut completed = 0u64;
+    let mut ok = 0u64;
+    let mut cached = 0u64;
+    let mut degraded = 0u64;
+    let mut error_kinds: BTreeMap<String, u64> = BTreeMap::new();
+    let mut rbuf = vec![0u8; 64 * 1024];
+    let mut next_conn = 0usize;
+
+    let t0 = Instant::now();
+    let inject_until = t0 + cfg.duration;
+    let hard_stop = inject_until + cfg.drain_grace;
+    loop {
+        let now = Instant::now();
+        let injecting = now < inject_until;
+        // Top up offered load.
+        if injecting {
+            match cfg.arrival {
+                Arrival::Closed { pipeline } => {
+                    let pipeline = pipeline.max(1);
+                    for conn in conns.iter_mut().filter(|c| !c.dead) {
+                        while conn.sends.len() < pipeline {
+                            let line = gen(sent);
+                            conn.outbox.extend_from_slice(line.as_bytes());
+                            conn.outbox.push(b'\n');
+                            conn.sends.push_back(Instant::now());
+                            sent += 1;
+                        }
+                    }
+                }
+                Arrival::Open { rate_per_s } => {
+                    // Token pacing: how many requests the clock says
+                    // should have been injected by now, minus what has.
+                    let due = (now.duration_since(t0).as_secs_f64() * rate_per_s) as u64;
+                    let mut budget = due.saturating_sub(sent);
+                    let n_conns = conns.len();
+                    while budget > 0 {
+                        let conn = &mut conns[next_conn % n_conns];
+                        next_conn = next_conn.wrapping_add(1);
+                        if conn.dead {
+                            // All-dead is caught below; skip here.
+                            if conns.iter().all(|c| c.dead) {
+                                break;
+                            }
+                            continue;
+                        }
+                        let line = gen(sent);
+                        conn.outbox.extend_from_slice(line.as_bytes());
+                        conn.outbox.push(b'\n');
+                        conn.sends.push_back(Instant::now());
+                        sent += 1;
+                        budget -= 1;
+                    }
+                }
+            }
+        }
+
+        // Push writes, pull replies.
+        for conn in conns.iter_mut().filter(|c| !c.dead) {
+            flush_outbox(conn);
+        }
+        let outstanding: usize = conns.iter().map(|c| c.sends.len()).sum();
+        if !injecting && outstanding == 0 {
+            break;
+        }
+        if now >= hard_stop {
+            break;
+        }
+
+        // Poll every live socket that has something to do.
+        let mut fds = Vec::with_capacity(conns.len());
+        let mut fd_conns = Vec::with_capacity(conns.len());
+        for (i, conn) in conns.iter().enumerate() {
+            if conn.dead {
+                continue;
+            }
+            let mut events = 0i16;
+            if !conn.sends.is_empty() {
+                events |= POLLIN;
+            }
+            if !conn.outbox.is_empty() {
+                events |= POLLOUT;
+            }
+            if events != 0 {
+                fds.push(PollFd::new(conn.stream.as_raw_fd(), events));
+                fd_conns.push(i);
+            }
+        }
+        if fds.is_empty() {
+            if conns.iter().all(|c| c.dead) {
+                break;
+            }
+            // Nothing in flight yet (open loop between tokens): sleep
+            // to the next token/window edge.
+            std::thread::sleep(Duration::from_micros(200));
+            continue;
+        }
+        // Poll timeout: the open-loop pacer needs the clock back every
+        // millisecond even when the server is quiet; closed-loop only
+        // needs to notice the end of the window.
+        let cap = if injecting {
+            match cfg.arrival {
+                Arrival::Open { .. } => Duration::from_millis(1),
+                Arrival::Closed { .. } => inject_until
+                    .saturating_duration_since(now)
+                    .min(Duration::from_millis(20)),
+            }
+        } else {
+            hard_stop
+                .saturating_duration_since(now)
+                .min(Duration::from_millis(20))
+        };
+        poll_fds(&mut fds, Some(cap));
+        for (k, pfd) in fds.iter().enumerate() {
+            if !pfd.ready() {
+                continue;
+            }
+            let conn = &mut conns[fd_conns[k]];
+            if pfd.revents & POLLOUT != 0 {
+                flush_outbox(conn);
+            }
+            if pfd.revents & !POLLOUT != 0 {
+                read_replies(
+                    conn,
+                    &mut rbuf,
+                    &latency,
+                    &mut completed,
+                    &mut ok,
+                    &mut cached,
+                    &mut degraded,
+                    &mut error_kinds,
+                );
+            }
+        }
+    }
+    let elapsed = inject_until
+        .min(Instant::now())
+        .saturating_duration_since(t0);
+    let unanswered: u64 = conns.iter().map(|c| c.sends.len() as u64).sum();
+    Ok(Report {
+        sent,
+        completed,
+        ok,
+        cached,
+        degraded,
+        error_kinds,
+        unanswered,
+        elapsed,
+        req_per_s: completed as f64 / elapsed.as_secs_f64().max(1e-9),
+        latency: latency.snapshot(),
+    })
+}
+
+fn flush_outbox(conn: &mut LoadConn) {
+    while !conn.outbox.is_empty() {
+        match (&conn.stream).write(&conn.outbox) {
+            Ok(0) => {
+                conn.dead = true;
+                return;
+            }
+            Ok(n) => {
+                conn.outbox.drain(..n);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+}
+
+/// Pulls the `"field":value` scan the classifier needs without a full
+/// JSON parse: reply classification must not become the bottleneck of
+/// a generator whose entire point is out-pacing the server.
+fn classify(line: &[u8]) -> (bool, bool, bool, Option<String>) {
+    let text = String::from_utf8_lossy(line);
+    let ok = text.contains("\"ok\":true");
+    let cached = text.contains("\"cached\":true");
+    let degraded = text.contains("\"degraded\":true");
+    let kind = if ok {
+        None
+    } else {
+        text.split("\"kind\":\"")
+            .nth(1)
+            .and_then(|rest| rest.split('"').next())
+            .map(str::to_owned)
+    };
+    (ok, cached, degraded, kind)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn read_replies(
+    conn: &mut LoadConn,
+    rbuf: &mut [u8],
+    latency: &Histogram,
+    completed: &mut u64,
+    ok: &mut u64,
+    cached: &mut u64,
+    degraded: &mut u64,
+    error_kinds: &mut BTreeMap<String, u64>,
+) {
+    loop {
+        match (&conn.stream).read(rbuf) {
+            Ok(0) => {
+                conn.dead = true;
+                return;
+            }
+            Ok(n) => {
+                let mut rest = &rbuf[..n];
+                while let Some(pos) = rest.iter().position(|b| *b == b'\n') {
+                    let (head, tail) = rest.split_at(pos + 1);
+                    rest = tail;
+                    conn.partial.extend_from_slice(&head[..head.len() - 1]);
+                    let line = std::mem::take(&mut conn.partial);
+                    if let Some(queued) = conn.sends.pop_front() {
+                        latency.record(queued.elapsed().as_micros() as u64);
+                    }
+                    *completed += 1;
+                    let (is_ok, is_cached, is_degraded, kind) = classify(&line);
+                    if is_ok {
+                        *ok += 1;
+                    }
+                    if is_cached {
+                        *cached += 1;
+                    }
+                    if is_degraded {
+                        *degraded += 1;
+                    }
+                    if let Some(kind) = kind {
+                        *error_kinds.entry(kind).or_insert(0) += 1;
+                    }
+                }
+                conn.partial.extend_from_slice(rest);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+}

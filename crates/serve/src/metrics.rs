@@ -64,6 +64,11 @@ struct ClassMetrics {
     batch_sizes: Arc<Histogram>,
     /// One histogram per entry of [`PHASES`], in µs.
     phases: [Arc<Histogram>; PHASES.len()],
+    /// Queue-wait of requests that *expired* at dispatch, in µs.  Kept
+    /// apart from `latency`: an expiration never ran an engine, so
+    /// folding its wait into the completed-latency series would skew
+    /// p99 with samples that measure only queue pressure.
+    expired_wait: Arc<Histogram>,
     /// Circuit-breaker state gauge (0 closed, 1 half-open, 2 open).
     breaker_state: Arc<Gauge>,
     /// Times this class's breaker tripped open.
@@ -89,11 +94,18 @@ pub struct Metrics {
     degraded: Arc<Counter>,
     connections: Arc<Gauge>,
     reaped: Arc<Counter>,
+    /// Accepted sockets dropped because post-accept setup
+    /// (`set_nonblocking`) failed — without this counter such streams
+    /// vanished with no metric or log.
+    accept_failures: Arc<Counter>,
     chaos: Vec<Arc<Counter>>,
     dispatches: Arc<Counter>,
     max_coalesced: Arc<Gauge>,
     /// Class-agnostic admission-queue wait (the coalesce phase), µs.
     queue_wait: Arc<Histogram>,
+    /// Class-agnostic end-to-end completed latency, µs — the series
+    /// behind the top-level p50/p99 the saturation benchmark reads.
+    latency: Arc<Histogram>,
     per_class: Vec<ClassMetrics>,
     pool: PoolStats,
     slowest: SlowRing,
@@ -139,6 +151,11 @@ impl Metrics {
                             sdp_metrics::hist::LATENCY_BUCKETS,
                         )
                     }),
+                    expired_wait: registry.histogram(
+                        "sdp_expired_wait_us",
+                        &l,
+                        sdp_metrics::hist::LATENCY_BUCKETS,
+                    ),
                     breaker_state: registry.gauge("sdp_breaker_state", &l),
                     breaker_trips: registry.counter("sdp_breaker_trips_total", &l),
                     engines: ["sim", "direct"].map(|engine| {
@@ -165,6 +182,7 @@ impl Metrics {
             degraded: registry.counter("sdp_degraded_total", &[]),
             connections: registry.gauge("sdp_connections", &[]),
             reaped: registry.counter("sdp_reaped_connections_total", &[]),
+            accept_failures: registry.counter("sdp_accept_failures_total", &[]),
             chaos: sdp_fault::CHAOS_KINDS
                 .iter()
                 .map(|kind| registry.counter("sdp_chaos_injected_total", &[("kind", kind)]))
@@ -176,6 +194,7 @@ impl Metrics {
                 &[],
                 sdp_metrics::hist::LATENCY_BUCKETS,
             ),
+            latency: registry.histogram("sdp_latency_us", &[], sdp_metrics::hist::LATENCY_BUCKETS),
             per_class,
             pool: PoolStats::new(workers),
             slowest: SlowRing::new(SLOW_RING_CAP),
@@ -231,9 +250,31 @@ impl Metrics {
     }
 
     /// Records a job expired at dispatch time (deadline exceeded
-    /// before any engine work was spent on it).
-    pub fn deadline_expired(&self) {
+    /// before any engine work was spent on it).  The request is
+    /// answered (counts toward `served`/`errors` and the class's
+    /// request/error counters), but its wait goes into the dedicated
+    /// `sdp_expired_wait_us` series — **not** the completed-latency
+    /// histograms, which must only measure requests an engine ran.
+    pub fn expired(&self, class: Class, waited: Duration) {
         self.deadline_exceeded.inc();
+        self.served.inc();
+        self.errors.inc();
+        let c = self.class(class);
+        c.requests.inc();
+        c.errors.inc();
+        c.expired_wait.record(waited.as_micros() as u64);
+    }
+
+    /// Records an accepted socket dropped because post-accept setup
+    /// failed (satellite of the event-loop rewrite: these used to
+    /// vanish silently).
+    pub fn accept_failed(&self) {
+        self.accept_failures.inc();
+    }
+
+    /// Accept-failure count so far (test hook).
+    pub fn accept_failures_count(&self) -> u64 {
+        self.accept_failures.get()
     }
 
     /// Records a request answered by the degraded oracle fallback
@@ -322,7 +363,9 @@ impl Metrics {
         if !ok {
             c.errors.inc();
         }
-        c.latency.record(latency.as_micros() as u64);
+        let us = latency.as_micros() as u64;
+        c.latency.record(us);
+        self.latency.record(us);
     }
 
     /// Records the dispatcher-side phases of one request's span:
@@ -454,7 +497,8 @@ impl Metrics {
                         "batch_size_histogram",
                         Self::batch_hist_json(&c.batch_sizes.snapshot()),
                     )
-                    .with("phases", phases),
+                    .with("phases", phases)
+                    .with("expired_wait", Self::phase_json(&c.expired_wait.snapshot())),
             );
         }
 
@@ -522,6 +566,7 @@ impl Metrics {
             .with("degraded", self.degraded.get())
             .with("connections", self.connections.get())
             .with("reaped", self.reaped.get())
+            .with("accept_failures", self.accept_failures.get())
             .with("chaos", {
                 let mut chaos = Json::object();
                 for (i, kind) in sdp_fault::CHAOS_KINDS.iter().enumerate() {
@@ -531,6 +576,7 @@ impl Metrics {
             })
             .with("classes", classes)
             .with("queue_wait", Self::phase_json(&qwait))
+            .with("latency", Self::phase_json(&self.latency.snapshot()))
             .with("pool", pool)
             .with("slowest", slowest)
     }
@@ -623,12 +669,13 @@ mod tests {
         let m = Metrics::new(2);
         m.rejected_overloaded();
         m.rejected_circuit_open();
-        m.deadline_expired();
+        m.expired(Class::Bst, Duration::from_millis(7));
         m.degraded(Class::Edit);
         m.connection_opened();
         m.connection_opened();
         m.connection_closed();
         m.reaped();
+        m.accept_failed();
         m.chaos_injected("engine_panic");
         m.chaos_injected("connection_drop");
         m.chaos_injected("no_such_kind"); // ignored, not a panic
@@ -656,6 +703,10 @@ mod tests {
             Some(1)
         );
         assert_eq!(json::as_i64(json::get(&doc, "reaped").unwrap()), Some(1));
+        assert_eq!(
+            json::as_i64(json::get(&doc, "accept_failures").unwrap()),
+            Some(1)
+        );
         let chaos = json::get(&doc, "chaos").unwrap();
         assert_eq!(
             json::as_i64(json::get(chaos, "engine_panic").unwrap()),
@@ -673,7 +724,25 @@ mod tests {
         // Degraded answers count as served for that class.
         let edit = json::get(classes, "edit").unwrap();
         assert_eq!(json::as_i64(json::get(edit, "requests").unwrap()), Some(1));
-        assert_eq!(json::as_i64(json::get(&doc, "served").unwrap()), Some(1));
+        // served = 1 degraded + 1 expired; the expiration is an
+        // answered error, not a silent drop.
+        assert_eq!(json::as_i64(json::get(&doc, "served").unwrap()), Some(2));
+        assert_eq!(json::as_i64(json::get(&doc, "errors").unwrap()), Some(1));
+        // The expiration's wait lands in its own series, never in the
+        // completed-latency histograms.
+        let bst = json::get(classes, "bst").unwrap();
+        assert_eq!(json::as_i64(json::get(bst, "requests").unwrap()), Some(1));
+        assert_eq!(json::as_i64(json::get(bst, "errors").unwrap()), Some(1));
+        let expired = json::get(bst, "expired_wait").unwrap();
+        assert_eq!(
+            json::as_i64(json::get(expired, "samples").unwrap()),
+            Some(1)
+        );
+        assert_eq!(
+            json::as_i64(json::get(json::get(&doc, "latency").unwrap(), "samples").unwrap()),
+            Some(0),
+            "expirations must not skew completed latency"
+        );
 
         let prom = m.render_prometheus();
         for series in [
@@ -683,9 +752,11 @@ mod tests {
             "sdp_degraded_total 1",
             "sdp_connections 1",
             "sdp_reaped_connections_total 1",
+            "sdp_accept_failures_total 1",
             "sdp_chaos_injected_total{kind=\"engine_panic\"} 1",
             "sdp_breaker_state{class=\"matmul\"} 2",
             "sdp_breaker_trips_total{class=\"matmul\"} 1",
+            "sdp_expired_wait_us_count{class=\"bst\"} 1",
         ] {
             assert!(prom.contains(series), "missing prometheus series {series}");
         }

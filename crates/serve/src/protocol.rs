@@ -672,6 +672,16 @@ pub fn ok_response(id: i64, result: Json, cached: bool, batch: usize) -> String 
         .render()
 }
 
+/// The cache-hit success line, assembled from a *pre-rendered* result
+/// payload by string concatenation.  Byte-identical to
+/// `ok_response(id, parse(payload), true, 0)` — the cache stores the
+/// payload exactly as [`Json::render`] produced it, so splicing it
+/// into the envelope skips the parse/clone/re-render round trip on
+/// the server's hottest path.
+pub fn ok_cached_response(id: i64, payload: &str) -> String {
+    format!("{{\"id\":{id},\"ok\":true,\"result\":{payload},\"cached\":true,\"batch\":0}}")
+}
+
 /// A success response for a freshly-computed request, tagged with the
 /// backend that answered it (`"sim"` or `"direct"`).  Cached replays
 /// and control replies stay untagged — the cache stores payloads, not
@@ -936,6 +946,26 @@ mod tests {
         );
         assert!(r.contains("\"kind\":\"deadline_exceeded\""));
         assert!(!r.contains("retry_after_ms"), "no hint on deadline errors");
+    }
+
+    #[test]
+    fn cached_response_splice_matches_the_rendered_envelope() {
+        // The fast path concatenates a pre-rendered payload; it must
+        // stay byte-identical to building the envelope through Json,
+        // or cached and fresh replies would diverge on the wire.
+        for payload in [
+            Json::object().with("distance", 3u64),
+            Json::object()
+                .with("cost", 12u64)
+                .with("order", Json::Array(vec![Json::Int(1), Json::Int(2)])),
+            Json::object().with("value", -7i64).with("ratio", 0.5f64),
+        ] {
+            let rendered = payload.render();
+            assert_eq!(
+                ok_cached_response(42, &rendered),
+                ok_response(42, payload, true, 0),
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! End-to-end smoke of the poll-driven load generator against a live
+//! server: a short closed-loop burst must come back fully answered and
+//! all-ok, and the admission stream it creates must actually coalesce
+//! into multi-request batches.  CI runs this as the cheap stand-in for
+//! the full E24 saturation experiment.
+
+use sdp_par::watchdog;
+use sdp_serve::client::{self, Client};
+use sdp_serve::json;
+use sdp_serve::loadgen::{run, Arrival, LoadConfig};
+use sdp_serve::Config;
+use std::time::Duration;
+
+/// Distinct same-shape edit-distance lines: every request is a cache
+/// miss (capacity is 0 anyway) but all land in one coalescing bucket.
+fn edit_line(seq: u64) -> String {
+    let mut a = String::new();
+    let mut b = String::new();
+    let mut x = seq.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    for _ in 0..8 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        a.push(char::from(b'a' + (x % 26) as u8));
+        b.push(char::from(b'a' + ((x >> 8) % 26) as u8));
+    }
+    format!("{{\"id\":{seq},\"kind\":\"edit\",\"a\":\"{a}\",\"b\":\"{b}\"}}")
+}
+
+#[test]
+fn a_closed_loop_burst_completes_cleanly_and_coalesces() {
+    watchdog("loadgen-smoke", Duration::from_secs(60), || {
+        let handle = sdp_serve::serve(Config {
+            cache_capacity: 0,
+            max_delay: Duration::from_millis(2),
+            workers: 2,
+            ..Config::default()
+        })
+        .expect("bind");
+
+        let cfg = LoadConfig {
+            addr: handle.addr().to_string(),
+            connections: 32,
+            duration: Duration::from_millis(400),
+            arrival: Arrival::Closed { pipeline: 2 },
+            drain_grace: Duration::from_secs(20),
+        };
+        let report = run(&cfg, edit_line).expect("load run");
+
+        assert!(report.sent > 0, "generator never injected");
+        assert_eq!(
+            report.completed, report.sent,
+            "lost replies (sent {} completed {})",
+            report.sent, report.completed
+        );
+        assert_eq!(report.unanswered, 0);
+        assert_eq!(
+            report.errors(),
+            0,
+            "error replies: {:?}",
+            report.error_kinds
+        );
+        assert_eq!(
+            report.ok, report.completed,
+            "non-ok replies slipped through"
+        );
+        assert_eq!(report.latency.count, report.completed);
+
+        // 64 outstanding same-shape requests against a 2 ms window must
+        // ride coalesced batches: the server's batch-size histogram has
+        // to show mass above size 2.
+        let mut c = Client::connect(handle.addr()).expect("connect");
+        let m = c.metrics().expect("metrics");
+        let doc = m.result.expect("payload");
+        let hist = json::get(&doc, "batch_size_histogram").expect("histogram");
+        let above_two: i64 = ["3_4", "5_8", "9_16", "gt_16"]
+            .iter()
+            .map(|b| json::get(hist, b).and_then(json::as_i64).unwrap_or(0))
+            .sum();
+        assert!(
+            above_two >= 1,
+            "no coalescing observed: histogram {}",
+            hist.render()
+        );
+
+        handle.shutdown();
+    });
+}
+
+#[test]
+fn an_open_loop_run_paces_arrivals_and_reports_the_rate() {
+    watchdog("loadgen-open", Duration::from_secs(60), || {
+        let handle = sdp_serve::serve(Config {
+            max_delay: Duration::from_millis(2),
+            workers: 2,
+            ..Config::default()
+        })
+        .expect("bind");
+
+        // A deliberately modest rate the server trivially sustains:
+        // the pacer, not the server, should set the sent count.
+        let cfg = LoadConfig {
+            addr: handle.addr().to_string(),
+            connections: 8,
+            duration: Duration::from_millis(500),
+            arrival: Arrival::Open { rate_per_s: 400.0 },
+            drain_grace: Duration::from_secs(20),
+        };
+        // One repeated problem: after the first miss this measures the
+        // cached hot path, so most replies must carry `cached:true`.
+        let line = client::edit_request(1, "kitten", "sitting");
+        let report = run(&cfg, |_| line.clone()).expect("load run");
+
+        assert_eq!(report.completed, report.sent);
+        assert_eq!(report.unanswered, 0);
+        assert_eq!(
+            report.errors(),
+            0,
+            "error replies: {:?}",
+            report.error_kinds
+        );
+        // Token pacing: ~rate × window requests, with generous slack
+        // for a contended box (the pacer can only undershoot).
+        let target = 400.0 * 0.5;
+        assert!(
+            (report.sent as f64) <= target * 1.1 + 8.0,
+            "pacer overshot: sent {}",
+            report.sent
+        );
+        assert!(
+            (report.sent as f64) >= target * 0.3,
+            "pacer starved: sent {}",
+            report.sent
+        );
+        assert!(report.cached >= report.completed / 2, "cache never warmed");
+
+        handle.shutdown();
+    });
+}

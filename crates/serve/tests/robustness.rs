@@ -47,11 +47,16 @@ fn zero_deadline_expires_typed_while_generous_deadline_succeeds() {
 fn shed_requests_carry_retry_hints_and_the_retry_policy_recovers() {
     watchdog("load-shed", Duration::from_secs(30), || {
         // shed_queue 1 with a long coalescing window: the first queued
-        // job keeps depth at 1 for ~300 ms, so a second request sheds.
-        let window = Duration::from_millis(300);
+        // job keeps depth at 1 for ~1 s, so a second request sheds.
+        // drain_tick is pinned to the window so the adaptive flush does
+        // not release the lone job the moment the arrival stream
+        // pauses, and the window is generous because the sibling tests
+        // in this binary compete for the same cores.
+        let window = Duration::from_millis(1000);
         let handle = sdp_serve::serve(Config {
             shed_queue: 1,
             max_delay: window,
+            drain_tick: window,
             cache_capacity: 0,
             ..Config::default()
         })
